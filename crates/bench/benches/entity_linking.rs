@@ -1,0 +1,123 @@
+//! Experiment E10 (§3.3): AIDA-adapted entity disambiguation accuracy
+//! against the popularity-only and exact-match baselines, across corpus
+//! ambiguity levels; plus resolution throughput vs KG size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nous_bench::{row, table_header};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, StreamConfig, World, WorldConfig};
+use nous_core::KnowledgeGraph;
+use nous_link::LinkMode;
+use nous_text::bow::BagOfWords;
+
+struct Case {
+    surface: String,
+    expected: String,
+    context: BagOfWords,
+}
+
+fn build(ambiguity: f64) -> (KnowledgeGraph, Vec<Case>) {
+    let wc = WorldConfig { ambiguity, companies: 60, ..Preset::Demo.world_config() };
+    let world = World::generate(&wc);
+    let kb = CuratedKb::generate(&world, 7);
+    let sc = StreamConfig { articles: 400, alias_usage: 0.9, ..Preset::Demo.stream_config() };
+    let articles = ArticleStream::generate(&world, &kb, &sc);
+    let kg = KnowledgeGraph::from_curated(&world, &kb);
+    let mut cases = Vec::new();
+    for a in &articles {
+        for f in &a.facts {
+            let idx = world.by_name(&f.subject).expect("canonical");
+            let e = &world.entities[idx];
+            if e.aliases.len() < 2 {
+                continue;
+            }
+            let alias = &e.aliases[1];
+            if world.candidates(alias).len() > 1
+                && a.body.contains(alias.as_str())
+                && !a.body.contains(&e.name)
+            {
+                cases.push(Case {
+                    surface: alias.clone(),
+                    expected: e.name.clone(),
+                    context: BagOfWords::from_text(&a.body),
+                });
+            }
+        }
+    }
+    (kg, cases)
+}
+
+fn accuracy(kg: &KnowledgeGraph, cases: &[Case], mode: LinkMode) -> (f64, f64) {
+    let mut correct = 0usize;
+    let mut answered = 0usize;
+    for c in cases {
+        if let Some(r) = kg.disambiguator.resolve(&c.surface, &c.context, mode) {
+            answered += 1;
+            if r.name == c.expected {
+                correct += 1;
+            }
+        }
+    }
+    (
+        correct as f64 / cases.len().max(1) as f64,
+        answered as f64 / cases.len().max(1) as f64,
+    )
+}
+
+fn quality() {
+    table_header(
+        "E10: ambiguous-mention disambiguation accuracy (short aliases, 0.9 alias usage)",
+        &["ambiguity", "cases", "AIDA-adapted", "popularity", "exact(ans.rate)"],
+        &[9, 7, 13, 11, 16],
+    );
+    for ambiguity in [0.2, 0.4, 0.6, 0.8] {
+        let (kg, cases) = build(ambiguity);
+        let (full, _) = accuracy(&kg, &cases, LinkMode::Full);
+        let (pop, _) = accuracy(&kg, &cases, LinkMode::PopularityOnly);
+        let (_, exact_rate) = accuracy(&kg, &cases, LinkMode::ExactOnly);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{ambiguity:.1}"),
+                    cases.len().to_string(),
+                    format!("{full:.2}"),
+                    format!("{pop:.2}"),
+                    format!("{exact_rate:.2}"),
+                ],
+                &[9, 7, 13, 11, 16]
+            )
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality();
+    let mut group = c.benchmark_group("entity_linking");
+    for companies in [40usize, 80, 160] {
+        let wc = WorldConfig { ambiguity: 0.5, companies, ..Preset::Demo.world_config() };
+        let world = World::generate(&wc);
+        let kb = CuratedKb::generate(&world, 7);
+        let kg = KnowledgeGraph::from_curated(&world, &kb);
+        let surfaces: Vec<String> =
+            world.companies.iter().map(|&i| world.entities[i].aliases[1].clone()).collect();
+        let ctx = BagOfWords::from_text(
+            "the crop spraying farm harvest irrigation company announced results",
+        );
+        group.bench_with_input(
+            BenchmarkId::new("resolve_all_companies", companies),
+            &kg,
+            |b, kg| {
+                b.iter(|| {
+                    surfaces
+                        .iter()
+                        .filter_map(|s| kg.disambiguator.resolve(s, &ctx, LinkMode::Full))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

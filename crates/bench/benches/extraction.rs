@@ -1,0 +1,121 @@
+//! Experiments E3 (Figure 3: extraction throughput) and E11 (demo feature
+//! 1: "develop custom relation extractors and illustrate the trade-off
+//! from various heuristics"). Prints a precision/recall/yield table across
+//! heuristic configurations, then times the text pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nous_bench::{row, table_header};
+use nous_corpus::{Preset, World};
+use nous_extract::evaluate_stream;
+use nous_text::ner::{EntityType, Gazetteer};
+use nous_text::openie::ExtractorConfig;
+
+fn gazetteer(world: &World) -> Gazetteer {
+    let mut gaz = Gazetteer::new();
+    for e in &world.entities {
+        let ty = match e.kind {
+            nous_corpus::world::Kind::Company => EntityType::Organization,
+            nous_corpus::world::Kind::Person => EntityType::Person,
+            nous_corpus::world::Kind::Location => EntityType::Location,
+            nous_corpus::world::Kind::Product => EntityType::Product,
+        };
+        for a in &e.aliases {
+            gaz.insert(a, ty);
+        }
+    }
+    gaz
+}
+
+fn quality_table() {
+    let (world, kb, _) = Preset::Demo.build();
+    let mut sc = Preset::Demo.stream_config();
+    sc.articles = 200;
+    let articles = nous_corpus::ArticleStream::generate(&world, &kb, &sc);
+    let gaz = gazetteer(&world);
+
+    let configs: Vec<(&str, ExtractorConfig)> = vec![
+        ("all heuristics", ExtractorConfig::default()),
+        (
+            "no appositives",
+            ExtractorConfig { appositives: false, ..Default::default() },
+        ),
+        (
+            "no possessives",
+            ExtractorConfig { possessives: false, ..Default::default() },
+        ),
+        ("no n-ary", ExtractorConfig { nary: false, ..Default::default() }),
+        (
+            "no passive inversion",
+            ExtractorConfig { passive_inversion: false, ..Default::default() },
+        ),
+        (
+            "conf >= 0.7 only",
+            ExtractorConfig { min_confidence: 0.7, ..Default::default() },
+        ),
+        (
+            "minimal (SVO only)",
+            ExtractorConfig {
+                appositives: false,
+                possessives: false,
+                nary: false,
+                passive_inversion: false,
+                min_confidence: 0.0,
+            },
+        ),
+    ];
+    table_header(
+        "E11: heuristic trade-off (200 articles)",
+        &["configuration", "recall", "precision", "yield"],
+        &[22, 8, 10, 8],
+    );
+    for (name, cfg) in &configs {
+        let q = evaluate_stream(&world, &articles, &gaz, cfg);
+        println!(
+            "{}",
+            row(
+                &[
+                    name.to_string(),
+                    format!("{:.2}", q.recall()),
+                    format!("{:.2}", q.precision()),
+                    q.yielded.to_string(),
+                ],
+                &[22, 8, 10, 8]
+            )
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+
+    let (world, _, articles) = Preset::Demo.build();
+    let gaz = gazetteer(&world);
+    let cfg = ExtractorConfig::default();
+    let total_bytes: usize = articles.iter().map(|a| a.body.len()).sum();
+    println!(
+        "\nE3 throughput corpus: {} articles, {} KiB",
+        articles.len(),
+        total_bytes / 1024
+    );
+
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.sample_size(20);
+    group.bench_function("full_text_pipeline", |b| {
+        b.iter(|| {
+            articles
+                .iter()
+                .map(|a| nous_text::analyze(&a.body, &gaz, &cfg).sentences.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("tokenize_only", |b| {
+        b.iter(|| {
+            articles.iter().map(|a| nous_text::tokenize(&a.body).len()).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Experiment E8 (§3.4): BPR link-prediction confidence quality and
+//! throughput. Prints the quality table (AUC / MRR / Hits@K) for the
+//! paper's per-predicate BPR against the global-model ablation, a TransE
+//! baseline and random scoring; then times training and scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nous_bench::{row, table_header};
+use nous_corpus::{CuratedKb, Preset, World};
+use nous_embed::{
+    auc, hits_at_k, mean_reciprocal_rank, BprConfig, LinkPredictor, PredictorMode, RankedEval,
+    TransEConfig, TransEModel,
+};
+
+struct Data {
+    n: usize,
+    /// `(predicate name, predicate id, subject, object)`.
+    triples: Vec<(String, u32, u32, u32)>,
+    preds: Vec<String>,
+}
+
+fn data() -> Data {
+    let world = World::generate(&Preset::Demo.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut preds: Vec<String> = Vec::new();
+    let mut triples = Vec::new();
+    for t in &kb.triples {
+        let name = t.predicate.name().to_owned();
+        let pid = match preds.iter().position(|p| *p == name) {
+            Some(i) => i as u32,
+            None => {
+                preds.push(name.clone());
+                (preds.len() - 1) as u32
+            }
+        };
+        triples.push((name, pid, t.subject as u32, t.object as u32));
+    }
+    Data { n: world.entities.len(), triples, preds }
+}
+
+/// Rank every true triple against `k` corrupted objects.
+fn ranked_evals(d: &Data, score: impl Fn(&str, u32, u32, u32) -> f32) -> Vec<RankedEval> {
+    d.triples
+        .iter()
+        .map(|(p, pid, s, o)| {
+            let corrupted = (1..=20u32)
+                .map(|delta| {
+                    let fake = (o + delta * 7) % d.n as u32;
+                    score(p, *pid, *s, fake)
+                })
+                .collect();
+            RankedEval { true_score: score(p, *pid, *s, *o), corrupted_scores: corrupted }
+        })
+        .collect()
+}
+
+fn quality(d: &Data) {
+    // Per-predicate BPR (the paper).
+    let mut per = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+    let flat: Vec<(String, u32, u32)> =
+        d.triples.iter().map(|(p, _, s, o)| (p.clone(), *s, *o)).collect();
+    per.fit(d.n, &flat);
+    // Global ablation.
+    let mut global = LinkPredictor::new(PredictorMode::Global, BprConfig::default());
+    global.fit(d.n, &flat);
+    // TransE baseline.
+    let te_triples: Vec<(u32, u32, u32)> =
+        d.triples.iter().map(|(_, pid, s, o)| (*s, *pid, *o)).collect();
+    let te = TransEModel::train(d.n, d.preds.len(), &te_triples, &TransEConfig::default());
+    // Random baseline.
+    let mut seed = 0x12345u64;
+    let mut rand01 = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 33) as f32) / (u32::MAX >> 1) as f32
+    };
+    let rand_evals: Vec<RankedEval> = d
+        .triples
+        .iter()
+        .map(|_| RankedEval {
+            true_score: rand01(),
+            corrupted_scores: (0..20).map(|_| rand01()).collect(),
+        })
+        .collect();
+
+    let models: Vec<(&str, Vec<RankedEval>)> = vec![
+        ("BPR per-pred", ranked_evals(d, |p, _, s, o| per.score(p, s, o))),
+        ("BPR global", ranked_evals(d, |p, _, s, o| global.score(p, s, o))),
+        ("TransE", ranked_evals(d, |_, pid, s, o| te.score(s, pid, o))),
+        ("random", rand_evals),
+    ];
+    table_header(
+        "E8: confidence quality over curated KG (20 corruptions per fact)",
+        &["model", "AUC", "MRR", "Hits@1", "Hits@10"],
+        &[14, 7, 7, 7, 8],
+    );
+    for (name, evals) in &models {
+        let pos: Vec<f32> = evals.iter().map(|e| e.true_score).collect();
+        let neg: Vec<f32> =
+            evals.iter().flat_map(|e| e.corrupted_scores.iter().copied()).collect();
+        println!(
+            "{}",
+            row(
+                &[
+                    name.to_string(),
+                    format!("{:.3}", auc(&pos, &neg)),
+                    format!("{:.3}", mean_reciprocal_rank(evals)),
+                    format!("{:.3}", hits_at_k(evals, 1)),
+                    format!("{:.3}", hits_at_k(evals, 10)),
+                ],
+                &[14, 7, 7, 7, 8]
+            )
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let d = data();
+    println!("\ncurated KG: {} triples, {} predicates, {} entities", d.triples.len(), d.preds.len(), d.n);
+    quality(&d);
+
+    let flat: Vec<(String, u32, u32)> =
+        d.triples.iter().map(|(p, _, s, o)| (p.clone(), *s, *o)).collect();
+    let mut group = c.benchmark_group("link_prediction");
+    group.sample_size(10);
+    group.bench_function("train_per_predicate", |b| {
+        b.iter(|| {
+            let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+            lp.fit(d.n, &flat);
+            lp
+        })
+    });
+    let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+    lp.fit(d.n, &flat);
+    group.bench_function("score_1k_candidates", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for i in 0..1000u32 {
+                acc += lp.score("isLocatedIn", i % d.n as u32, (i * 13) % d.n as u32);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

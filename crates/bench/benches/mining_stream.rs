@@ -1,0 +1,106 @@
+//! Experiment E6 (Figure 7): streaming miner throughput and the eviction
+//! ablation (eager decrement vs rebuild-on-query), plus the support-sweep
+//! shape of discovered closed patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nous_bench::{build_system, miner_edges, row, table_header};
+use nous_corpus::Preset;
+use nous_mining::{EvictionStrategy, MinerConfig, MinerEdge, StreamingMiner};
+
+fn slide_through(
+    edges: &[MinerEdge],
+    window: usize,
+    eviction: EvictionStrategy,
+    query_every: usize,
+) -> usize {
+    let mut miner = StreamingMiner::new(MinerConfig { k_max: 2, min_support: 4, eviction });
+    let mut total = 0usize;
+    for (i, e) in edges.iter().enumerate() {
+        miner.add_edge(*e);
+        if i >= window {
+            miner.remove_edge(edges[i - window].id);
+        }
+        if query_every != usize::MAX && i % query_every == 0 {
+            total += miner.closed_frequent().len();
+        }
+    }
+    total
+}
+
+fn support_sweep(edges: &[MinerEdge]) {
+    table_header(
+        "E6: closed frequent patterns vs min support (window = full stream, k=2)",
+        &["support", "frequent", "closed", "closed/frequent"],
+        &[8, 10, 8, 16],
+    );
+    for support in [2u32, 4, 8, 16, 32] {
+        let mut miner = StreamingMiner::new(MinerConfig {
+            k_max: 2,
+            min_support: support,
+            eviction: EvictionStrategy::Eager,
+        });
+        for e in edges {
+            miner.add_edge(*e);
+        }
+        let frequent = miner.frequent_patterns().len();
+        let closed = miner.closed_frequent().len();
+        println!(
+            "{}",
+            row(
+                &[
+                    support.to_string(),
+                    frequent.to_string(),
+                    closed.to_string(),
+                    format!("{:.2}", closed as f64 / frequent.max(1) as f64),
+                ],
+                &[8, 10, 8, 16]
+            )
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let system = build_system(Preset::Demo);
+    let edges = miner_edges(&system.kg);
+    support_sweep(&edges);
+
+    table_header(
+        "E6 ablation: eviction strategy (query every 10 edges)",
+        &["window", "eager ms", "rebuild ms"],
+        &[8, 10, 12],
+    );
+    for window in [200usize, 400] {
+        let t0 = std::time::Instant::now();
+        let a = slide_through(&edges, window, EvictionStrategy::Eager, 10);
+        let eager = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let b = slide_through(&edges, window, EvictionStrategy::Rebuild, 10);
+        let rebuild = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(a, b, "strategies must agree on output");
+        println!(
+            "{}",
+            row(
+                &[window.to_string(), format!("{eager:.1}"), format!("{rebuild:.1}")],
+                &[8, 10, 12]
+            )
+        );
+    }
+
+    let mut group = c.benchmark_group("mining_stream");
+    group.sample_size(10);
+    for (name, ev) in
+        [("eager", EvictionStrategy::Eager), ("rebuild", EvictionStrategy::Rebuild)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, 300), &ev, |b, &ev| {
+            b.iter(|| slide_through(&edges, 300, ev, 10))
+        });
+    }
+    // Pure ingestion throughput (no queries): edges/sec into the window.
+    group.bench_function("ingest_only_window300", |b| {
+        b.iter(|| slide_through(&edges, 300, EvictionStrategy::Eager, usize::MAX))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

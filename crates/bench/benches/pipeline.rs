@@ -1,0 +1,78 @@
+//! Experiment E1 (Figure 1): end-to-end construction throughput — articles
+//! per second through extract → map → disambiguate → score → admit — and
+//! the per-stage accounting table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nous_bench::{row, table_header};
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
+use nous_corpus::Preset;
+
+fn stage_table() {
+    let (world, kb, articles) = Preset::Demo.build();
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let mut pipe = IngestPipeline::new(PipelineConfig::default());
+    let t0 = std::time::Instant::now();
+    let r = pipe.ingest_all(&mut kg, &articles);
+    let secs = t0.elapsed().as_secs_f64();
+    table_header(
+        "E1: end-to-end pipeline accounting (demo preset)",
+        &["stage", "count"],
+        &[22, 10],
+    );
+    for (stage, count) in [
+        ("documents", r.documents),
+        ("sentences", r.sentences),
+        ("raw triples", r.raw_triples),
+        ("mapped", r.mapped),
+        ("unmapped", r.unmapped),
+        ("unresolved entity", r.unresolved_entity),
+        ("admitted", r.admitted),
+        ("rejected", r.rejected),
+        ("new entities", r.new_entities),
+    ] {
+        println!("{}", row(&[stage.to_string(), count.to_string()], &[22, 10]));
+    }
+    println!(
+        "\nthroughput: {:.0} docs/s, {:.0} facts/s admitted",
+        r.documents as f64 / secs,
+        r.admitted as f64 / secs
+    );
+    let stats = kg.graph.stats();
+    println!(
+        "graph: {} vertices, {} curated + {} extracted edges",
+        stats.vertices, stats.curated_edges, stats.extracted_edges
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    stage_table();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for preset in [Preset::Smoke, Preset::Demo] {
+        let (world, kb, articles) = preset.build();
+        group.throughput(Throughput::Elements(articles.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ingest_stream", format!("{preset:?}")),
+            &(world, kb, articles),
+            |b, (world, kb, articles)| {
+                b.iter(|| {
+                    let mut kg = KnowledgeGraph::from_curated(world, kb);
+                    kg.train_predictor();
+                    let mut pipe = IngestPipeline::new(PipelineConfig::default());
+                    pipe.ingest_all(&mut kg, articles).admitted
+                })
+            },
+        );
+    }
+    // Curated load alone (the KB bootstrap step).
+    let (world, kb, _) = Preset::Large.build();
+    group.bench_function("curated_load_large", |b| {
+        b.iter(|| KnowledgeGraph::from_curated(&world, &kb).graph.edge_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Shared builders for the benchmark harnesses.
+//!
+//! Every bench in `benches/` regenerates one experiment from
+//! EXPERIMENTS.md. The builders here construct the systems under test once
+//! per bench process so criterion's timing loops measure only the operation
+//! of interest, and the quality tables (accuracy, AUC, speedup factors) are
+//! printed once before timing starts.
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
+use nous_corpus::{Article, CuratedKb, Preset, World};
+use nous_mining::MinerEdge;
+
+/// A fully-built system: world + curated KB + stream + populated KG.
+pub struct System {
+    pub world: World,
+    pub kb: CuratedKb,
+    pub articles: Vec<Article>,
+    pub kg: KnowledgeGraph,
+}
+
+/// Build and populate a system at the given preset.
+pub fn build_system(preset: Preset) -> System {
+    let (world, kb, articles) = preset.build();
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let mut pipeline = IngestPipeline::new(PipelineConfig::default());
+    pipeline.ingest_all(&mut kg, &articles);
+    System { world, kb, articles, kg }
+}
+
+/// The miner's typed-edge view of a knowledge graph's live edges.
+pub fn miner_edges(kg: &KnowledgeGraph) -> Vec<MinerEdge> {
+    let mut labels = nous_graph::ids::Interner::new();
+    kg.kg_edges_with(&mut labels)
+}
+
+/// Internal helper trait so the closure borrows cleanly.
+trait KgEdges {
+    fn kg_edges_with(&self, labels: &mut nous_graph::ids::Interner) -> Vec<MinerEdge>;
+}
+
+impl KgEdges for KnowledgeGraph {
+    fn kg_edges_with(&self, labels: &mut nous_graph::ids::Interner) -> Vec<MinerEdge> {
+        self.graph
+            .iter_edges()
+            .map(|(id, e)| {
+                let sl = labels.intern(self.graph.label(e.src).unwrap_or("Entity"));
+                let dl = labels.intern(self.graph.label(e.dst).unwrap_or("Entity"));
+                MinerEdge::new(id.0 as u64, e.src.0 as u64, e.dst.0 as u64, e.pred.0, sl, dl)
+            })
+            .collect()
+    }
+}
+
+/// Print a fixed-width table row (benches print paper-style tables).
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Header + separator for a printed table.
+pub fn table_header(title: &str, cols: &[&str], widths: &[usize]) {
+    println!("\n== {title} ==");
+    println!("{}", row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}

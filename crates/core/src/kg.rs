@@ -1,0 +1,456 @@
+//! The fused dynamic knowledge graph.
+//!
+//! [`KnowledgeGraph`] owns the property graph plus the per-entity state the
+//! mapping and QA layers need: alias tables (gazetteer + disambiguator),
+//! per-entity bag-of-words text (for context similarity and LDA), the
+//! predicate mapper and the link predictor. It is the object Figure 2's
+//! drone graph is an instance of: curated facts (red) loaded from a
+//! [`nous_corpus::CuratedKb`] and extracted facts (blue) appended by the
+//! ingestion pipeline, each with a confidence.
+
+use nous_corpus::{CuratedKb, World};
+use nous_embed::{BprConfig, LinkPredictor, PredictorMode};
+use nous_graph::{algo, DynamicGraph, Provenance, Timestamp, VertexId};
+use nous_link::{Disambiguator, EntityRecord, PredicateMapper};
+use nous_qa::TopicIndex;
+use nous_text::bow::BagOfWords;
+use nous_text::ner::{EntityType, Gazetteer};
+use nous_topics::{LdaConfig, LdaModel};
+
+/// The NOUS knowledge graph with all per-entity side state.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct KnowledgeGraph {
+    pub graph: DynamicGraph,
+    pub gazetteer: Gazetteer,
+    pub disambiguator: Disambiguator,
+    pub mapper: PredicateMapper,
+    pub predictor: LinkPredictor,
+    /// Per-vertex accumulated text (descriptions + neighbourhood terms).
+    entity_text: Vec<BagOfWords>,
+    /// Raw triples retained for semi-supervised mapper expansion:
+    /// `(subject vertex, raw predicate, object vertex)`.
+    pending_raw: Vec<(u32, String, u32)>,
+}
+
+fn entity_type_of(kind: nous_corpus::world::Kind) -> EntityType {
+    match kind {
+        nous_corpus::world::Kind::Company => EntityType::Organization,
+        nous_corpus::world::Kind::Person => EntityType::Person,
+        nous_corpus::world::Kind::Location => EntityType::Location,
+        nous_corpus::world::Kind::Product => EntityType::Product,
+    }
+}
+
+impl KnowledgeGraph {
+    /// An empty knowledge graph (no curated background).
+    pub fn new() -> Self {
+        Self {
+            graph: DynamicGraph::new(),
+            gazetteer: Gazetteer::new(),
+            // Context similarity dominates; the popularity prior only
+            // breaks ties. On the synthetic corpus mention frequency is
+            // uniform by construction, so — unlike Wikipedia-anchored
+            // AIDA — the prior carries almost no signal (see E10).
+            disambiguator: Disambiguator::new(Vec::new()).with_context_weight(0.95),
+            mapper: crate::seeds::seeded_mapper(),
+            predictor: LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default()),
+            entity_text: Vec::new(),
+            pending_raw: Vec::new(),
+        }
+    }
+
+    /// Build from a generated world + curated KB: every entity becomes a
+    /// labelled vertex with aliases and description text; every curated
+    /// triple becomes a confidence-1.0 red edge at time 0.
+    pub fn from_curated(world: &World, kb: &CuratedKb) -> Self {
+        let mut kg = Self::new();
+        let mut vertex_of = Vec::with_capacity(world.entities.len());
+        for e in &world.entities {
+            let v = kg.graph.ensure_vertex(&e.name);
+            kg.graph.set_label(v, e.kind.label());
+            kg.ensure_text_slot(v);
+            // The description is the highest-precision context an entity
+            // has (its "Wikipedia page" in AIDA terms); weight it above the
+            // name terms that curated neighbours will merge in later.
+            let desc = BagOfWords::from_text(&e.description);
+            for _ in 0..3 {
+                kg.entity_text[v.index()].merge(&desc);
+            }
+            let ty = entity_type_of(e.kind);
+            for a in &e.aliases {
+                kg.gazetteer.insert(a, ty);
+            }
+            kg.disambiguator.insert(EntityRecord {
+                id: v.0,
+                name: e.name.clone(),
+                aliases: e.aliases.clone(),
+                context: kg.entity_text[v.index()].clone(),
+                popularity: 0.0,
+            });
+            vertex_of.push(v);
+        }
+        for t in &kb.triples {
+            let s = vertex_of[t.subject];
+            let o = vertex_of[t.object];
+            let p = kg.graph.intern_predicate(t.predicate.name());
+            kg.graph.add_edge_at(s, p, o, 0, 1.0, Provenance::Curated);
+            kg.bump_entity(s, o);
+        }
+        kg
+    }
+
+    fn ensure_text_slot(&mut self, v: VertexId) {
+        if v.index() >= self.entity_text.len() {
+            self.entity_text.resize_with(v.index() + 1, BagOfWords::new);
+        }
+    }
+
+    /// Record mutual context between two newly-linked entities: each
+    /// gains the other's name terms (the "entity neighborhood in the
+    /// knowledge graph" context of §3.3) and a popularity bump.
+    fn bump_entity(&mut self, s: VertexId, o: VertexId) {
+        self.ensure_text_slot(s);
+        self.ensure_text_slot(o);
+        let s_name = BagOfWords::from_text(self.graph.vertex_name(s));
+        let o_name = BagOfWords::from_text(self.graph.vertex_name(o));
+        self.entity_text[s.index()].merge(&o_name);
+        self.entity_text[o.index()].merge(&s_name);
+        self.disambiguator.update_context(s.0, &o_name, 1.0);
+        self.disambiguator.update_context(o.0, &s_name, 1.0);
+    }
+
+    /// Create a brand-new entity discovered in text (dynamic KG growth).
+    pub fn create_entity(&mut self, name: &str, ty: EntityType) -> VertexId {
+        let v = self.graph.ensure_vertex(name);
+        self.graph.set_label(v, ty.name());
+        self.ensure_text_slot(v);
+        self.gazetteer.insert(name, ty);
+        self.disambiguator.insert(EntityRecord {
+            id: v.0,
+            name: name.to_owned(),
+            aliases: vec![name.to_owned()],
+            context: BagOfWords::new(),
+            popularity: 0.0,
+        });
+        v
+    }
+
+    /// Admit an extracted fact into the graph.
+    pub fn add_extracted_fact(
+        &mut self,
+        s: VertexId,
+        predicate: &str,
+        o: VertexId,
+        at: Timestamp,
+        confidence: f32,
+        doc_id: u64,
+    ) -> nous_graph::EdgeId {
+        self.add_extracted_fact_with_args(s, predicate, o, at, confidence, doc_id, &[])
+    }
+
+    /// Admit an extracted fact carrying its n-ary prepositional arguments
+    /// (§3.2: "binary or n-ary relational tuples"). The binary core becomes
+    /// the edge; the extra arguments ride along as the `args` property
+    /// (`"prep:surface"` strings), queryable from the edge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_extracted_fact_with_args(
+        &mut self,
+        s: VertexId,
+        predicate: &str,
+        o: VertexId,
+        at: Timestamp,
+        confidence: f32,
+        doc_id: u64,
+        extra_args: &[(String, String)],
+    ) -> nous_graph::EdgeId {
+        let p = self.graph.intern_predicate(predicate);
+        let mut edge = nous_graph::Edge::new(
+            s,
+            p,
+            o,
+            at,
+            confidence,
+            Provenance::Extracted { doc_id },
+        );
+        if !extra_args.is_empty() {
+            edge.props.set(
+                "args",
+                nous_graph::PropValue::List(
+                    extra_args.iter().map(|(prep, text)| format!("{prep}:{text}")).collect(),
+                ),
+            );
+        }
+        let id = self.graph.add_edge(edge);
+        self.bump_entity(s, o);
+        id
+    }
+
+    /// Accumulate additional text evidence for an entity.
+    pub fn add_entity_text(&mut self, v: VertexId, text: &BagOfWords) {
+        self.ensure_text_slot(v);
+        self.entity_text[v.index()].merge(text);
+        self.disambiguator.update_context(v.0, text, 0.0);
+    }
+
+    /// The entity's accumulated bag-of-words.
+    pub fn entity_text(&self, v: VertexId) -> &BagOfWords {
+        static EMPTY: std::sync::OnceLock<BagOfWords> = std::sync::OnceLock::new();
+        self.entity_text
+            .get(v.index())
+            .unwrap_or_else(|| EMPTY.get_or_init(BagOfWords::new))
+    }
+
+    /// Stash a mapped-entity raw triple for later mapper expansion.
+    pub fn stash_raw_triple(&mut self, s: VertexId, raw_pred: &str, o: VertexId) {
+        self.pending_raw.push((s.0, raw_pred.to_owned(), o.0));
+    }
+
+    pub fn pending_raw_count(&self) -> usize {
+        self.pending_raw.len()
+    }
+
+    /// Run the semi-supervised mapper expansion (§3.3) against the current
+    /// graph state. Returns the number of new rules learned.
+    pub fn expand_mapper(&mut self) -> usize {
+        let mut known: nous_link::predicate_map::KnownPairs = Default::default();
+        for (_, e) in self.graph.iter_edges() {
+            known
+                .entry((e.src.0, e.dst.0))
+                .or_default()
+                .push(self.graph.predicate_name(e.pred).to_owned());
+        }
+        self.mapper.expand_to_fixpoint(&self.pending_raw, &known, 5)
+    }
+
+    /// (Re)train the per-predicate link predictor from the current graph.
+    pub fn train_predictor(&mut self) {
+        let triples: Vec<(String, u32, u32)> = self
+            .graph
+            .iter_edges()
+            .map(|(_, e)| (self.graph.predicate_name(e.pred).to_owned(), e.src.0, e.dst.0))
+            .collect();
+        self.predictor.fit(self.graph.vertex_count(), &triples);
+    }
+
+    /// Train LDA over per-entity text and build the QA topic index (§3.6).
+    pub fn build_topic_index(&self, cfg: &LdaConfig) -> TopicIndex {
+        let docs: Vec<BagOfWords> = self.entity_text.clone();
+        let model = LdaModel::fit(&docs, cfg);
+        let mut idx = TopicIndex::new(cfg.topics);
+        for (i, doc) in docs.iter().enumerate() {
+            if doc.is_empty() {
+                continue;
+            }
+            idx.set(VertexId(i as u32), model.doc_distribution(i).to_vec());
+        }
+        idx
+    }
+
+    /// Serialise the complete system state (graph, aliases, learned
+    /// mapping rules, trained predictor, per-entity text) to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restore a knowledge graph saved with [`KnowledgeGraph::to_json`],
+    /// rebuilding the derived indexes serde skips.
+    pub fn from_json(json: &str) -> serde_json::Result<KnowledgeGraph> {
+        let mut kg: KnowledgeGraph = serde_json::from_str(json)?;
+        kg.graph.rebuild_indexes();
+        Ok(kg)
+    }
+
+    /// Entity summary for "tell me about X" queries (Figure 6): type,
+    /// highest-confidence facts, most recent facts, top neighbours.
+    pub fn entity_summary(&self, name: &str) -> Option<EntitySummary> {
+        let v = self.graph.vertex_id(name).or_else(|| {
+            // Fall back to alias resolution with empty context.
+            self.disambiguator
+                .resolve(name, &BagOfWords::new(), nous_link::LinkMode::Full)
+                .map(|r| VertexId(r.id))
+        })?;
+        let mut facts: Vec<(String, f32, Timestamp, bool)> = Vec::new();
+        for adj in self.graph.out_edges(v) {
+            let e = self.graph.edge(adj.edge);
+            facts.push((
+                format!(
+                    "{} -[{}]-> {}",
+                    self.graph.vertex_name(v),
+                    self.graph.predicate_name(adj.pred),
+                    self.graph.vertex_name(adj.other)
+                ),
+                e.confidence,
+                e.at,
+                e.provenance.is_curated(),
+            ));
+        }
+        for adj in self.graph.in_edges(v) {
+            let e = self.graph.edge(adj.edge);
+            facts.push((
+                format!(
+                    "{} -[{}]-> {}",
+                    self.graph.vertex_name(adj.other),
+                    self.graph.predicate_name(adj.pred),
+                    self.graph.vertex_name(v)
+                ),
+                e.confidence,
+                e.at,
+                e.provenance.is_curated(),
+            ));
+        }
+        facts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.2.cmp(&a.2)));
+        Some(EntitySummary {
+            name: self.graph.vertex_name(v).to_owned(),
+            vertex: v,
+            entity_type: self.graph.label(v).map(str::to_owned),
+            degree: self.graph.degree(v),
+            facts,
+            neighbors: algo::k_hop_neighborhood(&self.graph, v, algo::Direction::Both, 1)
+                .into_iter()
+                .map(|n| self.graph.vertex_name(n).to_owned())
+                .collect(),
+        })
+    }
+}
+
+impl Default for KnowledgeGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of an entity query (Figure 6's "Tell me about DJI").
+#[derive(Debug, Clone)]
+pub struct EntitySummary {
+    pub name: String,
+    pub vertex: VertexId,
+    pub entity_type: Option<String>,
+    pub degree: usize,
+    /// `(rendered fact, confidence, timestamp, curated?)`, best-first.
+    pub facts: Vec<(String, f32, Timestamp, bool)>,
+    pub neighbors: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_corpus::{CuratedKb, Preset, World};
+
+    fn smoke_kg() -> (World, CuratedKb, KnowledgeGraph) {
+        let world = World::generate(&Preset::Smoke.world_config());
+        let kb = CuratedKb::generate(&world, 7);
+        let kg = KnowledgeGraph::from_curated(&world, &kb);
+        (world, kb, kg)
+    }
+
+    #[test]
+    fn curated_load_creates_vertices_and_red_edges() {
+        let (world, kb, kg) = smoke_kg();
+        assert_eq!(kg.graph.vertex_count(), world.entities.len());
+        assert_eq!(kg.graph.edge_count(), kb.len());
+        assert_eq!(kg.graph.stats().curated_edges, kb.len());
+        // Labels present.
+        let v = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
+        assert_eq!(kg.graph.label(v), Some("Company"));
+    }
+
+    #[test]
+    fn gazetteer_and_disambiguator_cover_aliases() {
+        let (world, _, kg) = smoke_kg();
+        let company = &world.entities[world.companies[0]];
+        assert!(kg.gazetteer.lookup(&company.aliases[1]).is_some());
+        assert!(!kg.disambiguator.candidates(&company.aliases[1]).is_empty());
+    }
+
+    #[test]
+    fn create_entity_grows_everything() {
+        let (_, _, mut kg) = smoke_kg();
+        let before = kg.graph.vertex_count();
+        let v = kg.create_entity("Brand New Corp", EntityType::Organization);
+        assert_eq!(kg.graph.vertex_count(), before + 1);
+        assert_eq!(kg.graph.label(v), Some("Organization"));
+        assert!(kg.gazetteer.lookup("Brand New Corp").is_some());
+        assert!(!kg.disambiguator.candidates("Brand New Corp").is_empty());
+    }
+
+    #[test]
+    fn extracted_facts_are_blue_and_timestamped() {
+        let (world, _, mut kg) = smoke_kg();
+        let s = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
+        let o = kg.graph.vertex_id(&world.entities[world.companies[1]].name).unwrap();
+        let id = kg.add_extracted_fact(s, "acquired", o, 500, 0.8, 42);
+        let e = kg.graph.edge(id);
+        assert_eq!(e.at, 500);
+        assert_eq!(e.provenance, Provenance::Extracted { doc_id: 42 });
+        assert_eq!(kg.graph.stats().extracted_edges, 1);
+    }
+
+    #[test]
+    fn linking_updates_context_for_disambiguation() {
+        let (world, _, mut kg) = smoke_kg();
+        let s = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
+        let o = kg.graph.vertex_id(&world.entities[world.companies[1]].name).unwrap();
+        let o_terms = BagOfWords::from_text(kg.graph.vertex_name(o));
+        let before = o_terms.iter().map(|(t, _)| kg.entity_text(s).count(t)).sum::<u32>();
+        kg.add_extracted_fact(s, "partneredWith", o, 10, 0.9, 1);
+        let after = o_terms.iter().map(|(t, _)| kg.entity_text(s).count(t)).sum::<u32>();
+        assert!(after > before, "subject gains object-name context terms");
+    }
+
+    #[test]
+    fn mapper_expansion_learns_from_graph() {
+        let (world, _, mut kg) = smoke_kg();
+        // Create 4 acquired edges, stash matching "buy" raw triples.
+        for i in 0..4 {
+            let s = kg.graph.vertex_id(&world.entities[world.companies[i]].name).unwrap();
+            let o =
+                kg.graph.vertex_id(&world.entities[world.companies[i + 4]].name).unwrap();
+            kg.add_extracted_fact(s, "acquired", o, 10, 0.9, i as u64);
+            kg.stash_raw_triple(s, "buy", o);
+        }
+        assert!(kg.mapper.map("buy").is_none());
+        let added = kg.expand_mapper();
+        assert!(added >= 1);
+        assert_eq!(kg.mapper.map("buy").unwrap().ontology, "acquired");
+    }
+
+    #[test]
+    fn predictor_trains_on_curated_graph() {
+        let (_, _, mut kg) = smoke_kg();
+        kg.train_predictor();
+        assert!(kg.predictor.has_model("isLocatedIn"));
+        let s = kg.graph.vertex_id("Shenzhen");
+        assert!(s.is_some());
+    }
+
+    #[test]
+    fn topic_index_covers_described_entities() {
+        let (world, _, kg) = smoke_kg();
+        let idx = kg.build_topic_index(&LdaConfig { topics: 6, iterations: 30, ..Default::default() });
+        let v = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
+        assert!(idx.is_assigned(v), "companies have descriptions, so topics");
+        let d = idx.get(v);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entity_summary_reports_facts() {
+        let (world, _, kg) = smoke_kg();
+        let company = &world.entities[world.companies[0]];
+        let s = kg.entity_summary(&company.name).unwrap();
+        assert_eq!(s.name, company.name);
+        assert_eq!(s.entity_type.as_deref(), Some("Company"));
+        assert!(!s.facts.is_empty(), "every company has curated facts");
+        assert!(s.facts.iter().all(|(_, c, _, _)| (0.0..=1.0).contains(c)));
+        assert!(!s.neighbors.is_empty());
+        assert!(kg.entity_summary("Absolutely Unknown XYZ").is_none());
+    }
+
+    #[test]
+    fn summary_resolves_aliases() {
+        let (world, _, kg) = smoke_kg();
+        let company = &world.entities[world.companies[0]];
+        let via_alias = kg.entity_summary(&company.aliases[1]);
+        assert!(via_alias.is_some(), "alias {} should resolve", company.aliases[1]);
+    }
+}

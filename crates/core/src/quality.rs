@@ -1,0 +1,197 @@
+//! Pluggable quality-control gates (demo feature 3).
+//!
+//! §4: "Develop custom quality control modules for a new domain." A
+//! [`QualityGate`] inspects a candidate fact after mapping/linking/scoring
+//! and may veto its admission with a reason; the pipeline runs every
+//! registered gate and accounts vetoes per gate. Two built-ins cover the
+//! common cases:
+//!
+//! - [`TypeSignatureGate`] — ontology type constraints (an `acquired`
+//!   edge must connect two companies, `isLocatedIn` must end at a
+//!   location, …). This is the classic KB-construction guard against
+//!   OpenIE argument-attachment errors.
+//! - [`NoSelfLoopGate`] — rejects reflexive facts, which in news text are
+//!   almost always coreference mistakes.
+
+use crate::kg::KnowledgeGraph;
+use nous_graph::VertexId;
+use std::collections::HashMap;
+
+/// A candidate fact, post-mapping, pre-admission.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateFact<'a> {
+    pub subject: VertexId,
+    pub predicate: &'a str,
+    pub object: VertexId,
+    pub confidence: f32,
+}
+
+/// Verdict of one gate.
+pub type GateResult = Result<(), String>;
+
+/// A quality-control module.
+pub trait QualityGate: Send {
+    /// Short identifier used in the per-gate veto accounting.
+    fn name(&self) -> &str;
+    /// `Err(reason)` vetoes the fact.
+    fn check(&self, kg: &KnowledgeGraph, fact: &CandidateFact<'_>) -> GateResult;
+}
+
+/// Ontology type constraints: predicate → (allowed subject labels,
+/// allowed object labels). Labels are the graph's vertex labels
+/// ("Company", "Location", …); a missing label passes (unknown entities
+/// are not vetoed on type).
+pub struct TypeSignatureGate {
+    signatures: HashMap<String, (Vec<String>, Vec<String>)>,
+}
+
+impl TypeSignatureGate {
+    pub fn new() -> Self {
+        Self { signatures: HashMap::new() }
+    }
+
+    /// The signatures of the built-in news ontology.
+    pub fn news_ontology() -> Self {
+        let mut g = Self::new();
+        let company = &["Company", "Organization"][..];
+        g.require("isLocatedIn", company, &["Location"]);
+        g.require("foundedBy", company, &["Person"]);
+        g.require("manufactures", company, &["Product"]);
+        g.require("acquired", company, company);
+        g.require("investedIn", company, company);
+        g.require("competesWith", company, company);
+        g.require("partneredWith", company, company);
+        g.require("suppliesTo", company, company);
+        g.require("deploys", company, &["Product"]);
+        g
+    }
+
+    /// Register a constraint for `predicate`.
+    pub fn require(&mut self, predicate: &str, subject_labels: &[&str], object_labels: &[&str]) {
+        self.signatures.insert(
+            predicate.to_owned(),
+            (
+                subject_labels.iter().map(|s| (*s).to_owned()).collect(),
+                object_labels.iter().map(|s| (*s).to_owned()).collect(),
+            ),
+        );
+    }
+}
+
+impl Default for TypeSignatureGate {
+    fn default() -> Self {
+        Self::news_ontology()
+    }
+}
+
+impl QualityGate for TypeSignatureGate {
+    fn name(&self) -> &str {
+        "type-signature"
+    }
+
+    fn check(&self, kg: &KnowledgeGraph, fact: &CandidateFact<'_>) -> GateResult {
+        let Some((subj_ok, obj_ok)) = self.signatures.get(fact.predicate) else {
+            return Ok(()); // unconstrained predicate
+        };
+        if let Some(label) = kg.graph.label(fact.subject) {
+            if !subj_ok.iter().any(|l| l == label) {
+                return Err(format!(
+                    "subject type {label} invalid for {} (wanted {subj_ok:?})",
+                    fact.predicate
+                ));
+            }
+        }
+        if let Some(label) = kg.graph.label(fact.object) {
+            if !obj_ok.iter().any(|l| l == label) {
+                return Err(format!(
+                    "object type {label} invalid for {} (wanted {obj_ok:?})",
+                    fact.predicate
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rejects `x -[p]-> x` facts.
+pub struct NoSelfLoopGate;
+
+impl QualityGate for NoSelfLoopGate {
+    fn name(&self) -> &str {
+        "no-self-loop"
+    }
+
+    fn check(&self, _kg: &KnowledgeGraph, fact: &CandidateFact<'_>) -> GateResult {
+        if fact.subject == fact.object {
+            Err("reflexive fact".to_owned())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_text::ner::EntityType;
+
+    fn kg_with_typed_entities() -> (KnowledgeGraph, VertexId, VertexId, VertexId) {
+        let mut kg = KnowledgeGraph::new();
+        let company = kg.create_entity("Apex Robotics", EntityType::Organization);
+        let city = kg.create_entity("Shenzhen", EntityType::Location);
+        let person = kg.create_entity("Frank Wang", EntityType::Person);
+        (kg, company, city, person)
+    }
+
+    fn fact<'a>(s: VertexId, p: &'a str, o: VertexId) -> CandidateFact<'a> {
+        CandidateFact { subject: s, predicate: p, object: o, confidence: 0.8 }
+    }
+
+    #[test]
+    fn type_gate_accepts_valid_signatures() {
+        let (kg, company, city, person) = kg_with_typed_entities();
+        let gate = TypeSignatureGate::news_ontology();
+        assert!(gate.check(&kg, &fact(company, "isLocatedIn", city)).is_ok());
+        assert!(gate.check(&kg, &fact(company, "foundedBy", person)).is_ok());
+    }
+
+    #[test]
+    fn type_gate_rejects_swapped_arguments() {
+        let (kg, company, city, person) = kg_with_typed_entities();
+        let gate = TypeSignatureGate::news_ontology();
+        let err = gate.check(&kg, &fact(city, "isLocatedIn", company)).unwrap_err();
+        assert!(err.contains("subject type"), "{err}");
+        let err2 = gate.check(&kg, &fact(company, "acquired", person)).unwrap_err();
+        assert!(err2.contains("object type"), "{err2}");
+    }
+
+    #[test]
+    fn type_gate_passes_unknown_predicates_and_unlabelled_entities() {
+        let (mut kg, company, ..) = kg_with_typed_entities();
+        let gate = TypeSignatureGate::news_ontology();
+        assert!(gate.check(&kg, &fact(company, "rumoredToLike", company)).is_ok());
+        // An entity with no label cannot be vetoed on type.
+        let mystery = kg.graph.ensure_vertex("Mystery Thing");
+        assert!(gate.check(&kg, &fact(company, "acquired", mystery)).is_ok());
+    }
+
+    #[test]
+    fn custom_domain_signatures() {
+        let (mut kg, ..) = kg_with_typed_entities();
+        let user = kg.create_entity("alice", EntityType::Person);
+        let host = kg.create_entity("srv-42", EntityType::Other);
+        kg.graph.set_label(kg.graph.vertex_id("srv-42").unwrap(), "Host");
+        let mut gate = TypeSignatureGate::new();
+        gate.require("loggedInto", &["Person"], &["Host"]);
+        assert!(gate.check(&kg, &fact(user, "loggedInto", host)).is_ok());
+        assert!(gate.check(&kg, &fact(host, "loggedInto", user)).is_err());
+    }
+
+    #[test]
+    fn self_loop_gate() {
+        let (kg, company, city, _) = kg_with_typed_entities();
+        let gate = NoSelfLoopGate;
+        assert!(gate.check(&kg, &fact(company, "acquired", company)).is_err());
+        assert!(gate.check(&kg, &fact(company, "isLocatedIn", city)).is_ok());
+    }
+}

@@ -1,0 +1,64 @@
+//! Bootstrap seeds for predicate mapping.
+//!
+//! §3.3: "we bootstrap each predicate model with 5-10 seed examples and
+//! expand the set of training examples for each predicate in a
+//! semi-supervised fashion". One high-precision surface form per ontology
+//! predicate is seeded here; synonyms (`buy`, `purchase`, `headquarter_in`,
+//! …) are left for the distant-supervision expansion to learn — that
+//! learning is what experiment E11's mapper-quality numbers measure.
+
+use nous_link::PredicateMapper;
+
+/// `(raw OpenIE predicate, ontology predicate, inverted)` seed rules.
+pub const SEED_RULES: &[(&str, &str, bool)] = &[
+    ("base_in", "isLocatedIn", false),
+    ("found", "foundedBy", true),
+    ("manufacture", "manufactures", false),
+    ("acquire", "acquired", false),
+    ("invest_in", "investedIn", false),
+    ("compete_with", "competesWith", false),
+    ("partner_with", "partneredWith", false),
+    ("supply_to", "suppliesTo", false),
+    ("deploy", "deploys", false),
+];
+
+/// A mapper bootstrapped with the seed rules.
+pub fn seeded_mapper() -> PredicateMapper {
+    PredicateMapper::bootstrap(SEED_RULES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_corpus::{OntologyPredicate, ONTOLOGY};
+
+    #[test]
+    fn every_ontology_predicate_has_a_seed() {
+        for p in ONTOLOGY {
+            assert!(
+                SEED_RULES.iter().any(|(_, onto, _)| *onto == p.name()),
+                "no seed for {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_valid_surface_forms() {
+        for (raw, onto, inv) in SEED_RULES {
+            let p = OntologyPredicate::from_name(onto).expect("known predicate");
+            assert!(
+                p.surface_forms().iter().any(|(s, i)| s == raw && i == inv),
+                "seed {raw} is not a surface form of {onto}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_mapper_maps_seeds_only() {
+        let m = seeded_mapper();
+        assert_eq!(m.map("acquire").unwrap().ontology, "acquired");
+        assert!(m.map("found").unwrap().inverted);
+        assert!(m.map("buy").is_none(), "synonyms must be learned, not seeded");
+    }
+}

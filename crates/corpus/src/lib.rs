@@ -1,0 +1,43 @@
+//! # nous-corpus — synthetic data substrates for the NOUS reproduction
+//!
+//! The paper's evaluation runs on two inputs this reproduction cannot ship:
+//! the Wall Street Journal 2010–2015 corpus (342,411 articles, proprietary)
+//! and the YAGO2 curated knowledge base. This crate generates the closest
+//! synthetic equivalents, deterministic from a seed:
+//!
+//! - [`curated::CuratedKb`] — a YAGO-style KB over a generated entity world
+//!   ([`world::World`]): typed entities with aliases and description text,
+//!   plus ontology triples. Controllable alias ambiguity exercises entity
+//!   disambiguation exactly where AIDA is needed (§3.3).
+//! - [`articles::ArticleStream`] — a dated stream of WSJ-style articles.
+//!   Each article *narrates* a sampled fact timeline through sentence
+//!   templates (active/passive/appositive/pronoun-coref variants) mixed
+//!   with distractor prose, and carries its ground-truth facts so
+//!   extraction, mapping and linking can all be scored.
+//! - Trend waves ([`articles::TrendWave`]) modulate per-predicate frequency
+//!   over time — the signal the streaming graph miner (§3.5) must discover.
+//! - [`explain`] — planted multi-hop explanation paths with topically
+//!   coherent vs. incoherent alternatives, the ground truth for §3.6's
+//!   coherence-ranked path search.
+//! - [`presets`] — the parameter sets used by examples, tests and benches.
+//!
+//! Everything is reproducible: same seed, same world, same articles.
+
+pub mod articles;
+pub mod citations;
+pub mod curated;
+pub mod explain;
+pub mod insider;
+pub mod ontology;
+pub mod presets;
+pub mod vocab;
+pub mod world;
+
+pub use articles::{Article, ArticleStream, StreamConfig, TrendWave};
+pub use curated::{CuratedKb, CuratedTriple};
+pub use explain::{plant_explanations, Explanation};
+pub use citations::{CitationConfig, CitationScenario};
+pub use insider::{InsiderConfig, InsiderScenario, LogEvent};
+pub use ontology::{OntologyPredicate, ONTOLOGY};
+pub use presets::Preset;
+pub use world::{EntitySpec, World, WorldConfig};

@@ -1,0 +1,144 @@
+//! The target ontology of the custom knowledge graph.
+//!
+//! §3.3: raw OpenIE predicates are mapped onto "the target ontology" — a
+//! fixed inventory of curated relation types (YAGO-style camel-case names).
+//! Each ontology predicate lists the verb-lemma surface forms the corpus
+//! generator uses to express it; the predicate-mapping module has to
+//! *learn* this table from seed examples (it never reads it).
+
+use serde::{Deserialize, Serialize};
+
+/// One relation type of the target ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OntologyPredicate {
+    /// Organization → Location.
+    IsLocatedIn,
+    /// Organization → Person (inverse surface: "P founded O").
+    FoundedBy,
+    /// Organization → Product.
+    Manufactures,
+    /// Organization → Organization.
+    Acquired,
+    /// Organization → Organization.
+    InvestedIn,
+    /// Organization → Organization.
+    CompetesWith,
+    /// Organization → Organization.
+    PartneredWith,
+    /// Organization → Organization.
+    SuppliesTo,
+    /// Organization → Topic-ish noun phrase ("X deployed drones for Y").
+    Deploys,
+}
+
+/// All ontology predicates in a stable order.
+pub const ONTOLOGY: [OntologyPredicate; 9] = [
+    OntologyPredicate::IsLocatedIn,
+    OntologyPredicate::FoundedBy,
+    OntologyPredicate::Manufactures,
+    OntologyPredicate::Acquired,
+    OntologyPredicate::InvestedIn,
+    OntologyPredicate::CompetesWith,
+    OntologyPredicate::PartneredWith,
+    OntologyPredicate::SuppliesTo,
+    OntologyPredicate::Deploys,
+];
+
+impl OntologyPredicate {
+    /// Canonical YAGO-style name used as the KG predicate.
+    pub fn name(self) -> &'static str {
+        match self {
+            OntologyPredicate::IsLocatedIn => "isLocatedIn",
+            OntologyPredicate::FoundedBy => "foundedBy",
+            OntologyPredicate::Manufactures => "manufactures",
+            OntologyPredicate::Acquired => "acquired",
+            OntologyPredicate::InvestedIn => "investedIn",
+            OntologyPredicate::CompetesWith => "competesWith",
+            OntologyPredicate::PartneredWith => "partneredWith",
+            OntologyPredicate::SuppliesTo => "suppliesTo",
+            OntologyPredicate::Deploys => "deploys",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        ONTOLOGY.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Raw OpenIE predicates (normalised relation phrases from `nous-text`)
+    /// that express this relation in the generated corpus. The boolean marks
+    /// surface forms whose arguments are *inverted* with respect to the
+    /// ontology direction ("P founded O" → `(O, foundedBy, P)`).
+    pub fn surface_forms(self) -> &'static [(&'static str, bool)] {
+        match self {
+            OntologyPredicate::IsLocatedIn => {
+                &[("base_in", false), ("headquarter_in", false), ("operate_in", false), ("locate_in", false)]
+            }
+            OntologyPredicate::FoundedBy => &[("found", true), ("create", true)],
+            OntologyPredicate::Manufactures => {
+                &[("manufacture", false), ("make", false), ("produce", false), ("build", false), ("ship", false)]
+            }
+            OntologyPredicate::Acquired => {
+                &[("acquire", false), ("buy", false), ("purchase", false)]
+            }
+            OntologyPredicate::InvestedIn => &[("invest_in", false), ("fund", false)],
+            OntologyPredicate::CompetesWith => &[("compete_with", false)],
+            OntologyPredicate::PartneredWith => {
+                &[("partner_with", false), ("join_with", false), ("sign_with", false)]
+            }
+            OntologyPredicate::SuppliesTo => &[("supply_to", false), ("sell_to", false), ("deliver_to", false)],
+            OntologyPredicate::Deploys => &[("deploy", false), ("use", false), ("fly", false)],
+        }
+    }
+
+    /// Is the relation plausibly time-stamped news (vs. static background)?
+    /// Static relations dominate the curated KB; eventful ones dominate the
+    /// article stream.
+    pub fn is_eventful(self) -> bool {
+        matches!(
+            self,
+            OntologyPredicate::Acquired
+                | OntologyPredicate::InvestedIn
+                | OntologyPredicate::PartneredWith
+                | OntologyPredicate::SuppliesTo
+                | OntologyPredicate::Deploys
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in ONTOLOGY {
+            assert_eq!(OntologyPredicate::from_name(p.name()), Some(p));
+        }
+        assert_eq!(OntologyPredicate::from_name("noSuch"), None);
+    }
+
+    #[test]
+    fn surface_forms_are_disjoint_across_predicates() {
+        let mut seen = std::collections::HashMap::new();
+        for p in ONTOLOGY {
+            for (s, _) in p.surface_forms() {
+                if let Some(prev) = seen.insert(*s, p) {
+                    panic!("{s} maps to both {prev:?} and {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_predicate_has_surface_forms() {
+        for p in ONTOLOGY {
+            assert!(!p.surface_forms().is_empty());
+        }
+    }
+
+    #[test]
+    fn eventful_split_is_sane() {
+        assert!(OntologyPredicate::Acquired.is_eventful());
+        assert!(!OntologyPredicate::IsLocatedIn.is_eventful());
+    }
+}

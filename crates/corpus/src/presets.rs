@@ -1,0 +1,104 @@
+//! Dataset presets shared by examples, integration tests and benches, so
+//! every experiment in EXPERIMENTS.md names the exact data it ran on.
+
+use crate::articles::{ArticleStream, StreamConfig, TrendWave};
+use crate::curated::CuratedKb;
+use crate::ontology::OntologyPredicate;
+use crate::world::{World, WorldConfig};
+use crate::Article;
+
+/// Named corpus scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Unit/integration-test scale: builds in milliseconds.
+    Smoke,
+    /// The default demo scale (examples, most benches).
+    Demo,
+    /// Stress scale for throughput benches.
+    Large,
+}
+
+impl Preset {
+    pub fn world_config(self) -> WorldConfig {
+        match self {
+            Preset::Smoke => WorldConfig {
+                seed: 7,
+                companies: 24,
+                people: 16,
+                products: 20,
+                ambiguity: 0.25,
+            },
+            Preset::Demo => WorldConfig::default(),
+            Preset::Large => WorldConfig {
+                seed: 7,
+                companies: 160,
+                people: 100,
+                products: 120,
+                ambiguity: 0.3,
+            },
+        }
+    }
+
+    pub fn stream_config(self) -> StreamConfig {
+        let waves = vec![
+            TrendWave {
+                predicate: OntologyPredicate::Acquired,
+                start_day: 1100,
+                end_day: 1500,
+                boost: 4.0,
+                motif: true,
+            },
+            TrendWave {
+                predicate: OntologyPredicate::Deploys,
+                start_day: 1700,
+                end_day: 2100,
+                boost: 3.0,
+                motif: false,
+            },
+        ];
+        match self {
+            Preset::Smoke => StreamConfig { seed: 11, articles: 60, waves, ..Default::default() },
+            Preset::Demo => {
+                StreamConfig { seed: 11, articles: 600, waves, ..Default::default() }
+            }
+            Preset::Large => {
+                StreamConfig { seed: 11, articles: 3000, waves, ..Default::default() }
+            }
+        }
+    }
+
+    /// Build the full `(world, curated KB, article stream)` bundle.
+    pub fn build(self) -> (World, CuratedKb, Vec<Article>) {
+        let world = World::generate(&self.world_config());
+        let kb = CuratedKb::generate(&world, 7);
+        let articles = ArticleStream::generate(&world, &kb, &self.stream_config());
+        (world, kb, articles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_preset_builds_quickly() {
+        let (world, kb, arts) = Preset::Smoke.build();
+        assert_eq!(arts.len(), 60);
+        assert!(!kb.is_empty());
+        assert!(world.entities.len() > 50);
+    }
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let s = Preset::Smoke.world_config();
+        let d = Preset::Demo.world_config();
+        let l = Preset::Large.world_config();
+        assert!(s.companies < d.companies && d.companies < l.companies);
+        assert!(
+            Preset::Smoke.stream_config().articles < Preset::Demo.stream_config().articles
+        );
+        assert!(
+            Preset::Demo.stream_config().articles < Preset::Large.stream_config().articles
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # nous-embed — link prediction for triple confidence
+//!
+//! §3.4 of the paper: "Triples extracted from the text data sources are
+//! extremely noisy … we implemented a Link Prediction approach to
+//! quantitatively measure confidence in a triple using the prior state of
+//! the knowledge graph. For every predicate we build a latent feature
+//! embedding model using Bayesian Personalized Ranking (BPR) as the
+//! optimization criteria. Given an input triple, the model produces a
+//! real-valued score between 0 and 1."
+//!
+//! - [`bpr`] — the per-predicate BPR matrix-factorisation model (reference
+//!   \[16\], Zhang et al. 2016), trained with SGD over sampled
+//!   (positive, negative-object) pairs; scores are sigmoid-calibrated.
+//! - [`predictor`] — [`predictor::LinkPredictor`], the per-predicate model
+//!   bank the ingestion pipeline queries, including the global-model
+//!   ablation (one model across all predicates).
+//! - [`transe`] — a TransE margin-ranking baseline for the E8 benchmark.
+//! - [`metrics`] — AUC, MRR and Hits@K over ranked corruption sets.
+
+pub mod bpr;
+pub mod metrics;
+pub mod predictor;
+pub mod transe;
+
+pub use bpr::{BprConfig, BprModel};
+pub use metrics::{auc, hits_at_k, mean_reciprocal_rank, RankedEval};
+pub use predictor::{LinkPredictor, PredictorMode};
+pub use transe::{TransEConfig, TransEModel};

@@ -1,0 +1,103 @@
+//! Ranking metrics for link-prediction evaluation (experiment E8).
+
+/// Area under the ROC curve from positive and negative score samples,
+/// computed by the Mann–Whitney U statistic (ties count half).
+/// Returns 0.5 when either side is empty.
+pub fn auc(pos: &[f32], neg: &[f32]) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for &p in pos {
+        for &n in neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// One ranked query: the true candidate's score against its corruptions.
+#[derive(Debug, Clone)]
+pub struct RankedEval {
+    pub true_score: f32,
+    pub corrupted_scores: Vec<f32>,
+}
+
+impl RankedEval {
+    /// 1-based rank of the true candidate (ties resolved pessimistically:
+    /// equal scores rank above the true one).
+    pub fn rank(&self) -> usize {
+        1 + self.corrupted_scores.iter().filter(|&&c| c >= self.true_score).count()
+    }
+}
+
+/// Mean reciprocal rank over queries. Empty input gives 0.
+pub fn mean_reciprocal_rank(evals: &[RankedEval]) -> f64 {
+    if evals.is_empty() {
+        return 0.0;
+    }
+    evals.iter().map(|e| 1.0 / e.rank() as f64).sum::<f64>() / evals.len() as f64
+}
+
+/// Fraction of queries whose true candidate ranks within the top `k`.
+pub fn hits_at_k(evals: &[RankedEval], k: usize) -> f64 {
+    if evals.is_empty() {
+        return 0.0;
+    }
+    evals.iter().filter(|e| e.rank() <= k).count() as f64 / evals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        assert_eq!(auc(&[0.9, 0.8], &[0.1, 0.2]), 1.0);
+        assert_eq!(auc(&[0.1, 0.2], &[0.9, 0.8]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        assert!((auc(&[0.5, 0.5], &[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        assert_eq!(auc(&[], &[0.3]), 0.5);
+    }
+
+    #[test]
+    fn auc_partial_overlap() {
+        // pos {0.8, 0.4}, neg {0.6, 0.2}: wins = (0.8>0.6)+(0.8>0.2)+(0.4>0.2) = 3/4
+        assert!((auc(&[0.8, 0.4], &[0.6, 0.2]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_is_pessimistic_on_ties() {
+        let e = RankedEval { true_score: 0.5, corrupted_scores: vec![0.5, 0.4, 0.6] };
+        assert_eq!(e.rank(), 3);
+        let best = RankedEval { true_score: 0.9, corrupted_scores: vec![0.1, 0.2] };
+        assert_eq!(best.rank(), 1);
+    }
+
+    #[test]
+    fn mrr_and_hits() {
+        let evals = vec![
+            RankedEval { true_score: 0.9, corrupted_scores: vec![0.1, 0.2] }, // rank 1
+            RankedEval { true_score: 0.3, corrupted_scores: vec![0.5, 0.1] }, // rank 2
+            RankedEval { true_score: 0.1, corrupted_scores: vec![0.5, 0.4, 0.3] }, // rank 4
+        ];
+        let mrr = mean_reciprocal_rank(&evals);
+        assert!((mrr - (1.0 + 0.5 + 0.25) / 3.0).abs() < 1e-12);
+        assert!((hits_at_k(&evals, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((hits_at_k(&evals, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(hits_at_k(&evals, 10), 1.0);
+    }
+
+    #[test]
+    fn empty_eval_sets() {
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+        assert_eq!(hits_at_k(&[], 5), 0.0);
+    }
+}

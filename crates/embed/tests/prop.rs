@@ -1,0 +1,87 @@
+//! Property tests for the embedding models: totality, score bounds and
+//! determinism on arbitrary training sets.
+
+use nous_embed::{auc, BprConfig, BprModel, RankedEval, TransEConfig, TransEModel};
+use proptest::prelude::*;
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..20, 0u32..20), 0..60)
+}
+
+fn quick_cfg() -> BprConfig {
+    BprConfig { epochs: 3, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Training never panics and every score is a probability.
+    #[test]
+    fn bpr_scores_always_probabilities(pairs in pairs_strategy()) {
+        let m = BprModel::train(20, &pairs, &quick_cfg());
+        for s in 0..20 {
+            for o in 0..20 {
+                let p = m.score(s, o);
+                prop_assert!((0.0..=1.0).contains(&p), "score {p}");
+                prop_assert!(p.is_finite());
+            }
+        }
+    }
+
+    /// Same data + same seed = identical model; different seed differs
+    /// (when there is anything to learn).
+    #[test]
+    fn bpr_is_deterministic(pairs in pairs_strategy()) {
+        let a = BprModel::train(20, &pairs, &quick_cfg());
+        let b = BprModel::train(20, &pairs, &quick_cfg());
+        for s in (0..20).step_by(3) {
+            for o in (0..20).step_by(3) {
+                prop_assert_eq!(a.raw(s, o), b.raw(s, o));
+            }
+        }
+    }
+
+    /// TransE scores stay in (0, 1] and are deterministic.
+    #[test]
+    fn transe_scores_bounded(
+        triples in prop::collection::vec((0u32..15, 0u32..3, 0u32..15), 0..40),
+    ) {
+        let cfg = TransEConfig { epochs: 3, ..Default::default() };
+        let a = TransEModel::train(15, 3, &triples, &cfg);
+        let b = TransEModel::train(15, 3, &triples, &cfg);
+        for s in (0..15).step_by(2) {
+            for p in 0..3 {
+                for o in (0..15).step_by(2) {
+                    let x = a.score(s, p, o);
+                    prop_assert!(x > 0.0 && x <= 1.0);
+                    prop_assert_eq!(x, b.score(s, p, o));
+                }
+            }
+        }
+    }
+
+    /// AUC is symmetric under swapping: auc(pos, neg) + auc(neg, pos) = 1
+    /// when there are no ties.
+    #[test]
+    fn auc_complement(
+        pos in prop::collection::vec(0.0f32..1.0, 1..20),
+        neg in prop::collection::vec(0.0f32..1.0, 1..20),
+    ) {
+        let a = auc(&pos, &neg);
+        let b = auc(&neg, &pos);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// Rank is always within [1, corruptions + 1].
+    #[test]
+    fn rank_bounds(
+        true_score in 0.0f32..1.0,
+        corrupted in prop::collection::vec(0.0f32..1.0, 0..30),
+    ) {
+        let n = corrupted.len();
+        let e = RankedEval { true_score, corrupted_scores: corrupted };
+        let r = e.rank();
+        prop_assert!(r >= 1 && r <= n + 1);
+    }
+}

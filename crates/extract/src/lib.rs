@@ -1,0 +1,21 @@
+//! # nous-extract — the document-level extraction stage
+//!
+//! Sits between the sentence-level NLP substrate (`nous-text`) and the
+//! knowledge-graph pipeline (`nous-core`): it turns whole documents into
+//! provenance-stamped candidate facts, the §3.2 output NOUS feeds into
+//! mapping and quality control.
+//!
+//! - [`Document`] — the pipeline's input unit (`id`, logical `day`, text).
+//! - [`extract_document`] — runs the full text pipeline and flattens the
+//!   per-sentence tuples into [`Extraction`]s carrying document id, day,
+//!   sentence index, mention-type hints and n-ary arguments, with
+//!   within-document duplicates collapsed to their best-confidence copy.
+//! - [`evaluate`] — ground-truth scoring against a `nous-corpus` article
+//!   stream (surface recall / grounded precision / yield), shared by the
+//!   E3/E11 benchmarks and the corpus↔pipeline contract tests.
+
+pub mod document;
+pub mod evaluate;
+
+pub use document::{extract_document, DocExtraction, Document, Extraction};
+pub use evaluate::{evaluate_stream, ExtractionQuality};

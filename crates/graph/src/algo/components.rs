@@ -1,0 +1,127 @@
+//! Connected components via union-find (undirected view of the live graph).
+
+use crate::graph::DynamicGraph;
+use crate::ids::VertexId;
+
+/// Weighted-union + path-halving union-find over dense vertex ids.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Partition the live graph into undirected connected components.
+/// Components are returned largest-first; vertices inside a component are
+/// sorted by id. Isolated vertices form singleton components.
+pub fn connected_components(g: &DynamicGraph) -> Vec<Vec<VertexId>> {
+    let n = g.vertex_count();
+    let mut uf = UnionFind::new(n);
+    for (_, e) in g.iter_edges() {
+        uf.union(e.src.0, e.dst.0);
+    }
+    let mut by_root: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+    for v in 0..n as u32 {
+        by_root.entry(uf.find(v)).or_default().push(VertexId(v));
+    }
+    let mut comps: Vec<Vec<VertexId>> = by_root.into_values().collect();
+    comps.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    comps
+}
+
+/// The largest connected component (empty vec for an empty graph).
+pub fn largest_component(g: &DynamicGraph) -> Vec<VertexId> {
+    connected_components(g).into_iter().next().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Provenance;
+
+    #[test]
+    fn splits_into_components() {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let c = g.ensure_vertex("c");
+        let d = g.ensure_vertex("d");
+        let e = g.ensure_vertex("e");
+        let p = g.intern_predicate("p");
+        g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(b, p, c, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(d, p, e, 0, 1.0, Provenance::Curated);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![a, b, c]);
+        assert_eq!(comps[1], vec![d, e]);
+        assert_eq!(largest_component(&g).len(), 3);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let mut g = DynamicGraph::new();
+        g.ensure_vertex("x");
+        g.ensure_vertex("y");
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynamicGraph::new();
+        assert!(connected_components(&g).is_empty());
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn tombstoned_edges_split_components() {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let p = g.intern_predicate("p");
+        let id = g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        assert_eq!(connected_components(&g).len(), 1);
+        g.remove_edge(id);
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let c = g.ensure_vertex("c");
+        let p = g.intern_predicate("p");
+        // a -> b <- c : still one undirected component.
+        g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(c, p, b, 0, 1.0, Provenance::Curated);
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+}

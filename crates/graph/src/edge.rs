@@ -1,0 +1,179 @@
+//! Edge records and provenance.
+//!
+//! NOUS's key premise (§1.1) is a *fused* graph: every fact carries where it
+//! came from (curated KB vs. extracted from a document — the red/blue split
+//! of Figure 2) and a confidence score assigned by the link-prediction module
+//! (§3.4). Edges are immutable once appended; the temporal edge log plus
+//! tombstones gives the dynamic-graph semantics.
+
+use crate::ids::{PredicateId, Timestamp, VertexId};
+use crate::props::PropMap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Where a fact came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// From the curated knowledge base (YAGO-style) — Figure 2's red edges.
+    Curated,
+    /// Extracted from an unstructured document — Figure 2's blue edges.
+    /// Carries the document identifier for traceability.
+    Extracted { doc_id: u64 },
+}
+
+impl Provenance {
+    pub fn is_curated(&self) -> bool {
+        matches!(self, Provenance::Curated)
+    }
+
+    /// Short tag used in exports ("curated" / "extracted").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Provenance::Curated => "curated",
+            Provenance::Extracted { .. } => "extracted",
+        }
+    }
+}
+
+/// An immutable, timestamped, scored fact `(src) -[pred]-> (dst)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    pub src: VertexId,
+    pub pred: PredicateId,
+    pub dst: VertexId,
+    /// Logical insertion time (days since corpus epoch in the benchmarks).
+    pub at: Timestamp,
+    /// Probability the fact is true, assigned by link prediction (§3.4).
+    pub confidence: f32,
+    pub provenance: Provenance,
+    /// Application properties (sentence offsets, rule ids, …).
+    pub props: PropMap,
+}
+
+impl Edge {
+    pub fn new(
+        src: VertexId,
+        pred: PredicateId,
+        dst: VertexId,
+        at: Timestamp,
+        confidence: f32,
+        provenance: Provenance,
+    ) -> Self {
+        Self { src, pred, dst, at, confidence, provenance, props: PropMap::new() }
+    }
+
+    /// The `(src, pred, dst)` triple key, ignoring time and score.
+    #[inline]
+    pub fn triple(&self) -> (VertexId, PredicateId, VertexId) {
+        (self.src, self.pred, self.dst)
+    }
+
+    /// Compact binary encoding of the fixed-size head of the edge
+    /// (src, pred, dst, timestamp, confidence, provenance doc id). Used by
+    /// the snapshot writer for the bulk edge log where JSON would dominate
+    /// the snapshot size. Properties are not encoded here.
+    pub fn encode_head(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.src.0);
+        buf.put_u32_le(self.pred.0);
+        buf.put_u32_le(self.dst.0);
+        buf.put_u64_le(self.at);
+        buf.put_f32_le(self.confidence);
+        match &self.provenance {
+            Provenance::Curated => buf.put_u64_le(u64::MAX),
+            Provenance::Extracted { doc_id } => buf.put_u64_le(*doc_id),
+        }
+    }
+
+    /// Number of bytes [`Edge::encode_head`] writes.
+    pub const HEAD_BYTES: usize = 4 + 4 + 4 + 8 + 4 + 8;
+
+    /// Inverse of [`Edge::encode_head`]; returns `None` when `buf` is short.
+    pub fn decode_head(buf: &mut Bytes) -> Option<Self> {
+        if buf.remaining() < Self::HEAD_BYTES {
+            return None;
+        }
+        let src = VertexId(buf.get_u32_le());
+        let pred = PredicateId(buf.get_u32_le());
+        let dst = VertexId(buf.get_u32_le());
+        let at = buf.get_u64_le();
+        let confidence = buf.get_f32_le();
+        let doc = buf.get_u64_le();
+        let provenance = if doc == u64::MAX {
+            Provenance::Curated
+        } else {
+            Provenance::Extracted { doc_id: doc }
+        };
+        Some(Edge::new(src, pred, dst, at, confidence, provenance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Edge {
+        Edge::new(
+            VertexId(1),
+            PredicateId(2),
+            VertexId(3),
+            42,
+            0.75,
+            Provenance::Extracted { doc_id: 99 },
+        )
+    }
+
+    #[test]
+    fn triple_key_ignores_metadata() {
+        let mut a = sample();
+        let mut b = sample();
+        a.confidence = 0.1;
+        b.at = 7;
+        assert_eq!(a.triple(), b.triple());
+    }
+
+    #[test]
+    fn provenance_tags() {
+        assert!(Provenance::Curated.is_curated());
+        assert_eq!(Provenance::Curated.tag(), "curated");
+        assert_eq!(Provenance::Extracted { doc_id: 1 }.tag(), "extracted");
+    }
+
+    #[test]
+    fn head_encoding_roundtrips() {
+        let e = sample();
+        let mut buf = BytesMut::new();
+        e.encode_head(&mut buf);
+        assert_eq!(buf.len(), Edge::HEAD_BYTES);
+        let mut bytes = buf.freeze();
+        let back = Edge::decode_head(&mut bytes).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn curated_provenance_roundtrips() {
+        let e = Edge::new(VertexId(0), PredicateId(0), VertexId(1), 0, 1.0, Provenance::Curated);
+        let mut buf = BytesMut::new();
+        e.encode_head(&mut buf);
+        let back = Edge::decode_head(&mut buf.freeze()).unwrap();
+        assert_eq!(back.provenance, Provenance::Curated);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let mut short = Bytes::from_static(&[0u8; 5]);
+        assert!(Edge::decode_head(&mut short).is_none());
+    }
+
+    #[test]
+    fn decode_consumes_exactly_head_bytes() {
+        let e = sample();
+        let mut buf = BytesMut::new();
+        e.encode_head(&mut buf);
+        e.encode_head(&mut buf);
+        let mut bytes = buf.freeze();
+        let first = Edge::decode_head(&mut bytes).unwrap();
+        let second = Edge::decode_head(&mut bytes).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(bytes.remaining(), 0);
+    }
+}

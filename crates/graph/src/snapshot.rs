@@ -1,0 +1,341 @@
+//! Snapshots and exports.
+//!
+//! Three formats:
+//!
+//! - **JSON snapshot** — the full graph through serde; lossless (properties
+//!   included), used by tests and small graphs.
+//! - **Binary snapshot** — interner tables as JSON header plus the edge log
+//!   as fixed-width records ([`crate::Edge::encode_head`], via `bytes`);
+//!   edge properties are dropped, which is the trade-off the bulk format
+//!   makes for being ~6x smaller than JSON on large logs.
+//! - **DOT / JSON-graph export** — the visualisation feeds behind the
+//!   paper's Figures 2, 4 and 6: curated edges render red, extracted edges
+//!   blue, each labelled with predicate and confidence.
+
+use crate::edge::Edge;
+use crate::graph::DynamicGraph;
+use crate::ids::VertexId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Errors from snapshot encoding/decoding.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Json(serde_json::Error),
+    /// The binary blob was truncated or malformed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "snapshot JSON error: {e}"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+// ---- JSON snapshot --------------------------------------------------------
+
+/// Serialise the whole graph (lossless) to JSON.
+pub fn to_json(g: &DynamicGraph) -> Result<String, SnapshotError> {
+    Ok(serde_json::to_string(g)?)
+}
+
+/// Restore a graph from [`to_json`] output and rebuild derived indexes.
+pub fn from_json(json: &str) -> Result<DynamicGraph, SnapshotError> {
+    let mut g: DynamicGraph = serde_json::from_str(json)?;
+    g.rebuild_indexes();
+    Ok(g)
+}
+
+// ---- binary snapshot ------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct BinaryHeader {
+    vertices: Vec<(String, Option<String>)>,
+    predicates: Vec<String>,
+    edge_count: u64,
+}
+
+/// Encode the graph into the compact binary snapshot format.
+/// Edge and vertex *properties* are not preserved; tombstoned edges are
+/// skipped (a snapshot is a compaction point).
+pub fn to_binary(g: &DynamicGraph) -> Result<Bytes, SnapshotError> {
+    let header = BinaryHeader {
+        vertices: g
+            .iter_vertices()
+            .map(|v| (g.vertex_name(v).to_owned(), g.label(v).map(str::to_owned)))
+            .collect(),
+        predicates: g.iter_predicates().map(|(_, n)| n.to_owned()).collect(),
+        edge_count: g.edge_count() as u64,
+    };
+    let header_json = serde_json::to_vec(&header)?;
+    let mut buf = BytesMut::with_capacity(8 + header_json.len() + g.edge_count() * Edge::HEAD_BYTES);
+    buf.put_u64_le(header_json.len() as u64);
+    buf.put_slice(&header_json);
+    for (_, e) in g.iter_edges() {
+        e.encode_head(&mut buf);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decode a [`to_binary`] snapshot.
+pub fn from_binary(mut blob: Bytes) -> Result<DynamicGraph, SnapshotError> {
+    if blob.remaining() < 8 {
+        return Err(SnapshotError::Corrupt("missing header length"));
+    }
+    let header_len = blob.get_u64_le() as usize;
+    if blob.remaining() < header_len {
+        return Err(SnapshotError::Corrupt("truncated header"));
+    }
+    let header_bytes = blob.split_to(header_len);
+    let header: BinaryHeader = serde_json::from_slice(&header_bytes)?;
+    let mut g = DynamicGraph::new();
+    for (name, label) in &header.vertices {
+        let v = g.ensure_vertex(name);
+        if let Some(l) = label {
+            g.set_label(v, l);
+        }
+    }
+    for p in &header.predicates {
+        g.intern_predicate(p);
+    }
+    for _ in 0..header.edge_count {
+        let e = Edge::decode_head(&mut blob).ok_or(SnapshotError::Corrupt("truncated edge log"))?;
+        if e.src.index() >= g.vertex_count()
+            || e.dst.index() >= g.vertex_count()
+            || e.pred.index() >= g.predicate_count()
+        {
+            return Err(SnapshotError::Corrupt("edge references unknown id"));
+        }
+        g.add_edge(e);
+    }
+    Ok(g)
+}
+
+// ---- exports ---------------------------------------------------------------
+
+fn escape_dot(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Render the neighbourhood (or whole graph when `roots` is empty) to
+/// Graphviz DOT. Curated facts are red, extracted facts blue — matching the
+/// colour code described for Figure 2 of the paper.
+pub fn to_dot(g: &DynamicGraph, roots: &[VertexId], max_hops: usize) -> String {
+    let include: Option<crate::hash::FxHashSet<VertexId>> = if roots.is_empty() {
+        None
+    } else {
+        let mut keep = crate::hash::FxHashSet::default();
+        for &r in roots {
+            keep.insert(r);
+            for (v, _) in crate::algo::bfs_distances(g, r, crate::algo::Direction::Both, max_hops) {
+                keep.insert(v);
+            }
+        }
+        Some(keep)
+    };
+    let wanted = |v: VertexId| include.as_ref().is_none_or(|s| s.contains(&v));
+
+    let mut out = String::from("digraph nous {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n");
+    for v in g.iter_vertices().filter(|&v| wanted(v)) {
+        let label = match g.label(v) {
+            Some(t) => format!("{}\\n({t})", escape_dot(g.vertex_name(v))),
+            None => escape_dot(g.vertex_name(v)),
+        };
+        let _ = writeln!(out, "  v{} [label=\"{label}\"];", v.0);
+    }
+    for (_, e) in g.iter_edges() {
+        if !wanted(e.src) || !wanted(e.dst) {
+            continue;
+        }
+        let color = if e.provenance.is_curated() { "red" } else { "blue" };
+        let _ = writeln!(
+            out,
+            "  v{} -> v{} [label=\"{} ({:.2})\", color={color}];",
+            e.src.0,
+            e.dst.0,
+            escape_dot(g.predicate_name(e.pred)),
+            e.confidence
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// JSON node-link export (the shape a web front-end like the paper's Figure 6
+/// UI would consume): `{"nodes": [...], "links": [...]}`.
+pub fn to_json_graph(g: &DynamicGraph, roots: &[VertexId], max_hops: usize) -> String {
+    #[derive(Serialize)]
+    struct Node<'a> {
+        id: u32,
+        name: &'a str,
+        label: Option<&'a str>,
+    }
+    #[derive(Serialize)]
+    struct Link<'a> {
+        source: u32,
+        target: u32,
+        predicate: &'a str,
+        confidence: f32,
+        provenance: &'static str,
+        at: u64,
+    }
+    #[derive(Serialize)]
+    struct Doc<'a> {
+        nodes: Vec<Node<'a>>,
+        links: Vec<Link<'a>>,
+    }
+
+    let include: Option<crate::hash::FxHashSet<VertexId>> = if roots.is_empty() {
+        None
+    } else {
+        let mut keep = crate::hash::FxHashSet::default();
+        for &r in roots {
+            keep.insert(r);
+            for (v, _) in crate::algo::bfs_distances(g, r, crate::algo::Direction::Both, max_hops) {
+                keep.insert(v);
+            }
+        }
+        Some(keep)
+    };
+    let wanted = |v: VertexId| include.as_ref().is_none_or(|s| s.contains(&v));
+
+    let doc = Doc {
+        nodes: g
+            .iter_vertices()
+            .filter(|&v| wanted(v))
+            .map(|v| Node { id: v.0, name: g.vertex_name(v), label: g.label(v) })
+            .collect(),
+        links: g
+            .iter_edges()
+            .filter(|(_, e)| wanted(e.src) && wanted(e.dst))
+            .map(|(_, e)| Link {
+                source: e.src.0,
+                target: e.dst.0,
+                predicate: g.predicate_name(e.pred),
+                confidence: e.confidence,
+                provenance: e.provenance.tag(),
+                at: e.at,
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("export structs serialize infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Provenance;
+
+    fn sample() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let dji = g.ensure_vertex("DJI");
+        let sz = g.ensure_vertex("Shenzhen");
+        let drone = g.ensure_vertex("Phantom 4");
+        g.set_label(dji, "Company");
+        let loc = g.intern_predicate("isLocatedIn");
+        let makes = g.intern_predicate("manufactures");
+        g.add_edge_at(dji, loc, sz, 10, 0.95, Provenance::Curated);
+        g.add_edge_at(dji, makes, drone, 20, 0.62, Provenance::Extracted { doc_id: 3 });
+        g
+    }
+
+    #[test]
+    fn json_snapshot_roundtrips_losslessly() {
+        let g = sample();
+        let back = from_json(&to_json(&g).unwrap()).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.label(back.vertex_id("DJI").unwrap()), Some("Company"));
+        let dji = back.vertex_id("DJI").unwrap();
+        let loc = back.predicate_id("isLocatedIn").unwrap();
+        let sz = back.vertex_id("Shenzhen").unwrap();
+        assert!(back.has_triple(dji, loc, sz));
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_structure() {
+        let g = sample();
+        let blob = to_binary(&g).unwrap();
+        let back = from_binary(blob).unwrap();
+        assert_eq!(back.vertex_count(), 3);
+        assert_eq!(back.edge_count(), 2);
+        assert_eq!(back.label(back.vertex_id("DJI").unwrap()), Some("Company"));
+        let dji = back.vertex_id("DJI").unwrap();
+        let makes = back.predicate_id("manufactures").unwrap();
+        let drone = back.vertex_id("Phantom 4").unwrap();
+        let e = back.edge(back.edges_matching(dji, makes, drone).next().unwrap());
+        assert_eq!(e.at, 20);
+        assert_eq!(e.provenance, Provenance::Extracted { doc_id: 3 });
+    }
+
+    #[test]
+    fn binary_snapshot_drops_tombstones() {
+        let mut g = sample();
+        let dji = g.vertex_id("DJI").unwrap();
+        let loc = g.predicate_id("isLocatedIn").unwrap();
+        let sz = g.vertex_id("Shenzhen").unwrap();
+        let id = g.edges_matching(dji, loc, sz).next().unwrap();
+        g.remove_edge(id);
+        let back = from_binary(to_binary(&g).unwrap()).unwrap();
+        assert_eq!(back.edge_count(), 1);
+        assert_eq!(back.log_len(), 1, "snapshot compacted the log");
+    }
+
+    #[test]
+    fn corrupt_binary_is_rejected() {
+        assert!(matches!(
+            from_binary(Bytes::from_static(&[1, 2, 3])),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let g = sample();
+        let blob = to_binary(&g).unwrap();
+        let truncated = blob.slice(0..blob.len() - 4);
+        assert!(matches!(from_binary(truncated), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn dot_marks_provenance_colours() {
+        let g = sample();
+        let dot = to_dot(&g, &[], 0);
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("color=blue"));
+        assert!(dot.contains("isLocatedIn (0.95)"));
+        assert!(dot.contains("DJI\\n(Company)"));
+    }
+
+    #[test]
+    fn dot_roots_restrict_to_neighbourhood() {
+        let mut g = sample();
+        g.ensure_vertex("unrelated island");
+        let dji = g.vertex_id("DJI").unwrap();
+        let dot = to_dot(&g, &[dji], 1);
+        assert!(dot.contains("Shenzhen"));
+        assert!(!dot.contains("unrelated island"));
+    }
+
+    #[test]
+    fn json_graph_export_parses_and_filters() {
+        let mut g = sample();
+        g.ensure_vertex("unrelated island");
+        let dji = g.vertex_id("DJI").unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&to_json_graph(&g, &[dji], 2)).unwrap();
+        let nodes = doc["nodes"].as_array().unwrap();
+        assert_eq!(nodes.len(), 3);
+        let links = doc["links"].as_array().unwrap();
+        assert_eq!(links.len(), 2);
+        assert!(links.iter().any(|l| l["provenance"] == "extracted"));
+    }
+}

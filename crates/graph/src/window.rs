@@ -1,0 +1,237 @@
+//! Sliding windows over the temporal edge log.
+//!
+//! The streaming frequent-graph miner (§3.5) "accepts the stream of incoming
+//! triples as input \[and\] a window size parameter that represents the size
+//! of a sliding window over the stream". [`SlidingWindow`] is that structure:
+//! a non-destructive view over a [`DynamicGraph`]'s edge log which reports
+//! edge additions and evictions as the window advances. Two flavours are
+//! supported, both used by the mining benchmarks:
+//!
+//! - **time-based** — the window covers `[now - span, now]` in timestamps;
+//! - **count-based** — the window covers the most recent `n` edges.
+
+use crate::graph::DynamicGraph;
+use crate::ids::{EdgeId, Timestamp};
+use std::collections::VecDeque;
+
+/// What happened to an edge as the window moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowEvent {
+    Added(EdgeId),
+    Evicted(EdgeId),
+}
+
+/// Window extent policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Keep edges with `at >= now - span`.
+    Time { span: Timestamp },
+    /// Keep the latest `n` edges.
+    Count { n: usize },
+}
+
+/// A sliding view over a graph's edge log.
+///
+/// The window never mutates the underlying graph: it tracks which suffix of
+/// the log is "active" and hands out add/evict events so downstream
+/// incremental algorithms (the miner's support counters) can update.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    kind: WindowKind,
+    /// Edges currently inside the window, oldest first.
+    active: VecDeque<(EdgeId, Timestamp)>,
+    /// Index of the next unconsumed log entry.
+    cursor: usize,
+}
+
+impl SlidingWindow {
+    pub fn time(span: Timestamp) -> Self {
+        Self { kind: WindowKind::Time { span }, active: VecDeque::new(), cursor: 0 }
+    }
+
+    pub fn count(n: usize) -> Self {
+        assert!(n > 0, "count window must be non-empty");
+        Self { kind: WindowKind::Count { n }, active: VecDeque::new(), cursor: 0 }
+    }
+
+    pub fn kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Number of edges currently in the window.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Edge ids currently in the window, oldest first.
+    pub fn active_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.active.iter().map(|(id, _)| *id)
+    }
+
+    /// Timestamp of the newest edge consumed so far (0 when none).
+    pub fn frontier(&self) -> Timestamp {
+        self.active.back().map(|(_, t)| *t).unwrap_or(0)
+    }
+
+    /// Consume all new log entries from `graph` and slide the window
+    /// forward, returning the ordered event list (adds interleaved with the
+    /// evictions they trigger). Tombstoned edges in the log are skipped.
+    pub fn ingest(&mut self, graph: &DynamicGraph) -> Vec<WindowEvent> {
+        let mut events = Vec::new();
+        let log = graph.edge_log();
+        while self.cursor < log.len() {
+            let idx = self.cursor;
+            self.cursor += 1;
+            let id = EdgeId(idx as u32);
+            if !graph.is_live(id) {
+                continue;
+            }
+            let at = log[idx].at;
+            self.active.push_back((id, at));
+            events.push(WindowEvent::Added(id));
+            self.evict_overflow(at, &mut events);
+        }
+        events
+    }
+
+    /// Advance logical time without consuming new edges (time windows only):
+    /// evicts everything older than `now - span`.
+    pub fn advance_to(&mut self, now: Timestamp) -> Vec<WindowEvent> {
+        let mut events = Vec::new();
+        if let WindowKind::Time { span } = self.kind {
+            let cutoff = now.saturating_sub(span);
+            while let Some(&(id, t)) = self.active.front() {
+                if t < cutoff {
+                    self.active.pop_front();
+                    events.push(WindowEvent::Evicted(id));
+                } else {
+                    break;
+                }
+            }
+        }
+        events
+    }
+
+    fn evict_overflow(&mut self, now: Timestamp, events: &mut Vec<WindowEvent>) {
+        match self.kind {
+            WindowKind::Time { span } => {
+                let cutoff = now.saturating_sub(span);
+                while let Some(&(id, t)) = self.active.front() {
+                    if t < cutoff {
+                        self.active.pop_front();
+                        events.push(WindowEvent::Evicted(id));
+                    } else {
+                        break;
+                    }
+                }
+            }
+            WindowKind::Count { n } => {
+                while self.active.len() > n {
+                    let (id, _) = self.active.pop_front().expect("len > n > 0");
+                    events.push(WindowEvent::Evicted(id));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Provenance;
+
+    fn chain_graph(times: &[Timestamp]) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let p = g.intern_predicate("p");
+        for (i, &t) in times.iter().enumerate() {
+            let a = g.ensure_vertex(&format!("v{i}"));
+            let b = g.ensure_vertex(&format!("v{}", i + 1));
+            g.add_edge_at(a, p, b, t, 1.0, Provenance::Curated);
+        }
+        g
+    }
+
+    fn evicted(events: &[WindowEvent]) -> Vec<u32> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                WindowEvent::Evicted(id) => Some(id.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn count_window_keeps_latest_n() {
+        let g = chain_graph(&[1, 2, 3, 4, 5]);
+        let mut w = SlidingWindow::count(3);
+        let events = w.ingest(&g);
+        assert_eq!(w.len(), 3);
+        assert_eq!(evicted(&events), vec![0, 1]);
+        let active: Vec<u32> = w.active_edges().map(|e| e.0).collect();
+        assert_eq!(active, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn time_window_evicts_by_timestamp() {
+        let g = chain_graph(&[0, 10, 20, 30]);
+        let mut w = SlidingWindow::time(15);
+        let events = w.ingest(&g);
+        // at t=30 the cutoff is 15, so edges at 0 and 10 are gone.
+        assert_eq!(evicted(&events), vec![0, 1]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.frontier(), 30);
+    }
+
+    #[test]
+    fn incremental_ingest_resumes_at_cursor() {
+        let mut g = chain_graph(&[1, 2]);
+        let mut w = SlidingWindow::count(10);
+        assert_eq!(w.ingest(&g).len(), 2);
+        assert!(w.ingest(&g).is_empty(), "no new edges, no events");
+        let p = g.predicate_id("p").unwrap();
+        let a = g.ensure_vertex("x");
+        let b = g.ensure_vertex("y");
+        g.add_edge_at(a, p, b, 3, 1.0, Provenance::Curated);
+        let events = w.ingest(&g);
+        assert_eq!(events, vec![WindowEvent::Added(EdgeId(2))]);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn tombstoned_edges_are_skipped() {
+        let mut g = chain_graph(&[1, 2, 3]);
+        g.remove_edge(EdgeId(1));
+        let mut w = SlidingWindow::count(10);
+        let events = w.ingest(&g);
+        assert_eq!(events.len(), 2);
+        let active: Vec<u32> = w.active_edges().map(|e| e.0).collect();
+        assert_eq!(active, vec![0, 2]);
+    }
+
+    #[test]
+    fn advance_to_evicts_without_new_edges() {
+        let g = chain_graph(&[0, 5, 10]);
+        let mut w = SlidingWindow::time(100);
+        w.ingest(&g);
+        assert_eq!(w.len(), 3);
+        let events = w.advance_to(107);
+        assert_eq!(evicted(&events), vec![0, 1]);
+        assert_eq!(w.len(), 1);
+        // count windows ignore advance_to.
+        let mut cw = SlidingWindow::count(5);
+        cw.ingest(&g);
+        assert!(cw.advance_to(1_000).is_empty());
+        assert_eq!(cw.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_count_window_is_rejected() {
+        let _ = SlidingWindow::count(0);
+    }
+}

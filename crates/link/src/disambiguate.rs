@@ -1,0 +1,317 @@
+//! AIDA-adapted entity disambiguation.
+//!
+//! AIDA (Hoffart et al. 2011) scores candidate entities for a mention by
+//! combining a popularity prior with context similarity; the original
+//! context is the entity's Wikipedia article. NOUS adapts this to the
+//! dynamic-KG setting (§3.3): "As new entities from online articles are
+//! added to the knowledge graph, we use only the entity neighborhood in the
+//! knowledge graph to calculate contextual similarity." [`EntityRecord`]
+//! carries exactly that: a bag-of-words accumulated from the entity's
+//! description and the names/text of its graph neighbours, updatable as the
+//! graph grows.
+
+use crate::normalize::normalize_mention;
+use nous_text::bow::BagOfWords;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One linkable entity with its disambiguation context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityRecord {
+    /// Caller-side identifier (e.g. a graph `VertexId` payload).
+    pub id: u32,
+    pub name: String,
+    pub aliases: Vec<String>,
+    /// KG-neighbourhood bag-of-words (description + neighbour names).
+    pub context: BagOfWords,
+    /// Popularity prior source — typically the vertex degree.
+    pub popularity: f64,
+}
+
+/// Scoring mode: the full AIDA-style combination or one of the E10
+/// baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkMode {
+    /// prior + context similarity (the paper's approach).
+    Full,
+    /// Popularity prior only (ignores context).
+    PopularityOnly,
+    /// Resolve only unambiguous aliases; ambiguous mentions return `None`.
+    ExactOnly,
+}
+
+/// Result of resolving one mention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Resolution {
+    /// Winning entity id.
+    pub id: u32,
+    /// Winning entity canonical name.
+    pub name: String,
+    /// Combined score of the winner.
+    pub score: f64,
+    /// Margin over the runner-up (∞-like large value when unique).
+    pub margin: f64,
+    /// Number of candidates considered.
+    pub candidates: usize,
+}
+
+/// The disambiguation engine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Disambiguator {
+    records: Vec<EntityRecord>,
+    /// lowercase alias → record indexes.
+    alias_index: HashMap<String, Vec<usize>>,
+    /// Weight of the context-similarity term (prior gets `1 - w`).
+    context_weight: f64,
+}
+
+impl Disambiguator {
+    pub fn new(records: Vec<EntityRecord>) -> Self {
+        let mut alias_index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            for a in &r.aliases {
+                let key = a.to_lowercase();
+                let entry = alias_index.entry(key).or_default();
+                if !entry.contains(&i) {
+                    entry.push(i);
+                }
+            }
+        }
+        Self { records, alias_index, context_weight: 0.7 }
+    }
+
+    /// Adjust the context/prior blend (default 0.7 context).
+    pub fn with_context_weight(mut self, w: f64) -> Self {
+        self.context_weight = w.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn record(&self, idx: usize) -> &EntityRecord {
+        &self.records[idx]
+    }
+
+    /// Fold additional context into an entity's bag (dynamic updates as
+    /// the KG gains neighbours) and bump its popularity.
+    pub fn update_context(&mut self, id: u32, extra: &BagOfWords, popularity_delta: f64) {
+        if let Some(r) = self.records.iter_mut().find(|r| r.id == id) {
+            r.context.merge(extra);
+            r.popularity += popularity_delta;
+        }
+    }
+
+    /// Register a brand-new entity discovered at ingestion time.
+    pub fn insert(&mut self, record: EntityRecord) {
+        let idx = self.records.len();
+        for a in &record.aliases {
+            let entry = self.alias_index.entry(a.to_lowercase()).or_default();
+            if !entry.contains(&idx) {
+                entry.push(idx);
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// Candidate record indexes for a (normalised) mention surface.
+    pub fn candidates(&self, surface: &str) -> &[usize] {
+        self.alias_index
+            .get(&normalize_mention(surface).to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resolve `surface` against `context` (the mention's sentence/document
+    /// bag-of-words). Returns `None` when no alias matches, or in
+    /// `ExactOnly` mode when the alias is ambiguous.
+    pub fn resolve(
+        &self,
+        surface: &str,
+        context: &BagOfWords,
+        mode: LinkMode,
+    ) -> Option<Resolution> {
+        let cands = self.candidates(surface);
+        if cands.is_empty() {
+            return None;
+        }
+        if cands.len() == 1 {
+            let r = &self.records[cands[0]];
+            return Some(Resolution {
+                id: r.id,
+                name: r.name.clone(),
+                score: 1.0,
+                margin: 1.0,
+                candidates: 1,
+            });
+        }
+        if mode == LinkMode::ExactOnly {
+            return None;
+        }
+
+        let max_pop = cands
+            .iter()
+            .map(|&i| self.records[i].popularity)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let mut scored: Vec<(usize, f64)> = cands
+            .iter()
+            .map(|&i| {
+                let r = &self.records[i];
+                let prior = (1.0 + r.popularity).ln() / (1.0 + max_pop).ln();
+                let sim = match mode {
+                    LinkMode::PopularityOnly => 0.0,
+                    _ => context.cosine(&r.context),
+                };
+                let w = if mode == LinkMode::PopularityOnly { 0.0 } else { self.context_weight };
+                (i, (1.0 - w) * prior + w * sim)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        let (best, best_score) = scored[0];
+        let margin = best_score - scored.get(1).map(|x| x.1).unwrap_or(0.0);
+        let r = &self.records[best];
+        Some(Resolution {
+            id: r.id,
+            name: r.name.clone(),
+            score: best_score,
+            margin,
+            candidates: cands.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bow(words: &[(&str, u32)]) -> BagOfWords {
+        let mut b = BagOfWords::new();
+        for (w, n) in words {
+            b.add(w, *n);
+        }
+        b
+    }
+
+    /// Two "Apex" companies: Robotics (agriculture, popular) and Aviation
+    /// (logistics, obscure).
+    fn apex_world() -> Disambiguator {
+        Disambiguator::new(vec![
+            EntityRecord {
+                id: 0,
+                name: "Apex Robotics".into(),
+                aliases: vec!["Apex Robotics".into(), "Apex".into()],
+                context: bow(&[("crop", 5), ("farm", 4), ("spraying", 3), ("drone", 2)]),
+                popularity: 20.0,
+            },
+            EntityRecord {
+                id: 1,
+                name: "Apex Aviation".into(),
+                aliases: vec!["Apex Aviation".into(), "Apex".into()],
+                context: bow(&[("delivery", 5), ("parcel", 4), ("warehouse", 3), ("drone", 2)]),
+                popularity: 3.0,
+            },
+            EntityRecord {
+                id: 2,
+                name: "Shenzhen".into(),
+                aliases: vec!["Shenzhen".into()],
+                context: bow(&[("city", 3)]),
+                popularity: 50.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn unambiguous_alias_resolves_directly() {
+        let d = apex_world();
+        let r = d.resolve("Shenzhen", &BagOfWords::new(), LinkMode::Full).unwrap();
+        assert_eq!(r.name, "Shenzhen");
+        assert_eq!(r.candidates, 1);
+    }
+
+    #[test]
+    fn context_separates_ambiguous_alias() {
+        let d = apex_world();
+        let farm_ctx = bow(&[("farm", 2), ("crop", 1), ("harvest", 1)]);
+        let r = d.resolve("Apex", &farm_ctx, LinkMode::Full).unwrap();
+        assert_eq!(r.name, "Apex Robotics");
+        let delivery_ctx = bow(&[("parcel", 2), ("delivery", 2)]);
+        let r2 = d.resolve("Apex", &delivery_ctx, LinkMode::Full).unwrap();
+        assert_eq!(r2.name, "Apex Aviation", "context must beat popularity");
+    }
+
+    #[test]
+    fn popularity_only_always_picks_popular() {
+        let d = apex_world();
+        let delivery_ctx = bow(&[("parcel", 2), ("delivery", 2)]);
+        let r = d.resolve("Apex", &delivery_ctx, LinkMode::PopularityOnly).unwrap();
+        assert_eq!(r.name, "Apex Robotics", "prior ignores the context");
+    }
+
+    #[test]
+    fn exact_only_refuses_ambiguity() {
+        let d = apex_world();
+        assert!(d.resolve("Apex", &BagOfWords::new(), LinkMode::ExactOnly).is_none());
+        assert!(d.resolve("Shenzhen", &BagOfWords::new(), LinkMode::ExactOnly).is_some());
+    }
+
+    #[test]
+    fn unknown_surface_returns_none() {
+        let d = apex_world();
+        assert!(d.resolve("Nonexistent Corp", &BagOfWords::new(), LinkMode::Full).is_none());
+    }
+
+    #[test]
+    fn mention_normalisation_applies() {
+        let d = apex_world();
+        let r = d.resolve("the Apex Robotics'", &BagOfWords::new(), LinkMode::Full);
+        assert!(r.is_some(), "determiner/possessive must not block lookup");
+    }
+
+    #[test]
+    fn dynamic_context_update_changes_outcome() {
+        let mut d = apex_world();
+        let ctx = bow(&[("airspace", 3), ("waiver", 2)]);
+        // Initially neither candidate matches this context; popularity wins.
+        let before = d.resolve("Apex", &ctx, LinkMode::Full).unwrap();
+        assert_eq!(before.name, "Apex Robotics");
+        // Aviation's neighbourhood grows regulation-flavoured text.
+        d.update_context(1, &bow(&[("airspace", 6), ("waiver", 4)]), 1.0);
+        let after = d.resolve("Apex", &ctx, LinkMode::Full).unwrap();
+        assert_eq!(after.name, "Apex Aviation");
+    }
+
+    #[test]
+    fn insert_registers_new_aliases() {
+        let mut d = apex_world();
+        d.insert(EntityRecord {
+            id: 9,
+            name: "Nimbus Labs".into(),
+            aliases: vec!["Nimbus Labs".into(), "Nimbus".into()],
+            context: BagOfWords::new(),
+            popularity: 0.0,
+        });
+        let r = d.resolve("Nimbus", &BagOfWords::new(), LinkMode::Full).unwrap();
+        assert_eq!(r.id, 9);
+    }
+
+    #[test]
+    fn margin_reflects_confidence() {
+        let d = apex_world();
+        let strong = bow(&[("crop", 4), ("farm", 4), ("spraying", 2)]);
+        let weak = bow(&[("drone", 1)]);
+        let rs = d.resolve("Apex", &strong, LinkMode::Full).unwrap();
+        let rw = d.resolve("Apex", &weak, LinkMode::Full).unwrap();
+        assert!(
+            rs.margin > rw.margin,
+            "decisive context should give larger margin ({} vs {})",
+            rs.margin,
+            rw.margin
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Mention-surface normalisation applied before alias lookup.
+
+/// Normalise a raw mention surface for dictionary lookup: strip leading
+/// determiners, possessive markers, trailing sentence punctuation and
+/// squeeze whitespace. Case is preserved (the dictionary lowercases on its
+/// side).
+pub fn normalize_mention(surface: &str) -> String {
+    let mut s = surface.trim();
+    // Leading determiner.
+    for det in ["the ", "The ", "a ", "A ", "an ", "An "] {
+        if let Some(rest) = s.strip_prefix(det) {
+            s = rest;
+            break;
+        }
+    }
+    let s = s.trim_end_matches(['.', ',', ';', ':', '!', '?']);
+    let s = s.strip_suffix("'s").or_else(|| s.strip_suffix("’s")).unwrap_or(s);
+    // Bare plural possessive ("Robotics'").
+    let s = s.trim_end_matches(['\'', '’']);
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_determiners() {
+        assert_eq!(normalize_mention("the Phantom 4"), "Phantom 4");
+        assert_eq!(normalize_mention("The Wall Street Journal"), "Wall Street Journal");
+        assert_eq!(normalize_mention("an Apex drone"), "Apex drone");
+    }
+
+    #[test]
+    fn strips_possessive_and_punct() {
+        assert_eq!(normalize_mention("DJI's"), "DJI");
+        assert_eq!(normalize_mention("Shenzhen."), "Shenzhen");
+        assert_eq!(normalize_mention("Apex Robotics,"), "Apex Robotics");
+    }
+
+    #[test]
+    fn squeezes_whitespace() {
+        assert_eq!(normalize_mention("  Apex   Robotics "), "Apex Robotics");
+    }
+
+    #[test]
+    fn leaves_clean_names_alone() {
+        assert_eq!(normalize_mention("Apex Robotics"), "Apex Robotics");
+        // Internal "the" survives.
+        assert_eq!(normalize_mention("On the Horizon"), "On the Horizon");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(normalize_mention(""), "");
+        assert_eq!(normalize_mention("the"), "the");
+    }
+}

@@ -1,0 +1,313 @@
+//! Distant-supervision predicate mapping.
+//!
+//! OpenIE "produce\[s\] too many relations" (§3.3): raw relation phrases like
+//! `buy`, `purchase`, `base_in` must be collapsed onto the target ontology
+//! (`acquired`, `isLocatedIn`, …). Following Freedman et al.'s Extreme
+//! Extraction recipe as the paper describes, each ontology predicate's
+//! rule model is bootstrapped from a handful of seed rules, then expanded
+//! semi-supervisedly: a raw predicate joins an ontology predicate's model
+//! when the entity pairs it connects in the raw-triple corpus are already
+//! connected by that ontology predicate in the (growing) knowledge graph —
+//! distant supervision against the KG itself.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One mapping rule: raw predicate → ontology predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingRule {
+    pub ontology: String,
+    /// Swap subject/object when applying ("P founded O" ⇒ (O, foundedBy, P)).
+    pub inverted: bool,
+    /// Estimated precision of the rule (1.0 for seeds).
+    pub confidence: f64,
+    /// True if this rule was a seed rather than learned.
+    pub seed: bool,
+}
+
+/// A raw extracted triple with already-resolved entity identities.
+pub type RawTripleIds = (u32, String, u32);
+
+/// Known KG pairs per ontology predicate: `(subject, object) -> predicates`.
+pub type KnownPairs = HashMap<(u32, u32), Vec<String>>;
+
+/// The per-ontology-predicate rule models.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PredicateMapper {
+    rules: HashMap<String, MappingRule>,
+    /// Expansion thresholds.
+    min_support: usize,
+    min_precision: f64,
+}
+
+impl PredicateMapper {
+    /// Bootstrap with seed rules: `(raw predicate, ontology predicate,
+    /// inverted)`. The paper uses "5-10 seed examples" per predicate; here a
+    /// seed is a raw surface form known to express the relation.
+    pub fn bootstrap(seeds: &[(&str, &str, bool)]) -> Self {
+        let mut rules = HashMap::new();
+        for (raw, onto, inv) in seeds {
+            rules.insert(
+                (*raw).to_owned(),
+                MappingRule {
+                    ontology: (*onto).to_owned(),
+                    inverted: *inv,
+                    confidence: 1.0,
+                    seed: true,
+                },
+            );
+        }
+        Self { rules, min_support: 3, min_precision: 0.5 }
+    }
+
+    /// Override expansion thresholds (defaults: support 3, precision 0.5).
+    pub fn with_thresholds(mut self, min_support: usize, min_precision: f64) -> Self {
+        self.min_support = min_support;
+        self.min_precision = min_precision;
+        self
+    }
+
+    /// Map a raw predicate. Returns the rule if one exists.
+    pub fn map(&self, raw: &str) -> Option<&MappingRule> {
+        self.rules.get(raw)
+    }
+
+    /// All rules, sorted by raw predicate (stable output for reports).
+    pub fn rules(&self) -> Vec<(&str, &MappingRule)> {
+        let mut v: Vec<(&str, &MappingRule)> =
+            self.rules.iter().map(|(k, r)| (k.as_str(), r)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// One semi-supervised expansion pass.
+    ///
+    /// `raw_triples` are extraction outputs whose entities are already
+    /// linked to KG ids; `known` is the KG's current pair→predicates index.
+    /// For every unmapped raw predicate, votes are collected over its
+    /// occurrences: a pair `(s, o)` already linked by ontology predicate
+    /// `p` votes for a direct rule, a pair `(o, s)` for an inverted one.
+    /// Rules passing the support and precision thresholds are added with
+    /// `confidence = precision`. Returns how many rules were added.
+    pub fn expand(&mut self, raw_triples: &[RawTripleIds], known: &KnownPairs) -> usize {
+        // raw predicate -> (direct votes per onto, inverted votes per onto, total occurrences)
+        struct Tally {
+            direct: HashMap<String, usize>,
+            inverted: HashMap<String, usize>,
+            total: usize,
+        }
+        let mut tallies: HashMap<&str, Tally> = HashMap::new();
+        for (s, raw, o) in raw_triples {
+            if self.rules.contains_key(raw) {
+                continue;
+            }
+            let t = tallies.entry(raw.as_str()).or_insert_with(|| Tally {
+                direct: HashMap::new(),
+                inverted: HashMap::new(),
+                total: 0,
+            });
+            t.total += 1;
+            if let Some(preds) = known.get(&(*s, *o)) {
+                for p in preds {
+                    *t.direct.entry(p.clone()).or_default() += 1;
+                }
+            }
+            if let Some(preds) = known.get(&(*o, *s)) {
+                for p in preds {
+                    *t.inverted.entry(p.clone()).or_default() += 1;
+                }
+            }
+        }
+
+        let mut added = 0;
+        let mut raws: Vec<&str> = tallies.keys().copied().collect();
+        raws.sort_unstable(); // deterministic rule admission order
+        for raw in raws {
+            let t = &tallies[raw];
+            let best_direct = t.direct.iter().max_by_key(|(p, n)| (**n, std::cmp::Reverse(p.as_str())));
+            let best_inverted =
+                t.inverted.iter().max_by_key(|(p, n)| (**n, std::cmp::Reverse(p.as_str())));
+            let (onto, votes, inverted) = match (best_direct, best_inverted) {
+                (Some((dp, dn)), Some((ip, inn))) => {
+                    if dn >= inn {
+                        (dp.clone(), *dn, false)
+                    } else {
+                        (ip.clone(), *inn, true)
+                    }
+                }
+                (Some((dp, dn)), None) => (dp.clone(), *dn, false),
+                (None, Some((ip, inn))) => (ip.clone(), *inn, true),
+                (None, None) => continue,
+            };
+            let precision = votes as f64 / t.total as f64;
+            if votes >= self.min_support && precision >= self.min_precision {
+                self.rules.insert(
+                    raw.to_owned(),
+                    MappingRule { ontology: onto, inverted, confidence: precision, seed: false },
+                );
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Run `expand` until a fixpoint (or `max_iters`), re-deriving `known`
+    /// from the mapped triples each round — newly learned rules admit new
+    /// pairs which support further rules. Returns total rules added.
+    pub fn expand_to_fixpoint(
+        &mut self,
+        raw_triples: &[RawTripleIds],
+        seed_known: &KnownPairs,
+        max_iters: usize,
+    ) -> usize {
+        let mut known = seed_known.clone();
+        let mut total_added = 0;
+        for _ in 0..max_iters {
+            let added = self.expand(raw_triples, &known);
+            total_added += added;
+            if added == 0 {
+                break;
+            }
+            // Fold newly mapped triples into the known pairs.
+            for (s, raw, o) in raw_triples {
+                if let Some(rule) = self.rules.get(raw) {
+                    let pair = if rule.inverted { (*o, *s) } else { (*s, *o) };
+                    let entry = known.entry(pair).or_default();
+                    if !entry.contains(&rule.ontology) {
+                        entry.push(rule.ontology.clone());
+                    }
+                }
+            }
+        }
+        total_added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn known(pairs: &[((u32, u32), &str)]) -> KnownPairs {
+        let mut k = KnownPairs::new();
+        for ((s, o), p) in pairs {
+            k.entry((*s, *o)).or_default().push((*p).to_owned());
+        }
+        k
+    }
+
+    fn raws(list: &[(u32, &str, u32)]) -> Vec<RawTripleIds> {
+        list.iter().map(|(s, r, o)| (*s, (*r).to_owned(), *o)).collect()
+    }
+
+    #[test]
+    fn seeds_map_immediately() {
+        let m = PredicateMapper::bootstrap(&[("acquire", "acquired", false)]);
+        let r = m.map("acquire").unwrap();
+        assert_eq!(r.ontology, "acquired");
+        assert!(!r.inverted);
+        assert!(r.seed);
+        assert!(m.map("buy").is_none());
+    }
+
+    #[test]
+    fn expansion_learns_synonym_from_distant_supervision() {
+        let mut m = PredicateMapper::bootstrap(&[("acquire", "acquired", false)]);
+        // KG already knows 1-acquired-2 etc. (e.g. via the seed's output).
+        let kb = known(&[((1, 2), "acquired"), ((3, 4), "acquired"), ((5, 6), "acquired")]);
+        // "buy" connects the same pairs in the raw corpus.
+        let rt = raws(&[(1, "buy", 2), (3, "buy", 4), (5, "buy", 6), (7, "buy", 8)]);
+        let added = m.expand(&rt, &kb);
+        assert_eq!(added, 1);
+        let r = m.map("buy").unwrap();
+        assert_eq!(r.ontology, "acquired");
+        assert!(!r.seed);
+        assert!((r.confidence - 0.75).abs() < 1e-9, "3 of 4 occurrences supervised");
+    }
+
+    #[test]
+    fn inverted_rules_are_learned() {
+        let mut m = PredicateMapper::bootstrap(&[]);
+        m = m.with_thresholds(2, 0.5);
+        // KG: company 10 foundedBy person 20 — raw text says "20 founded 10".
+        let kb = known(&[((10, 20), "foundedBy"), ((11, 21), "foundedBy")]);
+        let rt = raws(&[(20, "found", 10), (21, "found", 11)]);
+        assert_eq!(m.expand(&rt, &kb), 1);
+        let r = m.map("found").unwrap();
+        assert_eq!(r.ontology, "foundedBy");
+        assert!(r.inverted);
+    }
+
+    #[test]
+    fn low_support_is_rejected() {
+        let mut m = PredicateMapper::bootstrap(&[]);
+        let kb = known(&[((1, 2), "acquired")]);
+        let rt = raws(&[(1, "buy", 2)]); // support 1 < 3
+        assert_eq!(m.expand(&rt, &kb), 0);
+        assert!(m.map("buy").is_none());
+    }
+
+    #[test]
+    fn low_precision_is_rejected() {
+        let mut m = PredicateMapper::bootstrap(&[]).with_thresholds(3, 0.6);
+        let kb = known(&[((1, 2), "acquired"), ((3, 4), "acquired"), ((5, 6), "acquired")]);
+        // 3 supervised out of 10 → precision 0.3 < 0.6.
+        let mut list = vec![(1, "say", 2), (3, "say", 4), (5, "say", 6)];
+        for i in 0..7u32 {
+            list.push((100 + i, "say", 200 + i));
+        }
+        let rt = raws(&list.iter().map(|(a, b, c)| (*a, *b, *c)).collect::<Vec<_>>());
+        assert_eq!(m.expand(&rt, &kb), 0);
+    }
+
+    #[test]
+    fn fixpoint_expansion_chains_rules() {
+        // Seed maps "acquire"; "buy" co-occurs with acquire pairs; then
+        // "purchase" co-occurs with pairs only covered once "buy" is mapped.
+        let mut m = PredicateMapper::bootstrap(&[("acquire", "acquired", false)]);
+        let kb = known(&[((1, 2), "acquired"), ((3, 4), "acquired"), ((5, 6), "acquired")]);
+        let rt = raws(&[
+            // buy over KB-known pairs
+            (1, "buy", 2),
+            (3, "buy", 4),
+            (5, "buy", 6),
+            // buy over new pairs (become known after buy is mapped)
+            (7, "buy", 8),
+            (9, "buy", 10),
+            (11, "buy", 12),
+            // purchase only over the new pairs
+            (7, "purchase", 8),
+            (9, "purchase", 10),
+            (11, "purchase", 12),
+        ]);
+        let added = m.expand_to_fixpoint(&rt, &kb, 10);
+        assert_eq!(added, 2, "buy then purchase");
+        assert_eq!(m.map("purchase").unwrap().ontology, "acquired");
+    }
+
+    #[test]
+    fn seeds_are_never_overwritten() {
+        let mut m = PredicateMapper::bootstrap(&[("buy", "acquired", false)]);
+        let kb = known(&[((1, 2), "investedIn"), ((3, 4), "investedIn"), ((5, 6), "investedIn")]);
+        let rt = raws(&[(1, "buy", 2), (3, "buy", 4), (5, "buy", 6)]);
+        m.expand(&rt, &kb);
+        assert_eq!(m.map("buy").unwrap().ontology, "acquired", "seed survives");
+    }
+
+    #[test]
+    fn rules_listing_is_sorted() {
+        let m = PredicateMapper::bootstrap(&[
+            ("zeta", "p", false),
+            ("alpha", "p", false),
+        ]);
+        let names: Vec<&str> = m.rules().iter().map(|(k, _)| *k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

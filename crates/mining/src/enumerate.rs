@@ -1,0 +1,157 @@
+//! Connected-subgraph (embedding) enumeration.
+//!
+//! Two enumerators over an [`ActiveGraph`]:
+//!
+//! - [`embeddings_containing`] — all connected edge subsets of size ≤ k
+//!   that include a given pivot edge. This is the *delta* enumeration: when
+//!   the window gains (or is about to lose) an edge, exactly these
+//!   embeddings gain (lose) one occurrence.
+//! - [`all_embeddings`] — every connected edge subset of size ≤ k. Each
+//!   subset is visited exactly once by anchoring enumeration at the
+//!   subset's minimum edge id and only growing with larger ids (every
+//!   connected subset admits such a build order). This is the
+//!   Arabesque-style exploration the baselines use.
+
+use crate::index::ActiveGraph;
+use nous_graph::FxHashSet;
+
+/// All connected embeddings of size ≤ `k_max` that contain `pivot`.
+/// Each returned embedding is a sorted vec of edge ids.
+pub fn embeddings_containing(g: &ActiveGraph, pivot: u64, k_max: usize) -> Vec<Vec<u64>> {
+    debug_assert!(g.contains(pivot), "pivot must be active");
+    let mut seen: FxHashSet<Vec<u64>> = FxHashSet::default();
+    let mut out = Vec::new();
+    let mut stack = vec![vec![pivot]];
+    while let Some(emb) = stack.pop() {
+        if !seen.insert(emb.clone()) {
+            continue;
+        }
+        if emb.len() < k_max {
+            for next in g.frontier(&emb) {
+                let mut grown = emb.clone();
+                grown.push(next);
+                grown.sort_unstable();
+                stack.push(grown);
+            }
+        }
+        out.push(emb);
+    }
+    out
+}
+
+/// Every connected embedding of size ≤ `k_max`, each exactly once.
+pub fn all_embeddings(g: &ActiveGraph, k_max: usize) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    for anchor in g.sorted_ids() {
+        // Grow from `anchor` using only edges with larger ids; every
+        // connected set S is produced exactly from anchor = min(S).
+        let mut seen: FxHashSet<Vec<u64>> = FxHashSet::default();
+        let mut stack = vec![vec![anchor]];
+        while let Some(emb) = stack.pop() {
+            if !seen.insert(emb.clone()) {
+                continue;
+            }
+            if emb.len() < k_max {
+                for next in g.frontier(&emb) {
+                    if next > anchor {
+                        let mut grown = emb.clone();
+                        grown.push(next);
+                        grown.sort_unstable();
+                        stack.push(grown);
+                    }
+                }
+            }
+            out.push(emb);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::MinerEdge;
+
+    fn chain(n: u64) -> ActiveGraph {
+        let mut g = ActiveGraph::new();
+        for i in 0..n {
+            g.insert(MinerEdge::new(i, i, i + 1, 0, 0, 0));
+        }
+        g
+    }
+
+    fn sets(mut v: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn all_embeddings_of_a_chain() {
+        // Chain of 3 edges: e0: 0-1, e1: 1-2, e2: 2-3.
+        let g = chain(3);
+        let embs = sets(all_embeddings(&g, 2));
+        assert_eq!(
+            embs,
+            vec![vec![0], vec![0, 1], vec![1], vec![1, 2], vec![2]],
+            "singletons plus adjacent pairs (e0,e2 not adjacent)"
+        );
+    }
+
+    #[test]
+    fn all_embeddings_size3() {
+        let g = chain(3);
+        let embs = all_embeddings(&g, 3);
+        assert!(embs.contains(&vec![0, 1, 2]));
+        assert_eq!(embs.len(), 6);
+    }
+
+    #[test]
+    fn no_duplicates_in_all_embeddings() {
+        let mut g = ActiveGraph::new();
+        // Star: all edges share vertex 0 — worst case for duplicate growth.
+        for i in 0..5u64 {
+            g.insert(MinerEdge::new(i, 0, 10 + i, 0, 0, 0));
+        }
+        let embs = all_embeddings(&g, 3);
+        let dedup: FxHashSet<Vec<u64>> = embs.iter().cloned().collect();
+        assert_eq!(dedup.len(), embs.len());
+        // 5 singletons + C(5,2)=10 pairs + C(5,3)=10 triples.
+        assert_eq!(embs.len(), 25);
+    }
+
+    #[test]
+    fn embeddings_containing_pivot_only() {
+        let g = chain(3);
+        let embs = sets(embeddings_containing(&g, 1, 2));
+        assert_eq!(embs, vec![vec![0, 1], vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn delta_plus_rest_equals_whole() {
+        // Incremental invariant: embeddings(G) = embeddings(G - e) ∪
+        // embeddings_containing(G, e).
+        let g = chain(4);
+        let total = sets(all_embeddings(&g, 3));
+        let mut without = g.clone();
+        let removed = without.remove(2).unwrap();
+        let mut partial = all_embeddings(&without, 3);
+        let mut g2 = without.clone();
+        g2.insert(removed);
+        partial.extend(embeddings_containing(&g2, 2, 3));
+        assert_eq!(total, sets(partial));
+    }
+
+    #[test]
+    fn k_one_yields_singletons() {
+        let g = chain(5);
+        let embs = all_embeddings(&g, 1);
+        assert_eq!(embs.len(), 5);
+        assert!(embs.iter().all(|e| e.len() == 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ActiveGraph::new();
+        assert!(all_embeddings(&g, 3).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-pattern support time series.
+//!
+//! Figure 7 of the paper shows patterns *discovered from updates* — the
+//! interesting object is not one support number but how a pattern's
+//! support moves as the stream evolves. [`SupportHistory`] samples the
+//! miner at caller-chosen timestamps and keeps a bounded series per
+//! pattern, giving the trending UI its sparklines and the wave-detection
+//! tests their ground truth.
+
+use crate::pattern::Pattern;
+use crate::streaming::StreamingMiner;
+use nous_graph::FxHashMap;
+
+/// Bounded per-pattern `(timestamp, support)` series.
+#[derive(Debug, Clone)]
+pub struct SupportHistory {
+    /// Maximum samples retained per pattern (oldest dropped first).
+    capacity: usize,
+    series: FxHashMap<Pattern, Vec<(u64, u32)>>,
+}
+
+impl SupportHistory {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { capacity, series: FxHashMap::default() }
+    }
+
+    /// Sample the miner's current frequent set at logical time `now`.
+    /// Patterns absent from the frequent set record an explicit zero so a
+    /// fading wave is visible in the series.
+    pub fn sample(&mut self, miner: &mut StreamingMiner, now: u64) {
+        let frequent = miner.frequent_patterns();
+        let mut seen: Vec<&Pattern> = Vec::with_capacity(frequent.len());
+        for (p, support) in &frequent {
+            let entry = self.series.entry(p.clone()).or_default();
+            entry.push((now, *support));
+            if entry.len() > self.capacity {
+                entry.remove(0);
+            }
+        }
+        for (p, _) in &frequent {
+            seen.push(p);
+        }
+        // Record zeros for tracked patterns that fell out of the set.
+        for (p, entry) in self.series.iter_mut() {
+            if !seen.contains(&p) && entry.last().map(|(_, s)| *s) != Some(0) {
+                entry.push((now, 0));
+                if entry.len() > self.capacity {
+                    entry.remove(0);
+                }
+            }
+        }
+    }
+
+    /// The series for one pattern (empty when never frequent).
+    pub fn series(&self, p: &Pattern) -> &[(u64, u32)] {
+        self.series.get(p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct patterns ever sampled as frequent.
+    pub fn tracked(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Patterns whose latest support is at least `factor`× their series
+    /// minimum-over-a-nonzero-window — the "what is surging" view.
+    pub fn surging(&self, factor: f64) -> Vec<(&Pattern, u32)> {
+        let mut out: Vec<(&Pattern, u32)> = self
+            .series
+            .iter()
+            .filter_map(|(p, series)| {
+                let (_, latest) = *series.last()?;
+                if latest == 0 {
+                    return None;
+                }
+                let baseline = series[..series.len() - 1]
+                    .iter()
+                    .map(|(_, s)| *s)
+                    .min()
+                    .unwrap_or(latest);
+                (latest as f64 >= baseline.max(1) as f64 * factor).then_some((p, latest))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::MinerEdge;
+    use crate::streaming::{EvictionStrategy, MinerConfig};
+
+    fn miner() -> StreamingMiner {
+        StreamingMiner::new(MinerConfig {
+            k_max: 1,
+            min_support: 2,
+            eviction: EvictionStrategy::Eager,
+        })
+    }
+
+    fn me(id: u64, el: u32) -> MinerEdge {
+        MinerEdge::new(id, id * 2, id * 2 + 1, el, 0, 0)
+    }
+
+    #[test]
+    fn records_rise_and_fall() {
+        let mut m = miner();
+        let mut h = SupportHistory::new(16);
+        m.add_edge(me(0, 7));
+        h.sample(&mut m, 1); // support 1 < min_support: not frequent yet
+        m.add_edge(me(1, 7));
+        m.add_edge(me(2, 7));
+        h.sample(&mut m, 2); // support 3
+        m.remove_edge(0);
+        m.remove_edge(1);
+        h.sample(&mut m, 3); // support 1 -> falls out, zero recorded
+        assert_eq!(h.tracked(), 1);
+        let p = m.frequent_patterns(); // empty now
+        assert!(p.is_empty());
+        let pattern = crate::pattern::Pattern::from_embedding(&[me(9, 7)]);
+        assert_eq!(h.series(&pattern), &[(2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn capacity_bounds_series() {
+        let mut m = miner();
+        let mut h = SupportHistory::new(3);
+        m.add_edge(me(0, 1));
+        m.add_edge(me(1, 1));
+        for t in 0..10u64 {
+            h.sample(&mut m, t);
+        }
+        let pattern = crate::pattern::Pattern::from_embedding(&[me(9, 1)]);
+        let s = h.series(&pattern);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some(&(9, 2)));
+    }
+
+    #[test]
+    fn surging_detects_growth() {
+        let mut m = miner();
+        let mut h = SupportHistory::new(16);
+        m.add_edge(me(0, 1));
+        m.add_edge(me(1, 1));
+        h.sample(&mut m, 1); // support 2
+        for i in 2..8u64 {
+            m.add_edge(me(i, 1));
+        }
+        h.sample(&mut m, 2); // support 8
+        let surging = h.surging(3.0);
+        assert_eq!(surging.len(), 1);
+        assert_eq!(surging[0].1, 8);
+        // A flat pattern does not surge.
+        assert!(h.surging(100.0).is_empty());
+    }
+
+    #[test]
+    fn unknown_pattern_has_empty_series() {
+        let h = SupportHistory::new(4);
+        let pattern = crate::pattern::Pattern::from_embedding(&[me(0, 9)]);
+        assert!(h.series(&pattern).is_empty());
+        assert_eq!(h.tracked(), 0);
+    }
+}

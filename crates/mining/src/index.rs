@@ -1,0 +1,154 @@
+//! The window's live edge set with vertex adjacency.
+
+use crate::edge::MinerEdge;
+use nous_graph::{FxHashMap, FxHashSet};
+
+/// Live edges of the current window, indexed for enumeration.
+#[derive(Debug, Default, Clone)]
+pub struct ActiveGraph {
+    edges: FxHashMap<u64, MinerEdge>,
+    adj: FxHashMap<u64, Vec<u64>>,
+}
+
+impl ActiveGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.edges.contains_key(&id)
+    }
+
+    pub fn edge(&self, id: u64) -> Option<&MinerEdge> {
+        self.edges.get(&id)
+    }
+
+    /// Insert an edge. Panics on duplicate ids (ids come from the graph's
+    /// append-only log, so a duplicate is a caller bug).
+    pub fn insert(&mut self, e: MinerEdge) {
+        let prev = self.edges.insert(e.id, e);
+        assert!(prev.is_none(), "duplicate edge id {}", e.id);
+        self.adj.entry(e.src).or_default().push(e.id);
+        if e.dst != e.src {
+            self.adj.entry(e.dst).or_default().push(e.id);
+        }
+    }
+
+    /// Remove an edge, returning it if present.
+    pub fn remove(&mut self, id: u64) -> Option<MinerEdge> {
+        let e = self.edges.remove(&id)?;
+        for v in [e.src, e.dst] {
+            if let Some(list) = self.adj.get_mut(&v) {
+                list.retain(|&x| x != id);
+                if list.is_empty() {
+                    self.adj.remove(&v);
+                }
+            }
+        }
+        Some(e)
+    }
+
+    /// Ids of live edges incident to `v`.
+    pub fn incident(&self, v: u64) -> &[u64] {
+        self.adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Live edges adjacent to (sharing a vertex with) the edge set `emb`,
+    /// excluding members of `emb`.
+    pub fn frontier(&self, emb: &[u64]) -> Vec<u64> {
+        let emb_set: FxHashSet<u64> = emb.iter().copied().collect();
+        let mut out: Vec<u64> = Vec::new();
+        for &id in emb {
+            let e = self.edges[&id];
+            for v in [e.src, e.dst] {
+                for &cand in self.incident(v) {
+                    if !emb_set.contains(&cand) && !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &MinerEdge> {
+        self.edges.values()
+    }
+
+    /// Edge ids sorted ascending (deterministic iteration for baselines).
+    pub fn sorted_ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.edges.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me(id: u64, src: u64, dst: u64) -> MinerEdge {
+        MinerEdge::new(id, src, dst, 0, 0, 0)
+    }
+
+    #[test]
+    fn insert_and_incident() {
+        let mut g = ActiveGraph::new();
+        g.insert(me(1, 10, 20));
+        g.insert(me(2, 20, 30));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.incident(20), &[1, 2]);
+        assert_eq!(g.incident(10), &[1]);
+        assert!(g.incident(99).is_empty());
+    }
+
+    #[test]
+    fn remove_cleans_adjacency() {
+        let mut g = ActiveGraph::new();
+        g.insert(me(1, 10, 20));
+        g.insert(me(2, 20, 30));
+        let removed = g.remove(1).unwrap();
+        assert_eq!(removed.id, 1);
+        assert!(g.incident(10).is_empty());
+        assert_eq!(g.incident(20), &[2]);
+        assert!(g.remove(1).is_none());
+    }
+
+    #[test]
+    fn frontier_excludes_embedding() {
+        let mut g = ActiveGraph::new();
+        g.insert(me(1, 1, 2));
+        g.insert(me(2, 2, 3));
+        g.insert(me(3, 3, 4));
+        g.insert(me(4, 9, 9)); // disconnected
+        let f = g.frontier(&[1]);
+        assert_eq!(f, vec![2]);
+        let f2 = g.frontier(&[1, 2]);
+        assert_eq!(f2, vec![3]);
+    }
+
+    #[test]
+    fn self_loop_indexed_once() {
+        let mut g = ActiveGraph::new();
+        g.insert(me(1, 5, 5));
+        assert_eq!(g.incident(5), &[1]);
+        g.remove(1);
+        assert!(g.incident(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge id")]
+    fn duplicate_id_panics() {
+        let mut g = ActiveGraph::new();
+        g.insert(me(1, 1, 2));
+        g.insert(me(1, 3, 4));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: the streaming miner must agree with from-scratch batch
+//! mining after any interleaving of window adds and evictions.
+
+use nous_mining::baselines::{EmbeddingEnumMiner, PatternGrowthMiner};
+use nous_mining::{EvictionStrategy, MinerConfig, MinerEdge, StreamingMiner};
+use proptest::prelude::*;
+
+/// Random edge scripts over a small vertex/label space (density forces
+/// overlapping embeddings, the hard case for incremental maintenance).
+fn edges_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..8, 0u8..8, 0u8..3), 1..40)
+}
+
+fn build(script: &[(u8, u8, u8)]) -> Vec<MinerEdge> {
+    // Vertex type labels must be a function of the vertex (as in a real KG,
+    // where the label is the entity's ontology type).
+    let label = |v: u8| (v % 2) as u32;
+    script
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, d, el))| {
+            MinerEdge::new(i as u64, s as u64, d as u64, el as u32, label(s), label(d))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming (eager) result after feeding the whole script equals full
+    /// batch enumeration on the same edge set; the gSpan-style miner's
+    /// output is always a subset (its pruning can drop hub patterns whose
+    /// sub-patterns are infrequent) and exactly equal at min_support 1.
+    #[test]
+    fn streaming_equals_batch(script in edges_strategy(), sup in 1u32..4, k in 1usize..4) {
+        let edges = build(&script);
+        let mut sm = StreamingMiner::new(MinerConfig {
+            k_max: k,
+            min_support: sup,
+            eviction: EvictionStrategy::Eager,
+        });
+        for e in &edges {
+            sm.add_edge(*e);
+        }
+        let stream = sm.frequent_patterns();
+        let enum_ = EmbeddingEnumMiner::mine(&edges, k, sup);
+        let growth = PatternGrowthMiner::mine(&edges, k, sup);
+        prop_assert_eq!(stream.clone(), enum_.clone());
+        for item in &growth {
+            prop_assert!(enum_.contains(item), "growth reported a non-frequent pattern");
+        }
+        if sup == 1 {
+            prop_assert_eq!(growth, enum_);
+        }
+    }
+
+    /// Agreement must survive arbitrary evictions (sliding window).
+    #[test]
+    fn streaming_equals_batch_after_evictions(
+        script in edges_strategy(),
+        evict_mask in prop::collection::vec(any::<bool>(), 40),
+        sup in 1u32..3,
+    ) {
+        let edges = build(&script);
+        let mut sm = StreamingMiner::new(MinerConfig {
+            k_max: 3,
+            min_support: sup,
+            eviction: EvictionStrategy::Eager,
+        });
+        for e in &edges {
+            sm.add_edge(*e);
+        }
+        let mut remaining = Vec::new();
+        for (i, e) in edges.iter().enumerate() {
+            if evict_mask.get(i).copied().unwrap_or(false) {
+                sm.remove_edge(e.id);
+            } else {
+                remaining.push(*e);
+            }
+        }
+        let batch = EmbeddingEnumMiner::mine(&remaining, 3, sup);
+        prop_assert_eq!(sm.frequent_patterns(), batch);
+    }
+
+    /// Closed patterns are a subset of frequent patterns, and every
+    /// frequent non-closed pattern has a frequent superpattern with equal
+    /// support.
+    #[test]
+    fn closed_is_sound(script in edges_strategy(), sup in 1u32..3) {
+        let edges = build(&script);
+        let mut sm = StreamingMiner::new(MinerConfig {
+            k_max: 3,
+            min_support: sup,
+            eviction: EvictionStrategy::Eager,
+        });
+        for e in &edges {
+            sm.add_edge(*e);
+        }
+        let frequent = sm.frequent_patterns();
+        let closed = sm.closed_frequent();
+        for c in &closed {
+            prop_assert!(frequent.contains(c));
+        }
+        // Non-closed frequent patterns must be absorbed by some frequent
+        // superpattern of equal support.
+        for (p, c) in &frequent {
+            if closed.iter().any(|(cp, _)| cp == p) {
+                continue;
+            }
+            let absorbed = frequent.iter().any(|(q, qc)| {
+                qc == c && q.edge_count() == p.edge_count() + 1 && q.sub_patterns().contains(p)
+            });
+            prop_assert!(absorbed, "non-closed {p:?} lacks an absorbing superpattern");
+        }
+    }
+
+    /// Rebuild strategy and eager strategy always produce identical output.
+    #[test]
+    fn eviction_strategies_agree(script in edges_strategy()) {
+        let edges = build(&script);
+        let mk = |ev| {
+            let mut m = StreamingMiner::new(MinerConfig {
+                k_max: 3,
+                min_support: 2,
+                eviction: ev,
+            });
+            for e in &edges {
+                m.add_edge(*e);
+            }
+            // Evict the first third.
+            for e in edges.iter().take(edges.len() / 3) {
+                m.remove_edge(e.id);
+            }
+            m
+        };
+        let mut eager = mk(EvictionStrategy::Eager);
+        let mut rebuild = mk(EvictionStrategy::Rebuild);
+        prop_assert_eq!(eager.frequent_patterns(), rebuild.frequent_patterns());
+        prop_assert_eq!(eager.closed_frequent(), rebuild.closed_frequent());
+    }
+}

@@ -1,0 +1,187 @@
+//! Path-ranking baselines for experiment E9.
+//!
+//! The paper positions its coherence metric against "state of the art
+//! path-ranking algorithms". Three standard rankers over the same
+//! candidate set:
+//!
+//! - [`shortest_paths`] — hop count, ties broken lexicographically (what a
+//!   plain BFS gives you: blind between same-length explanations).
+//! - [`degree_salience_paths`] — prefer paths through high-degree
+//!   ("salient") intermediates, the centrality heuristic used by
+//!   relatedness-explanation systems; systematically drawn to hubs.
+//! - [`random_walk_paths`] — PRA-style: rank by random-walk probability,
+//!   the product of `1/degree` along the path.
+
+use crate::path::{enumerate_paths, PathConstraint, RankedPath};
+use crate::QaConfig;
+use nous_graph::{DynamicGraph, VertexId};
+
+fn candidates(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> Vec<RankedPath> {
+    // Baselines search unguided (no look-ahead pruning).
+    enumerate_paths(g, src, dst, cfg.max_hops, cfg.budget, constraint, |_, steps| steps)
+}
+
+/// Rank by length ascending; ties lexicographic on vertex ids.
+pub fn shortest_paths(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> Vec<RankedPath> {
+    let mut paths = candidates(g, src, dst, constraint, cfg);
+    for p in &mut paths {
+        p.score = p.len() as f64;
+    }
+    paths.sort_by(|a, b| {
+        a.len().cmp(&b.len()).then_with(|| a.vertices.cmp(&b.vertices))
+    });
+    paths.truncate(cfg.k);
+    paths
+}
+
+/// Rank by mean degree of intermediate vertices, descending (salience).
+pub fn degree_salience_paths(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> Vec<RankedPath> {
+    let mut paths = candidates(g, src, dst, constraint, cfg);
+    for p in &mut paths {
+        let inner = &p.vertices[1..p.vertices.len().saturating_sub(1)];
+        p.score = if inner.is_empty() {
+            0.0
+        } else {
+            inner.iter().map(|&v| g.degree(v) as f64).sum::<f64>() / inner.len() as f64
+        };
+    }
+    paths.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then_with(|| a.len().cmp(&b.len()))
+            .then_with(|| a.vertices.cmp(&b.vertices))
+    });
+    paths.truncate(cfg.k);
+    paths
+}
+
+/// Rank by random-walk probability `∏ 1/degree(v_i)` over non-target
+/// vertices, descending (PRA-style path probability).
+pub fn random_walk_paths(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> Vec<RankedPath> {
+    let mut paths = candidates(g, src, dst, constraint, cfg);
+    for p in &mut paths {
+        let mut prob = 1.0f64;
+        for &v in &p.vertices[..p.vertices.len() - 1] {
+            prob /= g.degree(v).max(1) as f64;
+        }
+        p.score = prob;
+    }
+    paths.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then_with(|| a.vertices.cmp(&b.vertices))
+    });
+    paths.truncate(cfg.k);
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_graph::Provenance;
+
+    /// a→b→d (quiet intermediate) and a→h→d (fat hub), same length.
+    fn hubbed() -> (DynamicGraph, VertexId, VertexId, VertexId, VertexId) {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let h = g.ensure_vertex("hub");
+        let d = g.ensure_vertex("d");
+        let p = g.intern_predicate("rel");
+        g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(b, p, d, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(a, p, h, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(h, p, d, 0, 1.0, Provenance::Curated);
+        for i in 0..6 {
+            let x = g.ensure_vertex(&format!("x{i}"));
+            g.add_edge_at(h, p, x, 0, 1.0, Provenance::Curated);
+        }
+        (g, a, b, h, d)
+    }
+
+    #[test]
+    fn shortest_prefers_fewest_hops() {
+        let (mut g, a, _b, _h, d) = hubbed();
+        let p = g.predicate_id("rel").unwrap();
+        g.add_edge_at(a, p, d, 0, 1.0, Provenance::Curated);
+        let paths = shortest_paths(&g, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn shortest_is_blind_between_equal_lengths() {
+        let (g, a, b, h, d) = hubbed();
+        let paths = shortest_paths(&g, a, d, &PathConstraint::default(), &QaConfig::default());
+        // Both 2-hop paths rank by vertex id, not meaning: b (id 1) sorts
+        // before hub (id 2).
+        assert_eq!(paths[0].vertices, vec![a, b, d]);
+        assert_eq!(paths[1].vertices, vec![a, h, d]);
+        assert_eq!(paths[0].score, paths[1].score);
+    }
+
+    #[test]
+    fn degree_salience_is_drawn_to_the_hub() {
+        let (g, a, _b, h, d) = hubbed();
+        let paths =
+            degree_salience_paths(&g, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert_eq!(paths[0].vertices[1], h, "hub ranks first by salience");
+    }
+
+    #[test]
+    fn random_walk_prefers_quiet_intermediates() {
+        let (g, a, b, _h, d) = hubbed();
+        let paths =
+            random_walk_paths(&g, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert_eq!(paths[0].vertices[1], b, "low-degree intermediate has higher walk prob");
+        assert!(paths[0].score > paths[1].score);
+    }
+
+    #[test]
+    fn constraint_applies_to_baselines() {
+        let (mut g, a, b, _h, d) = hubbed();
+        let q = g.intern_predicate("special");
+        g.add_edge_at(b, q, d, 0, 1.0, Provenance::Curated);
+        let c = PathConstraint { require_predicate: Some(q) };
+        for paths in [
+            shortest_paths(&g, a, d, &c, &QaConfig::default()),
+            degree_salience_paths(&g, a, d, &c, &QaConfig::default()),
+            random_walk_paths(&g, a, d, &c, &QaConfig::default()),
+        ] {
+            assert!(!paths.is_empty());
+            assert!(paths.iter().all(|p| p.hops.iter().any(|h| h.pred == q)));
+        }
+    }
+
+    #[test]
+    fn k_truncation() {
+        let (g, a, _b, _h, d) = hubbed();
+        let cfg = QaConfig { k: 1, ..Default::default() };
+        assert_eq!(shortest_paths(&g, a, d, &PathConstraint::default(), &cfg).len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The coherence-ranked path search (§3.6).
+//!
+//! Candidate generation uses the paper's look-ahead: at every hop only the
+//! `beam` neighbours with least topic divergence to the *target* are
+//! expanded. Each surviving source→target path then receives a coherence
+//! score — the mean Jensen–Shannon divergence between consecutive
+//! vertices' topic distributions — and "the path with least amount of
+//! divergence is chosen" (paths are returned ascending by divergence).
+
+use crate::path::{enumerate_paths, PathConstraint, RankedPath};
+use crate::topic_index::TopicIndex;
+use nous_graph::{DynamicGraph, VertexId};
+use nous_topics::js_divergence;
+use serde::{Deserialize, Serialize};
+
+/// Search parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QaConfig {
+    /// Maximum path length in hops.
+    pub max_hops: usize,
+    /// Look-ahead width: neighbours expanded per vertex, least-divergent
+    /// first. `usize::MAX` disables the look-ahead (ablation).
+    pub beam: usize,
+    /// Global expansion budget.
+    pub budget: usize,
+    /// Number of paths returned.
+    pub k: usize,
+}
+
+impl Default for QaConfig {
+    fn default() -> Self {
+        Self { max_hops: 4, beam: 8, budget: 20_000, k: 5 }
+    }
+}
+
+/// Coherence score: mean JS divergence along the path (lower = more
+/// coherent). Single-hop paths score the endpoints' divergence.
+pub fn path_coherence(topics: &TopicIndex, path: &[VertexId]) -> f64 {
+    if path.len() < 2 {
+        return 0.0;
+    }
+    let total: f64 = path
+        .windows(2)
+        .map(|w| js_divergence(topics.get(w[0]), topics.get(w[1])))
+        .sum();
+    total / (path.len() - 1) as f64
+}
+
+/// Top-K coherent paths from `src` to `dst` (ascending divergence).
+pub fn coherent_paths(
+    g: &DynamicGraph,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> Vec<RankedPath> {
+    let target_dist = topics.get(dst).to_vec();
+    let mut paths = enumerate_paths(
+        g,
+        src,
+        dst,
+        cfg.max_hops,
+        cfg.budget,
+        constraint,
+        |_, mut steps| {
+            if cfg.beam == usize::MAX || steps.len() <= cfg.beam {
+                return steps;
+            }
+            // Look-ahead: keep the `beam` neighbours with least divergence
+            // to the target. The DFS pops from the back, so sort
+            // descending — the least divergent neighbour is explored first.
+            steps.sort_by(|a, b| {
+                let da = js_divergence(topics.get(a.0), &target_dist);
+                let db = js_divergence(topics.get(b.0), &target_dist);
+                db.partial_cmp(&da).expect("divergence is finite")
+            });
+            let cut = steps.len() - cfg.beam;
+            steps.split_off(cut)
+        },
+    );
+    for p in &mut paths {
+        p.score = path_coherence(topics, &p.vertices);
+    }
+    paths.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .expect("finite scores")
+            .then_with(|| a.len().cmp(&b.len()))
+            .then_with(|| a.vertices.cmp(&b.vertices))
+    });
+    paths.truncate(cfg.k);
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_graph::Provenance;
+
+    /// Two same-length paths a→b→d (coherent: same topic) and a→h→d
+    /// (incoherent hub).
+    fn planted() -> (DynamicGraph, TopicIndex, VertexId, VertexId) {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let h = g.ensure_vertex("hub");
+        let d = g.ensure_vertex("d");
+        let p = g.intern_predicate("rel");
+        g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(b, p, d, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(a, p, h, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(h, p, d, 0, 1.0, Provenance::Curated);
+        // Hub noise.
+        for i in 0..5 {
+            let x = g.ensure_vertex(&format!("x{i}"));
+            g.add_edge_at(h, p, x, 0, 1.0, Provenance::Curated);
+        }
+        let mut t = TopicIndex::new(2);
+        t.set(a, vec![0.9, 0.1]);
+        t.set(b, vec![0.85, 0.15]);
+        t.set(d, vec![0.9, 0.1]);
+        t.set(h, vec![0.1, 0.9]);
+        (g, t, a, d)
+    }
+
+    #[test]
+    fn coherent_path_wins() {
+        let (g, t, a, d) = planted();
+        let paths =
+            coherent_paths(&g, &t, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert!(!paths.is_empty());
+        let names: Vec<&str> = paths[0].vertices.iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["a", "b", "d"], "least-divergence path first");
+        assert!(paths[0].score < paths[1].score);
+    }
+
+    #[test]
+    fn scores_are_ascending() {
+        let (g, t, a, d) = planted();
+        let paths =
+            coherent_paths(&g, &t, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert!(paths.windows(2).all(|w| w[0].score <= w[1].score));
+    }
+
+    #[test]
+    fn k_truncates() {
+        let (g, t, a, d) = planted();
+        let cfg = QaConfig { k: 1, ..Default::default() };
+        let paths = coherent_paths(&g, &t, a, d, &PathConstraint::default(), &cfg);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn tight_beam_still_reaches_target() {
+        let (g, t, a, d) = planted();
+        let cfg = QaConfig { beam: 1, ..Default::default() };
+        let paths = coherent_paths(&g, &t, a, d, &PathConstraint::default(), &cfg);
+        assert!(!paths.is_empty());
+        // Beam 1 follows the least-divergent neighbour — which is b.
+        let names: Vec<&str> = paths[0].vertices.iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["a", "b", "d"]);
+    }
+
+    #[test]
+    fn coherence_of_uniform_path_is_zero() {
+        let t = TopicIndex::new(3);
+        let path = [VertexId(0), VertexId(1), VertexId(2)];
+        assert!(path_coherence(&t, &path) < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let (mut g, t, a, _) = planted();
+        let lonely = g.ensure_vertex("lonely");
+        let paths =
+            coherent_paths(&g, &t, a, lonely, &PathConstraint::default(), &QaConfig::default());
+        assert!(paths.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Path types and budgeted simple-path enumeration.
+//!
+//! Paths ignore edge direction (a "why are s and t related" question may
+//! traverse inverse relations) but remember each hop's orientation so the
+//! answer can be rendered faithfully. Enumeration is a depth-limited DFS
+//! over simple paths with a global expansion budget and a pluggable
+//! neighbour expander — the coherence search plugs its look-ahead in here;
+//! baselines use the identity expander.
+
+use nous_graph::{DynamicGraph, EdgeId, PredicateId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// One traversed hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    pub pred: PredicateId,
+    pub edge: EdgeId,
+    /// `true` when traversed src→dst (along edge direction).
+    pub forward: bool,
+}
+
+/// A scored source→target path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedPath {
+    /// Vertices, source first, target last.
+    pub vertices: Vec<VertexId>,
+    /// `vertices.len() - 1` hops.
+    pub hops: Vec<Hop>,
+    /// Ranking score; smaller-is-better or larger-is-better is the
+    /// ranker's contract (coherence: smaller divergence is better).
+    pub score: f64,
+}
+
+impl RankedPath {
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Render as `A -[p]-> B <-[q]- C`.
+    pub fn render(&self, g: &DynamicGraph) -> String {
+        let mut s = g.vertex_name(self.vertices[0]).to_owned();
+        for (i, h) in self.hops.iter().enumerate() {
+            let pred = g.predicate_name(h.pred);
+            if h.forward {
+                s.push_str(&format!(" -[{pred}]-> "));
+            } else {
+                s.push_str(&format!(" <-[{pred}]- "));
+            }
+            s.push_str(g.vertex_name(self.vertices[i + 1]));
+        }
+        s
+    }
+}
+
+/// Constraint on admissible paths.
+#[derive(Debug, Clone, Default)]
+pub struct PathConstraint {
+    /// Path must contain at least one hop with this predicate
+    /// ("a relationship constraint, which typically is a predicate from
+    /// the target ontology").
+    pub require_predicate: Option<PredicateId>,
+}
+
+impl PathConstraint {
+    pub fn satisfied_by(&self, hops: &[Hop]) -> bool {
+        match self.require_predicate {
+            Some(p) => hops.iter().any(|h| h.pred == p),
+            None => true,
+        }
+    }
+}
+
+/// An undirected neighbour step: `(neighbor, hop)`.
+pub(crate) fn neighbor_steps(g: &DynamicGraph, v: VertexId) -> Vec<(VertexId, Hop)> {
+    let mut out: Vec<(VertexId, Hop)> = g
+        .out_edges(v)
+        .map(|a| (a.other, Hop { pred: a.pred, edge: a.edge, forward: true }))
+        .chain(g.in_edges(v).map(|a| (a.other, Hop { pred: a.pred, edge: a.edge, forward: false })))
+        .collect();
+    // Deterministic order: by neighbour id then edge id.
+    out.sort_by_key(|(n, h)| (n.0, h.edge.0));
+    out
+}
+
+/// Enumerate simple paths from `src` to `dst` of at most `max_hops` hops.
+///
+/// `expand` receives the current vertex and its candidate steps and returns
+/// the (possibly pruned / reordered) steps actually explored — the
+/// look-ahead hook. `budget` bounds the total number of node expansions.
+/// Returned paths carry `score = 0.0`; ranking is a separate pass.
+pub fn enumerate_paths(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    max_hops: usize,
+    budget: usize,
+    constraint: &PathConstraint,
+    mut expand: impl FnMut(VertexId, Vec<(VertexId, Hop)>) -> Vec<(VertexId, Hop)>,
+) -> Vec<RankedPath> {
+    let mut out = Vec::new();
+    if src == dst || max_hops == 0 {
+        return out;
+    }
+    let mut expansions = 0usize;
+    let mut vstack = vec![src];
+    let mut hstack: Vec<Hop> = Vec::new();
+
+    // Iterative DFS with explicit frame stack of pending steps.
+    let first = expand(src, neighbor_steps(g, src));
+    let mut frames: Vec<Vec<(VertexId, Hop)>> = vec![first];
+    while let Some(frame) = frames.last_mut() {
+        let Some((next, hop)) = frame.pop() else {
+            frames.pop();
+            vstack.pop();
+            hstack.pop();
+            continue;
+        };
+        if vstack.contains(&next) {
+            continue; // simple paths only
+        }
+        if next == dst {
+            let mut hops = hstack.clone();
+            hops.push(hop);
+            if constraint.satisfied_by(&hops) {
+                let mut vertices = vstack.clone();
+                vertices.push(dst);
+                out.push(RankedPath { vertices, hops, score: 0.0 });
+            }
+            continue;
+        }
+        if hstack.len() + 1 >= max_hops || expansions >= budget {
+            continue;
+        }
+        expansions += 1;
+        vstack.push(next);
+        hstack.push(hop);
+        frames.push(expand(next, neighbor_steps(g, next)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_graph::Provenance;
+
+    /// a→b→d, a→c→d, plus direct a→d.
+    fn diamond() -> (DynamicGraph, Vec<VertexId>, PredicateId) {
+        let mut g = DynamicGraph::new();
+        let ids: Vec<VertexId> = ["a", "b", "c", "d"].iter().map(|n| g.ensure_vertex(n)).collect();
+        let p = g.intern_predicate("rel");
+        g.add_edge_at(ids[0], p, ids[1], 0, 1.0, Provenance::Curated);
+        g.add_edge_at(ids[1], p, ids[3], 0, 1.0, Provenance::Curated);
+        g.add_edge_at(ids[0], p, ids[2], 0, 1.0, Provenance::Curated);
+        g.add_edge_at(ids[2], p, ids[3], 0, 1.0, Provenance::Curated);
+        g.add_edge_at(ids[0], p, ids[3], 0, 1.0, Provenance::Curated);
+        (g, ids, p)
+    }
+
+    fn all(g: &DynamicGraph, s: VertexId, t: VertexId, h: usize) -> Vec<RankedPath> {
+        enumerate_paths(g, s, t, h, 10_000, &PathConstraint::default(), |_, steps| steps)
+    }
+
+    #[test]
+    fn finds_all_simple_paths() {
+        let (g, v, _) = diamond();
+        let paths = all(&g, v[0], v[3], 3);
+        assert_eq!(paths.len(), 3, "direct, via b, via c");
+        assert!(paths.iter().any(|p| p.len() == 1));
+        assert_eq!(paths.iter().filter(|p| p.len() == 2).count(), 2);
+    }
+
+    #[test]
+    fn max_hops_limits_depth() {
+        let (g, v, _) = diamond();
+        let paths = all(&g, v[0], v[3], 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let (g, v, _) = diamond();
+        for p in all(&g, v[0], v[3], 4) {
+            let mut seen = p.vertices.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), p.vertices.len(), "vertex repeated in {p:?}");
+        }
+    }
+
+    #[test]
+    fn traverses_against_direction() {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let c = g.ensure_vertex("c");
+        let p = g.intern_predicate("rel");
+        // a→b, c→b: a to c only via reversed second edge.
+        g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(c, p, b, 0, 1.0, Provenance::Curated);
+        let paths = all(&g, a, c, 2);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].hops[0].forward);
+        assert!(!paths[0].hops[1].forward);
+    }
+
+    #[test]
+    fn predicate_constraint_filters() {
+        let (mut g, v, _) = diamond();
+        let q = g.intern_predicate("special");
+        g.add_edge_at(v[1], q, v[3], 0, 1.0, Provenance::Curated);
+        let constraint = PathConstraint { require_predicate: Some(q) };
+        let paths =
+            enumerate_paths(&g, v[0], v[3], 3, 10_000, &constraint, |_, steps| steps);
+        assert!(!paths.is_empty());
+        assert!(paths.iter().all(|p| p.hops.iter().any(|h| h.pred == q)));
+    }
+
+    #[test]
+    fn expander_can_prune() {
+        let (g, v, _) = diamond();
+        // Expander that forbids stepping to b.
+        let paths = enumerate_paths(
+            &g,
+            v[0],
+            v[3],
+            3,
+            10_000,
+            &PathConstraint::default(),
+            |_, steps| steps.into_iter().filter(|(n, _)| *n != v[1]).collect(),
+        );
+        assert_eq!(paths.len(), 2, "direct and via c");
+    }
+
+    #[test]
+    fn budget_bounds_exploration() {
+        let (g, v, _) = diamond();
+        let paths = enumerate_paths(
+            &g,
+            v[0],
+            v[3],
+            3,
+            0, // no expansions beyond the source frontier
+            &PathConstraint::default(),
+            |_, steps| steps,
+        );
+        // Only the direct edge can be found without expanding inner nodes.
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn same_source_and_target_is_empty() {
+        let (g, v, _) = diamond();
+        assert!(all(&g, v[0], v[0], 3).is_empty());
+    }
+
+    #[test]
+    fn render_shows_directions() {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("A");
+        let b = g.ensure_vertex("B");
+        let c = g.ensure_vertex("C");
+        let p = g.intern_predicate("owns");
+        g.add_edge_at(a, p, b, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(c, p, b, 0, 1.0, Provenance::Curated);
+        let paths = all(&g, a, c, 2);
+        assert_eq!(paths[0].render(&g), "A -[owns]-> B <-[owns]- C");
+    }
+}

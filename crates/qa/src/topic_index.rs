@@ -1,0 +1,103 @@
+//! Per-vertex topic distributions.
+//!
+//! The paper assigns "a topic distribution to every entity by executing
+//! the LDA algorithm on the 'document-term' matrix constructed from the
+//! text" attached to each vertex. This index stores those distributions,
+//! dense by `VertexId`, with a uniform fallback for vertices that joined
+//! the graph without any text yet.
+
+use nous_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Dense per-vertex topic distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicIndex {
+    k: usize,
+    dists: Vec<Option<Vec<f64>>>,
+    uniform: Vec<f64>,
+}
+
+impl TopicIndex {
+    /// Create an index for `k` topics.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one topic");
+        Self { k, dists: Vec::new(), uniform: vec![1.0 / k as f64; k] }
+    }
+
+    pub fn num_topics(&self) -> usize {
+        self.k
+    }
+
+    /// Set the distribution of a vertex (must have `k` components summing
+    /// to ~1; normalised defensively).
+    pub fn set(&mut self, v: VertexId, dist: Vec<f64>) {
+        assert_eq!(dist.len(), self.k, "distribution dimensionality mismatch");
+        let sum: f64 = dist.iter().sum();
+        let dist = if (sum - 1.0).abs() > 1e-6 && sum > 0.0 {
+            dist.iter().map(|x| x / sum).collect()
+        } else {
+            dist
+        };
+        if v.index() >= self.dists.len() {
+            self.dists.resize(v.index() + 1, None);
+        }
+        self.dists[v.index()] = Some(dist);
+    }
+
+    /// Distribution of `v` (uniform when unknown).
+    pub fn get(&self, v: VertexId) -> &[f64] {
+        self.dists
+            .get(v.index())
+            .and_then(|d| d.as_deref())
+            .unwrap_or(&self.uniform)
+    }
+
+    /// Does `v` have an assigned (non-fallback) distribution?
+    pub fn is_assigned(&self, v: VertexId) -> bool {
+        self.dists.get(v.index()).is_some_and(|d| d.is_some())
+    }
+
+    /// Number of vertices with assigned distributions.
+    pub fn assigned_count(&self) -> usize {
+        self.dists.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_vertices_are_uniform() {
+        let idx = TopicIndex::new(4);
+        let d = idx.get(VertexId(42));
+        assert_eq!(d, &[0.25; 4]);
+        assert!(!idx.is_assigned(VertexId(42)));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut idx = TopicIndex::new(2);
+        idx.set(VertexId(3), vec![0.9, 0.1]);
+        assert_eq!(idx.get(VertexId(3)), &[0.9, 0.1]);
+        assert!(idx.is_assigned(VertexId(3)));
+        assert_eq!(idx.assigned_count(), 1);
+        // Vertices below 3 still uniform.
+        assert_eq!(idx.get(VertexId(0)), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn unnormalised_input_is_normalised() {
+        let mut idx = TopicIndex::new(2);
+        idx.set(VertexId(0), vec![3.0, 1.0]);
+        let d = idx.get(VertexId(0));
+        assert!((d[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dimension_panics() {
+        let mut idx = TopicIndex::new(3);
+        idx.set(VertexId(0), vec![1.0]);
+    }
+}

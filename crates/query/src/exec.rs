@@ -1,0 +1,294 @@
+//! Query execution against the live system state.
+
+use crate::ast::{Endpoint, Query, QueryResult};
+use nous_core::{KnowledgeGraph, TrendMonitor};
+use nous_graph::VertexId;
+use nous_qa::{coherent_paths, PathConstraint, QaConfig, TopicIndex};
+use nous_text::bow::BagOfWords;
+
+fn resolve(kg: &KnowledgeGraph, name: &str) -> Option<VertexId> {
+    kg.graph.vertex_id(name).or_else(|| {
+        kg.disambiguator
+            .resolve(name, &BagOfWords::new(), nous_link::LinkMode::Full)
+            .map(|r| VertexId(r.id))
+    })
+}
+
+fn endpoint_matches(kg: &KnowledgeGraph, ep: &Endpoint, v: VertexId) -> bool {
+    match ep {
+        Endpoint::Any => true,
+        Endpoint::Type(t) => kg.graph.label(v).is_some_and(|l| l.eq_ignore_ascii_case(t)),
+        Endpoint::Constant(name) => kg.graph.vertex_name(v).eq_ignore_ascii_case(name),
+    }
+}
+
+/// Execute a parsed query. `trends` feeds the Trending class; `topics`
+/// feeds the Why class. Both are owned by the session, mirroring the
+/// paper's long-running demo services.
+pub fn execute(
+    query: &Query,
+    kg: &KnowledgeGraph,
+    topics: &TopicIndex,
+    trends: &mut TrendMonitor,
+) -> QueryResult {
+    match query {
+        Query::Trending { limit } => {
+            let mut items: Vec<(String, u32)> = trends
+                .trending(kg)
+                .into_iter()
+                .map(|t| (t.description, t.support))
+                .collect();
+            items.truncate(*limit);
+            QueryResult::Trending(items)
+        }
+
+        Query::Entity { name } => match kg.entity_summary(name) {
+            None => QueryResult::NotFound(name.clone()),
+            Some(s) => QueryResult::Entity {
+                name: s.name,
+                entity_type: s.entity_type,
+                degree: s.degree,
+                facts: s.facts.into_iter().map(|(f, c, _, cur)| (f, c, cur)).collect(),
+                neighbors: s.neighbors,
+            },
+        },
+
+        Query::Why { source, target, via, limit } => {
+            let Some(src) = resolve(kg, source) else {
+                return QueryResult::NotFound(source.clone());
+            };
+            let Some(dst) = resolve(kg, target) else {
+                return QueryResult::NotFound(target.clone());
+            };
+            let constraint = PathConstraint {
+                require_predicate: via.as_deref().and_then(|p| kg.graph.predicate_id(p)),
+            };
+            if let Some(v) = via {
+                if kg.graph.predicate_id(v).is_none() {
+                    return QueryResult::NotFound(format!("predicate {v}"));
+                }
+            }
+            let cfg = QaConfig { k: *limit, ..Default::default() };
+            let paths = coherent_paths(&kg.graph, topics, src, dst, &constraint, &cfg);
+            QueryResult::Paths(
+                paths.into_iter().map(|p| (p.render(&kg.graph), p.score)).collect(),
+            )
+        }
+
+        Query::Match { src, predicate, dst, limit, since, until } => {
+            let Some(pred) = kg.graph.predicate_id(predicate) else {
+                return QueryResult::NotFound(format!("predicate {predicate}"));
+            };
+            let mut total = 0usize;
+            let mut sample = Vec::new();
+            for (_, e) in kg.graph.iter_edges() {
+                if e.pred != pred
+                    || !endpoint_matches(kg, src, e.src)
+                    || !endpoint_matches(kg, dst, e.dst)
+                    || since.is_some_and(|d| e.at < d)
+                    || until.is_some_and(|d| e.at > d)
+                {
+                    continue;
+                }
+                total += 1;
+                if sample.len() < *limit {
+                    sample.push(format!(
+                        "{} -[{}]-> {} ({:.2}, {})",
+                        kg.graph.vertex_name(e.src),
+                        predicate,
+                        kg.graph.vertex_name(e.dst),
+                        e.confidence,
+                        e.provenance.tag(),
+                    ));
+                }
+            }
+            QueryResult::Matches { total, sample }
+        }
+
+        Query::Timeline { name, limit } => {
+            let Some(v) = resolve(kg, name) else {
+                return QueryResult::NotFound(name.clone());
+            };
+            let mut items: Vec<(u64, String, f32)> = kg
+                .graph
+                .out_edges(v)
+                .map(|adj| (adj, true))
+                .chain(kg.graph.in_edges(v).map(|adj| (adj, false)))
+                .map(|(adj, outgoing)| {
+                    let e = kg.graph.edge(adj.edge);
+                    let (from, to) = if outgoing { (v, adj.other) } else { (adj.other, v) };
+                    let text = format!(
+                        "{} -[{}]-> {}",
+                        kg.graph.vertex_name(from),
+                        kg.graph.predicate_name(adj.pred),
+                        kg.graph.vertex_name(to)
+                    );
+                    (e.at, text, e.confidence)
+                })
+                .collect();
+            items.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            items.truncate(*limit);
+            QueryResult::Timeline(items)
+        }
+
+        Query::Paths { source, target, max_hops, limit } => {
+            let Some(src) = resolve(kg, source) else {
+                return QueryResult::NotFound(source.clone());
+            };
+            let Some(dst) = resolve(kg, target) else {
+                return QueryResult::NotFound(target.clone());
+            };
+            let cfg = QaConfig { k: *limit, max_hops: *max_hops, ..Default::default() };
+            let paths = nous_qa::baselines::shortest_paths(
+                &kg.graph,
+                src,
+                dst,
+                &PathConstraint::default(),
+                &cfg,
+            );
+            QueryResult::Paths(
+                paths.into_iter().map(|p| (p.render(&kg.graph), p.score)).collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use nous_graph::window::WindowKind;
+    use nous_mining::{EvictionStrategy, MinerConfig};
+    use nous_text::ner::EntityType;
+
+    /// A small hand-built system: 3 companies in a motif, topics assigned.
+    fn session() -> (KnowledgeGraph, TopicIndex, TrendMonitor) {
+        let mut kg = KnowledgeGraph::new();
+        let a = kg.create_entity("Apex Robotics", EntityType::Organization);
+        let b = kg.create_entity("Condor Labs", EntityType::Organization);
+        let c = kg.create_entity("Falcon Systems", EntityType::Organization);
+        let hub = kg.create_entity("Mega Hub", EntityType::Organization);
+        for i in 0..3 {
+            // Repeat the acquisition motif so it trends.
+            let x = kg.create_entity(&format!("X{i}"), EntityType::Organization);
+            let y = kg.create_entity(&format!("Y{i}"), EntityType::Organization);
+            kg.add_extracted_fact(x, "acquired", y, i, 0.9, i);
+        }
+        kg.add_extracted_fact(a, "partneredWith", b, 10, 0.9, 9);
+        kg.add_extracted_fact(b, "investedIn", c, 11, 0.8, 9);
+        kg.add_extracted_fact(a, "competesWith", hub, 12, 0.7, 9);
+        kg.add_extracted_fact(hub, "partneredWith", c, 13, 0.7, 9);
+
+        let mut topics = TopicIndex::new(2);
+        let t = |v: VertexId, x: f64| (v, vec![x, 1.0 - x]);
+        for (v, d) in [t(a, 0.9), t(b, 0.85), t(c, 0.9), t(hub, 0.1)] {
+            let mut idx_d = d;
+            let sum: f64 = idx_d.iter().sum();
+            idx_d.iter_mut().for_each(|x| *x /= sum);
+            topics.set(v, idx_d);
+        }
+
+        let mut trends = TrendMonitor::new(
+            WindowKind::Count { n: 100 },
+            MinerConfig { k_max: 1, min_support: 3, eviction: EvictionStrategy::Eager },
+        );
+        trends.observe(&kg);
+        (kg, topics, trends)
+    }
+
+    fn run(q: &str) -> QueryResult {
+        let (kg, topics, mut trends) = session();
+        execute(&parse(q).unwrap(), &kg, &topics, &mut trends)
+    }
+
+    #[test]
+    fn trending_query_reports_motif() {
+        let r = run("TRENDING LIMIT 5");
+        let QueryResult::Trending(items) = r else { panic!("wrong variant: {r:?}") };
+        assert!(items.iter().any(|(d, s)| d.contains("acquired") && *s == 3), "{items:?}");
+    }
+
+    #[test]
+    fn entity_query() {
+        let r = run("tell me about Apex Robotics");
+        let QueryResult::Entity { name, degree, facts, .. } = r else {
+            panic!("wrong variant: {r:?}")
+        };
+        assert_eq!(name, "Apex Robotics");
+        assert_eq!(degree, 2);
+        assert!(facts.iter().any(|(f, _, _)| f.contains("partneredWith")));
+    }
+
+    #[test]
+    fn why_query_prefers_coherent_path() {
+        let r = run("WHY Apex Robotics -> Falcon Systems LIMIT 2");
+        let QueryResult::Paths(paths) = r else { panic!("wrong variant: {r:?}") };
+        assert!(!paths.is_empty());
+        assert!(
+            paths[0].0.contains("Condor Labs"),
+            "coherent path through Condor Labs should rank first: {paths:?}"
+        );
+    }
+
+    #[test]
+    fn why_with_predicate_constraint() {
+        let r = run("WHY Apex Robotics -> Falcon Systems VIA investedIn");
+        let QueryResult::Paths(paths) = r else { panic!("wrong variant: {r:?}") };
+        assert!(paths.iter().all(|(p, _)| p.contains("investedIn")));
+        let r2 = run("WHY Apex Robotics -> Falcon Systems VIA noSuchPred");
+        assert!(matches!(r2, QueryResult::NotFound(_)));
+    }
+
+    #[test]
+    fn match_query_counts_and_samples() {
+        let r = run("MATCH (Organization)-[acquired]->(Organization) LIMIT 2");
+        let QueryResult::Matches { total, sample } = r else { panic!("wrong variant: {r:?}") };
+        assert_eq!(total, 3);
+        assert_eq!(sample.len(), 2);
+        let r2 = run("MATCH (*)-[acquired]->(\"Y0\")");
+        let QueryResult::Matches { total, .. } = r2 else { panic!() };
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn paths_query_enumerates() {
+        let r = run("PATHS Apex Robotics TO Falcon Systems MAX 3");
+        let QueryResult::Paths(paths) = r else { panic!("wrong variant: {r:?}") };
+        assert_eq!(paths.len(), 2, "via Condor Labs and via Mega Hub");
+    }
+
+    #[test]
+    fn timeline_is_chronological() {
+        let r = run("TIMELINE Apex Robotics");
+        let QueryResult::Timeline(items) = r else { panic!("wrong variant: {r:?}") };
+        assert_eq!(items.len(), 2, "partneredWith(t=10) and competesWith(t=12)");
+        assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(items[0].0, 10);
+        assert!(items[0].1.contains("partneredWith"));
+        // Natural-language phrasing parses to the same class.
+        let r2 = run("what happened to Condor Labs");
+        assert!(matches!(r2, QueryResult::Timeline(_)));
+        assert!(matches!(run("TIMELINE Nobody"), QueryResult::NotFound(_)));
+    }
+
+    #[test]
+    fn match_temporal_window_filters_edges() {
+        // Acquisition edges in session() carry timestamps 0, 1, 2.
+        let r = run("MATCH (*)-[acquired]->(*) SINCE 1 UNTIL 2");
+        let QueryResult::Matches { total, .. } = r else { panic!("{r:?}") };
+        assert_eq!(total, 2);
+        let r2 = run("MATCH (*)-[acquired]->(*) SINCE 99");
+        let QueryResult::Matches { total, .. } = r2 else { panic!() };
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn unknown_entities_report_not_found() {
+        assert!(matches!(run("ABOUT Nobody Inc"), QueryResult::NotFound(_)));
+        assert!(matches!(run("WHY Nobody -> Apex Robotics"), QueryResult::NotFound(_)));
+        assert!(matches!(
+            run("MATCH (Organization)-[zzz]->(Organization)"),
+            QueryResult::NotFound(_)
+        ));
+    }
+}

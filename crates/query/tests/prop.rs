@@ -1,0 +1,66 @@
+//! Property tests: the query parser must be total (never panic) and its
+//! accepted outputs must respect structural invariants.
+
+use nous_query::{parse, Query};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary input never panics; it either parses or errors cleanly.
+    #[test]
+    fn parser_is_total(input in "\\PC{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// LIMIT clauses always produce a positive limit.
+    #[test]
+    fn limits_are_positive(n in 0usize..10_000) {
+        if let Ok(q) = parse(&format!("TRENDING LIMIT {n}")) {
+            let Query::Trending { limit } = q else { panic!("wrong class") };
+            prop_assert!(limit >= 1);
+            prop_assert_eq!(limit, n.max(1));
+        }
+    }
+
+    /// Entity names with arbitrary inner content survive the ABOUT parse
+    /// verbatim (the executor owns resolution, not the parser).
+    #[test]
+    fn about_preserves_names(name in "[A-Za-z][A-Za-z0-9 ]{0,40}") {
+        prop_assume!(!name.trim().is_empty());
+        // Avoid names whose tail collides with the LIMIT clause syntax.
+        prop_assume!(!name.to_lowercase().contains(" limit "));
+        // "ABOUT what is X" style inputs would re-trigger an earlier
+        // surface form; exclude the other classes' leading keywords.
+        let lower = name.to_lowercase();
+        prop_assume!(!lower.starts_with("what is ") && !lower.starts_with("who is "));
+        prop_assume!(!lower.starts_with("tell me about ") && !lower.starts_with("about "));
+        let q = parse(&format!("ABOUT {name}")).expect("valid ABOUT");
+        let Query::Entity { name: parsed } = q else { panic!("wrong class") };
+        prop_assert_eq!(parsed, name.trim().to_owned());
+    }
+
+    /// WHY endpoints round-trip through both the arrow and NL syntax.
+    #[test]
+    fn why_endpoints_roundtrip(
+        a in "[A-Z][a-z]{2,10}( [A-Z][a-z]{2,10})?",
+        b in "[A-Z][a-z]{2,10}( [A-Z][a-z]{2,10})?",
+    ) {
+        prop_assume!(!a.to_lowercase().contains("via") && !b.to_lowercase().contains("via"));
+        prop_assume!(!a.to_lowercase().contains("related") && !b.to_lowercase().contains("related"));
+        for text in [format!("WHY {a} -> {b}"), format!("why is {a} related to {b}")] {
+            let q = parse(&text).expect("valid WHY");
+            let Query::Why { source, target, .. } = q else { panic!("wrong class") };
+            prop_assert_eq!(source, a.clone());
+            prop_assert_eq!(target, b.clone());
+        }
+    }
+
+    /// MATCH hop bounds are clamped into [1, 8] for PATHS.
+    #[test]
+    fn paths_hops_clamped(h in 0usize..100) {
+        if let Ok(Query::Paths { max_hops, .. }) =
+            parse(&format!("PATHS Alpha TO Beta MAX {h}"))
+        {
+            prop_assert!((1..=8).contains(&max_hops));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # nous-text — lightweight natural-language processing substrate
+//!
+//! NOUS (§3.2) extracts knowledge triples from text with a classic IE stack:
+//! sentence splitting, tokenisation, POS tagging, noun-phrase chunking,
+//! named-entity recognition, coreference resolution, then Open Information
+//! Extraction (Banko et al. 2007) and a light semantic-role pass (the
+//! paper's appendix Figure 3 shows SRL-extracted triples). No mature Rust
+//! equivalent of that stack exists, so this crate implements each stage from
+//! scratch with rule/lexicon methods:
+//!
+//! - [`tokenize`] — offset-preserving tokeniser ([`token`])
+//! - [`split_sentences`] — abbreviation-aware sentence splitter ([`sentence`])
+//! - [`pos`] — lexicon + suffix + context POS tagger (Penn-style tag subset)
+//! - [`chunk`] — regular-grammar NP / verb-group chunker
+//! - [`ner`] — gazetteer + capitalisation named-entity recogniser
+//! - [`coref`] — heuristic pronoun / nominal / partial-name coreference
+//! - [`openie`] — ReVerb-style open relation extraction (binary + n-ary)
+//! - [`srl`] — verb-frame semantic-role labelling producing dated triples
+//! - [`bow`] — bag-of-words, stopwords and cosine/Jaccard utilities used by
+//!   entity disambiguation (§3.3) and LDA topic modelling (§3.6)
+//!
+//! The stages compose through [`pipeline::analyze`], which produces an
+//! [`pipeline::AnalyzedSentence`] per input sentence.
+
+pub mod bow;
+pub mod chunk;
+pub mod coref;
+pub mod lexicon;
+pub mod ner;
+pub mod openie;
+pub mod pipeline;
+pub mod pos;
+pub mod sentence;
+pub mod srl;
+pub mod token;
+
+pub use pipeline::{analyze, AnalyzedDoc, AnalyzedSentence};
+pub use sentence::split_sentences;
+pub use token::{tokenize, Token, TokenKind};

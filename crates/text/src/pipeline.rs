@@ -1,0 +1,165 @@
+//! The assembled text-analysis pipeline: sentences → tokens → POS →
+//! mentions → coreference → OpenIE/SRL, with coreference substituted back
+//! into the extracted tuples.
+//!
+//! This is the §3.2 stage of NOUS as one call: [`analyze`] consumes a raw
+//! document and produces per-sentence analyses whose extracted tuples have
+//! pronouns and definite nominals rewritten to their antecedents.
+
+use crate::coref::{self, CorefResolution};
+use crate::ner::{self, Gazetteer, Mention};
+use crate::openie::{ExtractorConfig, RawTriple};
+use crate::pos::{self, Tagged};
+use crate::sentence;
+use crate::srl::{self, Frame};
+use crate::token::tokenize;
+use serde::{Deserialize, Serialize};
+
+/// Analysis of one sentence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzedSentence {
+    pub text: String,
+    pub tagged: Vec<Tagged>,
+    pub mentions: Vec<Mention>,
+    /// OpenIE tuples with coreference substituted into subject/object.
+    pub triples: Vec<RawTriple>,
+    /// SRL frames with the same substitution applied.
+    pub frames: Vec<Frame>,
+}
+
+/// Analysis of a whole document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzedDoc {
+    pub sentences: Vec<AnalyzedSentence>,
+    pub resolutions: Vec<CorefResolution>,
+}
+
+fn substitute(span_start: usize, span_end: usize, text: &str, res: &[&CorefResolution]) -> String {
+    for r in res {
+        if r.token_start >= span_start && r.token_end <= span_end {
+            return r.antecedent.clone();
+        }
+    }
+    text.to_owned()
+}
+
+/// Run the full §3.2 pipeline over a raw document.
+pub fn analyze(text: &str, gazetteer: &Gazetteer, cfg: &ExtractorConfig) -> AnalyzedDoc {
+    let sents = sentence::split_sentences(text);
+    let mut per_sentence: Vec<(Vec<Tagged>, Vec<Mention>)> = Vec::with_capacity(sents.len());
+    for s in &sents {
+        let tagged = pos::tag(&tokenize(&s.text));
+        let mentions = ner::mentions(&tagged, gazetteer);
+        per_sentence.push((tagged, mentions));
+    }
+    let resolutions = coref::resolve(&per_sentence);
+
+    let mut sentences = Vec::with_capacity(sents.len());
+    for (sidx, (s, (tagged, mentions))) in sents.iter().zip(per_sentence).enumerate() {
+        let sent_res: Vec<&CorefResolution> =
+            resolutions.iter().filter(|r| r.sentence == sidx).collect();
+        let mut triples = crate::openie::extract(&tagged, cfg);
+        for t in &mut triples {
+            t.subject.text =
+                substitute(t.subject.start, t.subject.end, &t.subject.text, &sent_res);
+            t.object.text = substitute(t.object.start, t.object.end, &t.object.text, &sent_res);
+            for (_, arg) in &mut t.extra_args {
+                arg.text = substitute(arg.start, arg.end, &arg.text, &sent_res);
+            }
+        }
+        let mut frames = srl::label(&tagged, cfg);
+        for f in &mut frames {
+            // Frames were built from unsubstituted tuples; align them with
+            // the substituted triples by position.
+            if let Some(t) = triples.iter().find(|t| {
+                t.predicate == f.predicate && t.confidence == f.confidence
+            }) {
+                f.a0 = t.subject.text.clone();
+                f.a1 = t.object.text.clone();
+            }
+        }
+        sentences.push(AnalyzedSentence {
+            text: s.text.clone(),
+            tagged,
+            mentions,
+            triples,
+            frames,
+        });
+    }
+    AnalyzedDoc { sentences, resolutions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ner::EntityType;
+
+    fn gaz() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.insert("DJI", EntityType::Organization);
+        g.insert("Accel", EntityType::Organization);
+        g.insert("Frank Wang", EntityType::Person);
+        g
+    }
+
+    #[test]
+    fn pronoun_substituted_into_triples() {
+        let doc = analyze(
+            "DJI announced a drone. It acquired Accel.",
+            &gaz(),
+            &ExtractorConfig::default(),
+        );
+        assert_eq!(doc.sentences.len(), 2);
+        let t = doc.sentences[1]
+            .triples
+            .iter()
+            .find(|t| t.predicate == "acquire")
+            .expect("acquire triple");
+        assert_eq!(t.subject.text, "DJI", "pronoun rewritten via coref");
+        assert_eq!(t.object.text, "Accel");
+    }
+
+    #[test]
+    fn definite_nominal_substituted() {
+        let doc = analyze(
+            "DJI unveiled the Phantom. Regulators investigated the company in March.",
+            &gaz(),
+            &ExtractorConfig::default(),
+        );
+        let t = doc.sentences[1]
+            .triples
+            .iter()
+            .find(|t| t.predicate == "investigate")
+            .expect("investigate triple");
+        assert_eq!(t.object.text, "DJI");
+    }
+
+    #[test]
+    fn frames_follow_substitution() {
+        let doc = analyze(
+            "DJI announced a drone. It acquired Accel in March.",
+            &gaz(),
+            &ExtractorConfig::default(),
+        );
+        let f = doc.sentences[1]
+            .frames
+            .iter()
+            .find(|f| f.predicate == "acquire")
+            .expect("acquire frame");
+        assert_eq!(f.a0, "DJI");
+        assert_eq!(f.time.as_deref(), Some("March"));
+    }
+
+    #[test]
+    fn mentions_present_per_sentence() {
+        let doc = analyze("DJI competes with Parrot.", &gaz(), &ExtractorConfig::default());
+        assert!(doc.sentences[0].mentions.iter().any(|m| m.text == "DJI"));
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = analyze("", &gaz(), &ExtractorConfig::default());
+        assert!(doc.sentences.is_empty());
+        assert!(doc.resolutions.is_empty());
+    }
+}

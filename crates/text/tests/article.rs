@@ -1,0 +1,122 @@
+//! Document-level integration tests for the text pipeline: realistic
+//! multi-sentence articles with coreference chains, mixed constructions
+//! and distractor prose.
+
+use nous_text::analyze;
+use nous_text::ner::{EntityType, Gazetteer};
+use nous_text::openie::ExtractorConfig;
+
+fn gaz() -> Gazetteer {
+    let mut g = Gazetteer::new();
+    for (name, ty) in [
+        ("Apex Robotics", EntityType::Organization),
+        ("Apex", EntityType::Organization),
+        ("Condor Labs", EntityType::Organization),
+        ("Frank Wang", EntityType::Person),
+        ("Shenzhen", EntityType::Location),
+        ("Phantom 4", EntityType::Product),
+    ] {
+        g.insert(name, ty);
+    }
+    g
+}
+
+fn triples(text: &str) -> Vec<(String, String, String)> {
+    analyze(text, &gaz(), &ExtractorConfig::default())
+        .sentences
+        .iter()
+        .flat_map(|s| s.triples.iter())
+        .map(|t| (t.subject.text.clone(), t.predicate.clone(), t.object.text.clone()))
+        .collect()
+}
+
+#[test]
+fn full_article_with_coref_chain() {
+    let article = "Apex Robotics is based in Shenzhen. The company manufactures the \
+                   Phantom 4. It acquired Condor Labs in March 2014. Analysts expect \
+                   steady growth in the delivery segment.";
+    let ts = triples(article);
+    // Sentence 1: location.
+    assert!(
+        ts.iter().any(|(s, p, o)| s == "Apex Robotics" && p == "base_in" && o == "Shenzhen"),
+        "{ts:?}"
+    );
+    // Sentence 2: definite nominal "The company" resolves to Apex Robotics.
+    assert!(
+        ts.iter().any(|(s, p, o)| s == "Apex Robotics"
+            && p == "manufacture"
+            && o.contains("Phantom")),
+        "{ts:?}"
+    );
+    // Sentence 3: pronoun "It" resolves to Apex Robotics.
+    assert!(
+        ts.iter()
+            .any(|(s, p, o)| s == "Apex Robotics" && p == "acquire" && o == "Condor Labs"),
+        "{ts:?}"
+    );
+}
+
+#[test]
+fn person_chain_through_he() {
+    let article =
+        "Frank Wang founded Apex Robotics. He launched the Phantom 4 in Shenzhen.";
+    let ts = triples(article);
+    assert!(
+        ts.iter().any(|(s, p, o)| s == "Frank Wang" && p == "found" && o == "Apex Robotics"),
+        "{ts:?}"
+    );
+    assert!(
+        ts.iter()
+            .any(|(s, p, o)| s == "Frank Wang" && p == "launch" && o.contains("Phantom")),
+        "pronoun subject rewritten: {ts:?}"
+    );
+}
+
+#[test]
+fn passive_and_active_report_the_same_fact() {
+    let a = triples("Apex Robotics acquired Condor Labs.");
+    let b = triples("Condor Labs was acquired by Apex Robotics.");
+    let core = |ts: &[(String, String, String)]| {
+        ts.iter()
+            .find(|(_, p, _)| p == "acquire")
+            .map(|(s, _, o)| (s.clone(), o.clone()))
+            .expect("acquire triple")
+    };
+    assert_eq!(core(&a), core(&b), "passive inversion normalises direction");
+}
+
+#[test]
+fn distractor_sentences_produce_no_ontology_facts() {
+    let noise = "Analysts expect steady growth in the delivery segment. \
+                 The quarter showed strong momentum. Investors track the sector closely.";
+    let ts = triples(noise);
+    // Whatever comes out must not involve the gazetteer entities.
+    for (s, _, o) in &ts {
+        assert_ne!(s, "Apex Robotics");
+        assert_ne!(o, "Condor Labs");
+    }
+}
+
+#[test]
+fn mentions_carry_gazetteer_types_across_sentences() {
+    let doc = analyze(
+        "Apex Robotics hired engineers. Frank Wang visited Shenzhen.",
+        &gaz(),
+        &ExtractorConfig::default(),
+    );
+    let all: Vec<_> = doc.sentences.iter().flat_map(|s| s.mentions.iter()).collect();
+    let ty = |name: &str| all.iter().find(|m| m.text == name).map(|m| m.entity_type);
+    assert_eq!(ty("Apex Robotics"), Some(EntityType::Organization));
+    assert_eq!(ty("Frank Wang"), Some(EntityType::Person));
+    assert_eq!(ty("Shenzhen"), Some(EntityType::Location));
+}
+
+#[test]
+fn empty_and_pathological_inputs() {
+    assert!(triples("").is_empty());
+    assert!(triples("...!!!???").is_empty());
+    assert!(triples("the the the of of of").is_empty());
+    // A single giant unpunctuated sentence must not blow up.
+    let long = "word ".repeat(2000);
+    let _ = triples(&long);
+}

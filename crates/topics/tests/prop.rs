@@ -1,0 +1,67 @@
+//! Property tests: LDA outputs are always valid distributions; divergences
+//! respect their mathematical bounds.
+
+use nous_text::bow::BagOfWords;
+use nous_topics::{js_divergence, kl_divergence, LdaConfig, LdaModel};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<(u8, u8)>>> {
+    // Each doc: list of (word id, count).
+    prop::collection::vec(prop::collection::vec((0u8..30, 1u8..5), 0..12), 0..10)
+}
+
+fn to_docs(spec: &[Vec<(u8, u8)>]) -> Vec<BagOfWords> {
+    spec.iter()
+        .map(|doc| {
+            let mut b = BagOfWords::new();
+            for (w, n) in doc {
+                b.add(&format!("word{w}"), *n as u32);
+            }
+            b
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Training on arbitrary corpora yields normalised distributions and
+    /// fold-in inference stays normalised too.
+    #[test]
+    fn lda_outputs_are_distributions(spec in corpus_strategy(), k in 1usize..5) {
+        let docs = to_docs(&spec);
+        let cfg = LdaConfig { topics: k, iterations: 10, ..Default::default() };
+        let model = LdaModel::fit(&docs, &cfg);
+        for d in 0..docs.len() {
+            let p = model.doc_distribution(d);
+            prop_assert_eq!(p.len(), k);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| x > 0.0 && x < 1.0 || k == 1));
+        }
+        let mut unseen = BagOfWords::new();
+        unseen.add("word0", 3);
+        unseen.add("zzz-not-in-vocab", 2);
+        let q = model.infer(&unseen, 10, 7);
+        prop_assert_eq!(q.len(), k);
+        prop_assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// KL is non-negative; JS symmetric and within [0, ln 2].
+    #[test]
+    fn divergence_bounds(
+        p_raw in prop::collection::vec(0.001f64..1.0, 2..8),
+    ) {
+        let k = p_raw.len();
+        let sp: f64 = p_raw.iter().sum();
+        let p: Vec<f64> = p_raw.iter().map(|x| x / sp).collect();
+        // A shifted second distribution of the same dimension.
+        let mut q = p.clone();
+        q.rotate_right(1);
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        let js = js_divergence(&p, &q);
+        prop_assert!((0.0..=std::f64::consts::LN_2 + 1e-9).contains(&js));
+        prop_assert!((js - js_divergence(&q, &p)).abs() < 1e-12);
+        prop_assert!(js_divergence(&p, &p).abs() < 1e-12);
+        let _ = k;
+    }
+}

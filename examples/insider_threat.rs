@@ -1,0 +1,105 @@
+//! Insider-threat detection (§3.1 domain 2): build a knowledge graph from
+//! structured enterprise log events — no NLP stage — and let the streaming
+//! miner surface the exfiltration motif while it is happening.
+//!
+//! ```sh
+//! cargo run --release --example insider_threat
+//! ```
+
+use nous_core::{KnowledgeGraph, TrendMonitor};
+use nous_corpus::insider::{self, InsiderConfig, InsiderPredicate};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_text::ner::EntityType;
+
+fn main() {
+    let cfg = InsiderConfig::default();
+    let scenario = insider::generate(&cfg);
+    println!(
+        "scenario: {} entities, {} log events over {} days; attack window {}–{}",
+        scenario.entities.len(),
+        scenario.events.len(),
+        cfg.days,
+        cfg.attack_start,
+        cfg.attack_end
+    );
+
+    // Log data is already structured: entities and facts go straight into
+    // the dynamic KG (the framework is domain-agnostic; only the ingestion
+    // adapter changes).
+    let mut kg = KnowledgeGraph::new();
+    for e in &scenario.entities {
+        let v = kg.create_entity(&e.name, EntityType::Other);
+        kg.graph.set_label(v, e.label);
+    }
+    let mut monitor = TrendMonitor::new(
+        WindowKind::Time { span: 14 }, // two-week window
+        MinerConfig { k_max: 2, min_support: 4, eviction: EvictionStrategy::Eager },
+    );
+
+    println!("\nday  window  exfiltration-motif support (closed patterns containing copiedTo)");
+    println!("---  ------  ---------------------------------------------------------------");
+    let mut last_report = 0u64;
+    let mut detected_at: Option<u64> = None;
+    for event in &scenario.events {
+        let s = kg.graph.vertex_id(&event.subject).expect("entity exists");
+        let o = kg.graph.vertex_id(&event.object).expect("entity exists");
+        kg.add_extracted_fact(s, event.predicate.name(), o, event.day, 1.0, event.day);
+        monitor.observe(&kg);
+        monitor.advance_to(&kg, event.day);
+        if event.day >= last_report + 10 {
+            last_report = event.day;
+            let exfil: Vec<_> = monitor
+                .trending(&kg)
+                .into_iter()
+                .filter(|t| t.description.contains("copiedTo"))
+                .collect();
+            let best = exfil.iter().map(|t| t.support).max().unwrap_or(0);
+            if best >= 4 && detected_at.is_none() {
+                detected_at = Some(event.day);
+            }
+            println!(
+                "{:3}  {:6}  {}",
+                event.day,
+                monitor.window_len(),
+                if exfil.is_empty() {
+                    "(none)".to_owned()
+                } else {
+                    exfil
+                        .iter()
+                        .take(2)
+                        .map(|t| format!("{} ×{}", t.description, t.support))
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                }
+            );
+        }
+    }
+
+    match detected_at {
+        Some(day) => println!(
+            "\nexfiltration motif became frequent on day {day} (attack started day {}); \
+             ground-truth insiders: {}",
+            cfg.attack_start,
+            scenario.exfiltrators.join(", ")
+        ),
+        None => println!("\nno exfiltration motif crossed the support threshold"),
+    }
+
+    // Who is behind the motif? Rank users by copiedTo degree.
+    let copied = kg.graph.predicate_id(InsiderPredicate::CopiedTo.name());
+    if let Some(p) = copied {
+        let mut suspects: Vec<(String, usize)> = kg
+            .graph
+            .iter_vertices()
+            .filter(|&v| kg.graph.label(v) == Some("User"))
+            .map(|v| {
+                let n = kg.graph.out_edges(v).filter(|a| a.pred == p).count();
+                (kg.graph.vertex_name(v).to_owned(), n)
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        suspects.sort_by_key(|s| std::cmp::Reverse(s.1));
+        println!("suspects by exfiltration volume: {suspects:?}");
+    }
+}

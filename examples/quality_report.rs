@@ -1,0 +1,115 @@
+//! Quality dashboard (experiment E12, demo feature 2): "Visualize the
+//! resultant graph and summarization of quality-related statistics (such
+//! as confidence distributions, and understanding how the structure of the
+//! underlying data influence the output quality)."
+//!
+//! Prints the admitted/rejected confidence histograms, the degree
+//! distribution summary, and a data-structure sensitivity sweep: how alias
+//! ambiguity in the underlying corpus changes extraction quality.
+//!
+//! ```sh
+//! cargo run --release --example quality_report
+//! ```
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, World, WorldConfig};
+use nous_graph::algo::DegreeSummary;
+
+fn histogram(label: &str, values: &[f32]) {
+    println!("\n{label} ({} facts):", values.len());
+    let mut buckets = [0usize; 10];
+    for &v in values {
+        let b = ((v * 10.0) as usize).min(9);
+        buckets[b] += 1;
+    }
+    let max = buckets.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in buckets.iter().enumerate() {
+        let bar = "█".repeat(count * 40 / max);
+        println!("  {:.1}-{:.1} {:>6}  {bar}", i as f32 / 10.0, (i + 1) as f32 / 10.0, count);
+    }
+}
+
+fn ground_truth_recall(
+    world: &World,
+    kg: &KnowledgeGraph,
+    articles: &[nous_corpus::Article],
+) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for a in articles {
+        for f in &a.facts {
+            total += 1;
+            let s = kg.graph.vertex_id(&f.subject);
+            let o = kg.graph.vertex_id(&f.object);
+            if let (Some(s), Some(o)) = (s, o) {
+                if let Some(p) = kg.graph.predicate_id(f.predicate.name()) {
+                    if kg.graph.has_triple(s, p, o) {
+                        hit += 1;
+                    }
+                }
+            }
+        }
+    }
+    let _ = world;
+    hit as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let (world, kb, articles) = Preset::Demo.build();
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let mut pipeline = IngestPipeline::new(PipelineConfig::default());
+    let report = pipeline.ingest_all(&mut kg, &articles);
+
+    println!("== ingestion quality ==");
+    println!(
+        "raw {} → mapped {} → admitted {} / rejected {} (admission rate {:.2})",
+        report.raw_triples,
+        report.mapped,
+        report.admitted,
+        report.rejected,
+        report.admission_rate()
+    );
+    histogram("admitted confidence distribution", &pipeline.admitted_confidences);
+    histogram("rejected confidence distribution", &pipeline.rejected_confidences);
+
+    println!("\n== graph structure ==");
+    if let Some(d) = DegreeSummary::of(&kg.graph) {
+        println!(
+            "degree: min {} / median {} / mean {:.1} / max {} (hub: {}), {} isolated",
+            d.min,
+            d.median,
+            d.mean,
+            d.max,
+            d.hub.map(|h| kg.graph.vertex_name(h)).unwrap_or("-"),
+            d.isolated
+        );
+    }
+
+    // Structure → quality sensitivity: sweep the corpus alias ambiguity.
+    println!("\n== ambiguity sweep: how source structure influences output quality ==");
+    println!("{:<10} {:>10} {:>10} {:>10}", "ambiguity", "admitted", "recall", "kg-edges");
+    for ambiguity in [0.0, 0.25, 0.5, 0.8] {
+        let wc = WorldConfig { ambiguity, ..Preset::Smoke.world_config() };
+        let world = World::generate(&wc);
+        let kb = CuratedKb::generate(&world, 7);
+        let mut sc = Preset::Smoke.stream_config();
+        sc.articles = 200;
+        sc.alias_usage = 0.5;
+        let articles = ArticleStream::generate(&world, &kb, &sc);
+        let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+        kg.train_predictor();
+        let mut pipe = IngestPipeline::new(PipelineConfig::default());
+        let rep = pipe.ingest_all(&mut kg, &articles);
+        let recall = ground_truth_recall(&world, &kg, &articles);
+        println!(
+            "{:<10.2} {:>10} {:>10.2} {:>10}",
+            ambiguity,
+            rep.admitted,
+            recall,
+            kg.graph.edge_count()
+        );
+    }
+    println!("\nHigher alias ambiguity in the sources degrades linking and recall —");
+    println!("the structure of the underlying data influences the output quality.");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the NOUS reproduction: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! The public API lives in the member crates; `nous_core` is the facade most
+//! applications should start from.
+
+pub use nous_core as core;

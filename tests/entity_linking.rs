@@ -1,0 +1,104 @@
+//! Integration test for experiment E10 (§3.3): the AIDA-adapted
+//! disambiguator must resolve ambiguous short aliases in article context
+//! better than the popularity-only and exact-match baselines.
+
+use nous_corpus::{ArticleStream, CuratedKb, Preset, StreamConfig, World, WorldConfig};
+use nous_core::KnowledgeGraph;
+use nous_link::LinkMode;
+use nous_text::bow::BagOfWords;
+
+struct Case {
+    /// Ambiguous surface used in the article.
+    surface: String,
+    /// Canonical truth.
+    expected: String,
+    /// Article body (context).
+    context: String,
+}
+
+/// Build linking cases: articles that mention an ambiguous company by its
+/// short alias; the ground-truth fact tells us which entity was meant.
+fn cases() -> (KnowledgeGraph, Vec<Case>) {
+    let wc = WorldConfig { ambiguity: 0.6, companies: 60, ..Preset::Demo.world_config() };
+    let world = World::generate(&wc);
+    let kb = CuratedKb::generate(&world, 7);
+    let sc = StreamConfig { articles: 500, alias_usage: 0.9, ..Preset::Demo.stream_config() };
+    let articles = ArticleStream::generate(&world, &kb, &sc);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    // Enrich each entity's context with its topical description plus its
+    // curated neighbourhood (already done by from_curated + bump_entity).
+    kg.train_predictor();
+
+    let mut cases = Vec::new();
+    for a in &articles {
+        for f in &a.facts {
+            let idx = world.by_name(&f.subject).expect("canonical");
+            let e = &world.entities[idx];
+            if e.aliases.len() < 2 {
+                continue;
+            }
+            let alias = &e.aliases[1];
+            // Only ambiguous aliases used in this article body are cases.
+            if world.candidates(alias).len() > 1
+                && a.body.contains(alias.as_str())
+                && !a.body.contains(&e.name)
+            {
+                cases.push(Case {
+                    surface: alias.clone(),
+                    expected: e.name.clone(),
+                    context: a.body.clone(),
+                });
+            }
+        }
+    }
+    (kg, cases)
+}
+
+fn accuracy(kg: &KnowledgeGraph, cases: &[Case], mode: LinkMode) -> (f64, usize) {
+    let mut correct = 0usize;
+    let mut answered = 0usize;
+    for c in cases {
+        let bow = BagOfWords::from_text(&c.context);
+        if let Some(r) = kg.disambiguator.resolve(&c.surface, &bow, mode) {
+            answered += 1;
+            if r.name == c.expected {
+                correct += 1;
+            }
+        }
+    }
+    (correct as f64 / cases.len().max(1) as f64, answered)
+}
+
+#[test]
+fn context_disambiguation_beats_popularity_prior() {
+    let (kg, cases) = cases();
+    assert!(cases.len() >= 30, "need enough ambiguous cases: {}", cases.len());
+    let (full, _) = accuracy(&kg, &cases, LinkMode::Full);
+    let (pop, _) = accuracy(&kg, &cases, LinkMode::PopularityOnly);
+    assert!(
+        full > pop,
+        "context-based accuracy {full:.2} must beat popularity-only {pop:.2}"
+    );
+    assert!(full >= 0.5, "full accuracy too low: {full:.2}");
+}
+
+#[test]
+fn exact_only_refuses_ambiguous_cases() {
+    let (kg, cases) = cases();
+    let (_, answered) = accuracy(&kg, &cases, LinkMode::ExactOnly);
+    assert_eq!(answered, 0, "all cases are ambiguous by construction");
+}
+
+#[test]
+fn unambiguous_aliases_resolve_in_all_modes() {
+    let (kg, _) = cases();
+    // Canonical names are unique → resolvable in any mode.
+    let some_name = {
+        let v = nous_graph::VertexId(0);
+        kg.graph.vertex_name(v).to_owned()
+    };
+    for mode in [LinkMode::Full, LinkMode::PopularityOnly, LinkMode::ExactOnly] {
+        let r = kg.disambiguator.resolve(&some_name, &BagOfWords::new(), mode);
+        assert!(r.is_some(), "mode {mode:?} failed on canonical name");
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration test for experiment E8 (§3.4): per-predicate BPR confidence
+//! "using the prior state of the knowledge graph".
+//!
+//! The operational setting: the predictor is trained on the current KG;
+//! incoming candidate triples are scored. Candidates that corroborate
+//! structure the graph already supports must score far above corrupted
+//! candidates. A strict *cold-start* held-out split is intentionally NOT
+//! the headline metric here: the synthetic curated KB gives most
+//! subject/object pairs exactly one edge per predicate (one HQ per
+//! company, one manufacturer per product), so withholding it leaves both
+//! embeddings untrained — no model could score it. EXPERIMENTS.md records
+//! this limit; the warm-pair generalisation test below covers the cases
+//! where generalisation is information-theoretically possible.
+
+use nous_corpus::{CuratedKb, Preset, World};
+use nous_embed::{auc, BprConfig, LinkPredictor, PredictorMode};
+
+fn curated_triples() -> (usize, Vec<(String, u32, u32)>) {
+    let world = World::generate(&Preset::Demo.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let all: Vec<(String, u32, u32)> = kb
+        .triples
+        .iter()
+        .map(|t| (t.predicate.name().to_owned(), t.subject as u32, t.object as u32))
+        .collect();
+    (world.entities.len(), all)
+}
+
+#[test]
+fn known_facts_score_far_above_corruptions() {
+    let (n, all) = curated_triples();
+    let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+    lp.fit(n, &all);
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (p, s, o) in &all {
+        if !lp.has_model(p) {
+            continue;
+        }
+        pos.push(lp.score(p, *s, *o));
+        for delta in [1u32, 7, 13] {
+            let fake = (o + delta) % n as u32;
+            if fake != *o {
+                neg.push(lp.score(p, *s, fake));
+            }
+        }
+    }
+    assert!(pos.len() > 100);
+    let a = auc(&pos, &neg);
+    assert!(a > 0.85, "prior-state AUC too low: {a:.3}");
+}
+
+#[test]
+fn warm_pair_generalisation_beats_chance() {
+    // Hold out only triples whose subject AND object keep at least one
+    // other training edge under the same predicate — the cases where
+    // latent-factor generalisation is possible at all. The curated KB has
+    // no such pairs by construction (one HQ per company, one manufacturer
+    // per product), so this test evaluates over the event-fact stream,
+    // where companies acquire/invest/partner repeatedly.
+    let world = World::generate(&Preset::Demo.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let articles = nous_corpus::ArticleStream::generate(
+        &world,
+        &kb,
+        &nous_corpus::StreamConfig { articles: 1200, ..Preset::Demo.stream_config() },
+    );
+    let n = world.entities.len();
+    let mut all: Vec<(String, u32, u32)> = articles
+        .iter()
+        .flat_map(|a| a.facts.iter())
+        .map(|f| {
+            (
+                f.predicate.name().to_owned(),
+                world.by_name(&f.subject).expect("canonical") as u32,
+                world.by_name(&f.object).expect("canonical") as u32,
+            )
+        })
+        .collect();
+    all.sort();
+    all.dedup();
+    let mut held = Vec::new();
+    let mut train = Vec::new();
+    for (i, t) in all.iter().enumerate() {
+        let warm = |e: u32, subj: bool| {
+            all.iter().enumerate().any(|(j, u)| {
+                j != i && u.0 == t.0 && if subj { u.1 == e } else { u.2 == e }
+            })
+        };
+        if i % 4 == 0 && warm(t.1, true) && warm(t.2, false) {
+            held.push(t.clone());
+        } else {
+            train.push(t.clone());
+        }
+    }
+    assert!(held.len() >= 10, "need warm held-out cases, got {}", held.len());
+    let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+    lp.fit(n, &train);
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (p, s, o) in &held {
+        if !lp.has_model(p) {
+            continue;
+        }
+        pos.push(lp.score(p, *s, *o));
+        for delta in [3u32, 11] {
+            let fake = (o + delta) % n as u32;
+            if fake != *o {
+                neg.push(lp.score(p, *s, fake));
+            }
+        }
+    }
+    let a = auc(&pos, &neg);
+    assert!(a > 0.5, "warm-pair AUC should beat chance: {a:.3}");
+}
+
+#[test]
+fn per_predicate_models_exist_for_dense_relations() {
+    let (n, all) = curated_triples();
+    let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+    lp.fit(n, &all);
+    for p in ["isLocatedIn", "foundedBy", "manufactures"] {
+        assert!(lp.has_model(p), "missing model for {p}");
+    }
+}
+
+#[test]
+fn scores_are_probabilities_everywhere() {
+    let (n, all) = curated_triples();
+    let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
+    lp.fit(n, &all);
+    for (p, s, o) in all.iter().take(300) {
+        let v = lp.score(p, *s, *o);
+        assert!((0.0..=1.0).contains(&v), "{p}({s},{o}) = {v}");
+    }
+    // Unknown predicate and out-of-range entities degrade to the prior.
+    assert_eq!(lp.score("nonexistent", 0, 1), 0.5);
+    assert_eq!(lp.score("isLocatedIn", u32::MAX, 1), 0.5);
+}

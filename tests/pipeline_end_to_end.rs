@@ -1,0 +1,118 @@
+//! End-to-end integration: corpus → extraction → mapping → linking →
+//! confidence → dynamic KG (experiment E1 / Figure 1 as a test).
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
+use nous_corpus::{OntologyPredicate, Preset};
+
+fn build() -> (nous_corpus::World, KnowledgeGraph, Vec<nous_corpus::Article>, nous_core::IngestReport)
+{
+    let (world, kb, articles) = Preset::Smoke.build();
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let mut pipeline = IngestPipeline::new(PipelineConfig::default());
+    let report = pipeline.ingest_all(&mut kg, &articles);
+    (world, kg, articles, report)
+}
+
+#[test]
+fn pipeline_constructs_a_fused_graph() {
+    let (world, kg, articles, report) = build();
+    let stats = kg.graph.stats();
+    assert!(stats.curated_edges > 0, "red facts present");
+    assert!(stats.extracted_edges > 0, "blue facts present");
+    assert_eq!(report.documents, articles.len());
+    assert_eq!(stats.extracted_edges, report.admitted);
+    // Curated entities all survived as vertices.
+    for e in &world.entities {
+        assert!(kg.graph.vertex_id(&e.name).is_some(), "lost {}", e.name);
+    }
+}
+
+#[test]
+fn extracted_facts_match_ground_truth_reasonably() {
+    let (_, kg, articles, _) = build();
+    // Precision proxy: every extracted ontology edge should correspond to
+    // *some* generator fact (same subject/predicate/object names) or be a
+    // curated corroboration; mild noise is expected, but the bulk must be
+    // grounded.
+    let mut truth: std::collections::HashSet<(String, &'static str, String)> =
+        Default::default();
+    for a in &articles {
+        for f in &a.facts {
+            truth.insert((f.subject.clone(), f.predicate.name(), f.object.clone()));
+        }
+    }
+    let mut grounded = 0usize;
+    let mut total = 0usize;
+    for (_, e) in kg.graph.iter_edges() {
+        if e.provenance.is_curated() {
+            continue;
+        }
+        total += 1;
+        let key = (
+            kg.graph.vertex_name(e.src).to_owned(),
+            // Leak-free static predicate name lookup.
+            OntologyPredicate::from_name(kg.graph.predicate_name(e.pred))
+                .map(|p| p.name())
+                .unwrap_or(""),
+            kg.graph.vertex_name(e.dst).to_owned(),
+        );
+        if truth.contains(&key) {
+            grounded += 1;
+        }
+    }
+    let precision = grounded as f64 / total.max(1) as f64;
+    assert!(precision > 0.5, "extraction precision too low: {precision:.2} ({grounded}/{total})");
+}
+
+#[test]
+fn confidence_separates_curated_from_extracted() {
+    let (_, kg, _, _) = build();
+    let mut curated = Vec::new();
+    let mut extracted = Vec::new();
+    for (_, e) in kg.graph.iter_edges() {
+        if e.provenance.is_curated() {
+            curated.push(e.confidence);
+        } else {
+            extracted.push(e.confidence);
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    assert_eq!(mean(&curated), 1.0, "curated facts carry full confidence");
+    let m = mean(&extracted);
+    assert!(m > 0.3 && m < 1.0, "extracted mean confidence {m} out of expected band");
+}
+
+#[test]
+fn dynamic_updates_accumulate_across_batches() {
+    let (world, kb, articles) = Preset::Smoke.build();
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let mut pipeline = IngestPipeline::new(PipelineConfig::default());
+    let (first, second) = articles.split_at(articles.len() / 2);
+    pipeline.ingest_all(&mut kg, first);
+    let mid = kg.graph.edge_count();
+    pipeline.ingest_all(&mut kg, second);
+    assert!(kg.graph.edge_count() > mid, "second batch extended the graph");
+    // Timestamps must respect stream order.
+    let mut last_extracted_at = 0;
+    for (_, e) in kg.graph.iter_edges() {
+        if !e.provenance.is_curated() {
+            assert!(e.at >= last_extracted_at || e.at <= last_extracted_at, "timestamped");
+            last_extracted_at = last_extracted_at.max(e.at);
+        }
+    }
+    assert!(last_extracted_at > 0);
+}
+
+#[test]
+fn report_accounting_is_internally_consistent() {
+    let (_, _, _, report) = build();
+    assert_eq!(
+        report.raw_triples,
+        report.mapped + report.unmapped,
+        "every raw triple is mapped or unmapped"
+    );
+    assert!(report.mapped >= report.admitted + report.rejected);
+    assert!(report.admission_rate() > 0.5, "default QC should admit most mapped facts");
+}
