@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nous_bench::{row, table_header};
-use nous_corpus::{ArticleStream, CuratedKb, Preset, StreamConfig, World, WorldConfig};
 use nous_core::KnowledgeGraph;
+use nous_corpus::{ArticleStream, CuratedKb, Preset, StreamConfig, World, WorldConfig};
 use nous_link::LinkMode;
 use nous_text::bow::BagOfWords;
 
@@ -16,10 +16,18 @@ struct Case {
 }
 
 fn build(ambiguity: f64) -> (KnowledgeGraph, Vec<Case>) {
-    let wc = WorldConfig { ambiguity, companies: 60, ..Preset::Demo.world_config() };
+    let wc = WorldConfig {
+        ambiguity,
+        companies: 60,
+        ..Preset::Demo.world_config()
+    };
     let world = World::generate(&wc);
     let kb = CuratedKb::generate(&world, 7);
-    let sc = StreamConfig { articles: 400, alias_usage: 0.9, ..Preset::Demo.stream_config() };
+    let sc = StreamConfig {
+        articles: 400,
+        alias_usage: 0.9,
+        ..Preset::Demo.stream_config()
+    };
     let articles = ArticleStream::generate(&world, &kb, &sc);
     let kg = KnowledgeGraph::from_curated(&world, &kb);
     let mut cases = Vec::new();
@@ -66,7 +74,13 @@ fn accuracy(kg: &KnowledgeGraph, cases: &[Case], mode: LinkMode) -> (f64, f64) {
 fn quality() {
     table_header(
         "E10: ambiguous-mention disambiguation accuracy (short aliases, 0.9 alias usage)",
-        &["ambiguity", "cases", "AIDA-adapted", "popularity", "exact(ans.rate)"],
+        &[
+            "ambiguity",
+            "cases",
+            "AIDA-adapted",
+            "popularity",
+            "exact(ans.rate)",
+        ],
         &[9, 7, 13, 11, 16],
     );
     for ambiguity in [0.2, 0.4, 0.6, 0.8] {
@@ -94,12 +108,19 @@ fn bench(c: &mut Criterion) {
     quality();
     let mut group = c.benchmark_group("entity_linking");
     for companies in [40usize, 80, 160] {
-        let wc = WorldConfig { ambiguity: 0.5, companies, ..Preset::Demo.world_config() };
+        let wc = WorldConfig {
+            ambiguity: 0.5,
+            companies,
+            ..Preset::Demo.world_config()
+        };
         let world = World::generate(&wc);
         let kb = CuratedKb::generate(&world, 7);
         let kg = KnowledgeGraph::from_curated(&world, &kb);
-        let surfaces: Vec<String> =
-            world.companies.iter().map(|&i| world.entities[i].aliases[1].clone()).collect();
+        let surfaces: Vec<String> = world
+            .companies
+            .iter()
+            .map(|&i| world.entities[i].aliases[1].clone())
+            .collect();
         let ctx = BagOfWords::from_text(
             "the crop spraying farm harvest irrigation company announced results",
         );

@@ -37,20 +37,38 @@ fn quality_table() {
         ("all heuristics", ExtractorConfig::default()),
         (
             "no appositives",
-            ExtractorConfig { appositives: false, ..Default::default() },
+            ExtractorConfig {
+                appositives: false,
+                ..Default::default()
+            },
         ),
         (
             "no possessives",
-            ExtractorConfig { possessives: false, ..Default::default() },
+            ExtractorConfig {
+                possessives: false,
+                ..Default::default()
+            },
         ),
-        ("no n-ary", ExtractorConfig { nary: false, ..Default::default() }),
+        (
+            "no n-ary",
+            ExtractorConfig {
+                nary: false,
+                ..Default::default()
+            },
+        ),
         (
             "no passive inversion",
-            ExtractorConfig { passive_inversion: false, ..Default::default() },
+            ExtractorConfig {
+                passive_inversion: false,
+                ..Default::default()
+            },
         ),
         (
             "conf >= 0.7 only",
-            ExtractorConfig { min_confidence: 0.7, ..Default::default() },
+            ExtractorConfig {
+                min_confidence: 0.7,
+                ..Default::default()
+            },
         ),
         (
             "minimal (SVO only)",
@@ -111,7 +129,10 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("tokenize_only", |b| {
         b.iter(|| {
-            articles.iter().map(|a| nous_text::tokenize(&a.body).len()).sum::<usize>()
+            articles
+                .iter()
+                .map(|a| nous_text::tokenize(&a.body).len())
+                .sum::<usize>()
         })
     });
     group.finish();

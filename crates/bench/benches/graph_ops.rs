@@ -38,10 +38,16 @@ fn snapshot_size_table() {
     let g = &system.kg.graph;
     let json = snapshot::to_json(g).expect("serializable");
     let binary = snapshot::to_binary(g).expect("encodable");
-    println!("\n== substrate: snapshot sizes (demo KG: {} edges) ==", g.edge_count());
+    println!(
+        "\n== substrate: snapshot sizes (demo KG: {} edges) ==",
+        g.edge_count()
+    );
     println!("  JSON (lossless): {:>9} bytes", json.len());
-    println!("  binary (heads):  {:>9} bytes ({:.1}x smaller)", binary.len(),
-        json.len() as f64 / binary.len() as f64);
+    println!(
+        "  binary (heads):  {:>9} bytes ({:.1}x smaller)",
+        binary.len(),
+        json.len() as f64 / binary.len() as f64
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -76,7 +82,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| g.iter_vertices().map(|v| g.degree(v)).sum::<usize>())
     });
     group.bench_function("degree_scan_parallel", |b| {
-        b.iter(|| parallel::par_map_vertices(&g, |v| g.degree(v)).into_iter().sum::<usize>())
+        b.iter(|| {
+            parallel::par_map_vertices(&g, |v| g.degree(v))
+                .into_iter()
+                .sum::<usize>()
+        })
     });
 
     // Snapshot round trips.

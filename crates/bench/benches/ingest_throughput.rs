@@ -1,0 +1,175 @@
+//! Ingestion throughput: sequential vs. micro-batched parallel extraction.
+//!
+//! Measures docs/sec over a generated 500-article corpus for the
+//! sequential `ingest_all` loop and for `ingest_batch` at 1/2/4/8
+//! extraction workers, prints the comparison table, and records the
+//! numbers in `BENCH_ingest.json` at the repository root. Plain `main`
+//! harness (`harness = false`): wall-clock on a fixed corpus is the
+//! honest unit here, and the JSON artifact needs exactly one run per
+//! configuration set.
+//!
+//! ```sh
+//! cargo bench -p nous-bench --bench ingest_throughput
+//! ```
+//!
+//! The JSON records `host_cpus`: parallel extraction cannot beat sequential
+//! on fewer cores than workers, so read speedups relative to that field.
+
+use nous_bench::{row, table_header};
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
+use nous_corpus::{Article, ArticleStream, CuratedKb, Preset, World};
+use std::time::Instant;
+
+const CORPUS_ARTICLES: usize = 500;
+const BATCH_SIZE: usize = 32;
+
+fn corpus() -> (World, CuratedKb, Vec<Article>) {
+    let world = World::generate(&Preset::Demo.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let stream_cfg = nous_corpus::StreamConfig {
+        articles: CORPUS_ARTICLES,
+        ..Preset::Demo.stream_config()
+    };
+    let articles = ArticleStream::generate(&world, &kb, &stream_cfg);
+    (world, kb, articles)
+}
+
+struct Measurement {
+    label: String,
+    secs: f64,
+    docs_per_sec: f64,
+    admitted: usize,
+}
+
+fn run(
+    world: &World,
+    kb: &CuratedKb,
+    articles: &[Article],
+    label: &str,
+    cfg: PipelineConfig,
+    batched: bool,
+) -> Measurement {
+    let mut kg = KnowledgeGraph::from_curated(world, kb);
+    kg.train_predictor();
+    let mut pipe = IngestPipeline::new(cfg);
+    let t0 = Instant::now();
+    let report = if batched {
+        pipe.ingest_batch(&mut kg, articles)
+    } else {
+        pipe.ingest_all(&mut kg, articles)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    Measurement {
+        label: label.to_owned(),
+        secs,
+        docs_per_sec: articles.len() as f64 / secs,
+        admitted: report.admitted,
+    }
+}
+
+/// Fraction of sequential ingestion wall-time spent in the extraction
+/// stage — the stage `ingest_batch` parallelizes. This is the Amdahl bound
+/// on attainable speedup: on hosts with more cores than this bench machine,
+/// expected speedup at w workers is `1 / ((1 - f) + f / w)`.
+fn extract_fraction(world: &World, kb: &CuratedKb, articles: &[Article]) -> f64 {
+    use nous_extract::{extract_document, Document};
+    let mut kg = KnowledgeGraph::from_curated(world, kb);
+    kg.train_predictor();
+    let cfg = PipelineConfig::default();
+    let docs: Vec<Document> = articles.iter().map(Document::from).collect();
+    let t0 = Instant::now();
+    let extracted: Vec<_> = docs
+        .iter()
+        .map(|d| extract_document(d, &kg.gazetteer, &cfg.extractor))
+        .collect();
+    let extract_secs = t0.elapsed().as_secs_f64();
+    let mut pipe = IngestPipeline::new(cfg);
+    let t1 = Instant::now();
+    for ext in &extracted {
+        pipe.merge_extraction(&mut kg, ext);
+    }
+    let merge_secs = t1.elapsed().as_secs_f64();
+    extract_secs / (extract_secs + merge_secs)
+}
+
+fn main() {
+    let (world, kb, articles) = corpus();
+    let mut runs: Vec<Measurement> = Vec::new();
+
+    runs.push(run(
+        &world,
+        &kb,
+        &articles,
+        "sequential",
+        PipelineConfig::default(),
+        false,
+    ));
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = PipelineConfig {
+            batch_size: BATCH_SIZE,
+            extract_workers: workers,
+            ..Default::default()
+        };
+        runs.push(run(
+            &world,
+            &kb,
+            &articles,
+            &format!("batched_w{workers}"),
+            cfg,
+            true,
+        ));
+    }
+
+    let baseline = runs[0].docs_per_sec;
+    table_header(
+        &format!("ingest throughput ({CORPUS_ARTICLES}-article corpus, batch size {BATCH_SIZE})"),
+        &["configuration", "secs", "docs/s", "speedup", "admitted"],
+        &[14, 8, 10, 8, 9],
+    );
+    for m in &runs {
+        println!(
+            "{}",
+            row(
+                &[
+                    m.label.clone(),
+                    format!("{:.2}", m.secs),
+                    format!("{:.0}", m.docs_per_sec),
+                    format!("{:.2}x", m.docs_per_sec / baseline),
+                    m.admitted.to_string(),
+                ],
+                &[14, 8, 10, 8, 9],
+            )
+        );
+    }
+
+    // Record the numbers for the repo (hand-rendered: stable key order).
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"config\": \"{}\", \"secs\": {:.3}, \"docs_per_sec\": {:.1}, \
+                 \"speedup_vs_sequential\": {:.2}, \"admitted\": {}}}",
+                m.label,
+                m.secs,
+                m.docs_per_sec,
+                m.docs_per_sec / baseline,
+                m.admitted
+            )
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let frac = extract_fraction(&world, &kb, &articles);
+    println!("\nextraction fraction of sequential wall-time: {frac:.3} (host cpus: {host_cpus})");
+    let json = format!(
+        "{{\n  \"corpus_articles\": {CORPUS_ARTICLES},\n  \"batch_size\": {BATCH_SIZE},\n  \
+         \"host_cpus\": {host_cpus},\n  \"extract_fraction\": {frac:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

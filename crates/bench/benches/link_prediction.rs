@@ -34,7 +34,11 @@ fn data() -> Data {
         };
         triples.push((name, pid, t.subject as u32, t.object as u32));
     }
-    Data { n: world.entities.len(), triples, preds }
+    Data {
+        n: world.entities.len(),
+        triples,
+        preds,
+    }
 }
 
 /// Rank every true triple against `k` corrupted objects.
@@ -48,7 +52,10 @@ fn ranked_evals(d: &Data, score: impl Fn(&str, u32, u32, u32) -> f32) -> Vec<Ran
                     score(p, *pid, *s, fake)
                 })
                 .collect();
-            RankedEval { true_score: score(p, *pid, *s, *o), corrupted_scores: corrupted }
+            RankedEval {
+                true_score: score(p, *pid, *s, *o),
+                corrupted_scores: corrupted,
+            }
         })
         .collect()
 }
@@ -56,20 +63,28 @@ fn ranked_evals(d: &Data, score: impl Fn(&str, u32, u32, u32) -> f32) -> Vec<Ran
 fn quality(d: &Data) {
     // Per-predicate BPR (the paper).
     let mut per = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
-    let flat: Vec<(String, u32, u32)> =
-        d.triples.iter().map(|(p, _, s, o)| (p.clone(), *s, *o)).collect();
+    let flat: Vec<(String, u32, u32)> = d
+        .triples
+        .iter()
+        .map(|(p, _, s, o)| (p.clone(), *s, *o))
+        .collect();
     per.fit(d.n, &flat);
     // Global ablation.
     let mut global = LinkPredictor::new(PredictorMode::Global, BprConfig::default());
     global.fit(d.n, &flat);
     // TransE baseline.
-    let te_triples: Vec<(u32, u32, u32)> =
-        d.triples.iter().map(|(_, pid, s, o)| (*s, *pid, *o)).collect();
+    let te_triples: Vec<(u32, u32, u32)> = d
+        .triples
+        .iter()
+        .map(|(_, pid, s, o)| (*s, *pid, *o))
+        .collect();
     let te = TransEModel::train(d.n, d.preds.len(), &te_triples, &TransEConfig::default());
     // Random baseline.
     let mut seed = 0x12345u64;
     let mut rand01 = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((seed >> 33) as f32) / (u32::MAX >> 1) as f32
     };
     let rand_evals: Vec<RankedEval> = d
@@ -82,9 +97,18 @@ fn quality(d: &Data) {
         .collect();
 
     let models: Vec<(&str, Vec<RankedEval>)> = vec![
-        ("BPR per-pred", ranked_evals(d, |p, _, s, o| per.score(p, s, o))),
-        ("BPR global", ranked_evals(d, |p, _, s, o| global.score(p, s, o))),
-        ("TransE", ranked_evals(d, |_, pid, s, o| te.score(s, pid, o))),
+        (
+            "BPR per-pred",
+            ranked_evals(d, |p, _, s, o| per.score(p, s, o)),
+        ),
+        (
+            "BPR global",
+            ranked_evals(d, |p, _, s, o| global.score(p, s, o)),
+        ),
+        (
+            "TransE",
+            ranked_evals(d, |_, pid, s, o| te.score(s, pid, o)),
+        ),
         ("random", rand_evals),
     ];
     table_header(
@@ -94,8 +118,10 @@ fn quality(d: &Data) {
     );
     for (name, evals) in &models {
         let pos: Vec<f32> = evals.iter().map(|e| e.true_score).collect();
-        let neg: Vec<f32> =
-            evals.iter().flat_map(|e| e.corrupted_scores.iter().copied()).collect();
+        let neg: Vec<f32> = evals
+            .iter()
+            .flat_map(|e| e.corrupted_scores.iter().copied())
+            .collect();
         println!(
             "{}",
             row(
@@ -114,11 +140,19 @@ fn quality(d: &Data) {
 
 fn bench(c: &mut Criterion) {
     let d = data();
-    println!("\ncurated KG: {} triples, {} predicates, {} entities", d.triples.len(), d.preds.len(), d.n);
+    println!(
+        "\ncurated KG: {} triples, {} predicates, {} entities",
+        d.triples.len(),
+        d.preds.len(),
+        d.n
+    );
     quality(&d);
 
-    let flat: Vec<(String, u32, u32)> =
-        d.triples.iter().map(|(p, _, s, o)| (p.clone(), *s, *o)).collect();
+    let flat: Vec<(String, u32, u32)> = d
+        .triples
+        .iter()
+        .map(|(p, _, s, o)| (p.clone(), *s, *o))
+        .collect();
     let mut group = c.benchmark_group("link_prediction");
     group.sample_size(10);
     group.bench_function("train_per_predicate", |b| {

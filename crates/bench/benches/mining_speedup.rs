@@ -42,11 +42,7 @@ fn run_streaming(edges: &[MinerEdge], window: usize) -> usize {
     patterns
 }
 
-fn run_batch(
-    edges: &[MinerEdge],
-    window: usize,
-    mine: impl Fn(&[MinerEdge]) -> usize,
-) -> usize {
+fn run_batch(edges: &[MinerEdge], window: usize, mine: impl Fn(&[MinerEdge]) -> usize) -> usize {
     let mut patterns = 0usize;
     for i in 0..edges.len() {
         if i % SLIDE_EVERY == 0 {
@@ -62,7 +58,13 @@ fn run_batch(
 fn quality_table(edges: &[MinerEdge]) {
     table_header(
         "E7: streaming vs batch per-slide cost (k=2, support=4)",
-        &["window", "stream ms", "arabesque ms", "gspan ms", "speedup(vs arab.)"],
+        &[
+            "window",
+            "stream ms",
+            "arabesque ms",
+            "gspan ms",
+            "speedup(vs arab.)",
+        ],
         &[8, 12, 14, 10, 18],
     );
     for window in [100usize, 200, 400, 800] {
@@ -105,11 +107,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("mining_speedup");
     group.sample_size(10);
     for window in [200usize, 400] {
-        group.bench_with_input(
-            BenchmarkId::new("streaming", window),
-            &window,
-            |b, &w| b.iter(|| run_streaming(&edges, w)),
-        );
+        group.bench_with_input(BenchmarkId::new("streaming", window), &window, |b, &w| {
+            b.iter(|| run_streaming(&edges, w))
+        });
         group.bench_with_input(
             BenchmarkId::new("arabesque_style", window),
             &window,
@@ -121,17 +121,13 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("gspan_style", window),
-            &window,
-            |b, &w| {
-                b.iter(|| {
-                    run_batch(&edges, w, |win| {
-                        PatternGrowthMiner::mine(win, K_MAX, MIN_SUPPORT).len()
-                    })
+        group.bench_with_input(BenchmarkId::new("gspan_style", window), &window, |b, &w| {
+            b.iter(|| {
+                run_batch(&edges, w, |win| {
+                    PatternGrowthMiner::mine(win, K_MAX, MIN_SUPPORT).len()
                 })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -13,7 +13,11 @@ fn slide_through(
     eviction: EvictionStrategy,
     query_every: usize,
 ) -> usize {
-    let mut miner = StreamingMiner::new(MinerConfig { k_max: 2, min_support: 4, eviction });
+    let mut miner = StreamingMiner::new(MinerConfig {
+        k_max: 2,
+        min_support: 4,
+        eviction,
+    });
     let mut total = 0usize;
     for (i, e) in edges.iter().enumerate() {
         miner.add_edge(*e);
@@ -80,7 +84,11 @@ fn bench(c: &mut Criterion) {
         println!(
             "{}",
             row(
-                &[window.to_string(), format!("{eager:.1}"), format!("{rebuild:.1}")],
+                &[
+                    window.to_string(),
+                    format!("{eager:.1}"),
+                    format!("{rebuild:.1}")
+                ],
                 &[8, 10, 12]
             )
         );
@@ -88,9 +96,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mining_stream");
     group.sample_size(10);
-    for (name, ev) in
-        [("eager", EvictionStrategy::Eager), ("rebuild", EvictionStrategy::Rebuild)]
-    {
+    for (name, ev) in [
+        ("eager", EvictionStrategy::Eager),
+        ("rebuild", EvictionStrategy::Rebuild),
+    ] {
         group.bench_with_input(BenchmarkId::new(name, 300), &ev, |b, &ev| {
             b.iter(|| slide_through(&edges, 300, ev, 10))
         });

@@ -31,7 +31,10 @@ fn stage_table() {
         ("rejected", r.rejected),
         ("new entities", r.new_entities),
     ] {
-        println!("{}", row(&[stage.to_string(), count.to_string()], &[22, 10]));
+        println!(
+            "{}",
+            row(&[stage.to_string(), count.to_string()], &[22, 10])
+        );
     }
     println!(
         "\nthroughput: {:.0} docs/s, {:.0} facts/s admitted",

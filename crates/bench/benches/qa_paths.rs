@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nous_bench::{row, table_header};
-use nous_corpus::{plant_explanations, CuratedKb, Explanation, Preset, World, WorldConfig};
 use nous_core::KnowledgeGraph;
+use nous_corpus::{plant_explanations, CuratedKb, Explanation, Preset, World, WorldConfig};
 use nous_graph::VertexId;
 use nous_qa::baselines::{degree_salience_paths, random_walk_paths, shortest_paths};
 use nous_qa::{coherent_paths, PathConstraint, QaConfig, RankedPath, TopicIndex};
@@ -18,13 +18,19 @@ struct Instance {
 }
 
 fn build(companies: usize) -> Instance {
-    let world =
-        World::generate(&WorldConfig { companies, ..Preset::Demo.world_config() });
+    let world = World::generate(&WorldConfig {
+        companies,
+        ..Preset::Demo.world_config()
+    });
     let mut kb = CuratedKb::generate(&world, 7);
     let explanations = plant_explanations(&world, &mut kb, 15, 99);
     let kg = KnowledgeGraph::from_curated(&world, &kb);
     let topics = kg.build_topic_index(&LdaConfig::default());
-    Instance { kg, topics, explanations }
+    Instance {
+        kg,
+        topics,
+        explanations,
+    }
 }
 
 type Ranker<'a> = dyn Fn(&Instance, VertexId, VertexId) -> Vec<RankedPath> + 'a;
@@ -38,7 +44,10 @@ fn accuracy_and_mrr(inst: &Instance, ranker: &Ranker) -> (f64, f64) {
         let paths = ranker(inst, src, dst);
         let expected: Vec<&str> = e.expected_path.iter().map(String::as_str).collect();
         let pos = paths.iter().position(|p| {
-            p.vertices.iter().map(|&v| inst.kg.graph.vertex_name(v)).eq(expected.iter().copied())
+            p.vertices
+                .iter()
+                .map(|&v| inst.kg.graph.vertex_name(v))
+                .eq(expected.iter().copied())
         });
         if pos == Some(0) {
             hits += 1;
@@ -52,19 +61,40 @@ fn accuracy_and_mrr(inst: &Instance, ranker: &Ranker) -> (f64, f64) {
 }
 
 fn quality(inst: &Instance) {
-    let cfg = QaConfig { max_hops: 2, k: 5, ..Default::default() };
-    let no_beam = QaConfig { beam: usize::MAX, ..cfg.clone() };
+    let cfg = QaConfig {
+        max_hops: 2,
+        k: 5,
+        ..Default::default()
+    };
+    let no_beam = QaConfig {
+        beam: usize::MAX,
+        ..cfg.clone()
+    };
     let rankers: Vec<(&str, Box<Ranker>)> = vec![
         (
             "coherence (paper)",
             Box::new(move |i: &Instance, s, d| {
-                coherent_paths(&i.kg.graph, &i.topics, s, d, &PathConstraint::default(), &cfg)
+                coherent_paths(
+                    &i.kg.graph,
+                    &i.topics,
+                    s,
+                    d,
+                    &PathConstraint::default(),
+                    &cfg,
+                )
             }),
         ),
         (
             "coherence no-lookahead",
             Box::new(move |i: &Instance, s, d| {
-                coherent_paths(&i.kg.graph, &i.topics, s, d, &PathConstraint::default(), &no_beam)
+                coherent_paths(
+                    &i.kg.graph,
+                    &i.topics,
+                    s,
+                    d,
+                    &PathConstraint::default(),
+                    &no_beam,
+                )
             }),
         ),
         (
@@ -75,7 +105,11 @@ fn quality(inst: &Instance) {
                     s,
                     d,
                     &PathConstraint::default(),
-                    &QaConfig { max_hops: 2, k: 5, ..Default::default() },
+                    &QaConfig {
+                        max_hops: 2,
+                        k: 5,
+                        ..Default::default()
+                    },
                 )
             }),
         ),
@@ -87,7 +121,11 @@ fn quality(inst: &Instance) {
                     s,
                     d,
                     &PathConstraint::default(),
-                    &QaConfig { max_hops: 2, k: 5, ..Default::default() },
+                    &QaConfig {
+                        max_hops: 2,
+                        k: 5,
+                        ..Default::default()
+                    },
                 )
             }),
         ),
@@ -99,7 +137,11 @@ fn quality(inst: &Instance) {
                     s,
                     d,
                     &PathConstraint::default(),
-                    &QaConfig { max_hops: 2, k: 5, ..Default::default() },
+                    &QaConfig {
+                        max_hops: 2,
+                        k: 5,
+                        ..Default::default()
+                    },
                 )
             }),
         ),
@@ -113,7 +155,10 @@ fn quality(inst: &Instance) {
         let (acc, mrr) = accuracy_and_mrr(inst, ranker.as_ref());
         println!(
             "{}",
-            row(&[name.to_string(), format!("{acc:.2}"), format!("{mrr:.2}")], &[24, 7, 7])
+            row(
+                &[name.to_string(), format!("{acc:.2}"), format!("{mrr:.2}")],
+                &[24, 7, 7]
+            )
         );
     }
 }
@@ -139,7 +184,11 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("coherent_paths", companies),
             &inst,
             |b, inst| {
-                let cfg = QaConfig { max_hops: 3, k: 5, ..Default::default() };
+                let cfg = QaConfig {
+                    max_hops: 3,
+                    k: 5,
+                    ..Default::default()
+                };
                 b.iter(|| {
                     coherent_paths(
                         &inst.kg.graph,
@@ -156,7 +205,11 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("shortest_paths", companies),
             &inst,
             |b, inst| {
-                let cfg = QaConfig { max_hops: 3, k: 5, ..Default::default() };
+                let cfg = QaConfig {
+                    max_hops: 3,
+                    k: 5,
+                    ..Default::default()
+                };
                 b.iter(|| {
                     shortest_paths(&inst.kg.graph, src, dst, &PathConstraint::default(), &cfg)
                 })

@@ -16,21 +16,36 @@ fn bench(c: &mut Criterion) {
     let topics = kg.build_topic_index(&LdaConfig::default());
     let mut trends = TrendMonitor::new(
         WindowKind::Count { n: 400 },
-        MinerConfig { k_max: 2, min_support: 8, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 8,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     trends.observe(&kg);
 
-    let a = system.world.entities[system.world.companies[0]].name.clone();
-    let b = system.world.entities[system.world.companies[1]].name.clone();
+    let a = system.world.entities[system.world.companies[0]]
+        .name
+        .clone();
+    let b = system.world.entities[system.world.companies[1]]
+        .name
+        .clone();
     let queries: Vec<(&str, String)> = vec![
         ("trending", "TRENDING LIMIT 5".to_owned()),
         ("entity", format!("ABOUT {a}")),
         ("why", format!("WHY {a} -> {b} LIMIT 3")),
-        ("match", "MATCH (Company)-[acquired]->(Company) LIMIT 5".to_owned()),
+        (
+            "match",
+            "MATCH (Company)-[acquired]->(Company) LIMIT 5".to_owned(),
+        ),
         ("paths", format!("PATHS {a} TO {b} MAX 3 LIMIT 5")),
     ];
 
-    table_header("E4: query classes smoke results", &["class", "result summary"], &[10, 48]);
+    table_header(
+        "E4: query classes smoke results",
+        &["class", "result summary"],
+        &[10, 48],
+    );
     for (name, q) in &queries {
         let r = execute(&parse(q).expect("valid query"), &kg, &topics, &mut trends);
         let summary = match &r {
@@ -56,7 +71,13 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.bench_function("parse_only", |bch| {
-        bch.iter(|| queries.iter().map(|(_, q)| parse(q).is_ok()).filter(|x| *x).count())
+        bch.iter(|| {
+            queries
+                .iter()
+                .map(|(_, q)| parse(q).is_ok())
+                .filter(|x| *x)
+                .count()
+        })
     });
     group.finish();
 }

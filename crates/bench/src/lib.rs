@@ -25,7 +25,12 @@ pub fn build_system(preset: Preset) -> System {
     kg.train_predictor();
     let mut pipeline = IngestPipeline::new(PipelineConfig::default());
     pipeline.ingest_all(&mut kg, &articles);
-    System { world, kb, articles, kg }
+    System {
+        world,
+        kb,
+        articles,
+        kg,
+    }
 }
 
 /// The miner's typed-edge view of a knowledge graph's live edges.
@@ -46,7 +51,14 @@ impl KgEdges for KnowledgeGraph {
             .map(|(id, e)| {
                 let sl = labels.intern(self.graph.label(e.src).unwrap_or("Entity"));
                 let dl = labels.intern(self.graph.label(e.dst).unwrap_or("Entity"));
-                MinerEdge::new(id.0 as u64, e.src.0 as u64, e.dst.0 as u64, e.pred.0, sl, dl)
+                MinerEdge::new(
+                    id.0 as u64,
+                    e.src.0 as u64,
+                    e.dst.0 as u64,
+                    e.pred.0,
+                    sl,
+                    dl,
+                )
             })
             .collect()
     }
@@ -65,7 +77,13 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 /// Header + separator for a printed table.
 pub fn table_header(title: &str, cols: &[&str], widths: &[usize]) {
     println!("\n== {title} ==");
-    println!("{}", row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths));
+    println!(
+        "{}",
+        row(
+            &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            widths
+        )
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }

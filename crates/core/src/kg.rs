@@ -18,6 +18,15 @@ use nous_text::ner::{EntityType, Gazetteer};
 use nous_topics::{LdaConfig, LdaModel};
 
 /// The NOUS knowledge graph with all per-entity side state.
+///
+/// Concurrency contract for the two-stage ingestion split: the
+/// **gazetteer is the only field the extraction stage reads** (NER typing
+/// of candidate mentions), and [`KnowledgeGraph::create_entity`] is its
+/// only ingestion-time writer. Everything else (disambiguator, mapper,
+/// predictor, entity text, the graph itself) is touched exclusively by
+/// the sequential merge stage. This is what lets
+/// `IngestPipeline::ingest_batch` fan extraction out over an immutable
+/// borrow while keeping graph updates deterministic.
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct KnowledgeGraph {
     pub graph: DynamicGraph,
@@ -164,19 +173,16 @@ impl KnowledgeGraph {
         extra_args: &[(String, String)],
     ) -> nous_graph::EdgeId {
         let p = self.graph.intern_predicate(predicate);
-        let mut edge = nous_graph::Edge::new(
-            s,
-            p,
-            o,
-            at,
-            confidence,
-            Provenance::Extracted { doc_id },
-        );
+        let mut edge =
+            nous_graph::Edge::new(s, p, o, at, confidence, Provenance::Extracted { doc_id });
         if !extra_args.is_empty() {
             edge.props.set(
                 "args",
                 nous_graph::PropValue::List(
-                    extra_args.iter().map(|(prep, text)| format!("{prep}:{text}")).collect(),
+                    extra_args
+                        .iter()
+                        .map(|(prep, text)| format!("{prep}:{text}"))
+                        .collect(),
                 ),
             );
         }
@@ -227,7 +233,13 @@ impl KnowledgeGraph {
         let triples: Vec<(String, u32, u32)> = self
             .graph
             .iter_edges()
-            .map(|(_, e)| (self.graph.predicate_name(e.pred).to_owned(), e.src.0, e.dst.0))
+            .map(|(_, e)| {
+                (
+                    self.graph.predicate_name(e.pred).to_owned(),
+                    e.src.0,
+                    e.dst.0,
+                )
+            })
             .collect();
         self.predictor.fit(self.graph.vertex_count(), &triples);
     }
@@ -350,7 +362,10 @@ mod tests {
         assert_eq!(kg.graph.edge_count(), kb.len());
         assert_eq!(kg.graph.stats().curated_edges, kb.len());
         // Labels present.
-        let v = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
+        let v = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
         assert_eq!(kg.graph.label(v), Some("Company"));
     }
 
@@ -376,8 +391,14 @@ mod tests {
     #[test]
     fn extracted_facts_are_blue_and_timestamped() {
         let (world, _, mut kg) = smoke_kg();
-        let s = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
-        let o = kg.graph.vertex_id(&world.entities[world.companies[1]].name).unwrap();
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let o = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[1]].name)
+            .unwrap();
         let id = kg.add_extracted_fact(s, "acquired", o, 500, 0.8, 42);
         let e = kg.graph.edge(id);
         assert_eq!(e.at, 500);
@@ -388,12 +409,24 @@ mod tests {
     #[test]
     fn linking_updates_context_for_disambiguation() {
         let (world, _, mut kg) = smoke_kg();
-        let s = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
-        let o = kg.graph.vertex_id(&world.entities[world.companies[1]].name).unwrap();
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let o = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[1]].name)
+            .unwrap();
         let o_terms = BagOfWords::from_text(kg.graph.vertex_name(o));
-        let before = o_terms.iter().map(|(t, _)| kg.entity_text(s).count(t)).sum::<u32>();
+        let before = o_terms
+            .iter()
+            .map(|(t, _)| kg.entity_text(s).count(t))
+            .sum::<u32>();
         kg.add_extracted_fact(s, "partneredWith", o, 10, 0.9, 1);
-        let after = o_terms.iter().map(|(t, _)| kg.entity_text(s).count(t)).sum::<u32>();
+        let after = o_terms
+            .iter()
+            .map(|(t, _)| kg.entity_text(s).count(t))
+            .sum::<u32>();
         assert!(after > before, "subject gains object-name context terms");
     }
 
@@ -402,9 +435,14 @@ mod tests {
         let (world, _, mut kg) = smoke_kg();
         // Create 4 acquired edges, stash matching "buy" raw triples.
         for i in 0..4 {
-            let s = kg.graph.vertex_id(&world.entities[world.companies[i]].name).unwrap();
-            let o =
-                kg.graph.vertex_id(&world.entities[world.companies[i + 4]].name).unwrap();
+            let s = kg
+                .graph
+                .vertex_id(&world.entities[world.companies[i]].name)
+                .unwrap();
+            let o = kg
+                .graph
+                .vertex_id(&world.entities[world.companies[i + 4]].name)
+                .unwrap();
             kg.add_extracted_fact(s, "acquired", o, 10, 0.9, i as u64);
             kg.stash_raw_triple(s, "buy", o);
         }
@@ -426,8 +464,15 @@ mod tests {
     #[test]
     fn topic_index_covers_described_entities() {
         let (world, _, kg) = smoke_kg();
-        let idx = kg.build_topic_index(&LdaConfig { topics: 6, iterations: 30, ..Default::default() });
-        let v = kg.graph.vertex_id(&world.entities[world.companies[0]].name).unwrap();
+        let idx = kg.build_topic_index(&LdaConfig {
+            topics: 6,
+            iterations: 30,
+            ..Default::default()
+        });
+        let v = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
         assert!(idx.is_assigned(v), "companies have descriptions, so topics");
         let d = idx.get(v);
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-6);
@@ -451,6 +496,10 @@ mod tests {
         let (world, _, kg) = smoke_kg();
         let company = &world.entities[world.companies[0]];
         let via_alias = kg.entity_summary(&company.aliases[1]);
-        assert!(via_alias.is_some(), "alias {} should resolve", company.aliases[1]);
+        assert!(
+            via_alias.is_some(),
+            "alias {} should resolve",
+            company.aliases[1]
+        );
     }
 }

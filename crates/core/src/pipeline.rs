@@ -8,12 +8,28 @@
 //! if it clears the quality-control threshold. Everything that happens is
 //! accounted in an [`IngestReport`], which is what the demo's quality
 //! dashboard (feature 2) renders.
+//!
+//! # Two-stage ingestion
+//!
+//! The paper runs construction as a data-parallel Spark job (§3, Figure 1).
+//! Here the pipeline is split the same way Saga-style continuous KB
+//! construction splits it: **extraction** (tokenize/POS/NER/coref/OpenIE —
+//! the wall-clock hog) is stateless with respect to the mutable graph and
+//! fans out across worker threads per micro-batch via
+//! [`nous_extract::extract_documents`], while the **merge** (mapping →
+//! disambiguation → scoring → admission) stays sequential in document
+//! order, so batched ingestion is deterministic. The only cross-document
+//! coupling in extraction is the gazetteer: entities minted mid-batch
+//! become NER-visible at the next micro-batch boundary rather than at the
+//! next document (see DESIGN.md, "Ingestion architecture"). With
+//! `batch_size == 1` — or whenever entity creation is disabled — batched
+//! and sequential ingestion produce byte-identical graphs and reports.
 
 use crate::kg::KnowledgeGraph;
 use crate::quality::{CandidateFact, QualityGate};
 use nous_corpus::Article;
 use nous_embed::BprConfig;
-use nous_extract::{extract_document, Document};
+use nous_extract::{extract_document, extract_documents, DocExtraction, Document};
 use nous_graph::VertexId;
 use nous_link::LinkMode;
 use nous_text::bow::BagOfWords;
@@ -38,6 +54,16 @@ pub struct PipelineConfig {
     /// Run mapper expansion every N ingested documents (0 = never).
     pub expand_mapper_every: usize,
     pub bpr: BprConfig,
+    /// Documents per parallel-extraction micro-batch in
+    /// [`IngestPipeline::ingest_batch`] / [`IngestPipeline::ingest_stream`].
+    /// `1` reproduces sequential ingestion exactly (each document extracts
+    /// against the fully up-to-date gazetteer); larger batches trade a
+    /// bounded gazetteer-staleness window for throughput.
+    pub batch_size: usize,
+    /// Worker threads for batch extraction. `0` = auto: the
+    /// `NOUS_THREADS` environment variable if set, else the hardware's
+    /// available parallelism.
+    pub extract_workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -51,6 +77,8 @@ impl Default for PipelineConfig {
             retrain_every: 0,
             expand_mapper_every: 50,
             bpr: BprConfig::default(),
+            batch_size: 32,
+            extract_workers: 0,
         }
     }
 }
@@ -89,6 +117,24 @@ impl IngestReport {
             0.0
         } else {
             self.admitted as f64 / (self.admitted + self.rejected) as f64
+        }
+    }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// accumulator (per-document / per-batch deltas).
+    pub fn delta_since(&self, before: &IngestReport) -> IngestReport {
+        IngestReport {
+            documents: self.documents - before.documents,
+            sentences: self.sentences - before.sentences,
+            raw_triples: self.raw_triples - before.raw_triples,
+            duplicate_triples: self.duplicate_triples - before.duplicate_triples,
+            mapped: self.mapped - before.mapped,
+            unmapped: self.unmapped - before.unmapped,
+            unresolved_entity: self.unresolved_entity - before.unresolved_entity,
+            new_entities: self.new_entities - before.new_entities,
+            admitted: self.admitted - before.admitted,
+            rejected: self.rejected - before.rejected,
+            gated: self.gated - before.gated,
         }
     }
 }
@@ -144,7 +190,10 @@ impl IngestPipeline {
         doc_bow: &BagOfWords,
         mention_type: Option<EntityType>,
     ) -> Option<VertexId> {
-        if let Some(r) = kg.disambiguator.resolve(surface, doc_bow, self.cfg.link_mode) {
+        if let Some(r) = kg
+            .disambiguator
+            .resolve(surface, doc_bow, self.cfg.link_mode)
+        {
             return Some(VertexId(r.id));
         }
         if !self.cfg.create_unknown_entities {
@@ -165,91 +214,98 @@ impl IngestPipeline {
     /// Ingest one document into the knowledge graph.
     pub fn ingest(&mut self, kg: &mut KnowledgeGraph, article: &Article) -> IngestReport {
         let before = self.report.clone();
-        self.report.documents += 1;
-
         let extracted =
             extract_document(&Document::from(article), &kg.gazetteer, &self.cfg.extractor);
+        self.merge_extraction(kg, &extracted);
+        self.report.delta_since(&before)
+    }
+
+    /// Merge one document's extractions into the graph: the sequential
+    /// stage of the two-stage split (mapping → disambiguation → scoring →
+    /// admission, plus the periodic mapper-expansion / retraining
+    /// maintenance). Extractions carry their own provenance (`doc_id`,
+    /// `day`), so a pre-computed [`DocExtraction`] — e.g. produced by a
+    /// parallel extraction fan-out — merges exactly as inline extraction
+    /// would.
+    pub fn merge_extraction(&mut self, kg: &mut KnowledgeGraph, extracted: &DocExtraction) {
+        self.report.documents += 1;
         self.report.sentences += extracted.sentences;
         self.report.duplicate_triples += extracted.raw_count - extracted.extractions.len();
-        let doc_bow = extracted.context;
+        let doc_bow = &extracted.context;
 
-        {
-            for t in &extracted.extractions {
-                self.report.raw_triples += 1;
-                let Some(rule) = kg.mapper.map(&t.predicate) else {
-                    self.report.unmapped += 1;
-                    // Still try to resolve the arguments so the stashed raw
-                    // triple can supervise mapper expansion later.
-                    if let (Some(s), Some(o)) = (
-                        kg.disambiguator
-                            .resolve(&t.subject, &doc_bow, self.cfg.link_mode)
-                            .map(|r| VertexId(r.id)),
-                        kg.disambiguator
-                            .resolve(&t.object, &doc_bow, self.cfg.link_mode)
-                            .map(|r| VertexId(r.id)),
-                    ) {
-                        kg.stash_raw_triple(s, &t.predicate, o);
-                    }
-                    continue;
-                };
-                let rule = rule.clone();
-                self.report.mapped += 1;
+        for t in &extracted.extractions {
+            self.report.raw_triples += 1;
+            let Some(rule) = kg.mapper.map(&t.predicate) else {
+                self.report.unmapped += 1;
+                // Still try to resolve the arguments so the stashed raw
+                // triple can supervise mapper expansion later.
+                if let (Some(s), Some(o)) = (
+                    kg.disambiguator
+                        .resolve(&t.subject, doc_bow, self.cfg.link_mode)
+                        .map(|r| VertexId(r.id)),
+                    kg.disambiguator
+                        .resolve(&t.object, doc_bow, self.cfg.link_mode)
+                        .map(|r| VertexId(r.id)),
+                ) {
+                    kg.stash_raw_triple(s, &t.predicate, o);
+                }
+                continue;
+            };
+            let rule = rule.clone();
+            self.report.mapped += 1;
 
-                let s = self.resolve_entity(kg, &t.subject, &doc_bow, t.subject_type);
-                let o = self.resolve_entity(kg, &t.object, &doc_bow, t.object_type);
-                let (Some(mut s), Some(mut o)) = (s, o) else {
-                    self.report.unresolved_entity += 1;
-                    continue;
-                };
-                if rule.inverted {
-                    std::mem::swap(&mut s, &mut o);
-                }
-                if s == o {
-                    self.report.rejected += 1;
-                    continue;
-                }
-
-                // §3.4 confidence: blend extractor heuristic with the link
-                // predictor's graph-prior score.
-                let prior = kg.predictor.score(&rule.ontology, s.0, o.0);
-                let w = self.cfg.predictor_weight;
-                let confidence = ((1.0 - w) * t.confidence + w * prior).clamp(0.0, 1.0);
-
-                if confidence < self.cfg.min_confidence || t.negated {
-                    self.report.rejected += 1;
-                    self.rejected_confidences.push(confidence);
-                    continue;
-                }
-                let candidate = CandidateFact {
-                    subject: s,
-                    predicate: &rule.ontology,
-                    object: o,
-                    confidence,
-                };
-                if let Some(gate) =
-                    self.gates.iter().find(|g| g.check(kg, &candidate).is_err())
-                {
-                    *self.gate_vetoes.entry(gate.name().to_owned()).or_default() += 1;
-                    self.report.gated += 1;
-                    self.report.rejected += 1;
-                    self.rejected_confidences.push(confidence);
-                    continue;
-                }
-                kg.add_extracted_fact_with_args(
-                    s,
-                    &rule.ontology,
-                    o,
-                    article.day,
-                    confidence,
-                    article.id,
-                    &t.extra_args,
-                );
-                kg.add_entity_text(s, &doc_bow);
-                kg.add_entity_text(o, &doc_bow);
-                self.report.admitted += 1;
-                self.admitted_confidences.push(confidence);
-                self.admitted_since_retrain += 1;
+            let s = self.resolve_entity(kg, &t.subject, doc_bow, t.subject_type);
+            let o = self.resolve_entity(kg, &t.object, doc_bow, t.object_type);
+            let (Some(mut s), Some(mut o)) = (s, o) else {
+                self.report.unresolved_entity += 1;
+                continue;
+            };
+            if rule.inverted {
+                std::mem::swap(&mut s, &mut o);
             }
+            if s == o {
+                self.report.rejected += 1;
+                continue;
+            }
+
+            // §3.4 confidence: blend extractor heuristic with the link
+            // predictor's graph-prior score.
+            let prior = kg.predictor.score(&rule.ontology, s.0, o.0);
+            let w = self.cfg.predictor_weight;
+            let confidence = ((1.0 - w) * t.confidence + w * prior).clamp(0.0, 1.0);
+
+            if confidence < self.cfg.min_confidence || t.negated {
+                self.report.rejected += 1;
+                self.rejected_confidences.push(confidence);
+                continue;
+            }
+            let candidate = CandidateFact {
+                subject: s,
+                predicate: &rule.ontology,
+                object: o,
+                confidence,
+            };
+            if let Some(gate) = self.gates.iter().find(|g| g.check(kg, &candidate).is_err()) {
+                *self.gate_vetoes.entry(gate.name().to_owned()).or_default() += 1;
+                self.report.gated += 1;
+                self.report.rejected += 1;
+                self.rejected_confidences.push(confidence);
+                continue;
+            }
+            kg.add_extracted_fact_with_args(
+                s,
+                &rule.ontology,
+                o,
+                t.day,
+                confidence,
+                t.doc_id,
+                &t.extra_args,
+            );
+            kg.add_entity_text(s, doc_bow);
+            kg.add_entity_text(o, doc_bow);
+            self.report.admitted += 1;
+            self.admitted_confidences.push(confidence);
+            self.admitted_since_retrain += 1;
         }
 
         self.docs_since_expand += 1;
@@ -263,27 +319,56 @@ impl IngestPipeline {
             kg.train_predictor();
             self.admitted_since_retrain = 0;
         }
-
-        // Per-document delta.
-        IngestReport {
-            documents: self.report.documents - before.documents,
-            sentences: self.report.sentences - before.sentences,
-            raw_triples: self.report.raw_triples - before.raw_triples,
-            duplicate_triples: self.report.duplicate_triples - before.duplicate_triples,
-            mapped: self.report.mapped - before.mapped,
-            unmapped: self.report.unmapped - before.unmapped,
-            unresolved_entity: self.report.unresolved_entity - before.unresolved_entity,
-            new_entities: self.report.new_entities - before.new_entities,
-            admitted: self.report.admitted - before.admitted,
-            rejected: self.report.rejected - before.rejected,
-            gated: self.report.gated - before.gated,
-        }
     }
 
-    /// Ingest a whole stream in arrival order.
+    /// Ingest a whole stream in arrival order, one document at a time.
     pub fn ingest_all(&mut self, kg: &mut KnowledgeGraph, articles: &[Article]) -> IngestReport {
         for a in articles {
             self.ingest(kg, a);
+        }
+        self.report.clone()
+    }
+
+    /// Ingest a slice of documents through the two-stage split: extraction
+    /// fans out across worker threads per micro-batch of
+    /// [`PipelineConfig::batch_size`] documents, then results merge back
+    /// **in document order** through the sequential update stage. Every
+    /// document in a micro-batch extracts against the gazetteer as of the
+    /// batch boundary; see the module docs for the staleness contract.
+    pub fn ingest_batch(&mut self, kg: &mut KnowledgeGraph, articles: &[Article]) -> IngestReport {
+        for chunk in articles.chunks(self.cfg.batch_size.max(1)) {
+            let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
+            let extracted = extract_documents(
+                &docs,
+                &kg.gazetteer,
+                &self.cfg.extractor,
+                self.cfg.extract_workers,
+            );
+            for ext in &extracted {
+                self.merge_extraction(kg, ext);
+            }
+        }
+        self.report.clone()
+    }
+
+    /// Ingest an arbitrary document stream with the same micro-batched
+    /// fan-out as [`IngestPipeline::ingest_batch`], buffering
+    /// [`PipelineConfig::batch_size`] articles at a time — the entry point
+    /// for feeds that never materialise the whole corpus in memory.
+    pub fn ingest_stream<I>(&mut self, kg: &mut KnowledgeGraph, articles: I) -> IngestReport
+    where
+        I: IntoIterator<Item = Article>,
+    {
+        let batch = self.cfg.batch_size.max(1);
+        let mut iter = articles.into_iter();
+        let mut buf: Vec<Article> = Vec::with_capacity(batch);
+        loop {
+            buf.clear();
+            buf.extend(iter.by_ref().take(batch));
+            if buf.is_empty() {
+                break;
+            }
+            self.ingest_batch(kg, &buf);
         }
         self.report.clone()
     }
@@ -327,8 +412,12 @@ mod tests {
         for a in &articles {
             for f in &a.facts {
                 total += 1;
-                let s = world.by_name(&f.subject).and_then(|_| kg.graph.vertex_id(&f.subject));
-                let o = world.by_name(&f.object).and_then(|_| kg.graph.vertex_id(&f.object));
+                let s = world
+                    .by_name(&f.subject)
+                    .and_then(|_| kg.graph.vertex_id(&f.subject));
+                let o = world
+                    .by_name(&f.object)
+                    .and_then(|_| kg.graph.vertex_id(&f.object));
                 if let (Some(s), Some(o)) = (s, o) {
                     if let Some(p) = kg.graph.predicate_id(f.predicate.name()) {
                         if kg.graph.has_triple(s, p, o) {
@@ -339,13 +428,19 @@ mod tests {
             }
         }
         let recall = hit as f64 / total as f64;
-        assert!(recall > 0.3, "end-to-end recall too low: {recall:.2} ({hit}/{total})");
+        assert!(
+            recall > 0.3,
+            "end-to-end recall too low: {recall:.2} ({hit}/{total})"
+        );
     }
 
     #[test]
     fn quality_threshold_rejects() {
         let (_, mut kg, articles) = setup();
-        let cfg = PipelineConfig { min_confidence: 0.99, ..Default::default() };
+        let cfg = PipelineConfig {
+            min_confidence: 0.99,
+            ..Default::default()
+        };
         let mut pipe = IngestPipeline::new(cfg);
         let report = pipe.ingest_all(&mut kg, &articles);
         assert_eq!(report.admitted, 0, "nothing clears 0.99");
@@ -356,11 +451,18 @@ mod tests {
     #[test]
     fn unknown_entities_created_only_when_allowed() {
         let (_, mut kg, articles) = setup();
-        let cfg = PipelineConfig { create_unknown_entities: false, ..Default::default() };
+        let cfg = PipelineConfig {
+            create_unknown_entities: false,
+            ..Default::default()
+        };
         let before = kg.graph.vertex_count();
         let mut pipe = IngestPipeline::new(cfg);
         pipe.ingest_all(&mut kg, &articles);
-        assert_eq!(kg.graph.vertex_count(), before, "no entity creation allowed");
+        assert_eq!(
+            kg.graph.vertex_count(),
+            before,
+            "no entity creation allowed"
+        );
         assert_eq!(pipe.report().new_entities, 0);
     }
 
@@ -380,7 +482,10 @@ mod tests {
         };
         let articles = ArticleStream::generate(&world, &kb, &stream_cfg);
         kg.train_predictor();
-        let cfg = PipelineConfig { expand_mapper_every: 50, ..Default::default() };
+        let cfg = PipelineConfig {
+            expand_mapper_every: 50,
+            ..Default::default()
+        };
         let mut pipe = IngestPipeline::new(cfg);
         pipe.ingest_all(&mut kg, &articles);
         // At least one non-seed synonym should have been learned from the
@@ -394,6 +499,62 @@ mod tests {
             .map(|(k, _)| *k)
             .collect();
         assert!(!learned.is_empty(), "no synonyms learned");
+    }
+
+    #[test]
+    fn batched_ingestion_admits_like_sequential() {
+        let (_, mut kg, articles) = setup();
+        kg.train_predictor();
+        let cfg = PipelineConfig {
+            batch_size: 8,
+            extract_workers: 4,
+            ..Default::default()
+        };
+        let mut pipe = IngestPipeline::new(cfg);
+        let report = pipe.ingest_batch(&mut kg, &articles);
+        assert_eq!(report.documents, articles.len());
+        assert!(report.admitted > 0, "batched path admits facts: {report:?}");
+        assert_eq!(kg.graph.stats().extracted_edges, report.admitted);
+    }
+
+    #[test]
+    fn batch_size_one_is_byte_identical_to_sequential() {
+        let (_, mut kg_seq, articles) = setup();
+        let (_, mut kg_par, _) = setup();
+        kg_seq.train_predictor();
+        kg_par.train_predictor();
+        let mut seq = IngestPipeline::new(PipelineConfig::default());
+        seq.ingest_all(&mut kg_seq, &articles);
+        let cfg = PipelineConfig {
+            batch_size: 1,
+            extract_workers: 4,
+            ..Default::default()
+        };
+        let mut par = IngestPipeline::new(cfg);
+        par.ingest_batch(&mut kg_par, &articles);
+        assert_eq!(seq.report(), par.report());
+        assert_eq!(kg_seq.graph.vertex_count(), kg_par.graph.vertex_count());
+        assert_eq!(kg_seq.graph.edge_count(), kg_par.graph.edge_count());
+        assert_eq!(seq.admitted_confidences, par.admitted_confidences);
+    }
+
+    #[test]
+    fn ingest_stream_buffers_into_the_same_batches() {
+        let (_, mut kg_a, articles) = setup();
+        let (_, mut kg_b, _) = setup();
+        kg_a.train_predictor();
+        kg_b.train_predictor();
+        let cfg = PipelineConfig {
+            batch_size: 16,
+            extract_workers: 2,
+            ..Default::default()
+        };
+        let mut batch = IngestPipeline::new(cfg.clone());
+        batch.ingest_batch(&mut kg_a, &articles);
+        let mut stream = IngestPipeline::new(cfg);
+        stream.ingest_stream(&mut kg_b, articles.iter().cloned());
+        assert_eq!(batch.report(), stream.report());
+        assert_eq!(kg_a.graph.edge_count(), kg_b.graph.edge_count());
     }
 
     #[test]

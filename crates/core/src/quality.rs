@@ -47,7 +47,9 @@ pub struct TypeSignatureGate {
 
 impl TypeSignatureGate {
     pub fn new() -> Self {
-        Self { signatures: HashMap::new() }
+        Self {
+            signatures: HashMap::new(),
+        }
     }
 
     /// The signatures of the built-in news ontology.
@@ -144,7 +146,12 @@ mod tests {
     }
 
     fn fact<'a>(s: VertexId, p: &'a str, o: VertexId) -> CandidateFact<'a> {
-        CandidateFact { subject: s, predicate: p, object: o, confidence: 0.8 }
+        CandidateFact {
+            subject: s,
+            predicate: p,
+            object: o,
+            confidence: 0.8,
+        }
     }
 
     #[test]
@@ -159,9 +166,13 @@ mod tests {
     fn type_gate_rejects_swapped_arguments() {
         let (kg, company, city, person) = kg_with_typed_entities();
         let gate = TypeSignatureGate::news_ontology();
-        let err = gate.check(&kg, &fact(city, "isLocatedIn", company)).unwrap_err();
+        let err = gate
+            .check(&kg, &fact(city, "isLocatedIn", company))
+            .unwrap_err();
         assert!(err.contains("subject type"), "{err}");
-        let err2 = gate.check(&kg, &fact(company, "acquired", person)).unwrap_err();
+        let err2 = gate
+            .check(&kg, &fact(company, "acquired", person))
+            .unwrap_err();
         assert!(err2.contains("object type"), "{err2}");
     }
 
@@ -169,7 +180,9 @@ mod tests {
     fn type_gate_passes_unknown_predicates_and_unlabelled_entities() {
         let (mut kg, company, ..) = kg_with_typed_entities();
         let gate = TypeSignatureGate::news_ontology();
-        assert!(gate.check(&kg, &fact(company, "rumoredToLike", company)).is_ok());
+        assert!(gate
+            .check(&kg, &fact(company, "rumoredToLike", company))
+            .is_ok());
         // An entity with no label cannot be vetoed on type.
         let mystery = kg.graph.ensure_vertex("Mystery Thing");
         assert!(gate.check(&kg, &fact(company, "acquired", mystery)).is_ok());
@@ -180,7 +193,8 @@ mod tests {
         let (mut kg, ..) = kg_with_typed_entities();
         let user = kg.create_entity("alice", EntityType::Person);
         let host = kg.create_entity("srv-42", EntityType::Other);
-        kg.graph.set_label(kg.graph.vertex_id("srv-42").unwrap(), "Host");
+        kg.graph
+            .set_label(kg.graph.vertex_id("srv-42").unwrap(), "Host");
         let mut gate = TypeSignatureGate::new();
         gate.require("loggedInto", &["Person"], &["Host"]);
         assert!(gate.check(&kg, &fact(user, "loggedInto", host)).is_ok());
@@ -191,7 +205,9 @@ mod tests {
     fn self_loop_gate() {
         let (kg, company, city, _) = kg_with_typed_entities();
         let gate = NoSelfLoopGate;
-        assert!(gate.check(&kg, &fact(company, "acquired", company)).is_err());
+        assert!(gate
+            .check(&kg, &fact(company, "acquired", company))
+            .is_err());
         assert!(gate.check(&kg, &fact(company, "isLocatedIn", city)).is_ok());
     }
 }

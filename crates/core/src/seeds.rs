@@ -59,6 +59,9 @@ mod tests {
         let m = seeded_mapper();
         assert_eq!(m.map("acquire").unwrap().ontology, "acquired");
         assert!(m.map("found").unwrap().inverted);
-        assert!(m.map("buy").is_none(), "synonyms must be learned, not seeded");
+        assert!(
+            m.map("buy").is_none(),
+            "synonyms must be learned, not seeded"
+        );
     }
 }

@@ -8,7 +8,10 @@
 //! whose queries mutate internal miner state — behind a `Mutex`.
 
 use crate::kg::KnowledgeGraph;
+use crate::pipeline::{IngestPipeline, IngestReport};
 use crate::trends::TrendMonitor;
+use nous_corpus::Article;
+use nous_extract::{extract_documents, Document};
 use nous_qa::TopicIndex;
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -57,6 +60,34 @@ impl SharedSession {
         let mut trends = self.trends.lock();
         f(&mut trends, &kg)
     }
+
+    /// Micro-batched ingestion against the live session: the parallel
+    /// extraction stage runs under the **read** lock (analysts keep
+    /// querying while documents are parsed — extraction is the wall-clock
+    /// hog and never touches mutable state), and only the sequential
+    /// merge stage takes the write lock, once per micro-batch. The
+    /// gazetteer snapshot a batch extracts against is the one visible at
+    /// its read-lock acquisition — the same staleness contract as
+    /// [`IngestPipeline::ingest_batch`].
+    pub fn ingest_batch(
+        &self,
+        pipeline: &mut IngestPipeline,
+        articles: &[Article],
+    ) -> IngestReport {
+        let cfg = pipeline.config().clone();
+        for chunk in articles.chunks(cfg.batch_size.max(1)) {
+            let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
+            let extracted = {
+                let kg = self.kg.read();
+                extract_documents(&docs, &kg.gazetteer, &cfg.extractor, cfg.extract_workers)
+            };
+            let mut kg = self.kg.write();
+            for ext in &extracted {
+                pipeline.merge_extraction(&mut kg, ext);
+            }
+        }
+        pipeline.report().clone()
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +102,11 @@ mod tests {
         let topics = TopicIndex::new(2);
         let trends = TrendMonitor::new(
             WindowKind::Count { n: 100 },
-            MinerConfig { k_max: 1, min_support: 2, eviction: EvictionStrategy::Eager },
+            MinerConfig {
+                k_max: 1,
+                min_support: 2,
+                eviction: EvictionStrategy::Eager,
+            },
         );
         SharedSession::new(kg, topics, trends)
     }
@@ -84,8 +119,7 @@ mod tests {
             let b = kg.create_entity("B Corp", EntityType::Organization);
             kg.add_extracted_fact(a, "acquired", b, 1, 0.9, 0);
         });
-        let (vertices, edges) =
-            s.read(|kg, _| (kg.graph.vertex_count(), kg.graph.edge_count()));
+        let (vertices, edges) = s.read(|kg, _| (kg.graph.vertex_count(), kg.graph.edge_count()));
         assert_eq!((vertices, edges), (2, 1));
     }
 
@@ -133,6 +167,55 @@ mod tests {
             assert_eq!(r.join().expect("reader"), 200);
         }
         assert_eq!(s.read(|kg, _| kg.graph.edge_count()), 200);
+    }
+
+    #[test]
+    fn batched_ingestion_with_concurrent_readers() {
+        use crate::pipeline::PipelineConfig;
+        use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+
+        let world = World::generate(&Preset::Smoke.world_config());
+        let kb = CuratedKb::generate(&world, 7);
+        let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+        kg.train_predictor();
+        let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+        let seed = world.entities[world.companies[0]].name.clone();
+
+        let s = SharedSession::new(
+            kg,
+            TopicIndex::new(2),
+            TrendMonitor::new(
+                WindowKind::Count { n: 100 },
+                MinerConfig {
+                    k_max: 1,
+                    min_support: 2,
+                    eviction: EvictionStrategy::Eager,
+                },
+            ),
+        );
+        let reader = {
+            let s = s.clone();
+            let seed = seed.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    assert!(s.read(|kg, _| kg.graph.vertex_id(&seed).is_some()));
+                }
+            })
+        };
+        let cfg = PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            ..Default::default()
+        };
+        let mut pipe = IngestPipeline::new(cfg);
+        let report = s.ingest_batch(&mut pipe, &articles);
+        reader.join().expect("reader");
+        assert_eq!(report.documents, articles.len());
+        assert!(report.admitted > 0);
+        assert_eq!(
+            s.read(|kg, _| kg.graph.stats().extracted_edges),
+            report.admitted
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl TrendMonitor {
             WindowKind::Time { span } => SlidingWindow::time(span),
             WindowKind::Count { n } => SlidingWindow::count(n),
         };
-        Self { window, miner: StreamingMiner::new(miner_cfg), labels: Interner::new() }
+        Self {
+            window,
+            miner: StreamingMiner::new(miner_cfg),
+            labels: Interner::new(),
+        }
     }
 
     fn miner_edge(&mut self, kg: &KnowledgeGraph, id: nous_graph::EdgeId) -> MinerEdge {
@@ -46,7 +50,14 @@ impl TrendMonitor {
             self.labels.intern(name)
         };
         let (sl, dl) = (label(e.src), label(e.dst));
-        MinerEdge::new(id.0 as u64, e.src.0 as u64, e.dst.0 as u64, e.pred.0, sl, dl)
+        MinerEdge::new(
+            id.0 as u64,
+            e.src.0 as u64,
+            e.dst.0 as u64,
+            e.pred.0,
+            sl,
+            dl,
+        )
     }
 
     /// Consume new graph edges, sliding the window and updating the miner.
@@ -95,7 +106,11 @@ impl TrendMonitor {
             .map(|(p, support)| Trend {
                 description: p.render(
                     |l| labels.resolve(l).to_owned(),
-                    |l| kg.graph.predicate_name(nous_graph::PredicateId(l)).to_owned(),
+                    |l| {
+                        kg.graph
+                            .predicate_name(nous_graph::PredicateId(l))
+                            .to_owned()
+                    },
                 ),
                 support,
             })
@@ -138,7 +153,11 @@ mod tests {
         let kg = kg_with_motifs(4);
         let mut tm = TrendMonitor::new(
             WindowKind::Count { n: 100 },
-            MinerConfig { k_max: 3, min_support: 3, eviction: EvictionStrategy::Eager },
+            MinerConfig {
+                k_max: 3,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
         );
         let (added, evicted) = tm.observe(&kg);
         assert_eq!(added, 12);
@@ -161,13 +180,18 @@ mod tests {
         let kg = kg_with_motifs(4);
         let mut tm = TrendMonitor::new(
             WindowKind::Count { n: 6 }, // holds only 2 motifs
-            MinerConfig { k_max: 3, min_support: 3, eviction: EvictionStrategy::Eager },
+            MinerConfig {
+                k_max: 3,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
         );
         tm.observe(&kg);
         assert_eq!(tm.window_len(), 6);
         let trends = tm.trending(&kg);
         assert!(
-            !trends.iter().any(|t| t.support >= 3 && t.description.contains("acquired")
+            !trends.iter().any(|t| t.support >= 3
+                && t.description.contains("acquired")
                 && t.description.contains("partneredWith")),
             "old motifs must have slid out: {trends:?}"
         );
@@ -178,7 +202,11 @@ mod tests {
         let kg = kg_with_motifs(4); // timestamps 0..32
         let mut tm = TrendMonitor::new(
             WindowKind::Time { span: 1000 },
-            MinerConfig { k_max: 2, min_support: 2, eviction: EvictionStrategy::Eager },
+            MinerConfig {
+                k_max: 2,
+                min_support: 2,
+                eviction: EvictionStrategy::Eager,
+            },
         );
         tm.observe(&kg);
         assert_eq!(tm.window_len(), 12);
@@ -190,7 +218,11 @@ mod tests {
     #[test]
     fn incremental_observe_matches_single_shot() {
         let kg = kg_with_motifs(3);
-        let cfg = MinerConfig { k_max: 3, min_support: 2, eviction: EvictionStrategy::Eager };
+        let cfg = MinerConfig {
+            k_max: 3,
+            min_support: 2,
+            eviction: EvictionStrategy::Eager,
+        };
         let mut incremental = TrendMonitor::new(WindowKind::Count { n: 100 }, cfg.clone());
         // Observe twice (second call sees no new edges).
         incremental.observe(&kg);

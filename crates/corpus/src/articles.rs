@@ -101,8 +101,18 @@ impl Default for StreamConfig {
 }
 
 const MONTHS: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Render a corpus day as "March 2013"-style text.
@@ -186,13 +196,22 @@ impl<'a> Ctx<'a> {
             .map(|f| format!("{} {} {}", f.subject, f.predicate.name(), f.object))
             .unwrap_or_else(|| "Market roundup".to_owned());
 
-        Article { id, day, headline, body: sentences.join(" "), facts }
+        Article {
+            id,
+            day,
+            headline,
+            body: sentences.join(" "),
+            facts,
+        }
     }
 
     /// Weighted predicate sampling with trend-wave boosts.
     fn sample_predicate(&self, rng: &mut StdRng, day: u64) -> OntologyPredicate {
-        let evented: Vec<OntologyPredicate> =
-            crate::ontology::ONTOLOGY.iter().copied().filter(|p| p.is_eventful()).collect();
+        let evented: Vec<OntologyPredicate> = crate::ontology::ONTOLOGY
+            .iter()
+            .copied()
+            .filter(|p| p.is_eventful())
+            .collect();
         let weights: Vec<f64> = evented
             .iter()
             .map(|p| {
@@ -217,11 +236,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Sample arguments matching the predicate's type signature.
-    fn sample_args(
-        &self,
-        rng: &mut StdRng,
-        pred: OntologyPredicate,
-    ) -> Option<(usize, usize)> {
+    fn sample_args(&self, rng: &mut StdRng, pred: OntologyPredicate) -> Option<(usize, usize)> {
         let s = *self.world.companies.choose(rng)?;
         let o = match pred {
             OntologyPredicate::IsLocatedIn => *self.world.locations.choose(rng)?,
@@ -254,7 +269,9 @@ impl<'a> Ctx<'a> {
         sentences: &mut Vec<String>,
         facts: &mut Vec<GroundFact>,
     ) {
-        let Some((s, o)) = args.or_else(|| self.sample_args(rng, pred)) else { return };
+        let Some((s, o)) = args.or_else(|| self.sample_args(rng, pred)) else {
+            return;
+        };
         let s_surface = self.surface(rng, s);
         let o_surface = self.surface(rng, o);
         let rendered = self.render(rng, pred, s, o, &s_surface, &o_surface, day);
@@ -288,7 +305,14 @@ impl<'a> Ctx<'a> {
         facts: &mut Vec<GroundFact>,
     ) {
         if let Some(t) = self.kb.triples.choose(rng) {
-            self.emit_fact(rng, day, t.predicate, Some((t.subject, t.object)), sentences, facts);
+            self.emit_fact(
+                rng,
+                day,
+                t.predicate,
+                Some((t.subject, t.object)),
+                sentences,
+                facts,
+            );
         }
     }
 
@@ -312,7 +336,14 @@ impl<'a> Ctx<'a> {
         picks.shuffle(rng);
         let (a, b, c) = (picks[0], picks[1], picks[2]);
         self.emit_fact(rng, day, pred, Some((a, b)), sentences, facts);
-        self.emit_fact(rng, day, OntologyPredicate::InvestedIn, Some((a, c)), sentences, facts);
+        self.emit_fact(
+            rng,
+            day,
+            OntologyPredicate::InvestedIn,
+            Some((a, c)),
+            sentences,
+            facts,
+        );
         self.emit_fact(
             rng,
             day,
@@ -377,7 +408,11 @@ impl<'a> Ctx<'a> {
             }
             P::FoundedBy => {
                 // Inverted surface: person founded company.
-                let verb = if rng.gen_bool(0.7) { "founded" } else { "created" };
+                let verb = if rng.gen_bool(0.7) {
+                    "founded"
+                } else {
+                    "created"
+                };
                 vec![format!("{o} {verb} {s}.")]
             }
             P::Manufactures => {
@@ -387,7 +422,9 @@ impl<'a> Ctx<'a> {
                 vec![format!("{s} {} the {o}.", Self::present(lemma))]
             }
             P::Acquired => {
-                let lemma = *["acquire", "buy", "purchase"].choose(rng).expect("non-empty");
+                let lemma = *["acquire", "buy", "purchase"]
+                    .choose(rng)
+                    .expect("non-empty");
                 let past = Self::past(lemma);
                 if rng.gen_bool(self.cfg.coref_rate) {
                     vec![
@@ -449,19 +486,24 @@ mod tests {
 
     #[test]
     fn deterministic_and_sorted_by_day() {
-        let cfg = StreamConfig { articles: 50, ..Default::default() };
+        let cfg = StreamConfig {
+            articles: 50,
+            ..Default::default()
+        };
         let (_, a) = small_stream(cfg.clone());
         let (_, b) = small_stream(cfg);
         assert_eq!(a.len(), 50);
-        let bodies =
-            |v: &[Article]| v.iter().map(|x| x.body.clone()).collect::<Vec<_>>();
+        let bodies = |v: &[Article]| v.iter().map(|x| x.body.clone()).collect::<Vec<_>>();
         assert_eq!(bodies(&a), bodies(&b));
         assert!(a.windows(2).all(|w| w[0].day <= w[1].day));
     }
 
     #[test]
     fn every_article_carries_facts_and_text() {
-        let (_, arts) = small_stream(StreamConfig { articles: 30, ..Default::default() });
+        let (_, arts) = small_stream(StreamConfig {
+            articles: 30,
+            ..Default::default()
+        });
         for art in &arts {
             assert!(!art.facts.is_empty());
             assert!(!art.body.is_empty());
@@ -473,11 +515,22 @@ mod tests {
 
     #[test]
     fn fact_names_are_canonical() {
-        let (world, arts) = small_stream(StreamConfig { articles: 40, ..Default::default() });
+        let (world, arts) = small_stream(StreamConfig {
+            articles: 40,
+            ..Default::default()
+        });
         for art in &arts {
             for f in &art.facts {
-                assert!(world.by_name(&f.subject).is_some(), "unknown subject {}", f.subject);
-                assert!(world.by_name(&f.object).is_some(), "unknown object {}", f.object);
+                assert!(
+                    world.by_name(&f.subject).is_some(),
+                    "unknown subject {}",
+                    f.subject
+                );
+                assert!(
+                    world.by_name(&f.object).is_some(),
+                    "unknown object {}",
+                    f.object
+                );
             }
         }
     }
@@ -554,9 +607,7 @@ mod tests {
             a.facts.iter().any(|f| {
                 let idx = world.by_name(&f.subject).unwrap();
                 let e = world.entity(idx);
-                e.aliases.len() > 1
-                    && !a.body.contains(&e.name)
-                    && a.body.contains(&e.aliases[1])
+                e.aliases.len() > 1 && !a.body.contains(&e.name) && a.body.contains(&e.aliases[1])
             })
         });
         assert!(found);
@@ -609,12 +660,18 @@ mod tests {
             for f in &art.facts {
                 total += 1;
                 let forms = f.predicate.surface_forms();
-                if raw_preds.iter().any(|rp| forms.iter().any(|(s, _)| s == rp)) {
+                if raw_preds
+                    .iter()
+                    .any(|rp| forms.iter().any(|(s, _)| s == rp))
+                {
                     hits += 1;
                 }
             }
         }
         let recall = hits as f64 / total as f64;
-        assert!(recall > 0.6, "surface-form recall too low: {recall:.2} ({hits}/{total})");
+        assert!(
+            recall > 0.6,
+            "surface-form recall too low: {recall:.2} ({hits}/{total})"
+        );
     }
 }

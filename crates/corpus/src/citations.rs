@@ -103,12 +103,16 @@ pub struct CitationScenario {
 
 /// Generate the scenario (deterministic in the seed).
 pub fn generate(cfg: &CitationConfig) -> CitationScenario {
-    assert!(cfg.burst_year < cfg.years, "burst must happen inside the horizon");
+    assert!(
+        cfg.burst_year < cfg.years,
+        "burst must happen inside the horizon"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5be0_cd19_137e_2179);
 
     let authors: Vec<String> = (0..cfg.authors).map(|i| format!("Author {i:02}")).collect();
-    let venues: Vec<String> =
-        (0..cfg.venues).map(|i| format!("Conf-{}", ["KDD", "ICDE", "VLDB", "WWW", "CIKM"][i % 5])).collect();
+    let venues: Vec<String> = (0..cfg.venues)
+        .map(|i| format!("Conf-{}", ["KDD", "ICDE", "VLDB", "WWW", "CIKM"][i % 5]))
+        .collect();
 
     let mut entities: Vec<BibEntity> = Vec::new();
     for a in &authors {
@@ -132,63 +136,67 @@ pub fn generate(cfg: &CitationConfig) -> CitationScenario {
     let mut burst_papers = Vec::new();
     let mut paper_no = 0usize;
 
-    let publish =
-        |rng: &mut StdRng,
-         facts: &mut Vec<BibFact>,
-         entities: &mut Vec<BibEntity>,
-         papers: &mut Vec<(String, Topic, u64)>,
-         paper_no: &mut usize,
-         day: u64,
-         topic: Topic,
-         cite_pool: &[String]| {
-            let name = format!("Paper {:03}", *paper_no);
-            *paper_no += 1;
-            entities.push(BibEntity { name: name.clone(), label: PAPER_LABEL, topic });
-            // Authors and venue.
-            let n_authors = rng.gen_range(1..=3);
-            for a in authors.choose_multiple(rng, n_authors) {
-                facts.push(BibFact {
-                    day,
-                    subject: name.clone(),
-                    predicate: CitePredicate::AuthoredBy,
-                    object: a.clone(),
-                });
-            }
+    let publish = |rng: &mut StdRng,
+                   facts: &mut Vec<BibFact>,
+                   entities: &mut Vec<BibEntity>,
+                   papers: &mut Vec<(String, Topic, u64)>,
+                   paper_no: &mut usize,
+                   day: u64,
+                   topic: Topic,
+                   cite_pool: &[String]| {
+        let name = format!("Paper {:03}", *paper_no);
+        *paper_no += 1;
+        entities.push(BibEntity {
+            name: name.clone(),
+            label: PAPER_LABEL,
+            topic,
+        });
+        // Authors and venue.
+        let n_authors = rng.gen_range(1..=3);
+        for a in authors.choose_multiple(rng, n_authors) {
             facts.push(BibFact {
                 day,
                 subject: name.clone(),
-                predicate: CitePredicate::PublishedIn,
-                object: venues.choose(rng).expect("non-empty").clone(),
+                predicate: CitePredicate::AuthoredBy,
+                object: a.clone(),
             });
-            // Background citations to papers already published by `day`
-            // (the fact loop interleaves background and burst papers, so
-            // the pool can contain same-year papers with later dates).
-            let eligible: Vec<&String> =
-                papers.iter().filter(|p| p.2 <= day).map(|p| &p.0).collect();
-            let n_cites = rng.gen_range(0..=3.min(eligible.len()));
-            let older_picks: Vec<String> =
-                eligible.choose_multiple(rng, n_cites).map(|p| (*p).clone()).collect();
-            for older in older_picks {
+        }
+        facts.push(BibFact {
+            day,
+            subject: name.clone(),
+            predicate: CitePredicate::PublishedIn,
+            object: venues.choose(rng).expect("non-empty").clone(),
+        });
+        // Background citations to papers already published by `day`
+        // (the fact loop interleaves background and burst papers, so
+        // the pool can contain same-year papers with later dates).
+        let eligible: Vec<&String> = papers.iter().filter(|p| p.2 <= day).map(|p| &p.0).collect();
+        let n_cites = rng.gen_range(0..=3.min(eligible.len()));
+        let older_picks: Vec<String> = eligible
+            .choose_multiple(rng, n_cites)
+            .map(|p| (*p).clone())
+            .collect();
+        for older in older_picks {
+            facts.push(BibFact {
+                day,
+                subject: name.clone(),
+                predicate: CitePredicate::Cites,
+                object: older,
+            });
+        }
+        for extra in cite_pool.choose_multiple(rng, cite_pool.len().min(2)) {
+            if *extra != name {
                 facts.push(BibFact {
                     day,
                     subject: name.clone(),
                     predicate: CitePredicate::Cites,
-                    object: older,
+                    object: extra.clone(),
                 });
             }
-            for extra in cite_pool.choose_multiple(rng, cite_pool.len().min(2)) {
-                if *extra != name {
-                    facts.push(BibFact {
-                        day,
-                        subject: name.clone(),
-                        predicate: CitePredicate::Cites,
-                        object: extra.clone(),
-                    });
-                }
-            }
-            papers.push((name.clone(), topic, day));
-            name
-        };
+        }
+        papers.push((name.clone(), topic, day));
+        name
+    };
 
     for year in 0..cfg.years {
         let day0 = year * 365;
@@ -233,7 +241,12 @@ pub fn generate(cfg: &CitationConfig) -> CitationScenario {
     }
 
     facts.sort_by(|a, b| a.day.cmp(&b.day).then_with(|| a.subject.cmp(&b.subject)));
-    CitationScenario { entities, facts, seminal, burst_papers }
+    CitationScenario {
+        entities,
+        facts,
+        seminal,
+        burst_papers,
+    }
 }
 
 #[cfg(test)]
@@ -263,7 +276,12 @@ mod tests {
             if f.predicate == CitePredicate::Cites {
                 let citing = day_of[f.subject.as_str()];
                 let cited = day_of[f.object.as_str()];
-                assert!(cited <= citing, "{} cites the future {}", f.subject, f.object);
+                assert!(
+                    cited <= citing,
+                    "{} cites the future {}",
+                    f.subject,
+                    f.object
+                );
             }
         }
     }
@@ -277,8 +295,11 @@ mod tests {
             .filter(|f| f.predicate == CitePredicate::Cites && f.object == s.seminal)
             .map(|f| f.subject.as_str())
             .collect();
-        let burst_hits =
-            s.burst_papers.iter().filter(|p| citing_seminal.contains(p.as_str())).count();
+        let burst_hits = s
+            .burst_papers
+            .iter()
+            .filter(|p| citing_seminal.contains(p.as_str()))
+            .count();
         assert!(
             burst_hits * 2 >= s.burst_papers.len(),
             "most burst papers cite the seminal one ({burst_hits}/{})",

@@ -7,9 +7,9 @@
 //! red edges of the paper's Figure 2.
 
 use crate::ontology::OntologyPredicate;
-use crate::world::World;
 #[cfg(test)]
 use crate::world::Kind;
+use crate::world::World;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -39,7 +39,10 @@ impl CuratedKb {
 
         // Every company: one HQ, one founder.
         for &c in &world.companies {
-            let hq = *world.locations.choose(&mut rng).expect("locations non-empty");
+            let hq = *world
+                .locations
+                .choose(&mut rng)
+                .expect("locations non-empty");
             triples.push(CuratedTriple {
                 subject: c,
                 predicate: OntologyPredicate::IsLocatedIn,
@@ -65,7 +68,10 @@ impl CuratedKb {
             let owner = if !same_topic.is_empty() && rng.gen_bool(0.8) {
                 *same_topic.choose(&mut rng).expect("non-empty")
             } else {
-                *world.companies.choose(&mut rng).expect("companies non-empty")
+                *world
+                    .companies
+                    .choose(&mut rng)
+                    .expect("companies non-empty")
             };
             triples.push(CuratedTriple {
                 subject: owner,
@@ -173,11 +179,13 @@ mod tests {
         let (w, kb) = sample();
         for &c in &w.companies {
             assert!(
-                kb.with_predicate(OntologyPredicate::IsLocatedIn).any(|t| t.subject == c),
+                kb.with_predicate(OntologyPredicate::IsLocatedIn)
+                    .any(|t| t.subject == c),
                 "company {c} lacks HQ"
             );
             assert!(
-                kb.with_predicate(OntologyPredicate::FoundedBy).any(|t| t.subject == c),
+                kb.with_predicate(OntologyPredicate::FoundedBy)
+                    .any(|t| t.subject == c),
                 "company {c} lacks founder"
             );
         }

@@ -82,7 +82,9 @@ pub fn plant_explanations(
             .choose(&mut rng)
             .expect("≥2 topics");
         let hub_members = &by_topic[other_topic];
-        let Some(&hub) = hub_members.choose(&mut rng) else { continue };
+        let Some(&hub) = hub_members.choose(&mut rng) else {
+            continue;
+        };
         if hub == a || hub == c {
             continue;
         }
@@ -142,7 +144,10 @@ mod tests {
     use crate::world::WorldConfig;
 
     fn setup(n: usize) -> (World, CuratedKb, Vec<Explanation>) {
-        let world = World::generate(&WorldConfig { companies: 60, ..Default::default() });
+        let world = World::generate(&WorldConfig {
+            companies: 60,
+            ..Default::default()
+        });
         let mut kb = CuratedKb::generate(&world, 7);
         let ex = plant_explanations(&world, &mut kb, n, 13);
         (world, kb, ex)
@@ -163,7 +168,10 @@ mod tests {
                 .iter()
                 .map(|n| world.entity(world.by_name(n).unwrap()).topic)
                 .collect();
-            assert!(topics.windows(2).all(|w| w[0] == w[1]), "incoherent expected path");
+            assert!(
+                topics.windows(2).all(|w| w[0] == w[1]),
+                "incoherent expected path"
+            );
             // Decoy hub breaks the topic.
             let hub = &e.decoy_path[1];
             let hub_topic = world.entity(world.by_name(hub).unwrap()).topic;

@@ -125,31 +125,53 @@ pub fn generate(cfg: &InsiderConfig) -> InsiderScenario {
     let users: Vec<String> = (0..cfg.users).map(|i| format!("user{i:02}")).collect();
     let hosts: Vec<String> = (0..cfg.hosts).map(|i| format!("host-{i:02}")).collect();
     let files: Vec<String> = (0..cfg.files).map(|i| format!("doc-{i:03}.txt")).collect();
-    let sensitive: Vec<String> =
-        (0..cfg.sensitive_files).map(|i| format!("secret-{i:02}.dat")).collect();
-    let external: Vec<String> =
-        (0..cfg.external_hosts).map(|i| format!("ext-drive-{i}")).collect();
+    let sensitive: Vec<String> = (0..cfg.sensitive_files)
+        .map(|i| format!("secret-{i:02}.dat"))
+        .collect();
+    let external: Vec<String> = (0..cfg.external_hosts)
+        .map(|i| format!("ext-drive-{i}"))
+        .collect();
 
     let mut entities = Vec::new();
     for u in &users {
-        entities.push(LogEntity { name: u.clone(), label: USER_LABEL });
+        entities.push(LogEntity {
+            name: u.clone(),
+            label: USER_LABEL,
+        });
     }
     for h in &hosts {
-        entities.push(LogEntity { name: h.clone(), label: HOST_LABEL });
+        entities.push(LogEntity {
+            name: h.clone(),
+            label: HOST_LABEL,
+        });
     }
     for f in &files {
-        entities.push(LogEntity { name: f.clone(), label: FILE_LABEL });
+        entities.push(LogEntity {
+            name: f.clone(),
+            label: FILE_LABEL,
+        });
     }
     for f in &sensitive {
-        entities.push(LogEntity { name: f.clone(), label: SENSITIVE_FILE_LABEL });
+        entities.push(LogEntity {
+            name: f.clone(),
+            label: SENSITIVE_FILE_LABEL,
+        });
     }
     for h in &external {
-        entities.push(LogEntity { name: h.clone(), label: EXTERNAL_HOST_LABEL });
+        entities.push(LogEntity {
+            name: h.clone(),
+            label: EXTERNAL_HOST_LABEL,
+        });
     }
 
     // Each user has a home host (their benign login target).
-    let home: Vec<usize> = (0..cfg.users).map(|_| rng.gen_range(0..cfg.hosts)).collect();
-    let mut exfiltrators: Vec<String> = users.choose_multiple(&mut rng, cfg.exfiltrators).cloned().collect();
+    let home: Vec<usize> = (0..cfg.users)
+        .map(|_| rng.gen_range(0..cfg.hosts))
+        .collect();
+    let mut exfiltrators: Vec<String> = users
+        .choose_multiple(&mut rng, cfg.exfiltrators)
+        .cloned()
+        .collect();
     exfiltrators.sort();
 
     let mut events = Vec::new();
@@ -212,7 +234,11 @@ pub fn generate(cfg: &InsiderConfig) -> InsiderScenario {
         }
     }
 
-    InsiderScenario { entities, events, exfiltrators }
+    InsiderScenario {
+        entities,
+        events,
+        exfiltrators,
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +261,10 @@ mod tests {
         for e in &s.events {
             if e.predicate == InsiderPredicate::CopiedTo {
                 assert!((cfg.attack_start..=cfg.attack_end).contains(&e.day));
-                assert!(s.exfiltrators.contains(&e.subject), "only exfiltrators copy out");
+                assert!(
+                    s.exfiltrators.contains(&e.subject),
+                    "only exfiltrators copy out"
+                );
             }
         }
     }
@@ -256,14 +285,25 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             s.entities.iter().map(|e| e.name.as_str()).collect();
         for e in &s.events {
-            assert!(names.contains(e.subject.as_str()), "unknown subject {}", e.subject);
-            assert!(names.contains(e.object.as_str()), "unknown object {}", e.object);
+            assert!(
+                names.contains(e.subject.as_str()),
+                "unknown subject {}",
+                e.subject
+            );
+            assert!(
+                names.contains(e.object.as_str()),
+                "unknown object {}",
+                e.object
+            );
         }
     }
 
     #[test]
     fn exfiltrator_count_matches_config() {
-        let cfg = InsiderConfig { exfiltrators: 5, ..Default::default() };
+        let cfg = InsiderConfig {
+            exfiltrators: 5,
+            ..Default::default()
+        };
         let s = generate(&cfg);
         assert_eq!(s.exfiltrators.len(), 5);
     }

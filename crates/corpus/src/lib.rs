@@ -34,9 +34,9 @@ pub mod vocab;
 pub mod world;
 
 pub use articles::{Article, ArticleStream, StreamConfig, TrendWave};
+pub use citations::{CitationConfig, CitationScenario};
 pub use curated::{CuratedKb, CuratedTriple};
 pub use explain::{plant_explanations, Explanation};
-pub use citations::{CitationConfig, CitationScenario};
 pub use insider::{InsiderConfig, InsiderScenario, LogEvent};
 pub use ontology::{OntologyPredicate, ONTOLOGY};
 pub use presets::Preset;

@@ -70,22 +70,35 @@ impl OntologyPredicate {
     /// ontology direction ("P founded O" → `(O, foundedBy, P)`).
     pub fn surface_forms(self) -> &'static [(&'static str, bool)] {
         match self {
-            OntologyPredicate::IsLocatedIn => {
-                &[("base_in", false), ("headquarter_in", false), ("operate_in", false), ("locate_in", false)]
-            }
+            OntologyPredicate::IsLocatedIn => &[
+                ("base_in", false),
+                ("headquarter_in", false),
+                ("operate_in", false),
+                ("locate_in", false),
+            ],
             OntologyPredicate::FoundedBy => &[("found", true), ("create", true)],
-            OntologyPredicate::Manufactures => {
-                &[("manufacture", false), ("make", false), ("produce", false), ("build", false), ("ship", false)]
-            }
+            OntologyPredicate::Manufactures => &[
+                ("manufacture", false),
+                ("make", false),
+                ("produce", false),
+                ("build", false),
+                ("ship", false),
+            ],
             OntologyPredicate::Acquired => {
                 &[("acquire", false), ("buy", false), ("purchase", false)]
             }
             OntologyPredicate::InvestedIn => &[("invest_in", false), ("fund", false)],
             OntologyPredicate::CompetesWith => &[("compete_with", false)],
-            OntologyPredicate::PartneredWith => {
-                &[("partner_with", false), ("join_with", false), ("sign_with", false)]
-            }
-            OntologyPredicate::SuppliesTo => &[("supply_to", false), ("sell_to", false), ("deliver_to", false)],
+            OntologyPredicate::PartneredWith => &[
+                ("partner_with", false),
+                ("join_with", false),
+                ("sign_with", false),
+            ],
+            OntologyPredicate::SuppliesTo => &[
+                ("supply_to", false),
+                ("sell_to", false),
+                ("deliver_to", false),
+            ],
             OntologyPredicate::Deploys => &[("deploy", false), ("use", false), ("fly", false)],
         }
     }

@@ -57,13 +57,24 @@ impl Preset {
             },
         ];
         match self {
-            Preset::Smoke => StreamConfig { seed: 11, articles: 60, waves, ..Default::default() },
-            Preset::Demo => {
-                StreamConfig { seed: 11, articles: 600, waves, ..Default::default() }
-            }
-            Preset::Large => {
-                StreamConfig { seed: 11, articles: 3000, waves, ..Default::default() }
-            }
+            Preset::Smoke => StreamConfig {
+                seed: 11,
+                articles: 60,
+                waves,
+                ..Default::default()
+            },
+            Preset::Demo => StreamConfig {
+                seed: 11,
+                articles: 600,
+                waves,
+                ..Default::default()
+            },
+            Preset::Large => StreamConfig {
+                seed: 11,
+                articles: 3000,
+                waves,
+                ..Default::default()
+            },
         }
     }
 
@@ -94,11 +105,7 @@ mod tests {
         let d = Preset::Demo.world_config();
         let l = Preset::Large.world_config();
         assert!(s.companies < d.companies && d.companies < l.companies);
-        assert!(
-            Preset::Smoke.stream_config().articles < Preset::Demo.stream_config().articles
-        );
-        assert!(
-            Preset::Demo.stream_config().articles < Preset::Large.stream_config().articles
-        );
+        assert!(Preset::Smoke.stream_config().articles < Preset::Demo.stream_config().articles);
+        assert!(Preset::Demo.stream_config().articles < Preset::Large.stream_config().articles);
     }
 }

@@ -9,17 +9,62 @@
 /// First words of company names. Reused across suffixes to create alias
 /// ambiguity.
 pub const COMPANY_HEADS: &[&str] = &[
-    "Apex", "Skyward", "Aerial", "Vertex", "Falcon", "Condor", "Horizon", "Zenith", "Quantum",
-    "Stratus", "Nimbus", "Vector", "Pinnacle", "Summit", "Orbit", "Galaxy", "Titan", "Atlas",
-    "Meridian", "Polaris", "Vanguard", "Frontier", "Pioneer", "Catalyst", "Momentum", "Velocity",
-    "Altitude", "Airborne", "Cloudline", "Thermal", "Glide", "Soar", "Swift", "Kestrel",
-    "Osprey", "Harrier", "Raptor", "Talon", "Wing", "Rotor",
+    "Apex",
+    "Skyward",
+    "Aerial",
+    "Vertex",
+    "Falcon",
+    "Condor",
+    "Horizon",
+    "Zenith",
+    "Quantum",
+    "Stratus",
+    "Nimbus",
+    "Vector",
+    "Pinnacle",
+    "Summit",
+    "Orbit",
+    "Galaxy",
+    "Titan",
+    "Atlas",
+    "Meridian",
+    "Polaris",
+    "Vanguard",
+    "Frontier",
+    "Pioneer",
+    "Catalyst",
+    "Momentum",
+    "Velocity",
+    "Altitude",
+    "Airborne",
+    "Cloudline",
+    "Thermal",
+    "Glide",
+    "Soar",
+    "Swift",
+    "Kestrel",
+    "Osprey",
+    "Harrier",
+    "Raptor",
+    "Talon",
+    "Wing",
+    "Rotor",
 ];
 
 /// Second words of company names (sector suffixes).
 pub const COMPANY_SUFFIXES: &[&str] = &[
-    "Robotics", "Aviation", "Dynamics", "Systems", "Aerospace", "Technologies", "Industries",
-    "Labs", "Analytics", "Imaging", "Logistics", "Agritech",
+    "Robotics",
+    "Aviation",
+    "Dynamics",
+    "Systems",
+    "Aerospace",
+    "Technologies",
+    "Industries",
+    "Labs",
+    "Analytics",
+    "Imaging",
+    "Logistics",
+    "Agritech",
 ];
 
 /// Given names for generated people.
@@ -38,16 +83,54 @@ pub const FAMILY_NAMES: &[&str] = &[
 
 /// City names used as locations.
 pub const CITIES: &[&str] = &[
-    "Shenzhen", "Palo Alto", "Seattle", "Austin", "Boston", "Denver", "Toulouse", "Munich",
-    "Zurich", "Singapore", "Tokyo", "Seoul", "Tel Aviv", "London", "Paris", "Dublin",
-    "Vancouver", "Richland", "Portland", "Atlanta", "Chicago", "Phoenix", "Dallas", "Miami",
+    "Shenzhen",
+    "Palo Alto",
+    "Seattle",
+    "Austin",
+    "Boston",
+    "Denver",
+    "Toulouse",
+    "Munich",
+    "Zurich",
+    "Singapore",
+    "Tokyo",
+    "Seoul",
+    "Tel Aviv",
+    "London",
+    "Paris",
+    "Dublin",
+    "Vancouver",
+    "Richland",
+    "Portland",
+    "Atlanta",
+    "Chicago",
+    "Phoenix",
+    "Dallas",
+    "Miami",
 ];
 
 /// Product line names (combined with a model number).
 pub const PRODUCT_LINES: &[&str] = &[
-    "Phantom", "Mavic", "Raven", "Hornet", "Dragonfly", "Sparrow", "Eagle", "Albatross",
-    "Heron", "Swallow", "Griffin", "Pegasus", "Comet", "Meteor", "Aurora", "Tempest",
-    "Breeze", "Cyclone", "Monsoon", "Zephyr",
+    "Phantom",
+    "Mavic",
+    "Raven",
+    "Hornet",
+    "Dragonfly",
+    "Sparrow",
+    "Eagle",
+    "Albatross",
+    "Heron",
+    "Swallow",
+    "Griffin",
+    "Pegasus",
+    "Comet",
+    "Meteor",
+    "Aurora",
+    "Tempest",
+    "Breeze",
+    "Cyclone",
+    "Monsoon",
+    "Zephyr",
 ];
 
 use serde::{Deserialize, Serialize};
@@ -89,30 +172,100 @@ impl Topic {
     pub fn words(self) -> &'static [&'static str] {
         match self {
             Topic::ConsumerDrones => &[
-                "camera", "hobbyist", "footage", "gimbal", "selfie", "video", "photography",
-                "consumer", "retail", "battery", "propeller", "quadcopter", "aerial", "pilot",
+                "camera",
+                "hobbyist",
+                "footage",
+                "gimbal",
+                "selfie",
+                "video",
+                "photography",
+                "consumer",
+                "retail",
+                "battery",
+                "propeller",
+                "quadcopter",
+                "aerial",
+                "pilot",
             ],
             Topic::Agriculture => &[
-                "crop", "farm", "field", "spraying", "irrigation", "harvest", "yield", "soil",
-                "orchard", "livestock", "pesticide", "mapping", "farmer", "agronomy",
+                "crop",
+                "farm",
+                "field",
+                "spraying",
+                "irrigation",
+                "harvest",
+                "yield",
+                "soil",
+                "orchard",
+                "livestock",
+                "pesticide",
+                "mapping",
+                "farmer",
+                "agronomy",
             ],
             Topic::Logistics => &[
-                "delivery", "package", "warehouse", "route", "fleet", "parcel", "shipping",
-                "courier", "depot", "payload", "corridor", "dispatch", "cargo", "lastmile",
+                "delivery",
+                "package",
+                "warehouse",
+                "route",
+                "fleet",
+                "parcel",
+                "shipping",
+                "courier",
+                "depot",
+                "payload",
+                "corridor",
+                "dispatch",
+                "cargo",
+                "lastmile",
             ],
             Topic::Finance => &[
-                "valuation", "funding", "revenue", "investor", "shares", "portfolio", "equity",
-                "margin", "earnings", "capital", "dividend", "acquisition", "merger", "ipo",
+                "valuation",
+                "funding",
+                "revenue",
+                "investor",
+                "shares",
+                "portfolio",
+                "equity",
+                "margin",
+                "earnings",
+                "capital",
+                "dividend",
+                "acquisition",
+                "merger",
+                "ipo",
             ],
             Topic::Regulation => &[
-                "airspace", "waiver", "compliance", "certification", "rulemaking", "permit",
-                "registration", "exemption", "altitude", "restriction", "license", "faa",
-                "safety", "enforcement",
+                "airspace",
+                "waiver",
+                "compliance",
+                "certification",
+                "rulemaking",
+                "permit",
+                "registration",
+                "exemption",
+                "altitude",
+                "restriction",
+                "license",
+                "faa",
+                "safety",
+                "enforcement",
             ],
             Topic::Security => &[
-                "surveillance", "perimeter", "patrol", "intrusion", "detection", "threat",
-                "reconnaissance", "counterdrone", "jamming", "defense", "border", "incident",
-                "military", "tracking",
+                "surveillance",
+                "perimeter",
+                "patrol",
+                "intrusion",
+                "detection",
+                "threat",
+                "reconnaissance",
+                "counterdrone",
+                "jamming",
+                "defense",
+                "border",
+                "incident",
+                "military",
+                "tracking",
             ],
         }
     }
@@ -149,7 +302,12 @@ mod tests {
             for b in &Topic::ALL[i + 1..] {
                 let av: std::collections::HashSet<_> = a.words().iter().collect();
                 let shared = b.words().iter().filter(|w| av.contains(*w)).count();
-                assert!(shared <= 2, "{} and {} share {shared} words", a.name(), b.name());
+                assert!(
+                    shared <= 2,
+                    "{} and {} share {shared} words",
+                    a.name(),
+                    b.name()
+                );
             }
         }
     }

@@ -63,7 +63,13 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        Self { seed: 7, companies: 60, people: 40, products: 50, ambiguity: 0.25 }
+        Self {
+            seed: 7,
+            companies: 60,
+            people: 40,
+            products: 50,
+            ambiguity: 0.25,
+        }
     }
 }
 
@@ -209,7 +215,14 @@ impl World {
             }
         }
 
-        World { entities, companies, people, locations, products, alias_index }
+        World {
+            entities,
+            companies,
+            people,
+            locations,
+            products,
+            alias_index,
+        }
     }
 
     pub fn entity(&self, idx: usize) -> &EntitySpec {
@@ -218,12 +231,18 @@ impl World {
 
     /// Entities whose alias table contains `surface` (case-insensitive).
     pub fn candidates(&self, surface: &str) -> &[usize] {
-        self.alias_index.get(&surface.to_lowercase()).map(Vec::as_slice).unwrap_or(&[])
+        self.alias_index
+            .get(&surface.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Index of the entity with this canonical name.
     pub fn by_name(&self, name: &str) -> Option<usize> {
-        self.candidates(name).iter().copied().find(|&i| self.entities[i].name == name)
+        self.candidates(name)
+            .iter()
+            .copied()
+            .find(|&i| self.entities[i].name == name)
     }
 
     /// Number of alias surfaces shared by more than one entity.
@@ -240,30 +259,45 @@ mod tests {
     fn generation_is_deterministic() {
         let a = World::generate(&WorldConfig::default());
         let b = World::generate(&WorldConfig::default());
-        let names = |w: &World| w.entities.iter().map(|e| e.name.clone()).collect::<Vec<_>>();
+        let names = |w: &World| {
+            w.entities
+                .iter()
+                .map(|e| e.name.clone())
+                .collect::<Vec<_>>()
+        };
         assert_eq!(names(&a), names(&b));
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = World::generate(&WorldConfig::default());
-        let b = World::generate(&WorldConfig { seed: 99, ..Default::default() });
-        let names = |w: &World| w.entities.iter().map(|e| e.name.clone()).collect::<Vec<_>>();
+        let b = World::generate(&WorldConfig {
+            seed: 99,
+            ..Default::default()
+        });
+        let names = |w: &World| {
+            w.entities
+                .iter()
+                .map(|e| e.name.clone())
+                .collect::<Vec<_>>()
+        };
         assert_ne!(names(&a), names(&b));
     }
 
     #[test]
     fn counts_match_config() {
-        let cfg = WorldConfig { companies: 30, people: 20, products: 25, ..Default::default() };
+        let cfg = WorldConfig {
+            companies: 30,
+            people: 20,
+            products: 25,
+            ..Default::default()
+        };
         let w = World::generate(&cfg);
         assert_eq!(w.companies.len(), 30);
         assert_eq!(w.people.len(), 20);
         assert_eq!(w.products.len(), 25);
         assert_eq!(w.locations.len(), vocab::CITIES.len());
-        assert_eq!(
-            w.entities.len(),
-            30 + 20 + 25 + vocab::CITIES.len()
-        );
+        assert_eq!(w.entities.len(), 30 + 20 + 25 + vocab::CITIES.len());
     }
 
     #[test]
@@ -295,7 +329,10 @@ mod tests {
         // With ambiguity 0.0, company heads are sampled independently so
         // two companies may still share a head by chance; the *forced*
         // reuse is off. We only check generation succeeds.
-        let w = World::generate(&WorldConfig { ambiguity: 0.0, ..Default::default() });
+        let w = World::generate(&WorldConfig {
+            ambiguity: 0.0,
+            ..Default::default()
+        });
         assert_eq!(w.companies.len(), WorldConfig::default().companies);
     }
 

@@ -31,7 +31,14 @@ pub struct BprConfig {
 
 impl Default for BprConfig {
     fn default() -> Self {
-        Self { dim: 16, lr: 0.05, reg: 0.01, epochs: 40, negatives: 4, seed: 17 }
+        Self {
+            dim: 16,
+            lr: 0.05,
+            reg: 0.01,
+            epochs: 40,
+            negatives: 4,
+            seed: 17,
+        }
     }
 }
 
@@ -90,7 +97,13 @@ impl BprModel {
             }
         }
 
-        let mut model = BprModel { dim: d, subj, obj, n_entities, train_mean_score: 0.0 };
+        let mut model = BprModel {
+            dim: d,
+            subj,
+            obj,
+            n_entities,
+            train_mean_score: 0.0,
+        };
         if !positives.is_empty() {
             let mean: f32 = positives.iter().map(|&(s, o)| model.raw(s, o)).sum::<f32>()
                 / positives.len() as f32;
@@ -132,7 +145,9 @@ impl BprModel {
     pub fn raw(&self, s: u32, o: u32) -> f32 {
         let sb = s as usize * self.dim;
         let ob = o as usize * self.dim;
-        (0..self.dim).map(|i| self.subj[sb + i] * self.obj[ob + i]).sum()
+        (0..self.dim)
+            .map(|i| self.subj[sb + i] * self.obj[ob + i])
+            .sum()
     }
 
     /// Calibrated confidence in `(0, 1)`: `σ(raw)` — "the model produces a
@@ -211,7 +226,14 @@ mod tests {
         let a = BprModel::train(8, &pos, &BprConfig::default());
         let b = BprModel::train(8, &pos, &BprConfig::default());
         assert_eq!(a.raw(0, 2), b.raw(0, 2));
-        let c = BprModel::train(8, &pos, &BprConfig { seed: 999, ..Default::default() });
+        let c = BprModel::train(
+            8,
+            &pos,
+            &BprConfig {
+                seed: 999,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.raw(0, 2), c.raw(0, 2));
     }
 
@@ -237,6 +259,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_rejected() {
-        BprModel::train(3, &[], &BprConfig { dim: 0, ..Default::default() });
+        BprModel::train(
+            3,
+            &[],
+            &BprConfig {
+                dim: 0,
+                ..Default::default()
+            },
+        );
     }
 }

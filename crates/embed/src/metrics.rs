@@ -31,7 +31,11 @@ impl RankedEval {
     /// 1-based rank of the true candidate (ties resolved pessimistically:
     /// equal scores rank above the true one).
     pub fn rank(&self) -> usize {
-        1 + self.corrupted_scores.iter().filter(|&&c| c >= self.true_score).count()
+        1 + self
+            .corrupted_scores
+            .iter()
+            .filter(|&&c| c >= self.true_score)
+            .count()
     }
 }
 
@@ -75,18 +79,33 @@ mod tests {
 
     #[test]
     fn rank_is_pessimistic_on_ties() {
-        let e = RankedEval { true_score: 0.5, corrupted_scores: vec![0.5, 0.4, 0.6] };
+        let e = RankedEval {
+            true_score: 0.5,
+            corrupted_scores: vec![0.5, 0.4, 0.6],
+        };
         assert_eq!(e.rank(), 3);
-        let best = RankedEval { true_score: 0.9, corrupted_scores: vec![0.1, 0.2] };
+        let best = RankedEval {
+            true_score: 0.9,
+            corrupted_scores: vec![0.1, 0.2],
+        };
         assert_eq!(best.rank(), 1);
     }
 
     #[test]
     fn mrr_and_hits() {
         let evals = vec![
-            RankedEval { true_score: 0.9, corrupted_scores: vec![0.1, 0.2] }, // rank 1
-            RankedEval { true_score: 0.3, corrupted_scores: vec![0.5, 0.1] }, // rank 2
-            RankedEval { true_score: 0.1, corrupted_scores: vec![0.5, 0.4, 0.3] }, // rank 4
+            RankedEval {
+                true_score: 0.9,
+                corrupted_scores: vec![0.1, 0.2],
+            }, // rank 1
+            RankedEval {
+                true_score: 0.3,
+                corrupted_scores: vec![0.5, 0.1],
+            }, // rank 2
+            RankedEval {
+                true_score: 0.1,
+                corrupted_scores: vec![0.5, 0.4, 0.3],
+            }, // rank 4
         ];
         let mrr = mean_reciprocal_rank(&evals);
         assert!((mrr - (1.0 + 0.5 + 0.25) / 3.0).abs() < 1e-12);

@@ -78,8 +78,11 @@ impl LinkPredictor {
                     if pairs.len() >= self.min_support {
                         // Derive a per-predicate seed so models differ.
                         let mut cfg = self.cfg.clone();
-                        cfg.seed ^= p.bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
-                        self.models.insert(p.to_owned(), BprModel::train(n_entities, pairs, &cfg));
+                        cfg.seed ^= p
+                            .bytes()
+                            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+                        self.models
+                            .insert(p.to_owned(), BprModel::train(n_entities, pairs, &cfg));
                     }
                 }
             }
@@ -92,12 +95,16 @@ impl LinkPredictor {
             return self.prior;
         }
         match self.mode {
-            PredictorMode::Global => {
-                self.global.as_ref().map(|m| m.score(s, o)).unwrap_or(self.prior)
-            }
-            PredictorMode::PerPredicate => {
-                self.models.get(predicate).map(|m| m.score(s, o)).unwrap_or(self.prior)
-            }
+            PredictorMode::Global => self
+                .global
+                .as_ref()
+                .map(|m| m.score(s, o))
+                .unwrap_or(self.prior),
+            PredictorMode::PerPredicate => self
+                .models
+                .get(predicate)
+                .map(|m| m.score(s, o))
+                .unwrap_or(self.prior),
         }
     }
 

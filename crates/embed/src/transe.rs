@@ -24,7 +24,13 @@ pub struct TransEConfig {
 
 impl Default for TransEConfig {
     fn default() -> Self {
-        Self { dim: 16, lr: 0.05, margin: 1.0, epochs: 60, seed: 23 }
+        Self {
+            dim: 16,
+            lr: 0.05,
+            margin: 1.0,
+            epochs: 60,
+            seed: 23,
+        }
     }
 }
 
@@ -68,7 +74,11 @@ impl TransEModel {
                 let mut cand = rng.gen_range(0..n_entities as u32);
                 let mut guard = 0;
                 let corrupted = loop {
-                    let t = if corrupt_subject { (cand, p, o) } else { (s, p, cand) };
+                    let t = if corrupt_subject {
+                        (cand, p, o)
+                    } else {
+                        (s, p, cand)
+                    };
                     if !observed.contains(&t) || guard >= 10 {
                         break t;
                     }
@@ -95,7 +105,13 @@ impl TransEModel {
             normalise_rows(&mut entities, d);
         }
 
-        TransEModel { dim: d, entities, relations, n_entities, n_relations }
+        TransEModel {
+            dim: d,
+            entities,
+            relations,
+            n_entities,
+            n_relations,
+        }
     }
 
     fn distance(ent: &[f32], rel: &[f32], d: usize, s: u32, p: u32, o: u32) -> f32 {

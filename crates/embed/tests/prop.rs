@@ -9,7 +9,10 @@ fn pairs_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
 }
 
 fn quick_cfg() -> BprConfig {
-    BprConfig { epochs: 3, ..Default::default() }
+    BprConfig {
+        epochs: 3,
+        ..Default::default()
+    }
 }
 
 proptest! {

@@ -16,7 +16,11 @@ pub struct Document {
 
 impl From<&nous_corpus::Article> for Document {
     fn from(a: &nous_corpus::Article) -> Self {
-        Document { id: a.id, day: a.day, text: a.body.clone() }
+        Document {
+            id: a.id,
+            day: a.day,
+            text: a.body.clone(),
+        }
     }
 }
 
@@ -128,6 +132,23 @@ pub fn extract_document(
     }
 }
 
+/// Extract a batch of documents on parallel worker threads (`workers == 0`
+/// means auto — `NOUS_THREADS` or the hardware parallelism).
+///
+/// Extraction is stateless with respect to the knowledge graph: every
+/// document in the batch reads the same immutable gazetteer snapshot, so
+/// the fan-out is embarrassingly parallel and the output is the exact
+/// sequence `docs.iter().map(|d| extract_document(d, ..))` would produce —
+/// input order is preserved for the downstream sequential merge stage.
+pub fn extract_documents(
+    docs: &[Document],
+    gazetteer: &Gazetteer,
+    cfg: &ExtractorConfig,
+    workers: usize,
+) -> Vec<DocExtraction> {
+    nous_graph::parallel::par_map_chunks(docs, workers, |d| extract_document(d, gazetteer, cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,7 +162,11 @@ mod tests {
     }
 
     fn doc(text: &str) -> Document {
-        Document { id: 9, day: 120, text: text.to_owned() }
+        Document {
+            id: 9,
+            day: 120,
+            text: text.to_owned(),
+        }
     }
 
     #[test]
@@ -153,7 +178,11 @@ mod tests {
         );
         assert_eq!(d.doc_id, 9);
         assert_eq!(d.sentences, 1);
-        let e = d.extractions.iter().find(|e| e.predicate == "acquire").unwrap();
+        let e = d
+            .extractions
+            .iter()
+            .find(|e| e.predicate == "acquire")
+            .unwrap();
         assert_eq!(e.doc_id, 9);
         assert_eq!(e.day, 120);
         assert_eq!(e.sentence, 0);
@@ -168,10 +197,16 @@ mod tests {
             &gaz(),
             &ExtractorConfig::default(),
         );
-        let acquires: Vec<_> =
-            d.extractions.iter().filter(|e| e.predicate == "acquire").collect();
+        let acquires: Vec<_> = d
+            .extractions
+            .iter()
+            .filter(|e| e.predicate == "acquire")
+            .collect();
         assert_eq!(acquires.len(), 1, "deduped: {acquires:?}");
-        assert!(d.raw_count >= 2, "raw count keeps the over-generation signal");
+        assert!(
+            d.raw_count >= 2,
+            "raw count keeps the over-generation signal"
+        );
     }
 
     #[test]
@@ -183,7 +218,11 @@ mod tests {
             &gaz(),
             &ExtractorConfig::default(),
         );
-        let e = d.extractions.iter().find(|e| e.predicate == "acquire").unwrap();
+        let e = d
+            .extractions
+            .iter()
+            .find(|e| e.predicate == "acquire")
+            .unwrap();
         // Coref rewrote the pronoun, so both copies share the key; the
         // named-subject copy has the higher confidence.
         assert!(e.confidence >= 0.7, "kept the stronger copy: {e:?}");
@@ -196,7 +235,11 @@ mod tests {
             &gaz(),
             &ExtractorConfig::default(),
         );
-        let e = d.extractions.iter().find(|e| e.predicate == "launch").unwrap();
+        let e = d
+            .extractions
+            .iter()
+            .find(|e| e.predicate == "launch")
+            .unwrap();
         assert_eq!(e.extra_args.len(), 2);
         assert_eq!(e.extra_args[0].0, "in");
     }
@@ -217,5 +260,31 @@ mod tests {
         assert_eq!(d.sentences, 0);
         assert!(d.extractions.is_empty());
         assert_eq!(d.raw_count, 0);
+    }
+
+    #[test]
+    fn batch_extraction_matches_per_document_calls() {
+        let g = gaz();
+        let cfg = ExtractorConfig::default();
+        let docs: Vec<Document> = (0..24)
+            .map(|i| Document {
+                id: i,
+                day: 100 + i,
+                text: format!(
+                    "Apex Robotics acquired Condor Labs. \
+                     Condor Labs launched the Falcon {i} in Shenzhen."
+                ),
+            })
+            .collect();
+        let seq: Vec<DocExtraction> = docs.iter().map(|d| extract_document(d, &g, &cfg)).collect();
+        for workers in [0, 1, 4] {
+            let par = extract_documents(&docs, &g, &cfg, workers);
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.doc_id, s.doc_id, "order preserved (workers={workers})");
+                assert_eq!(p.extractions, s.extractions);
+                assert_eq!(p.raw_count, s.raw_count);
+            }
+        }
     }
 }

@@ -39,7 +39,10 @@ impl ExtractionQuality {
 /// Does `surface` mention entity `idx` (by any alias, substring match)?
 fn matches_entity(world: &World, surface: &str, idx: usize) -> bool {
     let lower = surface.to_lowercase();
-    world.entities[idx].aliases.iter().any(|al| lower.contains(&al.to_lowercase()))
+    world.entities[idx]
+        .aliases
+        .iter()
+        .any(|al| lower.contains(&al.to_lowercase()))
 }
 
 /// Score extraction over `articles` with the given heuristics.
@@ -55,7 +58,9 @@ pub fn evaluate_stream(
         let extracted = extract_document(&doc, gazetteer, cfg);
         q.yielded += extracted.extractions.len();
         for e in &extracted.extractions {
-            if ONTOLOGY.iter().any(|op| op.surface_forms().iter().any(|(sf, _)| *sf == e.predicate))
+            if ONTOLOGY
+                .iter()
+                .any(|op| op.surface_forms().iter().any(|(sf, _)| *sf == e.predicate))
             {
                 q.grounded += 1;
             }
@@ -130,9 +135,15 @@ mod tests {
             &world,
             &articles,
             &gaz,
-            &ExtractorConfig { min_confidence: 0.7, ..Default::default() },
+            &ExtractorConfig {
+                min_confidence: 0.7,
+                ..Default::default()
+            },
         );
-        assert!(strict.precision() > loose.precision(), "threshold lifts precision");
+        assert!(
+            strict.precision() > loose.precision(),
+            "threshold lifts precision"
+        );
         assert!(strict.recall() <= loose.recall(), "and cannot raise recall");
         assert!(strict.yielded < loose.yielded);
     }

@@ -10,6 +10,9 @@
 //!   per-sentence tuples into [`Extraction`]s carrying document id, day,
 //!   sentence index, mention-type hints and n-ary arguments, with
 //!   within-document duplicates collapsed to their best-confidence copy.
+//! - [`extract_documents`] — the same over a micro-batch of documents,
+//!   fanned out across worker threads against one read-only gazetteer
+//!   snapshot (the parallel stage of the two-stage ingestion split).
 //! - [`evaluate`] — ground-truth scoring against a `nous-corpus` article
 //!   stream (surface recall / grounded precision / yield), shared by the
 //!   E3/E11 benchmarks and the corpus↔pipeline contract tests.
@@ -17,5 +20,5 @@
 pub mod document;
 pub mod evaluate;
 
-pub use document::{extract_document, DocExtraction, Document, Extraction};
+pub use document::{extract_document, extract_documents, DocExtraction, Document, Extraction};
 pub use evaluate::{evaluate_stream, ExtractionQuality};

@@ -16,12 +16,7 @@ pub enum Direction {
     Both,
 }
 
-fn push_neighbors(
-    g: &DynamicGraph,
-    v: VertexId,
-    dir: Direction,
-    mut f: impl FnMut(VertexId),
-) {
+fn push_neighbors(g: &DynamicGraph, v: VertexId, dir: Direction, mut f: impl FnMut(VertexId)) {
     match dir {
         Direction::Out => g.out_edges(v).for_each(|a| f(a.other)),
         Direction::In => g.in_edges(v).for_each(|a| f(a.other)),
@@ -127,7 +122,10 @@ mod tests {
     /// a -> b -> c -> d, plus a -> c shortcut.
     fn diamond() -> (DynamicGraph, Vec<VertexId>) {
         let mut g = DynamicGraph::new();
-        let ids: Vec<VertexId> = ["a", "b", "c", "d"].iter().map(|n| g.ensure_vertex(n)).collect();
+        let ids: Vec<VertexId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| g.ensure_vertex(n))
+            .collect();
         let p = g.intern_predicate("p");
         g.add_edge_at(ids[0], p, ids[1], 0, 1.0, Provenance::Curated);
         g.add_edge_at(ids[1], p, ids[2], 0, 1.0, Provenance::Curated);
@@ -176,7 +174,10 @@ mod tests {
     #[test]
     fn shortest_path_same_vertex_and_unreachable() {
         let (mut g, v) = diamond();
-        assert_eq!(shortest_path(&g, v[1], v[1], Direction::Out), Some(vec![v[1]]));
+        assert_eq!(
+            shortest_path(&g, v[1], v[1], Direction::Out),
+            Some(vec![v[1]])
+        );
         let lonely = g.ensure_vertex("lonely");
         assert_eq!(shortest_path(&g, v[0], lonely, Direction::Both), None);
     }

@@ -11,7 +11,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -56,7 +59,10 @@ pub fn connected_components(g: &DynamicGraph) -> Vec<Vec<VertexId>> {
 
 /// The largest connected component (empty vec for an empty graph).
 pub fn largest_component(g: &DynamicGraph) -> Vec<VertexId> {
-    connected_components(g).into_iter().next().unwrap_or_default()
+    connected_components(g)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -21,7 +21,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        Self { damping: 0.85, iterations: 50, tolerance: 1e-9 }
+        Self {
+            damping: 0.85,
+            iterations: 50,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -34,8 +38,7 @@ pub fn pagerank(g: &DynamicGraph, cfg: &PageRankConfig) -> Vec<f64> {
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
     let mut next = vec![0.0f64; n];
-    let out_deg: Vec<usize> =
-        (0..n as u32).map(|v| g.out_degree(VertexId(v))).collect();
+    let out_deg: Vec<usize> = (0..n as u32).map(|v| g.out_degree(VertexId(v))).collect();
 
     for _ in 0..cfg.iterations {
         let mut dangling = 0.0;
@@ -67,8 +70,11 @@ pub fn pagerank(g: &DynamicGraph, cfg: &PageRankConfig) -> Vec<f64> {
 /// The `k` highest-ranked vertices, descending.
 pub fn top_ranked(g: &DynamicGraph, cfg: &PageRankConfig, k: usize) -> Vec<(VertexId, f64)> {
     let ranks = pagerank(g, cfg);
-    let mut idx: Vec<(VertexId, f64)> =
-        ranks.iter().enumerate().map(|(i, &r)| (VertexId(i as u32), r)).collect();
+    let mut idx: Vec<(VertexId, f64)> = ranks
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (VertexId(i as u32), r))
+        .collect();
     idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
     idx.truncate(k);
     idx

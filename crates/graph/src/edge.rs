@@ -59,7 +59,15 @@ impl Edge {
         confidence: f32,
         provenance: Provenance,
     ) -> Self {
-        Self { src, pred, dst, at, confidence, provenance, props: PropMap::new() }
+        Self {
+            src,
+            pred,
+            dst,
+            at,
+            confidence,
+            provenance,
+            props: PropMap::new(),
+        }
     }
 
     /// The `(src, pred, dst)` triple key, ignoring time and score.
@@ -151,7 +159,14 @@ mod tests {
 
     #[test]
     fn curated_provenance_roundtrips() {
-        let e = Edge::new(VertexId(0), PredicateId(0), VertexId(1), 0, 1.0, Provenance::Curated);
+        let e = Edge::new(
+            VertexId(0),
+            PredicateId(0),
+            VertexId(1),
+            0,
+            1.0,
+            Provenance::Curated,
+        );
         let mut buf = BytesMut::new();
         e.encode_head(&mut buf);
         let back = Edge::decode_head(&mut buf.freeze()).unwrap();

@@ -158,8 +158,16 @@ impl DynamicGraph {
         debug_assert!(edge.src.index() < self.vertices.len(), "unknown src vertex");
         debug_assert!(edge.dst.index() < self.vertices.len(), "unknown dst vertex");
         let id = EdgeId(self.edges.len() as u32);
-        self.out_adj[edge.src.index()].push(Adj { pred: edge.pred, other: edge.dst, edge: id });
-        self.in_adj[edge.dst.index()].push(Adj { pred: edge.pred, other: edge.src, edge: id });
+        self.out_adj[edge.src.index()].push(Adj {
+            pred: edge.pred,
+            other: edge.dst,
+            edge: id,
+        });
+        self.in_adj[edge.dst.index()].push(Adj {
+            pred: edge.pred,
+            other: edge.src,
+            edge: id,
+        });
         self.triple_index.entry(edge.triple()).or_default().push(id);
         self.max_timestamp = self.max_timestamp.max(edge.at);
         self.edges.push(edge);
@@ -220,18 +228,27 @@ impl DynamicGraph {
 
     /// Live outgoing adjacency of `v`.
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
-        self.out_adj[v.index()].iter().copied().filter(|a| !self.dead[a.edge.index()])
+        self.out_adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|a| !self.dead[a.edge.index()])
     }
 
     /// Live incoming adjacency of `v` (`other` is the source vertex).
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
-        self.in_adj[v.index()].iter().copied().filter(|a| !self.dead[a.edge.index()])
+        self.in_adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|a| !self.dead[a.edge.index()])
     }
 
     /// Distinct neighbours of `v` in either direction.
     pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> =
-            self.out_edges(v).map(|a| a.other).chain(self.in_edges(v).map(|a| a.other)).collect();
+        let mut out: Vec<VertexId> = self
+            .out_edges(v)
+            .map(|a| a.other)
+            .chain(self.in_edges(v).map(|a| a.other))
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -309,7 +326,8 @@ impl DynamicGraph {
         from: Timestamp,
         to: Timestamp,
     ) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.iter_edges().filter(move |(_, e)| e.at >= from && e.at <= to)
+        self.iter_edges()
+            .filter(move |(_, e)| e.at >= from && e.at <= to)
     }
 
     /// Materialise the knowledge graph *as it was known* at logical time
@@ -369,7 +387,10 @@ impl DynamicGraph {
         self.predicates.rebuild_index();
         self.triple_index = FxHashMap::default();
         for (i, e) in self.edges.iter().enumerate() {
-            self.triple_index.entry(e.triple()).or_default().push(EdgeId(i as u32));
+            self.triple_index
+                .entry(e.triple())
+                .or_default()
+                .push(EdgeId(i as u32));
         }
     }
 
@@ -405,7 +426,14 @@ impl DynamicGraph {
 mod tests {
     use super::*;
 
-    fn tiny() -> (DynamicGraph, VertexId, VertexId, VertexId, PredicateId, PredicateId) {
+    fn tiny() -> (
+        DynamicGraph,
+        VertexId,
+        VertexId,
+        VertexId,
+        PredicateId,
+        PredicateId,
+    ) {
         let mut g = DynamicGraph::new();
         let a = g.ensure_vertex("a");
         let b = g.ensure_vertex("b");
@@ -506,7 +534,10 @@ mod tests {
         g.set_label(v, "Company");
         assert_eq!(g.label(v), Some("Company"));
         g.vertex_data_mut(v).props.set("hq", "Shenzhen");
-        assert_eq!(g.vertex_data(v).props.get("hq").unwrap().as_str(), Some("Shenzhen"));
+        assert_eq!(
+            g.vertex_data(v).props.get("hq").unwrap().as_str(),
+            Some("Shenzhen")
+        );
     }
 
     #[test]
@@ -530,7 +561,10 @@ mod tests {
         let id = g.edges_matching(a, owns, b).next().unwrap();
         g.remove_edge(id);
         let past = g.as_of(10);
-        assert!(!past.has_triple(a, owns, b), "retracted facts stay retracted");
+        assert!(
+            !past.has_triple(a, owns, b),
+            "retracted facts stay retracted"
+        );
         assert_eq!(past.label(a), Some("Company"));
         assert_eq!(past.predicate_count(), g.predicate_count());
     }
@@ -555,7 +589,10 @@ mod tests {
         let stats_after = g.stats();
         assert_eq!(stats_after.tombstoned_edges, 0, "tombstones gone");
         assert_eq!(
-            GraphStats { tombstoned_edges: 0, ..stats_before },
+            GraphStats {
+                tombstoned_edges: 0,
+                ..stats_before
+            },
             stats_after,
             "live view unchanged"
         );
@@ -573,7 +610,11 @@ mod tests {
             let e = g.edge(keep);
             (e.at, e.confidence)
         };
-        let other: Vec<_> = g.iter_edges().map(|(id, _)| id).filter(|&i| i != keep).collect();
+        let other: Vec<_> = g
+            .iter_edges()
+            .map(|(id, _)| id)
+            .filter(|&i| i != keep)
+            .collect();
         for id in other {
             g.remove_edge(id);
         }

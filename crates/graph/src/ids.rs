@@ -98,7 +98,10 @@ impl Interner {
 
     /// Iterate `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
     }
 
     /// Rebuild the lookup index after deserialisation (the map is `serde(skip)`

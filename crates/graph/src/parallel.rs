@@ -9,11 +9,69 @@
 use crate::graph::DynamicGraph;
 use crate::ids::VertexId;
 
-/// Number of worker threads used by the parallel scans: the available
-/// parallelism, capped so tiny inputs do not pay spawn overhead.
-fn workers_for(len: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(len.div_ceil(1024)).max(1)
+/// Worker threads available to parallel scans and batch fan-outs: the
+/// `NOUS_THREADS` environment variable when set to a positive integer,
+/// otherwise the hardware's available parallelism.
+pub fn available_workers() -> usize {
+    std::env::var("NOUS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Number of worker threads used by the fine-grained parallel scans: the
+/// available parallelism, capped so tiny inputs do not pay spawn overhead.
+/// Scan items (vertices, edges) are cheap, hence the per-1024 cap; for
+/// coarse items (whole documents) pass an explicit count to
+/// [`par_map_chunks`] instead.
+pub fn workers_for(len: usize) -> usize {
+    available_workers().min(len.div_ceil(1024)).max(1)
+}
+
+/// Map `f` over `items` on `workers` scoped threads, collecting results in
+/// input order. `0` workers means auto: [`available_workers`], capped at
+/// one item per worker. `f` must be pure with respect to shared state
+/// (read-only access); the output is identical to `items.iter().map(f)`.
+pub fn par_map_chunks<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = if workers == 0 {
+        available_workers()
+    } else {
+        workers
+    }
+    .clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slots, inputs) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (s, item) in slots.iter_mut().zip(inputs) {
+                    *s = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("par_map_chunks worker panicked");
+    out.into_iter()
+        .map(|u| u.expect("every slot filled"))
+        .collect()
 }
 
 /// Map `f` over every vertex in parallel, collecting results in vertex-id
@@ -24,29 +82,8 @@ where
     F: Fn(VertexId) -> T + Sync,
 {
     let n = g.vertex_count();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers_for(n);
-    if workers == 1 {
-        return (0..n as u32).map(|v| f(VertexId(v))).collect();
-    }
-    let chunk = n.div_ceil(workers);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    crossbeam::thread::scope(|scope| {
-        for (w, slot) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                let base = w * chunk;
-                for (i, s) in slot.iter_mut().enumerate() {
-                    *s = Some(f(VertexId((base + i) as u32)));
-                }
-            });
-        }
-    })
-    .expect("vertex scan worker panicked");
-    out.into_iter().map(|t| t.expect("every slot filled")).collect()
+    let ids: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+    par_map_chunks(&ids, workers_for(n), |v| f(*v))
 }
 
 /// Fold over the live edge log in parallel: each worker folds a chunk with
@@ -84,7 +121,10 @@ where
                 acc
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("edge fold worker panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("edge fold worker panicked"))
+            .collect::<Vec<_>>()
     })
     .expect("edge fold scope failed");
     results.into_iter().fold(init, merge)
@@ -144,5 +184,30 @@ mod tests {
         let g = big_chain(2048);
         let sum = par_fold_edges(&g, 0u64, |acc, e| acc + e.at, |a, b| a + b);
         assert_eq!(sum, (1..=2048u64).sum::<u64>());
+    }
+
+    #[test]
+    fn par_map_chunks_preserves_input_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for workers in [0, 1, 2, 3, 8, 64] {
+            let out = par_map_chunks(&items, workers, |x| x * 2 + 1);
+            let seq: Vec<u64> = items.iter().map(|x| x * 2 + 1).collect();
+            assert_eq!(out, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_chunks(&empty, 4, |x| *x).is_empty());
+        // More workers than items: every item still mapped exactly once.
+        assert_eq!(par_map_chunks(&[7u32, 9], 16, |x| x + 1), vec![8, 10]);
+    }
+
+    #[test]
+    fn workers_never_zero() {
+        assert!(workers_for(0) >= 1);
+        assert!(workers_for(1) >= 1);
+        assert!(available_workers() >= 1);
     }
 }

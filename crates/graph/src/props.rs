@@ -216,7 +216,12 @@ mod tests {
             PropValue::List(vec!["a".into()]).as_list().map(|l| l.len()),
             Some(1)
         );
-        assert_eq!(PropValue::Vector(vec![0.1, 0.9]).as_vector().map(|v| v.len()), Some(2));
+        assert_eq!(
+            PropValue::Vector(vec![0.1, 0.9])
+                .as_vector()
+                .map(|v| v.len()),
+            Some(2)
+        );
     }
 
     #[test]
@@ -229,7 +234,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(PropValue::from("x").to_string(), "x");
-        assert_eq!(PropValue::List(vec!["a".into(), "b".into()]).to_string(), "[a, b]");
+        assert_eq!(
+            PropValue::List(vec!["a".into(), "b".into()]).to_string(),
+            "[a, b]"
+        );
         assert_eq!(PropValue::Vector(vec![0.0; 4]).to_string(), "<4 dims>");
     }
 }

@@ -80,7 +80,8 @@ pub fn to_binary(g: &DynamicGraph) -> Result<Bytes, SnapshotError> {
         edge_count: g.edge_count() as u64,
     };
     let header_json = serde_json::to_vec(&header)?;
-    let mut buf = BytesMut::with_capacity(8 + header_json.len() + g.edge_count() * Edge::HEAD_BYTES);
+    let mut buf =
+        BytesMut::with_capacity(8 + header_json.len() + g.edge_count() * Edge::HEAD_BYTES);
     buf.put_u64_le(header_json.len() as u64);
     buf.put_slice(&header_json);
     for (_, e) in g.iter_edges() {
@@ -147,7 +148,8 @@ pub fn to_dot(g: &DynamicGraph, roots: &[VertexId], max_hops: usize) -> String {
     };
     let wanted = |v: VertexId| include.as_ref().is_none_or(|s| s.contains(&v));
 
-    let mut out = String::from("digraph nous {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n");
+    let mut out =
+        String::from("digraph nous {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n");
     for v in g.iter_vertices().filter(|&v| wanted(v)) {
         let label = match g.label(v) {
             Some(t) => format!("{}\\n({t})", escape_dot(g.vertex_name(v))),
@@ -159,7 +161,11 @@ pub fn to_dot(g: &DynamicGraph, roots: &[VertexId], max_hops: usize) -> String {
         if !wanted(e.src) || !wanted(e.dst) {
             continue;
         }
-        let color = if e.provenance.is_curated() { "red" } else { "blue" };
+        let color = if e.provenance.is_curated() {
+            "red"
+        } else {
+            "blue"
+        };
         let _ = writeln!(
             out,
             "  v{} -> v{} [label=\"{} ({:.2})\", color={color}];",
@@ -215,7 +221,11 @@ pub fn to_json_graph(g: &DynamicGraph, roots: &[VertexId], max_hops: usize) -> S
         nodes: g
             .iter_vertices()
             .filter(|&v| wanted(v))
-            .map(|v| Node { id: v.0, name: g.vertex_name(v), label: g.label(v) })
+            .map(|v| Node {
+                id: v.0,
+                name: g.vertex_name(v),
+                label: g.label(v),
+            })
             .collect(),
         links: g
             .iter_edges()
@@ -247,7 +257,14 @@ mod tests {
         let loc = g.intern_predicate("isLocatedIn");
         let makes = g.intern_predicate("manufactures");
         g.add_edge_at(dji, loc, sz, 10, 0.95, Provenance::Curated);
-        g.add_edge_at(dji, makes, drone, 20, 0.62, Provenance::Extracted { doc_id: 3 });
+        g.add_edge_at(
+            dji,
+            makes,
+            drone,
+            20,
+            0.62,
+            Provenance::Extracted { doc_id: 3 },
+        );
         g
     }
 
@@ -302,7 +319,10 @@ mod tests {
         let g = sample();
         let blob = to_binary(&g).unwrap();
         let truncated = blob.slice(0..blob.len() - 4);
-        assert!(matches!(from_binary(truncated), Err(SnapshotError::Corrupt(_))));
+        assert!(matches!(
+            from_binary(truncated),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -330,8 +350,7 @@ mod tests {
         let mut g = sample();
         g.ensure_vertex("unrelated island");
         let dji = g.vertex_id("DJI").unwrap();
-        let doc: serde_json::Value =
-            serde_json::from_str(&to_json_graph(&g, &[dji], 2)).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&to_json_graph(&g, &[dji], 2)).unwrap();
         let nodes = doc["nodes"].as_array().unwrap();
         assert_eq!(nodes.len(), 3);
         let links = doc["links"].as_array().unwrap();

@@ -46,12 +46,20 @@ pub struct SlidingWindow {
 
 impl SlidingWindow {
     pub fn time(span: Timestamp) -> Self {
-        Self { kind: WindowKind::Time { span }, active: VecDeque::new(), cursor: 0 }
+        Self {
+            kind: WindowKind::Time { span },
+            active: VecDeque::new(),
+            cursor: 0,
+        }
     }
 
     pub fn count(n: usize) -> Self {
         assert!(n > 0, "count window must be non-empty");
-        Self { kind: WindowKind::Count { n }, active: VecDeque::new(), cursor: 0 }
+        Self {
+            kind: WindowKind::Count { n },
+            active: VecDeque::new(),
+            cursor: 0,
+        }
     }
 
     pub fn kind(&self) -> WindowKind {

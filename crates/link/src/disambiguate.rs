@@ -61,6 +61,8 @@ pub struct Disambiguator {
     records: Vec<EntityRecord>,
     /// lowercase alias → record indexes.
     alias_index: HashMap<String, Vec<usize>>,
+    /// entity id → index of its (first) record, for O(1) dynamic updates.
+    id_index: HashMap<u32, usize>,
     /// Weight of the context-similarity term (prior gets `1 - w`).
     context_weight: f64,
 }
@@ -68,16 +70,25 @@ pub struct Disambiguator {
 impl Disambiguator {
     pub fn new(records: Vec<EntityRecord>) -> Self {
         let mut alias_index: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut id_index: HashMap<u32, usize> = HashMap::with_capacity(records.len());
         for (i, r) in records.iter().enumerate() {
             for a in &r.aliases {
-                let key = a.to_lowercase();
-                let entry = alias_index.entry(key).or_default();
-                if !entry.contains(&i) {
+                // Records are scanned in index order, so a repeated alias
+                // within one record is always the most recent push — no
+                // linear `contains` scan needed.
+                let entry = alias_index.entry(a.to_lowercase()).or_default();
+                if entry.last() != Some(&i) {
                     entry.push(i);
                 }
             }
+            id_index.entry(r.id).or_insert(i);
         }
-        Self { records, alias_index, context_weight: 0.7 }
+        Self {
+            records,
+            alias_index,
+            id_index,
+            context_weight: 0.7,
+        }
     }
 
     /// Adjust the context/prior blend (default 0.7 context).
@@ -99,9 +110,11 @@ impl Disambiguator {
     }
 
     /// Fold additional context into an entity's bag (dynamic updates as
-    /// the KG gains neighbours) and bump its popularity.
+    /// the KG gains neighbours) and bump its popularity. O(1) in the
+    /// number of records — this runs twice per admitted fact.
     pub fn update_context(&mut self, id: u32, extra: &BagOfWords, popularity_delta: f64) {
-        if let Some(r) = self.records.iter_mut().find(|r| r.id == id) {
+        if let Some(&idx) = self.id_index.get(&id) {
+            let r = &mut self.records[idx];
             r.context.merge(extra);
             r.popularity += popularity_delta;
         }
@@ -111,11 +124,14 @@ impl Disambiguator {
     pub fn insert(&mut self, record: EntityRecord) {
         let idx = self.records.len();
         for a in &record.aliases {
+            // `idx` is larger than every index already present, so a
+            // duplicate alias within `record` can only be the last push.
             let entry = self.alias_index.entry(a.to_lowercase()).or_default();
-            if !entry.contains(&idx) {
+            if entry.last() != Some(&idx) {
                 entry.push(idx);
             }
         }
+        self.id_index.entry(record.id).or_insert(idx);
         self.records.push(record);
     }
 
@@ -168,7 +184,11 @@ impl Disambiguator {
                     LinkMode::PopularityOnly => 0.0,
                     _ => context.cosine(&r.context),
                 };
-                let w = if mode == LinkMode::PopularityOnly { 0.0 } else { self.context_weight };
+                let w = if mode == LinkMode::PopularityOnly {
+                    0.0
+                } else {
+                    self.context_weight
+                };
                 (i, (1.0 - w) * prior + w * sim)
             })
             .collect();
@@ -213,7 +233,12 @@ mod tests {
                 id: 1,
                 name: "Apex Aviation".into(),
                 aliases: vec!["Apex Aviation".into(), "Apex".into()],
-                context: bow(&[("delivery", 5), ("parcel", 4), ("warehouse", 3), ("drone", 2)]),
+                context: bow(&[
+                    ("delivery", 5),
+                    ("parcel", 4),
+                    ("warehouse", 3),
+                    ("drone", 2),
+                ]),
                 popularity: 3.0,
             },
             EntityRecord {
@@ -229,7 +254,9 @@ mod tests {
     #[test]
     fn unambiguous_alias_resolves_directly() {
         let d = apex_world();
-        let r = d.resolve("Shenzhen", &BagOfWords::new(), LinkMode::Full).unwrap();
+        let r = d
+            .resolve("Shenzhen", &BagOfWords::new(), LinkMode::Full)
+            .unwrap();
         assert_eq!(r.name, "Shenzhen");
         assert_eq!(r.candidates, 1);
     }
@@ -249,21 +276,29 @@ mod tests {
     fn popularity_only_always_picks_popular() {
         let d = apex_world();
         let delivery_ctx = bow(&[("parcel", 2), ("delivery", 2)]);
-        let r = d.resolve("Apex", &delivery_ctx, LinkMode::PopularityOnly).unwrap();
+        let r = d
+            .resolve("Apex", &delivery_ctx, LinkMode::PopularityOnly)
+            .unwrap();
         assert_eq!(r.name, "Apex Robotics", "prior ignores the context");
     }
 
     #[test]
     fn exact_only_refuses_ambiguity() {
         let d = apex_world();
-        assert!(d.resolve("Apex", &BagOfWords::new(), LinkMode::ExactOnly).is_none());
-        assert!(d.resolve("Shenzhen", &BagOfWords::new(), LinkMode::ExactOnly).is_some());
+        assert!(d
+            .resolve("Apex", &BagOfWords::new(), LinkMode::ExactOnly)
+            .is_none());
+        assert!(d
+            .resolve("Shenzhen", &BagOfWords::new(), LinkMode::ExactOnly)
+            .is_some());
     }
 
     #[test]
     fn unknown_surface_returns_none() {
         let d = apex_world();
-        assert!(d.resolve("Nonexistent Corp", &BagOfWords::new(), LinkMode::Full).is_none());
+        assert!(d
+            .resolve("Nonexistent Corp", &BagOfWords::new(), LinkMode::Full)
+            .is_none());
     }
 
     #[test]
@@ -296,8 +331,65 @@ mod tests {
             context: BagOfWords::new(),
             popularity: 0.0,
         });
-        let r = d.resolve("Nimbus", &BagOfWords::new(), LinkMode::Full).unwrap();
+        let r = d
+            .resolve("Nimbus", &BagOfWords::new(), LinkMode::Full)
+            .unwrap();
         assert_eq!(r.id, 9);
+    }
+
+    #[test]
+    fn duplicate_aliases_register_once() {
+        let mut d = Disambiguator::new(vec![EntityRecord {
+            id: 3,
+            name: "Vertex Dynamics".into(),
+            aliases: vec!["Vertex".into(), "vertex".into(), "VERTEX".into()],
+            context: BagOfWords::new(),
+            popularity: 1.0,
+        }]);
+        assert_eq!(
+            d.candidates("Vertex"),
+            &[0],
+            "case-folded duplicates collapse"
+        );
+        d.insert(EntityRecord {
+            id: 4,
+            name: "Vertex Labs".into(),
+            aliases: vec!["Vertex".into(), "Vertex".into()],
+            context: BagOfWords::new(),
+            popularity: 0.0,
+        });
+        assert_eq!(
+            d.candidates("Vertex"),
+            &[0, 1],
+            "insert dedupes within the record too"
+        );
+    }
+
+    #[test]
+    fn update_context_targets_first_record_for_duplicate_ids() {
+        // Two records sharing an id (as `create_entity` can produce when a
+        // vertex name recurs): dynamic updates must land on the first, the
+        // same record the old linear scan found.
+        let mut d = Disambiguator::new(vec![
+            EntityRecord {
+                id: 5,
+                name: "First".into(),
+                aliases: vec!["First".into()],
+                context: BagOfWords::new(),
+                popularity: 0.0,
+            },
+            EntityRecord {
+                id: 5,
+                name: "Second".into(),
+                aliases: vec!["Second".into()],
+                context: BagOfWords::new(),
+                popularity: 0.0,
+            },
+        ]);
+        d.update_context(5, &bow(&[("drone", 2)]), 3.0);
+        assert_eq!(d.record(0).popularity, 3.0);
+        assert_eq!(d.record(0).context.count("drone"), 2);
+        assert_eq!(d.record(1).popularity, 0.0);
     }
 
     #[test]

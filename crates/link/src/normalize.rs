@@ -14,7 +14,10 @@ pub fn normalize_mention(surface: &str) -> String {
         }
     }
     let s = s.trim_end_matches(['.', ',', ';', ':', '!', '?']);
-    let s = s.strip_suffix("'s").or_else(|| s.strip_suffix("’s")).unwrap_or(s);
+    let s = s
+        .strip_suffix("'s")
+        .or_else(|| s.strip_suffix("’s"))
+        .unwrap_or(s);
     // Bare plural possessive ("Robotics'").
     let s = s.trim_end_matches(['\'', '’']);
     s.split_whitespace().collect::<Vec<_>>().join(" ")
@@ -27,7 +30,10 @@ mod tests {
     #[test]
     fn strips_determiners() {
         assert_eq!(normalize_mention("the Phantom 4"), "Phantom 4");
-        assert_eq!(normalize_mention("The Wall Street Journal"), "Wall Street Journal");
+        assert_eq!(
+            normalize_mention("The Wall Street Journal"),
+            "Wall Street Journal"
+        );
         assert_eq!(normalize_mention("an Apex drone"), "Apex drone");
     }
 

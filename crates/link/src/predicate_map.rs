@@ -57,7 +57,11 @@ impl PredicateMapper {
                 },
             );
         }
-        Self { rules, min_support: 3, min_precision: 0.5 }
+        Self {
+            rules,
+            min_support: 3,
+            min_precision: 0.5,
+        }
     }
 
     /// Override expansion thresholds (defaults: support 3, precision 0.5).
@@ -132,9 +136,14 @@ impl PredicateMapper {
         raws.sort_unstable(); // deterministic rule admission order
         for raw in raws {
             let t = &tallies[raw];
-            let best_direct = t.direct.iter().max_by_key(|(p, n)| (**n, std::cmp::Reverse(p.as_str())));
-            let best_inverted =
-                t.inverted.iter().max_by_key(|(p, n)| (**n, std::cmp::Reverse(p.as_str())));
+            let best_direct = t
+                .direct
+                .iter()
+                .max_by_key(|(p, n)| (**n, std::cmp::Reverse(p.as_str())));
+            let best_inverted = t
+                .inverted
+                .iter()
+                .max_by_key(|(p, n)| (**n, std::cmp::Reverse(p.as_str())));
             let (onto, votes, inverted) = match (best_direct, best_inverted) {
                 (Some((dp, dn)), Some((ip, inn))) => {
                     if dn >= inn {
@@ -151,7 +160,12 @@ impl PredicateMapper {
             if votes >= self.min_support && precision >= self.min_precision {
                 self.rules.insert(
                     raw.to_owned(),
-                    MappingRule { ontology: onto, inverted, confidence: precision, seed: false },
+                    MappingRule {
+                        ontology: onto,
+                        inverted,
+                        confidence: precision,
+                        seed: false,
+                    },
                 );
                 added += 1;
             }
@@ -204,7 +218,9 @@ mod tests {
     }
 
     fn raws(list: &[(u32, &str, u32)]) -> Vec<RawTripleIds> {
-        list.iter().map(|(s, r, o)| (*s, (*r).to_owned(), *o)).collect()
+        list.iter()
+            .map(|(s, r, o)| (*s, (*r).to_owned(), *o))
+            .collect()
     }
 
     #[test]
@@ -221,7 +237,11 @@ mod tests {
     fn expansion_learns_synonym_from_distant_supervision() {
         let mut m = PredicateMapper::bootstrap(&[("acquire", "acquired", false)]);
         // KG already knows 1-acquired-2 etc. (e.g. via the seed's output).
-        let kb = known(&[((1, 2), "acquired"), ((3, 4), "acquired"), ((5, 6), "acquired")]);
+        let kb = known(&[
+            ((1, 2), "acquired"),
+            ((3, 4), "acquired"),
+            ((5, 6), "acquired"),
+        ]);
         // "buy" connects the same pairs in the raw corpus.
         let rt = raws(&[(1, "buy", 2), (3, "buy", 4), (5, "buy", 6), (7, "buy", 8)]);
         let added = m.expand(&rt, &kb);
@@ -229,7 +249,10 @@ mod tests {
         let r = m.map("buy").unwrap();
         assert_eq!(r.ontology, "acquired");
         assert!(!r.seed);
-        assert!((r.confidence - 0.75).abs() < 1e-9, "3 of 4 occurrences supervised");
+        assert!(
+            (r.confidence - 0.75).abs() < 1e-9,
+            "3 of 4 occurrences supervised"
+        );
     }
 
     #[test]
@@ -257,13 +280,22 @@ mod tests {
     #[test]
     fn low_precision_is_rejected() {
         let mut m = PredicateMapper::bootstrap(&[]).with_thresholds(3, 0.6);
-        let kb = known(&[((1, 2), "acquired"), ((3, 4), "acquired"), ((5, 6), "acquired")]);
+        let kb = known(&[
+            ((1, 2), "acquired"),
+            ((3, 4), "acquired"),
+            ((5, 6), "acquired"),
+        ]);
         // 3 supervised out of 10 → precision 0.3 < 0.6.
         let mut list = vec![(1, "say", 2), (3, "say", 4), (5, "say", 6)];
         for i in 0..7u32 {
             list.push((100 + i, "say", 200 + i));
         }
-        let rt = raws(&list.iter().map(|(a, b, c)| (*a, *b, *c)).collect::<Vec<_>>());
+        let rt = raws(
+            &list
+                .iter()
+                .map(|(a, b, c)| (*a, *b, *c))
+                .collect::<Vec<_>>(),
+        );
         assert_eq!(m.expand(&rt, &kb), 0);
     }
 
@@ -272,7 +304,11 @@ mod tests {
         // Seed maps "acquire"; "buy" co-occurs with acquire pairs; then
         // "purchase" co-occurs with pairs only covered once "buy" is mapped.
         let mut m = PredicateMapper::bootstrap(&[("acquire", "acquired", false)]);
-        let kb = known(&[((1, 2), "acquired"), ((3, 4), "acquired"), ((5, 6), "acquired")]);
+        let kb = known(&[
+            ((1, 2), "acquired"),
+            ((3, 4), "acquired"),
+            ((5, 6), "acquired"),
+        ]);
         let rt = raws(&[
             // buy over KB-known pairs
             (1, "buy", 2),
@@ -295,7 +331,11 @@ mod tests {
     #[test]
     fn seeds_are_never_overwritten() {
         let mut m = PredicateMapper::bootstrap(&[("buy", "acquired", false)]);
-        let kb = known(&[((1, 2), "investedIn"), ((3, 4), "investedIn"), ((5, 6), "investedIn")]);
+        let kb = known(&[
+            ((1, 2), "investedIn"),
+            ((3, 4), "investedIn"),
+            ((5, 6), "investedIn"),
+        ]);
         let rt = raws(&[(1, "buy", 2), (3, "buy", 4), (5, "buy", 6)]);
         m.expand(&rt, &kb);
         assert_eq!(m.map("buy").unwrap().ontology, "acquired", "seed survives");
@@ -303,10 +343,7 @@ mod tests {
 
     #[test]
     fn rules_listing_is_sorted() {
-        let m = PredicateMapper::bootstrap(&[
-            ("zeta", "p", false),
-            ("alpha", "p", false),
-        ]);
+        let m = PredicateMapper::bootstrap(&[("zeta", "p", false), ("alpha", "p", false)]);
         let names: Vec<&str> = m.rules().iter().map(|(k, _)| *k).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
     }

@@ -35,12 +35,13 @@ impl EmbeddingEnumMiner {
         let g = graph_of(edges);
         let mut counts: FxHashMap<Pattern, u32> = FxHashMap::default();
         for emb in all_embeddings(&g, k_max) {
-            let es: Vec<MinerEdge> =
-                emb.iter().map(|id| *g.edge(*id).expect("active")).collect();
+            let es: Vec<MinerEdge> = emb.iter().map(|id| *g.edge(*id).expect("active")).collect();
             *counts.entry(Pattern::from_embedding(&es)).or_insert(0) += 1;
         }
-        let mut out: Vec<(Pattern, u32)> =
-            counts.into_iter().filter(|(_, c)| *c >= min_support).collect();
+        let mut out: Vec<(Pattern, u32)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_support)
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
@@ -67,12 +68,17 @@ impl PatternGrowthMiner {
         // Level 1: single edges.
         let mut level: FxHashMap<Pattern, Vec<Vec<u64>>> = FxHashMap::default();
         for e in g.iter() {
-            level.entry(Pattern::from_embedding(&[*e])).or_default().push(vec![e.id]);
+            level
+                .entry(Pattern::from_embedding(&[*e]))
+                .or_default()
+                .push(vec![e.id]);
         }
         level.retain(|_, embs| embs.len() as u32 >= min_support);
 
-        let mut out: Vec<(Pattern, u32)> =
-            level.iter().map(|(p, embs)| (p.clone(), embs.len() as u32)).collect();
+        let mut out: Vec<(Pattern, u32)> = level
+            .iter()
+            .map(|(p, embs)| (p.clone(), embs.len() as u32))
+            .collect();
 
         // Grow kept patterns one edge at a time. Every embedding of a
         // superpattern contains an embedding of each of its connected
@@ -88,8 +94,10 @@ impl PatternGrowthMiner {
                         let mut grown = emb.clone();
                         grown.push(cand);
                         grown.sort_unstable();
-                        let es: Vec<MinerEdge> =
-                            grown.iter().map(|id| *g.edge(*id).expect("active")).collect();
+                        let es: Vec<MinerEdge> = grown
+                            .iter()
+                            .map(|id| *g.edge(*id).expect("active"))
+                            .collect();
                         let pat = Pattern::from_embedding(&es);
                         next.entry(pat).or_default().insert(grown);
                     }
@@ -141,8 +149,11 @@ mod tests {
             EmbeddingEnumMiner::mine(edges, k, 1).into_iter().collect();
         // Iteratively keep patterns that are frequent and whose sub-patterns
         // are all kept (sub-pattern sets are nested, so one pass per level).
-        let mut kept: std::collections::HashMap<&Pattern, u32> =
-            all.iter().filter(|(_, c)| **c >= sup).map(|(p, c)| (p, *c)).collect();
+        let mut kept: std::collections::HashMap<&Pattern, u32> = all
+            .iter()
+            .filter(|(_, c)| **c >= sup)
+            .map(|(p, c)| (p, *c))
+            .collect();
         loop {
             let before = kept.len();
             let drop: Vec<&Pattern> = kept
@@ -162,8 +173,7 @@ mod tests {
                 break;
             }
         }
-        let mut out: Vec<(Pattern, u32)> =
-            kept.into_iter().map(|(p, c)| (p.clone(), c)).collect();
+        let mut out: Vec<(Pattern, u32)> = kept.into_iter().map(|(p, c)| (p.clone(), c)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
@@ -217,8 +227,7 @@ mod tests {
         // Slide: evict the two oldest.
         sm.remove_edge(0);
         sm.remove_edge(1);
-        let remaining: Vec<MinerEdge> =
-            edges.iter().filter(|e| e.id > 1).copied().collect();
+        let remaining: Vec<MinerEdge> = edges.iter().filter(|e| e.id > 1).copied().collect();
         let batch = EmbeddingEnumMiner::mine(&remaining, 3, 1);
         assert_eq!(sm.frequent_patterns(), batch);
     }
@@ -252,6 +261,9 @@ mod tests {
         let a = EmbeddingEnumMiner::mine(&edges, 3, 4);
         let b = PatternGrowthMiner::mine(&edges, 3, 4);
         assert_eq!(a, b);
-        assert!(a.iter().any(|(p, c)| p.edge_count() == 3 && *c == 4), "triangle motif found");
+        assert!(
+            a.iter().any(|(p, c)| p.edge_count() == 3 && *c == 4),
+            "triangle motif found"
+        );
     }
 }

@@ -25,7 +25,14 @@ pub struct MinerEdge {
 
 impl MinerEdge {
     pub fn new(id: u64, src: u64, dst: u64, elabel: u32, src_label: u32, dst_label: u32) -> Self {
-        Self { id, src, dst, elabel, src_label, dst_label }
+        Self {
+            id,
+            src,
+            dst,
+            elabel,
+            src_label,
+            dst_label,
+        }
     }
 
     /// Does this edge touch vertex `v`?

@@ -22,7 +22,10 @@ pub struct SupportHistory {
 impl SupportHistory {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { capacity, series: FxHashMap::default() }
+        Self {
+            capacity,
+            series: FxHashMap::default(),
+        }
     }
 
     /// Sample the miner's current frequent set at logical time `now`.

@@ -30,8 +30,8 @@
 
 pub mod baselines;
 pub mod edge;
-pub mod history;
 pub mod enumerate;
+pub mod history;
 pub mod index;
 pub mod pattern;
 pub mod streaming;

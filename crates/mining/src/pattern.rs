@@ -76,7 +76,10 @@ impl Pattern {
         let mut vlabel: HashMap<u64, u32> = HashMap::new();
         for e in edges {
             for (v, l) in [(e.src, e.src_label), (e.dst, e.dst_label)] {
-                vlabel.entry(v).and_modify(|cur| *cur = (*cur).max(l)).or_insert(l);
+                vlabel
+                    .entry(v)
+                    .and_modify(|cur| *cur = (*cur).max(l))
+                    .or_insert(l);
             }
         }
         let raw: Vec<(u64, u64, u32)> = edges.iter().map(|e| (e.src, e.dst, e.elabel)).collect();
@@ -97,10 +100,16 @@ impl Pattern {
         let mut verts: Vec<u64> = vlabel.keys().copied().collect();
         verts.sort_unstable();
         let key_of = |v: u64| {
-            let mut out_labels: Vec<u32> =
-                edges.iter().filter(|(s, _, _)| *s == v).map(|(_, _, l)| *l).collect();
-            let mut in_labels: Vec<u32> =
-                edges.iter().filter(|(_, d, _)| *d == v).map(|(_, _, l)| *l).collect();
+            let mut out_labels: Vec<u32> = edges
+                .iter()
+                .filter(|(s, _, _)| *s == v)
+                .map(|(_, _, l)| *l)
+                .collect();
+            let mut in_labels: Vec<u32> = edges
+                .iter()
+                .filter(|(_, d, _)| *d == v)
+                .map(|(_, _, l)| *l)
+                .collect();
             out_labels.sort_unstable();
             in_labels.sort_unstable();
             Key {
@@ -138,15 +147,20 @@ impl Pattern {
             for (i, &v) in perm.iter().enumerate() {
                 assignment.insert(v, i as u8);
             }
-            let mut cand: Vec<(u8, u8, u32)> =
-                edges.iter().map(|&(s, d, l)| (assignment[&s], assignment[&d], l)).collect();
+            let mut cand: Vec<(u8, u8, u32)> = edges
+                .iter()
+                .map(|&(s, d, l)| (assignment[&s], assignment[&d], l))
+                .collect();
             cand.sort_unstable();
             if best.as_ref().is_none_or(|b| cand < *b) {
                 best = Some(cand);
             }
         });
 
-        Pattern { labels, edges: best.expect("at least one permutation") }
+        Pattern {
+            labels,
+            edges: best.expect("at least one permutation"),
+        }
     }
 
     /// All connected sub-patterns obtained by deleting exactly one edge

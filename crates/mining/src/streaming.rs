@@ -47,7 +47,11 @@ pub struct MinerConfig {
 
 impl Default for MinerConfig {
     fn default() -> Self {
-        Self { k_max: 3, min_support: 3, eviction: EvictionStrategy::Eager }
+        Self {
+            k_max: 3,
+            min_support: 3,
+            eviction: EvictionStrategy::Eager,
+        }
     }
 }
 
@@ -92,9 +96,14 @@ impl StreamingMiner {
             return;
         }
         for emb in embeddings_containing(&self.window, e.id, self.cfg.k_max) {
-            let edges: Vec<MinerEdge> =
-                emb.iter().map(|id| *self.window.edge(*id).expect("active")).collect();
-            *self.counts.entry(Pattern::from_embedding(&edges)).or_insert(0) += 1;
+            let edges: Vec<MinerEdge> = emb
+                .iter()
+                .map(|id| *self.window.edge(*id).expect("active"))
+                .collect();
+            *self
+                .counts
+                .entry(Pattern::from_embedding(&edges))
+                .or_insert(0) += 1;
         }
     }
 
@@ -111,8 +120,10 @@ impl StreamingMiner {
         self.just_infrequent.clear();
         let min = self.cfg.min_support as i64;
         for emb in embeddings_containing(&self.window, id, self.cfg.k_max) {
-            let edges: Vec<MinerEdge> =
-                emb.iter().map(|eid| *self.window.edge(*eid).expect("active")).collect();
+            let edges: Vec<MinerEdge> = emb
+                .iter()
+                .map(|eid| *self.window.edge(*eid).expect("active"))
+                .collect();
             let pat = Pattern::from_embedding(&edges);
             let c = self.counts.entry(pat.clone()).or_insert(0);
             let was_frequent = *c >= min;
@@ -131,9 +142,14 @@ impl StreamingMiner {
     fn recount(&mut self) {
         self.counts.clear();
         for emb in all_embeddings(&self.window, self.cfg.k_max) {
-            let edges: Vec<MinerEdge> =
-                emb.iter().map(|id| *self.window.edge(*id).expect("active")).collect();
-            *self.counts.entry(Pattern::from_embedding(&edges)).or_insert(0) += 1;
+            let edges: Vec<MinerEdge> = emb
+                .iter()
+                .map(|id| *self.window.edge(*id).expect("active"))
+                .collect();
+            *self
+                .counts
+                .entry(Pattern::from_embedding(&edges))
+                .or_insert(0) += 1;
         }
         self.dirty = false;
     }
@@ -165,8 +181,7 @@ impl StreamingMiner {
     /// reported as closed.)
     pub fn closed_frequent(&mut self) -> Vec<(Pattern, u32)> {
         let frequent = self.frequent_patterns();
-        let support_of: FxHashMap<&Pattern, u32> =
-            frequent.iter().map(|(p, c)| (p, *c)).collect();
+        let support_of: FxHashMap<&Pattern, u32> = frequent.iter().map(|(p, c)| (p, *c)).collect();
         // A pattern is non-closed iff some frequent one-edge-larger
         // superpattern has exactly the same support (the superpattern then
         // carries strictly more information at no support loss). Note that
@@ -180,7 +195,10 @@ impl StreamingMiner {
                 }
             }
         }
-        frequent.into_iter().filter(|(p, _)| !non_closed.contains(p)).collect()
+        frequent
+            .into_iter()
+            .filter(|(p, _)| !non_closed.contains(p))
+            .collect()
     }
 
     /// "Reconstruction of smaller frequent patterns from larger patterns
@@ -199,9 +217,9 @@ impl StreamingMiner {
                     .sub_patterns()
                     .into_iter()
                     .filter_map(|sub| {
-                        self.counts.get(&sub).and_then(|&c| {
-                            (c >= min).then_some((sub.clone(), c as u32))
-                        })
+                        self.counts
+                            .get(&sub)
+                            .and_then(|&c| (c >= min).then_some((sub.clone(), c as u32)))
                     })
                     .collect();
                 (p, survivors)
@@ -231,7 +249,11 @@ mod tests {
     }
 
     fn miner(k: usize, sup: u32, ev: EvictionStrategy) -> StreamingMiner {
-        StreamingMiner::new(MinerConfig { k_max: k, min_support: sup, eviction: ev })
+        StreamingMiner::new(MinerConfig {
+            k_max: k,
+            min_support: sup,
+            eviction: ev,
+        })
     }
 
     #[test]
@@ -332,7 +354,9 @@ mod tests {
         let (parent, survivors) = &rec[0];
         assert_eq!(parent.edge_count(), 2);
         assert!(
-            survivors.iter().any(|(p, c)| p.edge_count() == 1 && *c >= 2),
+            survivors
+                .iter()
+                .any(|(p, c)| p.edge_count() == 1 && *c >= 2),
             "single-edge sub-patterns survive: {survivors:?}"
         );
     }
@@ -381,6 +405,10 @@ mod tests {
         m.add_edge(MinerEdge::new(0, 1, 2, 7, 100, 200));
         m.add_edge(MinerEdge::new(1, 3, 4, 7, 100, 300));
         let freq = m.frequent_patterns();
-        assert_eq!(freq.len(), 2, "different dst type labels → different patterns");
+        assert_eq!(
+            freq.len(),
+            2,
+            "different dst type labels → different patterns"
+        );
     }
 }

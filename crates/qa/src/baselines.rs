@@ -24,7 +24,15 @@ fn candidates(
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
     // Baselines search unguided (no look-ahead pruning).
-    enumerate_paths(g, src, dst, cfg.max_hops, cfg.budget, constraint, |_, steps| steps)
+    enumerate_paths(
+        g,
+        src,
+        dst,
+        cfg.max_hops,
+        cfg.budget,
+        constraint,
+        |_, steps| steps,
+    )
 }
 
 /// Rank by length ascending; ties lexicographic on vertex ids.
@@ -40,7 +48,9 @@ pub fn shortest_paths(
         p.score = p.len() as f64;
     }
     paths.sort_by(|a, b| {
-        a.len().cmp(&b.len()).then_with(|| a.vertices.cmp(&b.vertices))
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.vertices.cmp(&b.vertices))
     });
     paths.truncate(cfg.k);
     paths
@@ -156,9 +166,11 @@ mod tests {
     #[test]
     fn random_walk_prefers_quiet_intermediates() {
         let (g, a, b, _h, d) = hubbed();
-        let paths =
-            random_walk_paths(&g, a, d, &PathConstraint::default(), &QaConfig::default());
-        assert_eq!(paths[0].vertices[1], b, "low-degree intermediate has higher walk prob");
+        let paths = random_walk_paths(&g, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert_eq!(
+            paths[0].vertices[1], b,
+            "low-degree intermediate has higher walk prob"
+        );
         assert!(paths[0].score > paths[1].score);
     }
 
@@ -167,7 +179,9 @@ mod tests {
         let (mut g, a, b, _h, d) = hubbed();
         let q = g.intern_predicate("special");
         g.add_edge_at(b, q, d, 0, 1.0, Provenance::Curated);
-        let c = PathConstraint { require_predicate: Some(q) };
+        let c = PathConstraint {
+            require_predicate: Some(q),
+        };
         for paths in [
             shortest_paths(&g, a, d, &c, &QaConfig::default()),
             degree_salience_paths(&g, a, d, &c, &QaConfig::default()),
@@ -181,7 +195,13 @@ mod tests {
     #[test]
     fn k_truncation() {
         let (g, a, _b, _h, d) = hubbed();
-        let cfg = QaConfig { k: 1, ..Default::default() };
-        assert_eq!(shortest_paths(&g, a, d, &PathConstraint::default(), &cfg).len(), 1);
+        let cfg = QaConfig {
+            k: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            shortest_paths(&g, a, d, &PathConstraint::default(), &cfg).len(),
+            1
+        );
     }
 }

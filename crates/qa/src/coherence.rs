@@ -29,7 +29,12 @@ pub struct QaConfig {
 
 impl Default for QaConfig {
     fn default() -> Self {
-        Self { max_hops: 4, beam: 8, budget: 20_000, k: 5 }
+        Self {
+            max_hops: 4,
+            beam: 8,
+            budget: 20_000,
+            k: 5,
+        }
     }
 }
 
@@ -127,10 +132,20 @@ mod tests {
     #[test]
     fn coherent_path_wins() {
         let (g, t, a, d) = planted();
-        let paths =
-            coherent_paths(&g, &t, a, d, &PathConstraint::default(), &QaConfig::default());
+        let paths = coherent_paths(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+        );
         assert!(!paths.is_empty());
-        let names: Vec<&str> = paths[0].vertices.iter().map(|&v| g.vertex_name(v)).collect();
+        let names: Vec<&str> = paths[0]
+            .vertices
+            .iter()
+            .map(|&v| g.vertex_name(v))
+            .collect();
         assert_eq!(names, vec!["a", "b", "d"], "least-divergence path first");
         assert!(paths[0].score < paths[1].score);
     }
@@ -138,15 +153,24 @@ mod tests {
     #[test]
     fn scores_are_ascending() {
         let (g, t, a, d) = planted();
-        let paths =
-            coherent_paths(&g, &t, a, d, &PathConstraint::default(), &QaConfig::default());
+        let paths = coherent_paths(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+        );
         assert!(paths.windows(2).all(|w| w[0].score <= w[1].score));
     }
 
     #[test]
     fn k_truncates() {
         let (g, t, a, d) = planted();
-        let cfg = QaConfig { k: 1, ..Default::default() };
+        let cfg = QaConfig {
+            k: 1,
+            ..Default::default()
+        };
         let paths = coherent_paths(&g, &t, a, d, &PathConstraint::default(), &cfg);
         assert_eq!(paths.len(), 1);
     }
@@ -154,11 +178,18 @@ mod tests {
     #[test]
     fn tight_beam_still_reaches_target() {
         let (g, t, a, d) = planted();
-        let cfg = QaConfig { beam: 1, ..Default::default() };
+        let cfg = QaConfig {
+            beam: 1,
+            ..Default::default()
+        };
         let paths = coherent_paths(&g, &t, a, d, &PathConstraint::default(), &cfg);
         assert!(!paths.is_empty());
         // Beam 1 follows the least-divergent neighbour — which is b.
-        let names: Vec<&str> = paths[0].vertices.iter().map(|&v| g.vertex_name(v)).collect();
+        let names: Vec<&str> = paths[0]
+            .vertices
+            .iter()
+            .map(|&v| g.vertex_name(v))
+            .collect();
         assert_eq!(names, vec!["a", "b", "d"]);
     }
 
@@ -173,8 +204,14 @@ mod tests {
     fn disconnected_returns_empty() {
         let (mut g, t, a, _) = planted();
         let lonely = g.ensure_vertex("lonely");
-        let paths =
-            coherent_paths(&g, &t, a, lonely, &PathConstraint::default(), &QaConfig::default());
+        let paths = coherent_paths(
+            &g,
+            &t,
+            a,
+            lonely,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+        );
         assert!(paths.is_empty());
     }
 }

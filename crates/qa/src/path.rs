@@ -78,8 +78,26 @@ impl PathConstraint {
 pub(crate) fn neighbor_steps(g: &DynamicGraph, v: VertexId) -> Vec<(VertexId, Hop)> {
     let mut out: Vec<(VertexId, Hop)> = g
         .out_edges(v)
-        .map(|a| (a.other, Hop { pred: a.pred, edge: a.edge, forward: true }))
-        .chain(g.in_edges(v).map(|a| (a.other, Hop { pred: a.pred, edge: a.edge, forward: false })))
+        .map(|a| {
+            (
+                a.other,
+                Hop {
+                    pred: a.pred,
+                    edge: a.edge,
+                    forward: true,
+                },
+            )
+        })
+        .chain(g.in_edges(v).map(|a| {
+            (
+                a.other,
+                Hop {
+                    pred: a.pred,
+                    edge: a.edge,
+                    forward: false,
+                },
+            )
+        }))
         .collect();
     // Deterministic order: by neighbour id then edge id.
     out.sort_by_key(|(n, h)| (n.0, h.edge.0));
@@ -128,7 +146,11 @@ pub fn enumerate_paths(
             if constraint.satisfied_by(&hops) {
                 let mut vertices = vstack.clone();
                 vertices.push(dst);
-                out.push(RankedPath { vertices, hops, score: 0.0 });
+                out.push(RankedPath {
+                    vertices,
+                    hops,
+                    score: 0.0,
+                });
             }
             continue;
         }
@@ -151,7 +173,10 @@ mod tests {
     /// a→b→d, a→c→d, plus direct a→d.
     fn diamond() -> (DynamicGraph, Vec<VertexId>, PredicateId) {
         let mut g = DynamicGraph::new();
-        let ids: Vec<VertexId> = ["a", "b", "c", "d"].iter().map(|n| g.ensure_vertex(n)).collect();
+        let ids: Vec<VertexId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| g.ensure_vertex(n))
+            .collect();
         let p = g.intern_predicate("rel");
         g.add_edge_at(ids[0], p, ids[1], 0, 1.0, Provenance::Curated);
         g.add_edge_at(ids[1], p, ids[3], 0, 1.0, Provenance::Curated);
@@ -162,7 +187,15 @@ mod tests {
     }
 
     fn all(g: &DynamicGraph, s: VertexId, t: VertexId, h: usize) -> Vec<RankedPath> {
-        enumerate_paths(g, s, t, h, 10_000, &PathConstraint::default(), |_, steps| steps)
+        enumerate_paths(
+            g,
+            s,
+            t,
+            h,
+            10_000,
+            &PathConstraint::default(),
+            |_, steps| steps,
+        )
     }
 
     #[test]
@@ -214,9 +247,10 @@ mod tests {
         let (mut g, v, _) = diamond();
         let q = g.intern_predicate("special");
         g.add_edge_at(v[1], q, v[3], 0, 1.0, Provenance::Curated);
-        let constraint = PathConstraint { require_predicate: Some(q) };
-        let paths =
-            enumerate_paths(&g, v[0], v[3], 3, 10_000, &constraint, |_, steps| steps);
+        let constraint = PathConstraint {
+            require_predicate: Some(q),
+        };
+        let paths = enumerate_paths(&g, v[0], v[3], 3, 10_000, &constraint, |_, steps| steps);
         assert!(!paths.is_empty());
         assert!(paths.iter().all(|p| p.hops.iter().any(|h| h.pred == q)));
     }

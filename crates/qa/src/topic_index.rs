@@ -21,7 +21,11 @@ impl TopicIndex {
     /// Create an index for `k` topics.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one topic");
-        Self { k, dists: Vec::new(), uniform: vec![1.0 / k as f64; k] }
+        Self {
+            k,
+            dists: Vec::new(),
+            uniform: vec![1.0 / k as f64; k],
+        }
     }
 
     pub fn num_topics(&self) -> usize {

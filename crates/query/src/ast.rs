@@ -10,7 +10,12 @@ pub enum Query {
     /// Entity summary ("Tell me about DJI", Figure 6).
     Entity { name: String },
     /// Explanatory why-question: top-K coherent paths.
-    Why { source: String, target: String, via: Option<String>, limit: usize },
+    Why {
+        source: String,
+        target: String,
+        via: Option<String>,
+        limit: usize,
+    },
     /// Typed-edge pattern match. Endpoints are either a type label
     /// (`Company`) or a quoted entity constant (`"Apex Robotics"`).
     /// `since`/`until` filter on the edge's logical timestamp — queries on
@@ -24,7 +29,12 @@ pub enum Query {
         until: Option<u64>,
     },
     /// Raw path enumeration between two entities.
-    Paths { source: String, target: String, max_hops: usize, limit: usize },
+    Paths {
+        source: String,
+        target: String,
+        max_hops: usize,
+        limit: usize,
+    },
     /// Chronological fact history of one entity - the dynamic-KG view of
     /// an entity query ("what happened to X over time").
     Timeline { name: String, limit: usize },
@@ -81,7 +91,13 @@ impl QueryResult {
                     .collect::<Vec<_>>()
                     .join("\n")
             }
-            QueryResult::Entity { name, entity_type, degree, facts, neighbors } => {
+            QueryResult::Entity {
+                name,
+                entity_type,
+                degree,
+                facts,
+                neighbors,
+            } => {
                 let mut out = format!(
                     "{name} ({}) — degree {degree}\n",
                     entity_type.as_deref().unwrap_or("unknown type")
@@ -133,7 +149,9 @@ mod tests {
 
     #[test]
     fn render_trending_empty_and_full() {
-        assert!(QueryResult::Trending(vec![]).render().contains("no trending"));
+        assert!(QueryResult::Trending(vec![])
+            .render()
+            .contains("no trending"));
         let r = QueryResult::Trending(vec![("(A)-[p]->(B)".into(), 5)]);
         assert!(r.render().contains("[support 5]"));
     }

@@ -48,12 +48,21 @@ pub fn execute(
                 name: s.name,
                 entity_type: s.entity_type,
                 degree: s.degree,
-                facts: s.facts.into_iter().map(|(f, c, _, cur)| (f, c, cur)).collect(),
+                facts: s
+                    .facts
+                    .into_iter()
+                    .map(|(f, c, _, cur)| (f, c, cur))
+                    .collect(),
                 neighbors: s.neighbors,
             },
         },
 
-        Query::Why { source, target, via, limit } => {
+        Query::Why {
+            source,
+            target,
+            via,
+            limit,
+        } => {
             let Some(src) = resolve(kg, source) else {
                 return QueryResult::NotFound(source.clone());
             };
@@ -68,14 +77,27 @@ pub fn execute(
                     return QueryResult::NotFound(format!("predicate {v}"));
                 }
             }
-            let cfg = QaConfig { k: *limit, ..Default::default() };
+            let cfg = QaConfig {
+                k: *limit,
+                ..Default::default()
+            };
             let paths = coherent_paths(&kg.graph, topics, src, dst, &constraint, &cfg);
             QueryResult::Paths(
-                paths.into_iter().map(|p| (p.render(&kg.graph), p.score)).collect(),
+                paths
+                    .into_iter()
+                    .map(|p| (p.render(&kg.graph), p.score))
+                    .collect(),
             )
         }
 
-        Query::Match { src, predicate, dst, limit, since, until } => {
+        Query::Match {
+            src,
+            predicate,
+            dst,
+            limit,
+            since,
+            until,
+        } => {
             let Some(pred) = kg.graph.predicate_id(predicate) else {
                 return QueryResult::NotFound(format!("predicate {predicate}"));
             };
@@ -116,7 +138,11 @@ pub fn execute(
                 .chain(kg.graph.in_edges(v).map(|adj| (adj, false)))
                 .map(|(adj, outgoing)| {
                     let e = kg.graph.edge(adj.edge);
-                    let (from, to) = if outgoing { (v, adj.other) } else { (adj.other, v) };
+                    let (from, to) = if outgoing {
+                        (v, adj.other)
+                    } else {
+                        (adj.other, v)
+                    };
                     let text = format!(
                         "{} -[{}]-> {}",
                         kg.graph.vertex_name(from),
@@ -131,14 +157,23 @@ pub fn execute(
             QueryResult::Timeline(items)
         }
 
-        Query::Paths { source, target, max_hops, limit } => {
+        Query::Paths {
+            source,
+            target,
+            max_hops,
+            limit,
+        } => {
             let Some(src) = resolve(kg, source) else {
                 return QueryResult::NotFound(source.clone());
             };
             let Some(dst) = resolve(kg, target) else {
                 return QueryResult::NotFound(target.clone());
             };
-            let cfg = QaConfig { k: *limit, max_hops: *max_hops, ..Default::default() };
+            let cfg = QaConfig {
+                k: *limit,
+                max_hops: *max_hops,
+                ..Default::default()
+            };
             let paths = nous_qa::baselines::shortest_paths(
                 &kg.graph,
                 src,
@@ -147,7 +182,10 @@ pub fn execute(
                 &cfg,
             );
             QueryResult::Paths(
-                paths.into_iter().map(|p| (p.render(&kg.graph), p.score)).collect(),
+                paths
+                    .into_iter()
+                    .map(|p| (p.render(&kg.graph), p.score))
+                    .collect(),
             )
         }
     }
@@ -190,7 +228,11 @@ mod tests {
 
         let mut trends = TrendMonitor::new(
             WindowKind::Count { n: 100 },
-            MinerConfig { k_max: 1, min_support: 3, eviction: EvictionStrategy::Eager },
+            MinerConfig {
+                k_max: 1,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
         );
         trends.observe(&kg);
         (kg, topics, trends)
@@ -204,14 +246,25 @@ mod tests {
     #[test]
     fn trending_query_reports_motif() {
         let r = run("TRENDING LIMIT 5");
-        let QueryResult::Trending(items) = r else { panic!("wrong variant: {r:?}") };
-        assert!(items.iter().any(|(d, s)| d.contains("acquired") && *s == 3), "{items:?}");
+        let QueryResult::Trending(items) = r else {
+            panic!("wrong variant: {r:?}")
+        };
+        assert!(
+            items.iter().any(|(d, s)| d.contains("acquired") && *s == 3),
+            "{items:?}"
+        );
     }
 
     #[test]
     fn entity_query() {
         let r = run("tell me about Apex Robotics");
-        let QueryResult::Entity { name, degree, facts, .. } = r else {
+        let QueryResult::Entity {
+            name,
+            degree,
+            facts,
+            ..
+        } = r
+        else {
             panic!("wrong variant: {r:?}")
         };
         assert_eq!(name, "Apex Robotics");
@@ -222,7 +275,9 @@ mod tests {
     #[test]
     fn why_query_prefers_coherent_path() {
         let r = run("WHY Apex Robotics -> Falcon Systems LIMIT 2");
-        let QueryResult::Paths(paths) = r else { panic!("wrong variant: {r:?}") };
+        let QueryResult::Paths(paths) = r else {
+            panic!("wrong variant: {r:?}")
+        };
         assert!(!paths.is_empty());
         assert!(
             paths[0].0.contains("Condor Labs"),
@@ -233,7 +288,9 @@ mod tests {
     #[test]
     fn why_with_predicate_constraint() {
         let r = run("WHY Apex Robotics -> Falcon Systems VIA investedIn");
-        let QueryResult::Paths(paths) = r else { panic!("wrong variant: {r:?}") };
+        let QueryResult::Paths(paths) = r else {
+            panic!("wrong variant: {r:?}")
+        };
         assert!(paths.iter().all(|(p, _)| p.contains("investedIn")));
         let r2 = run("WHY Apex Robotics -> Falcon Systems VIA noSuchPred");
         assert!(matches!(r2, QueryResult::NotFound(_)));
@@ -242,25 +299,33 @@ mod tests {
     #[test]
     fn match_query_counts_and_samples() {
         let r = run("MATCH (Organization)-[acquired]->(Organization) LIMIT 2");
-        let QueryResult::Matches { total, sample } = r else { panic!("wrong variant: {r:?}") };
+        let QueryResult::Matches { total, sample } = r else {
+            panic!("wrong variant: {r:?}")
+        };
         assert_eq!(total, 3);
         assert_eq!(sample.len(), 2);
         let r2 = run("MATCH (*)-[acquired]->(\"Y0\")");
-        let QueryResult::Matches { total, .. } = r2 else { panic!() };
+        let QueryResult::Matches { total, .. } = r2 else {
+            panic!()
+        };
         assert_eq!(total, 1);
     }
 
     #[test]
     fn paths_query_enumerates() {
         let r = run("PATHS Apex Robotics TO Falcon Systems MAX 3");
-        let QueryResult::Paths(paths) = r else { panic!("wrong variant: {r:?}") };
+        let QueryResult::Paths(paths) = r else {
+            panic!("wrong variant: {r:?}")
+        };
         assert_eq!(paths.len(), 2, "via Condor Labs and via Mega Hub");
     }
 
     #[test]
     fn timeline_is_chronological() {
         let r = run("TIMELINE Apex Robotics");
-        let QueryResult::Timeline(items) = r else { panic!("wrong variant: {r:?}") };
+        let QueryResult::Timeline(items) = r else {
+            panic!("wrong variant: {r:?}")
+        };
         assert_eq!(items.len(), 2, "partneredWith(t=10) and competesWith(t=12)");
         assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
         assert_eq!(items[0].0, 10);
@@ -275,17 +340,24 @@ mod tests {
     fn match_temporal_window_filters_edges() {
         // Acquisition edges in session() carry timestamps 0, 1, 2.
         let r = run("MATCH (*)-[acquired]->(*) SINCE 1 UNTIL 2");
-        let QueryResult::Matches { total, .. } = r else { panic!("{r:?}") };
+        let QueryResult::Matches { total, .. } = r else {
+            panic!("{r:?}")
+        };
         assert_eq!(total, 2);
         let r2 = run("MATCH (*)-[acquired]->(*) SINCE 99");
-        let QueryResult::Matches { total, .. } = r2 else { panic!() };
+        let QueryResult::Matches { total, .. } = r2 else {
+            panic!()
+        };
         assert_eq!(total, 0);
     }
 
     #[test]
     fn unknown_entities_report_not_found() {
         assert!(matches!(run("ABOUT Nobody Inc"), QueryResult::NotFound(_)));
-        assert!(matches!(run("WHY Nobody -> Apex Robotics"), QueryResult::NotFound(_)));
+        assert!(matches!(
+            run("WHY Nobody -> Apex Robotics"),
+            QueryResult::NotFound(_)
+        ));
         assert!(matches!(
             run("MATCH (Organization)-[zzz]->(Organization)"),
             QueryResult::NotFound(_)

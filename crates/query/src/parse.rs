@@ -45,14 +45,16 @@ fn take_limit(input: &str) -> (String, usize) {
 /// Case-insensitive prefix strip.
 fn strip_prefix_ci<'a>(input: &'a str, prefix: &str) -> Option<&'a str> {
     let il = input.to_lowercase();
-    il.starts_with(&prefix.to_lowercase()).then(|| input[prefix.len()..].trim())
+    il.starts_with(&prefix.to_lowercase())
+        .then(|| input[prefix.len()..].trim())
 }
 
 /// Case-insensitive split on the first occurrence of a separator word.
 fn split_once_ci<'a>(input: &'a str, sep: &str) -> Option<(&'a str, &'a str)> {
     let il = input.to_lowercase();
     let sl = sep.to_lowercase();
-    il.find(&sl).map(|i| (input[..i].trim(), input[i + sep.len()..].trim()))
+    il.find(&sl)
+        .map(|i| (input[..i].trim(), input[i + sep.len()..].trim()))
 }
 
 fn parse_endpoint(s: &str) -> Endpoint {
@@ -90,7 +92,9 @@ pub fn parse(input: &str) -> Result<Query, ParseError> {
             if rest.is_empty() {
                 return Err(ParseError("ABOUT requires an entity name".into()));
             }
-            return Ok(Query::Entity { name: rest.to_owned() });
+            return Ok(Query::Entity {
+                name: rest.to_owned(),
+            });
         }
     }
 
@@ -174,7 +178,10 @@ pub fn parse(input: &str) -> Result<Query, ParseError> {
             if rest.is_empty() {
                 return Err(ParseError("TIMELINE requires an entity name".into()));
             }
-            return Ok(Query::Timeline { name: rest.to_owned(), limit });
+            return Ok(Query::Timeline {
+                name: rest.to_owned(),
+                limit,
+            });
         }
     }
 
@@ -218,15 +225,23 @@ mod tests {
     #[test]
     fn trending_variants() {
         assert_eq!(parse("TRENDING").unwrap(), Query::Trending { limit: 10 });
-        assert_eq!(parse("what is trending?").unwrap(), Query::Trending { limit: 10 });
-        assert_eq!(parse("trending limit 3").unwrap(), Query::Trending { limit: 3 });
+        assert_eq!(
+            parse("what is trending?").unwrap(),
+            Query::Trending { limit: 10 }
+        );
+        assert_eq!(
+            parse("trending limit 3").unwrap(),
+            Query::Trending { limit: 3 }
+        );
     }
 
     #[test]
     fn entity_variants() {
         assert_eq!(
             parse("ABOUT Apex Robotics").unwrap(),
-            Query::Entity { name: "Apex Robotics".into() }
+            Query::Entity {
+                name: "Apex Robotics".into()
+            }
         );
         assert_eq!(
             parse("tell me about DJI").unwrap(),
@@ -289,14 +304,24 @@ mod tests {
 
     #[test]
     fn match_with_temporal_clauses() {
-        let q = parse("MATCH (Company)-[acquired]->(Company) SINCE 1100 UNTIL 1500 LIMIT 5")
-            .unwrap();
-        let Query::Match { since, until, limit, .. } = q else { panic!("{q:?}") };
+        let q =
+            parse("MATCH (Company)-[acquired]->(Company) SINCE 1100 UNTIL 1500 LIMIT 5").unwrap();
+        let Query::Match {
+            since,
+            until,
+            limit,
+            ..
+        } = q
+        else {
+            panic!("{q:?}")
+        };
         assert_eq!(since, Some(1100));
         assert_eq!(until, Some(1500));
         assert_eq!(limit, 5);
         let q2 = parse("MATCH (*)-[deploys]->(*) SINCE 1700").unwrap();
-        let Query::Match { since, until, .. } = q2 else { panic!() };
+        let Query::Match { since, until, .. } = q2 else {
+            panic!()
+        };
         assert_eq!(since, Some(1700));
         assert_eq!(until, None);
         assert!(parse("MATCH (A)-[p]->(B) SINCE soon").is_err());
@@ -317,7 +342,12 @@ mod tests {
         let q2 = parse("paths A to B").unwrap();
         assert_eq!(
             q2,
-            Query::Paths { source: "A".into(), target: "B".into(), max_hops: 4, limit: 10 }
+            Query::Paths {
+                source: "A".into(),
+                target: "B".into(),
+                max_hops: 4,
+                limit: 10
+            }
         );
     }
 
@@ -334,7 +364,10 @@ mod tests {
     fn limit_is_clamped_to_one() {
         // LIMIT 0 silently becomes 1 (a query that returns nothing by
         // construction is never what the analyst meant).
-        assert_eq!(parse("TRENDING LIMIT 0").unwrap(), Query::Trending { limit: 1 });
+        assert_eq!(
+            parse("TRENDING LIMIT 0").unwrap(),
+            Query::Trending { limit: 1 }
+        );
     }
 
     #[test]

@@ -35,8 +35,10 @@ impl BagOfWords {
                 continue;
             }
             let lower = tok.lower();
-            let bare =
-                lower.strip_suffix("'s").or_else(|| lower.strip_suffix("’s")).unwrap_or(&lower);
+            let bare = lower
+                .strip_suffix("'s")
+                .or_else(|| lower.strip_suffix("’s"))
+                .unwrap_or(&lower);
             if bare.len() < 2 || lexicon::is_stopword(bare) {
                 continue;
             }
@@ -84,15 +86,30 @@ impl BagOfWords {
         if self.is_empty() || other.is_empty() {
             return 0.0;
         }
-        let (small, large) =
-            if self.distinct() <= other.distinct() { (self, other) } else { (other, self) };
-        let dot: f64 =
-            small.iter().map(|(t, n)| n as f64 * large.count(t) as f64).sum();
+        let (small, large) = if self.distinct() <= other.distinct() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let dot: f64 = small
+            .iter()
+            .map(|(t, n)| n as f64 * large.count(t) as f64)
+            .sum();
         if dot == 0.0 {
             return 0.0;
         }
-        let na: f64 = self.counts.values().map(|&n| (n as f64).powi(2)).sum::<f64>().sqrt();
-        let nb: f64 = other.counts.values().map(|&n| (n as f64).powi(2)).sum::<f64>().sqrt();
+        let na: f64 = self
+            .counts
+            .values()
+            .map(|&n| (n as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let nb: f64 = other
+            .counts
+            .values()
+            .map(|&n| (n as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         dot / (na * nb)
     }
 
@@ -101,7 +118,11 @@ impl BagOfWords {
         if self.is_empty() && other.is_empty() {
             return 0.0;
         }
-        let inter = self.counts.keys().filter(|t| other.counts.contains_key(*t)).count();
+        let inter = self
+            .counts
+            .keys()
+            .filter(|t| other.counts.contains_key(*t))
+            .count();
         let union = self.distinct() + other.distinct() - inter;
         inter as f64 / union as f64
     }

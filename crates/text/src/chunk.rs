@@ -33,7 +33,9 @@ pub struct Chunk {
 }
 
 fn strip_possessive(s: &str) -> &str {
-    s.strip_suffix("'s").or_else(|| s.strip_suffix("’s")).unwrap_or(s)
+    s.strip_suffix("'s")
+        .or_else(|| s.strip_suffix("’s"))
+        .unwrap_or(s)
 }
 
 fn has_possessive(s: &str) -> bool {
@@ -170,21 +172,33 @@ mod tests {
     use crate::token::tokenize;
 
     fn nps(input: &str) -> Vec<String> {
-        noun_phrases(&tag(&tokenize(input))).into_iter().map(|c| c.text).collect()
+        noun_phrases(&tag(&tokenize(input)))
+            .into_iter()
+            .map(|c| c.text)
+            .collect()
     }
 
     fn vgs(input: &str) -> Vec<String> {
-        verb_groups(&tag(&tokenize(input))).into_iter().map(|c| c.text).collect()
+        verb_groups(&tag(&tokenize(input)))
+            .into_iter()
+            .map(|c| c.text)
+            .collect()
     }
 
     #[test]
     fn simple_np_extraction() {
-        assert_eq!(nps("The new drone reached the market."), vec!["The new drone", "the market"]);
+        assert_eq!(
+            nps("The new drone reached the market."),
+            vec!["The new drone", "the market"]
+        );
     }
 
     #[test]
     fn proper_noun_sequences_stay_together() {
-        assert_eq!(nps("Wall Street Journal reported it."), vec!["Wall Street Journal"]);
+        assert_eq!(
+            nps("Wall Street Journal reported it."),
+            vec!["Wall Street Journal"]
+        );
     }
 
     #[test]
@@ -206,7 +220,10 @@ mod tests {
 
     #[test]
     fn verb_group_with_auxiliaries() {
-        assert_eq!(vgs("The firm has quickly acquired a rival."), vec!["has quickly acquired"]);
+        assert_eq!(
+            vgs("The firm has quickly acquired a rival."),
+            vec!["has quickly acquired"]
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ fn nominal_target(head: &str) -> Option<EntityType> {
 fn pronoun_targets(lower: &str) -> Option<&'static [EntityType]> {
     Some(match lower {
         "he" | "she" | "him" | "her" => &[EntityType::Person],
-        "it" | "its" => &[EntityType::Organization, EntityType::Product, EntityType::Other],
+        "it" | "its" => &[
+            EntityType::Organization,
+            EntityType::Product,
+            EntityType::Other,
+        ],
         "they" | "them" | "their" => &[EntityType::Organization, EntityType::Other],
         _ => return None,
     })
@@ -63,8 +67,14 @@ fn is_partial_name(short: &str, long: &str) -> bool {
     if s.is_empty() || s.len() >= l.len() {
         return false;
     }
-    l.windows(s.len()).next().map(|w| w == s.as_slice()).unwrap_or(false)
-        || l.windows(s.len()).last().map(|w| w == s.as_slice()).unwrap_or(false)
+    l.windows(s.len())
+        .next()
+        .map(|w| w == s.as_slice())
+        .unwrap_or(false)
+        || l.windows(s.len())
+            .last()
+            .map(|w| w == s.as_slice())
+            .unwrap_or(false)
 }
 
 /// History of candidate antecedents, most recent last.
@@ -89,7 +99,12 @@ impl History {
             .iter()
             .rev()
             .find(|(_, t, subject)| *subject && types.contains(t))
-            .or_else(|| self.entries.iter().rev().find(|(_, t, _)| types.contains(t)))
+            .or_else(|| {
+                self.entries
+                    .iter()
+                    .rev()
+                    .find(|(_, t, _)| types.contains(t))
+            })
             .map(|(text, ty, _)| (text, *ty))
     }
 
@@ -220,7 +235,10 @@ mod tests {
 
     #[test]
     fn it_resolves_to_recent_org() {
-        let doc = analyze_doc("DJI announced a drone. It also opened an office.", &org_gaz());
+        let doc = analyze_doc(
+            "DJI announced a drone. It also opened an office.",
+            &org_gaz(),
+        );
         let res = resolve(&doc);
         let it = res.iter().find(|r| r.surface == "It").unwrap();
         assert_eq!(it.antecedent, "DJI");

@@ -15,25 +15,85 @@ pub const DETERMINERS: &[&str] = &[
 
 /// Prepositions and subordinating conjunctions (IN).
 pub const PREPOSITIONS: &[&str] = &[
-    "in", "on", "at", "by", "for", "with", "about", "against", "between", "into", "through",
-    "during", "before", "after", "above", "below", "from", "up", "down", "of", "off", "over",
-    "under", "near", "since", "until", "amid", "among", "across", "toward", "towards", "despite",
-    "because", "although", "while", "whether", "if", "than", "as", "per", "via", "within",
-    "without", "around", "behind", "beyond", "throughout",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "about",
+    "against",
+    "between",
+    "into",
+    "through",
+    "during",
+    "before",
+    "after",
+    "above",
+    "below",
+    "from",
+    "up",
+    "down",
+    "of",
+    "off",
+    "over",
+    "under",
+    "near",
+    "since",
+    "until",
+    "amid",
+    "among",
+    "across",
+    "toward",
+    "towards",
+    "despite",
+    "because",
+    "although",
+    "while",
+    "whether",
+    "if",
+    "than",
+    "as",
+    "per",
+    "via",
+    "within",
+    "without",
+    "around",
+    "behind",
+    "beyond",
+    "throughout",
 ];
 
 /// Personal and demonstrative pronouns (PRP).
 pub const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "him", "them", "me", "us", "himself", "herself",
-    "itself", "themselves", "who", "whom", "which", "whose",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "him",
+    "them",
+    "me",
+    "us",
+    "himself",
+    "herself",
+    "itself",
+    "themselves",
+    "who",
+    "whom",
+    "which",
+    "whose",
 ];
 
 /// Coordinating conjunctions (CC).
 pub const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "yet", "so", "plus"];
 
 /// Modal verbs (MD).
-pub const MODALS: &[&str] =
-    &["can", "could", "may", "might", "must", "shall", "should", "will", "would"];
+pub const MODALS: &[&str] = &[
+    "can", "could", "may", "might", "must", "shall", "should", "will", "would",
+];
 
 /// Forms of *be*, *have*, *do* (auxiliaries; tagged as verbs with the right
 /// inflection).
@@ -43,11 +103,49 @@ pub const AUX_DO: &[&str] = &["do", "does", "did", "doing", "done"];
 
 /// Negation and frequent adverbs (RB).
 pub const ADVERBS: &[&str] = &[
-    "not", "n't", "never", "always", "often", "already", "still", "also", "now", "then", "here",
-    "there", "recently", "quickly", "sharply", "steadily", "reportedly", "increasingly", "soon",
-    "currently", "officially", "publicly", "again", "abroad", "together", "however", "meanwhile",
-    "once", "twice", "later", "earlier", "today", "yesterday", "tomorrow", "very", "too", "quite",
-    "rather", "significantly", "roughly", "nearly", "almost", "heavily",
+    "not",
+    "n't",
+    "never",
+    "always",
+    "often",
+    "already",
+    "still",
+    "also",
+    "now",
+    "then",
+    "here",
+    "there",
+    "recently",
+    "quickly",
+    "sharply",
+    "steadily",
+    "reportedly",
+    "increasingly",
+    "soon",
+    "currently",
+    "officially",
+    "publicly",
+    "again",
+    "abroad",
+    "together",
+    "however",
+    "meanwhile",
+    "once",
+    "twice",
+    "later",
+    "earlier",
+    "today",
+    "yesterday",
+    "tomorrow",
+    "very",
+    "too",
+    "quite",
+    "rather",
+    "significantly",
+    "roughly",
+    "nearly",
+    "almost",
+    "heavily",
 ];
 
 /// Verb lemma table: `(base, third-singular, past, gerund, past-participle)`.
@@ -58,7 +156,13 @@ pub const ADVERBS: &[&str] = &[
 /// real corpus share English.
 pub const VERB_TABLE: &[(&str, &str, &str, &str, &str)] = &[
     ("acquire", "acquires", "acquired", "acquiring", "acquired"),
-    ("announce", "announces", "announced", "announcing", "announced"),
+    (
+        "announce",
+        "announces",
+        "announced",
+        "announcing",
+        "announced",
+    ),
     ("approve", "approves", "approved", "approving", "approved"),
     ("ban", "bans", "banned", "banning", "banned"),
     ("base", "bases", "based", "basing", "based"),
@@ -68,13 +172,37 @@ pub const VERB_TABLE: &[(&str, &str, &str, &str, &str)] = &[
     ("buy", "buys", "bought", "buying", "bought"),
     ("call", "calls", "called", "calling", "called"),
     ("compete", "competes", "competed", "competing", "competed"),
-    ("confirm", "confirms", "confirmed", "confirming", "confirmed"),
+    (
+        "confirm",
+        "confirms",
+        "confirmed",
+        "confirming",
+        "confirmed",
+    ),
     ("cost", "costs", "cost", "costing", "cost"),
     ("create", "creates", "created", "creating", "created"),
-    ("deliver", "delivers", "delivered", "delivering", "delivered"),
-    ("demonstrate", "demonstrates", "demonstrated", "demonstrating", "demonstrated"),
+    (
+        "deliver",
+        "delivers",
+        "delivered",
+        "delivering",
+        "delivered",
+    ),
+    (
+        "demonstrate",
+        "demonstrates",
+        "demonstrated",
+        "demonstrating",
+        "demonstrated",
+    ),
     ("deploy", "deploys", "deployed", "deploying", "deployed"),
-    ("develop", "develops", "developed", "developing", "developed"),
+    (
+        "develop",
+        "develops",
+        "developed",
+        "developing",
+        "developed",
+    ),
     ("employ", "employs", "employed", "employing", "employed"),
     ("expand", "expands", "expanded", "expanding", "expanded"),
     ("face", "faces", "faced", "facing", "faced"),
@@ -84,32 +212,74 @@ pub const VERB_TABLE: &[(&str, &str, &str, &str, &str)] = &[
     ("found", "founds", "founded", "founding", "founded"),
     ("fund", "funds", "funded", "funding", "funded"),
     ("grow", "grows", "grew", "growing", "grown"),
-    ("headquarter", "headquarters", "headquartered", "headquartering", "headquartered"),
+    (
+        "headquarter",
+        "headquarters",
+        "headquartered",
+        "headquartering",
+        "headquartered",
+    ),
     ("hire", "hires", "hired", "hiring", "hired"),
     ("hold", "holds", "held", "holding", "held"),
-    ("introduce", "introduces", "introduced", "introducing", "introduced"),
+    (
+        "introduce",
+        "introduces",
+        "introduced",
+        "introducing",
+        "introduced",
+    ),
     ("invest", "invests", "invested", "investing", "invested"),
-    ("investigate", "investigates", "investigated", "investigating", "investigated"),
+    (
+        "investigate",
+        "investigates",
+        "investigated",
+        "investigating",
+        "investigated",
+    ),
     ("join", "joins", "joined", "joining", "joined"),
     ("launch", "launches", "launched", "launching", "launched"),
     ("lead", "leads", "led", "leading", "led"),
     ("list", "lists", "listed", "listing", "listed"),
     ("locate", "locates", "located", "locating", "located"),
     ("make", "makes", "made", "making", "made"),
-    ("manufacture", "manufactures", "manufactured", "manufacturing", "manufactured"),
+    (
+        "manufacture",
+        "manufactures",
+        "manufactured",
+        "manufacturing",
+        "manufactured",
+    ),
     ("merge", "merges", "merged", "merging", "merged"),
     ("move", "moves", "moved", "moving", "moved"),
     ("open", "opens", "opened", "opening", "opened"),
     ("operate", "operates", "operated", "operating", "operated"),
     ("own", "owns", "owned", "owning", "owned"),
-    ("partner", "partners", "partnered", "partnering", "partnered"),
+    (
+        "partner",
+        "partners",
+        "partnered",
+        "partnering",
+        "partnered",
+    ),
     ("plan", "plans", "planned", "planning", "planned"),
     ("produce", "produces", "produced", "producing", "produced"),
-    ("purchase", "purchases", "purchased", "purchasing", "purchased"),
+    (
+        "purchase",
+        "purchases",
+        "purchased",
+        "purchasing",
+        "purchased",
+    ),
     ("raise", "raises", "raised", "raising", "raised"),
     ("reach", "reaches", "reached", "reaching", "reached"),
     ("receive", "receives", "received", "receiving", "received"),
-    ("regulate", "regulates", "regulated", "regulating", "regulated"),
+    (
+        "regulate",
+        "regulates",
+        "regulated",
+        "regulating",
+        "regulated",
+    ),
     ("release", "releases", "released", "releasing", "released"),
     ("report", "reports", "reported", "reporting", "reported"),
     ("rise", "rises", "rose", "rising", "risen"),
@@ -133,40 +303,224 @@ pub const VERB_TABLE: &[(&str, &str, &str, &str, &str)] = &[
 /// Frequent common nouns of the register (NN); plural forms are derived by
 /// the tagger's suffix rules.
 pub const COMMON_NOUNS: &[&str] = &[
-    "drone", "company", "startup", "firm", "market", "technology", "product", "device",
-    "aircraft", "regulator", "agency", "deal", "merger", "acquisition", "revenue", "profit",
-    "loss", "share", "stock", "investor", "analyst", "report", "article", "quarter", "year",
-    "month", "week", "camera", "sensor", "battery", "software", "hardware", "platform",
-    "service", "customer", "partner", "rival", "competitor", "industry", "sector", "safety",
-    "issue", "concern", "application", "operation", "pilot", "flight", "delivery", "package",
-    "farm", "field", "inspection", "surveillance", "police", "military", "headquarters",
-    "factory", "office", "city", "country", "region", "price", "sale", "growth", "decline",
-    "executive", "founder", "chief", "president", "spokesman", "spokeswoman", "employee",
-    "worker", "engineer", "researcher", "university", "lab", "patent", "license", "rule",
-    "regulation", "law", "bill", "ban", "approval", "permit", "test", "trial", "program",
-    "project", "initiative", "fund", "funding", "investment", "round", "valuation", "unit",
-    "division", "subsidiary", "brand", "model", "series", "version", "launch", "release",
-    "statement", "interview", "conference", "event", "demonstration", "crash", "incident",
-    "accident", "airspace", "airport", "propeller", "rotor", "payload", "range", "altitude",
+    "drone",
+    "company",
+    "startup",
+    "firm",
+    "market",
+    "technology",
+    "product",
+    "device",
+    "aircraft",
+    "regulator",
+    "agency",
+    "deal",
+    "merger",
+    "acquisition",
+    "revenue",
+    "profit",
+    "loss",
+    "share",
+    "stock",
+    "investor",
+    "analyst",
+    "report",
+    "article",
+    "quarter",
+    "year",
+    "month",
+    "week",
+    "camera",
+    "sensor",
+    "battery",
+    "software",
+    "hardware",
+    "platform",
+    "service",
+    "customer",
+    "partner",
+    "rival",
+    "competitor",
+    "industry",
+    "sector",
+    "safety",
+    "issue",
+    "concern",
+    "application",
+    "operation",
+    "pilot",
+    "flight",
+    "delivery",
+    "package",
+    "farm",
+    "field",
+    "inspection",
+    "surveillance",
+    "police",
+    "military",
+    "headquarters",
+    "factory",
+    "office",
+    "city",
+    "country",
+    "region",
+    "price",
+    "sale",
+    "growth",
+    "decline",
+    "executive",
+    "founder",
+    "chief",
+    "president",
+    "spokesman",
+    "spokeswoman",
+    "employee",
+    "worker",
+    "engineer",
+    "researcher",
+    "university",
+    "lab",
+    "patent",
+    "license",
+    "rule",
+    "regulation",
+    "law",
+    "bill",
+    "ban",
+    "approval",
+    "permit",
+    "test",
+    "trial",
+    "program",
+    "project",
+    "initiative",
+    "fund",
+    "funding",
+    "investment",
+    "round",
+    "valuation",
+    "unit",
+    "division",
+    "subsidiary",
+    "brand",
+    "model",
+    "series",
+    "version",
+    "launch",
+    "release",
+    "statement",
+    "interview",
+    "conference",
+    "event",
+    "demonstration",
+    "crash",
+    "incident",
+    "accident",
+    "airspace",
+    "airport",
+    "propeller",
+    "rotor",
+    "payload",
+    "range",
+    "altitude",
 ];
 
 /// Frequent adjectives (JJ).
 pub const ADJECTIVES: &[&str] = &[
-    "new", "big", "large", "small", "major", "minor", "global", "local", "national",
-    "international", "commercial", "civilian", "military", "public", "private", "leading",
-    "emerging", "novel", "early", "late", "recent", "next", "last", "first", "second", "third",
-    "chief", "senior", "former", "current", "potential", "strategic", "financial", "technical",
-    "autonomous", "unmanned", "aerial", "agricultural", "industrial", "consumer", "profitable",
-    "strong", "weak", "high", "low", "fast", "slow", "safe", "unsafe", "popular", "key",
-    "top", "latest", "annual", "quarterly", "chinese", "american", "french", "japanese",
-    "european", "federal", "regulatory", "rapid", "steady",
+    "new",
+    "big",
+    "large",
+    "small",
+    "major",
+    "minor",
+    "global",
+    "local",
+    "national",
+    "international",
+    "commercial",
+    "civilian",
+    "military",
+    "public",
+    "private",
+    "leading",
+    "emerging",
+    "novel",
+    "early",
+    "late",
+    "recent",
+    "next",
+    "last",
+    "first",
+    "second",
+    "third",
+    "chief",
+    "senior",
+    "former",
+    "current",
+    "potential",
+    "strategic",
+    "financial",
+    "technical",
+    "autonomous",
+    "unmanned",
+    "aerial",
+    "agricultural",
+    "industrial",
+    "consumer",
+    "profitable",
+    "strong",
+    "weak",
+    "high",
+    "low",
+    "fast",
+    "slow",
+    "safe",
+    "unsafe",
+    "popular",
+    "key",
+    "top",
+    "latest",
+    "annual",
+    "quarterly",
+    "chinese",
+    "american",
+    "french",
+    "japanese",
+    "european",
+    "federal",
+    "regulatory",
+    "rapid",
+    "steady",
 ];
 
 /// Temporal nouns that the SRL stage maps to AM-TMP roles.
 pub const TEMPORAL_NOUNS: &[&str] = &[
-    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday", "january",
-    "february", "march", "april", "may", "june", "july", "august", "september", "october",
-    "november", "december", "today", "yesterday", "tomorrow", "quarter", "year", "month", "week",
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+    "today",
+    "yesterday",
+    "tomorrow",
+    "quarter",
+    "year",
+    "month",
+    "week",
 ];
 
 /// Stopwords for bag-of-words construction (union of the closed classes plus
@@ -180,7 +534,10 @@ pub fn is_stopword(lower: &str) -> bool {
         || AUX_BE.contains(&lower)
         || AUX_HAVE.contains(&lower)
         || AUX_DO.contains(&lower)
-        || matches!(lower, "to" | "s" | "t" | "will" | "one" | "two" | "also" | "said" | "says")
+        || matches!(
+            lower,
+            "to" | "s" | "t" | "will" | "one" | "two" | "also" | "said" | "says"
+        )
 }
 
 /// Look up a verb form. Returns `(lemma, form)` where `form` is one of
@@ -256,7 +613,11 @@ mod tests {
             .chain(ADJECTIVES)
             .chain(TEMPORAL_NOUNS);
         for w in all {
-            assert_eq!(w.to_lowercase().as_str(), *w, "lexicon entry not lowercase: {w}");
+            assert_eq!(
+                w.to_lowercase().as_str(),
+                *w,
+                "lexicon entry not lowercase: {w}"
+            );
         }
     }
 

@@ -78,13 +78,40 @@ impl Gazetteer {
 }
 
 const ORG_SUFFIXES: &[&str] = &[
-    "inc", "inc.", "corp", "corp.", "co", "co.", "ltd", "ltd.", "llc", "group", "technologies",
-    "technology", "systems", "robotics", "aviation", "aerospace", "labs", "industries",
-    "holdings", "partners", "capital", "ventures", "journal", "times", "agency", "administration",
-    "commission", "university", "institute",
+    "inc",
+    "inc.",
+    "corp",
+    "corp.",
+    "co",
+    "co.",
+    "ltd",
+    "ltd.",
+    "llc",
+    "group",
+    "technologies",
+    "technology",
+    "systems",
+    "robotics",
+    "aviation",
+    "aerospace",
+    "labs",
+    "industries",
+    "holdings",
+    "partners",
+    "capital",
+    "ventures",
+    "journal",
+    "times",
+    "agency",
+    "administration",
+    "commission",
+    "university",
+    "institute",
 ];
 
-const HONORIFICS: &[&str] = &["mr", "mr.", "mrs", "mrs.", "ms", "ms.", "dr", "dr.", "prof", "prof."];
+const HONORIFICS: &[&str] = &[
+    "mr", "mr.", "mrs", "mrs.", "ms", "ms.", "dr", "dr.", "prof", "prof.",
+];
 
 const LOCATION_CUES: &[&str] = &[
     "city", "county", "province", "state", "valley", "region", "district", "island", "port",
@@ -186,7 +213,13 @@ fn mention_from_np(tagged: &[Tagged], np: &Chunk, gazetteer: &Gazetteer) -> Opti
         full
     };
 
-    Some(Mention { text, entity_type: ty, start, end: e, from_gazetteer })
+    Some(Mention {
+        text,
+        entity_type: ty,
+        start,
+        end: e,
+        from_gazetteer,
+    })
 }
 
 #[cfg(test)]
@@ -229,7 +262,10 @@ mod tests {
     #[test]
     fn honorific_person_heuristic() {
         let m = detect("Analysts praised Mr. Wang yesterday.", &Gazetteer::new());
-        let person = m.iter().find(|x| x.entity_type == EntityType::Person).unwrap();
+        let person = m
+            .iter()
+            .find(|x| x.entity_type == EntityType::Person)
+            .unwrap();
         assert_eq!(person.text, "Wang", "honorific stripped");
     }
 
@@ -250,8 +286,14 @@ mod tests {
 
     #[test]
     fn multiword_proper_sequence() {
-        let m = detect("The Wall Street Journal reported the deal.", &Gazetteer::new());
-        assert!(m.iter().any(|x| x.text == "Wall Street Journal"), "got {m:?}");
+        let m = detect(
+            "The Wall Street Journal reported the deal.",
+            &Gazetteer::new(),
+        );
+        assert!(
+            m.iter().any(|x| x.text == "Wall Street Journal"),
+            "got {m:?}"
+        );
     }
 
     #[test]

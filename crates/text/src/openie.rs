@@ -25,7 +25,11 @@ pub struct ExtractionSpan {
 
 impl ExtractionSpan {
     fn from_chunk(c: &Chunk) -> Self {
-        Self { start: c.start, end: c.end, text: c.text.clone() }
+        Self {
+            start: c.start,
+            end: c.end,
+            text: c.text.clone(),
+        }
     }
 }
 
@@ -92,12 +96,16 @@ fn vg_is_negated(tagged: &[Tagged], vg: &Chunk) -> bool {
 }
 
 fn vg_is_passive(tagged: &[Tagged], vg: &Chunk) -> bool {
-    let has_be = tagged[vg.start..vg.end].iter().any(|t| t.lemma.as_deref() == Some("be"));
+    let has_be = tagged[vg.start..vg.end]
+        .iter()
+        .any(|t| t.lemma.as_deref() == Some("be"));
     has_be && tagged[vg.head].tag == Tag::VBN
 }
 
 fn is_proper(tagged: &[Tagged], span: &ExtractionSpan) -> bool {
-    tagged[span.start..span.end].iter().any(|t| t.tag == Tag::NNP)
+    tagged[span.start..span.end]
+        .iter()
+        .any(|t| t.tag == Tag::NNP)
 }
 
 fn confidence(
@@ -147,7 +155,10 @@ pub fn extract(tagged: &[Tagged], cfg: &ExtractorConfig) -> Vec<RawTriple> {
         let object = nps.iter().find(|np| np.start >= k);
         let Some(object) = object else { continue };
         // Too far away: an intervening verb group breaks the attachment.
-        if vgs.iter().any(|v| v.start >= vg.end && v.end <= object.start) {
+        if vgs
+            .iter()
+            .any(|v| v.start >= vg.end && v.end <= object.start)
+        {
             continue;
         }
 
@@ -298,7 +309,11 @@ fn starts_with_indef_article(tagged: &[Tagged], np: &Chunk) -> bool {
 }
 
 fn render_vg(tagged: &[Tagged], vg: &Chunk) -> String {
-    tagged[vg.start..vg.end].iter().map(|t| t.token.text.as_str()).collect::<Vec<_>>().join(" ")
+    tagged[vg.start..vg.end]
+        .iter()
+        .map(|t| t.token.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -343,7 +358,10 @@ mod tests {
 
     #[test]
     fn passive_without_inversion_keeps_prep_form() {
-        let cfg = ExtractorConfig { passive_inversion: false, ..Default::default() };
+        let cfg = ExtractorConfig {
+            passive_inversion: false,
+            ..Default::default()
+        };
         let t = extract(&tag(&tokenize("Accel was acquired by DJI.")), &cfg);
         let tr = find(&t, "acquire_by").unwrap();
         assert_eq!(tr.subject.text, "Accel");
@@ -397,7 +415,10 @@ mod tests {
 
     #[test]
     fn min_confidence_filters() {
-        let cfg = ExtractorConfig { min_confidence: 0.99, ..Default::default() };
+        let cfg = ExtractorConfig {
+            min_confidence: 0.99,
+            ..Default::default()
+        };
         assert!(extract(&tag(&tokenize("DJI acquired Accel.")), &cfg).is_empty());
     }
 
@@ -419,7 +440,9 @@ mod tests {
             ..Default::default()
         };
         let t = extract(
-            &tag(&tokenize("DJI's Phantom, a camera drone, flew in Shenzhen.")),
+            &tag(&tokenize(
+                "DJI's Phantom, a camera drone, flew in Shenzhen.",
+            )),
             &cfg,
         );
         assert!(find(&t, "has").is_none());

@@ -60,8 +60,7 @@ pub fn analyze(text: &str, gazetteer: &Gazetteer, cfg: &ExtractorConfig) -> Anal
             resolutions.iter().filter(|r| r.sentence == sidx).collect();
         let mut triples = crate::openie::extract(&tagged, cfg);
         for t in &mut triples {
-            t.subject.text =
-                substitute(t.subject.start, t.subject.end, &t.subject.text, &sent_res);
+            t.subject.text = substitute(t.subject.start, t.subject.end, &t.subject.text, &sent_res);
             t.object.text = substitute(t.object.start, t.object.end, &t.object.text, &sent_res);
             for (_, arg) in &mut t.extra_args {
                 arg.text = substitute(arg.start, arg.end, &arg.text, &sent_res);
@@ -71,9 +70,10 @@ pub fn analyze(text: &str, gazetteer: &Gazetteer, cfg: &ExtractorConfig) -> Anal
         for f in &mut frames {
             // Frames were built from unsubstituted tuples; align them with
             // the substituted triples by position.
-            if let Some(t) = triples.iter().find(|t| {
-                t.predicate == f.predicate && t.confidence == f.confidence
-            }) {
+            if let Some(t) = triples
+                .iter()
+                .find(|t| t.predicate == f.predicate && t.confidence == f.confidence)
+            {
                 f.a0 = t.subject.text.clone();
                 f.a1 = t.object.text.clone();
             }
@@ -86,7 +86,10 @@ pub fn analyze(text: &str, gazetteer: &Gazetteer, cfg: &ExtractorConfig) -> Anal
             frames,
         });
     }
-    AnalyzedDoc { sentences, resolutions }
+    AnalyzedDoc {
+        sentences,
+        resolutions,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +155,11 @@ mod tests {
 
     #[test]
     fn mentions_present_per_sentence() {
-        let doc = analyze("DJI competes with Parrot.", &gaz(), &ExtractorConfig::default());
+        let doc = analyze(
+            "DJI competes with Parrot.",
+            &gaz(),
+            &ExtractorConfig::default(),
+        );
         assert!(doc.sentences[0].mentions.iter().any(|m| m.text == "DJI"));
     }
 

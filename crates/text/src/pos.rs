@@ -83,7 +83,10 @@ fn singular_of(lower: &str) -> Option<String> {
             return Some(format!("{stem}{}", &suf[..suf.len() - 2]));
         }
     }
-    lower.strip_suffix('s').filter(|s| !s.is_empty()).map(str::to_owned)
+    lower
+        .strip_suffix('s')
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
 }
 
 /// Tag by lexicon lookup and surface shape, ignoring context.
@@ -96,13 +99,19 @@ fn lexical_tag(tok: &Token, sentence_initial: bool) -> (Tag, Option<String>) {
     }
     let lower = tok.lower();
     // Strip possessive for lookup purposes ("DJI's" -> "DJI").
-    let bare = lower.strip_suffix("'s").or_else(|| lower.strip_suffix("’s")).unwrap_or(&lower);
+    let bare = lower
+        .strip_suffix("'s")
+        .or_else(|| lower.strip_suffix("’s"))
+        .unwrap_or(&lower);
 
     if bare == "to" {
         return (Tag::TO, None);
     }
     // Negative contractions: resolve the auxiliary ("didn't" -> did).
-    if let Some(stem) = bare.strip_suffix("n't").or_else(|| bare.strip_suffix("n’t")) {
+    if let Some(stem) = bare
+        .strip_suffix("n't")
+        .or_else(|| bare.strip_suffix("n’t"))
+    {
         let full = match stem {
             "ca" => "can",
             "wo" => "will",
@@ -123,7 +132,11 @@ fn lexical_tag(tok: &Token, sentence_initial: bool) -> (Tag, Option<String>) {
             return (tag, Some("do".to_owned()));
         }
         if lexicon::AUX_BE.contains(&full) {
-            let tag = if matches!(full, "is" | "are") { Tag::VBZ } else { Tag::VBD };
+            let tag = if matches!(full, "is" | "are") {
+                Tag::VBZ
+            } else {
+                Tag::VBD
+            };
             return (tag, Some("be".to_owned()));
         }
         if lexicon::AUX_HAVE.contains(&full) {
@@ -222,12 +235,17 @@ fn lexical_tag(tok: &Token, sentence_initial: bool) -> (Tag, Option<String>) {
         if bare.ends_with("ed") {
             return (Tag::VBN, None);
         }
-        if ["ous", "ful", "ive", "ble", "ish", "ant", "ent"].iter().any(|s| bare.ends_with(s)) {
-            return (Tag::JJ, None);
-        }
-        if ["tion", "sion", "ment", "ness", "ship", "ism", "ure", "ance", "ence"]
+        if ["ous", "ful", "ive", "ble", "ish", "ant", "ent"]
             .iter()
             .any(|s| bare.ends_with(s))
+        {
+            return (Tag::JJ, None);
+        }
+        if [
+            "tion", "sion", "ment", "ness", "ship", "ism", "ure", "ance", "ence",
+        ]
+        .iter()
+        .any(|s| bare.ends_with(s))
         {
             return (Tag::NN, None);
         }
@@ -244,7 +262,11 @@ pub fn tag(tokens: &[Token]) -> Vec<Tagged> {
     let mut out: Vec<Tagged> = Vec::with_capacity(tokens.len());
     for (i, tok) in tokens.iter().enumerate() {
         let (tag, lemma) = lexical_tag(tok, i == 0);
-        out.push(Tagged { token: tok.clone(), tag, lemma });
+        out.push(Tagged {
+            token: tok.clone(),
+            tag,
+            lemma,
+        });
     }
     // Context repairs.
     for i in 0..out.len() {
@@ -340,7 +362,15 @@ mod tests {
     fn numbers_and_symbols() {
         assert_eq!(
             tags("Shares rose 20 % in 2015."),
-            vec![Tag::NNS, Tag::VBD, Tag::CD, Tag::Sym, Tag::IN, Tag::CD, Tag::Punct]
+            vec![
+                Tag::NNS,
+                Tag::VBD,
+                Tag::CD,
+                Tag::Sym,
+                Tag::IN,
+                Tag::CD,
+                Tag::Punct
+            ]
         );
     }
 

@@ -103,11 +103,12 @@ pub fn split_sentences(text: &str) -> Vec<Sentence> {
                 // Heuristic: treat "U.S. The" as a boundary only when the
                 // next word is a common sentence opener; otherwise assume
                 // the acronym modifies what follows ("U.S. Army").
-                let rest: String =
-                    chars[k..].iter().map(|(_, c)| *c).take(12).collect();
-                let opener = ["The ", "It ", "A ", "In ", "On ", "But ", "He ", "She ", "They "]
-                    .iter()
-                    .any(|o| rest.starts_with(o));
+                let rest: String = chars[k..].iter().map(|(_, c)| *c).take(12).collect();
+                let opener = [
+                    "The ", "It ", "A ", "In ", "On ", "But ", "He ", "She ", "They ",
+                ]
+                .iter()
+                .any(|o| rest.starts_with(o));
                 if !opener {
                     i += 1;
                     continue;

@@ -65,7 +65,10 @@ fn frame_of(tagged: &[Tagged], t: &RawTriple) -> Frame {
 
 /// Label all frames in a tagged sentence.
 pub fn label(tagged: &[Tagged], cfg: &ExtractorConfig) -> Vec<Frame> {
-    openie::extract(tagged, cfg).iter().map(|t| frame_of(tagged, t)).collect()
+    openie::extract(tagged, cfg)
+        .iter()
+        .map(|t| frame_of(tagged, t))
+        .collect()
 }
 
 #[cfg(test)]

@@ -68,10 +68,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                 let cj = bytes[j].1;
                 if cj.is_ascii_digit() {
                     j += 1;
-                } else if (cj == ',' || cj == '.')
-                    && j + 1 < n
-                    && bytes[j + 1].1.is_ascii_digit()
-                {
+                } else if (cj == ',' || cj == '.') && j + 1 < n && bytes[j + 1].1.is_ascii_digit() {
                     j += 2;
                 } else {
                     break;
@@ -133,7 +130,12 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         } else {
             TokenKind::Punct
         };
-        tokens.push(Token { text: text[start..end].to_owned(), kind, start, end });
+        tokens.push(Token {
+            text: text[start..end].to_owned(),
+            kind,
+            start,
+            end,
+        });
         i += 1;
     }
     tokens
@@ -141,8 +143,9 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 
 /// Words whose trailing period belongs to the token (honorifics and
 /// corporate suffixes), so NER sees "Mr." / "Inc." as single units.
-const DOTTED_ABBREVS: &[&str] =
-    &["mr", "mrs", "ms", "dr", "prof", "inc", "corp", "ltd", "co", "jr", "sr", "st", "no", "vs"];
+const DOTTED_ABBREVS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "inc", "corp", "ltd", "co", "jr", "sr", "st", "no", "vs",
+];
 
 /// `U.S` / `U.K` / `a.m` shapes (alternating short letters and periods), or
 /// a known dotted abbreviation like `Mr` / `Inc`.
@@ -151,7 +154,10 @@ fn looks_like_abbrev(s: &str) -> bool {
         return true;
     }
     let parts: Vec<&str> = s.split('.').collect();
-    parts.len() >= 2 && parts.iter().all(|p| p.chars().count() <= 2 && !p.is_empty())
+    parts.len() >= 2
+        && parts
+            .iter()
+            .all(|p| p.chars().count() <= 2 && !p.is_empty())
 }
 
 #[cfg(test)]

@@ -26,7 +26,13 @@ fn triples(text: &str) -> Vec<(String, String, String)> {
         .sentences
         .iter()
         .flat_map(|s| s.triples.iter())
-        .map(|t| (t.subject.text.clone(), t.predicate.clone(), t.object.text.clone()))
+        .map(|t| {
+            (
+                t.subject.text.clone(),
+                t.predicate.clone(),
+                t.object.text.clone(),
+            )
+        })
         .collect()
 }
 
@@ -38,14 +44,14 @@ fn full_article_with_coref_chain() {
     let ts = triples(article);
     // Sentence 1: location.
     assert!(
-        ts.iter().any(|(s, p, o)| s == "Apex Robotics" && p == "base_in" && o == "Shenzhen"),
+        ts.iter()
+            .any(|(s, p, o)| s == "Apex Robotics" && p == "base_in" && o == "Shenzhen"),
         "{ts:?}"
     );
     // Sentence 2: definite nominal "The company" resolves to Apex Robotics.
     assert!(
-        ts.iter().any(|(s, p, o)| s == "Apex Robotics"
-            && p == "manufacture"
-            && o.contains("Phantom")),
+        ts.iter()
+            .any(|(s, p, o)| s == "Apex Robotics" && p == "manufacture" && o.contains("Phantom")),
         "{ts:?}"
     );
     // Sentence 3: pronoun "It" resolves to Apex Robotics.
@@ -58,11 +64,11 @@ fn full_article_with_coref_chain() {
 
 #[test]
 fn person_chain_through_he() {
-    let article =
-        "Frank Wang founded Apex Robotics. He launched the Phantom 4 in Shenzhen.";
+    let article = "Frank Wang founded Apex Robotics. He launched the Phantom 4 in Shenzhen.";
     let ts = triples(article);
     assert!(
-        ts.iter().any(|(s, p, o)| s == "Frank Wang" && p == "found" && o == "Apex Robotics"),
+        ts.iter()
+            .any(|(s, p, o)| s == "Frank Wang" && p == "found" && o == "Apex Robotics"),
         "{ts:?}"
     );
     assert!(
@@ -104,7 +110,11 @@ fn mentions_carry_gazetteer_types_across_sentences() {
         &gaz(),
         &ExtractorConfig::default(),
     );
-    let all: Vec<_> = doc.sentences.iter().flat_map(|s| s.mentions.iter()).collect();
+    let all: Vec<_> = doc
+        .sentences
+        .iter()
+        .flat_map(|s| s.mentions.iter())
+        .collect();
     let ty = |name: &str| all.iter().find(|m| m.text == name).map(|m| m.entity_type);
     assert_eq!(ty("Apex Robotics"), Some(EntityType::Organization));
     assert_eq!(ty("Frank Wang"), Some(EntityType::Person));

@@ -69,12 +69,19 @@ fn tagger_accuracy_floor_on_news_register() {
             if t.tag == *want {
                 correct += 1;
             } else {
-                errors.push(format!("{sentence:?}: {} tagged {:?}, want {want:?}", t.token.text, t.tag));
+                errors.push(format!(
+                    "{sentence:?}: {} tagged {:?}, want {want:?}",
+                    t.token.text, t.tag
+                ));
             }
         }
     }
     let acc = correct as f64 / total as f64;
-    assert!(acc >= 0.9, "accuracy {acc:.2} below floor; errors:\n{}", errors.join("\n"));
+    assert!(
+        acc >= 0.9,
+        "accuracy {acc:.2} below floor; errors:\n{}",
+        errors.join("\n")
+    );
 }
 
 #[test]

@@ -33,7 +33,13 @@ pub struct LdaConfig {
 
 impl Default for LdaConfig {
     fn default() -> Self {
-        Self { topics: 6, alpha: 0.5, beta: 0.01, iterations: 120, seed: 42 }
+        Self {
+            topics: 6,
+            alpha: 0.5,
+            beta: 0.01,
+            iterations: 120,
+            seed: 42,
+        }
     }
 }
 
@@ -144,7 +150,14 @@ impl LdaModel {
             .map(|counts| normalise(counts, cfg.alpha))
             .collect();
 
-        LdaModel { cfg: cfg.clone(), vocab, term_index, topic_term, topic_totals, doc_topics }
+        LdaModel {
+            cfg: cfg.clone(),
+            vocab,
+            term_index,
+            topic_term,
+            topic_totals,
+            doc_topics,
+        }
     }
 
     pub fn num_topics(&self) -> usize {
@@ -258,7 +271,13 @@ mod tests {
     #[test]
     fn distributions_are_normalised() {
         let docs = two_topic_corpus();
-        let model = LdaModel::fit(&docs, &LdaConfig { topics: 2, ..Default::default() });
+        let model = LdaModel::fit(
+            &docs,
+            &LdaConfig {
+                topics: 2,
+                ..Default::default()
+            },
+        );
         for d in 0..docs.len() {
             let p = model.doc_distribution(d);
             assert_eq!(p.len(), 2);
@@ -270,7 +289,13 @@ mod tests {
     #[test]
     fn recovers_two_topic_structure() {
         let docs = two_topic_corpus();
-        let model = LdaModel::fit(&docs, &LdaConfig { topics: 2, ..Default::default() });
+        let model = LdaModel::fit(
+            &docs,
+            &LdaConfig {
+                topics: 2,
+                ..Default::default()
+            },
+        );
         // Same-class documents must be closer than cross-class ones.
         let d_same = js_divergence(model.doc_distribution(0), model.doc_distribution(2));
         let d_cross = js_divergence(model.doc_distribution(0), model.doc_distribution(1));
@@ -283,7 +308,13 @@ mod tests {
     #[test]
     fn fold_in_matches_training_class() {
         let docs = two_topic_corpus();
-        let model = LdaModel::fit(&docs, &LdaConfig { topics: 2, ..Default::default() });
+        let model = LdaModel::fit(
+            &docs,
+            &LdaConfig {
+                topics: 2,
+                ..Default::default()
+            },
+        );
         let mut unseen = BagOfWords::new();
         for w in ["crop", "farm", "harvest"] {
             unseen.add(w, 3);
@@ -297,7 +328,13 @@ mod tests {
     #[test]
     fn infer_with_unknown_vocab_is_uniform() {
         let docs = two_topic_corpus();
-        let model = LdaModel::fit(&docs, &LdaConfig { topics: 2, ..Default::default() });
+        let model = LdaModel::fit(
+            &docs,
+            &LdaConfig {
+                topics: 2,
+                ..Default::default()
+            },
+        );
         let mut unseen = BagOfWords::new();
         unseen.add("zzzzz", 5);
         let p = model.infer(&unseen, 20, 1);
@@ -307,7 +344,10 @@ mod tests {
     #[test]
     fn training_is_deterministic_in_seed() {
         let docs = two_topic_corpus();
-        let cfg = LdaConfig { topics: 3, ..Default::default() };
+        let cfg = LdaConfig {
+            topics: 3,
+            ..Default::default()
+        };
         let a = LdaModel::fit(&docs, &cfg);
         let b = LdaModel::fit(&docs, &cfg);
         assert_eq!(a.doc_distribution(0), b.doc_distribution(0));
@@ -316,7 +356,13 @@ mod tests {
     #[test]
     fn topic_terms_are_sorted_and_probabilistic() {
         let docs = two_topic_corpus();
-        let model = LdaModel::fit(&docs, &LdaConfig { topics: 2, ..Default::default() });
+        let model = LdaModel::fit(
+            &docs,
+            &LdaConfig {
+                topics: 2,
+                ..Default::default()
+            },
+        );
         for k in 0..2 {
             let terms = model.topic_terms(k, 5);
             assert_eq!(terms.len(), 5);
@@ -327,7 +373,13 @@ mod tests {
 
     #[test]
     fn empty_corpus_trains_trivially() {
-        let model = LdaModel::fit(&[], &LdaConfig { topics: 2, ..Default::default() });
+        let model = LdaModel::fit(
+            &[],
+            &LdaConfig {
+                topics: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(model.vocab_size(), 0);
         let p = model.infer(&BagOfWords::new(), 10, 0);
         assert_eq!(p, vec![0.5, 0.5]);

@@ -25,7 +25,11 @@ fn main() {
     let topics = kg.build_topic_index(&LdaConfig::default());
     let mut trends = TrendMonitor::new(
         WindowKind::Count { n: 400 },
-        MinerConfig { k_max: 2, min_support: 8, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 8,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     trends.observe(&kg);
     eprintln!(
@@ -56,7 +60,9 @@ fn main() {
         return;
     }
     // Read queries from stdin, one per line.
-    eprintln!("enter queries (TRENDING / ABOUT x / WHY a -> b / MATCH (T)-[p]->(T) / PATHS a TO b):");
+    eprintln!(
+        "enter queries (TRENDING / ABOUT x / WHY a -> b / MATCH (T)-[p]->(T) / PATHS a TO b):"
+    );
     for line in std::io::stdin().lock().lines() {
         match line {
             Ok(l) => run(&l),

@@ -33,13 +33,20 @@ fn main() {
         kg.graph.set_label(v, e.label);
         // Papers carry their field as a crisp topic distribution.
         let mut dist = vec![0.02; nous_corpus::vocab::Topic::ALL.len()];
-        let idx = nous_corpus::vocab::Topic::ALL.iter().position(|t| *t == e.topic).unwrap();
+        let idx = nous_corpus::vocab::Topic::ALL
+            .iter()
+            .position(|t| *t == e.topic)
+            .unwrap();
         dist[idx] = 1.0;
         topics.set(v, dist);
     }
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 400 },
-        MinerConfig { k_max: 2, min_support: 10, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 10,
+            eviction: EvictionStrategy::Eager,
+        },
     );
 
     println!("\nyear  window  top citation patterns");
@@ -79,7 +86,11 @@ fn main() {
     // Who cites the seminal paper?
     let seminal_v = kg.graph.vertex_id(&scenario.seminal).unwrap();
     let cites = kg.graph.predicate_id(CitePredicate::Cites.name()).unwrap();
-    let in_citations = kg.graph.in_edges(seminal_v).filter(|a| a.pred == cites).count();
+    let in_citations = kg
+        .graph
+        .in_edges(seminal_v)
+        .filter(|a| a.pred == cites)
+        .count();
     println!(
         "\nseminal paper {} accumulated {} citations (burst cluster: {} papers)",
         scenario.seminal,
@@ -96,7 +107,11 @@ fn main() {
             src,
             seminal_v,
             &PathConstraint::default(),
-            &QaConfig { max_hops: 3, k: 3, ..Default::default() },
+            &QaConfig {
+                max_hops: 3,
+                k: 3,
+                ..Default::default()
+            },
         );
         println!("\nwhy is {last} related to {}?", scenario.seminal);
         for p in paths {

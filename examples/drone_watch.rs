@@ -18,7 +18,8 @@ fn main() {
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
     kg.train_predictor();
     let mut pipeline = IngestPipeline::new(PipelineConfig::default());
-    pipeline.ingest_all(&mut kg, &articles);
+    // Micro-batched ingestion: parallel extraction, sequential KG updates.
+    pipeline.ingest_batch(&mut kg, &articles);
 
     // The watched entity: argv override, else the busiest company.
     let watched = std::env::args().nth(1).unwrap_or_else(|| {
@@ -26,7 +27,12 @@ fn main() {
             .companies
             .iter()
             .map(|&c| &world.entities[c].name)
-            .max_by_key(|n| kg.graph.vertex_id(n).map(|v| kg.graph.degree(v)).unwrap_or(0))
+            .max_by_key(|n| {
+                kg.graph
+                    .vertex_id(n)
+                    .map(|v| kg.graph.degree(v))
+                    .unwrap_or(0)
+            })
             .expect("non-empty world")
             .clone()
     });
@@ -56,8 +62,16 @@ fn main() {
     std::fs::write(&dot_path, &dot).expect("writable temp dir");
     std::fs::write(&json_path, &json).expect("writable temp dir");
     println!("\nneighbourhood exports:");
-    println!("  DOT  {} ({} bytes) — render with `dot -Tsvg`", dot_path.display(), dot.len());
-    println!("  JSON {} ({} bytes) — node-link format for web UIs", json_path.display(), json.len());
+    println!(
+        "  DOT  {} ({} bytes) — render with `dot -Tsvg`",
+        dot_path.display(),
+        dot.len()
+    );
+    println!(
+        "  JSON {} ({} bytes) — node-link format for web UIs",
+        json_path.display(),
+        json.len()
+    );
 
     // Figure 2's fused-provenance statistic for the neighbourhood.
     let stats = kg.graph.stats();

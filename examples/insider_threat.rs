@@ -34,7 +34,11 @@ fn main() {
     }
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 14 }, // two-week window
-        MinerConfig { k_max: 2, min_support: 4, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 4,
+            eviction: EvictionStrategy::Eager,
+        },
     );
 
     println!("\nday  window  exfiltration-motif support (closed patterns containing copiedTo)");

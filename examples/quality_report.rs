@@ -25,7 +25,12 @@ fn histogram(label: &str, values: &[f32]) {
     let max = buckets.iter().copied().max().unwrap_or(1).max(1);
     for (i, &count) in buckets.iter().enumerate() {
         let bar = "█".repeat(count * 40 / max);
-        println!("  {:.1}-{:.1} {:>6}  {bar}", i as f32 / 10.0, (i + 1) as f32 / 10.0, count);
+        println!(
+            "  {:.1}-{:.1} {:>6}  {bar}",
+            i as f32 / 10.0,
+            (i + 1) as f32 / 10.0,
+            count
+        );
     }
 }
 
@@ -70,8 +75,14 @@ fn main() {
         report.rejected,
         report.admission_rate()
     );
-    histogram("admitted confidence distribution", &pipeline.admitted_confidences);
-    histogram("rejected confidence distribution", &pipeline.rejected_confidences);
+    histogram(
+        "admitted confidence distribution",
+        &pipeline.admitted_confidences,
+    );
+    histogram(
+        "rejected confidence distribution",
+        &pipeline.rejected_confidences,
+    );
 
     println!("\n== graph structure ==");
     if let Some(d) = DegreeSummary::of(&kg.graph) {
@@ -88,9 +99,15 @@ fn main() {
 
     // Structure → quality sensitivity: sweep the corpus alias ambiguity.
     println!("\n== ambiguity sweep: how source structure influences output quality ==");
-    println!("{:<10} {:>10} {:>10} {:>10}", "ambiguity", "admitted", "recall", "kg-edges");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "ambiguity", "admitted", "recall", "kg-edges"
+    );
     for ambiguity in [0.0, 0.25, 0.5, 0.8] {
-        let wc = WorldConfig { ambiguity, ..Preset::Smoke.world_config() };
+        let wc = WorldConfig {
+            ambiguity,
+            ..Preset::Smoke.world_config()
+        };
         let world = World::generate(&wc);
         let kb = CuratedKb::generate(&world, 7);
         let mut sc = Preset::Smoke.stream_config();

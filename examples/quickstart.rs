@@ -29,16 +29,32 @@ fn main() {
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
     kg.train_predictor();
 
-    // 3. Stream every article through the Figure-1 pipeline.
-    let mut pipeline = IngestPipeline::new(PipelineConfig::default());
+    // 3. Stream every article through the Figure-1 pipeline. Extraction
+    // fans out across worker threads per micro-batch (NOUS_THREADS
+    // overrides the worker count); graph updates stay sequential in
+    // document order.
+    let cfg = PipelineConfig::default();
+    let workers = if cfg.extract_workers == 0 {
+        nous_graph::parallel::available_workers()
+    } else {
+        cfg.extract_workers
+    };
+    let batch_size = cfg.batch_size;
+    let mut pipeline = IngestPipeline::new(cfg);
     let t0 = Instant::now();
-    let report = pipeline.ingest_all(&mut kg, &articles);
+    let report = pipeline.ingest_batch(&mut kg, &articles);
     let secs = t0.elapsed().as_secs_f64();
-    println!("\n-- ingestion ({secs:.2}s, {:.0} docs/s) --", report.documents as f64 / secs);
+    println!(
+        "\n-- ingestion ({secs:.2}s, {:.0} docs/s, batches of {batch_size} × {workers} workers) --",
+        report.documents as f64 / secs
+    );
     println!("  sentences        {}", report.sentences);
     println!("  raw triples      {}", report.raw_triples);
     println!("  mapped           {}", report.mapped);
-    println!("  unmapped         {}  (stashed for mapper expansion)", report.unmapped);
+    println!(
+        "  unmapped         {}  (stashed for mapper expansion)",
+        report.unmapped
+    );
     println!("  admitted         {}", report.admitted);
     println!("  rejected         {}  (quality control)", report.rejected);
     println!("  new entities     {}", report.new_entities);
@@ -58,7 +74,11 @@ fn main() {
         .filter(|(_, r)| !r.seed)
         .map(|(k, r)| format!("{k}→{}", r.ontology))
         .collect();
-    println!("mapper learned {} synonym rules: {}", learned.len(), learned.join(", "));
+    println!(
+        "mapper learned {} synonym rules: {}",
+        learned.len(),
+        learned.join(", ")
+    );
 
     // 4. Topic index for explanatory questions (§3.6).
     let topics = kg.build_topic_index(&LdaConfig::default());
@@ -66,7 +86,11 @@ fn main() {
     // 5. Streaming trend mining (§3.5).
     let mut trends = TrendMonitor::new(
         WindowKind::Count { n: 400 },
-        MinerConfig { k_max: 2, min_support: 8, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 8,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     trends.observe(&kg);
 

@@ -22,7 +22,11 @@ fn main() {
     // Time window of 300 days over extracted facts, patterns of ≤2 edges.
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 300 },
-        MinerConfig { k_max: 2, min_support: 6, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 6,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     // Pre-consume the curated block (timestamp 0) so the stream epochs are
     // dominated by extracted knowledge but can still join curated edges.
@@ -47,7 +51,12 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join(" | ")
             };
-            println!("{:5}  {:6}  {}", article.day, monitor.window_len(), rendered);
+            println!(
+                "{:5}  {:6}  {}",
+                article.day,
+                monitor.window_len(),
+                rendered
+            );
             next_epoch += 300;
         }
     }

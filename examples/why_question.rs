@@ -19,26 +19,49 @@ fn main() {
     let explanations = plant_explanations(&world, &mut kb, 6, 99);
     let kg = KnowledgeGraph::from_curated(&world, &kb);
     let topics = kg.build_topic_index(&LdaConfig::default());
-    let cfg = QaConfig { max_hops: 2, k: 3, ..Default::default() };
+    let cfg = QaConfig {
+        max_hops: 2,
+        k: 3,
+        ..Default::default()
+    };
 
     let path_names = |p: &RankedPath| -> String {
-        p.vertices.iter().map(|&v| kg.graph.vertex_name(v)).collect::<Vec<_>>().join(" → ")
+        p.vertices
+            .iter()
+            .map(|&v| kg.graph.vertex_name(v))
+            .collect::<Vec<_>>()
+            .join(" → ")
     };
 
     let mut scores = [0usize; 4];
     for (qi, e) in explanations.iter().enumerate() {
         let src = kg.graph.vertex_id(&e.source).expect("source exists");
         let dst = kg.graph.vertex_id(&e.target).expect("target exists");
-        println!("\n== Q{}: why is {} related to {}? ==", qi + 1, e.source, e.target);
+        println!(
+            "\n== Q{}: why is {} related to {}? ==",
+            qi + 1,
+            e.source,
+            e.target
+        );
         println!("   planted explanation: {}", e.expected_path.join(" → "));
         println!("   planted decoy:       {}", e.decoy_path.join(" → "));
 
         let rankings: Vec<(&str, Vec<RankedPath>)> = vec![
             (
                 "coherence (paper)",
-                coherent_paths(&kg.graph, &topics, src, dst, &PathConstraint::default(), &cfg),
+                coherent_paths(
+                    &kg.graph,
+                    &topics,
+                    src,
+                    dst,
+                    &PathConstraint::default(),
+                    &cfg,
+                ),
             ),
-            ("shortest", shortest_paths(&kg.graph, src, dst, &PathConstraint::default(), &cfg)),
+            (
+                "shortest",
+                shortest_paths(&kg.graph, src, dst, &PathConstraint::default(), &cfg),
+            ),
             (
                 "degree salience",
                 degree_salience_paths(&kg.graph, src, dst, &PathConstraint::default(), &cfg),
@@ -49,7 +72,10 @@ fn main() {
             ),
         ];
         for (ri, (name, paths)) in rankings.iter().enumerate() {
-            let top = paths.first().map(path_names).unwrap_or_else(|| "(none)".into());
+            let top = paths
+                .first()
+                .map(path_names)
+                .unwrap_or_else(|| "(none)".into());
             let hit = paths
                 .first()
                 .map(|p| {
@@ -66,9 +92,18 @@ fn main() {
         }
     }
 
-    println!("\n== top-1 accuracy over {} questions ==", explanations.len());
-    for (name, s) in
-        ["coherence (paper)", "shortest", "degree salience", "random walk"].iter().zip(scores)
+    println!(
+        "\n== top-1 accuracy over {} questions ==",
+        explanations.len()
+    );
+    for (name, s) in [
+        "coherence (paper)",
+        "shortest",
+        "degree salience",
+        "random walk",
+    ]
+    .iter()
+    .zip(scores)
     {
         println!("  {name:>18}: {s}/{}", explanations.len());
     }

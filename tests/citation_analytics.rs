@@ -21,7 +21,11 @@ fn build() -> (KnowledgeGraph, citations::CitationScenario, Vec<(u64, u32)>) {
     }
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 400 },
-        MinerConfig { k_max: 2, min_support: 10, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 10,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     // Per-year support of the co-citation pattern (two papers citing the
     // same paper / one paper citing two).
@@ -60,7 +64,10 @@ fn burst_year_dominates_co_citation_support() {
         .map(|(_, s)| *s)
         .max()
         .unwrap_or(0);
-    assert!(before_burst > 0, "pre-burst co-citation exists: {per_year:?}");
+    assert!(
+        before_burst > 0,
+        "pre-burst co-citation exists: {per_year:?}"
+    );
     assert!(
         last.1 > before_burst * 2,
         "co-citation support must surge after the seminal paper: {per_year:?}"
@@ -81,7 +88,10 @@ fn seminal_paper_is_the_most_cited() {
             best = (kg.graph.vertex_name(v).to_owned(), n);
         }
     }
-    assert_eq!(best.0, scenario.seminal, "most-cited paper is the planted seminal one");
+    assert_eq!(
+        best.0, scenario.seminal,
+        "most-cited paper is the planted seminal one"
+    );
 }
 
 #[test]
@@ -94,10 +104,19 @@ fn citation_chains_are_searchable() {
         &kg.graph,
         src,
         dst,
-        &PathConstraint { require_predicate: kg.graph.predicate_id("cites") },
-        &QaConfig { max_hops: 3, k: 3, ..Default::default() },
+        &PathConstraint {
+            require_predicate: kg.graph.predicate_id("cites"),
+        },
+        &QaConfig {
+            max_hops: 3,
+            k: 3,
+            ..Default::default()
+        },
     );
-    assert!(!paths.is_empty(), "burst papers connect to the seminal paper via citations");
+    assert!(
+        !paths.is_empty(),
+        "burst papers connect to the seminal paper via citations"
+    );
     assert!(paths[0].hops.iter().all(|h| {
         let name = kg.graph.predicate_name(h.pred);
         name == "cites" || name == "authoredBy" || name == "publishedIn"

@@ -2,8 +2,8 @@
 //! disambiguator must resolve ambiguous short aliases in article context
 //! better than the popularity-only and exact-match baselines.
 
-use nous_corpus::{ArticleStream, CuratedKb, Preset, StreamConfig, World, WorldConfig};
 use nous_core::KnowledgeGraph;
+use nous_corpus::{ArticleStream, CuratedKb, Preset, StreamConfig, World, WorldConfig};
 use nous_link::LinkMode;
 use nous_text::bow::BagOfWords;
 
@@ -19,10 +19,18 @@ struct Case {
 /// Build linking cases: articles that mention an ambiguous company by its
 /// short alias; the ground-truth fact tells us which entity was meant.
 fn cases() -> (KnowledgeGraph, Vec<Case>) {
-    let wc = WorldConfig { ambiguity: 0.6, companies: 60, ..Preset::Demo.world_config() };
+    let wc = WorldConfig {
+        ambiguity: 0.6,
+        companies: 60,
+        ..Preset::Demo.world_config()
+    };
     let world = World::generate(&wc);
     let kb = CuratedKb::generate(&world, 7);
-    let sc = StreamConfig { articles: 500, alias_usage: 0.9, ..Preset::Demo.stream_config() };
+    let sc = StreamConfig {
+        articles: 500,
+        alias_usage: 0.9,
+        ..Preset::Demo.stream_config()
+    };
     let articles = ArticleStream::generate(&world, &kb, &sc);
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
     // Enrich each entity's context with its topical description plus its
@@ -72,7 +80,11 @@ fn accuracy(kg: &KnowledgeGraph, cases: &[Case], mode: LinkMode) -> (f64, usize)
 #[test]
 fn context_disambiguation_beats_popularity_prior() {
     let (kg, cases) = cases();
-    assert!(cases.len() >= 30, "need enough ambiguous cases: {}", cases.len());
+    assert!(
+        cases.len() >= 30,
+        "need enough ambiguous cases: {}",
+        cases.len()
+    );
     let (full, _) = accuracy(&kg, &cases, LinkMode::Full);
     let (pop, _) = accuracy(&kg, &cases, LinkMode::PopularityOnly);
     assert!(
@@ -97,8 +109,14 @@ fn unambiguous_aliases_resolve_in_all_modes() {
         let v = nous_graph::VertexId(0);
         kg.graph.vertex_name(v).to_owned()
     };
-    for mode in [LinkMode::Full, LinkMode::PopularityOnly, LinkMode::ExactOnly] {
-        let r = kg.disambiguator.resolve(&some_name, &BagOfWords::new(), mode);
+    for mode in [
+        LinkMode::Full,
+        LinkMode::PopularityOnly,
+        LinkMode::ExactOnly,
+    ] {
+        let r = kg
+            .disambiguator
+            .resolve(&some_name, &BagOfWords::new(), mode);
         assert!(r.is_some(), "mode {mode:?} failed on canonical name");
     }
 }

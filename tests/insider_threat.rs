@@ -26,7 +26,11 @@ fn run() -> Run {
     }
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 14 },
-        MinerConfig { k_max: 2, min_support: 4, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 4,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     let mut epoch_support = Vec::new();
     let mut last = 0u64;
@@ -48,7 +52,12 @@ fn run() -> Run {
             epoch_support.push((ev.day, best));
         }
     }
-    Run { kg, epoch_support, scenario, cfg }
+    Run {
+        kg,
+        epoch_support,
+        scenario,
+        cfg,
+    }
 }
 
 #[test]
@@ -66,28 +75,36 @@ fn exfiltration_motif_appears_only_during_attack() {
         .map(|(_, s)| *s)
         .max()
         .unwrap_or(0);
-    assert!(peak_in_attack >= 4, "motif never became frequent during the attack");
+    assert!(
+        peak_in_attack >= 4,
+        "motif never became frequent during the attack"
+    );
 }
 
 #[test]
 fn suspects_match_ground_truth() {
     let r = run();
-    let p = r.kg.graph.predicate_id(InsiderPredicate::CopiedTo.name()).expect("predicate");
-    let mut suspects: Vec<(String, usize)> = r
-        .kg
-        .graph
-        .iter_vertices()
-        .filter(|&v| r.kg.graph.label(v) == Some("User"))
-        .map(|v| {
-            let n = r.kg.graph.out_edges(v).filter(|a| a.pred == p).count();
-            (r.kg.graph.vertex_name(v).to_owned(), n)
-        })
-        .filter(|(_, n)| *n > 0)
-        .collect();
+    let p =
+        r.kg.graph
+            .predicate_id(InsiderPredicate::CopiedTo.name())
+            .expect("predicate");
+    let mut suspects: Vec<(String, usize)> =
+        r.kg.graph
+            .iter_vertices()
+            .filter(|&v| r.kg.graph.label(v) == Some("User"))
+            .map(|v| {
+                let n = r.kg.graph.out_edges(v).filter(|a| a.pred == p).count();
+                (r.kg.graph.vertex_name(v).to_owned(), n)
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect();
     suspects.sort_by_key(|s| std::cmp::Reverse(s.1));
     let mut names: Vec<String> = suspects.into_iter().map(|(n, _)| n).collect();
     names.sort();
-    assert_eq!(names, r.scenario.exfiltrators, "copiedTo activity identifies the insiders");
+    assert_eq!(
+        names, r.scenario.exfiltrators,
+        "copiedTo activity identifies the insiders"
+    );
 }
 
 #[test]
@@ -96,7 +113,10 @@ fn typed_labels_separate_benign_and_malicious_access() {
     // because the object labels differ — the type system is what makes
     // the anomaly minable.
     let r = run();
-    let accessed = r.kg.graph.predicate_id(InsiderPredicate::Accessed.name()).unwrap();
+    let accessed =
+        r.kg.graph
+            .predicate_id(InsiderPredicate::Accessed.name())
+            .unwrap();
     let mut benign = 0;
     let mut sensitive = 0;
     for id in r.kg.graph.find(None, Some(accessed), None) {

@@ -21,7 +21,13 @@ fn curated_triples() -> (usize, Vec<(String, u32, u32)>) {
     let all: Vec<(String, u32, u32)> = kb
         .triples
         .iter()
-        .map(|t| (t.predicate.name().to_owned(), t.subject as u32, t.object as u32))
+        .map(|t| {
+            (
+                t.predicate.name().to_owned(),
+                t.subject as u32,
+                t.object as u32,
+            )
+        })
         .collect();
     (world.entities.len(), all)
 }
@@ -63,7 +69,10 @@ fn warm_pair_generalisation_beats_chance() {
     let articles = nous_corpus::ArticleStream::generate(
         &world,
         &kb,
-        &nous_corpus::StreamConfig { articles: 1200, ..Preset::Demo.stream_config() },
+        &nous_corpus::StreamConfig {
+            articles: 1200,
+            ..Preset::Demo.stream_config()
+        },
     );
     let n = world.entities.len();
     let mut all: Vec<(String, u32, u32)> = articles
@@ -83,9 +92,9 @@ fn warm_pair_generalisation_beats_chance() {
     let mut train = Vec::new();
     for (i, t) in all.iter().enumerate() {
         let warm = |e: u32, subj: bool| {
-            all.iter().enumerate().any(|(j, u)| {
-                j != i && u.0 == t.0 && if subj { u.1 == e } else { u.2 == e }
-            })
+            all.iter()
+                .enumerate()
+                .any(|(j, u)| j != i && u.0 == t.0 && if subj { u.1 == e } else { u.2 == e })
         };
         if i % 4 == 0 && warm(t.1, true) && warm(t.2, false) {
             held.push(t.clone());
@@ -93,7 +102,11 @@ fn warm_pair_generalisation_beats_chance() {
             train.push(t.clone());
         }
     }
-    assert!(held.len() >= 10, "need warm held-out cases, got {}", held.len());
+    assert!(
+        held.len() >= 10,
+        "need warm held-out cases, got {}",
+        held.len()
+    );
     let mut lp = LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default());
     lp.fit(n, &train);
     let mut pos = Vec::new();

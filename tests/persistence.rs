@@ -8,7 +8,11 @@ use nous_corpus::Preset;
 use nous_link::LinkMode;
 use nous_text::bow::BagOfWords;
 
-fn built() -> (nous_corpus::World, KnowledgeGraph, Vec<nous_corpus::Article>) {
+fn built() -> (
+    nous_corpus::World,
+    KnowledgeGraph,
+    Vec<nous_corpus::Article>,
+) {
     let (world, kb, articles) = Preset::Smoke.build();
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
     kg.train_predictor();
@@ -39,8 +43,16 @@ fn full_state_roundtrip() {
     );
     // Learned mapping rules.
     assert_eq!(
-        kg.mapper.rules().iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-        back.mapper.rules().iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        kg.mapper
+            .rules()
+            .iter()
+            .map(|(k, _)| *k)
+            .collect::<Vec<_>>(),
+        back.mapper
+            .rules()
+            .iter()
+            .map(|(k, _)| *k)
+            .collect::<Vec<_>>()
     );
     // Trained predictor scores identically.
     assert_eq!(
@@ -49,8 +61,12 @@ fn full_state_roundtrip() {
     );
     // Disambiguator resolves identically.
     let bow = BagOfWords::from_text(&company.description);
-    let a = kg.disambiguator.resolve(&company.aliases[1], &bow, LinkMode::Full);
-    let b = back.disambiguator.resolve(&company.aliases[1], &bow, LinkMode::Full);
+    let a = kg
+        .disambiguator
+        .resolve(&company.aliases[1], &bow, LinkMode::Full);
+    let b = back
+        .disambiguator
+        .resolve(&company.aliases[1], &bow, LinkMode::Full);
     assert_eq!(a.map(|r| r.id), b.map(|r| r.id));
 }
 
@@ -63,7 +79,10 @@ fn restored_graph_keeps_ingesting() {
     let (_, second) = articles.split_at(articles.len() / 2);
     let mut pipe = IngestPipeline::new(PipelineConfig::default());
     let report = pipe.ingest_all(&mut back, second);
-    assert!(report.admitted > 0, "restored system must keep admitting facts");
+    assert!(
+        report.admitted > 0,
+        "restored system must keep admitting facts"
+    );
     assert!(back.graph.edge_count() > before);
 }
 

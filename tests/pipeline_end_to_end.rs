@@ -4,8 +4,12 @@
 use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
 use nous_corpus::{OntologyPredicate, Preset};
 
-fn build() -> (nous_corpus::World, KnowledgeGraph, Vec<nous_corpus::Article>, nous_core::IngestReport)
-{
+fn build() -> (
+    nous_corpus::World,
+    KnowledgeGraph,
+    Vec<nous_corpus::Article>,
+    nous_core::IngestReport,
+) {
     let (world, kb, articles) = Preset::Smoke.build();
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
     kg.train_predictor();
@@ -35,8 +39,7 @@ fn extracted_facts_match_ground_truth_reasonably() {
     // *some* generator fact (same subject/predicate/object names) or be a
     // curated corroboration; mild noise is expected, but the bulk must be
     // grounded.
-    let mut truth: std::collections::HashSet<(String, &'static str, String)> =
-        Default::default();
+    let mut truth: std::collections::HashSet<(String, &'static str, String)> = Default::default();
     for a in &articles {
         for f in &a.facts {
             truth.insert((f.subject.clone(), f.predicate.name(), f.object.clone()));
@@ -62,7 +65,10 @@ fn extracted_facts_match_ground_truth_reasonably() {
         }
     }
     let precision = grounded as f64 / total.max(1) as f64;
-    assert!(precision > 0.5, "extraction precision too low: {precision:.2} ({grounded}/{total})");
+    assert!(
+        precision > 0.5,
+        "extraction precision too low: {precision:.2} ({grounded}/{total})"
+    );
 }
 
 #[test]
@@ -80,7 +86,10 @@ fn confidence_separates_curated_from_extracted() {
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
     assert_eq!(mean(&curated), 1.0, "curated facts carry full confidence");
     let m = mean(&extracted);
-    assert!(m > 0.3 && m < 1.0, "extracted mean confidence {m} out of expected band");
+    assert!(
+        m > 0.3 && m < 1.0,
+        "extracted mean confidence {m} out of expected band"
+    );
 }
 
 #[test]
@@ -93,12 +102,18 @@ fn dynamic_updates_accumulate_across_batches() {
     pipeline.ingest_all(&mut kg, first);
     let mid = kg.graph.edge_count();
     pipeline.ingest_all(&mut kg, second);
-    assert!(kg.graph.edge_count() > mid, "second batch extended the graph");
+    assert!(
+        kg.graph.edge_count() > mid,
+        "second batch extended the graph"
+    );
     // Timestamps must respect stream order.
     let mut last_extracted_at = 0;
     for (_, e) in kg.graph.iter_edges() {
         if !e.provenance.is_curated() {
-            assert!(e.at >= last_extracted_at || e.at <= last_extracted_at, "timestamped");
+            assert!(
+                e.at >= last_extracted_at || e.at <= last_extracted_at,
+                "timestamped"
+            );
             last_extracted_at = last_extracted_at.max(e.at);
         }
     }
@@ -114,5 +129,8 @@ fn report_accounting_is_internally_consistent() {
         "every raw triple is mapped or unmapped"
     );
     assert!(report.mapped >= report.admitted + report.rejected);
-    assert!(report.admission_rate() > 0.5, "default QC should admit most mapped facts");
+    assert!(
+        report.admission_rate() > 0.5,
+        "default QC should admit most mapped facts"
+    );
 }

@@ -1,8 +1,8 @@
 //! Integration test for experiment E9 (§3.6): on planted why-questions,
 //! coherence-ranked path search must beat the path-ranking baselines.
 
-use nous_corpus::{plant_explanations, CuratedKb, Preset, World};
 use nous_core::KnowledgeGraph;
+use nous_corpus::{plant_explanations, CuratedKb, Preset, World};
 use nous_qa::baselines::{degree_salience_paths, shortest_paths};
 use nous_qa::{coherent_paths, PathConstraint, QaConfig, TopicIndex};
 use nous_topics::LdaConfig;
@@ -20,7 +20,11 @@ fn build() -> Instance {
     assert!(explanations.len() >= 10, "enough planted instances");
     let kg = KnowledgeGraph::from_curated(&world, &kb);
     let topics = kg.build_topic_index(&LdaConfig::default());
-    Instance { kg, topics, explanations }
+    Instance {
+        kg,
+        topics,
+        explanations,
+    }
 }
 
 /// Fraction of instances whose top-1 path is exactly the expected one.
@@ -34,9 +38,17 @@ fn accuracy(
         let dst = inst.kg.graph.vertex_id(&e.target).expect("target exists");
         let paths = ranker(inst, src, dst);
         if let Some(top) = paths.first() {
-            let names: Vec<&str> =
-                top.vertices.iter().map(|&v| inst.kg.graph.vertex_name(v)).collect();
-            if names == e.expected_path.iter().map(String::as_str).collect::<Vec<_>>() {
+            let names: Vec<&str> = top
+                .vertices
+                .iter()
+                .map(|&v| inst.kg.graph.vertex_name(v))
+                .collect();
+            if names
+                == e.expected_path
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+            {
                 hits += 1;
             }
         }
@@ -45,14 +57,25 @@ fn accuracy(
 }
 
 fn cfg() -> QaConfig {
-    QaConfig { max_hops: 2, k: 3, ..Default::default() }
+    QaConfig {
+        max_hops: 2,
+        k: 3,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn coherence_beats_degree_salience() {
     let inst = build();
     let coh = accuracy(&inst, |i, s, d| {
-        coherent_paths(&i.kg.graph, &i.topics, s, d, &PathConstraint::default(), &cfg())
+        coherent_paths(
+            &i.kg.graph,
+            &i.topics,
+            s,
+            d,
+            &PathConstraint::default(),
+            &cfg(),
+        )
     });
     let deg = accuracy(&inst, |i, s, d| {
         degree_salience_paths(&i.kg.graph, s, d, &PathConstraint::default(), &cfg())
@@ -68,7 +91,14 @@ fn coherence_beats_degree_salience() {
 fn coherence_beats_or_matches_shortest() {
     let inst = build();
     let coh = accuracy(&inst, |i, s, d| {
-        coherent_paths(&i.kg.graph, &i.topics, s, d, &PathConstraint::default(), &cfg())
+        coherent_paths(
+            &i.kg.graph,
+            &i.topics,
+            s,
+            d,
+            &PathConstraint::default(),
+            &cfg(),
+        )
     });
     let sp = accuracy(&inst, |i, s, d| {
         shortest_paths(&i.kg.graph, s, d, &PathConstraint::default(), &cfg())
@@ -85,8 +115,14 @@ fn expected_paths_rank_above_decoys_by_coherence() {
     for e in &inst.explanations {
         let src = inst.kg.graph.vertex_id(&e.source).unwrap();
         let dst = inst.kg.graph.vertex_id(&e.target).unwrap();
-        let paths =
-            coherent_paths(&inst.kg.graph, &inst.topics, src, dst, &PathConstraint::default(), &cfg());
+        let paths = coherent_paths(
+            &inst.kg.graph,
+            &inst.topics,
+            src,
+            dst,
+            &PathConstraint::default(),
+            &cfg(),
+        );
         let pos = |names: &[String]| {
             paths.iter().position(|p| {
                 p.vertices
@@ -96,9 +132,17 @@ fn expected_paths_rank_above_decoys_by_coherence() {
             })
         };
         if let (Some(exp), Some(dec)) = (pos(&e.expected_path), pos(&e.decoy_path)) {
-            assert!(exp < dec, "decoy outranked expected for {} -> {}", e.source, e.target);
+            assert!(
+                exp < dec,
+                "decoy outranked expected for {} -> {}",
+                e.source,
+                e.target
+            );
             checked += 1;
         }
     }
-    assert!(checked >= 5, "too few instances had both paths in top-K: {checked}");
+    assert!(
+        checked >= 5,
+        "too few instances had both paths in top-K: {checked}"
+    );
 }

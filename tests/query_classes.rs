@@ -21,13 +21,25 @@ fn session() -> Session {
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
     kg.train_predictor();
     IngestPipeline::new(PipelineConfig::default()).ingest_all(&mut kg, &articles);
-    let topics = kg.build_topic_index(&LdaConfig { iterations: 40, ..Default::default() });
+    let topics = kg.build_topic_index(&LdaConfig {
+        iterations: 40,
+        ..Default::default()
+    });
     let mut trends = TrendMonitor::new(
         WindowKind::Count { n: 300 },
-        MinerConfig { k_max: 2, min_support: 4, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 4,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     trends.observe(&kg);
-    Session { world, kg, topics, trends }
+    Session {
+        world,
+        kg,
+        topics,
+        trends,
+    }
 }
 
 fn run(s: &mut Session, q: &str) -> QueryResult {
@@ -43,32 +55,54 @@ fn all_five_classes_answer() {
 
     // 1. Trending.
     let r = run(&mut s, "TRENDING LIMIT 5");
-    let QueryResult::Trending(items) = r else { panic!("{r:?}") };
-    assert!(!items.is_empty(), "curated+extracted window has frequent patterns");
+    let QueryResult::Trending(items) = r else {
+        panic!("{r:?}")
+    };
+    assert!(
+        !items.is_empty(),
+        "curated+extracted window has frequent patterns"
+    );
     assert!(items.len() <= 5);
 
     // 2. Entity.
     let r = run(&mut s, &format!("ABOUT {a}"));
-    let QueryResult::Entity { name, facts, .. } = r else { panic!("{r:?}") };
+    let QueryResult::Entity { name, facts, .. } = r else {
+        panic!("{r:?}")
+    };
     assert_eq!(name, a);
     assert!(!facts.is_empty());
 
     // 3. Explanatory.
     let r = run(&mut s, &format!("WHY {a} -> {b} LIMIT 3"));
-    let QueryResult::Paths(paths) = r else { panic!("{r:?}") };
+    let QueryResult::Paths(paths) = r else {
+        panic!("{r:?}")
+    };
     // Companies in a smoke world are densely related; expect an answer.
-    assert!(!paths.is_empty(), "no explanation found between {a} and {b}");
-    assert!(paths.windows(2).all(|w| w[0].1 <= w[1].1), "coherence ascending");
+    assert!(
+        !paths.is_empty(),
+        "no explanation found between {a} and {b}"
+    );
+    assert!(
+        paths.windows(2).all(|w| w[0].1 <= w[1].1),
+        "coherence ascending"
+    );
 
     // 4. Pattern.
     let r = run(&mut s, "MATCH (Company)-[isLocatedIn]->(Location) LIMIT 3");
-    let QueryResult::Matches { total, sample } = r else { panic!("{r:?}") };
-    assert!(total >= s.world.companies.len(), "every company has curated HQ");
+    let QueryResult::Matches { total, sample } = r else {
+        panic!("{r:?}")
+    };
+    assert!(
+        total >= s.world.companies.len(),
+        "every company has curated HQ"
+    );
     assert_eq!(sample.len(), 3);
 
     // 5. Paths.
     let r = run(&mut s, &format!("PATHS {a} TO {b} MAX 3 LIMIT 5"));
-    let QueryResult::Paths(paths) = r else { panic!("{r:?}") };
+    let QueryResult::Paths(paths) = r else {
+        panic!("{r:?}")
+    };
     assert!(!paths.is_empty());
     assert!(paths.iter().all(|(_, hops)| *hops <= 3.0));
 }
@@ -77,7 +111,10 @@ fn all_five_classes_answer() {
 fn natural_language_phrasings_translate() {
     let mut s = session();
     let a = s.world.entities[s.world.companies[0]].name.clone();
-    assert!(matches!(run(&mut s, "what is trending"), QueryResult::Trending(_)));
+    assert!(matches!(
+        run(&mut s, "what is trending"),
+        QueryResult::Trending(_)
+    ));
     assert!(matches!(
         run(&mut s, &format!("tell me about {a}")),
         QueryResult::Entity { .. }
@@ -101,7 +138,10 @@ fn alias_resolution_in_queries() {
             // Must resolve to SOME canonical entity carrying that alias.
             let idx = s.world.by_name(&name).expect("canonical name");
             assert!(
-                s.world.entities[idx].aliases.iter().any(|al| al.eq_ignore_ascii_case(&alias)),
+                s.world.entities[idx]
+                    .aliases
+                    .iter()
+                    .any(|al| al.eq_ignore_ascii_case(&alias)),
                 "{name} does not carry alias {alias}"
             );
         }
@@ -116,6 +156,12 @@ fn query_objects_round_trip_through_parser() {
     assert!(matches!(parse("TRENDING").unwrap(), Query::Trending { .. }));
     assert!(matches!(parse("ABOUT X Y").unwrap(), Query::Entity { .. }));
     assert!(matches!(parse("WHY A -> B").unwrap(), Query::Why { .. }));
-    assert!(matches!(parse("MATCH (A)-[p]->(B)").unwrap(), Query::Match { .. }));
-    assert!(matches!(parse("PATHS A TO B").unwrap(), Query::Paths { .. }));
+    assert!(matches!(
+        parse("MATCH (A)-[p]->(B)").unwrap(),
+        Query::Match { .. }
+    ));
+    assert!(matches!(
+        parse("PATHS A TO B").unwrap(),
+        Query::Paths { .. }
+    ));
 }

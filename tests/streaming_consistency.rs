@@ -26,7 +26,14 @@ fn last_n_edges(kg: &KnowledgeGraph, n: usize) -> Vec<MinerEdge> {
         .map(|(id, e)| {
             let sl = label_cache.intern(kg.graph.label(e.src).unwrap_or("Entity"));
             let dl = label_cache.intern(kg.graph.label(e.dst).unwrap_or("Entity"));
-            MinerEdge::new(id.0 as u64, e.src.0 as u64, e.dst.0 as u64, e.pred.0, sl, dl)
+            MinerEdge::new(
+                id.0 as u64,
+                e.src.0 as u64,
+                e.dst.0 as u64,
+                e.pred.0,
+                sl,
+                dl,
+            )
         })
         .collect();
     all.into_iter().rev().take(n).rev().collect()
@@ -36,7 +43,11 @@ fn last_n_edges(kg: &KnowledgeGraph, n: usize) -> Vec<MinerEdge> {
 fn windowed_mining_matches_batch_on_live_graph() {
     let kg = built_kg();
     let n = 150;
-    let cfg = MinerConfig { k_max: 2, min_support: 3, eviction: EvictionStrategy::Eager };
+    let cfg = MinerConfig {
+        k_max: 2,
+        min_support: 3,
+        eviction: EvictionStrategy::Eager,
+    };
     let mut monitor = TrendMonitor::new(WindowKind::Count { n }, cfg.clone());
     monitor.observe(&kg);
     let streaming = monitor.closed_patterns();
@@ -47,7 +58,10 @@ fn windowed_mining_matches_batch_on_live_graph() {
     // plus support equality per pattern.
     for (p, support) in &streaming {
         let found = batch.iter().find(|(bp, _)| bp == p);
-        assert!(found.is_some(), "streaming reported {p:?} absent from batch");
+        assert!(
+            found.is_some(),
+            "streaming reported {p:?} absent from batch"
+        );
         assert_eq!(found.unwrap().1, *support, "support mismatch for {p:?}");
     }
 }
@@ -62,7 +76,11 @@ fn trend_wave_is_detected_in_stream_order() {
     let mut pipeline = IngestPipeline::new(PipelineConfig::default());
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 250 },
-        MinerConfig { k_max: 1, min_support: 1, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 1,
+            min_support: 1,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     monitor.observe(&kg); // absorb curated block at t=0
 
@@ -102,7 +120,11 @@ fn reconstruction_after_wave_passes() {
     let mut pipeline = IngestPipeline::new(PipelineConfig::default());
     let mut monitor = TrendMonitor::new(
         WindowKind::Time { span: 300 },
-        MinerConfig { k_max: 2, min_support: 4, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 2,
+            min_support: 4,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     monitor.observe(&kg);
 

@@ -17,7 +17,11 @@ fn built() -> (KnowledgeGraph, TopicIndex, TrendMonitor) {
     let topics = TopicIndex::new(2); // temporal queries don't need topics
     let mut trends = TrendMonitor::new(
         WindowKind::Count { n: 100 },
-        MinerConfig { k_max: 1, min_support: 2, eviction: EvictionStrategy::Eager },
+        MinerConfig {
+            k_max: 1,
+            min_support: 2,
+            eviction: EvictionStrategy::Eager,
+        },
     );
     trends.observe(&kg);
     (kg, topics, trends)
@@ -57,8 +61,18 @@ fn acquisition_wave_is_visible_through_since_until() {
 fn temporal_windows_partition_the_stream() {
     let (kg, topics, mut trends) = built();
     let total = matches(&kg, &topics, &mut trends, "MATCH (*)-[investedIn]->(*)");
-    let a = matches(&kg, &topics, &mut trends, "MATCH (*)-[investedIn]->(*) UNTIL 1000");
-    let b = matches(&kg, &topics, &mut trends, "MATCH (*)-[investedIn]->(*) SINCE 1001");
+    let a = matches(
+        &kg,
+        &topics,
+        &mut trends,
+        "MATCH (*)-[investedIn]->(*) UNTIL 1000",
+    );
+    let b = matches(
+        &kg,
+        &topics,
+        &mut trends,
+        "MATCH (*)-[investedIn]->(*) SINCE 1001",
+    );
     assert_eq!(a + b, total, "disjoint windows partition the matches");
     assert!(total > 0);
 }
@@ -66,11 +80,21 @@ fn temporal_windows_partition_the_stream() {
 #[test]
 fn curated_facts_sit_at_time_zero() {
     let (kg, topics, mut trends) = built();
-    let at_zero = matches(&kg, &topics, &mut trends, "MATCH (*)-[isLocatedIn]->(*) UNTIL 0");
+    let at_zero = matches(
+        &kg,
+        &topics,
+        &mut trends,
+        "MATCH (*)-[isLocatedIn]->(*) UNTIL 0",
+    );
     // Every curated HQ fact is timestamped 0; extracted corroborations are
     // later.
     assert!(at_zero >= 24, "curated block missing: {at_zero}");
-    let later = matches(&kg, &topics, &mut trends, "MATCH (*)-[isLocatedIn]->(*) SINCE 1");
+    let later = matches(
+        &kg,
+        &topics,
+        &mut trends,
+        "MATCH (*)-[isLocatedIn]->(*) SINCE 1",
+    );
     let total = matches(&kg, &topics, &mut trends, "MATCH (*)-[isLocatedIn]->(*)");
     assert_eq!(at_zero + later, total);
 }
@@ -91,7 +115,9 @@ fn timeline_query_orders_entity_history() {
         &topics,
         &mut trends,
     );
-    let QueryResult::Timeline(items) = r else { panic!("{r:?}") };
+    let QueryResult::Timeline(items) = r else {
+        panic!("{r:?}")
+    };
     assert!(!items.is_empty());
     assert!(items.windows(2).all(|w| w[0].0 <= w[1].0), "chronological");
 }
