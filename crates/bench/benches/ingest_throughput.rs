@@ -39,6 +39,10 @@ struct Measurement {
     secs: f64,
     docs_per_sec: f64,
     admitted: usize,
+    /// Extraction worker slots that actually received documents, read back
+    /// from the pipeline's `nous_ingest_worker_docs_total` fan-out counters
+    /// (sequential ingestion never fans out, so it reports 1).
+    workers_used: usize,
 }
 
 fn run(
@@ -59,11 +63,17 @@ fn run(
         pipe.ingest_all(&mut kg, articles)
     };
     let secs = t0.elapsed().as_secs_f64();
+    let workers_used = pipe
+        .metrics()
+        .counter_family("nous_ingest_worker_docs_total")
+        .len()
+        .max(1);
     Measurement {
         label: label.to_owned(),
         secs,
         docs_per_sec: articles.len() as f64 / secs,
         admitted: report.admitted,
+        workers_used,
     }
 }
 
@@ -123,8 +133,15 @@ fn main() {
     let baseline = runs[0].docs_per_sec;
     table_header(
         &format!("ingest throughput ({CORPUS_ARTICLES}-article corpus, batch size {BATCH_SIZE})"),
-        &["configuration", "secs", "docs/s", "speedup", "admitted"],
-        &[14, 8, 10, 8, 9],
+        &[
+            "configuration",
+            "secs",
+            "docs/s",
+            "speedup",
+            "admitted",
+            "workers",
+        ],
+        &[14, 8, 10, 8, 9, 7],
     );
     for m in &runs {
         println!(
@@ -136,8 +153,9 @@ fn main() {
                     format!("{:.0}", m.docs_per_sec),
                     format!("{:.2}x", m.docs_per_sec / baseline),
                     m.admitted.to_string(),
+                    m.workers_used.to_string(),
                 ],
-                &[14, 8, 10, 8, 9],
+                &[14, 8, 10, 8, 9, 7],
             )
         );
     }
@@ -148,12 +166,13 @@ fn main() {
         .map(|m| {
             format!(
                 "    {{\"config\": \"{}\", \"secs\": {:.3}, \"docs_per_sec\": {:.1}, \
-                 \"speedup_vs_sequential\": {:.2}, \"admitted\": {}}}",
+                 \"speedup_vs_sequential\": {:.2}, \"admitted\": {}, \"workers_used\": {}}}",
                 m.label,
                 m.secs,
                 m.docs_per_sec,
                 m.docs_per_sec / baseline,
-                m.admitted
+                m.admitted,
+                m.workers_used
             )
         })
         .collect();

@@ -29,9 +29,10 @@ use crate::kg::KnowledgeGraph;
 use crate::quality::{CandidateFact, QualityGate};
 use nous_corpus::Article;
 use nous_embed::BprConfig;
-use nous_extract::{extract_document, extract_documents, DocExtraction, Document};
+use nous_extract::{extract_document, extract_documents_counted, DocExtraction, Document};
 use nous_graph::VertexId;
 use nous_link::LinkMode;
+use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use nous_text::bow::BagOfWords;
 use nous_text::ner::EntityType;
 use nous_text::openie::ExtractorConfig;
@@ -111,7 +112,8 @@ pub struct IngestReport {
 }
 
 impl IngestReport {
-    /// Fraction of mapped facts that passed quality control.
+    /// Fraction of mapped facts that passed quality control. `0.0` (never
+    /// `NaN`) when nothing has reached quality control yet.
     pub fn admission_rate(&self) -> f64 {
         if self.admitted + self.rejected == 0 {
             0.0
@@ -121,20 +123,160 @@ impl IngestReport {
     }
 
     /// Field-wise difference against an earlier snapshot of the same
-    /// accumulator (per-document / per-batch deltas).
+    /// accumulator (per-document / per-batch deltas). Saturating: a
+    /// snapshot taken from a *different* (or reset) accumulator can have
+    /// larger fields than `self`, and a delta must never underflow into
+    /// garbage counts — mismatched fields clamp to zero instead.
     pub fn delta_since(&self, before: &IngestReport) -> IngestReport {
         IngestReport {
-            documents: self.documents - before.documents,
-            sentences: self.sentences - before.sentences,
-            raw_triples: self.raw_triples - before.raw_triples,
-            duplicate_triples: self.duplicate_triples - before.duplicate_triples,
-            mapped: self.mapped - before.mapped,
-            unmapped: self.unmapped - before.unmapped,
-            unresolved_entity: self.unresolved_entity - before.unresolved_entity,
-            new_entities: self.new_entities - before.new_entities,
-            admitted: self.admitted - before.admitted,
-            rejected: self.rejected - before.rejected,
-            gated: self.gated - before.gated,
+            documents: self.documents.saturating_sub(before.documents),
+            sentences: self.sentences.saturating_sub(before.sentences),
+            raw_triples: self.raw_triples.saturating_sub(before.raw_triples),
+            duplicate_triples: self
+                .duplicate_triples
+                .saturating_sub(before.duplicate_triples),
+            mapped: self.mapped.saturating_sub(before.mapped),
+            unmapped: self.unmapped.saturating_sub(before.unmapped),
+            unresolved_entity: self
+                .unresolved_entity
+                .saturating_sub(before.unresolved_entity),
+            new_entities: self.new_entities.saturating_sub(before.new_entities),
+            admitted: self.admitted.saturating_sub(before.admitted),
+            rejected: self.rejected.saturating_sub(before.rejected),
+            gated: self.gated.saturating_sub(before.gated),
+        }
+    }
+}
+
+/// The pipeline's instrument handles, pre-registered so the merge loop
+/// never touches the registry mutex. These counters *are* the
+/// [`IngestReport`]: [`IngestPipeline::report`] is assembled from them,
+/// so the live `/stats` exposition and the report can never disagree.
+struct PipelineMetrics {
+    registry: MetricsRegistry,
+    documents: Counter,
+    sentences: Counter,
+    raw_triples: Counter,
+    duplicate_triples: Counter,
+    mapped: Counter,
+    unmapped: Counter,
+    unresolved_entity: Counter,
+    new_entities: Counter,
+    admitted: Counter,
+    rejected: Counter,
+    gated: Counter,
+    batches: Counter,
+    workers_used: Gauge,
+    stage_extract: Histogram,
+    stage_map: Histogram,
+    stage_disambiguate: Histogram,
+    stage_score: Histogram,
+    stage_gate: Histogram,
+    stage_admit: Histogram,
+}
+
+impl PipelineMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        let stage = |s: &str| {
+            registry.latency_with(
+                "nous_ingest_stage_seconds",
+                "Per-document wall time spent in each ingestion stage",
+                &[("stage", s)],
+            )
+        };
+        Self {
+            documents: c(
+                "nous_ingest_documents_total",
+                "Documents merged into the graph",
+            ),
+            sentences: c(
+                "nous_ingest_sentences_total",
+                "Sentences seen by extraction",
+            ),
+            raw_triples: c(
+                "nous_ingest_raw_triples_total",
+                "Raw OpenIE tuples entering mapping (after within-document dedup)",
+            ),
+            duplicate_triples: c(
+                "nous_ingest_duplicate_triples_total",
+                "Tuples collapsed by within-document dedup",
+            ),
+            mapped: c(
+                "nous_ingest_mapped_total",
+                "Tuples whose predicate mapped onto the ontology",
+            ),
+            unmapped: c(
+                "nous_ingest_unmapped_total",
+                "Tuples dropped (stashed) because the predicate is unmapped",
+            ),
+            unresolved_entity: c(
+                "nous_ingest_unresolved_entity_total",
+                "Tuples dropped because an argument would not resolve",
+            ),
+            new_entities: c(
+                "nous_ingest_new_entities_total",
+                "New entities created from text",
+            ),
+            admitted: c(
+                "nous_ingest_admitted_total",
+                "Facts admitted into the graph",
+            ),
+            rejected: c(
+                "nous_ingest_rejected_total",
+                "Facts rejected by quality control",
+            ),
+            gated: c(
+                "nous_ingest_gated_total",
+                "Facts vetoed by a registered quality gate (also counted in rejected)",
+            ),
+            batches: c(
+                "nous_ingest_batches_total",
+                "Parallel-extraction micro-batches dispatched",
+            ),
+            workers_used: registry.gauge(
+                "nous_ingest_extract_workers_used",
+                "Extraction worker threads actually used by the last micro-batch",
+            ),
+            stage_extract: stage("extract"),
+            stage_map: stage("map"),
+            stage_disambiguate: stage("disambiguate"),
+            stage_score: stage("score"),
+            stage_gate: stage("gate"),
+            stage_admit: stage("admit"),
+            registry,
+        }
+    }
+
+    /// Record one fan-out's per-worker document counts (deterministic
+    /// chunk sizes from the extraction fan-out, credited by worker slot).
+    fn record_fanout(&self, worker_docs: &[usize]) {
+        self.workers_used.set(worker_docs.len() as i64);
+        for (slot, &docs) in worker_docs.iter().enumerate() {
+            self.registry
+                .counter_with(
+                    "nous_ingest_worker_docs_total",
+                    "Documents extracted per fan-out worker slot",
+                    &[("worker", &slot.to_string())],
+                )
+                .add(docs as u64);
+        }
+    }
+
+    /// Assemble the [`IngestReport`] view of the counters.
+    fn report(&self) -> IngestReport {
+        IngestReport {
+            documents: self.documents.get() as usize,
+            sentences: self.sentences.get() as usize,
+            raw_triples: self.raw_triples.get() as usize,
+            duplicate_triples: self.duplicate_triples.get() as usize,
+            mapped: self.mapped.get() as usize,
+            unmapped: self.unmapped.get() as usize,
+            unresolved_entity: self.unresolved_entity.get() as usize,
+            new_entities: self.new_entities.get() as usize,
+            admitted: self.admitted.get() as usize,
+            rejected: self.rejected.get() as usize,
+            gated: self.gated.get() as usize,
         }
     }
 }
@@ -145,7 +287,7 @@ pub struct IngestPipeline {
     gates: Vec<Box<dyn QualityGate>>,
     /// Veto counts per gate name.
     pub gate_vetoes: std::collections::HashMap<String, usize>,
-    report: IngestReport,
+    metrics: PipelineMetrics,
     admitted_since_retrain: usize,
     docs_since_expand: usize,
     /// Confidences of admitted and rejected facts (quality dashboard).
@@ -155,11 +297,18 @@ pub struct IngestPipeline {
 
 impl IngestPipeline {
     pub fn new(cfg: PipelineConfig) -> Self {
+        Self::with_registry(cfg, MetricsRegistry::new())
+    }
+
+    /// Build a pipeline whose accounting lands in `registry` — share one
+    /// registry across the pipeline, session and query layer to get a
+    /// single `/stats` surface (and inject a manual clock in tests).
+    pub fn with_registry(cfg: PipelineConfig, registry: MetricsRegistry) -> Self {
         Self {
             cfg,
             gates: Vec::new(),
             gate_vetoes: Default::default(),
-            report: IngestReport::default(),
+            metrics: PipelineMetrics::new(registry),
             admitted_since_retrain: 0,
             docs_since_expand: 0,
             admitted_confidences: Vec::new(),
@@ -171,6 +320,11 @@ impl IngestPipeline {
         &self.cfg
     }
 
+    /// The registry this pipeline's stage timers and counters live in.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
     /// Register a custom quality-control module (demo feature 3). Gates
     /// run after mapping/linking/scoring; any veto rejects the fact.
     pub fn with_gate(mut self, gate: Box<dyn QualityGate>) -> Self {
@@ -178,8 +332,17 @@ impl IngestPipeline {
         self
     }
 
-    pub fn report(&self) -> &IngestReport {
-        &self.report
+    /// The per-stage accounting so far, read from the live counters.
+    pub fn report(&self) -> IngestReport {
+        self.metrics.report()
+    }
+
+    /// Credit one extraction fan-out run by an external driver (e.g.
+    /// `SharedSession::ingest_batch`, which extracts under its own read
+    /// lock) into this pipeline's batch accounting.
+    pub fn record_fanout(&self, worker_docs: &[usize]) {
+        self.metrics.batches.inc();
+        self.metrics.record_fanout(worker_docs);
     }
 
     /// Resolve a mention surface to a vertex, optionally creating one.
@@ -207,17 +370,19 @@ impl IngestPipeline {
         if !looks_like_name {
             return None;
         }
-        self.report.new_entities += 1;
+        self.metrics.new_entities.inc();
         Some(kg.create_entity(&normalized, mention_type.unwrap_or(EntityType::Other)))
     }
 
     /// Ingest one document into the knowledge graph.
     pub fn ingest(&mut self, kg: &mut KnowledgeGraph, article: &Article) -> IngestReport {
-        let before = self.report.clone();
+        let before = self.report();
+        let span = self.metrics.registry.start(&self.metrics.stage_extract);
         let extracted =
             extract_document(&Document::from(article), &kg.gazetteer, &self.cfg.extractor);
+        span.stop();
         self.merge_extraction(kg, &extracted);
-        self.report.delta_since(&before)
+        self.report().delta_since(&before)
     }
 
     /// Merge one document's extractions into the graph: the sequential
@@ -228,15 +393,25 @@ impl IngestPipeline {
     /// parallel extraction fan-out — merges exactly as inline extraction
     /// would.
     pub fn merge_extraction(&mut self, kg: &mut KnowledgeGraph, extracted: &DocExtraction) {
-        self.report.documents += 1;
-        self.report.sentences += extracted.sentences;
-        self.report.duplicate_triples += extracted.raw_count - extracted.extractions.len();
+        self.metrics.documents.inc();
+        self.metrics.sentences.add(extracted.sentences as u64);
+        self.metrics
+            .duplicate_triples
+            .add((extracted.raw_count - extracted.extractions.len()) as u64);
         let doc_bow = &extracted.context;
+        // Per-stage nanos accumulate across the document's tuples and are
+        // observed once per document below. The registry clock is read
+        // through a cloned handle so the borrow never crosses the `&mut
+        // self` calls inside the loop.
+        let clock = self.metrics.registry.clone();
+        let (mut map_ns, mut dis_ns, mut score_ns, mut gate_ns, mut admit_ns) = (0, 0, 0, 0, 0u64);
 
         for t in &extracted.extractions {
-            self.report.raw_triples += 1;
-            let Some(rule) = kg.mapper.map(&t.predicate) else {
-                self.report.unmapped += 1;
+            self.metrics.raw_triples.inc();
+            let t0 = clock.now_nanos();
+            let rule = kg.mapper.map(&t.predicate).cloned();
+            let Some(rule) = rule else {
+                self.metrics.unmapped.inc();
                 // Still try to resolve the arguments so the stashed raw
                 // triple can supervise mapper expansion later.
                 if let (Some(s), Some(o)) = (
@@ -249,33 +424,38 @@ impl IngestPipeline {
                 ) {
                     kg.stash_raw_triple(s, &t.predicate, o);
                 }
+                map_ns += clock.now_nanos().saturating_sub(t0);
                 continue;
             };
-            let rule = rule.clone();
-            self.report.mapped += 1;
+            self.metrics.mapped.inc();
+            map_ns += clock.now_nanos().saturating_sub(t0);
 
+            let t0 = clock.now_nanos();
             let s = self.resolve_entity(kg, &t.subject, doc_bow, t.subject_type);
             let o = self.resolve_entity(kg, &t.object, doc_bow, t.object_type);
+            dis_ns += clock.now_nanos().saturating_sub(t0);
             let (Some(mut s), Some(mut o)) = (s, o) else {
-                self.report.unresolved_entity += 1;
+                self.metrics.unresolved_entity.inc();
                 continue;
             };
             if rule.inverted {
                 std::mem::swap(&mut s, &mut o);
             }
             if s == o {
-                self.report.rejected += 1;
+                self.metrics.rejected.inc();
                 continue;
             }
 
             // §3.4 confidence: blend extractor heuristic with the link
             // predictor's graph-prior score.
+            let t0 = clock.now_nanos();
             let prior = kg.predictor.score(&rule.ontology, s.0, o.0);
             let w = self.cfg.predictor_weight;
             let confidence = ((1.0 - w) * t.confidence + w * prior).clamp(0.0, 1.0);
+            score_ns += clock.now_nanos().saturating_sub(t0);
 
             if confidence < self.cfg.min_confidence || t.negated {
-                self.report.rejected += 1;
+                self.metrics.rejected.inc();
                 self.rejected_confidences.push(confidence);
                 continue;
             }
@@ -285,13 +465,25 @@ impl IngestPipeline {
                 object: o,
                 confidence,
             };
-            if let Some(gate) = self.gates.iter().find(|g| g.check(kg, &candidate).is_err()) {
+            let t0 = clock.now_nanos();
+            let veto = self.gates.iter().find(|g| g.check(kg, &candidate).is_err());
+            gate_ns += clock.now_nanos().saturating_sub(t0);
+            if let Some(gate) = veto {
                 *self.gate_vetoes.entry(gate.name().to_owned()).or_default() += 1;
-                self.report.gated += 1;
-                self.report.rejected += 1;
+                self.metrics
+                    .registry
+                    .counter_with(
+                        "nous_ingest_gate_vetoes_total",
+                        "Facts vetoed per quality gate",
+                        &[("gate", gate.name())],
+                    )
+                    .inc();
+                self.metrics.gated.inc();
+                self.metrics.rejected.inc();
                 self.rejected_confidences.push(confidence);
                 continue;
             }
+            let t0 = clock.now_nanos();
             kg.add_extracted_fact_with_args(
                 s,
                 &rule.ontology,
@@ -303,10 +495,17 @@ impl IngestPipeline {
             );
             kg.add_entity_text(s, doc_bow);
             kg.add_entity_text(o, doc_bow);
-            self.report.admitted += 1;
+            admit_ns += clock.now_nanos().saturating_sub(t0);
+            self.metrics.admitted.inc();
             self.admitted_confidences.push(confidence);
             self.admitted_since_retrain += 1;
         }
+
+        self.metrics.stage_map.observe(map_ns);
+        self.metrics.stage_disambiguate.observe(dis_ns);
+        self.metrics.stage_score.observe(score_ns);
+        self.metrics.stage_gate.observe(gate_ns);
+        self.metrics.stage_admit.observe(admit_ns);
 
         self.docs_since_expand += 1;
         if self.cfg.expand_mapper_every > 0
@@ -326,7 +525,7 @@ impl IngestPipeline {
         for a in articles {
             self.ingest(kg, a);
         }
-        self.report.clone()
+        self.report()
     }
 
     /// Ingest a slice of documents through the two-stage split: extraction
@@ -337,18 +536,22 @@ impl IngestPipeline {
     /// batch boundary; see the module docs for the staleness contract.
     pub fn ingest_batch(&mut self, kg: &mut KnowledgeGraph, articles: &[Article]) -> IngestReport {
         for chunk in articles.chunks(self.cfg.batch_size.max(1)) {
+            self.metrics.batches.inc();
             let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
-            let extracted = extract_documents(
+            let span = self.metrics.registry.start(&self.metrics.stage_extract);
+            let (extracted, worker_docs) = extract_documents_counted(
                 &docs,
                 &kg.gazetteer,
                 &self.cfg.extractor,
                 self.cfg.extract_workers,
             );
+            span.stop();
+            self.metrics.record_fanout(&worker_docs);
             for ext in &extracted {
                 self.merge_extraction(kg, ext);
             }
         }
-        self.report.clone()
+        self.report()
     }
 
     /// Ingest an arbitrary document stream with the same micro-batched
@@ -370,7 +573,7 @@ impl IngestPipeline {
             }
             self.ingest_batch(kg, &buf);
         }
-        self.report.clone()
+        self.report()
     }
 }
 
@@ -642,5 +845,108 @@ mod tests {
         let mut pipe = IngestPipeline::new(PipelineConfig::default());
         let delta = pipe.ingest(&mut kg, &article);
         assert_eq!(delta.admitted, 0);
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_underflowing() {
+        // A "before" snapshot from a different (or reset) accumulator can
+        // be ahead of "self" — e.g. a dashboard that kept a snapshot across
+        // a pipeline restart. The delta clamps to zero, never wraps.
+        let behind = IngestReport {
+            documents: 3,
+            admitted: 1,
+            ..Default::default()
+        };
+        let ahead = IngestReport {
+            documents: 10,
+            sentences: 4,
+            admitted: 5,
+            rejected: 2,
+            ..Default::default()
+        };
+        let delta = behind.delta_since(&ahead);
+        assert_eq!(delta.documents, 0);
+        assert_eq!(delta.admitted, 0);
+        assert_eq!(delta.sentences, 0);
+        // The normal direction still subtracts exactly.
+        let fwd = ahead.delta_since(&behind);
+        assert_eq!(fwd.documents, 7);
+        assert_eq!(fwd.admitted, 4);
+        assert_eq!(fwd.rejected, 2);
+    }
+
+    #[test]
+    fn admission_rate_is_finite_on_empty_and_delta_reports() {
+        let empty = IngestReport::default();
+        assert_eq!(empty.admission_rate(), 0.0);
+        assert!(empty.admission_rate().is_finite());
+        // Zero-doc delta: identical snapshots produce an all-zero report
+        // whose rate is 0.0, not NaN.
+        let snap = IngestReport {
+            documents: 5,
+            admitted: 3,
+            rejected: 1,
+            ..Default::default()
+        };
+        let delta = snap.delta_since(&snap.clone());
+        assert_eq!(delta, IngestReport::default());
+        assert_eq!(delta.admission_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_is_a_view_of_the_registry_counters() {
+        let (_, mut kg, articles) = setup();
+        kg.train_predictor();
+        let mut pipe = IngestPipeline::new(PipelineConfig::default());
+        let report = pipe.ingest_all(&mut kg, &articles[..10]);
+        let reg = pipe.metrics();
+        assert_eq!(
+            reg.counter_value("nous_ingest_documents_total", &[]),
+            Some(report.documents as u64)
+        );
+        assert_eq!(
+            reg.counter_value("nous_ingest_admitted_total", &[]),
+            Some(report.admitted as u64)
+        );
+        assert_eq!(
+            reg.counter_value("nous_ingest_rejected_total", &[]),
+            Some(report.rejected as u64)
+        );
+        // Stage histograms saw one observation per document per stage.
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("nous_ingest_stage_seconds_count{stage=\"map\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nous_ingest_stage_seconds_count{stage=\"extract\"} 10"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn batched_ingestion_records_fanout_accounting() {
+        let (_, mut kg, articles) = setup();
+        kg.train_predictor();
+        let cfg = PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            ..Default::default()
+        };
+        let mut pipe = IngestPipeline::new(cfg);
+        pipe.ingest_batch(&mut kg, &articles);
+        let reg = pipe.metrics();
+        let batches = reg.counter_value("nous_ingest_batches_total", &[]).unwrap();
+        assert_eq!(batches as usize, articles.len().div_ceil(8));
+        // Two workers per batch of 8: both slots credited, all docs
+        // accounted across the worker counters.
+        let fam = reg.counter_family("nous_ingest_worker_docs_total");
+        assert_eq!(fam.len(), 2, "{fam:?}");
+        let total: u64 = fam.iter().map(|(_, v)| v).sum();
+        assert_eq!(total as usize, articles.len());
+        assert_eq!(
+            reg.gauge_value("nous_ingest_extract_workers_used", &[]),
+            Some(2)
+        );
     }
 }

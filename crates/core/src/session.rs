@@ -11,10 +11,68 @@ use crate::kg::KnowledgeGraph;
 use crate::pipeline::{IngestPipeline, IngestReport};
 use crate::trends::TrendMonitor;
 use nous_corpus::Article;
-use nous_extract::{extract_documents, Document};
+use nous_extract::{extract_documents_counted, Document};
+use nous_obs::{Gauge, Histogram, MetricsRegistry};
 use nous_qa::TopicIndex;
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
+
+/// Lock wait/hold instruments, one series per lock kind
+/// (`lock="read"|"write"|"trends"|"all"`). Wait is the time from request
+/// to acquisition; hold is the time the closure runs under the lock.
+#[derive(Clone)]
+struct SessionMetrics {
+    registry: MetricsRegistry,
+    wait_read: Histogram,
+    wait_write: Histogram,
+    wait_trends: Histogram,
+    wait_all: Histogram,
+    hold_read: Histogram,
+    hold_write: Histogram,
+    hold_trends: Histogram,
+    hold_all: Histogram,
+    hold_last_read: Gauge,
+    hold_last_write: Gauge,
+}
+
+impl SessionMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        let wait = |l: &str| {
+            registry.latency_with(
+                "nous_session_lock_wait_seconds",
+                "Time spent waiting to acquire a session lock",
+                &[("lock", l)],
+            )
+        };
+        let hold = |l: &str| {
+            registry.latency_with(
+                "nous_session_lock_hold_seconds",
+                "Time a session lock was held by one operation",
+                &[("lock", l)],
+            )
+        };
+        let last = |l: &str| {
+            registry.gauge_with(
+                "nous_session_lock_hold_last_nanos",
+                "Hold time of the most recent acquisition, nanoseconds",
+                &[("lock", l)],
+            )
+        };
+        Self {
+            wait_read: wait("read"),
+            wait_write: wait("write"),
+            wait_trends: wait("trends"),
+            wait_all: wait("all"),
+            hold_read: hold("read"),
+            hold_write: hold("write"),
+            hold_trends: hold("trends"),
+            hold_all: hold("all"),
+            hold_last_read: last("read"),
+            hold_last_write: last("write"),
+            registry,
+        }
+    }
+}
 
 /// Shareable handle to a live NOUS session.
 #[derive(Clone)]
@@ -22,30 +80,75 @@ pub struct SharedSession {
     kg: Arc<RwLock<KnowledgeGraph>>,
     topics: Arc<RwLock<TopicIndex>>,
     trends: Arc<Mutex<TrendMonitor>>,
+    metrics: SessionMetrics,
 }
 
 impl SharedSession {
     pub fn new(kg: KnowledgeGraph, topics: TopicIndex, trends: TrendMonitor) -> Self {
+        Self::with_registry(kg, topics, trends, MetricsRegistry::new())
+    }
+
+    /// Build a session whose lock and trend-miner accounting lands in
+    /// `registry`. Share the same registry with the ingestion pipeline
+    /// ([`IngestPipeline::with_registry`]) to get one `/stats` surface for
+    /// the whole service.
+    pub fn with_registry(
+        kg: KnowledgeGraph,
+        topics: TopicIndex,
+        mut trends: TrendMonitor,
+        registry: MetricsRegistry,
+    ) -> Self {
+        trends.instrument(&registry);
         Self {
             kg: Arc::new(RwLock::new(kg)),
             topics: Arc::new(RwLock::new(topics)),
             trends: Arc::new(Mutex::new(trends)),
+            metrics: SessionMetrics::new(registry),
         }
+    }
+
+    /// The registry this session's accounting lands in.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
+    /// Deterministic JSON snapshot of every metric the session's registry
+    /// holds — the live "/stats" endpoint of the demo service. Callers
+    /// wanting Prometheus exposition instead use
+    /// `session.metrics().render_prometheus()`.
+    pub fn stats_snapshot(&self) -> String {
+        self.metrics.registry.snapshot_json()
     }
 
     /// Run a read-only operation against the graph (concurrent with other
     /// readers).
     pub fn read<T>(&self, f: impl FnOnce(&KnowledgeGraph, &TopicIndex) -> T) -> T {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
         let kg = self.kg.read();
         let topics = self.topics.read();
-        f(&kg, &topics)
+        let t1 = m.registry.now_nanos();
+        m.wait_read.observe(t1.saturating_sub(t0));
+        let out = f(&kg, &topics);
+        let held = m.registry.now_nanos().saturating_sub(t1);
+        m.hold_read.observe(held);
+        m.hold_last_read.set(held as i64);
+        out
     }
 
     /// Run a mutating operation (ingestion, retraining) with exclusive
     /// access.
     pub fn write<T>(&self, f: impl FnOnce(&mut KnowledgeGraph) -> T) -> T {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
         let mut kg = self.kg.write();
-        f(&mut kg)
+        let t1 = m.registry.now_nanos();
+        m.wait_write.observe(t1.saturating_sub(t0));
+        let out = f(&mut kg);
+        let held = m.registry.now_nanos().saturating_sub(t1);
+        m.hold_write.observe(held);
+        m.hold_last_write.set(held as i64);
+        out
     }
 
     /// Replace the topic index (after an LDA refresh).
@@ -56,9 +159,38 @@ impl SharedSession {
     /// Run an operation needing the trend monitor (serialised: the miner's
     /// closed-pattern queries mutate cached state).
     pub fn with_trends<T>(&self, f: impl FnOnce(&mut TrendMonitor, &KnowledgeGraph) -> T) -> T {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
         let kg = self.kg.read();
         let mut trends = self.trends.lock();
-        f(&mut trends, &kg)
+        let t1 = m.registry.now_nanos();
+        m.wait_trends.observe(t1.saturating_sub(t0));
+        let out = f(&mut trends, &kg);
+        m.hold_trends
+            .observe(m.registry.now_nanos().saturating_sub(t1));
+        out
+    }
+
+    /// Run an operation against the full session state — graph, topics and
+    /// trend monitor — under one consistent acquisition (kg → topics →
+    /// trends, the same order every other accessor uses). This is what the
+    /// query executor runs under: every query class sees one coherent
+    /// snapshot of the session.
+    pub fn with_all<T>(
+        &self,
+        f: impl FnOnce(&KnowledgeGraph, &TopicIndex, &mut TrendMonitor) -> T,
+    ) -> T {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
+        let kg = self.kg.read();
+        let topics = self.topics.read();
+        let mut trends = self.trends.lock();
+        let t1 = m.registry.now_nanos();
+        m.wait_all.observe(t1.saturating_sub(t0));
+        let out = f(&kg, &topics, &mut trends);
+        m.hold_all
+            .observe(m.registry.now_nanos().saturating_sub(t1));
+        out
     }
 
     /// Micro-batched ingestion against the live session: the parallel
@@ -75,18 +207,51 @@ impl SharedSession {
         articles: &[Article],
     ) -> IngestReport {
         let cfg = pipeline.config().clone();
+        // The extract-stage histogram lives in the *pipeline's* registry
+        // (get-or-create hands back the same series its own ingest path
+        // records into), so session-driven and pipeline-driven ingestion
+        // share one accounting stream.
+        let extract_stage = pipeline.metrics().latency_with(
+            "nous_ingest_stage_seconds",
+            "Per-document wall time spent in each ingestion stage",
+            &[("stage", "extract")],
+        );
         for chunk in articles.chunks(cfg.batch_size.max(1)) {
-            let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
             let extracted = {
+                let m = &self.metrics;
+                let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
+                let t0 = m.registry.now_nanos();
                 let kg = self.kg.read();
-                extract_documents(&docs, &kg.gazetteer, &cfg.extractor, cfg.extract_workers)
+                let t1 = m.registry.now_nanos();
+                m.wait_read.observe(t1.saturating_sub(t0));
+                let span = pipeline.metrics().start(&extract_stage);
+                let (extracted, worker_docs) = extract_documents_counted(
+                    &docs,
+                    &kg.gazetteer,
+                    &cfg.extractor,
+                    cfg.extract_workers,
+                );
+                span.stop();
+                pipeline.record_fanout(&worker_docs);
+                let held = m.registry.now_nanos().saturating_sub(t1);
+                m.hold_read.observe(held);
+                m.hold_last_read.set(held as i64);
+                extracted
             };
+            let m = &self.metrics;
+            let t0 = m.registry.now_nanos();
             let mut kg = self.kg.write();
+            let t1 = m.registry.now_nanos();
+            m.wait_write.observe(t1.saturating_sub(t0));
             for ext in &extracted {
                 pipeline.merge_extraction(&mut kg, ext);
             }
+            drop(kg);
+            let held = m.registry.now_nanos().saturating_sub(t1);
+            m.hold_write.observe(held);
+            m.hold_last_write.set(held as i64);
         }
-        pipeline.report().clone()
+        pipeline.report()
     }
 }
 
@@ -216,6 +381,87 @@ mod tests {
             s.read(|kg, _| kg.graph.stats().extracted_edges),
             report.admitted
         );
+    }
+
+    #[test]
+    fn concurrent_read_during_ingest_populates_lock_metrics() {
+        use crate::pipeline::PipelineConfig;
+        use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+
+        let world = World::generate(&Preset::Smoke.world_config());
+        let kb = CuratedKb::generate(&world, 7);
+        let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+        kg.train_predictor();
+        let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+        let seed = world.entities[world.companies[0]].name.clone();
+
+        // One registry shared by the session and the pipeline: lock
+        // telemetry and ingest counters land on the same /stats surface.
+        let registry = MetricsRegistry::new();
+        let s = SharedSession::with_registry(
+            kg,
+            TopicIndex::new(2),
+            TrendMonitor::new(
+                WindowKind::Count { n: 100 },
+                MinerConfig {
+                    k_max: 1,
+                    min_support: 2,
+                    eviction: EvictionStrategy::Eager,
+                },
+            ),
+            registry.clone(),
+        );
+        let reader = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    assert!(s.read(|kg, _| kg.graph.vertex_id(&seed).is_some()));
+                }
+            })
+        };
+        let cfg = PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            ..Default::default()
+        };
+        let mut pipe = IngestPipeline::with_registry(cfg, registry.clone());
+        let report = s.ingest_batch(&mut pipe, &articles);
+        reader.join().expect("reader");
+        assert!(report.admitted > 0);
+        // KG stayed consistent under the concurrent readers.
+        assert_eq!(
+            s.read(|kg, _| kg.graph.stats().extracted_edges),
+            report.admitted
+        );
+        // Lock wait/hold histograms saw both the readers and the writer.
+        let hold = |l: &str| {
+            registry.latency_with(
+                "nous_session_lock_hold_seconds",
+                "Time a session lock was held by one operation",
+                &[("lock", l)],
+            )
+        };
+        assert!(hold("read").count() > 50, "reader + extraction holds");
+        assert!(hold("write").count() > 0, "merge holds");
+        // Last-hold gauges populated (hold times can legitimately be 0ns
+        // on coarse clocks, so existence + non-negativity is the contract).
+        let last_write = registry
+            .gauge_value("nous_session_lock_hold_last_nanos", &[("lock", "write")])
+            .expect("write hold gauge registered");
+        assert!(last_write >= 0);
+        // Ingest counters landed in the same registry.
+        assert_eq!(
+            registry.counter_value("nous_ingest_documents_total", &[]),
+            Some(report.documents as u64)
+        );
+        // The session-driven fan-out credited worker slots.
+        assert!(!registry
+            .counter_family("nous_ingest_worker_docs_total")
+            .is_empty());
+        // And the snapshot renders the whole surface.
+        let snap = s.stats_snapshot();
+        assert!(snap.contains("nous_session_lock_hold_seconds"), "{snap}");
+        assert!(snap.contains("nous_ingest_admitted_total"), "{snap}");
     }
 
     #[test]

@@ -60,6 +60,15 @@ impl TrendMonitor {
         )
     }
 
+    /// Route the monitor's miner accounting into `registry` (the
+    /// `nous_miner_*` family: window-advance latency, window/table size
+    /// gauges, closed-pattern emission counts). Called by
+    /// `SharedSession::with_registry` so the trend monitor shows up in the
+    /// session's `/stats` surface.
+    pub fn instrument(&mut self, registry: &nous_obs::MetricsRegistry) {
+        self.miner.instrument(registry);
+    }
+
     /// Consume new graph edges, sliding the window and updating the miner.
     /// Returns `(added, evicted)` edge counts.
     pub fn observe(&mut self, kg: &KnowledgeGraph) -> (usize, usize) {

@@ -146,7 +146,22 @@ pub fn extract_documents(
     cfg: &ExtractorConfig,
     workers: usize,
 ) -> Vec<DocExtraction> {
-    nous_graph::parallel::par_map_chunks(docs, workers, |d| extract_document(d, gazetteer, cfg))
+    extract_documents_counted(docs, gazetteer, cfg, workers).0
+}
+
+/// [`extract_documents`] plus per-worker document counts: the second
+/// return value has one entry per worker thread actually used, holding how
+/// many documents that worker extracted. Telemetry reads it to report the
+/// realised (not merely configured) fan-out width.
+pub fn extract_documents_counted(
+    docs: &[Document],
+    gazetteer: &Gazetteer,
+    cfg: &ExtractorConfig,
+    workers: usize,
+) -> (Vec<DocExtraction>, Vec<usize>) {
+    nous_graph::parallel::par_map_chunks_counted(docs, workers, |d| {
+        extract_document(d, gazetteer, cfg)
+    })
 }
 
 #[cfg(test)]

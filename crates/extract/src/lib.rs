@@ -12,7 +12,9 @@
 //!   within-document duplicates collapsed to their best-confidence copy.
 //! - [`extract_documents`] — the same over a micro-batch of documents,
 //!   fanned out across worker threads against one read-only gazetteer
-//!   snapshot (the parallel stage of the two-stage ingestion split).
+//!   snapshot (the parallel stage of the two-stage ingestion split);
+//!   [`extract_documents_counted`] additionally reports per-worker
+//!   document counts for telemetry.
 //! - [`evaluate`] — ground-truth scoring against a `nous-corpus` article
 //!   stream (surface recall / grounded precision / yield), shared by the
 //!   E3/E11 benchmarks and the corpus↔pipeline contract tests.
@@ -20,5 +22,8 @@
 pub mod document;
 pub mod evaluate;
 
-pub use document::{extract_document, extract_documents, DocExtraction, Document, Extraction};
+pub use document::{
+    extract_document, extract_documents, extract_documents_counted, DocExtraction, Document,
+    Extraction,
+};
 pub use evaluate::{evaluate_stream, ExtractionQuality};

@@ -43,8 +43,22 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_chunks_counted(items, workers, f).0
+}
+
+/// [`par_map_chunks`] plus fan-out accounting: the second return value has
+/// one entry per worker thread *actually spawned* (after the auto/clamp
+/// resolution), holding the number of items that worker processed. The
+/// chunking is deterministic, so so are the counts — telemetry reads them
+/// to report real (not merely configured) parallelism.
+pub fn par_map_chunks_counted<T, U, F>(items: &[T], workers: usize, f: F) -> (Vec<U>, Vec<usize>)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     if items.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let workers = if workers == 0 {
         available_workers()
@@ -53,9 +67,10 @@ where
     }
     .clamp(1, items.len());
     if workers == 1 {
-        return items.iter().map(f).collect();
+        return (items.iter().map(f).collect(), vec![items.len()]);
     }
     let chunk = items.len().div_ceil(workers);
+    let counts: Vec<usize> = items.chunks(chunk).map(<[T]>::len).collect();
     let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     crossbeam::thread::scope(|scope| {
@@ -69,9 +84,11 @@ where
         }
     })
     .expect("par_map_chunks worker panicked");
-    out.into_iter()
+    let out = out
+        .into_iter()
         .map(|u| u.expect("every slot filled"))
-        .collect()
+        .collect();
+    (out, counts)
 }
 
 /// Map `f` over every vertex in parallel, collecting results in vertex-id
@@ -202,6 +219,21 @@ mod tests {
         assert!(par_map_chunks(&empty, 4, |x| *x).is_empty());
         // More workers than items: every item still mapped exactly once.
         assert_eq!(par_map_chunks(&[7u32, 9], 16, |x| x + 1), vec![8, 10]);
+    }
+
+    #[test]
+    fn par_map_chunks_counted_accounts_every_item() {
+        let items: Vec<u64> = (0..1000).collect();
+        for workers in [1, 2, 3, 7, 64] {
+            let (out, counts) = par_map_chunks_counted(&items, workers, |x| *x);
+            assert_eq!(out, items, "workers={workers}");
+            assert_eq!(counts.iter().sum::<usize>(), items.len());
+            assert!(counts.len() <= workers);
+            assert!(counts.iter().all(|&c| c > 0));
+        }
+        let (out, counts) = par_map_chunks_counted::<u32, u32, _>(&[], 4, |x| *x);
+        assert!(out.is_empty());
+        assert!(counts.is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::enumerate::{all_embeddings, embeddings_containing};
 use crate::index::ActiveGraph;
 use crate::pattern::Pattern;
 use nous_graph::{FxHashMap, FxHashSet};
+use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 /// How evictions are folded into the support table.
@@ -55,6 +56,51 @@ impl Default for MinerConfig {
     }
 }
 
+/// Instrument handles for an instrumented miner (`nous_miner_*` family);
+/// present only after [`StreamingMiner::instrument`].
+#[derive(Debug, Clone)]
+struct MinerMetrics {
+    registry: MetricsRegistry,
+    edges_added: Counter,
+    edges_evicted: Counter,
+    closed_emitted: Counter,
+    patterns_tracked: Gauge,
+    window_len: Gauge,
+    advance: Histogram,
+}
+
+impl MinerMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            edges_added: registry.counter(
+                "nous_miner_edges_added_total",
+                "Edges fed into the miner window",
+            ),
+            edges_evicted: registry.counter(
+                "nous_miner_edges_evicted_total",
+                "Edges evicted from the miner window",
+            ),
+            closed_emitted: registry.counter(
+                "nous_miner_closed_emitted_total",
+                "Closed frequent patterns emitted by queries",
+            ),
+            patterns_tracked: registry.gauge(
+                "nous_miner_patterns_tracked",
+                "Patterns currently tracked in the support table",
+            ),
+            window_len: registry.gauge(
+                "nous_miner_window_len",
+                "Edges currently in the miner window",
+            ),
+            advance: registry.latency(
+                "nous_miner_window_advance_seconds",
+                "Per-edge window advance (add or evict) latency",
+            ),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// The streaming miner.
 #[derive(Debug, Clone)]
 pub struct StreamingMiner {
@@ -64,6 +110,7 @@ pub struct StreamingMiner {
     dirty: bool,
     /// Patterns that crossed frequent → infrequent on the last operation.
     just_infrequent: Vec<Pattern>,
+    metrics: Option<MinerMetrics>,
 }
 
 impl StreamingMiner {
@@ -76,7 +123,15 @@ impl StreamingMiner {
             counts: FxHashMap::default(),
             dirty: false,
             just_infrequent: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Route this miner's accounting into `registry` (metric family
+    /// `nous_miner_*`): window-advance latency per add/evict, window and
+    /// support-table size gauges, closed-pattern emission counts.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(MinerMetrics::new(registry));
     }
 
     pub fn config(&self) -> &MinerConfig {
@@ -88,8 +143,26 @@ impl StreamingMiner {
         self.window.len()
     }
 
+    /// Snapshot the window/table gauges after a slide.
+    fn update_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.window_len.set(self.window.len() as i64);
+            m.patterns_tracked.set(self.counts.len() as i64);
+        }
+    }
+
     /// Feed an arriving edge.
     pub fn add_edge(&mut self, e: MinerEdge) {
+        let span = self.metrics.as_ref().map(|m| m.registry.start(&m.advance));
+        self.add_edge_inner(e);
+        drop(span);
+        if let Some(m) = &self.metrics {
+            m.edges_added.inc();
+        }
+        self.update_gauges();
+    }
+
+    fn add_edge_inner(&mut self, e: MinerEdge) {
         self.window.insert(e);
         if self.cfg.eviction == EvictionStrategy::Rebuild {
             self.dirty = true;
@@ -109,6 +182,19 @@ impl StreamingMiner {
 
     /// Evict an edge that slid out of the window.
     pub fn remove_edge(&mut self, id: u64) {
+        let was_present = self.window.contains(id);
+        let span = self.metrics.as_ref().map(|m| m.registry.start(&m.advance));
+        self.remove_edge_inner(id);
+        drop(span);
+        if was_present {
+            if let Some(m) = &self.metrics {
+                m.edges_evicted.inc();
+            }
+        }
+        self.update_gauges();
+    }
+
+    fn remove_edge_inner(&mut self, id: u64) {
         if self.cfg.eviction == EvictionStrategy::Rebuild {
             self.window.remove(id);
             self.dirty = true;
@@ -195,10 +281,14 @@ impl StreamingMiner {
                 }
             }
         }
-        frequent
+        let closed: Vec<(Pattern, u32)> = frequent
             .into_iter()
             .filter(|(p, _)| !non_closed.contains(p))
-            .collect()
+            .collect();
+        if let Some(m) = &self.metrics {
+            m.closed_emitted.add(closed.len() as u64);
+        }
+        closed
     }
 
     /// "Reconstruction of smaller frequent patterns from larger patterns
@@ -397,6 +487,44 @@ mod tests {
         m.remove_edge(99);
         assert_eq!(m.window_len(), 1);
         assert_eq!(m.frequent_patterns().len(), 1);
+    }
+
+    #[test]
+    fn instrumented_miner_accounts_slides_and_emissions() {
+        let registry = MetricsRegistry::new();
+        let mut m = miner(2, 2, EvictionStrategy::Eager);
+        m.instrument(&registry);
+        m.add_edge(me(0, 1, 2, 7));
+        m.add_edge(me(1, 3, 4, 7));
+        let closed = m.closed_frequent();
+        m.remove_edge(0);
+        m.remove_edge(99); // absent: must not count as an eviction
+        assert_eq!(
+            registry.counter_value("nous_miner_edges_added_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("nous_miner_edges_evicted_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("nous_miner_closed_emitted_total", &[]),
+            Some(closed.len() as u64)
+        );
+        assert_eq!(registry.gauge_value("nous_miner_window_len", &[]), Some(1));
+        // Every add/evict timed (the absent-id evict still ran the slide).
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("nous_miner_window_advance_seconds_count 4"),
+            "{text}"
+        );
+        // Instrumentation must not change mining results.
+        let mut plain = miner(2, 2, EvictionStrategy::Eager);
+        plain.add_edge(me(0, 1, 2, 7));
+        plain.add_edge(me(1, 3, 4, 7));
+        plain.remove_edge(0);
+        plain.remove_edge(99);
+        assert_eq!(m.frequent_patterns(), plain.frequent_patterns());
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! # nous-obs — runtime telemetry for the NOUS pipeline
+//!
+//! NOUS is a *continuous* system: documents stream in, the graph mutates,
+//! analysts query the live state. Operating that shape requires per-stage
+//! visibility — what Saga-style continuous knowledge-construction
+//! platforms treat as a first-class requirement. This crate is the
+//! zero-dependency instrumentation layer the rest of the workspace
+//! threads through its hot paths:
+//!
+//! - [`MetricsRegistry`] — named, labelled counters / gauges /
+//!   fixed-bucket histograms with p50/p90/p99 extraction. Handles are
+//!   atomic `Arc`s: register once, observe lock-free.
+//! - [`Span`] / [`StageTimer`] — scoped timers recording into latency
+//!   histograms through an injectable [`Clock`]; swap in a
+//!   [`ManualClock`] and measurements become bit-stable for tests (see
+//!   DESIGN.md §5 for the pattern).
+//! - [`MetricsRegistry::render_prometheus`] — text exposition
+//!   (format 0.0.4); [`MetricsRegistry::snapshot_json`] — deterministic
+//!   JSON for `SharedSession::stats_snapshot()` and the `stats` example.
+//!
+//! Metric naming follows Prometheus conventions: `nous_<subsystem>_…`,
+//! `_total` for counters, `_seconds` for latency histograms with decade
+//! buckets from 1µs to 10s.
+
+pub mod clock;
+pub mod metrics;
+pub mod registry;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use metrics::{Counter, Gauge, Histogram, Unit, COUNT_BUCKETS, LATENCY_BUCKETS_NANOS};
+pub use registry::{MetricsRegistry, Span, StageTimer};

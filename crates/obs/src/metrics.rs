@@ -1,0 +1,303 @@
+//! Lock-cheap metric instruments: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Handles are thin `Arc`s over atomic cores — cloning a handle is cheap
+//! and every clone observes into the same underlying metric, so hot paths
+//! grab their instruments once at construction time and never touch the
+//! registry again.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a histogram's raw `u64` observations mean, and how exposition
+/// scales them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Observations are nanoseconds; exposed in seconds (Prometheus
+    /// convention for `_seconds` histograms).
+    Nanos,
+    /// Observations are dimensionless counts; exposed as-is.
+    Count,
+}
+
+/// Monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Default latency buckets, nanoseconds: 1µs … 10s in decades.
+pub const LATENCY_BUCKETS_NANOS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Default size buckets for dimensionless counts (nodes expanded,
+/// frontier sizes, …).
+pub const COUNT_BUCKETS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 10_000];
+
+struct HistogramCore {
+    unit: Unit,
+    /// Upper bounds (inclusive) of the finite buckets, ascending.
+    bounds: Vec<u64>,
+    /// One slot per finite bound plus the overflow (+Inf) slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Fixed-bucket histogram with integer observations.
+///
+/// All state is atomic; `observe` is wait-free (one bucket increment plus
+/// count/sum/max updates). Quantiles are extracted from the bucket counts
+/// with linear interpolation inside the winning bucket, so identical
+/// observation multisets yield identical quantiles — no sampling, no
+/// decay, nothing order-dependent.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    pub fn new(unit: Unit, bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        Self {
+            core: Arc::new(HistogramCore {
+                unit,
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn unit(&self) -> Unit {
+        self.core.unit
+    }
+
+    pub fn observe(&self, value: u64) {
+        let c = &self.core;
+        let idx = c
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Finite bucket upper bounds, ascending (raw units).
+    pub fn bounds(&self) -> &[u64] {
+        &self.core.bounds
+    }
+
+    /// Per-bucket counts: one per finite bound, plus the trailing overflow
+    /// (+Inf) bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in raw units, linearly
+    /// interpolated inside the winning bucket; observations beyond the
+    /// last finite bound report the maximum observed value.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev_cum = cum;
+            cum += c;
+            if cum >= target {
+                if i == self.core.bounds.len() {
+                    return self.max() as f64;
+                }
+                let lo = if i == 0 { 0 } else { self.core.bounds[i - 1] };
+                let hi = self.core.bounds[i];
+                let frac = (target - prev_cum) as f64 / c as f64;
+                return lo as f64 + (hi - lo) as f64 * frac;
+            }
+        }
+        self.max() as f64
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram(unit={:?}, count={}, sum={}, max={})",
+            self.core.unit,
+            self.count(),
+            self.sum(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        // Clones share state.
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(Unit::Count, &[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5_000);
+        assert_eq!(h.max(), 5_000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_deterministically() {
+        let h = Histogram::new(Unit::Count, &[10, 20, 40]);
+        // 10 observations in (10, 20].
+        for _ in 0..10 {
+            h.observe(15);
+        }
+        // p50 → 5th of 10 in bucket (10,20] → 10 + 10 * 5/10 = 15.
+        assert_eq!(h.p50(), 15.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+        // Empty histogram is all-zero, never NaN.
+        let empty = Histogram::new(Unit::Count, &[1]);
+        assert_eq!(empty.p99(), 0.0);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_observed_max() {
+        let h = Histogram::new(Unit::Count, &[10]);
+        h.observe(1_000_000);
+        assert_eq!(h.p99(), 1_000_000.0);
+    }
+
+    #[test]
+    fn latency_bucket_defaults_are_ascending() {
+        assert!(LATENCY_BUCKETS_NANOS.windows(2).all(|w| w[0] < w[1]));
+        assert!(COUNT_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

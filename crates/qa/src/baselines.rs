@@ -12,7 +12,7 @@
 //! - [`random_walk_paths`] — PRA-style: rank by random-walk probability,
 //!   the product of `1/degree` along the path.
 
-use crate::path::{enumerate_paths, PathConstraint, RankedPath};
+use crate::path::{enumerate_paths_with_stats, PathConstraint, RankedPath, SearchStats};
 use crate::QaConfig;
 use nous_graph::{DynamicGraph, VertexId};
 
@@ -22,9 +22,10 @@ fn candidates(
     dst: VertexId,
     constraint: &PathConstraint,
     cfg: &QaConfig,
+    stats: &mut SearchStats,
 ) -> Vec<RankedPath> {
     // Baselines search unguided (no look-ahead pruning).
-    enumerate_paths(
+    enumerate_paths_with_stats(
         g,
         src,
         dst,
@@ -32,6 +33,7 @@ fn candidates(
         cfg.budget,
         constraint,
         |_, steps| steps,
+        stats,
     )
 }
 
@@ -43,7 +45,20 @@ pub fn shortest_paths(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
-    let mut paths = candidates(g, src, dst, constraint, cfg);
+    shortest_paths_with_stats(g, src, dst, constraint, cfg).0
+}
+
+/// [`shortest_paths`] plus search-effort accounting (the variant the
+/// instrumented query executor calls).
+pub fn shortest_paths_with_stats(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> (Vec<RankedPath>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut paths = candidates(g, src, dst, constraint, cfg, &mut stats);
     for p in &mut paths {
         p.score = p.len() as f64;
     }
@@ -53,7 +68,7 @@ pub fn shortest_paths(
             .then_with(|| a.vertices.cmp(&b.vertices))
     });
     paths.truncate(cfg.k);
-    paths
+    (paths, stats)
 }
 
 /// Rank by mean degree of intermediate vertices, descending (salience).
@@ -64,7 +79,7 @@ pub fn degree_salience_paths(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
-    let mut paths = candidates(g, src, dst, constraint, cfg);
+    let mut paths = candidates(g, src, dst, constraint, cfg, &mut SearchStats::default());
     for p in &mut paths {
         let inner = &p.vertices[1..p.vertices.len().saturating_sub(1)];
         p.score = if inner.is_empty() {
@@ -93,7 +108,7 @@ pub fn random_walk_paths(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
-    let mut paths = candidates(g, src, dst, constraint, cfg);
+    let mut paths = candidates(g, src, dst, constraint, cfg, &mut SearchStats::default());
     for p in &mut paths {
         let mut prob = 1.0f64;
         for &v in &p.vertices[..p.vertices.len() - 1] {

@@ -7,9 +7,10 @@
 //! vertices' topic distributions — and "the path with least amount of
 //! divergence is chosen" (paths are returned ascending by divergence).
 
-use crate::path::{enumerate_paths, PathConstraint, RankedPath};
+use crate::path::{enumerate_paths_with_stats, PathConstraint, RankedPath, SearchStats};
 use crate::topic_index::TopicIndex;
 use nous_graph::{DynamicGraph, VertexId};
+use nous_obs::MetricsRegistry;
 use nous_topics::js_divergence;
 use serde::{Deserialize, Serialize};
 
@@ -60,8 +61,27 @@ pub fn coherent_paths(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
+    coherent_paths_with_stats(g, topics, src, dst, constraint, cfg).0
+}
+
+/// [`coherent_paths`] plus search-effort accounting: nodes expanded, peak
+/// frontier, paths found before truncation, and divergence evaluations
+/// (look-ahead comparisons + final scoring).
+pub fn coherent_paths_with_stats(
+    g: &DynamicGraph,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> (Vec<RankedPath>, SearchStats) {
     let target_dist = topics.get(dst).to_vec();
-    let mut paths = enumerate_paths(
+    let mut stats = SearchStats::default();
+    // The expander closure cannot borrow `stats` mutably alongside the
+    // enumeration's own use, so look-ahead evaluations accumulate locally
+    // and merge after the walk.
+    let mut lookahead_evals = 0usize;
+    let mut paths = enumerate_paths_with_stats(
         g,
         src,
         dst,
@@ -75,6 +95,7 @@ pub fn coherent_paths(
             // Look-ahead: keep the `beam` neighbours with least divergence
             // to the target. The DFS pops from the back, so sort
             // descending — the least divergent neighbour is explored first.
+            lookahead_evals += steps.len();
             steps.sort_by(|a, b| {
                 let da = js_divergence(topics.get(a.0), &target_dist);
                 let db = js_divergence(topics.get(b.0), &target_dist);
@@ -83,9 +104,13 @@ pub fn coherent_paths(
             let cut = steps.len() - cfg.beam;
             steps.split_off(cut)
         },
+        &mut stats,
     );
+    stats.coherence_evals += lookahead_evals;
     for p in &mut paths {
         p.score = path_coherence(topics, &p.vertices);
+        // Scoring evaluates one divergence per consecutive vertex pair.
+        stats.coherence_evals += p.len();
     }
     paths.sort_by(|a, b| {
         a.score
@@ -95,7 +120,55 @@ pub fn coherent_paths(
             .then_with(|| a.vertices.cmp(&b.vertices))
     });
     paths.truncate(cfg.k);
+    (paths, stats)
+}
+
+/// [`coherent_paths_with_stats`] with the accounting recorded into
+/// `registry`: a `nous_qa_path_seconds` span over the whole search plus
+/// the `nous_qa_*` effort histograms and counters.
+pub fn coherent_paths_instrumented(
+    g: &DynamicGraph,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+    registry: &MetricsRegistry,
+) -> Vec<RankedPath> {
+    let span = registry.span_with(
+        "nous_qa_path_seconds",
+        "Wall time of one top-K coherent path search",
+        &[],
+    );
+    let (paths, stats) = coherent_paths_with_stats(g, topics, src, dst, constraint, cfg);
+    span.stop();
+    record_search(registry, &stats);
     paths
+}
+
+/// Record one search's [`SearchStats`] into the `nous_qa_*` family.
+pub fn record_search(registry: &MetricsRegistry, stats: &SearchStats) {
+    registry
+        .counter("nous_qa_searches_total", "Top-K path searches executed")
+        .inc();
+    registry
+        .counter("nous_qa_paths_found_total", "Paths found before truncation")
+        .add(stats.paths_emitted as u64);
+    registry
+        .sizes("nous_qa_nodes_expanded", "Nodes expanded per path search")
+        .observe(stats.nodes_expanded as u64);
+    registry
+        .sizes(
+            "nous_qa_frontier_size",
+            "Peak pending-step frontier per path search",
+        )
+        .observe(stats.max_frontier as u64);
+    registry
+        .sizes(
+            "nous_qa_coherence_evals",
+            "Topic-divergence evaluations per path search",
+        )
+        .observe(stats.coherence_evals as u64);
 }
 
 #[cfg(test)]
@@ -198,6 +271,64 @@ mod tests {
         let t = TopicIndex::new(3);
         let path = [VertexId(0), VertexId(1), VertexId(2)];
         assert!(path_coherence(&t, &path) < 1e-12);
+    }
+
+    #[test]
+    fn stats_account_search_effort() {
+        let (g, t, a, d) = planted();
+        let (paths, stats) = coherent_paths_with_stats(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+        );
+        assert!(!paths.is_empty());
+        assert!(stats.nodes_expanded > 0);
+        assert!(stats.max_frontier >= 2, "{stats:?}");
+        assert_eq!(stats.paths_emitted, 2, "both 2-hop paths found");
+        // Scoring alone evaluates len() divergences per path.
+        assert!(stats.coherence_evals >= 4, "{stats:?}");
+        // The stats variant returns exactly what the plain call returns.
+        let plain = coherent_paths(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+        );
+        assert_eq!(paths, plain);
+    }
+
+    #[test]
+    fn instrumented_search_records_registry_series() {
+        let (g, t, a, d) = planted();
+        let registry = MetricsRegistry::new();
+        let paths = coherent_paths_instrumented(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+            &registry,
+        );
+        assert!(!paths.is_empty());
+        assert_eq!(
+            registry.counter_value("nous_qa_searches_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("nous_qa_paths_found_total", &[]),
+            Some(2)
+        );
+        let text = registry.render_prometheus();
+        assert!(text.contains("nous_qa_path_seconds_count 1"), "{text}");
+        assert!(text.contains("nous_qa_nodes_expanded_count 1"), "{text}");
+        assert!(text.contains("nous_qa_frontier_size_count 1"), "{text}");
+        assert!(text.contains("nous_qa_coherence_evals_count 1"), "{text}");
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod coherence;
 pub mod path;
 pub mod topic_index;
 
-pub use coherence::{coherent_paths, QaConfig};
-pub use path::{PathConstraint, RankedPath};
+pub use coherence::{
+    coherent_paths, coherent_paths_instrumented, coherent_paths_with_stats, record_search, QaConfig,
+};
+pub use path::{PathConstraint, RankedPath, SearchStats};
 pub use topic_index::TopicIndex;

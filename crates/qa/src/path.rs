@@ -74,6 +74,33 @@ impl PathConstraint {
     }
 }
 
+/// Search-effort accounting for one path enumeration: how much of the
+/// graph the DFS actually touched. Collected per query and fed into the
+/// `nous_qa_*` size histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Interior nodes expanded (frames pushed), bounded by the budget.
+    pub nodes_expanded: usize,
+    /// Peak number of pending steps across all open DFS frames.
+    pub max_frontier: usize,
+    /// Paths emitted (after the constraint filter).
+    pub paths_emitted: usize,
+    /// Coherence-ranker divergence evaluations (look-ahead + scoring);
+    /// zero for un-ranked enumeration.
+    pub coherence_evals: usize,
+}
+
+impl SearchStats {
+    /// Merge another enumeration's accounting into this one (a query may
+    /// run several enumerations, e.g. one per candidate target).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.max_frontier = self.max_frontier.max(other.max_frontier);
+        self.paths_emitted += other.paths_emitted;
+        self.coherence_evals += other.coherence_evals;
+    }
+}
+
 /// An undirected neighbour step: `(neighbor, hop)`.
 pub(crate) fn neighbor_steps(g: &DynamicGraph, v: VertexId) -> Vec<(VertexId, Hop)> {
     let mut out: Vec<(VertexId, Hop)> = g
@@ -117,7 +144,26 @@ pub fn enumerate_paths(
     max_hops: usize,
     budget: usize,
     constraint: &PathConstraint,
+    expand: impl FnMut(VertexId, Vec<(VertexId, Hop)>) -> Vec<(VertexId, Hop)>,
+) -> Vec<RankedPath> {
+    let mut stats = SearchStats::default();
+    enumerate_paths_with_stats(
+        g, src, dst, max_hops, budget, constraint, expand, &mut stats,
+    )
+}
+
+/// [`enumerate_paths`] plus search-effort accounting accumulated into
+/// `stats` (expansions, peak frontier, paths emitted).
+#[allow(clippy::too_many_arguments)] // the stats sink rides on the public enumeration signature
+pub fn enumerate_paths_with_stats(
+    g: &DynamicGraph,
+    src: VertexId,
+    dst: VertexId,
+    max_hops: usize,
+    budget: usize,
+    constraint: &PathConstraint,
     mut expand: impl FnMut(VertexId, Vec<(VertexId, Hop)>) -> Vec<(VertexId, Hop)>,
+    stats: &mut SearchStats,
 ) -> Vec<RankedPath> {
     let mut out = Vec::new();
     if src == dst || max_hops == 0 {
@@ -129,7 +175,9 @@ pub fn enumerate_paths(
 
     // Iterative DFS with explicit frame stack of pending steps.
     let first = expand(src, neighbor_steps(g, src));
+    let mut frontier = first.len();
     let mut frames: Vec<Vec<(VertexId, Hop)>> = vec![first];
+    stats.max_frontier = stats.max_frontier.max(frontier);
     while let Some(frame) = frames.last_mut() {
         let Some((next, hop)) = frame.pop() else {
             frames.pop();
@@ -137,6 +185,7 @@ pub fn enumerate_paths(
             hstack.pop();
             continue;
         };
+        frontier -= 1;
         if vstack.contains(&next) {
             continue; // simple paths only
         }
@@ -160,8 +209,13 @@ pub fn enumerate_paths(
         expansions += 1;
         vstack.push(next);
         hstack.push(hop);
-        frames.push(expand(next, neighbor_steps(g, next)));
+        let steps = expand(next, neighbor_steps(g, next));
+        frontier += steps.len();
+        stats.max_frontier = stats.max_frontier.max(frontier);
+        frames.push(steps);
     }
+    stats.nodes_expanded += expansions;
+    stats.paths_emitted += out.len();
     out
 }
 

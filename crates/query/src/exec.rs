@@ -1,9 +1,13 @@
 //! Query execution against the live system state.
 
 use crate::ast::{Endpoint, Query, QueryResult};
-use nous_core::{KnowledgeGraph, TrendMonitor};
+use nous_core::{KnowledgeGraph, SharedSession, TrendMonitor};
 use nous_graph::VertexId;
-use nous_qa::{coherent_paths, PathConstraint, QaConfig, TopicIndex};
+use nous_obs::MetricsRegistry;
+use nous_qa::{
+    coherent_paths, coherent_paths_instrumented, record_search, PathConstraint, QaConfig,
+    TopicIndex,
+};
 use nous_text::bow::BagOfWords;
 
 fn resolve(kg: &KnowledgeGraph, name: &str) -> Option<VertexId> {
@@ -22,6 +26,18 @@ fn endpoint_matches(kg: &KnowledgeGraph, ep: &Endpoint, v: VertexId) -> bool {
     }
 }
 
+/// The metric label for a query's class (`nous_query_*{class=...}`).
+pub fn query_class(q: &Query) -> &'static str {
+    match q {
+        Query::Trending { .. } => "trending",
+        Query::Entity { .. } => "entity",
+        Query::Why { .. } => "why",
+        Query::Match { .. } => "match",
+        Query::Timeline { .. } => "timeline",
+        Query::Paths { .. } => "paths",
+    }
+}
+
 /// Execute a parsed query. `trends` feeds the Trending class; `topics`
 /// feeds the Why class. Both are owned by the session, mirroring the
 /// paper's long-running demo services.
@@ -30,6 +46,54 @@ pub fn execute(
     kg: &KnowledgeGraph,
     topics: &TopicIndex,
     trends: &mut TrendMonitor,
+) -> QueryResult {
+    execute_inner(query, kg, topics, trends, None)
+}
+
+/// [`execute`] with telemetry: per-class counts and latency spans
+/// (`nous_query_total{class=...}`, `nous_query_seconds{class=...}`), plus
+/// `nous_qa_*` search-effort accounting for the path classes.
+pub fn execute_instrumented(
+    query: &Query,
+    kg: &KnowledgeGraph,
+    topics: &TopicIndex,
+    trends: &mut TrendMonitor,
+    registry: &MetricsRegistry,
+) -> QueryResult {
+    let class = query_class(query);
+    registry
+        .counter_with(
+            "nous_query_total",
+            "Queries executed per class",
+            &[("class", class)],
+        )
+        .inc();
+    let span = registry.span_with(
+        "nous_query_seconds",
+        "Query execution wall time per class",
+        &[("class", class)],
+    );
+    let out = execute_inner(query, kg, topics, trends, Some(registry));
+    span.stop();
+    out
+}
+
+/// Execute against a live [`SharedSession`]: one consistent lock
+/// acquisition over graph + topics + trend monitor, with telemetry landing
+/// in the session's registry — the entry point the demo's query services
+/// call per request.
+pub fn execute_shared(session: &SharedSession, query: &Query) -> QueryResult {
+    let registry = session.metrics().clone();
+    session
+        .with_all(|kg, topics, trends| execute_instrumented(query, kg, topics, trends, &registry))
+}
+
+fn execute_inner(
+    query: &Query,
+    kg: &KnowledgeGraph,
+    topics: &TopicIndex,
+    trends: &mut TrendMonitor,
+    registry: Option<&MetricsRegistry>,
 ) -> QueryResult {
     match query {
         Query::Trending { limit } => {
@@ -81,7 +145,12 @@ pub fn execute(
                 k: *limit,
                 ..Default::default()
             };
-            let paths = coherent_paths(&kg.graph, topics, src, dst, &constraint, &cfg);
+            let paths = match registry {
+                Some(reg) => {
+                    coherent_paths_instrumented(&kg.graph, topics, src, dst, &constraint, &cfg, reg)
+                }
+                None => coherent_paths(&kg.graph, topics, src, dst, &constraint, &cfg),
+            };
             QueryResult::Paths(
                 paths
                     .into_iter()
@@ -174,13 +243,16 @@ pub fn execute(
                 max_hops: *max_hops,
                 ..Default::default()
             };
-            let paths = nous_qa::baselines::shortest_paths(
+            let (paths, stats) = nous_qa::baselines::shortest_paths_with_stats(
                 &kg.graph,
                 src,
                 dst,
                 &PathConstraint::default(),
                 &cfg,
             );
+            if let Some(reg) = registry {
+                record_search(reg, &stats);
+            }
             QueryResult::Paths(
                 paths
                     .into_iter()
@@ -349,6 +421,67 @@ mod tests {
             panic!()
         };
         assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn instrumented_execution_counts_query_classes() {
+        let (kg, topics, mut trends) = session();
+        let registry = MetricsRegistry::new();
+        for q in [
+            "TRENDING LIMIT 5",
+            "tell me about Apex Robotics",
+            "WHY Apex Robotics -> Falcon Systems LIMIT 2",
+            "WHY Apex Robotics -> Falcon Systems LIMIT 1",
+            "MATCH (Organization)-[acquired]->(Organization) LIMIT 2",
+            "TIMELINE Apex Robotics",
+            "PATHS Apex Robotics TO Falcon Systems MAX 3",
+        ] {
+            execute_instrumented(&parse(q).unwrap(), &kg, &topics, &mut trends, &registry);
+        }
+        for (class, n) in [
+            ("trending", 1),
+            ("entity", 1),
+            ("why", 2),
+            ("match", 1),
+            ("timeline", 1),
+            ("paths", 1),
+        ] {
+            assert_eq!(
+                registry.counter_value("nous_query_total", &[("class", class)]),
+                Some(n),
+                "class {class}"
+            );
+        }
+        // Both WHY searches and the PATHS baseline land in the qa family.
+        assert_eq!(
+            registry.counter_value("nous_qa_searches_total", &[]),
+            Some(3)
+        );
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("nous_query_seconds_count{class=\"why\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nous_query_seconds_count{class=\"paths\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn instrumented_results_match_plain_execution() {
+        let (kg, topics, mut trends) = session();
+        let registry = MetricsRegistry::new();
+        for q in [
+            "WHY Apex Robotics -> Falcon Systems LIMIT 2",
+            "PATHS Apex Robotics TO Falcon Systems MAX 3",
+            "TRENDING LIMIT 5",
+        ] {
+            let parsed = parse(q).unwrap();
+            let plain = execute(&parsed, &kg, &topics, &mut trends);
+            let inst = execute_instrumented(&parsed, &kg, &topics, &mut trends, &registry);
+            assert_eq!(format!("{plain:?}"), format!("{inst:?}"), "{q}");
+        }
     }
 
     #[test]

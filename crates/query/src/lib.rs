@@ -22,5 +22,5 @@ pub mod exec;
 pub mod parse;
 
 pub use ast::{Query, QueryResult};
-pub use exec::execute;
+pub use exec::{execute, execute_instrumented, execute_shared, query_class};
 pub use parse::{parse, ParseError};

@@ -1,0 +1,94 @@
+//! The live `/stats` surface: build a shared session whose ingestion,
+//! lock, trend-mining and query telemetry all land in one metrics
+//! registry, exercise every subsystem once, then print the snapshot the
+//! demo service would serve — JSON first, Prometheus text exposition
+//! after.
+//!
+//! ```sh
+//! cargo run --release --example stats
+//! cargo run --release --example stats -- --prometheus   # exposition only
+//! ```
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::MetricsRegistry;
+use nous_qa::TopicIndex;
+use nous_query::{execute_shared, parse};
+use nous_topics::LdaConfig;
+
+fn main() {
+    let prometheus_only = std::env::args().any(|a| a == "--prometheus");
+
+    eprintln!("building session (smoke preset)…");
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+    let a = world.entities[world.companies[0]].name.clone();
+    let b = world.entities[world.companies[1]].name.clone();
+
+    // One registry for everything: the session's lock accounting, the
+    // pipeline's stage timings, the miner's window telemetry and the query
+    // executor's per-class latencies share a single /stats surface.
+    let registry = MetricsRegistry::new();
+    let session = SharedSession::with_registry(
+        kg,
+        TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 200 },
+            MinerConfig {
+                k_max: 2,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    );
+
+    // Ingest the stream through the micro-batched parallel path.
+    let mut pipeline = IngestPipeline::with_registry(
+        PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            ..Default::default()
+        },
+        registry.clone(),
+    );
+    let report = session.ingest_batch(&mut pipeline, &articles);
+    eprintln!(
+        "ingested {} docs, admitted {} facts ({:.0}% admission)",
+        report.documents,
+        report.admitted,
+        report.admission_rate() * 100.0
+    );
+
+    // Refresh topics from the ingested graph, feed the trend miner, and
+    // run one query per class so every subsystem reports.
+    let topics = session.read(|kg, _| kg.build_topic_index(&LdaConfig::default()));
+    session.set_topics(topics);
+    session.with_trends(|trends, kg| {
+        trends.observe(kg);
+    });
+    for q in [
+        "TRENDING LIMIT 5".to_owned(),
+        format!("tell me about {a}"),
+        format!("WHY {a} -> {b} LIMIT 3"),
+        "MATCH (Organization)-[acquired]->(Organization) LIMIT 3".to_owned(),
+        format!("TIMELINE {a} LIMIT 5"),
+        format!("PATHS {a} TO {b} MAX 3"),
+    ] {
+        let parsed = parse(&q).expect("example queries parse");
+        let result = execute_shared(&session, &parsed);
+        eprintln!(">> {q}\n{}", result.render());
+    }
+
+    if !prometheus_only {
+        println!("=== /stats (JSON snapshot) ===");
+        println!("{}", session.stats_snapshot());
+        println!("=== /metrics (Prometheus exposition) ===");
+    }
+    print!("{}", session.metrics().render_prometheus());
+}
