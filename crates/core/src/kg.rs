@@ -272,6 +272,188 @@ impl KnowledgeGraph {
         Ok(kg)
     }
 
+    /// Serialise the complete system state serde-free: the graph (via
+    /// the lossless compact snapshot), per-entity text, pending raw
+    /// triples, gazetteer, disambiguator records and all mapper rules
+    /// (seeds *and* learned). This is the checkpoint payload of the
+    /// durability stack (`nous-persist`).
+    ///
+    /// Not encoded: the trained predictor weights —
+    /// [`KnowledgeGraph::decode_checkpoint`] retrains from the restored
+    /// graph, which is deterministic given the same edges, and the
+    /// predictor's `BprConfig` resets to its default.
+    pub fn encode_checkpoint(&self) -> Vec<u8> {
+        use crate::journal::{entity_type_tag, put_bow};
+        use nous_graph::codec;
+        let mut buf = Vec::with_capacity(1 << 16);
+        buf.extend_from_slice(b"NOUSKG01");
+        codec::put_bytes(&mut buf, &nous_graph::snapshot::to_compact(&self.graph));
+
+        codec::put_u32(&mut buf, self.entity_text.len() as u32);
+        for bow in &self.entity_text {
+            put_bow(&mut buf, bow);
+        }
+
+        codec::put_u32(&mut buf, self.pending_raw.len() as u32);
+        for (s, raw, o) in &self.pending_raw {
+            codec::put_u32(&mut buf, *s);
+            codec::put_str(&mut buf, raw);
+            codec::put_u32(&mut buf, *o);
+        }
+
+        // Gazetteer entries sorted for a deterministic encoding (the
+        // backing map iterates in arbitrary order).
+        let mut entries: Vec<(&str, EntityType)> = self.gazetteer.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        codec::put_u32(&mut buf, entries.len() as u32);
+        for (surface, ty) in entries {
+            codec::put_str(&mut buf, surface);
+            codec::put_u8(&mut buf, entity_type_tag(ty));
+        }
+
+        codec::put_f64(&mut buf, self.disambiguator.context_weight());
+        codec::put_u32(&mut buf, self.disambiguator.len() as u32);
+        for i in 0..self.disambiguator.len() {
+            let rec = self.disambiguator.record(i);
+            codec::put_u32(&mut buf, rec.id);
+            codec::put_str(&mut buf, &rec.name);
+            codec::put_u32(&mut buf, rec.aliases.len() as u32);
+            for a in &rec.aliases {
+                codec::put_str(&mut buf, a);
+            }
+            put_bow(&mut buf, &rec.context);
+            codec::put_f64(&mut buf, rec.popularity);
+        }
+
+        let (min_support, min_precision) = self.mapper.thresholds();
+        codec::put_u64(&mut buf, min_support as u64);
+        codec::put_f64(&mut buf, min_precision);
+        let rules = self.mapper.rules();
+        codec::put_u32(&mut buf, rules.len() as u32);
+        for (raw, rule) in rules {
+            codec::put_str(&mut buf, raw);
+            codec::put_str(&mut buf, &rule.ontology);
+            codec::put_u8(&mut buf, rule.inverted as u8);
+            codec::put_f64(&mut buf, rule.confidence);
+            codec::put_u8(&mut buf, rule.seed as u8);
+        }
+        buf
+    }
+
+    /// Restore a knowledge graph from [`KnowledgeGraph::encode_checkpoint`]
+    /// bytes, rebuilding the derived state (predictor retrained from the
+    /// restored edges).
+    pub fn decode_checkpoint(bytes: &[u8]) -> Result<Self, nous_graph::snapshot::SnapshotError> {
+        use crate::journal::{entity_type_from_tag, read_bow};
+        use nous_graph::codec::Reader;
+        use nous_graph::snapshot::SnapshotError;
+        let corrupt = |what: &'static str| move |_| SnapshotError::Corrupt(what);
+        if bytes.len() < 8 || &bytes[..8] != b"NOUSKG01" {
+            return Err(SnapshotError::Corrupt("bad checkpoint magic"));
+        }
+        let mut r = Reader::new(&bytes[8..]);
+        let graph =
+            nous_graph::snapshot::from_compact(r.bytes().map_err(corrupt("graph section"))?)?;
+
+        let n = r
+            .count(4, "entity text count")
+            .map_err(corrupt("entity text count"))?;
+        let mut entity_text = Vec::with_capacity(n);
+        for _ in 0..n {
+            entity_text.push(read_bow(&mut r).map_err(corrupt("entity text bag"))?);
+        }
+
+        let n = r
+            .count(12, "pending raw count")
+            .map_err(corrupt("pending raw count"))?;
+        let mut pending_raw = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = r.u32().map_err(corrupt("pending raw subject"))?;
+            let raw = r
+                .str()
+                .map_err(corrupt("pending raw predicate"))?
+                .to_owned();
+            let o = r.u32().map_err(corrupt("pending raw object"))?;
+            pending_raw.push((s, raw, o));
+        }
+
+        let n = r
+            .count(5, "gazetteer count")
+            .map_err(corrupt("gazetteer count"))?;
+        let mut gazetteer = Gazetteer::new();
+        for _ in 0..n {
+            let surface = r.str().map_err(corrupt("gazetteer surface"))?;
+            let tag = r.u8().map_err(corrupt("gazetteer type"))?;
+            let ty = entity_type_from_tag(tag)
+                .ok_or(SnapshotError::Corrupt("unknown entity type tag"))?;
+            gazetteer.insert(surface, ty);
+        }
+
+        let weight = r.f64().map_err(corrupt("context weight"))?;
+        let n = r
+            .count(20, "disambiguator count")
+            .map_err(corrupt("disambiguator count"))?;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u32().map_err(corrupt("record id"))?;
+            let name = r.str().map_err(corrupt("record name"))?.to_owned();
+            let na = r.count(4, "alias count").map_err(corrupt("alias count"))?;
+            let mut aliases = Vec::with_capacity(na);
+            for _ in 0..na {
+                aliases.push(r.str().map_err(corrupt("record alias"))?.to_owned());
+            }
+            let context = read_bow(&mut r).map_err(corrupt("record context"))?;
+            let popularity = r.f64().map_err(corrupt("record popularity"))?;
+            records.push(EntityRecord {
+                id,
+                name,
+                aliases,
+                context,
+                popularity,
+            });
+        }
+        let disambiguator = Disambiguator::new(records).with_context_weight(weight);
+
+        let min_support = r.u64().map_err(corrupt("mapper support"))? as usize;
+        let min_precision = r.f64().map_err(corrupt("mapper precision"))?;
+        let mut mapper =
+            PredicateMapper::bootstrap(&[]).with_thresholds(min_support, min_precision);
+        let n = r
+            .count(19, "mapper rule count")
+            .map_err(corrupt("mapper rule count"))?;
+        for _ in 0..n {
+            let raw = r.str().map_err(corrupt("rule raw"))?.to_owned();
+            let ontology = r.str().map_err(corrupt("rule ontology"))?.to_owned();
+            let inverted = r.u8().map_err(corrupt("rule inverted"))? != 0;
+            let confidence = r.f64().map_err(corrupt("rule confidence"))?;
+            let seed = r.u8().map_err(corrupt("rule seed"))? != 0;
+            mapper.insert_rule(
+                &raw,
+                nous_link::predicate_map::MappingRule {
+                    ontology,
+                    inverted,
+                    confidence,
+                    seed,
+                },
+            );
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt("trailing checkpoint bytes"));
+        }
+
+        let mut kg = KnowledgeGraph {
+            graph,
+            gazetteer,
+            disambiguator,
+            mapper,
+            predictor: LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default()),
+            entity_text,
+            pending_raw,
+        };
+        kg.train_predictor();
+        Ok(kg)
+    }
+
     /// Entity summary for "tell me about X" queries (Figure 6): type,
     /// highest-confidence facts, most recent facts, top neighbours.
     pub fn entity_summary(&self, name: &str) -> Option<EntitySummary> {
@@ -476,6 +658,81 @@ mod tests {
         assert!(idx.is_assigned(v), "companies have descriptions, so topics");
         let d = idx.get(v);
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_full_state() {
+        let (world, _, mut kg) = smoke_kg();
+        kg.train_predictor();
+        // Touch every state section: an extracted fact (graph + entity
+        // text + disambiguator context), a minted entity (gazetteer),
+        // a stashed raw triple and a learned mapper rule.
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let o = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[1]].name)
+            .unwrap();
+        kg.add_extracted_fact_with_args(
+            s,
+            "acquired",
+            o,
+            77,
+            0.8,
+            12,
+            &[("in".into(), "March".into())],
+        );
+        kg.create_entity("Checkpoint Test Corp", EntityType::Organization);
+        kg.stash_raw_triple(s, "buy", o);
+        let bytes = kg.encode_checkpoint();
+        let back = KnowledgeGraph::decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back.graph.vertex_count(), kg.graph.vertex_count());
+        assert_eq!(back.graph.edge_count(), kg.graph.edge_count());
+        assert_eq!(back.graph.log_len(), kg.graph.log_len());
+        assert_eq!(
+            back.graph.stats().extracted_edges,
+            kg.graph.stats().extracted_edges
+        );
+        assert_eq!(back.gazetteer.len(), kg.gazetteer.len());
+        assert_eq!(back.disambiguator.len(), kg.disambiguator.len());
+        assert_eq!(back.pending_raw_count(), 1);
+        assert_eq!(back.mapper.rules().len(), kg.mapper.rules().len());
+        assert_eq!(
+            back.entity_text(s).iter().count(),
+            kg.entity_text(s).iter().count()
+        );
+        // Predictor was retrained on the same edges: the same predicates
+        // clear min-support, so the same models exist.
+        kg.train_predictor();
+        assert_eq!(
+            back.predictor.trained_predicates(),
+            kg.predictor.trained_predicates()
+        );
+        assert!(
+            !back.predictor.trained_predicates().is_empty(),
+            "curated smoke predicates must clear min-support"
+        );
+        // The encoding is deterministic, so a second trip is
+        // byte-identical — what makes checkpoint files comparable.
+        assert_eq!(back.encode_checkpoint(), bytes);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let (_, _, kg) = smoke_kg();
+        let bytes = kg.encode_checkpoint();
+        assert!(KnowledgeGraph::decode_checkpoint(&bytes[..8]).is_err());
+        assert!(KnowledgeGraph::decode_checkpoint(b"WRONGMAGIC").is_err());
+        // Flip a byte inside the graph section: its checksum catches it.
+        let mut bad = bytes.clone();
+        bad[40] ^= 0xFF;
+        assert!(KnowledgeGraph::decode_checkpoint(&bad).is_err());
+        // Truncation anywhere must error, never panic.
+        for cut in [9, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(KnowledgeGraph::decode_checkpoint(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

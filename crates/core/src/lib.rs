@@ -28,6 +28,7 @@
 //! - [`seeds`] — the bootstrap seed rules for predicate mapping (§3.3's
 //!   "5-10 seed examples" per predicate).
 
+pub mod journal;
 pub mod kg;
 pub mod pipeline;
 pub mod quality;
@@ -35,6 +36,7 @@ pub mod seeds;
 pub mod session;
 pub mod trends;
 
+pub use journal::{AdmittedFact, IngestJournal};
 pub use kg::KnowledgeGraph;
 pub use pipeline::{IngestPipeline, IngestReport, PipelineConfig};
 pub use quality::{CandidateFact, NoSelfLoopGate, QualityGate, TypeSignatureGate};

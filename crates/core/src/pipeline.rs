@@ -25,6 +25,7 @@
 //! `batch_size == 1` — or whenever entity creation is disabled — batched
 //! and sequential ingestion produce byte-identical graphs and reports.
 
+use crate::journal::{AdmittedFact, IngestJournal};
 use crate::kg::KnowledgeGraph;
 use crate::quality::{CandidateFact, QualityGate};
 use nous_corpus::Article;
@@ -281,6 +282,15 @@ impl PipelineMetrics {
     }
 }
 
+/// The resolution outcome for one mention, decided *before* any graph
+/// mutation. Both endpoints of a tuple are planned first and committed
+/// only if both resolve — so a fact whose object fails to resolve never
+/// mints its subject as an orphan vertex.
+enum ResolvePlan {
+    Existing(VertexId),
+    Mint { name: String, ty: EntityType },
+}
+
 /// The streaming ingestion driver.
 pub struct IngestPipeline {
     cfg: PipelineConfig,
@@ -288,6 +298,7 @@ pub struct IngestPipeline {
     /// Veto counts per gate name.
     pub gate_vetoes: std::collections::HashMap<String, usize>,
     metrics: PipelineMetrics,
+    journal: Option<Box<dyn IngestJournal>>,
     admitted_since_retrain: usize,
     docs_since_expand: usize,
     /// Confidences of admitted and rejected facts (quality dashboard).
@@ -309,6 +320,7 @@ impl IngestPipeline {
             gates: Vec::new(),
             gate_vetoes: Default::default(),
             metrics: PipelineMetrics::new(registry),
+            journal: None,
             admitted_since_retrain: 0,
             docs_since_expand: 0,
             admitted_confidences: Vec::new(),
@@ -345,19 +357,54 @@ impl IngestPipeline {
         self.metrics.record_fanout(worker_docs);
     }
 
-    /// Resolve a mention surface to a vertex, optionally creating one.
-    fn resolve_entity(
-        &mut self,
-        kg: &mut KnowledgeGraph,
+    /// Install a journal sink observing the admit stream (see
+    /// [`crate::journal`]); replaces any previous sink.
+    pub fn set_journal(&mut self, journal: Box<dyn IngestJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Detach the journal sink, if any (e.g. to flush/close it).
+    pub fn take_journal(&mut self) -> Option<Box<dyn IngestJournal>> {
+        self.journal.take()
+    }
+
+    /// Pre-load the cumulative counters with a recovered report, so a
+    /// pipeline resumed from a checkpoint + WAL replay continues the
+    /// original accounting instead of restarting from zero.
+    pub fn seed_report(&mut self, report: &IngestReport) {
+        self.metrics.documents.add(report.documents as u64);
+        self.metrics.sentences.add(report.sentences as u64);
+        self.metrics.raw_triples.add(report.raw_triples as u64);
+        self.metrics
+            .duplicate_triples
+            .add(report.duplicate_triples as u64);
+        self.metrics.mapped.add(report.mapped as u64);
+        self.metrics.unmapped.add(report.unmapped as u64);
+        self.metrics
+            .unresolved_entity
+            .add(report.unresolved_entity as u64);
+        self.metrics.new_entities.add(report.new_entities as u64);
+        self.metrics.admitted.add(report.admitted as u64);
+        self.metrics.rejected.add(report.rejected as u64);
+        self.metrics.gated.add(report.gated as u64);
+    }
+
+    /// Decide how a mention surface resolves — to an existing vertex, to
+    /// a new entity worth minting, or not at all — without mutating the
+    /// graph. The mutation happens in [`IngestPipeline::commit_resolve`],
+    /// and only once *both* endpoints of a tuple have a plan.
+    fn plan_resolve_entity(
+        &self,
+        kg: &KnowledgeGraph,
         surface: &str,
         doc_bow: &BagOfWords,
         mention_type: Option<EntityType>,
-    ) -> Option<VertexId> {
+    ) -> Option<ResolvePlan> {
         if let Some(r) = kg
             .disambiguator
             .resolve(surface, doc_bow, self.cfg.link_mode)
         {
-            return Some(VertexId(r.id));
+            return Some(ResolvePlan::Existing(VertexId(r.id)));
         }
         if !self.cfg.create_unknown_entities {
             return None;
@@ -370,8 +417,30 @@ impl IngestPipeline {
         if !looks_like_name {
             return None;
         }
-        self.metrics.new_entities.inc();
-        Some(kg.create_entity(&normalized, mention_type.unwrap_or(EntityType::Other)))
+        Some(ResolvePlan::Mint {
+            name: normalized,
+            ty: mention_type.unwrap_or(EntityType::Other),
+        })
+    }
+
+    /// Execute a [`ResolvePlan`], minting the entity if needed.
+    fn commit_resolve(&mut self, kg: &mut KnowledgeGraph, plan: ResolvePlan) -> VertexId {
+        match plan {
+            ResolvePlan::Existing(v) => v,
+            ResolvePlan::Mint { name, ty } => {
+                // Subject and object of one tuple can both plan to mint
+                // the same normalized name; the second commit reuses the
+                // vertex the first one created.
+                if let Some(v) = kg.graph.vertex_id(&name) {
+                    return v;
+                }
+                self.metrics.new_entities.inc();
+                if let Some(j) = self.journal.as_mut() {
+                    j.entity_created(&name, ty);
+                }
+                kg.create_entity(&name, ty)
+            }
+        }
     }
 
     /// Ingest one document into the knowledge graph.
@@ -393,6 +462,7 @@ impl IngestPipeline {
     /// parallel extraction fan-out — merges exactly as inline extraction
     /// would.
     pub fn merge_extraction(&mut self, kg: &mut KnowledgeGraph, extracted: &DocExtraction) {
+        let before = self.journal.as_ref().map(|_| self.report());
         self.metrics.documents.inc();
         self.metrics.sentences.add(extracted.sentences as u64);
         self.metrics
@@ -430,14 +500,20 @@ impl IngestPipeline {
             self.metrics.mapped.inc();
             map_ns += clock.now_nanos().saturating_sub(t0);
 
+            // Plan both endpoints before creating either: if the object
+            // turns out unresolvable the fact is dropped without having
+            // minted the subject as an orphan (and vice versa).
             let t0 = clock.now_nanos();
-            let s = self.resolve_entity(kg, &t.subject, doc_bow, t.subject_type);
-            let o = self.resolve_entity(kg, &t.object, doc_bow, t.object_type);
-            dis_ns += clock.now_nanos().saturating_sub(t0);
-            let (Some(mut s), Some(mut o)) = (s, o) else {
+            let s_plan = self.plan_resolve_entity(kg, &t.subject, doc_bow, t.subject_type);
+            let o_plan = self.plan_resolve_entity(kg, &t.object, doc_bow, t.object_type);
+            let (Some(s_plan), Some(o_plan)) = (s_plan, o_plan) else {
                 self.metrics.unresolved_entity.inc();
+                dis_ns += clock.now_nanos().saturating_sub(t0);
                 continue;
             };
+            let mut s = self.commit_resolve(kg, s_plan);
+            let mut o = self.commit_resolve(kg, o_plan);
+            dis_ns += clock.now_nanos().saturating_sub(t0);
             if rule.inverted {
                 std::mem::swap(&mut s, &mut o);
             }
@@ -497,6 +573,19 @@ impl IngestPipeline {
             kg.add_entity_text(o, doc_bow);
             admit_ns += clock.now_nanos().saturating_sub(t0);
             self.metrics.admitted.inc();
+            if let Some(j) = self.journal.as_mut() {
+                // Names logged as stored (after any inverted-rule swap),
+                // so replay re-resolves to the same vertices.
+                j.fact_admitted(&AdmittedFact {
+                    subject: kg.graph.vertex_name(s).to_owned(),
+                    predicate: rule.ontology.clone(),
+                    object: kg.graph.vertex_name(o).to_owned(),
+                    at: t.day,
+                    confidence,
+                    doc_id: t.doc_id,
+                    extra_args: t.extra_args.clone(),
+                });
+            }
             self.admitted_confidences.push(confidence);
             self.admitted_since_retrain += 1;
         }
@@ -506,6 +595,15 @@ impl IngestPipeline {
         self.metrics.stage_score.observe(score_ns);
         self.metrics.stage_gate.observe(gate_ns);
         self.metrics.stage_admit.observe(admit_ns);
+
+        // Durability boundary: the document's mutations are complete, so
+        // a WAL sink flushing here makes the document atomic on replay.
+        if let Some(before) = before {
+            let delta = self.report().delta_since(&before);
+            if let Some(j) = self.journal.as_mut() {
+                j.document_merged(extracted.doc_id, &delta);
+            }
+        }
 
         self.docs_since_expand += 1;
         if self.cfg.expand_mapper_every > 0
@@ -667,6 +765,48 @@ mod tests {
             "no entity creation allowed"
         );
         assert_eq!(pipe.report().new_entities, 0);
+    }
+
+    #[test]
+    fn failed_object_resolution_mints_no_orphan_subject() {
+        use nous_extract::Extraction;
+        // A tuple whose subject would mint a brand-new entity but whose
+        // object is a pronoun: the fact is dropped, and the subject must
+        // NOT be left behind as an orphan vertex (nor counted as a new
+        // entity).
+        let (_, mut kg, _) = setup();
+        let before_vertices = kg.graph.vertex_count();
+        let ext = DocExtraction {
+            doc_id: 77,
+            sentences: 1,
+            raw_count: 1,
+            context: BagOfWords::new(),
+            extractions: vec![Extraction {
+                doc_id: 77,
+                day: 5,
+                sentence: 0,
+                subject: "Zephyr Dynamics".into(),
+                subject_type: Some(EntityType::Organization),
+                predicate: "acquire".into(),
+                object: "it".into(),
+                object_type: None,
+                extra_args: vec![],
+                negated: false,
+                confidence: 0.9,
+            }],
+        };
+        let mut pipe = IngestPipeline::new(PipelineConfig::default());
+        pipe.merge_extraction(&mut kg, &ext);
+        let report = pipe.report();
+        assert_eq!(report.mapped, 1, "{report:?}");
+        assert_eq!(report.unresolved_entity, 1, "{report:?}");
+        assert_eq!(report.new_entities, 0, "{report:?}");
+        assert_eq!(
+            kg.graph.vertex_count(),
+            before_vertices,
+            "orphan subject vertex minted for a dropped fact"
+        );
+        assert!(kg.graph.vertex_id("Zephyr Dynamics").is_none());
     }
 
     #[test]

@@ -156,6 +156,15 @@ impl SharedSession {
         *self.topics.write() = topics;
     }
 
+    /// Run an on-demand checkpoint (or any other whole-graph read, e.g.
+    /// a snapshot export) against a consistent view of the graph: the
+    /// read lock is held for the duration of `f`, so writers wait but
+    /// concurrent readers proceed. Typical use:
+    /// `session.checkpoint_with(|kg| store.checkpoint(kg, &report))`.
+    pub fn checkpoint_with<T>(&self, f: impl FnOnce(&KnowledgeGraph) -> T) -> T {
+        self.read(|kg, _| f(kg))
+    }
+
     /// Run an operation needing the trend monitor (serialised: the miner's
     /// closed-pattern queries mutate cached state).
     pub fn with_trends<T>(&self, f: impl FnOnce(&mut TrendMonitor, &KnowledgeGraph) -> T) -> T {

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod algo;
+pub mod codec;
 pub mod edge;
 pub mod graph;
 pub mod hash;

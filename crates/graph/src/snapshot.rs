@@ -1,6 +1,6 @@
 //! Snapshots and exports.
 //!
-//! Three formats:
+//! Four formats:
 //!
 //! - **JSON snapshot** — the full graph through serde; lossless (properties
 //!   included), used by tests and small graphs.
@@ -8,13 +8,19 @@
 //!   as fixed-width records ([`crate::Edge::encode_head`], via `bytes`);
 //!   edge properties are dropped, which is the trade-off the bulk format
 //!   makes for being ~6x smaller than JSON on large logs.
+//! - **Compact snapshot** ([`to_compact`]/[`from_compact`]) — lossless
+//!   (vertex/edge properties *and* tombstones preserved) and serde-free:
+//!   the checkpoint format of the durability stack (`nous-persist`),
+//!   checksummed against torn writes.
 //! - **DOT / JSON-graph export** — the visualisation feeds behind the
 //!   paper's Figures 2, 4 and 6: curated edges render red, extracted edges
 //!   blue, each labelled with predicate and confidence.
 
-use crate::edge::Edge;
+use crate::codec::{self, Reader};
+use crate::edge::{Edge, Provenance};
 use crate::graph::DynamicGraph;
-use crate::ids::VertexId;
+use crate::ids::{PredicateId, VertexId};
+use crate::props::{PropMap, PropValue};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -120,6 +126,220 @@ pub fn from_binary(mut blob: Bytes) -> Result<DynamicGraph, SnapshotError> {
             return Err(SnapshotError::Corrupt("edge references unknown id"));
         }
         g.add_edge(e);
+    }
+    Ok(g)
+}
+
+// ---- compact snapshot -----------------------------------------------------
+
+const COMPACT_MAGIC: &[u8; 8] = b"NOUSGRPH";
+const COMPACT_VERSION: u32 = 1;
+
+fn put_prop_value(buf: &mut Vec<u8>, v: &PropValue) {
+    match v {
+        PropValue::Str(s) => {
+            codec::put_u8(buf, 0);
+            codec::put_str(buf, s);
+        }
+        PropValue::Int(i) => {
+            codec::put_u8(buf, 1);
+            codec::put_u64(buf, *i as u64);
+        }
+        PropValue::Float(f) => {
+            codec::put_u8(buf, 2);
+            codec::put_f64(buf, *f);
+        }
+        PropValue::Bool(b) => {
+            codec::put_u8(buf, 3);
+            codec::put_u8(buf, *b as u8);
+        }
+        PropValue::List(items) => {
+            codec::put_u8(buf, 4);
+            codec::put_u32(buf, items.len() as u32);
+            for s in items {
+                codec::put_str(buf, s);
+            }
+        }
+        PropValue::Vector(xs) => {
+            codec::put_u8(buf, 5);
+            codec::put_u32(buf, xs.len() as u32);
+            for x in xs {
+                codec::put_f32(buf, *x);
+            }
+        }
+    }
+}
+
+fn read_prop_value(r: &mut Reader<'_>) -> Result<PropValue, SnapshotError> {
+    let corrupt = |_| SnapshotError::Corrupt("truncated property value");
+    Ok(match r.u8().map_err(corrupt)? {
+        0 => PropValue::Str(r.str().map_err(corrupt)?.to_owned()),
+        1 => PropValue::Int(r.u64().map_err(corrupt)? as i64),
+        2 => PropValue::Float(r.f64().map_err(corrupt)?),
+        3 => PropValue::Bool(r.u8().map_err(corrupt)? != 0),
+        4 => {
+            let n = r.count(4, "property list length").map_err(corrupt)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(r.str().map_err(corrupt)?.to_owned());
+            }
+            PropValue::List(items)
+        }
+        5 => {
+            let n = r.count(4, "property vector length").map_err(corrupt)?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(r.f32().map_err(corrupt)?);
+            }
+            PropValue::Vector(xs)
+        }
+        _ => return Err(SnapshotError::Corrupt("unknown property tag")),
+    })
+}
+
+fn put_prop_map(buf: &mut Vec<u8>, props: &PropMap) {
+    codec::put_u32(buf, props.len() as u32);
+    for (k, v) in props.iter() {
+        codec::put_str(buf, k);
+        put_prop_value(buf, v);
+    }
+}
+
+fn read_prop_map(r: &mut Reader<'_>) -> Result<PropMap, SnapshotError> {
+    let n = r
+        .count(5, "property map length")
+        .map_err(|_| SnapshotError::Corrupt("truncated property map"))?;
+    let mut props = PropMap::new();
+    for _ in 0..n {
+        let key = r
+            .str()
+            .map_err(|_| SnapshotError::Corrupt("truncated property key"))?
+            .to_owned();
+        let value = read_prop_value(r)?;
+        props.set(&key, value);
+    }
+    Ok(props)
+}
+
+/// Encode the whole graph — vertices with labels and properties, the
+/// predicate table, and the *full* edge log including tombstone flags and
+/// edge properties — into a checksummed, serde-free binary blob.
+/// [`from_compact`] restores a structurally identical graph: identical
+/// dense ids (creation order is preserved), identical `log_len`, and the
+/// same live/dead partition.
+pub fn to_compact(g: &DynamicGraph) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64 + g.log_len() * (Edge::HEAD_BYTES + 8));
+    codec::put_u32(&mut body, g.vertex_count() as u32);
+    for v in g.iter_vertices() {
+        codec::put_str(&mut body, g.vertex_name(v));
+        let data = g.vertex_data(v);
+        match &data.label {
+            Some(l) => {
+                codec::put_u8(&mut body, 1);
+                codec::put_str(&mut body, l);
+            }
+            None => codec::put_u8(&mut body, 0),
+        }
+        put_prop_map(&mut body, &data.props);
+    }
+    codec::put_u32(&mut body, g.predicate_count() as u32);
+    for (_, name) in g.iter_predicates() {
+        codec::put_str(&mut body, name);
+    }
+    codec::put_u32(&mut body, g.log_len() as u32);
+    for (idx, e) in g.edge_log().iter().enumerate() {
+        codec::put_u32(&mut body, e.src.0);
+        codec::put_u32(&mut body, e.pred.0);
+        codec::put_u32(&mut body, e.dst.0);
+        codec::put_u64(&mut body, e.at);
+        codec::put_f32(&mut body, e.confidence);
+        match &e.provenance {
+            Provenance::Curated => codec::put_u64(&mut body, u64::MAX),
+            Provenance::Extracted { doc_id } => codec::put_u64(&mut body, *doc_id),
+        }
+        let live = g.is_live(crate::ids::EdgeId(idx as u32));
+        codec::put_u8(&mut body, !live as u8);
+        put_prop_map(&mut body, &e.props);
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 20);
+    out.extend_from_slice(COMPACT_MAGIC);
+    codec::put_u32(&mut out, COMPACT_VERSION);
+    codec::put_u64(&mut out, codec::fnv1a64(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a [`to_compact`] blob, verifying magic, version and checksum.
+pub fn from_compact(blob: &[u8]) -> Result<DynamicGraph, SnapshotError> {
+    if blob.len() < 20 || &blob[..8] != COMPACT_MAGIC {
+        return Err(SnapshotError::Corrupt("bad compact snapshot magic"));
+    }
+    let mut head = Reader::new(&blob[8..20]);
+    let version = head.u32().expect("12 bytes remain");
+    if version != COMPACT_VERSION {
+        return Err(SnapshotError::Corrupt("unsupported compact version"));
+    }
+    let checksum = head.u64().expect("8 bytes remain");
+    let body = &blob[20..];
+    if codec::fnv1a64(body) != checksum {
+        return Err(SnapshotError::Corrupt("compact snapshot checksum mismatch"));
+    }
+
+    let corrupt = |what: &'static str| move |_| SnapshotError::Corrupt(what);
+    let mut r = Reader::new(body);
+    let mut g = DynamicGraph::new();
+    let nv = r
+        .count(6, "vertex count")
+        .map_err(corrupt("vertex count"))?;
+    for _ in 0..nv {
+        let name = r.str().map_err(corrupt("vertex name"))?;
+        let v = g.ensure_vertex(name);
+        if r.u8().map_err(corrupt("label flag"))? != 0 {
+            let label = r.str().map_err(corrupt("vertex label"))?.to_owned();
+            g.set_label(v, &label);
+        }
+        g.vertex_data_mut(v).props = read_prop_map(&mut r)?;
+    }
+    let np = r
+        .count(4, "predicate count")
+        .map_err(corrupt("predicate count"))?;
+    for _ in 0..np {
+        let name = r.str().map_err(corrupt("predicate name"))?;
+        g.intern_predicate(name);
+    }
+    let ne = r
+        .count(Edge::HEAD_BYTES + 5, "edge count")
+        .map_err(corrupt("edge count"))?;
+    for _ in 0..ne {
+        let src = VertexId(r.u32().map_err(corrupt("edge src"))?);
+        let pred = PredicateId(r.u32().map_err(corrupt("edge pred"))?);
+        let dst = VertexId(r.u32().map_err(corrupt("edge dst"))?);
+        let at = r.u64().map_err(corrupt("edge at"))?;
+        let confidence = r.f32().map_err(corrupt("edge confidence"))?;
+        let doc = r.u64().map_err(corrupt("edge provenance"))?;
+        let dead = r.u8().map_err(corrupt("edge tombstone flag"))? != 0;
+        let props = read_prop_map(&mut r)?;
+        if src.index() >= g.vertex_count()
+            || dst.index() >= g.vertex_count()
+            || pred.index() >= g.predicate_count()
+        {
+            return Err(SnapshotError::Corrupt("edge references unknown id"));
+        }
+        let provenance = if doc == u64::MAX {
+            Provenance::Curated
+        } else {
+            Provenance::Extracted { doc_id: doc }
+        };
+        let mut e = Edge::new(src, pred, dst, at, confidence, provenance);
+        e.props = props;
+        let id = g.add_edge(e);
+        if dead {
+            g.remove_edge(id);
+        }
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Corrupt("trailing bytes after edge log"));
     }
     Ok(g)
 }
@@ -322,6 +542,69 @@ mod tests {
         assert!(matches!(
             from_binary(truncated),
             Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn compact_snapshot_roundtrips_losslessly() {
+        let mut g = sample();
+        // Exercise the lossy corners of the other binary format: edge
+        // props, vertex props and a tombstone must all survive compact.
+        let dji = g.vertex_id("DJI").unwrap();
+        g.vertex_data_mut(dji).props.set("hq", "Shenzhen");
+        let loc = g.predicate_id("isLocatedIn").unwrap();
+        let sz = g.vertex_id("Shenzhen").unwrap();
+        let dead = g.edges_matching(dji, loc, sz).next().unwrap();
+        g.remove_edge(dead);
+        let makes = g.predicate_id("manufactures").unwrap();
+        let drone = g.vertex_id("Phantom 4").unwrap();
+        let live = g.edges_matching(dji, makes, drone).next().unwrap();
+        let mut rich = Edge::new(drone, loc, sz, 30, 0.5, Provenance::Extracted { doc_id: 8 });
+        rich.props
+            .set("args", PropValue::List(vec!["in:March".into()]));
+        rich.props.set("rank", 3i64);
+        let rich_id = g.add_edge(rich);
+        let blob = to_compact(&g);
+        let back = from_compact(&blob).unwrap();
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.log_len(), g.log_len(), "tombstones preserved");
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!(!back.is_live(dead));
+        assert!(back.is_live(live));
+        assert_eq!(back.edge(live), g.edge(live));
+        assert_eq!(back.edge(rich_id), g.edge(rich_id), "edge props preserved");
+        assert_eq!(
+            back.vertex_data(dji).props.get("hq"),
+            Some(&PropValue::Str("Shenzhen".into()))
+        );
+        assert_eq!(back.label(dji), Some("Company"));
+        // Ids are creation-ordered, so a second encode is byte-identical.
+        assert_eq!(to_compact(&back), blob);
+    }
+
+    #[test]
+    fn compact_snapshot_rejects_corruption() {
+        let g = sample();
+        let blob = to_compact(&g);
+        // Truncation.
+        assert!(matches!(
+            from_compact(&blob[..blob.len() - 3]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Bit flip in the body breaks the checksum.
+        let mut flipped = blob.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            from_compact(&flipped),
+            Err(SnapshotError::Corrupt("compact snapshot checksum mismatch"))
+        ));
+        // Wrong magic.
+        let mut bad = blob;
+        bad[0] = b'X';
+        assert!(matches!(
+            from_compact(&bad),
+            Err(SnapshotError::Corrupt("bad compact snapshot magic"))
         ));
     }
 

@@ -80,7 +80,9 @@ impl SlidingWindow {
         self.active.iter().map(|(id, _)| *id)
     }
 
-    /// Timestamp of the newest edge consumed so far (0 when none).
+    /// Timestamp of the newest edge *still in the window* — not of the
+    /// newest edge ever consumed: once every edge has been evicted (or
+    /// none was ever ingested) this resets to 0.
     pub fn frontier(&self) -> Timestamp {
         self.active.back().map(|(_, t)| *t).unwrap_or(0)
     }

@@ -97,6 +97,11 @@ impl Disambiguator {
         self
     }
 
+    /// The current context/prior blend (for state serialization).
+    pub fn context_weight(&self) -> f64 {
+        self.context_weight
+    }
+
     pub fn len(&self) -> usize {
         self.records.len()
     }

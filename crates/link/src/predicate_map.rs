@@ -76,6 +76,18 @@ impl PredicateMapper {
         self.rules.get(raw)
     }
 
+    /// Install (or replace) a rule verbatim — the deserialization hook
+    /// for rebuilding a mapper from checkpointed state, including the
+    /// non-seed rules `expand` learned.
+    pub fn insert_rule(&mut self, raw: &str, rule: MappingRule) {
+        self.rules.insert(raw.to_owned(), rule);
+    }
+
+    /// The `(min_support, min_precision)` expansion thresholds.
+    pub fn thresholds(&self) -> (usize, f64) {
+        (self.min_support, self.min_precision)
+    }
+
     /// All rules, sorted by raw predicate (stable output for reports).
     pub fn rules(&self) -> Vec<(&str, &MappingRule)> {
         let mut v: Vec<(&str, &MappingRule)> =

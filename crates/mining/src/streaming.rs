@@ -143,6 +143,13 @@ impl StreamingMiner {
         self.window.len()
     }
 
+    /// Whether the support table is stale and the next query will pay a
+    /// full window recount (only ever true under
+    /// [`EvictionStrategy::Rebuild`]).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
     /// Snapshot the window/table gauges after a slide.
     fn update_gauges(&self) {
         if let Some(m) = &self.metrics {
@@ -196,8 +203,11 @@ impl StreamingMiner {
 
     fn remove_edge_inner(&mut self, id: u64) {
         if self.cfg.eviction == EvictionStrategy::Rebuild {
-            self.window.remove(id);
-            self.dirty = true;
+            // Only an edge actually evicted dirties the table: a no-op
+            // removal must not force a full recount on the next query.
+            if self.window.remove(id).is_some() {
+                self.dirty = true;
+            }
             return;
         }
         if !self.window.contains(id) {
@@ -344,6 +354,26 @@ mod tests {
             min_support: sup,
             eviction: ev,
         })
+    }
+
+    #[test]
+    fn noop_removal_leaves_rebuild_table_clean() {
+        let mut m = miner(2, 1, EvictionStrategy::Rebuild);
+        m.add_edge(me(1, 10, 20, 0));
+        m.add_edge(me(2, 20, 30, 1));
+        // A query refreshes the table.
+        assert!(m.is_dirty());
+        let n = m.frequent_patterns().len();
+        assert!(n > 0);
+        assert!(!m.is_dirty());
+        // Removing an id that is not in the window must not dirty it…
+        m.remove_edge(999);
+        assert!(!m.is_dirty(), "no-op removal forced a spurious recount");
+        assert_eq!(m.window_len(), 2);
+        // …while removing a real edge still does.
+        m.remove_edge(1);
+        assert!(m.is_dirty());
+        assert_eq!(m.window_len(), 1);
     }
 
     #[test]

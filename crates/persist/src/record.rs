@@ -1,0 +1,188 @@
+//! WAL record payloads.
+//!
+//! One WAL record = one merged document (the pipeline's durability
+//! boundary): the entities it minted in mint order, the facts it admitted
+//! in admit order, and its [`IngestReport`] delta. Replaying records in
+//! file order onto the checkpointed graph reproduces the original run
+//! over the surviving prefix — including vertex/edge ids, because
+//! `DynamicGraph` assigns dense ids in creation order.
+
+use nous_core::journal::{entity_type_from_tag, entity_type_tag};
+use nous_core::{AdmittedFact, IngestReport};
+use nous_graph::codec::{self, DecodeError, Reader};
+use nous_text::ner::EntityType;
+
+/// Everything one document did to the graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DocRecord {
+    pub doc_id: u64,
+    /// Entities minted from text while merging this document, mint order.
+    pub minted: Vec<(String, EntityType)>,
+    /// Facts admitted, in admit order.
+    pub facts: Vec<AdmittedFact>,
+    /// This document's contribution to the cumulative report.
+    pub delta: IngestReport,
+}
+
+pub(crate) fn put_report(buf: &mut Vec<u8>, r: &IngestReport) {
+    for v in [
+        r.documents,
+        r.sentences,
+        r.raw_triples,
+        r.duplicate_triples,
+        r.mapped,
+        r.unmapped,
+        r.unresolved_entity,
+        r.new_entities,
+        r.admitted,
+        r.rejected,
+        r.gated,
+    ] {
+        codec::put_u64(buf, v as u64);
+    }
+}
+
+pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<IngestReport, DecodeError> {
+    let mut vals = [0u64; 11];
+    for v in &mut vals {
+        *v = r.u64()?;
+    }
+    Ok(IngestReport {
+        documents: vals[0] as usize,
+        sentences: vals[1] as usize,
+        raw_triples: vals[2] as usize,
+        duplicate_triples: vals[3] as usize,
+        mapped: vals[4] as usize,
+        unmapped: vals[5] as usize,
+        unresolved_entity: vals[6] as usize,
+        new_entities: vals[7] as usize,
+        admitted: vals[8] as usize,
+        rejected: vals[9] as usize,
+        gated: vals[10] as usize,
+    })
+}
+
+impl DocRecord {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        codec::put_u64(&mut buf, self.doc_id);
+        codec::put_u32(&mut buf, self.minted.len() as u32);
+        for (name, ty) in &self.minted {
+            codec::put_str(&mut buf, name);
+            codec::put_u8(&mut buf, entity_type_tag(*ty));
+        }
+        codec::put_u32(&mut buf, self.facts.len() as u32);
+        for f in &self.facts {
+            codec::put_str(&mut buf, &f.subject);
+            codec::put_str(&mut buf, &f.predicate);
+            codec::put_str(&mut buf, &f.object);
+            codec::put_u64(&mut buf, f.at);
+            codec::put_f32(&mut buf, f.confidence);
+            codec::put_u64(&mut buf, f.doc_id);
+            codec::put_u32(&mut buf, f.extra_args.len() as u32);
+            for (prep, text) in &f.extra_args {
+                codec::put_str(&mut buf, prep);
+                codec::put_str(&mut buf, text);
+            }
+        }
+        put_report(&mut buf, &self.delta);
+        buf
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(payload);
+        let doc_id = r.u64()?;
+        let nm = r.count(5, "minted entity count")?;
+        let mut minted = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            let name = r.str()?.to_owned();
+            let ty = entity_type_from_tag(r.u8()?).ok_or(DecodeError("bad entity type tag"))?;
+            minted.push((name, ty));
+        }
+        let nf = r.count(36, "fact count")?;
+        let mut facts = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let subject = r.str()?.to_owned();
+            let predicate = r.str()?.to_owned();
+            let object = r.str()?.to_owned();
+            let at = r.u64()?;
+            let confidence = r.f32()?;
+            let doc_id = r.u64()?;
+            let na = r.count(8, "extra arg count")?;
+            let mut extra_args = Vec::with_capacity(na);
+            for _ in 0..na {
+                let prep = r.str()?.to_owned();
+                let text = r.str()?.to_owned();
+                extra_args.push((prep, text));
+            }
+            facts.push(AdmittedFact {
+                subject,
+                predicate,
+                object,
+                at,
+                confidence,
+                doc_id,
+                extra_args,
+            });
+        }
+        let delta = read_report(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError("trailing bytes in document record"));
+        }
+        Ok(Self {
+            doc_id,
+            minted,
+            facts,
+            delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DocRecord {
+        DocRecord {
+            doc_id: 42,
+            minted: vec![
+                ("Nimbus Labs".into(), EntityType::Organization),
+                ("Ada Okafor".into(), EntityType::Person),
+            ],
+            facts: vec![AdmittedFact {
+                subject: "Nimbus Labs".into(),
+                predicate: "acquired".into(),
+                object: "Vector Forge".into(),
+                at: 120,
+                confidence: 0.81,
+                doc_id: 42,
+                extra_args: vec![("in".into(), "March".into())],
+            }],
+            delta: IngestReport {
+                documents: 1,
+                sentences: 3,
+                raw_triples: 2,
+                mapped: 1,
+                unmapped: 1,
+                new_entities: 2,
+                admitted: 1,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let rec = sample();
+        let back = DocRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let bytes = sample().encode();
+        for cut in [0, 5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(DocRecord::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

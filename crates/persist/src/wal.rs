@@ -1,0 +1,318 @@
+//! Write-ahead log: length-prefixed, checksummed frames on an append-only
+//! file.
+//!
+//! Frame layout: `u32` payload length (LE) · `u64` FNV-1a checksum of the
+//! payload (LE) · payload bytes. A scan stops at the first frame whose
+//! length is impossible, whose bytes are short, or whose checksum does not
+//! match — everything before that point is valid, everything after is a
+//! torn write and can be truncated away.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use nous_graph::codec;
+
+/// Bytes of framing before each payload (`u32` length + `u64` checksum).
+pub const FRAME_HEADER_BYTES: u64 = 12;
+
+/// Upper bound on a single payload; anything larger in a length field is
+/// treated as corruption rather than an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// When `append` should flush the OS file to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append — slowest, loses nothing on power failure.
+    Always,
+    /// fsync every N appends (N >= 1). `EveryN(1)` equals `Always`.
+    EveryN(u64),
+    /// Never fsync from the WAL; rely on OS writeback and checkpoints.
+    Never,
+}
+
+/// Append-only WAL handle.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    appends_since_sync: u64,
+    len: u64,
+    fsyncs: u64,
+}
+
+/// Result of scanning a WAL file from the start.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Payloads of every intact frame, in file order.
+    pub payloads: Vec<Vec<u8>>,
+    /// File offset just past the last intact frame.
+    pub valid_len: u64,
+    /// Bytes after `valid_len` (torn or trailing garbage).
+    pub truncated_bytes: u64,
+}
+
+impl Wal {
+    /// Create a fresh, empty WAL (truncating any existing file).
+    pub fn create(path: &Path, policy: FsyncPolicy) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            path: path.to_owned(),
+            policy,
+            appends_since_sync: 0,
+            len: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// Open an existing WAL for appending at `valid_len` (the caller should
+    /// have run [`scan`] + [`repair`] first so the tail is clean).
+    pub fn open_append(path: &Path, policy: FsyncPolicy) -> io::Result<Self> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            file,
+            path: path.to_owned(),
+            policy,
+            appends_since_sync: 0,
+            len,
+            fsyncs: 0,
+        })
+    }
+
+    /// Append one framed payload; returns the number of bytes written.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        assert!(
+            payload.len() as u64 <= MAX_FRAME_BYTES as u64,
+            "WAL payload exceeds MAX_FRAME_BYTES"
+        );
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u64(&mut frame, codec::fnv1a64(payload));
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.appends_since_sync += 1;
+        let should_sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if should_sync {
+            self.sync()?;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Force an fsync regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Bytes written to this WAL (valid prefix at open + appends since).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of fsyncs issued through this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scan a WAL file, collecting intact frames and locating the first torn
+/// write. Missing file reads as an empty scan.
+pub fn scan(path: &Path) -> io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(e),
+    }
+    let mut out = WalScan::default();
+    let total = bytes.len() as u64;
+    let mut off = 0usize;
+    loop {
+        let rest = &bytes[off..];
+        if rest.len() < FRAME_HEADER_BYTES as usize {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if len as u64 > MAX_FRAME_BYTES as u64 {
+            break;
+        }
+        let want = FRAME_HEADER_BYTES as usize + len;
+        if rest.len() < want {
+            break;
+        }
+        let sum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let payload = &rest[12..want];
+        if codec::fnv1a64(payload) != sum {
+            break;
+        }
+        out.payloads.push(payload.to_vec());
+        off += want;
+    }
+    out.valid_len = off as u64;
+    out.truncated_bytes = total - out.valid_len;
+    Ok(out)
+}
+
+/// Truncate the file at the end of its valid prefix, discarding torn bytes.
+pub fn repair(path: &Path, valid_len: u64) -> io::Result<()> {
+    match OpenOptions::new().write(true).open(path) {
+        Ok(f) => f.set_len(valid_len),
+        Err(e) if e.kind() == io::ErrorKind::NotFound && valid_len == 0 => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("nous-wal-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn frames_roundtrip_through_scan() {
+        let path = scratch("roundtrip");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        let payloads: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], vec![7u8; 300]];
+        let mut written = 0;
+        for p in &payloads {
+            written += wal.append(p).unwrap();
+        }
+        assert_eq!(wal.len(), written);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.payloads, payloads);
+        assert_eq!(s.valid_len, written);
+        assert_eq!(s.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let path = scratch("torn");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        wal.append(b"first record").unwrap();
+        let keep = wal.len();
+        wal.append(b"second record that will be torn").unwrap();
+        let full = wal.len();
+        drop(wal);
+        // Chop mid-way through the second frame.
+        for cut in [keep + 1, keep + FRAME_HEADER_BYTES, full - 1] {
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+            let s = scan(&path).unwrap();
+            assert_eq!(s.payloads.len(), 1, "cut={cut}");
+            assert_eq!(s.payloads[0], b"first record");
+            assert_eq!(s.valid_len, keep);
+            assert_eq!(s.truncated_bytes, cut - keep);
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_checksum_and_repair_truncates() {
+        let path = scratch("corrupt");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        wal.append(b"good").unwrap();
+        let keep = wal.len();
+        wal.append(b"mangled").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.payloads.len(), 1);
+        assert_eq!(s.valid_len, keep);
+        assert!(s.truncated_bytes > 0);
+        repair(&path, s.valid_len).unwrap();
+        let again = scan(&path).unwrap();
+        assert_eq!(again.payloads.len(), 1);
+        assert_eq!(again.truncated_bytes, 0);
+        // And appending after repair works.
+        let mut wal = Wal::open_append(&path, FsyncPolicy::Never).unwrap();
+        wal.append(b"after repair").unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.payloads.len(), 2);
+        assert_eq!(s.payloads[1], b"after repair");
+    }
+
+    #[test]
+    fn scan_rejects_insane_length_field() {
+        let path = scratch("insane");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        wal.append(b"ok").unwrap();
+        let keep = wal.len();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bogus = Vec::new();
+        codec::put_u32(&mut bogus, MAX_FRAME_BYTES + 1);
+        codec::put_u64(&mut bogus, 0);
+        bytes.extend_from_slice(&bogus);
+        std::fs::write(&path, &bytes).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.payloads.len(), 1);
+        assert_eq!(s.valid_len, keep);
+    }
+
+    #[test]
+    fn fsync_policies_count_syncs() {
+        let path = scratch("fsync");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.fsyncs(), 2);
+
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for _ in 0..7 {
+            wal.append(b"x").unwrap();
+        }
+        assert_eq!(wal.fsyncs(), 2);
+
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        for _ in 0..5 {
+            wal.append(b"x").unwrap();
+        }
+        assert_eq!(wal.fsyncs(), 0);
+        wal.sync().unwrap();
+        assert_eq!(wal.fsyncs(), 1);
+    }
+
+    #[test]
+    fn scan_of_missing_file_is_empty() {
+        let path = scratch("missing");
+        std::fs::remove_file(&path).ok();
+        let s = scan(&path).unwrap();
+        assert!(s.payloads.is_empty());
+        assert_eq!(s.valid_len, 0);
+        assert_eq!(s.truncated_bytes, 0);
+        repair(&path, 0).unwrap();
+    }
+}

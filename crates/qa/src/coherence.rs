@@ -88,21 +88,24 @@ pub fn coherent_paths_with_stats(
         cfg.max_hops,
         cfg.budget,
         constraint,
-        |_, mut steps| {
+        |_, steps| {
             if cfg.beam == usize::MAX || steps.len() <= cfg.beam {
                 return steps;
             }
             // Look-ahead: keep the `beam` neighbours with least divergence
             // to the target. The DFS pops from the back, so sort
             // descending — the least divergent neighbour is explored first.
+            // The divergence key is computed once per step (not once per
+            // comparison), so the accounting below is exact: one
+            // evaluation per candidate neighbour.
             lookahead_evals += steps.len();
-            steps.sort_by(|a, b| {
-                let da = js_divergence(topics.get(a.0), &target_dist);
-                let db = js_divergence(topics.get(b.0), &target_dist);
-                db.partial_cmp(&da).expect("divergence is finite")
-            });
-            let cut = steps.len() - cfg.beam;
-            steps.split_off(cut)
+            let mut keyed: Vec<(f64, (VertexId, crate::path::Hop))> = steps
+                .into_iter()
+                .map(|s| (js_divergence(topics.get(s.0), &target_dist), s))
+                .collect();
+            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("divergence is finite"));
+            let cut = keyed.len() - cfg.beam;
+            keyed.split_off(cut).into_iter().map(|(_, s)| s).collect()
         },
         &mut stats,
     );
@@ -300,6 +303,56 @@ mod tests {
             &QaConfig::default(),
         );
         assert_eq!(paths, plain);
+    }
+
+    #[test]
+    fn lookahead_evaluates_divergence_once_per_candidate() {
+        // Star: a → m0..m4 → d. With beam 2 the only over-wide expansion
+        // is at `a` (5 candidates), so the look-ahead must charge exactly
+        // 5 divergence evaluations — one per candidate, not one per
+        // comparison as a naive sort-by-recomputed-key would.
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let d = g.ensure_vertex("d");
+        let p = g.intern_predicate("rel");
+        let mut t = TopicIndex::new(2);
+        t.set(a, vec![0.5, 0.5]);
+        t.set(d, vec![0.9, 0.1]);
+        for i in 0..5 {
+            let m = g.ensure_vertex(&format!("m{i}"));
+            g.add_edge_at(a, p, m, 0, 1.0, Provenance::Curated);
+            g.add_edge_at(m, p, d, 0, 1.0, Provenance::Curated);
+            // m0/m1 near the target's topic, the rest far away.
+            t.set(
+                m,
+                if i < 2 {
+                    vec![0.85, 0.15]
+                } else {
+                    vec![0.1, 0.9]
+                },
+            );
+        }
+        let cfg = QaConfig {
+            max_hops: 2,
+            beam: 2,
+            budget: 20_000,
+            k: 10,
+        };
+        let (paths, stats) =
+            coherent_paths_with_stats(&g, &t, a, d, &PathConstraint::default(), &cfg);
+        assert_eq!(paths.len(), 2, "beam 2 keeps two middle vertices");
+        assert_eq!(stats.paths_emitted, 2);
+        // Scoring charges one evaluation per hop of every surviving path.
+        let scoring: usize = paths.iter().map(|p| p.len()).sum();
+        assert_eq!(scoring, 4);
+        assert_eq!(
+            stats.coherence_evals,
+            5 + scoring,
+            "look-ahead charges one evaluation per candidate: {stats:?}"
+        );
+        // The survivors are the two topic-coherent middles.
+        let names: Vec<&str> = paths.iter().map(|p| g.vertex_name(p.vertices[1])).collect();
+        assert!(names.contains(&"m0") && names.contains(&"m1"), "{names:?}");
     }
 
     #[test]

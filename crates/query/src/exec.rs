@@ -222,7 +222,12 @@ fn execute_inner(
                 })
                 .collect();
             items.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-            items.truncate(*limit);
+            // Keep the *latest* `limit` events (still rendered in
+            // ascending order): a busy entity's timeline should show its
+            // recent activity, not its oldest.
+            if items.len() > *limit {
+                items.drain(..items.len() - *limit);
+            }
             QueryResult::Timeline(items)
         }
 
@@ -406,6 +411,20 @@ mod tests {
         let r2 = run("what happened to Condor Labs");
         assert!(matches!(r2, QueryResult::Timeline(_)));
         assert!(matches!(run("TIMELINE Nobody"), QueryResult::NotFound(_)));
+    }
+
+    #[test]
+    fn timeline_limit_keeps_latest_events() {
+        // Apex Robotics has events at t=10 (partneredWith) and t=12
+        // (competesWith); LIMIT 1 must surface the *recent* one, still
+        // in ascending render order.
+        let r = run("TIMELINE Apex Robotics LIMIT 1");
+        let QueryResult::Timeline(items) = r else {
+            panic!("wrong variant: {r:?}")
+        };
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, 12, "kept the latest event: {items:?}");
+        assert!(items[0].1.contains("competesWith"), "{items:?}");
     }
 
     #[test]

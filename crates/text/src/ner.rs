@@ -75,6 +75,12 @@ impl Gazetteer {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// All `(lowercased surface, type)` entries, in arbitrary order
+    /// (sort before serializing for a deterministic encoding).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, EntityType)> {
+        self.entries.iter().map(|(s, ty)| (s.as_str(), *ty))
+    }
 }
 
 const ORG_SUFFIXES: &[&str] = &[
