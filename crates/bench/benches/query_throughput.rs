@@ -1,0 +1,286 @@
+//! Query serving throughput: locked baseline vs. lock-free frozen snapshots.
+//!
+//! Builds a Demo-preset session, then measures a multi-threaded mixed read
+//! workload (one query per lock-free class, round-robin) while a background
+//! writer keeps ingesting micro-batches — the paper's long-running demo
+//! shape, analysts querying against a live stream. Two serving modes:
+//!
+//! - `locked`: every query takes the session read-lock
+//!   (`execute_shared_locked`), contending with the writer's exclusive
+//!   merge windows.
+//! - `snapshot`: every query runs against the epoch-swapped frozen
+//!   snapshot (`execute_shared`) — no KG lock on the read path.
+//!
+//! Prints the comparison table and records `BENCH_query.json` at the
+//! repository root. Plain `main` harness (`harness = false`): wall-clock
+//! queries/sec over a fixed duration is the honest unit, and the JSON
+//! artifact needs exactly one run per configuration.
+//!
+//! ```sh
+//! cargo bench -p nous-bench --features bench --bench query_throughput
+//! ```
+//!
+//! The JSON records `host_cpus`: on a single core the reader threads
+//! time-slice, so the parallel win of never blocking on the write lock
+//! cannot show up directly — read the measured ratios together with the
+//! Amdahl-style projection fields (`write_hold_fraction` is the fraction
+//! of wall time the writer held the KG write-lock; locked readers stall
+//! for that window, snapshot readers do not).
+
+use nous_bench::{row, table_header};
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_corpus::{Article, ArticleStream, CuratedKb, Preset, World};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::MetricsRegistry;
+use nous_query::{execute_shared, execute_shared_locked, parse, Query};
+use nous_topics::LdaConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WARM_ARTICLES: usize = 200;
+const RUN_SECS: f64 = 1.5;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn build_session() -> (SharedSession, Vec<Query>, Vec<Article>) {
+    let world = World::generate(&Preset::Demo.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let stream_cfg = nous_corpus::StreamConfig {
+        articles: WARM_ARTICLES,
+        ..Preset::Demo.stream_config()
+    };
+    let articles = ArticleStream::generate(&world, &kb, &stream_cfg);
+    // Warm the graph with half the corpus; the writer replays the rest.
+    let (warm, live) = articles.split_at(WARM_ARTICLES / 2);
+    IngestPipeline::new(PipelineConfig::default()).ingest_all(&mut kg, warm);
+    let topics = kg.build_topic_index(&LdaConfig {
+        iterations: 20,
+        ..Default::default()
+    });
+    let a = world.entities[world.companies[0]].name.clone();
+    let b = world.entities[world.companies[1]].name.clone();
+    let queries = [
+        format!("ABOUT {a}"),
+        "MATCH (Company)-[isLocatedIn]->(Location) LIMIT 3".to_owned(),
+        format!("TIMELINE {a} LIMIT 5"),
+        format!("WHY {a} -> {b} LIMIT 3"),
+        format!("PATHS {a} TO {b} MAX 3 LIMIT 5"),
+    ]
+    .iter()
+    .map(|q| parse(q).expect("query parses"))
+    .collect();
+    let trends = TrendMonitor::new(
+        WindowKind::Count { n: 200 },
+        MinerConfig {
+            k_max: 1,
+            min_support: 3,
+            eviction: EvictionStrategy::Eager,
+        },
+    );
+    let registry = MetricsRegistry::new();
+    let session = SharedSession::with_registry(kg, topics, trends, registry);
+    (session, queries, live.to_vec())
+}
+
+struct Measurement {
+    mode: &'static str,
+    threads: usize,
+    writer: bool,
+    secs: f64,
+    queries: u64,
+    qps: f64,
+}
+
+fn run(mode: &'static str, threads: usize, with_writer: bool) -> (Measurement, f64) {
+    let (session, queries, live) = build_session();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Background writer: replay the live tail in micro-batches until the
+    // readers finish, so every query contends with real ingestion. The
+    // no-writer runs isolate per-query cost from that contention.
+    let writer = with_writer.then(|| {
+        let session = session.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut pipe = IngestPipeline::new(PipelineConfig {
+                batch_size: 16,
+                extract_workers: 1,
+                ..Default::default()
+            });
+            while !stop.load(Ordering::Relaxed) {
+                for chunk in live.chunks(16) {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    session.ingest_batch(&mut pipe, chunk);
+                }
+            }
+        })
+    });
+
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(RUN_SECS);
+    let readers: Vec<_> = (0..threads)
+        .map(|tid| {
+            let session = session.clone();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut i = tid; // stagger the round-robin start per thread
+                while Instant::now() < deadline {
+                    let q = &queries[i % queries.len()];
+                    let _ = match mode {
+                        "locked" => execute_shared_locked(&session, q),
+                        _ => execute_shared(&session, q),
+                    };
+                    served += 1;
+                    i += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let queries_served: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    let secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(writer) = writer {
+        writer.join().expect("writer");
+    }
+
+    // Fraction of the measured window the writer held the KG write-lock —
+    // the window locked-mode readers stall in and snapshot readers ignore.
+    let write_hold_fraction = session
+        .metrics()
+        .latency_with(
+            "nous_session_lock_hold_seconds",
+            "Time a session lock was held by one operation",
+            &[("lock", "write")],
+        )
+        .sum() as f64
+        / 1e9
+        / secs;
+    (
+        Measurement {
+            mode,
+            threads,
+            writer: with_writer,
+            secs,
+            queries: queries_served,
+            qps: queries_served as f64 / secs,
+        },
+        write_hold_fraction,
+    )
+}
+
+fn main() {
+    let mut runs: Vec<Measurement> = Vec::new();
+    let mut write_hold_fraction = 0.0f64;
+    // Clean per-query cost, no ingestion running.
+    for mode in ["locked", "snapshot"] {
+        runs.push(run(mode, 1, false).0);
+    }
+    // Contended serving, live writer in the background.
+    for mode in ["locked", "snapshot"] {
+        for threads in THREADS {
+            let (m, whf) = run(mode, threads, true);
+            if mode == "locked" {
+                write_hold_fraction = write_hold_fraction.max(whf);
+            }
+            runs.push(m);
+        }
+    }
+
+    let locked_qps = |threads: usize, writer: bool| {
+        runs.iter()
+            .find(|m| m.mode == "locked" && m.threads == threads && m.writer == writer)
+            .map(|m| m.qps)
+            .unwrap_or(f64::NAN)
+    };
+    table_header(
+        &format!("query throughput ({RUN_SECS}s mixed workload)"),
+        &[
+            "mode",
+            "writer",
+            "threads",
+            "secs",
+            "queries",
+            "qps",
+            "vs locked",
+        ],
+        &[9, 7, 8, 7, 9, 10, 10],
+    );
+    for m in &runs {
+        println!(
+            "{}",
+            row(
+                &[
+                    m.mode.to_owned(),
+                    if m.writer { "live" } else { "none" }.to_owned(),
+                    m.threads.to_string(),
+                    format!("{:.2}", m.secs),
+                    m.queries.to_string(),
+                    format!("{:.0}", m.qps),
+                    format!("{:.2}x", m.qps / locked_qps(m.threads, m.writer)),
+                ],
+                &[9, 7, 8, 7, 9, 10, 10],
+            )
+        );
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Amdahl-style projection. `r1` is the clean (no-writer) per-query
+    // cost ratio — everything the frozen indexes buy on a single thread.
+    // On a multi-core host, locked readers additionally stall for the
+    // writer's exclusive window (`write_hold_fraction` of wall time)
+    // while snapshot readers never do, so the projected saturation ratio
+    // is r1 / (1 - write_hold_fraction). On a single-core container the
+    // live-writer rows also under-report the snapshot side: an unblocked
+    // writer freezes + merges far more often, and that work time-slices
+    // against the readers instead of running on its own core.
+    let r1 = runs
+        .iter()
+        .find(|m| m.mode == "snapshot" && m.threads == 1 && !m.writer)
+        .map(|m| m.qps / locked_qps(1, false))
+        .unwrap_or(f64::NAN);
+    let projected = r1 / (1.0 - write_hold_fraction).max(0.05);
+    println!(
+        "\nhost cpus: {host_cpus}; write-lock held {:.1}% of wall time; \
+         clean single-thread snapshot/locked ratio {r1:.2}x; \
+         projected multi-core ratio {projected:.2}x",
+        write_hold_fraction * 100.0
+    );
+
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"mode\": \"{}\", \"writer\": {}, \"threads\": {}, \"secs\": {:.3}, \
+                 \"queries\": {}, \"qps\": {:.1}, \"speedup_vs_locked\": {:.2}}}",
+                m.mode,
+                m.writer,
+                m.threads,
+                m.secs,
+                m.queries,
+                m.qps,
+                m.qps / locked_qps(m.threads, m.writer)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"run_secs\": {RUN_SECS},\n  \"host_cpus\": {host_cpus},\n  \
+         \"write_hold_fraction\": {write_hold_fraction:.3},\n  \
+         \"snapshot_vs_locked_single_thread_clean\": {r1:.2},\n  \
+         \"projected_snapshot_vs_locked_multicore\": {projected:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

@@ -10,7 +10,7 @@
 
 use nous_corpus::{CuratedKb, World};
 use nous_embed::{BprConfig, LinkPredictor, PredictorMode};
-use nous_graph::{algo, DynamicGraph, Provenance, Timestamp, VertexId};
+use nous_graph::{Adj, DynamicGraph, GraphView, Provenance, Timestamp, VertexId};
 use nous_link::{Disambiguator, EntityRecord, PredicateMapper};
 use nous_qa::TopicIndex;
 use nous_text::bow::BagOfWords;
@@ -457,54 +457,76 @@ impl KnowledgeGraph {
     /// Entity summary for "tell me about X" queries (Figure 6): type,
     /// highest-confidence facts, most recent facts, top neighbours.
     pub fn entity_summary(&self, name: &str) -> Option<EntitySummary> {
-        let v = self.graph.vertex_id(name).or_else(|| {
-            // Fall back to alias resolution with empty context.
-            self.disambiguator
-                .resolve(name, &BagOfWords::new(), nous_link::LinkMode::Full)
-                .map(|r| VertexId(r.id))
-        })?;
-        let mut facts: Vec<(String, f32, Timestamp, bool)> = Vec::new();
-        for adj in self.graph.out_edges(v) {
-            let e = self.graph.edge(adj.edge);
-            facts.push((
-                format!(
-                    "{} -[{}]-> {}",
-                    self.graph.vertex_name(v),
-                    self.graph.predicate_name(adj.pred),
-                    self.graph.vertex_name(adj.other)
-                ),
-                e.confidence,
-                e.at,
-                e.provenance.is_curated(),
-            ));
-        }
-        for adj in self.graph.in_edges(v) {
-            let e = self.graph.edge(adj.edge);
-            facts.push((
-                format!(
-                    "{} -[{}]-> {}",
-                    self.graph.vertex_name(adj.other),
-                    self.graph.predicate_name(adj.pred),
-                    self.graph.vertex_name(v)
-                ),
-                e.confidence,
-                e.at,
-                e.provenance.is_curated(),
-            ));
-        }
-        facts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.2.cmp(&a.2)));
-        Some(EntitySummary {
-            name: self.graph.vertex_name(v).to_owned(),
-            vertex: v,
-            entity_type: self.graph.label(v).map(str::to_owned),
-            degree: self.graph.degree(v),
-            facts,
-            neighbors: algo::k_hop_neighborhood(&self.graph, v, algo::Direction::Both, 1)
-                .into_iter()
-                .map(|n| self.graph.vertex_name(n).to_owned())
-                .collect(),
-        })
+        entity_summary_view(&self.graph, &self.disambiguator, name)
     }
+}
+
+/// [`KnowledgeGraph::entity_summary`] against any [`GraphView`] — the form
+/// the lock-free query path calls with a [`nous_graph::FrozenView`] and
+/// the snapshot's cloned resolver. Byte-identical to the locked path: each
+/// direction's adjacency is normalised to edge-log order before the stable
+/// confidence sort, so tie order does not depend on the view's layout.
+pub fn entity_summary_view<G: GraphView>(
+    g: &G,
+    disambiguator: &Disambiguator,
+    name: &str,
+) -> Option<EntitySummary> {
+    let v = g.vertex_id(name).or_else(|| {
+        // Fall back to alias resolution with empty context.
+        disambiguator
+            .resolve(name, &BagOfWords::new(), nous_link::LinkMode::Full)
+            .map(|r| VertexId(r.id))
+    })?;
+    let mut out_adj: Vec<Adj> = Vec::new();
+    g.for_each_out(v, |a| out_adj.push(a));
+    out_adj.sort_unstable_by_key(|a| a.edge.0);
+    let mut in_adj: Vec<Adj> = Vec::new();
+    g.for_each_in(v, |a| in_adj.push(a));
+    in_adj.sort_unstable_by_key(|a| a.edge.0);
+    let mut facts: Vec<(String, f32, Timestamp, bool)> = Vec::new();
+    for adj in out_adj {
+        let e = g.edge(adj.edge);
+        facts.push((
+            format!(
+                "{} -[{}]-> {}",
+                g.vertex_name(v),
+                g.predicate_name(adj.pred),
+                g.vertex_name(adj.other)
+            ),
+            e.confidence,
+            e.at,
+            e.provenance.is_curated(),
+        ));
+    }
+    for adj in in_adj {
+        let e = g.edge(adj.edge);
+        facts.push((
+            format!(
+                "{} -[{}]-> {}",
+                g.vertex_name(adj.other),
+                g.predicate_name(adj.pred),
+                g.vertex_name(v)
+            ),
+            e.confidence,
+            e.at,
+            e.provenance.is_curated(),
+        ));
+    }
+    facts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.2.cmp(&a.2)));
+    let mut neighbors = Vec::new();
+    g.neighbors_into(v, &mut neighbors);
+    Some(EntitySummary {
+        name: g.vertex_name(v).to_owned(),
+        vertex: v,
+        entity_type: g.label(v).map(str::to_owned),
+        degree: g.degree(v),
+        facts,
+        neighbors: neighbors
+            .into_iter()
+            .filter(|&n| n != v)
+            .map(|n| g.vertex_name(n).to_owned())
+            .collect(),
+    })
 }
 
 impl Default for KnowledgeGraph {

@@ -37,8 +37,8 @@ pub mod session;
 pub mod trends;
 
 pub use journal::{AdmittedFact, IngestJournal};
-pub use kg::KnowledgeGraph;
+pub use kg::{entity_summary_view, KnowledgeGraph};
 pub use pipeline::{IngestPipeline, IngestReport, PipelineConfig};
 pub use quality::{CandidateFact, NoSelfLoopGate, QualityGate, TypeSignatureGate};
-pub use session::SharedSession;
+pub use session::{FrozenSnapshot, SharedSession};
 pub use trends::TrendMonitor;

@@ -291,6 +291,10 @@ enum ResolvePlan {
     Mint { name: String, ty: EntityType },
 }
 
+/// Observer invoked with the merged graph after each ingested micro-batch
+/// (see [`IngestPipeline::set_batch_hook`]).
+pub type BatchHook = Box<dyn FnMut(&KnowledgeGraph) + Send>;
+
 /// The streaming ingestion driver.
 pub struct IngestPipeline {
     cfg: PipelineConfig,
@@ -304,6 +308,8 @@ pub struct IngestPipeline {
     /// Confidences of admitted and rejected facts (quality dashboard).
     pub admitted_confidences: Vec<f32>,
     pub rejected_confidences: Vec<f32>,
+    /// Observer invoked after each micro-batch merges (snapshot publish).
+    batch_hook: Option<BatchHook>,
 }
 
 impl IngestPipeline {
@@ -325,6 +331,7 @@ impl IngestPipeline {
             docs_since_expand: 0,
             admitted_confidences: Vec::new(),
             rejected_confidences: Vec::new(),
+            batch_hook: None,
         }
     }
 
@@ -366,6 +373,14 @@ impl IngestPipeline {
     /// Detach the journal sink, if any (e.g. to flush/close it).
     pub fn take_journal(&mut self) -> Option<Box<dyn IngestJournal>> {
         self.journal.take()
+    }
+
+    /// Install an observer invoked with the merged graph after every
+    /// micro-batch of [`IngestPipeline::ingest_batch`] — the direct-drive
+    /// analogue of `SharedSession::ingest_batch`'s per-batch snapshot
+    /// publish. Replaces any previous hook.
+    pub fn set_batch_hook(&mut self, hook: impl FnMut(&KnowledgeGraph) + Send + 'static) {
+        self.batch_hook = Some(Box::new(hook));
     }
 
     /// Pre-load the cumulative counters with a recovered report, so a
@@ -648,6 +663,9 @@ impl IngestPipeline {
             for ext in &extracted {
                 self.merge_extraction(kg, ext);
             }
+            if let Some(hook) = self.batch_hook.as_mut() {
+                hook(kg);
+            }
         }
         self.report()
     }
@@ -698,6 +716,37 @@ mod tests {
         assert!(report.raw_triples > 0, "extraction produced tuples");
         assert!(report.admitted > 0, "some facts admitted: {report:?}");
         assert_eq!(kg.graph.stats().extracted_edges, report.admitted);
+    }
+
+    #[test]
+    fn batch_hook_fires_once_per_micro_batch() {
+        let (_, mut kg, articles) = setup();
+        kg.train_predictor();
+        let mut pipe = IngestPipeline::new(PipelineConfig {
+            batch_size: 8,
+            ..Default::default()
+        });
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let log_lens = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        {
+            let calls = calls.clone();
+            let log_lens = log_lens.clone();
+            pipe.set_batch_hook(move |kg| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                log_lens.lock().unwrap().push(kg.graph.log_len());
+            });
+        }
+        pipe.ingest_batch(&mut kg, &articles);
+        let expected = articles.len().div_ceil(8);
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            expected,
+            "one hook call per micro-batch"
+        );
+        // The hook observes the graph *after* each merge: monotone log.
+        let lens = log_lens.lock().unwrap();
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*lens.last().unwrap(), kg.graph.log_len());
     }
 
     #[test]

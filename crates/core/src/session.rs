@@ -6,16 +6,43 @@
 //! knowledge graph and topic index sit behind a `parking_lot::RwLock`
 //! (many concurrent readers, exclusive writer), and the trend monitor —
 //! whose queries mutate internal miner state — behind a `Mutex`.
+//!
+//! On top of the locks the session maintains an **epoch-swapped frozen
+//! snapshot** ([`FrozenSnapshot`]): a read-optimised [`FrozenView`] of the
+//! graph plus clones of the topic index and the alias resolver, published
+//! after every mutation. The lock-free query path ([`SharedSession::frozen`])
+//! is one short mutex-protected `Arc` clone — readers then run entirely
+//! against immutable state, never touching the KG lock, with staleness
+//! bounded by one ingest micro-batch and surfaced as
+//! `nous_snapshot_age_nanos`.
 
 use crate::kg::KnowledgeGraph;
 use crate::pipeline::{IngestPipeline, IngestReport};
 use crate::trends::TrendMonitor;
 use nous_corpus::Article;
 use nous_extract::{extract_documents_counted, Document};
-use nous_obs::{Gauge, Histogram, MetricsRegistry};
+use nous_graph::FrozenView;
+use nous_link::Disambiguator;
+use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use nous_qa::TopicIndex;
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
+
+/// One published epoch of the session: everything the lock-free query
+/// path needs, immutable behind an `Arc`. Holding the `Arc` pins the
+/// epoch — later ingestion publishes new snapshots without disturbing it.
+pub struct FrozenSnapshot {
+    /// Monotonic publish counter (0 = the construction-time snapshot).
+    pub epoch: u64,
+    /// CSR-packed live-edges-only graph view.
+    pub view: FrozenView,
+    /// Topic distributions at publish time (coherence scoring).
+    pub topics: TopicIndex,
+    /// Alias resolver at publish time (entity-name → vertex fallback).
+    pub disambiguator: Disambiguator,
+    /// Registry-clock time of publication, for the staleness gauge.
+    pub published_at_nanos: u64,
+}
 
 /// Lock wait/hold instruments, one series per lock kind
 /// (`lock="read"|"write"|"trends"|"all"`). Wait is the time from request
@@ -33,6 +60,10 @@ struct SessionMetrics {
     hold_all: Histogram,
     hold_last_read: Gauge,
     hold_last_write: Gauge,
+    snapshot_epoch: Gauge,
+    snapshot_age: Gauge,
+    snapshot_publish: Histogram,
+    snapshot_published: Counter,
 }
 
 impl SessionMetrics {
@@ -69,6 +100,25 @@ impl SessionMetrics {
             hold_all: hold("all"),
             hold_last_read: last("read"),
             hold_last_write: last("write"),
+            snapshot_epoch: registry.gauge_with(
+                "nous_snapshot_epoch",
+                "Epoch of the currently published frozen snapshot",
+                &[],
+            ),
+            snapshot_age: registry.gauge_with(
+                "nous_snapshot_age_nanos",
+                "Staleness of the frozen snapshot at its last acquisition, nanoseconds",
+                &[],
+            ),
+            snapshot_publish: registry.latency_with(
+                "nous_snapshot_publish_seconds",
+                "Wall time to freeze and publish one snapshot epoch",
+                &[],
+            ),
+            snapshot_published: registry.counter(
+                "nous_snapshot_published_total",
+                "Snapshot epochs published since session start",
+            ),
             registry,
         }
     }
@@ -80,6 +130,9 @@ pub struct SharedSession {
     kg: Arc<RwLock<KnowledgeGraph>>,
     topics: Arc<RwLock<TopicIndex>>,
     trends: Arc<Mutex<TrendMonitor>>,
+    /// Epoch-swapped publication slot. The mutex only guards the `Arc`
+    /// swap/clone (nanoseconds); readers never hold it while querying.
+    snapshot: Arc<Mutex<Arc<FrozenSnapshot>>>,
     metrics: SessionMetrics,
 }
 
@@ -99,12 +152,73 @@ impl SharedSession {
         registry: MetricsRegistry,
     ) -> Self {
         trends.instrument(&registry);
+        let metrics = SessionMetrics::new(registry);
+        let initial = FrozenSnapshot {
+            epoch: 0,
+            view: FrozenView::freeze(&kg.graph),
+            topics: topics.clone(),
+            disambiguator: kg.disambiguator.clone(),
+            published_at_nanos: metrics.registry.now_nanos(),
+        };
+        metrics.snapshot_epoch.set(0);
         Self {
             kg: Arc::new(RwLock::new(kg)),
             topics: Arc::new(RwLock::new(topics)),
             trends: Arc::new(Mutex::new(trends)),
-            metrics: SessionMetrics::new(registry),
+            snapshot: Arc::new(Mutex::new(Arc::new(initial))),
+            metrics,
         }
+    }
+
+    /// Freeze the current graph/topics/resolver state and swap it into the
+    /// publication slot as a new epoch. Called automatically after every
+    /// mutation ([`SharedSession::write`], [`SharedSession::set_topics`],
+    /// each [`SharedSession::ingest_batch`] micro-batch); exposed publicly
+    /// for callers that mutate through other channels. Returns the epoch
+    /// now visible to readers. Concurrent publishers are safe: a freeze of
+    /// an older graph state (shorter edge log) never replaces a newer one.
+    pub fn publish_snapshot(&self) -> u64 {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
+        let (view, disambiguator) = {
+            let kg = self.kg.read();
+            (FrozenView::freeze(&kg.graph), kg.disambiguator.clone())
+        };
+        let topics = self.topics.read().clone();
+        let mut slot = self.snapshot.lock();
+        if view.source_log_len() < slot.view.source_log_len() {
+            return slot.epoch;
+        }
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(FrozenSnapshot {
+            epoch,
+            view,
+            topics,
+            disambiguator,
+            published_at_nanos: m.registry.now_nanos(),
+        });
+        drop(slot);
+        m.snapshot_epoch.set(epoch as i64);
+        m.snapshot_publish
+            .observe(m.registry.now_nanos().saturating_sub(t0));
+        m.snapshot_published.inc();
+        epoch
+    }
+
+    /// The lock-free read path: clone the currently published snapshot.
+    /// Costs one short mutex acquisition and an `Arc` clone; the returned
+    /// snapshot is immutable and valid indefinitely (holding it pins its
+    /// epoch, it never blocks ingestion). Records the snapshot's age on
+    /// the `nous_snapshot_age_nanos` gauge.
+    pub fn frozen(&self) -> Arc<FrozenSnapshot> {
+        let snap = self.snapshot.lock().clone();
+        let age = self
+            .metrics
+            .registry
+            .now_nanos()
+            .saturating_sub(snap.published_at_nanos);
+        self.metrics.snapshot_age.set(age as i64);
+        snap
     }
 
     /// The registry this session's accounting lands in.
@@ -145,15 +259,18 @@ impl SharedSession {
         let t1 = m.registry.now_nanos();
         m.wait_write.observe(t1.saturating_sub(t0));
         let out = f(&mut kg);
+        drop(kg);
         let held = m.registry.now_nanos().saturating_sub(t1);
         m.hold_write.observe(held);
         m.hold_last_write.set(held as i64);
+        self.publish_snapshot();
         out
     }
 
     /// Replace the topic index (after an LDA refresh).
     pub fn set_topics(&self, topics: TopicIndex) {
         *self.topics.write() = topics;
+        self.publish_snapshot();
     }
 
     /// Run an on-demand checkpoint (or any other whole-graph read, e.g.
@@ -174,7 +291,32 @@ impl SharedSession {
         let mut trends = self.trends.lock();
         let t1 = m.registry.now_nanos();
         m.wait_trends.observe(t1.saturating_sub(t0));
+        let log_len = kg.graph.log_len();
         let out = f(&mut trends, &kg);
+        m.hold_trends
+            .observe(m.registry.now_nanos().saturating_sub(t1));
+        drop(trends);
+        drop(kg);
+        // The closure may have advanced the miner window; republish so the
+        // frozen trending path sees the new miner state — but only when the
+        // snapshot is actually behind the graph (cheap no-op check).
+        if self.snapshot.lock().view.source_log_len() != log_len {
+            self.publish_snapshot();
+        }
+        out
+    }
+
+    /// Run an operation needing only the trend monitor — no graph lock at
+    /// all. This is the mutable sliver of the lock-free query path: the
+    /// miner's closed-pattern queries mutate cached state, so `Trending`
+    /// over a frozen snapshot still serialises here (and only here).
+    pub fn with_trends_only<T>(&self, f: impl FnOnce(&mut TrendMonitor) -> T) -> T {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
+        let mut trends = self.trends.lock();
+        let t1 = m.registry.now_nanos();
+        m.wait_trends.observe(t1.saturating_sub(t0));
+        let out = f(&mut trends);
         m.hold_trends
             .observe(m.registry.now_nanos().saturating_sub(t1));
         out
@@ -259,6 +401,9 @@ impl SharedSession {
             let held = m.registry.now_nanos().saturating_sub(t1);
             m.hold_write.observe(held);
             m.hold_last_write.set(held as i64);
+            // Publish once per micro-batch: snapshot staleness for the
+            // lock-free read path is bounded by one batch of documents.
+            self.publish_snapshot();
         }
         pipeline.report()
     }
@@ -488,5 +633,51 @@ mod tests {
             tm.trending(kg).len()
         });
         assert!(n >= 1, "acquired pattern at support 3");
+        // The write above already published, so the frozen view is current.
+        let snap = s.frozen();
+        assert_eq!(nous_graph::GraphView::live_edge_count(&snap.view), 3);
+    }
+
+    #[test]
+    fn snapshots_publish_epochs_and_stay_immutable() {
+        use nous_graph::GraphView;
+
+        let s = session();
+        let snap0 = s.frozen();
+        assert_eq!(snap0.epoch, 0);
+        assert_eq!(snap0.view.vertex_count(), 0);
+
+        s.write(|kg| {
+            let a = kg.create_entity("Acme Corp", EntityType::Organization);
+            let b = kg.create_entity("Beta Labs", EntityType::Organization);
+            kg.add_extracted_fact(a, "acquired", b, 5, 0.9, 0);
+        });
+        let snap1 = s.frozen();
+        assert!(snap1.epoch >= 1, "write must publish a new epoch");
+        assert_eq!(snap1.view.vertex_count(), 2);
+        assert_eq!(snap1.view.live_edge_count(), 1);
+        assert!(snap1.view.vertex_id("Acme Corp").is_some());
+        assert!(!snap1.disambiguator.candidates("Acme Corp").is_empty());
+
+        // The old Arc is pinned: later ingestion left it untouched.
+        assert_eq!(snap0.view.vertex_count(), 0);
+        assert_eq!(snap0.view.live_edge_count(), 0);
+
+        // Metrics surfaced the publish.
+        let registry = s.metrics();
+        assert!(registry.gauge_value("nous_snapshot_epoch", &[]).unwrap() >= 1);
+        assert!(
+            registry
+                .counter_value("nous_snapshot_published_total", &[])
+                .unwrap()
+                >= 1
+        );
+        // frozen() records staleness on the age gauge.
+        assert!(
+            registry
+                .gauge_value("nous_snapshot_age_nanos", &[])
+                .unwrap()
+                >= 0
+        );
     }
 }

@@ -108,7 +108,16 @@ impl TrendMonitor {
     /// Current closed frequent patterns, rendered with type and predicate
     /// names (Figure 7's output).
     pub fn trending(&mut self, kg: &KnowledgeGraph) -> Vec<Trend> {
+        self.trending_on(&kg.graph)
+    }
+
+    /// [`TrendMonitor::trending`] rendered against any [`GraphView`] —
+    /// the lock-free query path passes a frozen snapshot. The miner may
+    /// have observed edges newer than the snapshot, so a predicate minted
+    /// after the freeze renders as a placeholder instead of panicking.
+    pub fn trending_on<G: nous_graph::GraphView>(&mut self, g: &G) -> Vec<Trend> {
         let labels = &self.labels;
+        let pred_count = g.predicate_count();
         self.miner
             .closed_frequent()
             .into_iter()
@@ -116,9 +125,11 @@ impl TrendMonitor {
                 description: p.render(
                     |l| labels.resolve(l).to_owned(),
                     |l| {
-                        kg.graph
-                            .predicate_name(nous_graph::PredicateId(l))
-                            .to_owned()
+                        if (l as usize) < pred_count {
+                            g.predicate_name(nous_graph::PredicateId(l)).to_owned()
+                        } else {
+                            format!("predicate#{l}")
+                        }
                     },
                 ),
                 support,

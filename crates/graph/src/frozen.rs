@@ -1,0 +1,403 @@
+//! Immutable, read-optimised graph snapshots.
+//!
+//! [`FrozenView`] is a CSR-packed copy of a [`DynamicGraph`]'s *live*
+//! state: tombstoned edges are dropped, per-vertex adjacency is packed
+//! into two contiguous arrays (out/in) segmented and sorted by predicate,
+//! every predicate gets a postings list in log order, and the live edges
+//! get a time-sorted index for range queries. A frozen view answers every
+//! read the query layer needs (it implements [`GraphView`]) without any
+//! lock or tombstone check — the structure the epoch-swapped query-serving
+//! path publishes after each ingest batch.
+//!
+//! Freezing is O(V + E log E) and allocation-heavy by design: it runs once
+//! per publish on the write side so that the read side never pays again.
+
+use crate::edge::Edge;
+use crate::graph::{Adj, DynamicGraph};
+use crate::ids::{EdgeId, Interner, PredicateId, Timestamp, VertexId};
+use crate::view::GraphView;
+
+/// A read-only, live-edges-only, CSR-packed snapshot of a
+/// [`DynamicGraph`]. Edge ids are the source graph's log positions, so
+/// ids resolved against the snapshot remain meaningful to the source
+/// (until it compacts).
+#[derive(Debug, Clone)]
+pub struct FrozenView {
+    vertex_names: Interner,
+    predicates: Interner,
+    labels: Vec<Option<String>>,
+    /// CSR offsets/payload; `out_csr[out_off[v]..out_off[v+1]]` is the
+    /// live out-adjacency of `v`, sorted by `(pred, other, edge)` so each
+    /// predicate's entries form one contiguous, binary-searchable segment.
+    out_off: Vec<u32>,
+    out_csr: Vec<Adj>,
+    in_off: Vec<u32>,
+    in_csr: Vec<Adj>,
+    /// Live edge ids ascending, parallel to `edges`: `edge(id)` is a
+    /// binary search, no tombstone vector needed.
+    ids: Vec<EdgeId>,
+    edges: Vec<Edge>,
+    /// Per-predicate postings (CSR over predicate id), log order.
+    post_off: Vec<u32>,
+    postings: Vec<EdgeId>,
+    /// Live edges sorted by `(at, id)` for binary-searched range queries.
+    time_index: Vec<(Timestamp, EdgeId)>,
+    /// Source log length at freeze time (live + dead): the staleness
+    /// yardstick the publisher compares against.
+    source_log_len: usize,
+    max_timestamp: Timestamp,
+}
+
+fn build_csr(vertex_count: usize, mut entries: Vec<(VertexId, Adj)>) -> (Vec<u32>, Vec<Adj>) {
+    entries.sort_unstable_by_key(|(v, a)| (v.0, a.pred.0, a.other.0, a.edge.0));
+    let mut off = Vec::with_capacity(vertex_count + 1);
+    let mut csr = Vec::with_capacity(entries.len());
+    let mut cursor = 0usize;
+    for v in 0..vertex_count as u32 {
+        off.push(csr.len() as u32);
+        while cursor < entries.len() && entries[cursor].0 .0 == v {
+            csr.push(entries[cursor].1);
+            cursor += 1;
+        }
+    }
+    off.push(csr.len() as u32);
+    (off, csr)
+}
+
+impl FrozenView {
+    /// Freeze the live state of `g` into a read-optimised snapshot.
+    pub fn freeze(g: &DynamicGraph) -> Self {
+        let (vertex_names, predicates) = g.interner_parts();
+        let vertex_count = g.vertex_count();
+        let pred_count = g.predicate_count();
+
+        let mut ids = Vec::with_capacity(g.edge_count());
+        let mut edges = Vec::with_capacity(g.edge_count());
+        let mut out_entries = Vec::with_capacity(g.edge_count());
+        let mut in_entries = Vec::with_capacity(g.edge_count());
+        let mut post_counts = vec![0u32; pred_count];
+        for (id, e) in g.iter_edges() {
+            ids.push(id);
+            out_entries.push((
+                e.src,
+                Adj {
+                    pred: e.pred,
+                    other: e.dst,
+                    edge: id,
+                },
+            ));
+            in_entries.push((
+                e.dst,
+                Adj {
+                    pred: e.pred,
+                    other: e.src,
+                    edge: id,
+                },
+            ));
+            post_counts[e.pred.index()] += 1;
+            edges.push(e.clone());
+        }
+
+        let (out_off, out_csr) = build_csr(vertex_count, out_entries);
+        let (in_off, in_csr) = build_csr(vertex_count, in_entries);
+
+        // Postings: prefix-sum offsets, then fill in log order (the live
+        // iteration above is already log-ordered, so a second pass keeps
+        // each predicate's segment log-ordered too).
+        let mut post_off = Vec::with_capacity(pred_count + 1);
+        let mut acc = 0u32;
+        for c in &post_counts {
+            post_off.push(acc);
+            acc += c;
+        }
+        post_off.push(acc);
+        let mut postings = vec![EdgeId(0); acc as usize];
+        let mut fill = post_off[..pred_count].to_vec();
+        for (id, e) in ids.iter().zip(&edges) {
+            let slot = &mut fill[e.pred.index()];
+            postings[*slot as usize] = *id;
+            *slot += 1;
+        }
+
+        let mut time_index: Vec<(Timestamp, EdgeId)> =
+            ids.iter().zip(&edges).map(|(id, e)| (e.at, *id)).collect();
+        time_index.sort_unstable();
+
+        Self {
+            vertex_names: vertex_names.clone(),
+            predicates: predicates.clone(),
+            labels: (0..vertex_count)
+                .map(|i| g.label(VertexId(i as u32)).map(str::to_owned))
+                .collect(),
+            out_off,
+            out_csr,
+            in_off,
+            in_csr,
+            ids,
+            edges,
+            post_off,
+            postings,
+            time_index,
+            source_log_len: g.log_len(),
+            max_timestamp: g.now(),
+        }
+    }
+
+    /// Live out-adjacency of `v` as one contiguous slice (predicate-sorted).
+    pub fn out_slice(&self, v: VertexId) -> &[Adj] {
+        &self.out_csr[self.out_off[v.index()] as usize..self.out_off[v.index() + 1] as usize]
+    }
+
+    /// Live in-adjacency of `v` as one contiguous slice (predicate-sorted).
+    pub fn in_slice(&self, v: VertexId) -> &[Adj] {
+        &self.in_csr[self.in_off[v.index()] as usize..self.in_off[v.index() + 1] as usize]
+    }
+
+    /// The out-adjacency of `v` restricted to predicate `p`: a binary
+    /// search for the predicate's contiguous segment, not a filter.
+    pub fn out_with_pred(&self, v: VertexId, p: PredicateId) -> &[Adj] {
+        let s = self.out_slice(v);
+        let lo = s.partition_point(|a| a.pred < p);
+        let hi = s.partition_point(|a| a.pred <= p);
+        &s[lo..hi]
+    }
+
+    /// The in-adjacency of `v` restricted to predicate `p`.
+    pub fn in_with_pred(&self, v: VertexId, p: PredicateId) -> &[Adj] {
+        let s = self.in_slice(v);
+        let lo = s.partition_point(|a| a.pred < p);
+        let hi = s.partition_point(|a| a.pred <= p);
+        &s[lo..hi]
+    }
+
+    /// All live edges with predicate `p`, log order.
+    pub fn pred_postings(&self, p: PredicateId) -> &[EdgeId] {
+        if p.index() + 1 >= self.post_off.len() {
+            return &[];
+        }
+        &self.postings[self.post_off[p.index()] as usize..self.post_off[p.index() + 1] as usize]
+    }
+
+    /// Live edges with `at` in `[from, to]`, ascending `(at, id)` — a
+    /// binary search over the time index, never a log scan.
+    pub fn edges_in_range(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        let lo = self.time_index.partition_point(|(at, _)| *at < from);
+        let hi = self.time_index.partition_point(|(at, _)| *at <= to).max(lo);
+        self.time_index[lo..hi]
+            .iter()
+            .map(move |(_, id)| (*id, GraphView::edge(self, *id)))
+    }
+
+    /// Largest timestamp in the source graph at freeze time.
+    pub fn now(&self) -> Timestamp {
+        self.max_timestamp
+    }
+
+    /// Source edge-log length (live + dead) at freeze time: publishers
+    /// compare this against the live graph's `log_len()` to decide
+    /// whether a snapshot is stale.
+    pub fn source_log_len(&self) -> usize {
+        self.source_log_len
+    }
+
+    fn edge_idx(&self, id: EdgeId) -> usize {
+        self.ids
+            .binary_search(&id)
+            .unwrap_or_else(|_| panic!("{id} is not a live edge of this frozen view"))
+    }
+}
+
+impl GraphView for FrozenView {
+    fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn vertex_id(&self, name: &str) -> Option<VertexId> {
+        self.vertex_names.get(name).map(VertexId)
+    }
+
+    fn vertex_name(&self, v: VertexId) -> &str {
+        self.vertex_names.resolve(v.0)
+    }
+
+    fn label(&self, v: VertexId) -> Option<&str> {
+        self.labels[v.index()].as_deref()
+    }
+
+    fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    fn predicate_id(&self, name: &str) -> Option<PredicateId> {
+        self.predicates.get(name).map(PredicateId)
+    }
+
+    fn predicate_name(&self, p: PredicateId) -> &str {
+        self.predicates.resolve(p.0)
+    }
+
+    fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[self.edge_idx(id)]
+    }
+
+    fn live_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn for_each_out(&self, v: VertexId, mut f: impl FnMut(Adj)) {
+        self.out_slice(v).iter().copied().for_each(&mut f);
+    }
+
+    fn for_each_in(&self, v: VertexId, mut f: impl FnMut(Adj)) {
+        self.in_slice(v).iter().copied().for_each(&mut f);
+    }
+
+    fn for_each_with_pred(&self, p: PredicateId, mut f: impl FnMut(EdgeId, &Edge)) {
+        for id in self.pred_postings(p) {
+            f(*id, GraphView::edge(self, *id));
+        }
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.out_slice(v).len()
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_slice(v).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Provenance;
+
+    fn sample() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let c = g.ensure_vertex("c");
+        g.set_label(a, "Company");
+        let owns = g.intern_predicate("owns");
+        let near = g.intern_predicate("near");
+        g.add_edge_at(a, owns, b, 1, 0.9, Provenance::Curated);
+        g.add_edge_at(b, near, c, 2, 0.5, Provenance::Extracted { doc_id: 7 });
+        g.add_edge_at(a, near, c, 3, 0.7, Provenance::Curated);
+        g.add_edge_at(a, owns, c, 4, 0.8, Provenance::Curated);
+        g
+    }
+
+    #[test]
+    fn freeze_packs_live_state() {
+        let mut g = sample();
+        g.remove_edge(EdgeId(1));
+        let f = FrozenView::freeze(&g);
+        assert_eq!(f.vertex_count(), 3);
+        assert_eq!(f.live_edge_count(), 3);
+        assert_eq!(f.predicate_count(), 2);
+        assert_eq!(f.source_log_len(), 4);
+        assert_eq!(f.now(), 4);
+        assert_eq!(f.vertex_id("a"), Some(VertexId(0)));
+        assert_eq!(f.vertex_name(VertexId(2)), "c");
+        assert_eq!(f.label(VertexId(0)), Some("Company"));
+        assert_eq!(f.label(VertexId(1)), None);
+    }
+
+    #[test]
+    fn adjacency_is_predicate_segmented() {
+        let g = sample();
+        let f = FrozenView::freeze(&g);
+        let (a, c) = (VertexId(0), VertexId(2));
+        let owns = f.predicate_id("owns").unwrap();
+        let near = f.predicate_id("near").unwrap();
+        let out = f.out_slice(a);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].pred <= w[1].pred));
+        assert_eq!(f.out_with_pred(a, owns).len(), 2);
+        assert_eq!(f.out_with_pred(a, near).len(), 1);
+        assert_eq!(f.in_with_pred(c, near).len(), 2);
+        assert_eq!(f.out_degree(a), 3);
+        assert_eq!(f.in_degree(c), 3);
+        assert_eq!(f.degree(a), 3);
+    }
+
+    #[test]
+    fn postings_match_mutable_find() {
+        let mut g = sample();
+        g.remove_edge(EdgeId(2));
+        let f = FrozenView::freeze(&g);
+        let near = g.predicate_id("near").unwrap();
+        assert_eq!(f.pred_postings(near), g.find(None, Some(near), None));
+        let mut via_trait = Vec::new();
+        f.for_each_with_pred(near, |id, e| via_trait.push((id, e.at)));
+        assert_eq!(via_trait, vec![(EdgeId(1), 2)]);
+        // Unknown predicate id (interned later in the source): empty.
+        assert_eq!(f.pred_postings(PredicateId(99)), &[] as &[EdgeId]);
+    }
+
+    #[test]
+    fn time_index_serves_ranges() {
+        let mut g = sample();
+        g.remove_edge(EdgeId(1));
+        let f = FrozenView::freeze(&g);
+        let expect = |from, to| {
+            g.edges_in_range(from, to)
+                .map(|(id, _)| id)
+                .collect::<Vec<_>>()
+        };
+        for (from, to) in [(0, 100), (2, 3), (1, 1), (5, 9), (3, 2)] {
+            let got: Vec<EdgeId> = f.edges_in_range(from, to).map(|(id, _)| id).collect();
+            assert_eq!(got, expect(from, to), "range [{from}, {to}]");
+        }
+    }
+
+    #[test]
+    fn edge_lookup_resolves_log_ids() {
+        let mut g = sample();
+        g.remove_edge(EdgeId(0));
+        let f = FrozenView::freeze(&g);
+        assert_eq!(GraphView::edge(&f, EdgeId(3)).at, 4);
+        assert_eq!(GraphView::edge(&f, EdgeId(1)).confidence, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live edge")]
+    fn dead_edge_lookup_panics() {
+        let mut g = sample();
+        g.remove_edge(EdgeId(0));
+        let f = FrozenView::freeze(&g);
+        GraphView::edge(&f, EdgeId(0));
+    }
+
+    #[test]
+    fn frozen_view_is_unaffected_by_source_mutation() {
+        let mut g = sample();
+        let f = FrozenView::freeze(&g);
+        let before: Vec<EdgeId> = f.pred_postings(f.predicate_id("owns").unwrap()).to_vec();
+        // Mutate the source heavily after freezing.
+        let d = g.ensure_vertex("d");
+        let owns = g.predicate_id("owns").unwrap();
+        g.add_edge_at(VertexId(0), owns, d, 9, 1.0, Provenance::Curated);
+        g.remove_edge(EdgeId(0));
+        g.compact();
+        assert_eq!(f.vertex_count(), 3);
+        assert_eq!(f.live_edge_count(), 4);
+        assert_eq!(f.pred_postings(f.predicate_id("owns").unwrap()), before);
+        assert!(f.vertex_id("d").is_none());
+    }
+
+    #[test]
+    fn neighbors_match_mutable_graph() {
+        let g = sample();
+        let f = FrozenView::freeze(&g);
+        let mut scratch = Vec::new();
+        for v in 0..3u32 {
+            f.neighbors_into(VertexId(v), &mut scratch);
+            assert_eq!(scratch, g.neighbors(VertexId(v)), "vertex {v}");
+        }
+    }
+}

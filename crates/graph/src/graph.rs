@@ -11,6 +11,7 @@ use crate::edge::{Edge, Provenance};
 use crate::hash::FxHashMap;
 use crate::ids::{EdgeId, Interner, PredicateId, Timestamp, VertexId};
 use crate::props::PropMap;
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// Per-vertex payload: everything except the interned name.
@@ -56,6 +57,16 @@ pub struct DynamicGraph {
     /// the triple-pattern query primitives.
     #[serde(skip)]
     triple_index: FxHashMap<(VertexId, PredicateId, VertexId), Vec<EdgeId>>,
+    /// Per-predicate edge postings in log order (dead ids retained and
+    /// filtered on read, like `triple_index`), so predicate-only patterns
+    /// stop scanning the whole log.
+    #[serde(skip)]
+    pred_postings: Vec<Vec<EdgeId>>,
+    /// Set once an edge arrives with a timestamp below the running
+    /// maximum. While false, the log is monotone in `at` and
+    /// [`DynamicGraph::edges_in_range`] can binary-search its bounds.
+    #[serde(skip)]
+    saw_out_of_order: bool,
     live_edges: usize,
     max_timestamp: Timestamp,
 }
@@ -169,6 +180,13 @@ impl DynamicGraph {
             edge: id,
         });
         self.triple_index.entry(edge.triple()).or_default().push(id);
+        if edge.pred.index() >= self.pred_postings.len() {
+            self.pred_postings.resize(edge.pred.index() + 1, Vec::new());
+        }
+        self.pred_postings[edge.pred.index()].push(id);
+        if edge.at < self.max_timestamp {
+            self.saw_out_of_order = true;
+        }
         self.max_timestamp = self.max_timestamp.max(edge.at);
         self.edges.push(edge);
         self.dead.push(false);
@@ -244,14 +262,30 @@ impl DynamicGraph {
 
     /// Distinct neighbours of `v` in either direction.
     pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> = self
-            .out_edges(v)
-            .map(|a| a.other)
-            .chain(self.in_edges(v).map(|a| a.other))
-            .collect();
+        let mut out = Vec::new();
+        self.neighbors_into(v, &mut out);
+        out
+    }
+
+    /// [`DynamicGraph::neighbors`] into a caller-owned scratch buffer
+    /// (cleared first): the allocation-free variant for search hot loops.
+    pub fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.out_edges(v).map(|a| a.other));
+        out.extend(self.in_edges(v).map(|a| a.other));
         out.sort_unstable();
         out.dedup();
-        out
+    }
+
+    /// Live edges with predicate `p`, in log (time) order — served from
+    /// the per-predicate postings, not a log scan.
+    pub fn edges_with_pred(&self, p: PredicateId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.pred_postings
+            .get(p.index())
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|id| !self.dead[id.index()])
     }
 
     pub fn out_degree(&self, v: VertexId) -> usize {
@@ -309,25 +343,38 @@ impl DynamicGraph {
                 .filter(|a| p.is_none_or(|p| a.pred == p))
                 .map(|a| a.edge)
                 .collect(),
-            (None, p, None) => self
-                .iter_edges()
-                .filter(|(_, e)| p.is_none_or(|p| e.pred == p))
-                .map(|(id, _)| id)
-                .collect(),
+            (None, Some(p), None) => self.edges_with_pred(p).collect(),
+            (None, None, None) => self.iter_edges().map(|(id, _)| id).collect(),
         }
     }
 
-    /// Live edges with `at` in `[from, to]` (time-scoped scan over the
-    /// temporal log; the log is time-ordered for in-order streams, so this
-    /// could binary-search, but tombstones make a filter scan simpler and
-    /// the log is the bench-measured hot path anyway).
+    /// Live edges with `at` in `[from, to]`. While the log has only seen
+    /// in-order appends (the pipeline's arrival-order contract), the scan
+    /// bounds are found by binary search; one out-of-order insert flips
+    /// the monotonicity flag and this degrades to the full filter scan.
     pub fn edges_in_range(
         &self,
         from: Timestamp,
         to: Timestamp,
     ) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.iter_edges()
-            .filter(move |(_, e)| e.at >= from && e.at <= to)
+        let (lo, hi) = if self.saw_out_of_order {
+            (0, self.edges.len())
+        } else {
+            let lo = self.edges.partition_point(|e| e.at < from);
+            let hi = self.edges.partition_point(|e| e.at <= to).max(lo);
+            (lo, hi)
+        };
+        self.edges[lo..hi]
+            .iter()
+            .enumerate()
+            .filter(move |(i, e)| !self.dead[lo + i] && e.at >= from && e.at <= to)
+            .map(move |(i, e)| (EdgeId((lo + i) as u32), e))
+    }
+
+    /// Has the log only ever seen monotone (non-decreasing) timestamps?
+    /// Governs whether [`DynamicGraph::edges_in_range`] may binary-search.
+    pub fn time_monotone(&self) -> bool {
+        !self.saw_out_of_order
     }
 
     /// Materialise the knowledge graph *as it was known* at logical time
@@ -372,12 +419,16 @@ impl DynamicGraph {
             adj.clear();
         }
         self.triple_index.clear();
+        self.pred_postings.clear();
         self.live_edges = 0;
         for (e, dead) in old_edges.into_iter().zip(old_dead) {
             if !dead {
                 self.add_edge(e);
             }
         }
+        // Re-adding compares against the pre-compaction max timestamp, so
+        // recompute monotonicity from the surviving log directly.
+        self.saw_out_of_order = self.edges.windows(2).any(|w| w[1].at < w[0].at);
         dropped
     }
 
@@ -386,12 +437,24 @@ impl DynamicGraph {
         self.vertex_names.rebuild_index();
         self.predicates.rebuild_index();
         self.triple_index = FxHashMap::default();
+        self.pred_postings = vec![Vec::new(); self.predicates.len()];
         for (i, e) in self.edges.iter().enumerate() {
             self.triple_index
                 .entry(e.triple())
                 .or_default()
                 .push(EdgeId(i as u32));
+            if e.pred.index() >= self.pred_postings.len() {
+                self.pred_postings.resize(e.pred.index() + 1, Vec::new());
+            }
+            self.pred_postings[e.pred.index()].push(EdgeId(i as u32));
         }
+        self.saw_out_of_order = self.edges.windows(2).any(|w| w[1].at < w[0].at);
+    }
+
+    /// Interner access for [`crate::FrozenView`] construction (cloning the
+    /// interners is cheaper than re-hashing every name).
+    pub(crate) fn interner_parts(&self) -> (&Interner, &Interner) {
+        (&self.vertex_names, &self.predicates)
     }
 
     /// Aggregate statistics over live edges.
@@ -419,6 +482,70 @@ impl DynamicGraph {
                 conf_sum / self.live_edges as f64
             },
         }
+    }
+}
+
+impl GraphView for DynamicGraph {
+    fn vertex_count(&self) -> usize {
+        DynamicGraph::vertex_count(self)
+    }
+
+    fn vertex_id(&self, name: &str) -> Option<VertexId> {
+        DynamicGraph::vertex_id(self, name)
+    }
+
+    fn vertex_name(&self, v: VertexId) -> &str {
+        DynamicGraph::vertex_name(self, v)
+    }
+
+    fn label(&self, v: VertexId) -> Option<&str> {
+        DynamicGraph::label(self, v)
+    }
+
+    fn predicate_count(&self) -> usize {
+        DynamicGraph::predicate_count(self)
+    }
+
+    fn predicate_id(&self, name: &str) -> Option<PredicateId> {
+        DynamicGraph::predicate_id(self, name)
+    }
+
+    fn predicate_name(&self, p: PredicateId) -> &str {
+        DynamicGraph::predicate_name(self, p)
+    }
+
+    fn edge(&self, id: EdgeId) -> &Edge {
+        DynamicGraph::edge(self, id)
+    }
+
+    fn live_edge_count(&self) -> usize {
+        self.edge_count()
+    }
+
+    fn for_each_out(&self, v: VertexId, mut f: impl FnMut(Adj)) {
+        self.out_edges(v).for_each(&mut f);
+    }
+
+    fn for_each_in(&self, v: VertexId, mut f: impl FnMut(Adj)) {
+        self.in_edges(v).for_each(&mut f);
+    }
+
+    fn for_each_with_pred(&self, p: PredicateId, mut f: impl FnMut(EdgeId, &Edge)) {
+        for id in self.edges_with_pred(p) {
+            f(id, DynamicGraph::edge(self, id));
+        }
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        DynamicGraph::out_degree(self, v)
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        DynamicGraph::in_degree(self, v)
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        DynamicGraph::neighbors_into(self, v, out);
     }
 }
 
@@ -625,6 +752,66 @@ mod tests {
     }
 
     #[test]
+    fn predicate_postings_serve_find_in_log_order() {
+        let (mut g, a, b, c, _owns, near) = tiny();
+        // Log order, filtered to `near`: edge 1 (b→c), edge 2 (a→c).
+        assert_eq!(g.find(None, Some(near), None), vec![EdgeId(1), EdgeId(2)]);
+        g.remove_edge(EdgeId(1));
+        assert_eq!(g.find(None, Some(near), None), vec![EdgeId(2)]);
+        // Compaction rebuilds the postings over the surviving log.
+        g.compact();
+        let near = g.predicate_id("near").unwrap();
+        let hits = g.find(None, Some(near), None);
+        assert_eq!(hits.len(), 1);
+        let e = g.edge(hits[0]);
+        assert_eq!((e.src, e.dst), (a, c));
+        assert!(!g.has_triple(b, near, c));
+    }
+
+    #[test]
+    fn out_of_order_inserts_flip_monotone_flag() {
+        let (mut g, a, _b, c, owns, _near) = tiny(); // timestamps 1, 2, 3
+        assert!(g.time_monotone());
+        assert_eq!(g.edges_in_range(2, 3).count(), 2);
+        // A late edge with an old timestamp: the binary-search bounds are
+        // no longer valid, so the flag must flip and the scan fallback
+        // must still find it.
+        g.add_edge_at(a, owns, c, 1, 0.5, Provenance::Curated);
+        assert!(!g.time_monotone());
+        assert_eq!(g.edges_in_range(1, 1).count(), 2);
+        assert_eq!(g.edges_in_range(2, 3).count(), 2);
+        // Compaction re-derives the flag from the (still unsorted) log:
+        // the surviving order is at=2, at=3, at=1, still out of order.
+        g.remove_edge(EdgeId(0));
+        g.compact();
+        assert!(!g.time_monotone());
+        assert_eq!(g.edges_in_range(1, 1).count(), 1);
+    }
+
+    #[test]
+    fn monotone_range_matches_scan_semantics() {
+        let (mut g, a, b, _c, owns, _near) = tiny();
+        // Inverted range is empty, not a panic.
+        assert_eq!(g.edges_in_range(3, 2).count(), 0);
+        // Tombstones are filtered inside the binary-searched bounds.
+        let id = g.edges_matching(a, owns, b).next().unwrap();
+        g.remove_edge(id);
+        assert!(g.time_monotone());
+        assert_eq!(g.edges_in_range(0, 100).count(), 2);
+    }
+
+    #[test]
+    fn neighbors_into_reuses_scratch() {
+        let (g, a, b, c, ..) = tiny();
+        let mut scratch = vec![VertexId(99)]; // stale content must be cleared
+        g.neighbors_into(b, &mut scratch);
+        assert_eq!(scratch, vec![a, c]);
+        g.neighbors_into(a, &mut scratch);
+        assert_eq!(scratch, vec![b, c]);
+        assert_eq!(g.neighbors(a), scratch);
+    }
+
+    #[test]
     fn rebuild_indexes_after_serde() {
         let (g, a, b, _c, owns, _near) = tiny();
         let json = serde_json::to_string(&g).unwrap();
@@ -633,5 +820,13 @@ mod tests {
         assert_eq!(back.vertex_id("a"), Some(a));
         assert!(back.has_triple(a, owns, b));
         assert_eq!(back.stats(), g.stats());
+        // Skipped derived state is restored: postings and monotonicity.
+        let near = back.predicate_id("near").unwrap();
+        assert_eq!(
+            back.find(None, Some(near), None),
+            g.find(None, Some(near), None)
+        );
+        assert!(back.time_monotone());
+        assert_eq!(back.edges_in_range(2, 3).count(), 2);
     }
 }

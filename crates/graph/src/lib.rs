@@ -34,17 +34,21 @@
 pub mod algo;
 pub mod codec;
 pub mod edge;
+pub mod frozen;
 pub mod graph;
 pub mod hash;
 pub mod ids;
 pub mod parallel;
 pub mod props;
 pub mod snapshot;
+pub mod view;
 pub mod window;
 
 pub use edge::{Edge, Provenance};
-pub use graph::{DynamicGraph, VertexData};
+pub use frozen::FrozenView;
+pub use graph::{Adj, DynamicGraph, VertexData};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, PredicateId, Timestamp, VertexId};
 pub use props::{PropMap, PropValue};
+pub use view::GraphView;
 pub use window::SlidingWindow;

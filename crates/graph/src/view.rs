@@ -1,0 +1,80 @@
+//! Read-only graph abstraction shared by the mutable and frozen engines.
+//!
+//! Every query-side consumer (the QA path search, the query executor, the
+//! entity summariser, trend rendering) is generic over [`GraphView`], so
+//! the same code runs against the live [`crate::DynamicGraph`] under a
+//! lock *and* against an immutable [`crate::FrozenView`] snapshot without
+//! any lock at all. The trait is deliberately not object-safe: callbacks
+//! take `impl FnMut` so adjacency iteration monomorphises to the same
+//! tight loops the concrete types expose.
+//!
+//! **Iteration-order contract**: `for_each_out` / `for_each_in` visit each
+//! live adjacency entry exactly once in an *implementation-defined* order
+//! (the mutable graph yields insertion order, the frozen view yields
+//! predicate-segmented order). Consumers needing a deterministic order
+//! must sort by edge id themselves. `for_each_with_pred` is the exception:
+//! both implementations yield edge-log (time) order, because the `MATCH`
+//! class samples the first `limit` hits and must sample the same facts on
+//! either path.
+
+use crate::edge::Edge;
+use crate::graph::Adj;
+use crate::ids::{EdgeId, PredicateId, VertexId};
+
+/// Read-only view of a property graph: the query-side surface of
+/// [`crate::DynamicGraph`] and [`crate::FrozenView`].
+pub trait GraphView {
+    fn vertex_count(&self) -> usize;
+    fn vertex_id(&self, name: &str) -> Option<VertexId>;
+    fn vertex_name(&self, v: VertexId) -> &str;
+    fn label(&self, v: VertexId) -> Option<&str>;
+
+    fn predicate_count(&self) -> usize;
+    fn predicate_id(&self, name: &str) -> Option<PredicateId>;
+    fn predicate_name(&self, p: PredicateId) -> &str;
+
+    /// The edge record behind a live adjacency entry. Panics if `id` does
+    /// not refer to a live edge of this view (frozen views drop dead
+    /// edges; the mutable graph keeps tombstones addressable).
+    fn edge(&self, id: EdgeId) -> &Edge;
+
+    /// Number of live (non-tombstoned) edges.
+    fn live_edge_count(&self) -> usize;
+
+    /// Visit every live outgoing adjacency entry of `v`.
+    fn for_each_out(&self, v: VertexId, f: impl FnMut(Adj));
+
+    /// Visit every live incoming adjacency entry of `v` (`other` is the
+    /// source vertex).
+    fn for_each_in(&self, v: VertexId, f: impl FnMut(Adj));
+
+    /// Visit every live edge with predicate `p` in edge-log (time) order.
+    fn for_each_with_pred(&self, p: PredicateId, f: impl FnMut(EdgeId, &Edge));
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        let mut n = 0;
+        self.for_each_out(v, |_| n += 1);
+        n
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        let mut n = 0;
+        self.for_each_in(v, |_| n += 1);
+        n
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Distinct neighbours of `v` in either direction, written into `out`
+    /// (cleared first) — the scratch-reusing variant of
+    /// [`crate::DynamicGraph::neighbors`], sorted ascending and deduped.
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        self.for_each_out(v, |a| out.push(a.other));
+        self.for_each_in(v, |a| out.push(a.other));
+        out.sort_unstable();
+        out.dedup();
+    }
+}

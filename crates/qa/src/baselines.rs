@@ -14,10 +14,10 @@
 
 use crate::path::{enumerate_paths_with_stats, PathConstraint, RankedPath, SearchStats};
 use crate::QaConfig;
-use nous_graph::{DynamicGraph, VertexId};
+use nous_graph::{GraphView, VertexId};
 
-fn candidates(
-    g: &DynamicGraph,
+fn candidates<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     constraint: &PathConstraint,
@@ -38,8 +38,8 @@ fn candidates(
 }
 
 /// Rank by length ascending; ties lexicographic on vertex ids.
-pub fn shortest_paths(
-    g: &DynamicGraph,
+pub fn shortest_paths<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     constraint: &PathConstraint,
@@ -50,8 +50,8 @@ pub fn shortest_paths(
 
 /// [`shortest_paths`] plus search-effort accounting (the variant the
 /// instrumented query executor calls).
-pub fn shortest_paths_with_stats(
-    g: &DynamicGraph,
+pub fn shortest_paths_with_stats<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     constraint: &PathConstraint,
@@ -72,8 +72,8 @@ pub fn shortest_paths_with_stats(
 }
 
 /// Rank by mean degree of intermediate vertices, descending (salience).
-pub fn degree_salience_paths(
-    g: &DynamicGraph,
+pub fn degree_salience_paths<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     constraint: &PathConstraint,
@@ -101,8 +101,8 @@ pub fn degree_salience_paths(
 
 /// Rank by random-walk probability `∏ 1/degree(v_i)` over non-target
 /// vertices, descending (PRA-style path probability).
-pub fn random_walk_paths(
-    g: &DynamicGraph,
+pub fn random_walk_paths<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     constraint: &PathConstraint,
@@ -129,7 +129,7 @@ pub fn random_walk_paths(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nous_graph::Provenance;
+    use nous_graph::{DynamicGraph, Provenance};
 
     /// a→b→d (quiet intermediate) and a→h→d (fat hub), same length.
     fn hubbed() -> (DynamicGraph, VertexId, VertexId, VertexId, VertexId) {

@@ -1,15 +1,31 @@
 //! The coherence-ranked path search (§3.6).
 //!
 //! Candidate generation uses the paper's look-ahead: at every hop only the
-//! `beam` neighbours with least topic divergence to the *target* are
+//! `beam` neighbours with least topic divergence to the *far endpoint* are
 //! expanded. Each surviving source→target path then receives a coherence
 //! score — the mean Jensen–Shannon divergence between consecutive
 //! vertices' topic distributions — and "the path with least amount of
 //! divergence is chosen" (paths are returned ascending by divergence).
+//!
+//! For `max_hops ≥ 2` the search is **bidirectional**: two budgeted,
+//! beam-pruned sweeps collect simple half-paths of up to `⌈H/2⌉` hops from
+//! the source and `⌊H/2⌋` hops from the target, then meet in the middle —
+//! every full path of length `L` decomposes uniquely into a forward half
+//! of `⌈L/2⌉` hops and a backward half of `⌊L/2⌋` hops, so each candidate
+//! is assembled exactly once. Against a hub of degree `d` this explores
+//! `O(d^{H/2})` vertices per side instead of `O(d^H)`. The unidirectional
+//! DFS remains available as [`coherent_paths_dfs_with_stats`] and is used
+//! automatically when `max_hops < 2`.
+//!
+//! All entry points are generic over [`GraphView`], so the same search
+//! runs against the live locked graph and against a lock-free
+//! [`nous_graph::FrozenView`] snapshot with identical results.
 
-use crate::path::{enumerate_paths_with_stats, PathConstraint, RankedPath, SearchStats};
-use crate::topic_index::TopicIndex;
-use nous_graph::{DynamicGraph, VertexId};
+use crate::path::{
+    enumerate_paths_with_stats, neighbor_steps_into, Hop, PathConstraint, RankedPath, SearchStats,
+};
+use crate::topic_index::{TopicIndex, TopicRows};
+use nous_graph::{FxHashMap, GraphView, VertexId};
 use nous_obs::MetricsRegistry;
 use nous_topics::js_divergence;
 use serde::{Deserialize, Serialize};
@@ -22,7 +38,7 @@ pub struct QaConfig {
     /// Look-ahead width: neighbours expanded per vertex, least-divergent
     /// first. `usize::MAX` disables the look-ahead (ablation).
     pub beam: usize,
-    /// Global expansion budget.
+    /// Global expansion budget (shared across both sweeps).
     pub budget: usize,
     /// Number of paths returned.
     pub k: usize,
@@ -52,9 +68,54 @@ pub fn path_coherence(topics: &TopicIndex, path: &[VertexId]) -> f64 {
     total / (path.len() - 1) as f64
 }
 
+/// [`path_coherence`] over a borrowed row cache — the form every scoring
+/// pass inside the search uses.
+fn coherence_over(rows: &TopicRows, path: &[VertexId]) -> f64 {
+    if path.len() < 2 {
+        return 0.0;
+    }
+    let total: f64 = path
+        .windows(2)
+        .map(|w| js_divergence(rows.get(w[0]), rows.get(w[1])))
+        .sum();
+    total / (path.len() - 1) as f64
+}
+
+/// Score every candidate, then rank ascending by (divergence, length,
+/// vertex sequence, edge sequence) and keep the top `k`. The edge-id
+/// tiebreak makes the order total even between parallel-edge paths, so
+/// the result is identical on every [`GraphView`] implementation.
+fn rank(
+    rows: &TopicRows,
+    mut paths: Vec<RankedPath>,
+    k: usize,
+    stats: &mut SearchStats,
+) -> Vec<RankedPath> {
+    for p in &mut paths {
+        p.score = coherence_over(rows, &p.vertices);
+        // Scoring evaluates one divergence per consecutive vertex pair.
+        stats.coherence_evals += p.len();
+    }
+    paths.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .expect("finite scores")
+            .then_with(|| a.len().cmp(&b.len()))
+            .then_with(|| a.vertices.cmp(&b.vertices))
+            .then_with(|| {
+                a.hops
+                    .iter()
+                    .map(|h| h.edge.0)
+                    .cmp(b.hops.iter().map(|h| h.edge.0))
+            })
+    });
+    paths.truncate(k);
+    paths
+}
+
 /// Top-K coherent paths from `src` to `dst` (ascending divergence).
-pub fn coherent_paths(
-    g: &DynamicGraph,
+pub fn coherent_paths<G: GraphView>(
+    g: &G,
     topics: &TopicIndex,
     src: VertexId,
     dst: VertexId,
@@ -67,21 +128,134 @@ pub fn coherent_paths(
 /// [`coherent_paths`] plus search-effort accounting: nodes expanded, peak
 /// frontier, paths found before truncation, and divergence evaluations
 /// (look-ahead comparisons + final scoring).
-pub fn coherent_paths_with_stats(
-    g: &DynamicGraph,
+///
+/// Dispatches to the bidirectional meet-in-the-middle search; paths of
+/// fewer than 2 hops cannot be split, so `max_hops < 2` falls back to the
+/// unidirectional DFS.
+pub fn coherent_paths_with_stats<G: GraphView>(
+    g: &G,
     topics: &TopicIndex,
     src: VertexId,
     dst: VertexId,
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> (Vec<RankedPath>, SearchStats) {
-    let target_dist = topics.get(dst).to_vec();
+    if cfg.max_hops < 2 {
+        return coherent_paths_dfs_with_stats(g, topics, src, dst, constraint, cfg);
+    }
+    let rows = topics.rows(g.vertex_count());
+    let mut stats = SearchStats::default();
+    let mut paths = Vec::new();
+    if src != dst {
+        let f_max = cfg.max_hops.div_ceil(2);
+        let b_max = cfg.max_hops / 2;
+        let mut expansions = 0usize;
+        let mut lookahead_evals = 0usize;
+        let fwd = collect_halves(
+            g,
+            src,
+            HalfRule::Forward { dst },
+            f_max,
+            cfg,
+            rows.get(dst),
+            &rows,
+            &mut expansions,
+            &mut stats,
+            &mut lookahead_evals,
+        );
+        // The trivial 0-hop half at `dst` joins a ⌈L/2⌉ = L forward half,
+        // i.e. the direct src→dst edges.
+        let mut bwd = vec![Half {
+            vertices: vec![dst],
+            hops: Vec::new(),
+        }];
+        bwd.extend(collect_halves(
+            g,
+            dst,
+            HalfRule::Backward { src },
+            b_max,
+            cfg,
+            rows.get(src),
+            &rows,
+            &mut expansions,
+            &mut stats,
+            &mut lookahead_evals,
+        ));
+        stats.nodes_expanded += expansions;
+        stats.coherence_evals += lookahead_evals;
+
+        // Meet in the middle: join a forward half of i hops ending at
+        // `meet` with every backward half of i or i-1 hops ending there.
+        // L = i + j with i = ⌈L/2⌉ forces j ∈ {i, i-1}, and the split of
+        // any given path is unique, so no candidate is assembled twice.
+        let mut by_meet: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        for (idx, h) in bwd.iter().enumerate() {
+            by_meet
+                .entry(*h.vertices.last().expect("halves are non-empty"))
+                .or_default()
+                .push(idx);
+        }
+        for f in &fwd {
+            let i = f.hops.len();
+            let meet = *f.vertices.last().expect("halves are non-empty");
+            let Some(list) = by_meet.get(&meet) else {
+                continue;
+            };
+            for &bi in list {
+                let b = &bwd[bi];
+                let j = b.hops.len();
+                if j != i && j + 1 != i {
+                    continue;
+                }
+                // Simple paths only: halves may share nothing but `meet`
+                // (b.vertices runs dst..meet; drop the meet itself).
+                if b.vertices[..j].iter().any(|v| f.vertices.contains(v)) {
+                    continue;
+                }
+                let mut vertices = f.vertices.clone();
+                vertices.extend(b.vertices[..j].iter().rev());
+                let mut hops = f.hops.clone();
+                // Backward hops were traversed dst→meet; in path direction
+                // they run meet→dst, so reverse and flip the orientation.
+                hops.extend(b.hops.iter().rev().map(|h| Hop {
+                    pred: h.pred,
+                    edge: h.edge,
+                    forward: !h.forward,
+                }));
+                if constraint.satisfied_by(&hops) {
+                    paths.push(RankedPath {
+                        vertices,
+                        hops,
+                        score: 0.0,
+                    });
+                }
+            }
+        }
+        stats.paths_emitted += paths.len();
+    }
+    let paths = rank(&rows, paths, cfg.k, &mut stats);
+    (paths, stats)
+}
+
+/// The unidirectional look-ahead DFS (the pre-bidirectional algorithm):
+/// the `max_hops < 2` fallback, and the beam-ablation reference — it
+/// charges exactly one look-ahead evaluation per candidate neighbour.
+pub fn coherent_paths_dfs_with_stats<G: GraphView>(
+    g: &G,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+) -> (Vec<RankedPath>, SearchStats) {
+    let rows = topics.rows(g.vertex_count());
+    let target_dist = rows.get(dst).to_vec();
     let mut stats = SearchStats::default();
     // The expander closure cannot borrow `stats` mutably alongside the
     // enumeration's own use, so look-ahead evaluations accumulate locally
     // and merge after the walk.
     let mut lookahead_evals = 0usize;
-    let mut paths = enumerate_paths_with_stats(
+    let paths = enumerate_paths_with_stats(
         g,
         src,
         dst,
@@ -99,9 +273,9 @@ pub fn coherent_paths_with_stats(
             // comparison), so the accounting below is exact: one
             // evaluation per candidate neighbour.
             lookahead_evals += steps.len();
-            let mut keyed: Vec<(f64, (VertexId, crate::path::Hop))> = steps
+            let mut keyed: Vec<(f64, (VertexId, Hop))> = steps
                 .into_iter()
-                .map(|s| (js_divergence(topics.get(s.0), &target_dist), s))
+                .map(|s| (js_divergence(rows.get(s.0), &target_dist), s))
                 .collect();
             keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("divergence is finite"));
             let cut = keyed.len() - cfg.beam;
@@ -110,27 +284,121 @@ pub fn coherent_paths_with_stats(
         &mut stats,
     );
     stats.coherence_evals += lookahead_evals;
-    for p in &mut paths {
-        p.score = path_coherence(topics, &p.vertices);
-        // Scoring evaluates one divergence per consecutive vertex pair.
-        stats.coherence_evals += p.len();
-    }
-    paths.sort_by(|a, b| {
-        a.score
-            .partial_cmp(&b.score)
-            .expect("finite scores")
-            .then_with(|| a.len().cmp(&b.len()))
-            .then_with(|| a.vertices.cmp(&b.vertices))
-    });
-    paths.truncate(cfg.k);
+    let paths = rank(&rows, paths, cfg.k, &mut stats);
     (paths, stats)
+}
+
+/// One simple half-path rooted at a sweep origin.
+struct Half {
+    vertices: Vec<VertexId>,
+    hops: Vec<Hop>,
+}
+
+/// Endpoint handling for one sweep of the bidirectional search.
+enum HalfRule {
+    /// Sweep from the source. A step onto `dst` is recorded only as the
+    /// depth-1 direct hop (longer src→dst paths are assembled from a
+    /// shorter forward half and a backward half) and never extended.
+    Forward { dst: VertexId },
+    /// Sweep from the target. Never steps onto `src`: backward halves are
+    /// strict suffixes, so the source cannot appear in them.
+    Backward { src: VertexId },
+}
+
+/// Collect every simple half-path of 1..=`depth_max` hops from `root`,
+/// beam-pruned by topic divergence to `guide` (the far endpoint's row)
+/// exactly like the unidirectional look-ahead. `expansions` is the budget
+/// counter shared between the two sweeps.
+#[allow(clippy::too_many_arguments)] // one shared accounting bundle across both sweeps
+fn collect_halves<G: GraphView>(
+    g: &G,
+    root: VertexId,
+    rule: HalfRule,
+    depth_max: usize,
+    cfg: &QaConfig,
+    guide: &[f64],
+    rows: &TopicRows,
+    expansions: &mut usize,
+    stats: &mut SearchStats,
+    lookahead_evals: &mut usize,
+) -> Vec<Half> {
+    let mut out = Vec::new();
+    if depth_max == 0 {
+        return out;
+    }
+    let mut prune = |steps: Vec<(VertexId, Hop)>| -> Vec<(VertexId, Hop)> {
+        if cfg.beam == usize::MAX || steps.len() <= cfg.beam {
+            return steps;
+        }
+        *lookahead_evals += steps.len();
+        let mut keyed: Vec<(f64, (VertexId, Hop))> = steps
+            .into_iter()
+            .map(|s| (js_divergence(rows.get(s.0), guide), s))
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("divergence is finite"));
+        let cut = keyed.len() - cfg.beam;
+        keyed.split_off(cut).into_iter().map(|(_, s)| s).collect()
+    };
+    let mut vstack = vec![root];
+    let mut hstack: Vec<Hop> = Vec::new();
+    let mut free: Vec<Vec<(VertexId, Hop)>> = Vec::new();
+    let mut buf = Vec::new();
+    neighbor_steps_into(g, root, &mut buf);
+    let first = prune(buf);
+    let mut frontier = first.len();
+    stats.max_frontier = stats.max_frontier.max(frontier);
+    let mut frames = vec![first];
+    while let Some(frame) = frames.last_mut() {
+        let Some((next, hop)) = frame.pop() else {
+            free.push(frames.pop().expect("frame stack is non-empty"));
+            vstack.pop();
+            hstack.pop();
+            continue;
+        };
+        frontier -= 1;
+        match rule {
+            HalfRule::Forward { dst } if next == dst => {
+                if hstack.is_empty() {
+                    out.push(Half {
+                        vertices: vec![root, dst],
+                        hops: vec![hop],
+                    });
+                }
+                continue;
+            }
+            HalfRule::Backward { src } if next == src => continue,
+            _ => {}
+        }
+        if vstack.contains(&next) {
+            continue; // simple halves only
+        }
+        let mut vertices = vstack.clone();
+        vertices.push(next);
+        let mut hops = hstack.clone();
+        hops.push(hop);
+        let depth = hops.len();
+        out.push(Half { vertices, hops });
+        if depth >= depth_max || *expansions >= cfg.budget {
+            continue;
+        }
+        *expansions += 1;
+        vstack.push(next);
+        hstack.push(hop);
+        let mut buf = free.pop().unwrap_or_default();
+        neighbor_steps_into(g, next, &mut buf);
+        let steps = prune(buf);
+        frontier += steps.len();
+        stats.max_frontier = stats.max_frontier.max(frontier);
+        frames.push(steps);
+    }
+    out
 }
 
 /// [`coherent_paths_with_stats`] with the accounting recorded into
 /// `registry`: a `nous_qa_path_seconds` span over the whole search plus
 /// the `nous_qa_*` effort histograms and counters.
-pub fn coherent_paths_instrumented(
-    g: &DynamicGraph,
+pub fn coherent_paths_instrumented<G: GraphView>(
+    g: &G,
     topics: &TopicIndex,
     src: VertexId,
     dst: VertexId,
@@ -177,7 +445,7 @@ pub fn record_search(registry: &MetricsRegistry, stats: &SearchStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nous_graph::Provenance;
+    use nous_graph::{DynamicGraph, FrozenView, Provenance};
 
     /// Two same-length paths a→b→d (coherent: same topic) and a→h→d
     /// (incoherent hub).
@@ -307,10 +575,11 @@ mod tests {
 
     #[test]
     fn lookahead_evaluates_divergence_once_per_candidate() {
-        // Star: a → m0..m4 → d. With beam 2 the only over-wide expansion
-        // is at `a` (5 candidates), so the look-ahead must charge exactly
-        // 5 divergence evaluations — one per candidate, not one per
-        // comparison as a naive sort-by-recomputed-key would.
+        // Star: a → m0..m4 → d. With beam 2 each sweep of the
+        // bidirectional search over-expands exactly once (5 candidates at
+        // `a`, 5 at `d`), so the look-ahead must charge exactly 10
+        // divergence evaluations — one per candidate per frontier, not
+        // one per comparison as a naive sort-by-recomputed-key would.
         let mut g = DynamicGraph::new();
         let a = g.ensure_vertex("a");
         let d = g.ensure_vertex("d");
@@ -347,12 +616,50 @@ mod tests {
         assert_eq!(scoring, 4);
         assert_eq!(
             stats.coherence_evals,
-            5 + scoring,
-            "look-ahead charges one evaluation per candidate: {stats:?}"
+            10 + scoring,
+            "look-ahead charges one evaluation per candidate per frontier: {stats:?}"
         );
         // The survivors are the two topic-coherent middles.
         let names: Vec<&str> = paths.iter().map(|p| g.vertex_name(p.vertices[1])).collect();
         assert!(names.contains(&"m0") && names.contains(&"m1"), "{names:?}");
+
+        // The unidirectional DFS still charges once per candidate: only
+        // the source frontier is over-wide.
+        let (dfs_paths, dfs_stats) =
+            coherent_paths_dfs_with_stats(&g, &t, a, d, &PathConstraint::default(), &cfg);
+        assert_eq!(dfs_paths, paths);
+        assert_eq!(dfs_stats.coherence_evals, 5 + scoring, "{dfs_stats:?}");
+    }
+
+    #[test]
+    fn bidirectional_matches_dfs_enumeration_without_pruning() {
+        // Widen the planted graph with longer detours: a-h-x0-d (3 hops)
+        // and a-h-x1-x0-d (4 hops). With the beam disabled both searches
+        // must produce the identical ranked candidate set — same vertices,
+        // same hop orientations — at every depth and on both graph views.
+        let (mut g, t, a, d) = planted();
+        let p = g.predicate_id("rel").unwrap();
+        let x0 = g.vertex_id("x0").unwrap();
+        let x1 = g.vertex_id("x1").unwrap();
+        g.add_edge_at(x0, p, d, 0, 1.0, Provenance::Curated);
+        g.add_edge_at(x1, p, x0, 0, 1.0, Provenance::Curated);
+        let frozen = FrozenView::freeze(&g);
+        for max_hops in [2, 3, 4, 5] {
+            let cfg = QaConfig {
+                max_hops,
+                beam: usize::MAX,
+                budget: 100_000,
+                k: 50,
+            };
+            let (bidi, _) =
+                coherent_paths_with_stats(&g, &t, a, d, &PathConstraint::default(), &cfg);
+            let (dfs, _) =
+                coherent_paths_dfs_with_stats(&g, &t, a, d, &PathConstraint::default(), &cfg);
+            assert_eq!(bidi, dfs, "max_hops={max_hops}");
+            let (on_frozen, _) =
+                coherent_paths_with_stats(&frozen, &t, a, d, &PathConstraint::default(), &cfg);
+            assert_eq!(bidi, on_frozen, "max_hops={max_hops} on FrozenView");
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod path;
 pub mod topic_index;
 
 pub use coherence::{
-    coherent_paths, coherent_paths_instrumented, coherent_paths_with_stats, record_search, QaConfig,
+    coherent_paths, coherent_paths_dfs_with_stats, coherent_paths_instrumented,
+    coherent_paths_with_stats, record_search, QaConfig,
 };
 pub use path::{PathConstraint, RankedPath, SearchStats};
-pub use topic_index::TopicIndex;
+pub use topic_index::{TopicIndex, TopicRows};

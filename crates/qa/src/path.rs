@@ -7,7 +7,7 @@
 //! neighbour expander — the coherence search plugs its look-ahead in here;
 //! baselines use the identity expander.
 
-use nous_graph::{DynamicGraph, EdgeId, PredicateId, VertexId};
+use nous_graph::{EdgeId, GraphView, PredicateId, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// One traversed hop.
@@ -41,7 +41,7 @@ impl RankedPath {
     }
 
     /// Render as `A -[p]-> B <-[q]- C`.
-    pub fn render(&self, g: &DynamicGraph) -> String {
+    pub fn render<G: GraphView>(&self, g: &G) -> String {
         let mut s = g.vertex_name(self.vertices[0]).to_owned();
         for (i, h) in self.hops.iter().enumerate() {
             let pred = g.predicate_name(h.pred);
@@ -101,34 +101,38 @@ impl SearchStats {
     }
 }
 
-/// An undirected neighbour step: `(neighbor, hop)`.
-pub(crate) fn neighbor_steps(g: &DynamicGraph, v: VertexId) -> Vec<(VertexId, Hop)> {
-    let mut out: Vec<(VertexId, Hop)> = g
-        .out_edges(v)
-        .map(|a| {
-            (
-                a.other,
-                Hop {
-                    pred: a.pred,
-                    edge: a.edge,
-                    forward: true,
-                },
-            )
-        })
-        .chain(g.in_edges(v).map(|a| {
-            (
-                a.other,
-                Hop {
-                    pred: a.pred,
-                    edge: a.edge,
-                    forward: false,
-                },
-            )
-        }))
-        .collect();
-    // Deterministic order: by neighbour id then edge id.
-    out.sort_by_key(|(n, h)| (n.0, h.edge.0));
-    out
+/// Undirected neighbour steps of `v` written into `out` (cleared first):
+/// the scratch-reusing expansion primitive — the search hot loop recycles
+/// one buffer per stack depth instead of allocating per visit.
+pub(crate) fn neighbor_steps_into<G: GraphView>(
+    g: &G,
+    v: VertexId,
+    out: &mut Vec<(VertexId, Hop)>,
+) {
+    out.clear();
+    g.for_each_out(v, |a| {
+        out.push((
+            a.other,
+            Hop {
+                pred: a.pred,
+                edge: a.edge,
+                forward: true,
+            },
+        ))
+    });
+    g.for_each_in(v, |a| {
+        out.push((
+            a.other,
+            Hop {
+                pred: a.pred,
+                edge: a.edge,
+                forward: false,
+            },
+        ))
+    });
+    // Deterministic order regardless of the view's adjacency layout: by
+    // neighbour id then edge id.
+    out.sort_unstable_by_key(|(n, h)| (n.0, h.edge.0));
 }
 
 /// Enumerate simple paths from `src` to `dst` of at most `max_hops` hops.
@@ -137,8 +141,8 @@ pub(crate) fn neighbor_steps(g: &DynamicGraph, v: VertexId) -> Vec<(VertexId, Ho
 /// the (possibly pruned / reordered) steps actually explored — the
 /// look-ahead hook. `budget` bounds the total number of node expansions.
 /// Returned paths carry `score = 0.0`; ranking is a separate pass.
-pub fn enumerate_paths(
-    g: &DynamicGraph,
+pub fn enumerate_paths<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     max_hops: usize,
@@ -155,8 +159,8 @@ pub fn enumerate_paths(
 /// [`enumerate_paths`] plus search-effort accounting accumulated into
 /// `stats` (expansions, peak frontier, paths emitted).
 #[allow(clippy::too_many_arguments)] // the stats sink rides on the public enumeration signature
-pub fn enumerate_paths_with_stats(
-    g: &DynamicGraph,
+pub fn enumerate_paths_with_stats<G: GraphView>(
+    g: &G,
     src: VertexId,
     dst: VertexId,
     max_hops: usize,
@@ -172,15 +176,21 @@ pub fn enumerate_paths_with_stats(
     let mut expansions = 0usize;
     let mut vstack = vec![src];
     let mut hstack: Vec<Hop> = Vec::new();
+    // Exhausted frames are recycled: the DFS allocates at most one step
+    // buffer per depth level over its whole run (expanders that rebuild
+    // the vector, like the look-ahead prune, add their own).
+    let mut free: Vec<Vec<(VertexId, Hop)>> = Vec::new();
 
     // Iterative DFS with explicit frame stack of pending steps.
-    let first = expand(src, neighbor_steps(g, src));
+    let mut buf = Vec::new();
+    neighbor_steps_into(g, src, &mut buf);
+    let first = expand(src, buf);
     let mut frontier = first.len();
     let mut frames: Vec<Vec<(VertexId, Hop)>> = vec![first];
     stats.max_frontier = stats.max_frontier.max(frontier);
     while let Some(frame) = frames.last_mut() {
         let Some((next, hop)) = frame.pop() else {
-            frames.pop();
+            free.push(frames.pop().expect("frame stack is non-empty"));
             vstack.pop();
             hstack.pop();
             continue;
@@ -209,7 +219,9 @@ pub fn enumerate_paths_with_stats(
         expansions += 1;
         vstack.push(next);
         hstack.push(hop);
-        let steps = expand(next, neighbor_steps(g, next));
+        let mut buf = free.pop().unwrap_or_default();
+        neighbor_steps_into(g, next, &mut buf);
+        let steps = expand(next, buf);
         frontier += steps.len();
         stats.max_frontier = stats.max_frontier.max(frontier);
         frames.push(steps);
@@ -222,7 +234,7 @@ pub fn enumerate_paths_with_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nous_graph::Provenance;
+    use nous_graph::{DynamicGraph, Provenance};
 
     /// a→b→d, a→c→d, plus direct a→d.
     fn diamond() -> (DynamicGraph, Vec<VertexId>, PredicateId) {

@@ -1,8 +1,23 @@
 //! Query execution against the live system state.
+//!
+//! Two serving paths share one generic executor ([`execute_view`] over any
+//! [`GraphView`]):
+//!
+//! - **Lock-free** ([`execute_shared`]): queries run against the session's
+//!   epoch-swapped [`nous_core::FrozenSnapshot`] — no KG lock is touched on
+//!   the read path, so ingestion never stalls analysts (and vice versa).
+//!   Only the `TRENDING` class still serialises, on the trend-monitor
+//!   mutex, because the miner's closed-pattern query mutates cached state.
+//! - **Locked** ([`execute_shared_locked`]): the pre-snapshot baseline —
+//!   one consistent read-lock acquisition over graph + topics + trends.
+//!   Kept for identity tests and as the benchmark baseline.
+//!
+//! Both paths return byte-identical results for the same graph state.
 
 use crate::ast::{Endpoint, Query, QueryResult};
-use nous_core::{KnowledgeGraph, SharedSession, TrendMonitor};
-use nous_graph::VertexId;
+use nous_core::{entity_summary_view, KnowledgeGraph, SharedSession, TrendMonitor};
+use nous_graph::{GraphView, VertexId};
+use nous_link::Disambiguator;
 use nous_obs::MetricsRegistry;
 use nous_qa::{
     coherent_paths, coherent_paths_instrumented, record_search, PathConstraint, QaConfig,
@@ -10,19 +25,19 @@ use nous_qa::{
 };
 use nous_text::bow::BagOfWords;
 
-fn resolve(kg: &KnowledgeGraph, name: &str) -> Option<VertexId> {
-    kg.graph.vertex_id(name).or_else(|| {
-        kg.disambiguator
+fn resolve<G: GraphView>(g: &G, disamb: &Disambiguator, name: &str) -> Option<VertexId> {
+    g.vertex_id(name).or_else(|| {
+        disamb
             .resolve(name, &BagOfWords::new(), nous_link::LinkMode::Full)
             .map(|r| VertexId(r.id))
     })
 }
 
-fn endpoint_matches(kg: &KnowledgeGraph, ep: &Endpoint, v: VertexId) -> bool {
+fn endpoint_matches<G: GraphView>(g: &G, ep: &Endpoint, v: VertexId) -> bool {
     match ep {
         Endpoint::Any => true,
-        Endpoint::Type(t) => kg.graph.label(v).is_some_and(|l| l.eq_ignore_ascii_case(t)),
-        Endpoint::Constant(name) => kg.graph.vertex_name(v).eq_ignore_ascii_case(name),
+        Endpoint::Type(t) => g.label(v).is_some_and(|l| l.eq_ignore_ascii_case(t)),
+        Endpoint::Constant(name) => g.vertex_name(v).eq_ignore_ascii_case(name),
     }
 }
 
@@ -47,7 +62,14 @@ pub fn execute(
     topics: &TopicIndex,
     trends: &mut TrendMonitor,
 ) -> QueryResult {
-    execute_inner(query, kg, topics, trends, None)
+    execute_view(
+        query,
+        &kg.graph,
+        &kg.disambiguator,
+        topics,
+        Some(trends),
+        None,
+    )
 }
 
 /// [`execute`] with telemetry: per-class counts and latency spans
@@ -58,6 +80,25 @@ pub fn execute_instrumented(
     kg: &KnowledgeGraph,
     topics: &TopicIndex,
     trends: &mut TrendMonitor,
+    registry: &MetricsRegistry,
+) -> QueryResult {
+    execute_view_instrumented(
+        query,
+        &kg.graph,
+        &kg.disambiguator,
+        topics,
+        Some(trends),
+        registry,
+    )
+}
+
+/// [`execute_view`] wrapped in per-class telemetry, against any graph view.
+pub fn execute_view_instrumented<G: GraphView>(
+    query: &Query,
+    g: &G,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+    trends: Option<&mut TrendMonitor>,
     registry: &MetricsRegistry,
 ) -> QueryResult {
     let class = query_class(query);
@@ -73,32 +114,71 @@ pub fn execute_instrumented(
         "Query execution wall time per class",
         &[("class", class)],
     );
-    let out = execute_inner(query, kg, topics, trends, Some(registry));
+    let out = execute_view(query, g, disamb, topics, trends, Some(registry));
     span.stop();
     out
 }
 
-/// Execute against a live [`SharedSession`]: one consistent lock
-/// acquisition over graph + topics + trend monitor, with telemetry landing
-/// in the session's registry — the entry point the demo's query services
-/// call per request.
+/// Execute against a live [`SharedSession`] — the entry point the demo's
+/// query services call per request. Runs on the **lock-free path**: the
+/// published frozen snapshot serves every class without touching the KG
+/// lock; only `TRENDING` additionally takes the trend-monitor mutex (the
+/// miner's closed-pattern query mutates cached state). Telemetry lands in
+/// the session's registry; snapshot staleness is recorded on
+/// `nous_snapshot_age_nanos` at acquisition.
 pub fn execute_shared(session: &SharedSession, query: &Query) -> QueryResult {
+    let registry = session.metrics().clone();
+    let snap = session.frozen();
+    match query {
+        Query::Trending { .. } => session.with_trends_only(|trends| {
+            execute_view_instrumented(
+                query,
+                &snap.view,
+                &snap.disambiguator,
+                &snap.topics,
+                Some(trends),
+                &registry,
+            )
+        }),
+        _ => execute_view_instrumented(
+            query,
+            &snap.view,
+            &snap.disambiguator,
+            &snap.topics,
+            None,
+            &registry,
+        ),
+    }
+}
+
+/// The pre-snapshot serving path: one consistent read-lock acquisition
+/// over graph + topics + trend monitor. Byte-identical results to
+/// [`execute_shared`] at the same graph state — kept as the benchmark
+/// baseline and for identity tests.
+pub fn execute_shared_locked(session: &SharedSession, query: &Query) -> QueryResult {
     let registry = session.metrics().clone();
     session
         .with_all(|kg, topics, trends| execute_instrumented(query, kg, topics, trends, &registry))
 }
 
-fn execute_inner(
+/// The generic executor: every query class against any [`GraphView`]
+/// (mutable graph under a lock, or a frozen snapshot). `trends` is only
+/// consulted by the `TRENDING` class; passing `None` makes that class
+/// return an empty result, so lock-free callers route `TRENDING` through
+/// the trend-monitor mutex themselves.
+pub fn execute_view<G: GraphView>(
     query: &Query,
-    kg: &KnowledgeGraph,
+    g: &G,
+    disamb: &Disambiguator,
     topics: &TopicIndex,
-    trends: &mut TrendMonitor,
+    trends: Option<&mut TrendMonitor>,
     registry: Option<&MetricsRegistry>,
 ) -> QueryResult {
     match query {
         Query::Trending { limit } => {
             let mut items: Vec<(String, u32)> = trends
-                .trending(kg)
+                .map(|tm| tm.trending_on(g))
+                .unwrap_or_default()
                 .into_iter()
                 .map(|t| (t.description, t.support))
                 .collect();
@@ -106,7 +186,7 @@ fn execute_inner(
             QueryResult::Trending(items)
         }
 
-        Query::Entity { name } => match kg.entity_summary(name) {
+        Query::Entity { name } => match entity_summary_view(g, disamb, name) {
             None => QueryResult::NotFound(name.clone()),
             Some(s) => QueryResult::Entity {
                 name: s.name,
@@ -127,17 +207,17 @@ fn execute_inner(
             via,
             limit,
         } => {
-            let Some(src) = resolve(kg, source) else {
+            let Some(src) = resolve(g, disamb, source) else {
                 return QueryResult::NotFound(source.clone());
             };
-            let Some(dst) = resolve(kg, target) else {
+            let Some(dst) = resolve(g, disamb, target) else {
                 return QueryResult::NotFound(target.clone());
             };
             let constraint = PathConstraint {
-                require_predicate: via.as_deref().and_then(|p| kg.graph.predicate_id(p)),
+                require_predicate: via.as_deref().and_then(|p| g.predicate_id(p)),
             };
             if let Some(v) = via {
-                if kg.graph.predicate_id(v).is_none() {
+                if g.predicate_id(v).is_none() {
                     return QueryResult::NotFound(format!("predicate {v}"));
                 }
             }
@@ -147,16 +227,11 @@ fn execute_inner(
             };
             let paths = match registry {
                 Some(reg) => {
-                    coherent_paths_instrumented(&kg.graph, topics, src, dst, &constraint, &cfg, reg)
+                    coherent_paths_instrumented(g, topics, src, dst, &constraint, &cfg, reg)
                 }
-                None => coherent_paths(&kg.graph, topics, src, dst, &constraint, &cfg),
+                None => coherent_paths(g, topics, src, dst, &constraint, &cfg),
             };
-            QueryResult::Paths(
-                paths
-                    .into_iter()
-                    .map(|p| (p.render(&kg.graph), p.score))
-                    .collect(),
-            )
+            QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect())
         }
 
         Query::Match {
@@ -167,46 +242,54 @@ fn execute_inner(
             since,
             until,
         } => {
-            let Some(pred) = kg.graph.predicate_id(predicate) else {
+            let Some(pred) = g.predicate_id(predicate) else {
                 return QueryResult::NotFound(format!("predicate {predicate}"));
             };
             let mut total = 0usize;
             let mut sample = Vec::new();
-            for (_, e) in kg.graph.iter_edges() {
-                if e.pred != pred
-                    || !endpoint_matches(kg, src, e.src)
-                    || !endpoint_matches(kg, dst, e.dst)
+            // Predicate postings serve the scan in edge-log order on both
+            // the mutable graph and the frozen view, so the sample is
+            // identical across serving paths.
+            g.for_each_with_pred(pred, |_, e| {
+                if !endpoint_matches(g, src, e.src)
+                    || !endpoint_matches(g, dst, e.dst)
                     || since.is_some_and(|d| e.at < d)
                     || until.is_some_and(|d| e.at > d)
                 {
-                    continue;
+                    return;
                 }
                 total += 1;
                 if sample.len() < *limit {
                     sample.push(format!(
                         "{} -[{}]-> {} ({:.2}, {})",
-                        kg.graph.vertex_name(e.src),
+                        g.vertex_name(e.src),
                         predicate,
-                        kg.graph.vertex_name(e.dst),
+                        g.vertex_name(e.dst),
                         e.confidence,
                         e.provenance.tag(),
                     ));
                 }
-            }
+            });
             QueryResult::Matches { total, sample }
         }
 
         Query::Timeline { name, limit } => {
-            let Some(v) = resolve(kg, name) else {
+            let Some(v) = resolve(g, disamb, name) else {
                 return QueryResult::NotFound(name.clone());
             };
-            let mut items: Vec<(u64, String, f32)> = kg
-                .graph
-                .out_edges(v)
-                .map(|adj| (adj, true))
-                .chain(kg.graph.in_edges(v).map(|adj| (adj, false)))
+            // Collect both directions, then order by (direction, edge id)
+            // so the stable (at, text) sort below resolves exact ties the
+            // same way on every graph implementation (the mutable graph
+            // stores adjacency in insertion order, the frozen view in
+            // predicate-segmented order).
+            let mut adjs: Vec<(nous_graph::Adj, bool)> = Vec::new();
+            g.for_each_out(v, |adj| adjs.push((adj, true)));
+            g.for_each_in(v, |adj| adjs.push((adj, false)));
+            adjs.sort_by_key(|(adj, outgoing)| (!*outgoing, adj.edge.0));
+            let mut items: Vec<(u64, String, f32)> = adjs
+                .into_iter()
                 .map(|(adj, outgoing)| {
-                    let e = kg.graph.edge(adj.edge);
+                    let e = g.edge(adj.edge);
                     let (from, to) = if outgoing {
                         (v, adj.other)
                     } else {
@@ -214,9 +297,9 @@ fn execute_inner(
                     };
                     let text = format!(
                         "{} -[{}]-> {}",
-                        kg.graph.vertex_name(from),
-                        kg.graph.predicate_name(adj.pred),
-                        kg.graph.vertex_name(to)
+                        g.vertex_name(from),
+                        g.predicate_name(adj.pred),
+                        g.vertex_name(to)
                     );
                     (e.at, text, e.confidence)
                 })
@@ -237,10 +320,10 @@ fn execute_inner(
             max_hops,
             limit,
         } => {
-            let Some(src) = resolve(kg, source) else {
+            let Some(src) = resolve(g, disamb, source) else {
                 return QueryResult::NotFound(source.clone());
             };
-            let Some(dst) = resolve(kg, target) else {
+            let Some(dst) = resolve(g, disamb, target) else {
                 return QueryResult::NotFound(target.clone());
             };
             let cfg = QaConfig {
@@ -249,7 +332,7 @@ fn execute_inner(
                 ..Default::default()
             };
             let (paths, stats) = nous_qa::baselines::shortest_paths_with_stats(
-                &kg.graph,
+                g,
                 src,
                 dst,
                 &PathConstraint::default(),
@@ -258,12 +341,7 @@ fn execute_inner(
             if let Some(reg) = registry {
                 record_search(reg, &stats);
             }
-            QueryResult::Paths(
-                paths
-                    .into_iter()
-                    .map(|p| (p.render(&kg.graph), p.score))
-                    .collect(),
-            )
+            QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect())
         }
     }
 }

@@ -22,5 +22,8 @@ pub mod exec;
 pub mod parse;
 
 pub use ast::{Query, QueryResult};
-pub use exec::{execute, execute_instrumented, execute_shared, query_class};
+pub use exec::{
+    execute, execute_instrumented, execute_shared, execute_shared_locked, execute_view,
+    execute_view_instrumented, query_class,
+};
 pub use parse::{parse, ParseError};

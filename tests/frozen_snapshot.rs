@@ -1,0 +1,193 @@
+//! Snapshot-consistency stress test for the lock-free serving path.
+//!
+//! A writer thread drives micro-batched ingestion through a
+//! [`SharedSession`] (each batch publishes a new frozen-snapshot epoch)
+//! while reader threads hammer [`SharedSession::frozen`] and execute a
+//! fixed query set against whatever epoch they observe. Ingestion is
+//! deterministic, so a sequential reference pass — the same corpus pushed
+//! through an identical pipeline, one micro-batch at a time — precomputes
+//! the expected answers for every publishable graph state. Every reader
+//! answer must be byte-identical to the reference at the same epoch
+//! (keyed by the frozen view's source edge-log length): torn reads,
+//! half-published indexes, or mutation leaking into a pinned snapshot all
+//! show up as a mismatch.
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+use nous_graph::{FrozenView, GraphView};
+use nous_link::Disambiguator;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_qa::TopicIndex;
+use nous_query::{execute_view, parse, Query};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const BATCH: usize = 4;
+
+fn world_kg() -> (World, KnowledgeGraph, Vec<nous_corpus::Article>) {
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+    (world, kg, articles)
+}
+
+fn pipeline() -> IngestPipeline {
+    IngestPipeline::new(PipelineConfig {
+        batch_size: BATCH,
+        extract_workers: 2,
+        ..Default::default()
+    })
+}
+
+fn trend_monitor() -> TrendMonitor {
+    TrendMonitor::new(
+        nous_graph::window::WindowKind::Count { n: 100 },
+        MinerConfig {
+            k_max: 1,
+            min_support: 2,
+            eviction: EvictionStrategy::Eager,
+        },
+    )
+}
+
+/// The reader workload: one query per lock-free class (TRENDING is
+/// excluded — it goes through the trend-monitor mutex, not the snapshot).
+fn queries(world: &World) -> Vec<Query> {
+    let a = world.entities[world.companies[0]].name.clone();
+    let b = world.entities[world.companies[1]].name.clone();
+    [
+        format!("ABOUT {a}"),
+        "MATCH (Company)-[isLocatedIn]->(Location) LIMIT 5".to_owned(),
+        format!("TIMELINE {a} LIMIT 5"),
+        format!("WHY {a} -> {b} LIMIT 3"),
+        format!("PATHS {a} TO {b} MAX 3 LIMIT 5"),
+    ]
+    .iter()
+    .map(|q| parse(q).expect("query parses"))
+    .collect()
+}
+
+fn answers(
+    queries: &[Query],
+    view: &FrozenView,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+) -> Vec<String> {
+    queries
+        .iter()
+        .map(|q| format!("{:?}", execute_view(q, view, disamb, topics, None, None)))
+        .collect()
+}
+
+#[test]
+fn concurrent_readers_see_reference_answers_at_every_epoch() {
+    let (world, kg, articles) = world_kg();
+    let qs = queries(&world);
+    let topics = TopicIndex::new(2);
+
+    // Sequential reference pass: replay the exact micro-batch boundaries
+    // the session will publish at, recording the expected answers for
+    // every reachable graph state, keyed by edge-log length.
+    let mut reference: HashMap<usize, Vec<String>> = HashMap::new();
+    {
+        let (_, mut ref_kg, _) = world_kg();
+        let mut pipe = pipeline();
+        let snap = FrozenView::freeze(&ref_kg.graph);
+        reference.insert(
+            snap.source_log_len(),
+            answers(&qs, &snap, &ref_kg.disambiguator, &topics),
+        );
+        for chunk in articles.chunks(BATCH) {
+            pipe.ingest_batch(&mut ref_kg, chunk);
+            let snap = FrozenView::freeze(&ref_kg.graph);
+            reference.insert(
+                snap.source_log_len(),
+                answers(&qs, &snap, &ref_kg.disambiguator, &topics),
+            );
+        }
+    }
+    let reference = Arc::new(reference);
+
+    let session = SharedSession::new(kg, topics.clone(), trend_monitor());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let session = session.clone();
+            let done = done.clone();
+            let reference = reference.clone();
+            let qs = qs.clone();
+            std::thread::spawn(move || {
+                let mut checked = 0usize;
+                let mut epochs_seen = std::collections::HashSet::new();
+                while !done.load(Ordering::Relaxed) || checked == 0 {
+                    let snap = session.frozen();
+                    let got = answers(&qs, &snap.view, &snap.disambiguator, &snap.topics);
+                    let want = reference
+                        .get(&snap.view.source_log_len())
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "epoch {} has log_len {} matching no batch boundary",
+                                snap.epoch,
+                                snap.view.source_log_len()
+                            )
+                        });
+                    assert_eq!(&got, want, "epoch {} diverged", snap.epoch);
+                    epochs_seen.insert(snap.epoch);
+                    checked += 1;
+                }
+                (checked, epochs_seen.len())
+            })
+        })
+        .collect();
+
+    let mut pipe = pipeline();
+    let report = session.ingest_batch(&mut pipe, &articles);
+    done.store(true, Ordering::Relaxed);
+
+    for r in readers {
+        let (checked, distinct) = r.join().expect("reader");
+        assert!(checked > 0);
+        assert!(distinct >= 1);
+    }
+    assert!(report.admitted > 0);
+
+    // The final published snapshot is the final reference state.
+    let last = session.frozen();
+    assert_eq!(
+        &answers(&qs, &last.view, &last.disambiguator, &last.topics),
+        reference.get(&last.view.source_log_len()).unwrap()
+    );
+    assert_eq!(
+        last.view.source_log_len(),
+        session.read(|kg, _| kg.graph.log_len()),
+        "last epoch is current"
+    );
+}
+
+/// A pinned snapshot is immune to everything ingestion does afterwards:
+/// the whole query surface answers from the old epoch, byte-for-byte.
+#[test]
+fn pinned_snapshot_survives_later_ingestion_unchanged() {
+    let (world, kg, articles) = world_kg();
+    let qs = queries(&world);
+    let session = SharedSession::new(kg, TopicIndex::new(2), trend_monitor());
+
+    let pinned = session.frozen();
+    let before = answers(&qs, &pinned.view, &pinned.disambiguator, &pinned.topics);
+    let edges_before = GraphView::live_edge_count(&pinned.view);
+
+    let mut pipe = pipeline();
+    session.ingest_batch(&mut pipe, &articles);
+
+    let after = answers(&qs, &pinned.view, &pinned.disambiguator, &pinned.topics);
+    assert_eq!(before, after, "pinned epoch must not see new facts");
+    assert_eq!(edges_before, GraphView::live_edge_count(&pinned.view));
+
+    let current = session.frozen();
+    assert!(current.epoch > pinned.epoch);
+    assert!(GraphView::live_edge_count(&current.view) > edges_before);
+}

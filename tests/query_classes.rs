@@ -1,12 +1,12 @@
 //! Integration test for experiment E4 (Figure 5): each of the five query
 //! classes executes end-to-end against a pipeline-built knowledge graph.
 
-use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, TrendMonitor};
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
 use nous_corpus::Preset;
 use nous_graph::window::WindowKind;
 use nous_mining::{EvictionStrategy, MinerConfig};
 use nous_qa::TopicIndex;
-use nous_query::{execute, parse, Query, QueryResult};
+use nous_query::{execute, execute_shared, execute_shared_locked, parse, Query, QueryResult};
 use nous_topics::LdaConfig;
 
 struct Session {
@@ -146,6 +146,34 @@ fn alias_resolution_in_queries() {
             );
         }
         other => panic!("alias lookup failed: {other:?}"),
+    }
+}
+
+#[test]
+fn frozen_and_locked_serving_paths_are_byte_identical() {
+    // Every query class must answer identically whether served from the
+    // epoch-swapped frozen snapshot (`execute_shared`) or under the
+    // pre-snapshot read-lock baseline (`execute_shared_locked`).
+    let s = session();
+    let a = s.world.entities[s.world.companies[0]].name.clone();
+    let b = s.world.entities[s.world.companies[1]].name.clone();
+    let shared = SharedSession::new(s.kg, s.topics, s.trends);
+    for q in [
+        "TRENDING LIMIT 5".to_owned(),
+        format!("ABOUT {a}"),
+        format!("WHY {a} -> {b} LIMIT 3"),
+        "MATCH (Company)-[isLocatedIn]->(Location) LIMIT 3".to_owned(),
+        format!("TIMELINE {a} LIMIT 5"),
+        format!("PATHS {a} TO {b} MAX 3 LIMIT 5"),
+    ] {
+        let parsed = parse(&q).unwrap_or_else(|e| panic!("parse {q:?}: {e}"));
+        let frozen = execute_shared(&shared, &parsed);
+        let locked = execute_shared_locked(&shared, &parsed);
+        assert_eq!(
+            format!("{frozen:?}"),
+            format!("{locked:?}"),
+            "serving paths diverged on {q}"
+        );
     }
 }
 
