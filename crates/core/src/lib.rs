@@ -38,7 +38,7 @@ pub mod trends;
 
 pub use journal::{AdmittedFact, IngestJournal};
 pub use kg::{entity_summary_view, KnowledgeGraph};
-pub use pipeline::{IngestPipeline, IngestReport, PipelineConfig};
+pub use pipeline::{DeadLetterStore, IngestPipeline, IngestReport, PipelineConfig};
 pub use quality::{CandidateFact, NoSelfLoopGate, QualityGate, TypeSignatureGate};
 pub use session::{FrozenSnapshot, SharedSession};
 pub use trends::TrendMonitor;

@@ -30,7 +30,10 @@ use crate::kg::KnowledgeGraph;
 use crate::quality::{CandidateFact, QualityGate};
 use nous_corpus::Article;
 use nous_embed::BprConfig;
-use nous_extract::{extract_document, extract_documents_counted, DocExtraction, Document};
+use nous_extract::{
+    extract_documents_quarantined, try_extract_document, DocExtraction, Document, QuarantinedDoc,
+};
+use nous_fault::Faults;
 use nous_graph::VertexId;
 use nous_link::LinkMode;
 use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -66,6 +69,11 @@ pub struct PipelineConfig {
     /// `NOUS_THREADS` environment variable if set, else the hardware's
     /// available parallelism.
     pub extract_workers: usize,
+    /// Failpoint handle consulted by the extraction stage
+    /// (`extract.poison` / `extract.panic`, keyed by document id).
+    /// Disabled by default; a no-op unless the `fault-injection`
+    /// feature is compiled in *and* a plan is armed.
+    pub faults: Faults,
 }
 
 impl Default for PipelineConfig {
@@ -81,7 +89,42 @@ impl Default for PipelineConfig {
             bpr: BprConfig::default(),
             batch_size: 32,
             extract_workers: 0,
+            faults: Faults::disabled(),
         }
+    }
+}
+
+/// Parked documents that failed extraction (panic or injected fault),
+/// kept with their errors for offline inspection and reprocessing. The
+/// pipeline appends here instead of letting one poison document abort a
+/// micro-batch; the running total is also surfaced as
+/// `nous_ingest_quarantined_total`.
+#[derive(Debug, Default)]
+pub struct DeadLetterStore {
+    entries: Vec<QuarantinedDoc>,
+}
+
+impl DeadLetterStore {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every quarantined document, in quarantine order.
+    pub fn entries(&self) -> &[QuarantinedDoc] {
+        &self.entries
+    }
+
+    /// Remove and return all parked documents (reprocessing drain).
+    pub fn drain(&mut self) -> Vec<QuarantinedDoc> {
+        std::mem::take(&mut self.entries)
+    }
+
+    fn push(&mut self, q: QuarantinedDoc) {
+        self.entries.push(q);
     }
 }
 
@@ -166,6 +209,7 @@ struct PipelineMetrics {
     admitted: Counter,
     rejected: Counter,
     gated: Counter,
+    quarantined: Counter,
     batches: Counter,
     workers_used: Gauge,
     stage_extract: Histogram,
@@ -230,6 +274,10 @@ impl PipelineMetrics {
             gated: c(
                 "nous_ingest_gated_total",
                 "Facts vetoed by a registered quality gate (also counted in rejected)",
+            ),
+            quarantined: c(
+                "nous_ingest_quarantined_total",
+                "Documents quarantined to the dead-letter store (panic or injected fault)",
             ),
             batches: c(
                 "nous_ingest_batches_total",
@@ -310,6 +358,8 @@ pub struct IngestPipeline {
     pub rejected_confidences: Vec<f32>,
     /// Observer invoked after each micro-batch merges (snapshot publish).
     batch_hook: Option<BatchHook>,
+    /// Documents that failed extraction, parked with their errors.
+    dead_letters: DeadLetterStore,
 }
 
 impl IngestPipeline {
@@ -332,6 +382,7 @@ impl IngestPipeline {
             admitted_confidences: Vec::new(),
             rejected_confidences: Vec::new(),
             batch_hook: None,
+            dead_letters: DeadLetterStore::default(),
         }
     }
 
@@ -362,6 +413,25 @@ impl IngestPipeline {
     pub fn record_fanout(&self, worker_docs: &[usize]) {
         self.metrics.batches.inc();
         self.metrics.record_fanout(worker_docs);
+    }
+
+    /// Park a document that failed extraction: counted on
+    /// `nous_ingest_quarantined_total` and appended to the dead-letter
+    /// store. Called by the batch paths here and by external extraction
+    /// drivers (`SharedSession::ingest_batch`).
+    pub fn quarantine(&mut self, q: QuarantinedDoc) {
+        self.metrics.quarantined.inc();
+        self.dead_letters.push(q);
+    }
+
+    /// Documents quarantined so far, with their errors.
+    pub fn dead_letters(&self) -> &DeadLetterStore {
+        &self.dead_letters
+    }
+
+    /// Mutable dead-letter access (reprocessing drains it).
+    pub fn dead_letters_mut(&mut self) -> &mut DeadLetterStore {
+        &mut self.dead_letters
     }
 
     /// Install a journal sink observing the admit stream (see
@@ -458,14 +528,25 @@ impl IngestPipeline {
         }
     }
 
-    /// Ingest one document into the knowledge graph.
+    /// Ingest one document into the knowledge graph. A document that
+    /// fails extraction (panic or injected fault) is quarantined to the
+    /// dead-letter store and contributes an empty delta; it never aborts
+    /// the stream.
     pub fn ingest(&mut self, kg: &mut KnowledgeGraph, article: &Article) -> IngestReport {
         let before = self.report();
+        let doc = Document::from(article);
         let span = self.metrics.registry.start(&self.metrics.stage_extract);
         let extracted =
-            extract_document(&Document::from(article), &kg.gazetteer, &self.cfg.extractor);
+            try_extract_document(&doc, &kg.gazetteer, &self.cfg.extractor, &self.cfg.faults);
         span.stop();
-        self.merge_extraction(kg, &extracted);
+        match extracted {
+            Ok(ext) => self.merge_extraction(kg, &ext),
+            Err(error) => self.quarantine(QuarantinedDoc {
+                doc_id: doc.id,
+                day: doc.day,
+                error,
+            }),
+        }
         self.report().delta_since(&before)
     }
 
@@ -652,14 +733,18 @@ impl IngestPipeline {
             self.metrics.batches.inc();
             let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
             let span = self.metrics.registry.start(&self.metrics.stage_extract);
-            let (extracted, worker_docs) = extract_documents_counted(
+            let (extracted, worker_docs, quarantined) = extract_documents_quarantined(
                 &docs,
                 &kg.gazetteer,
                 &self.cfg.extractor,
                 self.cfg.extract_workers,
+                &self.cfg.faults,
             );
             span.stop();
             self.metrics.record_fanout(&worker_docs);
+            for q in quarantined {
+                self.quarantine(q);
+            }
             for ext in &extracted {
                 self.merge_extraction(kg, ext);
             }
@@ -1009,7 +1094,12 @@ mod tests {
             for id in kg.graph.find(None, Some(p), None) {
                 let e = kg.graph.edge(id);
                 for v in [e.src, e.dst] {
-                    let label = kg.graph.label(v).unwrap_or("Company");
+                    // The gate deliberately passes unlabelled endpoints
+                    // (no type, nothing to veto) — only labelled ones
+                    // carry a contract to check. Fabricating a default
+                    // label here would vacuously pass exactly the
+                    // endpoints the gate never looked at.
+                    let Some(label) = kg.graph.label(v) else { continue };
                     assert!(
                         label == "Company" || label == "Organization",
                         "ill-typed acquired edge survived the gate: {label}"
@@ -1017,6 +1107,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn poisoned_documents_quarantine_and_the_batch_continues() {
+        use nous_fault::{FaultPlan, SitePlan};
+        let (_, mut kg, articles) = setup();
+        kg.train_predictor();
+        let plan = FaultPlan::from_seed(7)
+            .site(nous_extract::FP_EXTRACT_POISON, SitePlan::probability(0.2));
+        let poisoned: Vec<u64> = articles
+            .iter()
+            .map(|a| a.id)
+            .filter(|id| plan.would_fire_keyed(nous_extract::FP_EXTRACT_POISON, *id))
+            .collect();
+        assert!(!poisoned.is_empty(), "seed 7 must poison at least one doc");
+        let cfg = PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            faults: plan.arm(),
+            ..Default::default()
+        };
+        let mut pipe = IngestPipeline::new(cfg);
+        let report = pipe.ingest_batch(&mut kg, &articles);
+        // Quarantined docs never reach the merge stage; the rest do.
+        assert_eq!(report.documents, articles.len() - poisoned.len());
+        assert!(report.admitted > 0, "survivors still admit facts");
+        let dead = pipe.dead_letters();
+        assert_eq!(dead.len(), poisoned.len());
+        let parked: Vec<u64> = dead.entries().iter().map(|q| q.doc_id).collect();
+        assert_eq!(parked, poisoned, "exactly the keyed docs quarantined");
+        assert!(dead.entries().iter().all(|q| q.error.contains("injected")));
+        assert_eq!(
+            pipe.metrics()
+                .counter_value("nous_ingest_quarantined_total", &[]),
+            Some(poisoned.len() as u64)
+        );
+        // Determinism: the same seed over the sequential path quarantines
+        // the same documents and builds the same graph.
+        let (_, mut kg2, _) = setup();
+        kg2.train_predictor();
+        let cfg2 = PipelineConfig {
+            faults: FaultPlan::from_seed(7)
+                .site(nous_extract::FP_EXTRACT_POISON, SitePlan::probability(0.2))
+                .arm(),
+            ..Default::default()
+        };
+        let mut seq = IngestPipeline::new(cfg2);
+        let report2 = seq.ingest_all(&mut kg2, &articles);
+        assert_eq!(report2.documents, report.documents);
+        let parked2: Vec<u64> = seq.dead_letters().entries().iter().map(|q| q.doc_id).collect();
+        assert_eq!(parked2, poisoned);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::kg::KnowledgeGraph;
 use crate::pipeline::{IngestPipeline, IngestReport};
 use crate::trends::TrendMonitor;
 use nous_corpus::Article;
-use nous_extract::{extract_documents_counted, Document};
+use nous_extract::{extract_documents_quarantined, Document};
 use nous_graph::FrozenView;
 use nous_link::Disambiguator;
 use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -376,14 +376,18 @@ impl SharedSession {
                 let t1 = m.registry.now_nanos();
                 m.wait_read.observe(t1.saturating_sub(t0));
                 let span = pipeline.metrics().start(&extract_stage);
-                let (extracted, worker_docs) = extract_documents_counted(
+                let (extracted, worker_docs, quarantined) = extract_documents_quarantined(
                     &docs,
                     &kg.gazetteer,
                     &cfg.extractor,
                     cfg.extract_workers,
+                    &cfg.faults,
                 );
                 span.stop();
                 pipeline.record_fanout(&worker_docs);
+                for q in quarantined {
+                    pipeline.quarantine(q);
+                }
                 let held = m.registry.now_nanos().saturating_sub(t1);
                 m.hold_read.observe(held);
                 m.hold_last_read.set(held as i64);

@@ -27,6 +27,9 @@ pub struct TrendMonitor {
     miner: StreamingMiner,
     /// Entity-type label interner (vertex labels for the miner).
     labels: Interner,
+    /// Vertices observed without a label (placeholder substituted);
+    /// surfaced as `nous_label_miss_total` once instrumented.
+    label_miss: Option<nous_obs::Counter>,
 }
 
 impl TrendMonitor {
@@ -40,13 +43,24 @@ impl TrendMonitor {
             window,
             miner: StreamingMiner::new(miner_cfg),
             labels: Interner::new(),
+            label_miss: None,
         }
     }
 
     fn miner_edge(&mut self, kg: &KnowledgeGraph, id: nous_graph::EdgeId) -> MinerEdge {
         let e = kg.graph.edge(id).clone();
+        let miss = self.label_miss.clone();
         let mut label = |v| {
-            let name = kg.graph.label(v).unwrap_or("Entity");
+            // An unlabelled vertex still needs *some* miner label, but the
+            // substitution is accounted rather than silent: patterns built
+            // on placeholder types are only as trustworthy as this counter
+            // is low.
+            let name = kg.graph.label(v).unwrap_or_else(|| {
+                if let Some(c) = &miss {
+                    c.inc();
+                }
+                "Entity"
+            });
             self.labels.intern(name)
         };
         let (sl, dl) = (label(e.src), label(e.dst));
@@ -67,6 +81,10 @@ impl TrendMonitor {
     /// session's `/stats` surface.
     pub fn instrument(&mut self, registry: &nous_obs::MetricsRegistry) {
         self.miner.instrument(registry);
+        self.label_miss = Some(registry.counter(
+            "nous_label_miss_total",
+            "Vertex label lookups that found no label (miner placeholder substituted)",
+        ));
     }
 
     /// Consume new graph edges, sliding the window and updating the miner.
@@ -116,12 +134,35 @@ impl TrendMonitor {
     /// have observed edges newer than the snapshot, so a predicate minted
     /// after the freeze renders as a placeholder instead of panicking.
     pub fn trending_on<G: nous_graph::GraphView>(&mut self, g: &G) -> Vec<Trend> {
+        self.trending_on_deadline(g, &nous_fault::Deadline::none())
+            .0
+    }
+
+    /// [`TrendMonitor::trending_on`] under a wall-clock
+    /// [`nous_fault::Deadline`]. Returns `(trends, partial)`: when the
+    /// deadline expires the pattern list stops where rendering got to
+    /// (or stays empty if it expired before the miner was consulted)
+    /// and `partial` is `true`. An unbounded deadline always returns
+    /// the complete list.
+    pub fn trending_on_deadline<G: nous_graph::GraphView>(
+        &mut self,
+        g: &G,
+        deadline: &nous_fault::Deadline,
+    ) -> (Vec<Trend>, bool) {
+        if deadline.expired() {
+            return (Vec::new(), true);
+        }
         let labels = &self.labels;
         let pred_count = g.predicate_count();
-        self.miner
-            .closed_frequent()
-            .into_iter()
-            .map(|(p, support)| Trend {
+        let patterns = self.miner.closed_frequent();
+        let mut out = Vec::with_capacity(patterns.len());
+        let mut partial = false;
+        for (i, (p, support)) in patterns.into_iter().enumerate() {
+            if i % 16 == 15 && deadline.expired() {
+                partial = true;
+                break;
+            }
+            out.push(Trend {
                 description: p.render(
                     |l| labels.resolve(l).to_owned(),
                     |l| {
@@ -133,8 +174,9 @@ impl TrendMonitor {
                     },
                 ),
                 support,
-            })
-            .collect()
+            });
+        }
+        (out, partial)
     }
 
     /// Raw closed frequent patterns (for tests and benches).
@@ -233,6 +275,52 @@ mod tests {
         let (_, evicted) = tm.advance_to(&kg, 1015);
         assert!(evicted > 0);
         assert!(tm.window_len() < 12);
+    }
+
+    #[test]
+    fn unlabelled_vertices_count_label_misses() {
+        let mut kg = KnowledgeGraph::new();
+        let a = kg.create_entity("Typed Corp", EntityType::Organization);
+        // ensure_vertex mints a bare vertex with no label.
+        let b = kg.graph.ensure_vertex("Mystery Thing");
+        kg.add_extracted_fact(a, "acquired", b, 1, 0.9, 0);
+        let registry = nous_obs::MetricsRegistry::new();
+        let mut tm = TrendMonitor::new(
+            WindowKind::Count { n: 10 },
+            MinerConfig {
+                k_max: 1,
+                min_support: 1,
+                eviction: EvictionStrategy::Eager,
+            },
+        );
+        tm.instrument(&registry);
+        tm.observe(&kg);
+        assert_eq!(
+            registry.counter_value("nous_label_miss_total", &[]),
+            Some(1),
+            "one unlabelled endpoint observed"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_truncates_trending() {
+        let kg = kg_with_motifs(4);
+        let mut tm = TrendMonitor::new(
+            WindowKind::Count { n: 100 },
+            MinerConfig {
+                k_max: 3,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
+        );
+        tm.observe(&kg);
+        let (trends, partial) =
+            tm.trending_on_deadline(&kg.graph, &nous_fault::Deadline::expired_now());
+        assert!(partial);
+        assert!(trends.is_empty(), "expired before mining: {trends:?}");
+        let (full, partial) = tm.trending_on_deadline(&kg.graph, &nous_fault::Deadline::none());
+        assert!(!partial);
+        assert_eq!(full, tm.trending(&kg));
     }
 
     #[test]

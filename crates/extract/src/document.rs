@@ -1,9 +1,19 @@
 //! Document model and document-level extraction.
 
+use nous_fault::Faults;
 use nous_text::bow::BagOfWords;
 use nous_text::ner::{EntityType, Gazetteer};
 use nous_text::openie::ExtractorConfig;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Failpoint keyed by document id: when it fires, the document fails
+/// extraction with an injected error (no panic) and is quarantined.
+pub const FP_EXTRACT_POISON: &str = "extract.poison";
+/// Failpoint keyed by document id: when it fires, the extraction worker
+/// *panics* mid-document — exercising the `catch_unwind` isolation that
+/// also guards against real extractor bugs.
+pub const FP_EXTRACT_PANIC: &str = "extract.panic";
 
 /// One input document of the stream.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,6 +174,79 @@ pub fn extract_documents_counted(
     })
 }
 
+/// A document that failed extraction: the input's identity plus the error
+/// that took it out, parked for offline inspection / reprocessing instead
+/// of poisoning the whole micro-batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedDoc {
+    pub doc_id: u64,
+    pub day: u64,
+    pub error: String,
+}
+
+/// [`extract_document`] hardened for fleet use: the extractor runs under
+/// `catch_unwind`, so a panicking document (extractor bug, or the
+/// [`FP_EXTRACT_PANIC`] failpoint) comes back as `Err` instead of killing
+/// the worker thread. The [`FP_EXTRACT_POISON`] failpoint injects a
+/// non-panicking failure the same way. Both failpoints are keyed by the
+/// document id, so which documents fail is a pure function of the fault
+/// seed — independent of worker count and scheduling.
+pub fn try_extract_document(
+    doc: &Document,
+    gazetteer: &Gazetteer,
+    cfg: &ExtractorConfig,
+    faults: &Faults,
+) -> Result<DocExtraction, String> {
+    if faults.hit_keyed(FP_EXTRACT_POISON, doc.id) {
+        return Err(format!("injected fault: {FP_EXTRACT_POISON}"));
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        if faults.hit_keyed(FP_EXTRACT_PANIC, doc.id) {
+            panic!("injected fault: {FP_EXTRACT_PANIC}");
+        }
+        extract_document(doc, gazetteer, cfg)
+    }))
+    .map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked (non-string payload)".to_owned());
+        format!("extraction panicked: {msg}")
+    })
+}
+
+/// [`extract_documents_counted`] with poison-document quarantine: failed
+/// documents (panic or injected fault) are diverted into the third return
+/// value instead of aborting the batch; the first holds the surviving
+/// extractions in input order. With no faults armed and no panics this is
+/// exactly `extract_documents_counted` plus an empty quarantine, so the
+/// batch_size=1 determinism contract is unchanged for surviving docs.
+pub fn extract_documents_quarantined(
+    docs: &[Document],
+    gazetteer: &Gazetteer,
+    cfg: &ExtractorConfig,
+    workers: usize,
+    faults: &Faults,
+) -> (Vec<DocExtraction>, Vec<usize>, Vec<QuarantinedDoc>) {
+    let (results, worker_docs) = nous_graph::parallel::par_map_chunks_counted(docs, workers, |d| {
+        try_extract_document(d, gazetteer, cfg, faults).map_err(|error| QuarantinedDoc {
+            doc_id: d.id,
+            day: d.day,
+            error,
+        })
+    });
+    let mut ok = Vec::with_capacity(results.len());
+    let mut quarantined = Vec::new();
+    for r in results {
+        match r {
+            Ok(ext) => ok.push(ext),
+            Err(q) => quarantined.push(q),
+        }
+    }
+    (ok, worker_docs, quarantined)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +358,101 @@ mod tests {
         assert_eq!(d.sentences, 0);
         assert!(d.extractions.is_empty());
         assert_eq!(d.raw_count, 0);
+    }
+
+    #[test]
+    fn quarantined_batch_without_faults_matches_plain_extraction() {
+        let g = gaz();
+        let cfg = ExtractorConfig::default();
+        let docs: Vec<Document> = (0..8)
+            .map(|i| Document {
+                id: i,
+                day: i,
+                text: format!("Apex Robotics acquired Condor Labs in round {i}."),
+            })
+            .collect();
+        let plain = extract_documents(&docs, &g, &cfg, 2);
+        let (ok, _, quarantined) =
+            extract_documents_quarantined(&docs, &g, &cfg, 2, &Faults::disabled());
+        assert!(quarantined.is_empty());
+        assert_eq!(ok.len(), plain.len());
+        for (a, b) in ok.iter().zip(&plain) {
+            assert_eq!(a.doc_id, b.doc_id);
+            assert_eq!(a.extractions, b.extractions);
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn poison_failpoint_quarantines_exactly_the_keyed_docs() {
+        use nous_fault::{FaultPlan, SitePlan};
+        let g = gaz();
+        let cfg = ExtractorConfig::default();
+        let docs: Vec<Document> = (0..16)
+            .map(|i| Document {
+                id: 100 + i,
+                day: i,
+                text: "Apex Robotics acquired Condor Labs.".to_owned(),
+            })
+            .collect();
+        let plan = FaultPlan::from_seed(42).site(FP_EXTRACT_POISON, SitePlan::probability(0.3));
+        // The pure preview predicts exactly which doc ids fail, regardless
+        // of worker count/scheduling (keyed decisions are order-free).
+        let expect: Vec<u64> = docs
+            .iter()
+            .map(|d| d.id)
+            .filter(|id| plan.would_fire_keyed(FP_EXTRACT_POISON, *id))
+            .collect();
+        assert!(!expect.is_empty(), "seed 42 must poison at least one doc");
+        assert!(expect.len() < docs.len(), "and spare at least one");
+        for workers in [1, 4] {
+            let faults = plan.clone().arm();
+            let (ok, _, quarantined) =
+                extract_documents_quarantined(&docs, &g, &cfg, workers, &faults);
+            let got: Vec<u64> = quarantined.iter().map(|q| q.doc_id).collect();
+            assert_eq!(got, expect, "workers={workers}");
+            assert_eq!(ok.len() + quarantined.len(), docs.len());
+            assert!(quarantined.iter().all(|q| q.error.contains("injected")));
+            // Survivors keep input order and skip the poisoned ids.
+            let ok_ids: Vec<u64> = ok.iter().map(|e| e.doc_id).collect();
+            let expect_ok: Vec<u64> = docs
+                .iter()
+                .map(|d| d.id)
+                .filter(|id| !expect.contains(id))
+                .collect();
+            assert_eq!(ok_ids, expect_ok);
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn worker_panic_is_caught_and_quarantined() {
+        use nous_fault::{FaultPlan, SitePlan};
+        let g = gaz();
+        let cfg = ExtractorConfig::default();
+        let docs: Vec<Document> = (0..4)
+            .map(|i| Document {
+                id: i,
+                day: i,
+                text: "Apex Robotics acquired Condor Labs.".to_owned(),
+            })
+            .collect();
+        let faults = FaultPlan::from_seed(1)
+            .site(FP_EXTRACT_PANIC, SitePlan::schedule(vec![2]))
+            .arm();
+        // Silence the default hook for the duration: the panic is expected.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (ok, _, quarantined) = extract_documents_quarantined(&docs, &g, &cfg, 2, &faults);
+        std::panic::set_hook(prev);
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].doc_id, 2);
+        assert!(
+            quarantined[0].error.contains("panicked"),
+            "{}",
+            quarantined[0].error
+        );
+        assert_eq!(ok.len(), 3, "batch survives a panicking worker doc");
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Deterministic fault injection and degradation budgets.
+//!
+//! The NOUS demo premise is a pipeline that *never stops*: ingestion,
+//! fusion and query serving run continuously, so torn fsyncs, panicking
+//! extraction workers and slow queries are normal operating conditions,
+//! not exceptional ones. This crate makes those conditions reproducible:
+//!
+//! - [`FaultPlan`] — a replayable description of which failpoints fire,
+//!   derived entirely from a `u64` seed plus per-site probability /
+//!   schedule configuration. Two runs with the same plan observe the
+//!   same faults at the same hit indices.
+//! - [`Faults`] — the armed, thread-safe handle threaded through the
+//!   layers that can fail (WAL, checkpoint writer, extraction workers).
+//!   Sites are named strings; unconfigured sites never fire.
+//! - [`Deadline`] — a wall-clock budget for query serving. Unlike the
+//!   failpoints it is *always* compiled: expiring a deadline is graceful
+//!   degradation (return best-so-far, flag `partial`), not an injected
+//!   fault.
+//!
+//! # Determinism
+//!
+//! A site decision is a pure function of `(plan seed, site name, n)`
+//! where `n` is either the site's hit index (ordinal sites — WAL
+//! appends, which happen on the single-threaded merge path) or a
+//! caller-supplied key (keyed sites — e.g. a document id, so the
+//! decision is independent of which worker thread processes the
+//! document and in what order). [`FaultPlan::would_fire`] /
+//! [`FaultPlan::would_fire_keyed`] expose the same decision function
+//! purely, so tests can predict exactly which documents a plan poisons.
+//!
+//! # Feature gate
+//!
+//! With the `fault-injection` cargo feature disabled (the default),
+//! [`Faults`] is a zero-sized type and [`Faults::hit`] /
+//! [`Faults::io_error`] are `#[inline(always)]` constants — the
+//! instrumented hot paths pay nothing. [`Deadline`] is not feature
+//! gated.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-injection")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "fault-injection")]
+use std::sync::Arc;
+
+/// The `io::ErrorKind` used for injected I/O errors.
+pub const INJECTED_KIND: io::ErrorKind = io::ErrorKind::Other;
+
+/// Marker embedded in injected error messages so logs and tests can
+/// distinguish injected faults from organic ones.
+pub const INJECTED_TAG: &str = "injected fault";
+
+// ---------------------------------------------------------------------------
+// Deterministic decision function
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the site name; stable across runs and platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map `(seed, site, n)` to a uniform value in `[0, 1)`.
+fn unit_draw(seed: u64, site_hash: u64, n: u64) -> f64 {
+    let mixed = splitmix64(seed ^ site_hash.rotate_left(17) ^ splitmix64(n));
+    // Top 53 bits -> f64 mantissa; uniform in [0, 1).
+    (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------------
+
+/// Per-site fault configuration: when should this failpoint fire?
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SitePlan {
+    /// Probability in `[0, 1]` that any given hit (or key) fires,
+    /// decided deterministically from the plan seed.
+    pub probability: f64,
+    /// Explicit hit indices (0-based) or keys that always fire,
+    /// regardless of probability.
+    pub schedule: Vec<u64>,
+    /// Stop injecting after this many faults at this site
+    /// (`None` = unbounded). Only enforced by the armed handle; the
+    /// pure preview functions ignore it.
+    pub max_faults: Option<u64>,
+}
+
+impl SitePlan {
+    /// Fire each hit independently with probability `p`.
+    pub fn probability(p: f64) -> Self {
+        Self {
+            probability: p,
+            ..Self::default()
+        }
+    }
+
+    /// Fire exactly at the listed 0-based hit indices (or keys).
+    pub fn schedule(hits: impl Into<Vec<u64>>) -> Self {
+        Self {
+            schedule: hits.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Cap the number of faults this site may inject.
+    pub fn with_max_faults(mut self, n: u64) -> Self {
+        self.max_faults = Some(n);
+        self
+    }
+
+    /// Pure decision for hit/key `n` under `seed` at `site` —
+    /// ignores `max_faults` (which requires runtime state).
+    fn decides(&self, seed: u64, site_hash: u64, n: u64) -> bool {
+        if self.schedule.contains(&n) {
+            return true;
+        }
+        self.probability > 0.0 && unit_draw(seed, site_hash, n) < self.probability
+    }
+}
+
+/// A replayable fault schedule: a seed plus per-site plans.
+///
+/// The plan itself is inert data; [`FaultPlan::arm`] produces the
+/// thread-safe [`Faults`] handle the instrumented layers consult.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: BTreeMap<String, SitePlan>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no sites fire) under `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// The seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Add (or replace) a site's plan. Builder-style.
+    pub fn site(mut self, name: &str, plan: SitePlan) -> Self {
+        self.sites.insert(name.to_owned(), plan);
+        self
+    }
+
+    /// Pure preview: would ordinal hit `n` at `site` fire?
+    /// (Ignores `max_faults`.)
+    pub fn would_fire(&self, site: &str, n: u64) -> bool {
+        self.sites
+            .get(site)
+            .map(|p| p.decides(self.seed, fnv1a64(site.as_bytes()), n))
+            .unwrap_or(false)
+    }
+
+    /// Pure preview for keyed sites: would `key` at `site` fire?
+    /// (Ignores `max_faults`.)
+    pub fn would_fire_keyed(&self, site: &str, key: u64) -> bool {
+        self.would_fire(site, key)
+    }
+
+    /// Arm the plan into the handle the instrumented layers consult.
+    ///
+    /// With the `fault-injection` feature disabled this returns the
+    /// same inert handle as [`Faults::disabled`].
+    pub fn arm(self) -> Faults {
+        #[cfg(feature = "fault-injection")]
+        {
+            let sites = self
+                .sites
+                .into_iter()
+                .map(|(name, plan)| {
+                    let hash = fnv1a64(name.as_bytes());
+                    (
+                        name,
+                        SiteState {
+                            plan,
+                            hash,
+                            hits: AtomicU64::new(0),
+                            injected: AtomicU64::new(0),
+                        },
+                    )
+                })
+                .collect();
+            Faults {
+                inner: Some(Arc::new(Inner {
+                    seed: self.seed,
+                    sites,
+                })),
+            }
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            Faults::disabled()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Armed handle
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "fault-injection")]
+#[derive(Debug)]
+struct SiteState {
+    plan: SitePlan,
+    hash: u64,
+    hits: AtomicU64,
+    injected: AtomicU64,
+}
+
+#[cfg(feature = "fault-injection")]
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    sites: BTreeMap<String, SiteState>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl SiteState {
+    fn fire(&self, seed: u64, n: u64) -> bool {
+        if !self.plan.decides(seed, self.hash, n) {
+            return false;
+        }
+        if let Some(cap) = self.plan.max_faults {
+            // Reserve a slot; back out if the cap is already spent.
+            if self.injected.fetch_add(1, Ordering::Relaxed) >= cap {
+                self.injected.fetch_sub(1, Ordering::Relaxed);
+                return false;
+            }
+        } else {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
+/// Thread-safe failpoint handle. Cheap to clone; clones share state.
+///
+/// With the `fault-injection` feature disabled this is a zero-sized
+/// type whose checks are inlined constants.
+#[derive(Debug, Clone, Default)]
+pub struct Faults {
+    #[cfg(feature = "fault-injection")]
+    inner: Option<Arc<Inner>>,
+}
+
+impl Faults {
+    /// A handle that never fires (also what unarmed code paths use).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this handle can ever inject a fault.
+    #[cfg(feature = "fault-injection")]
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether this handle can ever inject a fault.
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    pub fn is_armed(&self) -> bool {
+        false
+    }
+
+    /// Ordinal failpoint: the `n`-th call at `site` (per handle,
+    /// counted atomically) fires according to the plan. Use at sites
+    /// that are hit in a deterministic order (e.g. the sequential WAL
+    /// append path).
+    #[cfg(feature = "fault-injection")]
+    #[inline]
+    pub fn hit(&self, site: &str) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let Some(state) = inner.sites.get(site) else {
+            return false;
+        };
+        let n = state.hits.fetch_add(1, Ordering::Relaxed);
+        state.fire(inner.seed, n)
+    }
+
+    /// Ordinal failpoint (no-op build).
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    pub fn hit(&self, _site: &str) -> bool {
+        false
+    }
+
+    /// Keyed failpoint: fires according to `key` alone, independent of
+    /// call order — the right form for sites reached concurrently
+    /// (e.g. per-document extraction workers keyed by doc id).
+    #[cfg(feature = "fault-injection")]
+    #[inline]
+    pub fn hit_keyed(&self, site: &str, key: u64) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let Some(state) = inner.sites.get(site) else {
+            return false;
+        };
+        state.hits.fetch_add(1, Ordering::Relaxed);
+        state.fire(inner.seed, key)
+    }
+
+    /// Keyed failpoint (no-op build).
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    pub fn hit_keyed(&self, _site: &str, _key: u64) -> bool {
+        false
+    }
+
+    /// Ordinal failpoint that surfaces as an injected `io::Error`.
+    #[inline]
+    pub fn io_error(&self, site: &str) -> io::Result<()> {
+        if self.hit(site) {
+            Err(injected_io_error(site))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// How many faults `site` has injected so far (0 when disarmed or
+    /// in no-op builds).
+    #[cfg(feature = "fault-injection")]
+    pub fn injected(&self, site: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.sites.get(site))
+            .map(|s| s.injected.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// How many faults `site` has injected so far (no-op build).
+    #[cfg(not(feature = "fault-injection"))]
+    pub fn injected(&self, _site: &str) -> u64 {
+        0
+    }
+
+    /// How many times `site` has been reached (hit or not).
+    #[cfg(feature = "fault-injection")]
+    pub fn hits(&self, site: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.sites.get(site))
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// How many times `site` has been reached (no-op build).
+    #[cfg(not(feature = "fault-injection"))]
+    pub fn hits(&self, _site: &str) -> u64 {
+        0
+    }
+}
+
+/// Construct the `io::Error` an injected I/O failpoint returns.
+pub fn injected_io_error(site: &str) -> io::Error {
+    io::Error::new(INJECTED_KIND, format!("{INJECTED_TAG}: {site}"))
+}
+
+/// Whether an error message marks an injected (vs organic) fault.
+pub fn is_injected(err: &io::Error) -> bool {
+    err.to_string().contains(INJECTED_TAG)
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+/// A wall-clock budget for query serving.
+///
+/// `Deadline::none()` never expires and costs one `Option` check per
+/// poll. Expiry is polled at coarse intervals inside search loops
+/// (every few dozen expansions), so a deadline bounds latency to
+/// roughly the budget plus one polling interval — it does not preempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Self { expires_at: None }
+    }
+
+    /// Expire `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self {
+            expires_at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A deadline that has already expired — forces every
+    /// deadline-aware stage onto its best-so-far path (useful in
+    /// tests).
+    pub fn expired_now() -> Self {
+        Self {
+            expires_at: Some(Instant::now() - Duration::from_nanos(1)),
+        }
+    }
+
+    /// Whether this deadline can ever expire.
+    #[inline]
+    pub fn is_bounded(&self) -> bool {
+        self.expires_at.is_some()
+    }
+
+    /// Poll the budget. `false` for `Deadline::none()`.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self.expires_at {
+            None => false,
+            Some(t) => Instant::now() >= t,
+        }
+    }
+
+    /// Time left, `None` if unbounded, zero if already expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_at
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::from_seed(0xDEAD_BEEF)
+            .site("wal.append", SitePlan::probability(0.25))
+            .site("extract.poison", SitePlan::probability(0.1))
+            .site("ckpt", SitePlan::schedule(vec![2, 5]))
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = plan();
+        let b = plan();
+        let shifted = FaultPlan::from_seed(0xDEAD_BEF0).site("wal.append", SitePlan::probability(0.25));
+        let fires_a: Vec<bool> = (0..256).map(|n| a.would_fire("wal.append", n)).collect();
+        let fires_b: Vec<bool> = (0..256).map(|n| b.would_fire("wal.append", n)).collect();
+        let fires_s: Vec<bool> = (0..256).map(|n| shifted.would_fire("wal.append", n)).collect();
+        assert_eq!(fires_a, fires_b, "same seed => same schedule");
+        assert_ne!(fires_a, fires_s, "different seed => different schedule");
+        let rate = fires_a.iter().filter(|&&f| f).count() as f64 / 256.0;
+        assert!((0.1..0.45).contains(&rate), "rate {rate} wildly off p=0.25");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let p = plan();
+        let a: Vec<bool> = (0..128).map(|n| p.would_fire("wal.append", n)).collect();
+        let b: Vec<bool> = (0..128).map(|n| p.would_fire("extract.poison", n)).collect();
+        assert_ne!(a, b, "site name participates in the decision");
+    }
+
+    #[test]
+    fn schedule_always_fires_and_unknown_sites_never_do() {
+        let p = plan();
+        assert!(p.would_fire("ckpt", 2));
+        assert!(p.would_fire("ckpt", 5));
+        assert!(!p.would_fire("ckpt", 0));
+        assert!(!p.would_fire("no.such.site", 3));
+    }
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_bounded());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_deadline_expires_immediately() {
+        let d = Deadline::expired_now();
+        assert!(d.is_bounded());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod armed {
+        use super::*;
+
+        #[test]
+        fn armed_handle_matches_pure_preview() {
+            let p = plan();
+            let expect: Vec<bool> = (0..200).map(|n| p.would_fire("wal.append", n)).collect();
+            let f = p.arm();
+            let got: Vec<bool> = (0..200).map(|_| f.hit("wal.append")).collect();
+            assert_eq!(got, expect);
+            assert_eq!(f.hits("wal.append"), 200);
+            assert_eq!(
+                f.injected("wal.append"),
+                expect.iter().filter(|&&x| x).count() as u64
+            );
+        }
+
+        #[test]
+        fn keyed_hits_ignore_call_order() {
+            let p = plan();
+            let f = p.clone().arm();
+            let keys = [17u64, 3, 99, 3, 42];
+            let forward: Vec<bool> = keys.iter().map(|&k| f.hit_keyed("extract.poison", k)).collect();
+            let g = p.clone().arm();
+            let backward: Vec<bool> = keys
+                .iter()
+                .rev()
+                .map(|&k| g.hit_keyed("extract.poison", k))
+                .collect();
+            let mut backward = backward;
+            backward.reverse();
+            assert_eq!(forward, backward);
+            for (&k, &fired) in keys.iter().zip(&forward) {
+                assert_eq!(fired, p.would_fire_keyed("extract.poison", k));
+            }
+        }
+
+        #[test]
+        fn max_faults_caps_injection() {
+            let f = FaultPlan::from_seed(1)
+                .site("always", SitePlan::probability(1.0).with_max_faults(3))
+                .arm();
+            let fired = (0..10).filter(|_| f.hit("always")).count();
+            assert_eq!(fired, 3);
+            assert_eq!(f.injected("always"), 3);
+        }
+
+        #[test]
+        fn io_error_is_tagged_injected() {
+            let f = FaultPlan::from_seed(1)
+                .site("disk", SitePlan::probability(1.0))
+                .arm();
+            let err = f.io_error("disk").unwrap_err();
+            assert!(is_injected(&err));
+            assert!(err.to_string().contains("disk"));
+        }
+
+        #[test]
+        fn disabled_handle_never_fires() {
+            let f = Faults::disabled();
+            assert!(!f.is_armed());
+            assert!(!f.hit("anything"));
+            assert!(f.io_error("anything").is_ok());
+        }
+    }
+}

@@ -27,6 +27,18 @@
 //! durability shows up on the `/stats` snapshot next to ingestion and
 //! query metrics.
 //!
+//! **Fault tolerance** (ISSUE 5): WAL appends/fsyncs and checkpoint
+//! writes host named failpoints from [`nous_fault`] (armed only in
+//! chaos tests; no-ops unless the `fault-injection` feature is on).
+//! Failed appends are retried under a bounded [`store::RetryPolicy`];
+//! when the budget is exhausted the store degrades to
+//! [`store::DegradedMode::MemoryOnly`] — ingestion keeps going, the
+//! loss window is surfaced as `nous_wal_degraded` /
+//! `nous_wal_dropped_records_total`, and the first successful probe
+//! re-arms durability. Recovery reports torn frames
+//! (`nous_wal_torn_frames`, `nous_recovery_truncated_bytes`) and chains
+//! across later-generation WALs when the newest checkpoint is corrupt.
+//!
 //! ```no_run
 //! use nous_obs::MetricsRegistry;
 //! use nous_persist::{DurabilityConfig, DurableStore};
@@ -59,5 +71,8 @@ pub mod store;
 pub mod wal;
 
 pub use record::DocRecord;
-pub use store::{DurabilityConfig, DurableStore, Recovered};
-pub use wal::{FsyncPolicy, Wal, WalScan};
+pub use store::{
+    AckHook, DegradedMode, DurabilityConfig, DurableStore, Recovered, RetryPolicy,
+    FP_CHECKPOINT_WRITE,
+};
+pub use wal::{FsyncPolicy, Wal, WalScan, FP_WAL_APPEND, FP_WAL_FSYNC};

@@ -21,10 +21,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use std::sync::atomic::AtomicBool;
+
 use nous_core::journal::AdmittedFact;
 use nous_core::{IngestJournal, IngestReport, KnowledgeGraph};
+use nous_fault::Faults;
 use nous_graph::codec::{self, Reader};
-use nous_obs::{Counter, MetricsRegistry};
+use nous_obs::{Counter, Gauge, MetricsRegistry};
 use nous_text::ner::EntityType;
 
 use crate::record::{put_report, read_report, DocRecord};
@@ -34,6 +37,59 @@ use crate::wal::{self, FsyncPolicy, Wal};
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"NOUSCKPT";
 /// Checkpoint file format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Failpoint consulted before writing a checkpoint's temp file.
+pub const FP_CHECKPOINT_WRITE: &str = "checkpoint.write";
+
+/// Bounded retry-with-backoff for WAL appends and checkpoint writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (`0` = single attempt).
+    pub max_retries: u32,
+    /// Base backoff before retry `i`: `backoff_ms << i` milliseconds.
+    /// `0` retries immediately (what the deterministic chaos tests use).
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_ms: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn sleep_before(&self, attempt: u32) {
+        if self.backoff_ms > 0 {
+            let ms = self.backoff_ms.saturating_shl(attempt.min(16));
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, by: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, by: u32) -> u64 {
+        self.checked_shl(by).unwrap_or(u64::MAX)
+    }
+}
+
+/// Whether the store is currently writing through to the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Appends (with retries) are succeeding; acked facts are durable.
+    Durable,
+    /// WAL writes are failing persistently. Ingestion continues in
+    /// memory only; records merged in this mode are NOT durable and
+    /// will be missing after a crash. Each new record probes the WAL
+    /// once and the store re-arms itself as soon as a probe succeeds.
+    MemoryOnly,
+}
 
 /// Tuning knobs for the durable store.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +101,9 @@ pub struct DurabilityConfig {
     pub checkpoint_every_facts: u64,
     /// How many old checkpoint/WAL generations to keep besides the newest.
     pub keep_generations: usize,
+    /// Retry budget for WAL appends and checkpoint writes before the
+    /// store degrades (appends) or surfaces the error (checkpoints).
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurabilityConfig {
@@ -53,11 +112,12 @@ impl Default for DurabilityConfig {
             fsync: FsyncPolicy::EveryN(32),
             checkpoint_every_facts: 1_000,
             keep_generations: 2,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Outcome of [`DurableStore::open`].
+/// Outcome of [`DurableStore::open`] — the recovery report.
 pub struct Recovered {
     /// The graph after checkpoint restore + WAL replay.
     pub kg: KnowledgeGraph,
@@ -65,12 +125,20 @@ pub struct Recovered {
     pub report: IngestReport,
     /// Generation of the checkpoint that was restored.
     pub generation: u64,
-    /// Documents replayed from the WAL tail.
+    /// Documents replayed from the WAL tail(s).
     pub replayed_docs: u64,
-    /// Facts replayed from the WAL tail.
+    /// Facts replayed from the WAL tail(s).
     pub replayed_facts: u64,
-    /// Torn bytes discarded from the WAL tail.
+    /// Torn bytes discarded from the WAL tail(s).
     pub truncated_bytes: u64,
+    /// Later-generation WALs replayed past a corrupt/missing checkpoint
+    /// (0 when the newest checkpoint validated).
+    pub chained_generations: u64,
+    /// Generation of the WAL whose tail was torn, if any.
+    pub torn_generation: Option<u64>,
+    /// File offset of the first torn frame within that WAL — everything
+    /// before this offset replayed, everything after was discarded.
+    pub torn_offset: Option<u64>,
 }
 
 #[derive(Clone)]
@@ -79,10 +147,18 @@ struct StoreMetrics {
     wal_bytes: Counter,
     wal_fsyncs: Counter,
     wal_errors: Counter,
+    wal_retries: Counter,
+    wal_degraded: Gauge,
+    wal_dropped_records: Counter,
+    wal_rearmed: Counter,
+    wal_torn_frames: Gauge,
     checkpoints: Counter,
+    checkpoint_errors: Counter,
     checkpoint_seconds: nous_obs::Histogram,
     recovery_replayed: Counter,
     recovery_truncated_bytes: Counter,
+    recovery_truncated_bytes_gauge: Gauge,
+    recovery_chained_generations: Counter,
 }
 
 impl StoreMetrics {
@@ -104,9 +180,33 @@ impl StoreMetrics {
                 "nous_wal_errors_total",
                 "WAL append failures (records dropped from durability)",
             ),
+            wal_retries: registry.counter(
+                "nous_wal_retries_total",
+                "WAL append retries after a transient failure",
+            ),
+            wal_degraded: registry.gauge(
+                "nous_wal_degraded",
+                "1 while the store is in DegradedMode::MemoryOnly (WAL writes failing), 0 when durable",
+            ),
+            wal_dropped_records: registry.counter(
+                "nous_wal_dropped_records_total",
+                "Document records merged while degraded and therefore never persisted",
+            ),
+            wal_rearmed: registry.counter(
+                "nous_wal_rearmed_total",
+                "Times the store left MemoryOnly mode after a WAL probe succeeded",
+            ),
+            wal_torn_frames: registry.gauge(
+                "nous_wal_torn_frames",
+                "Torn WAL frames discarded by the most recent recovery",
+            ),
             checkpoints: registry.counter(
                 "nous_checkpoints_total",
                 "Checkpoints written by the durable store",
+            ),
+            checkpoint_errors: registry.counter(
+                "nous_checkpoint_errors_total",
+                "Checkpoint writes that failed after exhausting retries",
             ),
             checkpoint_seconds: registry.latency(
                 "nous_checkpoint_seconds",
@@ -120,6 +220,14 @@ impl StoreMetrics {
                 "nous_recovery_truncated_bytes_total",
                 "Torn WAL bytes discarded during crash recovery",
             ),
+            recovery_truncated_bytes_gauge: registry.gauge(
+                "nous_recovery_truncated_bytes",
+                "Torn WAL bytes discarded by the most recent recovery",
+            ),
+            recovery_chained_generations: registry.counter(
+                "nous_recovery_chained_generations_total",
+                "Later-generation WALs replayed past a corrupt checkpoint during recovery",
+            ),
         }
     }
 }
@@ -132,8 +240,15 @@ pub struct DurableStore {
     generation: u64,
     wal: Arc<Mutex<Wal>>,
     admitted_since_checkpoint: Arc<AtomicU64>,
+    degraded: Arc<AtomicBool>,
+    faults: Faults,
     metrics: StoreMetrics,
 }
+
+/// Called with each document record the WAL acked (append — and, per
+/// policy, fsync — returned `Ok`). The recovery contract promises these
+/// records survive a process crash.
+pub type AckHook = Arc<dyn Fn(&DocRecord) + Send + Sync>;
 
 fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("checkpoint-{generation:08}.bin"))
@@ -186,15 +301,44 @@ fn decode_checkpoint_file(bytes: &[u8]) -> io::Result<(u64, IngestReport, Knowle
 }
 
 /// Write `bytes` to `path` atomically: tmp file in the same directory,
-/// fsync, rename over the target.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// fsync, rename over the target. The failpoint fires after part of the
+/// tmp file is written — the rename never happens, so the target is
+/// untouched and a retry starts from a truncating create.
+fn write_atomic(path: &Path, bytes: &[u8], faults: &Faults) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
+        if faults.hit(FP_CHECKPOINT_WRITE) {
+            let _ = f.write_all(&bytes[..bytes.len() / 2]);
+            return Err(nous_fault::injected_io_error(FP_CHECKPOINT_WRITE));
+        }
         f.write_all(bytes)?;
         f.sync_data()?;
     }
     fs::rename(&tmp, path)
+}
+
+/// Run `op` under a bounded retry-with-backoff budget, counting each
+/// retry in `retries`.
+fn with_retries<T>(
+    policy: RetryPolicy,
+    retries: &Counter,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt >= policy.max_retries {
+                    return Err(e);
+                }
+                policy.sleep_before(attempt);
+                attempt += 1;
+                retries.inc();
+            }
+        }
+    }
 }
 
 fn list_generations(dir: &Path) -> io::Result<Vec<u64>> {
@@ -226,16 +370,34 @@ impl DurableStore {
         report: &IngestReport,
         registry: &MetricsRegistry,
     ) -> io::Result<Self> {
+        Self::create_with_faults(dir, cfg, kg, report, registry, Faults::disabled())
+    }
+
+    /// [`DurableStore::create`] with an armed failpoint handle: WAL
+    /// appends/fsyncs and checkpoint writes consult it (chaos testing).
+    pub fn create_with_faults(
+        dir: &Path,
+        cfg: DurabilityConfig,
+        kg: &KnowledgeGraph,
+        report: &IngestReport,
+        registry: &MetricsRegistry,
+        faults: Faults,
+    ) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
         let metrics = StoreMetrics::new(registry);
         let span = registry.start(&metrics.checkpoint_seconds);
+        // The baseline checkpoint is written before any faults should
+        // matter — a store that cannot write generation 0 is unusable,
+        // so this write is not failpoint-retried.
         write_atomic(
             &checkpoint_path(dir, 0),
             &encode_checkpoint_file(0, kg, report),
+            &Faults::disabled(),
         )?;
         span.stop();
         metrics.checkpoints.inc();
-        let wal = Wal::create(&wal_path(dir, 0), cfg.fsync)?;
+        metrics.wal_degraded.set(0);
+        let wal = Wal::create_with_faults(&wal_path(dir, 0), cfg.fsync, faults.clone())?;
         Ok(Self {
             dir: dir.to_owned(),
             cfg,
@@ -243,6 +405,8 @@ impl DurableStore {
             generation: 0,
             wal: Arc::new(Mutex::new(wal)),
             admitted_since_checkpoint: Arc::new(AtomicU64::new(0)),
+            degraded: Arc::new(AtomicBool::new(false)),
+            faults,
             metrics,
         })
     }
@@ -254,6 +418,18 @@ impl DurableStore {
         dir: &Path,
         cfg: DurabilityConfig,
         registry: &MetricsRegistry,
+    ) -> io::Result<(Self, Recovered)> {
+        Self::open_with_faults(dir, cfg, registry, Faults::disabled())
+    }
+
+    /// [`DurableStore::open`] with an armed failpoint handle for the
+    /// store that continues after recovery (recovery itself reads with
+    /// faults disabled).
+    pub fn open_with_faults(
+        dir: &Path,
+        cfg: DurabilityConfig,
+        registry: &MetricsRegistry,
+        faults: Faults,
     ) -> io::Result<(Self, Recovered)> {
         let metrics = StoreMetrics::new(registry);
         let mut gens = list_generations(dir)?;
@@ -291,43 +467,86 @@ impl DurableStore {
             )));
         };
 
-        let wpath = wal_path(dir, generation);
-        let scanned = wal::scan(&wpath)?;
-        if scanned.truncated_bytes > 0 {
-            wal::repair(&wpath, scanned.valid_len)?;
-        }
+        // Replay the restored generation's WAL, then chain into later
+        // generations' WALs. A later WAL can only exist if a later
+        // checkpoint was attempted (rotation syncs the old log first),
+        // so when that checkpoint failed validation the records in its
+        // WAL are still exactly the tail of history — replaying them
+        // recovers past the corrupt checkpoint instead of dropping the
+        // longer WAL tail. Chaining stops at the first torn WAL: a tear
+        // means the frontier of the crash, nothing after it is ordered.
         let mut replayed_docs = 0u64;
         let mut replayed_facts = 0u64;
-        for payload in &scanned.payloads {
-            let rec = DocRecord::decode(payload).map_err(|e| invalid(e.to_string()))?;
-            replay_record(&mut kg, &rec);
-            report = add_reports(&report, &rec.delta);
-            replayed_docs += 1;
-            replayed_facts += rec.facts.len() as u64;
+        let mut truncated_bytes = 0u64;
+        let mut torn_frames = 0u64;
+        let mut torn_generation = None;
+        let mut torn_offset = None;
+        let mut active_gen = generation;
+        let mut chained_generations = 0u64;
+        loop {
+            let wpath = wal_path(dir, active_gen);
+            let scanned = wal::scan(&wpath)?;
+            if scanned.truncated_bytes > 0 {
+                wal::repair(&wpath, scanned.valid_len)?;
+                truncated_bytes += scanned.truncated_bytes;
+                torn_frames += scanned.torn_frames;
+                torn_generation = Some(active_gen);
+                torn_offset = Some(scanned.valid_len);
+            }
+            for payload in &scanned.payloads {
+                let rec = DocRecord::decode(payload).map_err(|e| invalid(e.to_string()))?;
+                replay_record(&mut kg, &rec);
+                report = add_reports(&report, &rec.delta);
+                replayed_docs += 1;
+                replayed_facts += rec.facts.len() as u64;
+            }
+            if scanned.truncated_bytes == 0 && wal_path(dir, active_gen + 1).exists() {
+                active_gen += 1;
+                chained_generations += 1;
+                continue;
+            }
+            break;
         }
         if replayed_docs > 0 {
             kg.train_predictor();
         }
         metrics.recovery_replayed.add(replayed_facts);
+        metrics.recovery_truncated_bytes.add(truncated_bytes);
         metrics
-            .recovery_truncated_bytes
-            .add(scanned.truncated_bytes);
+            .recovery_truncated_bytes_gauge
+            .set(truncated_bytes.min(i64::MAX as u64) as i64);
+        metrics
+            .wal_torn_frames
+            .set(torn_frames.min(i64::MAX as u64) as i64);
+        metrics
+            .recovery_chained_generations
+            .add(chained_generations);
+        metrics.wal_degraded.set(0);
+        if let (Some(g), Some(off)) = (torn_generation, torn_offset) {
+            eprintln!(
+                "nous-persist: recovery truncated wal-{g:08} at offset {off} \
+                 ({truncated_bytes} torn byte(s) discarded)"
+            );
+        }
 
-        // Ensure the WAL file exists even if the checkpoint was written but
-        // the crash hit before the WAL was created.
+        // Continue appending to the newest WAL that replayed. Ensure it
+        // exists even if the crash hit between checkpoint and WAL create.
+        let wpath = wal_path(dir, active_gen);
         let wal = if wpath.exists() {
-            Wal::open_append(&wpath, cfg.fsync)?
+            Wal::open_append_with_faults(&wpath, cfg.fsync, faults.clone())?
         } else {
-            Wal::create(&wpath, cfg.fsync)?
+            Wal::create_with_faults(&wpath, cfg.fsync, faults.clone())?
         };
         let admitted = replayed_facts;
         let store = Self {
             dir: dir.to_owned(),
             cfg,
             registry: registry.clone(),
-            generation,
+            generation: active_gen,
             wal: Arc::new(Mutex::new(wal)),
             admitted_since_checkpoint: Arc::new(AtomicU64::new(admitted)),
+            degraded: Arc::new(AtomicBool::new(false)),
+            faults,
             metrics: metrics.clone(),
         };
         let recovered = Recovered {
@@ -336,26 +555,53 @@ impl DurableStore {
             generation,
             replayed_docs,
             replayed_facts,
-            truncated_bytes: scanned.truncated_bytes,
+            truncated_bytes,
+            chained_generations,
+            torn_generation,
+            torn_offset,
         };
         Ok((store, recovered))
     }
 
     /// A journal to plug into `IngestPipeline::set_journal`. Every merged
     /// document becomes one WAL record; appends follow the store's fsync
-    /// policy. Multiple journals may coexist (they share the WAL handle).
+    /// policy and the store's retry/degrade contract. Multiple journals
+    /// may coexist (they share the WAL handle and the degraded flag).
     pub fn journal(&self) -> Box<dyn IngestJournal> {
+        self.journal_inner(None)
+    }
+
+    /// [`DurableStore::journal`] plus an ack hook invoked with every
+    /// record the WAL accepted — the set of records the recovery
+    /// contract guarantees to replay after a crash.
+    pub fn journal_with_ack(&self, ack: AckHook) -> Box<dyn IngestJournal> {
+        self.journal_inner(Some(ack))
+    }
+
+    fn journal_inner(&self, ack: Option<AckHook>) -> Box<dyn IngestJournal> {
         Box::new(WalJournal {
             wal: Arc::clone(&self.wal),
             admitted: Arc::clone(&self.admitted_since_checkpoint),
+            degraded: Arc::clone(&self.degraded),
+            retry: self.cfg.retry,
             metrics: self.metrics.clone(),
             buf: DocRecord::default(),
+            ack,
         })
     }
 
     /// Current checkpoint generation.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Whether appends are currently writing through to the WAL.
+    pub fn degraded_mode(&self) -> DegradedMode {
+        if self.degraded.load(Ordering::Relaxed) {
+            DegradedMode::MemoryOnly
+        } else {
+            DegradedMode::Durable
+        }
     }
 
     /// Facts admitted (appended to the WAL) since the last checkpoint.
@@ -397,15 +643,22 @@ impl DurableStore {
     pub fn checkpoint(&mut self, kg: &KnowledgeGraph, report: &IngestReport) -> io::Result<u64> {
         let span = self.registry.start(&self.metrics.checkpoint_seconds);
         let next = self.generation + 1;
-        write_atomic(
-            &checkpoint_path(&self.dir, next),
-            &encode_checkpoint_file(next, kg, report),
-        )?;
+        let bytes = encode_checkpoint_file(next, kg, report);
+        let path = checkpoint_path(&self.dir, next);
+        if let Err(e) = with_retries(self.cfg.retry, &self.metrics.wal_retries, || {
+            write_atomic(&path, &bytes, &self.faults)
+        }) {
+            // The WAL keeps the facts; a failed checkpoint delays
+            // compaction but loses nothing.
+            self.metrics.checkpoint_errors.inc();
+            return Err(e);
+        }
         {
             let mut guard = self.wal.lock().expect("wal lock");
             // Make sure the old log is fully on disk before we abandon it.
             guard.sync().ok();
-            *guard = Wal::create(&wal_path(&self.dir, next), self.cfg.fsync)?;
+            *guard =
+                Wal::create_with_faults(&wal_path(&self.dir, next), self.cfg.fsync, self.faults.clone())?;
         }
         self.generation = next;
         self.admitted_since_checkpoint.store(0, Ordering::Relaxed);
@@ -474,11 +727,23 @@ fn replay_record(kg: &mut KnowledgeGraph, rec: &DocRecord) {
 }
 
 /// Journal implementation that frames one merged document per WAL record.
+///
+/// Failure contract: an append is retried under the store's
+/// [`RetryPolicy`]; if the budget is exhausted the journal flips the
+/// shared degraded flag (`nous_wal_degraded` = 1) and ingestion
+/// continues memory-only. While degraded, each new record probes the
+/// WAL once (no retries); the first successful probe re-arms
+/// durability. Records merged while every attempt failed are counted in
+/// `nous_wal_dropped_records_total` — they are the documented loss
+/// window of `DegradedMode::MemoryOnly`.
 struct WalJournal {
     wal: Arc<Mutex<Wal>>,
     admitted: Arc<AtomicU64>,
+    degraded: Arc<AtomicBool>,
+    retry: RetryPolicy,
     metrics: StoreMetrics,
     buf: DocRecord,
+    ack: Option<AckHook>,
 }
 
 impl IngestJournal for WalJournal {
@@ -500,8 +765,22 @@ impl IngestJournal for WalJournal {
         let payload = rec.encode();
         let mut guard = self.wal.lock().expect("wal lock");
         let before_syncs = guard.fsyncs();
-        match guard.append(&payload) {
+        let was_degraded = self.degraded.load(Ordering::Relaxed);
+        let result = if was_degraded {
+            // Probe: one attempt, no retry storm while the disk is sick.
+            guard.append(&payload)
+        } else {
+            with_retries(self.retry, &self.metrics.wal_retries, || {
+                guard.append(&payload)
+            })
+        };
+        match result {
             Ok(bytes) => {
+                if was_degraded {
+                    self.degraded.store(false, Ordering::Relaxed);
+                    self.metrics.wal_degraded.set(0);
+                    self.metrics.wal_rearmed.inc();
+                }
                 self.metrics.wal_appends.inc();
                 self.metrics.wal_bytes.add(bytes);
                 self.metrics
@@ -509,11 +788,20 @@ impl IngestJournal for WalJournal {
                     .add(guard.fsyncs().saturating_sub(before_syncs));
                 self.admitted
                     .fetch_add(rec.delta.admitted as u64, Ordering::Relaxed);
+                drop(guard);
+                if let Some(ack) = &self.ack {
+                    ack(&rec);
+                }
             }
             Err(_) => {
                 // The journal trait has no error channel; surface the loss
                 // on the metrics endpoint instead of silently dropping it.
                 self.metrics.wal_errors.inc();
+                self.metrics.wal_dropped_records.inc();
+                if !was_degraded {
+                    self.degraded.store(true, Ordering::Relaxed);
+                    self.metrics.wal_degraded.set(1);
+                }
             }
         }
     }
@@ -607,6 +895,7 @@ mod tests {
                 fsync: FsyncPolicy::Never,
                 checkpoint_every_facts: 0,
                 keep_generations: 2,
+                retry: RetryPolicy::default(),
             },
             &kg,
             &pipe.report(),
@@ -649,6 +938,7 @@ mod tests {
                 fsync: FsyncPolicy::Never,
                 checkpoint_every_facts: 1,
                 keep_generations: 0,
+                retry: RetryPolicy::default(),
             },
             &kg,
             &pipe.report(),
@@ -700,6 +990,7 @@ mod tests {
                 fsync: FsyncPolicy::Never,
                 checkpoint_every_facts: 0,
                 keep_generations: 4,
+                retry: RetryPolicy::default(),
             },
             &kg,
             &pipe.report(),
@@ -720,6 +1011,150 @@ mod tests {
         assert_eq!(rec.generation, 1);
         assert_eq!(rec.kg.graph.vertex_count(), kg.graph.vertex_count());
         assert_eq!(rec.kg.graph.edge_count(), kg.graph.edge_count());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod faulty {
+        use super::*;
+        use nous_fault::{FaultPlan, SitePlan};
+        use std::sync::Mutex as StdMutex;
+
+        fn no_backoff() -> DurabilityConfig {
+            DurabilityConfig {
+                fsync: FsyncPolicy::Never,
+                checkpoint_every_facts: 0,
+                keep_generations: 2,
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    backoff_ms: 0,
+                },
+            }
+        }
+
+        #[test]
+        fn exhausted_retries_degrade_then_rearm_on_success() {
+            let dir = scratch("degrade");
+            let registry = MetricsRegistry::new();
+            let (mut kg, articles) = smoke_world();
+            let mut pipe = pipeline(&registry);
+            // Append hit 0 (doc 1) succeeds. Hits 1..=3 fail: doc 2's
+            // attempt+retry exhaust the budget (degrade), doc 3's probe
+            // fails, doc 4's probe succeeds at hit 4 (re-arm).
+            let faults = FaultPlan::from_seed(3)
+                .site(crate::wal::FP_WAL_APPEND, SitePlan::schedule(vec![1, 2, 3]))
+                .arm();
+            let store = DurableStore::create_with_faults(
+                &dir,
+                no_backoff(),
+                &kg,
+                &pipe.report(),
+                &registry,
+                faults,
+            )
+            .unwrap();
+            let acked: Arc<StdMutex<Vec<u64>>> = Arc::default();
+            let sink = Arc::clone(&acked);
+            pipe.set_journal(store.journal_with_ack(Arc::new(move |rec: &DocRecord| {
+                sink.lock().unwrap().push(rec.doc_id);
+            })));
+
+            assert_eq!(store.degraded_mode(), DegradedMode::Durable);
+            pipe.ingest(&mut kg, &articles[0]);
+            assert_eq!(store.degraded_mode(), DegradedMode::Durable);
+            pipe.ingest(&mut kg, &articles[1]);
+            assert_eq!(
+                store.degraded_mode(),
+                DegradedMode::MemoryOnly,
+                "retry budget exhausted must degrade"
+            );
+            assert_eq!(registry.gauge_value("nous_wal_degraded", &[]), Some(1));
+            pipe.ingest(&mut kg, &articles[2]);
+            assert_eq!(store.degraded_mode(), DegradedMode::MemoryOnly);
+            pipe.ingest(&mut kg, &articles[3]);
+            assert_eq!(
+                store.degraded_mode(),
+                DegradedMode::Durable,
+                "successful probe must re-arm"
+            );
+            assert_eq!(registry.gauge_value("nous_wal_degraded", &[]), Some(0));
+            assert_eq!(
+                registry.counter_value("nous_wal_dropped_records_total", &[]),
+                Some(2)
+            );
+            assert_eq!(registry.counter_value("nous_wal_rearmed_total", &[]), Some(1));
+            assert_eq!(registry.counter_value("nous_wal_retries_total", &[]), Some(1));
+            assert_eq!(acked.lock().unwrap().len(), 2, "docs 1 and 4 acked");
+
+            // Crash + recover: exactly the acked records replay.
+            let registry2 = MetricsRegistry::new();
+            let (_s, rec) = DurableStore::open(&dir, DurabilityConfig::default(), &registry2).unwrap();
+            assert_eq!(rec.replayed_docs, 2);
+            assert_eq!(rec.truncated_bytes, 0, "rollback left no torn tail");
+        }
+
+        #[test]
+        fn transient_append_fault_is_absorbed_by_retry() {
+            let dir = scratch("retry-ok");
+            let registry = MetricsRegistry::new();
+            let (mut kg, articles) = smoke_world();
+            let mut pipe = pipeline(&registry);
+            // Every first attempt of doc 2 fails once; the retry lands.
+            let faults = FaultPlan::from_seed(3)
+                .site(crate::wal::FP_WAL_APPEND, SitePlan::schedule(vec![1]))
+                .arm();
+            let store = DurableStore::create_with_faults(
+                &dir,
+                no_backoff(),
+                &kg,
+                &pipe.report(),
+                &registry,
+                faults,
+            )
+            .unwrap();
+            pipe.set_journal(store.journal());
+            pipe.ingest(&mut kg, &articles[0]);
+            pipe.ingest(&mut kg, &articles[1]);
+            assert_eq!(store.degraded_mode(), DegradedMode::Durable);
+            assert_eq!(registry.counter_value("nous_wal_retries_total", &[]), Some(1));
+            assert_eq!(registry.counter_value("nous_wal_appends_total", &[]), Some(2));
+            assert_eq!(registry.counter_value("nous_wal_errors_total", &[]), Some(0));
+        }
+
+        #[test]
+        fn checkpoint_write_fault_surfaces_error_and_keeps_wal() {
+            let dir = scratch("ckpt-fault");
+            let registry = MetricsRegistry::new();
+            let (mut kg, articles) = smoke_world();
+            let mut pipe = pipeline(&registry);
+            let faults = FaultPlan::from_seed(3)
+                .site(FP_CHECKPOINT_WRITE, SitePlan::probability(1.0))
+                .arm();
+            let mut store = DurableStore::create_with_faults(
+                &dir,
+                no_backoff(),
+                &kg,
+                &pipe.report(),
+                &registry,
+                faults,
+            )
+            .unwrap();
+            pipe.set_journal(store.journal());
+            for a in &articles[..3] {
+                pipe.ingest(&mut kg, a);
+            }
+            let err = store.checkpoint(&kg, &pipe.report()).unwrap_err();
+            assert!(nous_fault::is_injected(&err));
+            assert_eq!(store.generation(), 0, "failed checkpoint must not rotate");
+            assert_eq!(
+                registry.counter_value("nous_checkpoint_errors_total", &[]),
+                Some(1)
+            );
+            // The WAL still carries everything: recovery loses nothing.
+            let registry2 = MetricsRegistry::new();
+            let (_s, rec) = DurableStore::open(&dir, DurabilityConfig::default(), &registry2).unwrap();
+            assert_eq!(rec.generation, 0);
+            assert_eq!(rec.kg.graph.edge_count(), kg.graph.edge_count());
+        }
     }
 
     #[test]

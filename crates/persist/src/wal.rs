@@ -11,7 +11,14 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use nous_fault::{injected_io_error, Faults};
 use nous_graph::codec;
+
+/// Failpoint consulted on every frame write. When it fires, half the
+/// frame lands on disk before the error surfaces — a torn write.
+pub const FP_WAL_APPEND: &str = "wal.append";
+/// Failpoint consulted before every fsync.
+pub const FP_WAL_FSYNC: &str = "wal.fsync";
 
 /// Bytes of framing before each payload (`u32` length + `u64` checksum).
 pub const FRAME_HEADER_BYTES: u64 = 12;
@@ -39,6 +46,12 @@ pub struct Wal {
     appends_since_sync: u64,
     len: u64,
     fsyncs: u64,
+    faults: Faults,
+    /// True when a failed append may have left partial bytes past `len`.
+    /// The next append must truncate back to `len` before writing, or
+    /// refuse — otherwise records after the tear would be unreachable
+    /// to recovery (scan stops at the first torn frame).
+    tail_dirty: bool,
 }
 
 /// Result of scanning a WAL file from the start.
@@ -50,11 +63,21 @@ pub struct WalScan {
     pub valid_len: u64,
     /// Bytes after `valid_len` (torn or trailing garbage).
     pub truncated_bytes: u64,
+    /// Torn frames discarded: 0 when the file ends cleanly, 1 otherwise.
+    /// The append protocol rolls back failed writes, so at most one torn
+    /// frame (the crash frontier) can exist per WAL; scanning cannot see
+    /// past it.
+    pub torn_frames: u64,
 }
 
 impl Wal {
     /// Create a fresh, empty WAL (truncating any existing file).
     pub fn create(path: &Path, policy: FsyncPolicy) -> io::Result<Self> {
+        Self::create_with_faults(path, policy, Faults::disabled())
+    }
+
+    /// [`Wal::create`] with an armed failpoint handle (chaos testing).
+    pub fn create_with_faults(path: &Path, policy: FsyncPolicy, faults: Faults) -> io::Result<Self> {
         let file = OpenOptions::new()
             .write(true)
             .create(true)
@@ -67,12 +90,23 @@ impl Wal {
             appends_since_sync: 0,
             len: 0,
             fsyncs: 0,
+            faults,
+            tail_dirty: false,
         })
     }
 
     /// Open an existing WAL for appending at `valid_len` (the caller should
     /// have run [`scan`] + [`repair`] first so the tail is clean).
     pub fn open_append(path: &Path, policy: FsyncPolicy) -> io::Result<Self> {
+        Self::open_append_with_faults(path, policy, Faults::disabled())
+    }
+
+    /// [`Wal::open_append`] with an armed failpoint handle.
+    pub fn open_append_with_faults(
+        path: &Path,
+        policy: FsyncPolicy,
+        faults: Faults,
+    ) -> io::Result<Self> {
         let mut file = OpenOptions::new().write(true).open(path)?;
         let len = file.seek(SeekFrom::End(0))?;
         Ok(Self {
@@ -82,21 +116,37 @@ impl Wal {
             appends_since_sync: 0,
             len,
             fsyncs: 0,
+            faults,
+            tail_dirty: false,
         })
     }
 
     /// Append one framed payload; returns the number of bytes written.
+    ///
+    /// On failure the frame is rolled back (the file truncated to its
+    /// pre-append length), so a retry re-appends the record cleanly
+    /// instead of duplicating it or stranding acked records behind a
+    /// torn frame. An append only returns `Ok` once the frame — and,
+    /// per policy, its fsync — completed; that is the ack boundary the
+    /// recovery contract promises to replay.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
         assert!(
             payload.len() as u64 <= MAX_FRAME_BYTES as u64,
             "WAL payload exceeds MAX_FRAME_BYTES"
         );
+        if self.tail_dirty {
+            self.restore_tail()?;
+        }
         let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES as usize + payload.len());
         codec::put_u32(&mut frame, payload.len() as u32);
         codec::put_u64(&mut frame, codec::fnv1a64(payload));
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
-        self.len += frame.len() as u64;
+        if let Err(e) = self.write_frame(&frame) {
+            self.tail_dirty = true;
+            let _ = self.restore_tail();
+            return Err(e);
+        }
+        let new_len = self.len + frame.len() as u64;
         self.appends_since_sync += 1;
         let should_sync = match self.policy {
             FsyncPolicy::Always => true,
@@ -104,13 +154,41 @@ impl Wal {
             FsyncPolicy::Never => false,
         };
         if should_sync {
-            self.sync()?;
+            if let Err(e) = self.sync() {
+                // Unsynced frame: roll it back so a retry can re-append
+                // rather than double-writing the record.
+                self.appends_since_sync -= 1;
+                self.tail_dirty = true;
+                let _ = self.restore_tail();
+                return Err(e);
+            }
         }
+        self.len = new_len;
         Ok(frame.len() as u64)
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.faults.hit(FP_WAL_APPEND) {
+            // Simulate a torn write: part of the frame reaches the file
+            // before the device fails.
+            let cut = frame.len() / 2;
+            let _ = self.file.write_all(&frame[..cut]);
+            return Err(injected_io_error(FP_WAL_APPEND));
+        }
+        self.file.write_all(frame)
+    }
+
+    /// Truncate any partial frame past `len` and reposition at the end.
+    fn restore_tail(&mut self) -> io::Result<()> {
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.tail_dirty = false;
+        Ok(())
     }
 
     /// Force an fsync regardless of policy.
     pub fn sync(&mut self) -> io::Result<()> {
+        self.faults.io_error(FP_WAL_FSYNC)?;
         self.file.sync_data()?;
         self.appends_since_sync = 0;
         self.fsyncs += 1;
@@ -173,6 +251,7 @@ pub fn scan(path: &Path) -> io::Result<WalScan> {
     }
     out.valid_len = off as u64;
     out.truncated_bytes = total - out.valid_len;
+    out.torn_frames = u64::from(out.truncated_bytes > 0);
     Ok(out)
 }
 
@@ -303,6 +382,56 @@ mod tests {
         assert_eq!(wal.fsyncs(), 0);
         wal.sync().unwrap();
         assert_eq!(wal.fsyncs(), 1);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_append_fault_rolls_back_partial_frame() {
+        use nous_fault::{FaultPlan, SitePlan};
+        let path = scratch("inject");
+        // Fail write attempts 1 and 4 (0-based, counting retries as
+        // attempts): rec0=0, rec1=1 (torn), retry=2, rec2=3, rec3=4 (torn).
+        let faults = FaultPlan::from_seed(9)
+            .site(FP_WAL_APPEND, SitePlan::schedule(vec![1, 4]))
+            .arm();
+        let mut wal = Wal::create_with_faults(&path, FsyncPolicy::Never, faults.clone()).unwrap();
+        wal.append(b"rec0").unwrap();
+        let err = wal.append(b"rec1-torn").unwrap_err();
+        assert!(nous_fault::is_injected(&err));
+        // Retry of the same record lands cleanly after rollback.
+        wal.append(b"rec1-torn").unwrap();
+        wal.append(b"rec2").unwrap();
+        let err = wal.append(b"rec3-torn").unwrap_err();
+        assert!(nous_fault::is_injected(&err));
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(
+            s.payloads,
+            vec![b"rec0".to_vec(), b"rec1-torn".to_vec(), b"rec2".to_vec()]
+        );
+        assert_eq!(s.truncated_bytes, 0, "rollback leaves no torn tail");
+        assert_eq!(s.torn_frames, 0);
+        assert_eq!(faults.injected(FP_WAL_APPEND), 2);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_fsync_fault_rolls_back_unsynced_frame() {
+        use nous_fault::{FaultPlan, SitePlan};
+        let path = scratch("fsync-inject");
+        let faults = FaultPlan::from_seed(9)
+            .site(FP_WAL_FSYNC, SitePlan::schedule(vec![0]))
+            .arm();
+        let mut wal = Wal::create_with_faults(&path, FsyncPolicy::Always, faults).unwrap();
+        let err = wal.append(b"never synced").unwrap_err();
+        assert!(nous_fault::is_injected(&err));
+        assert_eq!(wal.len(), 0);
+        // Next fsync succeeds; the record is acked and scannable.
+        wal.append(b"synced").unwrap();
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.payloads, vec![b"synced".to_vec()]);
+        assert_eq!(s.truncated_bytes, 0);
     }
 
     #[test]

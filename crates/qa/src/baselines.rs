@@ -12,8 +12,9 @@
 //! - [`random_walk_paths`] — PRA-style: rank by random-walk probability,
 //!   the product of `1/degree` along the path.
 
-use crate::path::{enumerate_paths_with_stats, PathConstraint, RankedPath, SearchStats};
+use crate::path::{enumerate_paths_deadline_with_stats, PathConstraint, RankedPath, SearchStats};
 use crate::QaConfig;
+use nous_fault::Deadline;
 use nous_graph::{GraphView, VertexId};
 
 fn candidates<G: GraphView>(
@@ -22,10 +23,11 @@ fn candidates<G: GraphView>(
     dst: VertexId,
     constraint: &PathConstraint,
     cfg: &QaConfig,
+    deadline: &Deadline,
     stats: &mut SearchStats,
 ) -> Vec<RankedPath> {
     // Baselines search unguided (no look-ahead pruning).
-    enumerate_paths_with_stats(
+    enumerate_paths_deadline_with_stats(
         g,
         src,
         dst,
@@ -33,6 +35,7 @@ fn candidates<G: GraphView>(
         cfg.budget,
         constraint,
         |_, steps| steps,
+        deadline,
         stats,
     )
 }
@@ -57,8 +60,22 @@ pub fn shortest_paths_with_stats<G: GraphView>(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> (Vec<RankedPath>, SearchStats) {
+    shortest_paths_deadline_with_stats(g, src, dst, constraint, cfg, &Deadline::none())
+}
+
+/// [`shortest_paths_with_stats`] under a wall-clock [`Deadline`]: on
+/// expiry the enumeration stops and the paths found so far are ranked
+/// normally, with `stats.truncated` set.
+pub fn shortest_paths_deadline_with_stats<G: GraphView>(
+    g: &G,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+    deadline: &Deadline,
+) -> (Vec<RankedPath>, SearchStats) {
     let mut stats = SearchStats::default();
-    let mut paths = candidates(g, src, dst, constraint, cfg, &mut stats);
+    let mut paths = candidates(g, src, dst, constraint, cfg, deadline, &mut stats);
     for p in &mut paths {
         p.score = p.len() as f64;
     }
@@ -79,7 +96,15 @@ pub fn degree_salience_paths<G: GraphView>(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
-    let mut paths = candidates(g, src, dst, constraint, cfg, &mut SearchStats::default());
+    let mut paths = candidates(
+        g,
+        src,
+        dst,
+        constraint,
+        cfg,
+        &Deadline::none(),
+        &mut SearchStats::default(),
+    );
     for p in &mut paths {
         let inner = &p.vertices[1..p.vertices.len().saturating_sub(1)];
         p.score = if inner.is_empty() {
@@ -108,7 +133,15 @@ pub fn random_walk_paths<G: GraphView>(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> Vec<RankedPath> {
-    let mut paths = candidates(g, src, dst, constraint, cfg, &mut SearchStats::default());
+    let mut paths = candidates(
+        g,
+        src,
+        dst,
+        constraint,
+        cfg,
+        &Deadline::none(),
+        &mut SearchStats::default(),
+    );
     for p in &mut paths {
         let mut prob = 1.0f64;
         for &v in &p.vertices[..p.vertices.len() - 1] {
@@ -205,6 +238,26 @@ mod tests {
             assert!(!paths.is_empty());
             assert!(paths.iter().all(|p| p.hops.iter().any(|h| h.pred == q)));
         }
+    }
+
+    #[test]
+    fn expired_deadline_flags_truncation() {
+        let (g, a, _b, _h, d) = hubbed();
+        let (paths, stats) = shortest_paths_deadline_with_stats(
+            &g,
+            a,
+            d,
+            &PathConstraint::default(),
+            &QaConfig::default(),
+            &Deadline::expired_now(),
+        );
+        assert!(stats.truncated);
+        // Best-so-far paths are still valid endpoints-to-endpoints.
+        assert!(paths.iter().all(|p| p.vertices.first() == Some(&a)));
+        let (full, full_stats) =
+            shortest_paths_with_stats(&g, a, d, &PathConstraint::default(), &QaConfig::default());
+        assert!(!full_stats.truncated);
+        assert!(full.len() >= paths.len());
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //! [`nous_graph::FrozenView`] snapshot with identical results.
 
 use crate::path::{
-    enumerate_paths_with_stats, neighbor_steps_into, Hop, PathConstraint, RankedPath, SearchStats,
+    enumerate_paths_deadline_with_stats, neighbor_steps_into, Hop, PathConstraint, RankedPath,
+    SearchStats, DEADLINE_POLL,
 };
 use crate::topic_index::{TopicIndex, TopicRows};
+use nous_fault::Deadline;
 use nous_graph::{FxHashMap, GraphView, VertexId};
 use nous_obs::MetricsRegistry;
 use nous_topics::js_divergence;
@@ -140,8 +142,29 @@ pub fn coherent_paths_with_stats<G: GraphView>(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> (Vec<RankedPath>, SearchStats) {
+    coherent_paths_deadline_with_stats(g, topics, src, dst, constraint, cfg, &Deadline::none())
+}
+
+/// [`coherent_paths_with_stats`] under a wall-clock [`Deadline`].
+///
+/// Both sweeps poll the deadline at coarse intervals; on expiry the
+/// search stops collecting halves and assembles, scores and ranks
+/// whatever was found so far — a *valid but possibly incomplete* top-K,
+/// flagged via `stats.truncated`. An unbounded deadline is behaviourally
+/// identical to the plain search (same paths, same accounting).
+pub fn coherent_paths_deadline_with_stats<G: GraphView>(
+    g: &G,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+    deadline: &Deadline,
+) -> (Vec<RankedPath>, SearchStats) {
     if cfg.max_hops < 2 {
-        return coherent_paths_dfs_with_stats(g, topics, src, dst, constraint, cfg);
+        return coherent_paths_dfs_deadline_with_stats(
+            g, topics, src, dst, constraint, cfg, deadline,
+        );
     }
     let rows = topics.rows(g.vertex_count());
     let mut stats = SearchStats::default();
@@ -159,6 +182,7 @@ pub fn coherent_paths_with_stats<G: GraphView>(
             cfg,
             rows.get(dst),
             &rows,
+            deadline,
             &mut expansions,
             &mut stats,
             &mut lookahead_evals,
@@ -177,6 +201,7 @@ pub fn coherent_paths_with_stats<G: GraphView>(
             cfg,
             rows.get(src),
             &rows,
+            deadline,
             &mut expansions,
             &mut stats,
             &mut lookahead_evals,
@@ -248,6 +273,20 @@ pub fn coherent_paths_dfs_with_stats<G: GraphView>(
     constraint: &PathConstraint,
     cfg: &QaConfig,
 ) -> (Vec<RankedPath>, SearchStats) {
+    coherent_paths_dfs_deadline_with_stats(g, topics, src, dst, constraint, cfg, &Deadline::none())
+}
+
+/// [`coherent_paths_dfs_with_stats`] under a wall-clock [`Deadline`]
+/// (the `max_hops < 2` serving path of the deadline-aware search).
+pub fn coherent_paths_dfs_deadline_with_stats<G: GraphView>(
+    g: &G,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+    deadline: &Deadline,
+) -> (Vec<RankedPath>, SearchStats) {
     let rows = topics.rows(g.vertex_count());
     let target_dist = rows.get(dst).to_vec();
     let mut stats = SearchStats::default();
@@ -255,7 +294,7 @@ pub fn coherent_paths_dfs_with_stats<G: GraphView>(
     // enumeration's own use, so look-ahead evaluations accumulate locally
     // and merge after the walk.
     let mut lookahead_evals = 0usize;
-    let paths = enumerate_paths_with_stats(
+    let paths = enumerate_paths_deadline_with_stats(
         g,
         src,
         dst,
@@ -281,6 +320,7 @@ pub fn coherent_paths_dfs_with_stats<G: GraphView>(
             let cut = keyed.len() - cfg.beam;
             keyed.split_off(cut).into_iter().map(|(_, s)| s).collect()
         },
+        deadline,
         &mut stats,
     );
     stats.coherence_evals += lookahead_evals;
@@ -318,6 +358,7 @@ fn collect_halves<G: GraphView>(
     cfg: &QaConfig,
     guide: &[f64],
     rows: &TopicRows,
+    deadline: &Deadline,
     expansions: &mut usize,
     stats: &mut SearchStats,
     lookahead_evals: &mut usize,
@@ -381,6 +422,12 @@ fn collect_halves<G: GraphView>(
         if depth >= depth_max || *expansions >= cfg.budget {
             continue;
         }
+        if expansions.is_multiple_of(DEADLINE_POLL) && deadline.expired() {
+            // Best-so-far: the halves collected up to here still join
+            // into valid (possibly incomplete) candidate paths.
+            stats.truncated = true;
+            break;
+        }
         *expansions += 1;
         vstack.push(next);
         hstack.push(hop);
@@ -406,15 +453,43 @@ pub fn coherent_paths_instrumented<G: GraphView>(
     cfg: &QaConfig,
     registry: &MetricsRegistry,
 ) -> Vec<RankedPath> {
+    coherent_paths_deadline_instrumented(
+        g,
+        topics,
+        src,
+        dst,
+        constraint,
+        cfg,
+        &Deadline::none(),
+        registry,
+    )
+    .0
+}
+
+/// [`coherent_paths_instrumented`] under a wall-clock [`Deadline`],
+/// returning the stats so callers can surface `stats.truncated` as a
+/// partial-result flag.
+#[allow(clippy::too_many_arguments)] // deadline + registry ride on the search signature
+pub fn coherent_paths_deadline_instrumented<G: GraphView>(
+    g: &G,
+    topics: &TopicIndex,
+    src: VertexId,
+    dst: VertexId,
+    constraint: &PathConstraint,
+    cfg: &QaConfig,
+    deadline: &Deadline,
+    registry: &MetricsRegistry,
+) -> (Vec<RankedPath>, SearchStats) {
     let span = registry.span_with(
         "nous_qa_path_seconds",
         "Wall time of one top-K coherent path search",
         &[],
     );
-    let (paths, stats) = coherent_paths_with_stats(g, topics, src, dst, constraint, cfg);
+    let (paths, stats) =
+        coherent_paths_deadline_with_stats(g, topics, src, dst, constraint, cfg, deadline);
     span.stop();
     record_search(registry, &stats);
-    paths
+    (paths, stats)
 }
 
 /// Record one search's [`SearchStats`] into the `nous_qa_*` family.
@@ -440,6 +515,12 @@ pub fn record_search(registry: &MetricsRegistry, stats: &SearchStats) {
             "Topic-divergence evaluations per path search",
         )
         .observe(stats.coherence_evals as u64);
+    registry
+        .counter(
+            "nous_qa_truncated_total",
+            "Searches cut short by an expired deadline (best-so-far returned)",
+        )
+        .add(stats.truncated as u64);
 }
 
 #[cfg(test)]
@@ -689,6 +770,61 @@ mod tests {
         assert!(text.contains("nous_qa_nodes_expanded_count 1"), "{text}");
         assert!(text.contains("nous_qa_frontier_size_count 1"), "{text}");
         assert!(text.contains("nous_qa_coherence_evals_count 1"), "{text}");
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_and_flags_truncation() {
+        let (g, t, a, d) = planted();
+        let cfg = QaConfig::default();
+        let expired = Deadline::expired_now();
+        let bidi = coherent_paths_deadline_with_stats(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &cfg,
+            &expired,
+        );
+        let dfs = coherent_paths_dfs_deadline_with_stats(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &cfg,
+            &expired,
+        );
+        for (paths, stats) in [bidi, dfs] {
+            assert!(stats.truncated, "{stats:?}");
+            // Whatever survived is still well-formed and ranked.
+            assert!(paths.windows(2).all(|w| w[0].score <= w[1].score));
+            for p in &paths {
+                assert_eq!(p.vertices.first(), Some(&a), "{p:?}");
+                assert_eq!(p.vertices.last(), Some(&d), "{p:?}");
+                assert_eq!(p.hops.len() + 1, p.vertices.len(), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_deadline_matches_plain_search_exactly() {
+        let (g, t, a, d) = planted();
+        let cfg = QaConfig::default();
+        let (plain, plain_stats) =
+            coherent_paths_with_stats(&g, &t, a, d, &PathConstraint::default(), &cfg);
+        let (timed, timed_stats) = coherent_paths_deadline_with_stats(
+            &g,
+            &t,
+            a,
+            d,
+            &PathConstraint::default(),
+            &cfg,
+            &Deadline::none(),
+        );
+        assert_eq!(plain, timed);
+        assert_eq!(plain_stats, timed_stats);
+        assert!(!timed_stats.truncated);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   expansion plus coherence-ranked output.
 //! - [`baselines`] — path-ranking baselines for experiment E9: BFS
 //!   shortest-path, degree-salience, and PRA-style random-walk probability.
+//!
+//! Every search has a `*_deadline_*` variant taking a wall-clock
+//! [`nous_fault::Deadline`]: on expiry the walk stops expanding and the
+//! paths found so far are scored and ranked normally, with
+//! `SearchStats::truncated` flagging the result as best-so-far rather
+//! than complete. An unbounded deadline is behaviourally identical to
+//! the plain search.
 
 pub mod baselines;
 pub mod coherence;
@@ -24,8 +31,9 @@ pub mod path;
 pub mod topic_index;
 
 pub use coherence::{
-    coherent_paths, coherent_paths_dfs_with_stats, coherent_paths_instrumented,
-    coherent_paths_with_stats, record_search, QaConfig,
+    coherent_paths, coherent_paths_deadline_instrumented, coherent_paths_deadline_with_stats,
+    coherent_paths_dfs_deadline_with_stats, coherent_paths_dfs_with_stats,
+    coherent_paths_instrumented, coherent_paths_with_stats, record_search, QaConfig,
 };
 pub use path::{PathConstraint, RankedPath, SearchStats};
 pub use topic_index::{TopicIndex, TopicRows};

@@ -7,8 +7,14 @@
 //! neighbour expander — the coherence search plugs its look-ahead in here;
 //! baselines use the identity expander.
 
+use nous_fault::Deadline;
 use nous_graph::{EdgeId, GraphView, PredicateId, VertexId};
 use serde::{Deserialize, Serialize};
+
+/// How many expansions pass between deadline polls. Expiry is detected
+/// within one interval, so a deadline bounds latency to roughly the
+/// budget plus the cost of this many expansions.
+pub(crate) const DEADLINE_POLL: usize = 64;
 
 /// One traversed hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +94,9 @@ pub struct SearchStats {
     /// Coherence-ranker divergence evaluations (look-ahead + scoring);
     /// zero for un-ranked enumeration.
     pub coherence_evals: usize,
+    /// `true` when a [`Deadline`] expired mid-search: the emitted paths
+    /// are best-so-far, not the complete candidate set.
+    pub truncated: bool,
 }
 
 impl SearchStats {
@@ -98,6 +107,7 @@ impl SearchStats {
         self.max_frontier = self.max_frontier.max(other.max_frontier);
         self.paths_emitted += other.paths_emitted;
         self.coherence_evals += other.coherence_evals;
+        self.truncated |= other.truncated;
     }
 }
 
@@ -166,7 +176,37 @@ pub fn enumerate_paths_with_stats<G: GraphView>(
     max_hops: usize,
     budget: usize,
     constraint: &PathConstraint,
+    expand: impl FnMut(VertexId, Vec<(VertexId, Hop)>) -> Vec<(VertexId, Hop)>,
+    stats: &mut SearchStats,
+) -> Vec<RankedPath> {
+    enumerate_paths_deadline_with_stats(
+        g,
+        src,
+        dst,
+        max_hops,
+        budget,
+        constraint,
+        expand,
+        &Deadline::none(),
+        stats,
+    )
+}
+
+/// [`enumerate_paths_with_stats`] under a wall-clock [`Deadline`]: the
+/// DFS polls the deadline every [`DEADLINE_POLL`] expansions and, on
+/// expiry, stops expanding and returns the paths found so far with
+/// `stats.truncated` set. An unbounded deadline is behaviourally
+/// identical to the plain enumeration (same paths, same accounting).
+#[allow(clippy::too_many_arguments)] // the stats sink rides on the public enumeration signature
+pub fn enumerate_paths_deadline_with_stats<G: GraphView>(
+    g: &G,
+    src: VertexId,
+    dst: VertexId,
+    max_hops: usize,
+    budget: usize,
+    constraint: &PathConstraint,
     mut expand: impl FnMut(VertexId, Vec<(VertexId, Hop)>) -> Vec<(VertexId, Hop)>,
+    deadline: &Deadline,
     stats: &mut SearchStats,
 ) -> Vec<RankedPath> {
     let mut out = Vec::new();
@@ -215,6 +255,10 @@ pub fn enumerate_paths_with_stats<G: GraphView>(
         }
         if hstack.len() + 1 >= max_hops || expansions >= budget {
             continue;
+        }
+        if expansions.is_multiple_of(DEADLINE_POLL) && deadline.expired() {
+            stats.truncated = true;
+            break;
         }
         expansions += 1;
         vstack.push(next);
@@ -351,6 +395,59 @@ mod tests {
         );
         // Only the direct edge can be found without expanding inner nodes.
         assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_enumeration_to_best_so_far() {
+        let (g, v, _) = diamond();
+        let mut stats = SearchStats::default();
+        let paths = enumerate_paths_deadline_with_stats(
+            &g,
+            v[0],
+            v[3],
+            3,
+            10_000,
+            &PathConstraint::default(),
+            |_, steps| steps,
+            &Deadline::expired_now(),
+            &mut stats,
+        );
+        assert!(stats.truncated, "expiry must be surfaced");
+        // The direct a→d edge sits on the source frontier and needs no
+        // expansion, so best-so-far still includes it.
+        assert_eq!(paths.len(), 1, "{paths:?}");
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn unbounded_deadline_changes_nothing() {
+        let (g, v, _) = diamond();
+        let mut plain_stats = SearchStats::default();
+        let plain = enumerate_paths_with_stats(
+            &g,
+            v[0],
+            v[3],
+            3,
+            10_000,
+            &PathConstraint::default(),
+            |_, steps| steps,
+            &mut plain_stats,
+        );
+        let mut stats = SearchStats::default();
+        let timed = enumerate_paths_deadline_with_stats(
+            &g,
+            v[0],
+            v[3],
+            3,
+            10_000,
+            &PathConstraint::default(),
+            |_, steps| steps,
+            &Deadline::none(),
+            &mut stats,
+        );
+        assert_eq!(plain, timed);
+        assert_eq!(plain_stats, stats);
+        assert!(!stats.truncated);
     }
 
     #[test]

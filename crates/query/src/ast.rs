@@ -51,6 +51,19 @@ pub enum Endpoint {
     Any,
 }
 
+/// A [`QueryResult`] plus its degradation flag.
+///
+/// `partial` is `true` when a serving deadline expired mid-execution and
+/// the result is best-so-far rather than complete: a truncated trending
+/// list, the paths found before the search was cut short, or an
+/// undercounted `MATCH`. The result is always *valid* — every item in it
+/// is real — it may just not be exhaustive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    pub result: QueryResult,
+    pub partial: bool,
+}
+
 /// Execution result, one variant per query class.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryResult {

@@ -14,14 +14,15 @@
 //!
 //! Both paths return byte-identical results for the same graph state.
 
-use crate::ast::{Endpoint, Query, QueryResult};
+use crate::ast::{Endpoint, Query, QueryResponse, QueryResult};
 use nous_core::{entity_summary_view, KnowledgeGraph, SharedSession, TrendMonitor};
+use nous_fault::Deadline;
 use nous_graph::{GraphView, VertexId};
 use nous_link::Disambiguator;
 use nous_obs::MetricsRegistry;
 use nous_qa::{
-    coherent_paths, coherent_paths_instrumented, record_search, PathConstraint, QaConfig,
-    TopicIndex,
+    coherent_paths_deadline_instrumented, coherent_paths_deadline_with_stats, record_search,
+    PathConstraint, QaConfig, TopicIndex,
 };
 use nous_text::bow::BagOfWords;
 
@@ -101,6 +102,29 @@ pub fn execute_view_instrumented<G: GraphView>(
     trends: Option<&mut TrendMonitor>,
     registry: &MetricsRegistry,
 ) -> QueryResult {
+    execute_view_instrumented_deadline(
+        query,
+        g,
+        disamb,
+        topics,
+        trends,
+        registry,
+        &Deadline::none(),
+    )
+    .result
+}
+
+/// [`execute_view_instrumented`] under a wall-clock [`Deadline`],
+/// returning the [`QueryResponse`] with its `partial` flag.
+pub fn execute_view_instrumented_deadline<G: GraphView>(
+    query: &Query,
+    g: &G,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+    trends: Option<&mut TrendMonitor>,
+    registry: &MetricsRegistry,
+    deadline: &Deadline,
+) -> QueryResponse {
     let class = query_class(query);
     registry
         .counter_with(
@@ -114,7 +138,7 @@ pub fn execute_view_instrumented<G: GraphView>(
         "Query execution wall time per class",
         &[("class", class)],
     );
-    let out = execute_view(query, g, disamb, topics, trends, Some(registry));
+    let out = execute_view_deadline(query, g, disamb, topics, trends, Some(registry), deadline);
     span.stop();
     out
 }
@@ -127,26 +151,41 @@ pub fn execute_view_instrumented<G: GraphView>(
 /// the session's registry; snapshot staleness is recorded on
 /// `nous_snapshot_age_nanos` at acquisition.
 pub fn execute_shared(session: &SharedSession, query: &Query) -> QueryResult {
+    execute_shared_deadline(session, query, &Deadline::none()).result
+}
+
+/// [`execute_shared`] under a wall-clock [`Deadline`] — the degradation
+/// contract for a loaded service: every query still returns a valid
+/// result, but an expired budget makes the search/scan stop early and
+/// the response is flagged `partial` (counted per class on
+/// `nous_query_deadline_exceeded_total`).
+pub fn execute_shared_deadline(
+    session: &SharedSession,
+    query: &Query,
+    deadline: &Deadline,
+) -> QueryResponse {
     let registry = session.metrics().clone();
     let snap = session.frozen();
     match query {
         Query::Trending { .. } => session.with_trends_only(|trends| {
-            execute_view_instrumented(
+            execute_view_instrumented_deadline(
                 query,
                 &snap.view,
                 &snap.disambiguator,
                 &snap.topics,
                 Some(trends),
                 &registry,
+                deadline,
             )
         }),
-        _ => execute_view_instrumented(
+        _ => execute_view_instrumented_deadline(
             query,
             &snap.view,
             &snap.disambiguator,
             &snap.topics,
             None,
             &registry,
+            deadline,
         ),
     }
 }
@@ -174,31 +213,95 @@ pub fn execute_view<G: GraphView>(
     trends: Option<&mut TrendMonitor>,
     registry: Option<&MetricsRegistry>,
 ) -> QueryResult {
+    execute_view_deadline(
+        query,
+        g,
+        disamb,
+        topics,
+        trends,
+        registry,
+        &Deadline::none(),
+    )
+    .result
+}
+
+/// [`execute_view`] under a wall-clock [`Deadline`].
+///
+/// Per-class degradation when the deadline expires mid-execution:
+///
+/// - `TRENDING` — the pattern list stops where rendering got to.
+/// - `WHY` / `PATHS` — the path search returns best-so-far candidates,
+///   scored and ranked normally.
+/// - `MATCH` — the scan stops: `total` is a lower bound and `sample`
+///   may be short.
+/// - `ENTITY` / `TIMELINE` — never partial: their work is bounded by
+///   one entity's degree, so they always run to completion.
+///
+/// Every partial response increments
+/// `nous_query_deadline_exceeded_total{class=...}` when a registry is
+/// attached.
+pub fn execute_view_deadline<G: GraphView>(
+    query: &Query,
+    g: &G,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+    trends: Option<&mut TrendMonitor>,
+    registry: Option<&MetricsRegistry>,
+    deadline: &Deadline,
+) -> QueryResponse {
+    let (result, partial) =
+        execute_view_inner(query, g, disamb, topics, trends, registry, deadline);
+    if partial {
+        if let Some(reg) = registry {
+            reg.counter_with(
+                "nous_query_deadline_exceeded_total",
+                "Queries whose deadline expired mid-execution (partial result returned)",
+                &[("class", query_class(query))],
+            )
+            .inc();
+        }
+    }
+    QueryResponse { result, partial }
+}
+
+fn execute_view_inner<G: GraphView>(
+    query: &Query,
+    g: &G,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+    trends: Option<&mut TrendMonitor>,
+    registry: Option<&MetricsRegistry>,
+    deadline: &Deadline,
+) -> (QueryResult, bool) {
     match query {
         Query::Trending { limit } => {
+            let (trends, partial) = trends
+                .map(|tm| tm.trending_on_deadline(g, deadline))
+                .unwrap_or((Vec::new(), false));
             let mut items: Vec<(String, u32)> = trends
-                .map(|tm| tm.trending_on(g))
-                .unwrap_or_default()
                 .into_iter()
                 .map(|t| (t.description, t.support))
                 .collect();
             items.truncate(*limit);
-            QueryResult::Trending(items)
+            (QueryResult::Trending(items), partial)
         }
 
         Query::Entity { name } => match entity_summary_view(g, disamb, name) {
-            None => QueryResult::NotFound(name.clone()),
-            Some(s) => QueryResult::Entity {
-                name: s.name,
-                entity_type: s.entity_type,
-                degree: s.degree,
-                facts: s
-                    .facts
-                    .into_iter()
-                    .map(|(f, c, _, cur)| (f, c, cur))
-                    .collect(),
-                neighbors: s.neighbors,
-            },
+            None => (QueryResult::NotFound(name.clone()), false),
+            Some(s) => (
+                QueryResult::Entity {
+                    name: s.name,
+                    entity_type: s.entity_type,
+                    degree: s.degree,
+                    facts: s
+                        .facts
+                        .into_iter()
+                        .map(|(f, c, _, cur)| (f, c, cur))
+                        .collect(),
+                    neighbors: s.neighbors,
+                },
+                false,
+            ),
         },
 
         Query::Why {
@@ -208,30 +311,48 @@ pub fn execute_view<G: GraphView>(
             limit,
         } => {
             let Some(src) = resolve(g, disamb, source) else {
-                return QueryResult::NotFound(source.clone());
+                return (QueryResult::NotFound(source.clone()), false);
             };
             let Some(dst) = resolve(g, disamb, target) else {
-                return QueryResult::NotFound(target.clone());
+                return (QueryResult::NotFound(target.clone()), false);
             };
             let constraint = PathConstraint {
                 require_predicate: via.as_deref().and_then(|p| g.predicate_id(p)),
             };
             if let Some(v) = via {
                 if g.predicate_id(v).is_none() {
-                    return QueryResult::NotFound(format!("predicate {v}"));
+                    return (QueryResult::NotFound(format!("predicate {v}")), false);
                 }
             }
             let cfg = QaConfig {
                 k: *limit,
                 ..Default::default()
             };
-            let paths = match registry {
-                Some(reg) => {
-                    coherent_paths_instrumented(g, topics, src, dst, &constraint, &cfg, reg)
-                }
-                None => coherent_paths(g, topics, src, dst, &constraint, &cfg),
+            let (paths, stats) = match registry {
+                Some(reg) => coherent_paths_deadline_instrumented(
+                    g,
+                    topics,
+                    src,
+                    dst,
+                    &constraint,
+                    &cfg,
+                    deadline,
+                    reg,
+                ),
+                None => coherent_paths_deadline_with_stats(
+                    g,
+                    topics,
+                    src,
+                    dst,
+                    &constraint,
+                    &cfg,
+                    deadline,
+                ),
             };
-            QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect())
+            (
+                QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect()),
+                stats.truncated,
+            )
         }
 
         Query::Match {
@@ -243,14 +364,30 @@ pub fn execute_view<G: GraphView>(
             until,
         } => {
             let Some(pred) = g.predicate_id(predicate) else {
-                return QueryResult::NotFound(format!("predicate {predicate}"));
+                return (
+                    QueryResult::NotFound(format!("predicate {predicate}")),
+                    false,
+                );
             };
             let mut total = 0usize;
             let mut sample = Vec::new();
+            let mut partial = false;
+            let mut seen = 0usize;
             // Predicate postings serve the scan in edge-log order on both
             // the mutable graph and the frozen view, so the sample is
-            // identical across serving paths.
+            // identical across serving paths. The deadline is polled every
+            // 1024 postings (starting at the first, so an already-expired
+            // budget stops immediately); on expiry `total` becomes a lower
+            // bound.
             g.for_each_with_pred(pred, |_, e| {
+                if partial {
+                    return;
+                }
+                seen += 1;
+                if seen & 1023 == 1 && deadline.expired() {
+                    partial = true;
+                    return;
+                }
                 if !endpoint_matches(g, src, e.src)
                     || !endpoint_matches(g, dst, e.dst)
                     || since.is_some_and(|d| e.at < d)
@@ -270,12 +407,12 @@ pub fn execute_view<G: GraphView>(
                     ));
                 }
             });
-            QueryResult::Matches { total, sample }
+            (QueryResult::Matches { total, sample }, partial)
         }
 
         Query::Timeline { name, limit } => {
             let Some(v) = resolve(g, disamb, name) else {
-                return QueryResult::NotFound(name.clone());
+                return (QueryResult::NotFound(name.clone()), false);
             };
             // Collect both directions, then order by (direction, edge id)
             // so the stable (at, text) sort below resolves exact ties the
@@ -311,7 +448,7 @@ pub fn execute_view<G: GraphView>(
             if items.len() > *limit {
                 items.drain(..items.len() - *limit);
             }
-            QueryResult::Timeline(items)
+            (QueryResult::Timeline(items), false)
         }
 
         Query::Paths {
@@ -321,27 +458,31 @@ pub fn execute_view<G: GraphView>(
             limit,
         } => {
             let Some(src) = resolve(g, disamb, source) else {
-                return QueryResult::NotFound(source.clone());
+                return (QueryResult::NotFound(source.clone()), false);
             };
             let Some(dst) = resolve(g, disamb, target) else {
-                return QueryResult::NotFound(target.clone());
+                return (QueryResult::NotFound(target.clone()), false);
             };
             let cfg = QaConfig {
                 k: *limit,
                 max_hops: *max_hops,
                 ..Default::default()
             };
-            let (paths, stats) = nous_qa::baselines::shortest_paths_with_stats(
+            let (paths, stats) = nous_qa::baselines::shortest_paths_deadline_with_stats(
                 g,
                 src,
                 dst,
                 &PathConstraint::default(),
                 &cfg,
+                deadline,
             );
             if let Some(reg) = registry {
                 record_search(reg, &stats);
             }
-            QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect())
+            (
+                QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect()),
+                stats.truncated,
+            )
         }
     }
 }
@@ -579,6 +720,108 @@ mod tests {
             let inst = execute_instrumented(&parsed, &kg, &topics, &mut trends, &registry);
             assert_eq!(format!("{plain:?}"), format!("{inst:?}"), "{q}");
         }
+    }
+
+    #[test]
+    fn unbounded_deadline_matches_plain_execution_with_partial_false() {
+        let (kg, topics, mut trends) = session();
+        for q in [
+            "TRENDING LIMIT 5",
+            "tell me about Apex Robotics",
+            "WHY Apex Robotics -> Falcon Systems LIMIT 2",
+            "MATCH (Organization)-[acquired]->(Organization) LIMIT 2",
+            "TIMELINE Apex Robotics",
+            "PATHS Apex Robotics TO Falcon Systems MAX 3",
+        ] {
+            let parsed = parse(q).unwrap();
+            let plain = execute(&parsed, &kg, &topics, &mut trends);
+            let resp = execute_view_deadline(
+                &parsed,
+                &kg.graph,
+                &kg.disambiguator,
+                &topics,
+                Some(&mut trends),
+                None,
+                &Deadline::none(),
+            );
+            assert!(!resp.partial, "{q}");
+            assert_eq!(format!("{plain:?}"), format!("{:?}", resp.result), "{q}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_gracefully_and_counts_per_class() {
+        let (kg, topics, mut trends) = session();
+        let registry = MetricsRegistry::new();
+        let expired = Deadline::expired_now();
+        for (q, class) in [
+            ("TRENDING LIMIT 5", "trending"),
+            ("WHY Apex Robotics -> Falcon Systems LIMIT 2", "why"),
+            ("MATCH (Organization)-[acquired]->(Organization)", "match"),
+            ("PATHS Apex Robotics TO Falcon Systems MAX 3", "paths"),
+        ] {
+            let parsed = parse(q).unwrap();
+            let resp = execute_view_instrumented_deadline(
+                &parsed,
+                &kg.graph,
+                &kg.disambiguator,
+                &topics,
+                Some(&mut trends),
+                &registry,
+                &expired,
+            );
+            assert!(resp.partial, "{q} should be cut short: {resp:?}");
+            // Partial results are valid: the right variant, just not
+            // exhaustive.
+            match (&parsed, &resp.result) {
+                (Query::Trending { .. }, QueryResult::Trending(items)) => {
+                    assert!(items.is_empty())
+                }
+                (Query::Why { .. }, QueryResult::Paths(_)) => {}
+                (Query::Match { .. }, QueryResult::Matches { total, .. }) => {
+                    assert_eq!(*total, 0)
+                }
+                (Query::Paths { .. }, QueryResult::Paths(_)) => {}
+                other => panic!("wrong variant: {other:?}"),
+            }
+            assert_eq!(
+                registry.counter_value("nous_query_deadline_exceeded_total", &[("class", class)]),
+                Some(1),
+                "class {class}"
+            );
+        }
+        // Bounded-by-degree classes never go partial, even expired.
+        for q in ["tell me about Apex Robotics", "TIMELINE Apex Robotics"] {
+            let parsed = parse(q).unwrap();
+            let resp = execute_view_deadline(
+                &parsed,
+                &kg.graph,
+                &kg.disambiguator,
+                &topics,
+                None,
+                Some(&registry),
+                &expired,
+            );
+            assert!(!resp.partial, "{q}");
+        }
+    }
+
+    #[test]
+    fn generous_deadline_returns_complete_results() {
+        let (kg, topics, mut trends) = session();
+        let parsed = parse("WHY Apex Robotics -> Falcon Systems LIMIT 2").unwrap();
+        let plain = execute(&parsed, &kg, &topics, &mut trends);
+        let resp = execute_view_deadline(
+            &parsed,
+            &kg.graph,
+            &kg.disambiguator,
+            &topics,
+            None,
+            None,
+            &Deadline::within(std::time::Duration::from_secs(60)),
+        );
+        assert!(!resp.partial);
+        assert_eq!(format!("{plain:?}"), format!("{:?}", resp.result));
     }
 
     #[test]

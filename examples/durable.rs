@@ -9,7 +9,7 @@
 use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
 use nous_corpus::Preset;
 use nous_obs::MetricsRegistry;
-use nous_persist::{DurabilityConfig, DurableStore, FsyncPolicy};
+use nous_persist::{DurabilityConfig, DurableStore, FsyncPolicy, RetryPolicy};
 
 fn main() -> std::io::Result<()> {
     let dir = std::env::temp_dir().join(format!("nous-durable-demo-{}", std::process::id()));
@@ -26,6 +26,7 @@ fn main() -> std::io::Result<()> {
         fsync: FsyncPolicy::EveryN(8),
         checkpoint_every_facts: 40,
         keep_generations: 2,
+        retry: RetryPolicy::default(),
     };
     let mut store = DurableStore::create(&dir, cfg, &kg, &pipeline.report(), &registry)?;
     pipeline.set_journal(store.journal());

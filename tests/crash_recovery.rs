@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use nous_core::{IngestPipeline, IngestReport, KnowledgeGraph, PipelineConfig};
 use nous_corpus::{Article, ArticleStream, CuratedKb, Preset, World};
 use nous_obs::MetricsRegistry;
-use nous_persist::{DurabilityConfig, DurableStore, FsyncPolicy};
+use nous_persist::{DurabilityConfig, DurableStore, FsyncPolicy, RetryPolicy};
 
 fn scratch(tag: &str) -> PathBuf {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,6 +74,7 @@ fn torn_wal_recovers_to_reference_prefix() {
             fsync: FsyncPolicy::Never,
             checkpoint_every_facts: 0, // keep one WAL generation for fuzzing
             keep_generations: 2,
+            retry: RetryPolicy::default(),
         },
         &kg,
         &pipe.report(),
@@ -149,6 +150,72 @@ fn torn_wal_recovers_to_reference_prefix() {
 }
 
 #[test]
+fn corrupt_newest_checkpoint_falls_back_a_generation_and_chains_wals() {
+    let (mut kg, articles) = smoke();
+    assert!(articles.len() >= 6, "smoke stream too small for this test");
+    let registry = MetricsRegistry::new();
+    let mut pipe = IngestPipeline::with_registry(PipelineConfig::default(), registry.clone());
+
+    let dir = scratch("fallback");
+    let mut store = DurableStore::create(
+        &dir,
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every_facts: 0, // rotate generations by hand
+            keep_generations: 2,       // the gen-0 checkpoint + WAL survive
+            retry: RetryPolicy::default(),
+        },
+        &kg,
+        &pipe.report(),
+        &registry,
+    )
+    .unwrap();
+    pipe.set_journal(store.journal());
+
+    // Generation 0: three documents, then a checkpoint rotates to gen 1.
+    for a in &articles[..3] {
+        pipe.ingest(&mut kg, a);
+    }
+    let gen = store.checkpoint(&kg, &pipe.report()).unwrap();
+    assert_eq!(gen, 1);
+
+    // Generation 1: three more documents land in wal-1 only.
+    for a in &articles[3..6] {
+        pipe.ingest(&mut kg, a);
+    }
+    let want = probe(&kg, &pipe.report());
+    drop(store); // crash
+    drop(pipe);
+
+    // Corrupt the newest checkpoint so its decode fails mid-stream.
+    let ckpt1 = dir.join("checkpoint-00000001.bin");
+    let bytes = std::fs::read(&ckpt1).unwrap();
+    assert!(bytes.len() > 8);
+    std::fs::write(&ckpt1, &bytes[..bytes.len() / 2]).unwrap();
+
+    // Recovery must fall back to the generation-0 checkpoint, replay the
+    // full gen-0 WAL, then chain into the longer-lived gen-1 WAL — all
+    // six documents come back and the state matches the reference run.
+    let reg = MetricsRegistry::new();
+    let (store, rec) = DurableStore::open(&dir, DurabilityConfig::default(), &reg)
+        .expect("fallback recovery must succeed");
+    assert_eq!(rec.generation, 0, "restored checkpoint is the previous gen");
+    assert_eq!(rec.chained_generations, 1, "gen-1 WAL chained in");
+    assert_eq!(rec.replayed_docs, 6, "both WAL generations replayed");
+    assert_eq!(
+        probe(&rec.kg, &rec.report),
+        want,
+        "recovered state diverges"
+    );
+    assert_eq!(
+        reg.counter_value("nous_recovery_chained_generations_total", &[]),
+        Some(1)
+    );
+    // The store resumes on the live generation, not the fallback one.
+    assert_eq!(store.generation(), 1);
+}
+
+#[test]
 fn recovered_store_continues_ingesting_and_checkpointing() {
     let (mut kg, articles) = smoke();
     let registry = MetricsRegistry::new();
@@ -161,6 +228,7 @@ fn recovered_store_continues_ingesting_and_checkpointing() {
             fsync: FsyncPolicy::Always,
             checkpoint_every_facts: 0,
             keep_generations: 2,
+            retry: RetryPolicy::default(),
         },
         &kg,
         &pipe.report(),
