@@ -92,6 +92,10 @@ struct Measurement {
     secs: f64,
     queries: u64,
     qps: f64,
+    /// Largest snapshot staleness any reader observed (snapshot mode
+    /// under a live writer; 0 elsewhere) — the serving-freshness bound
+    /// the incremental publish path is supposed to keep tight.
+    max_age_nanos: u64,
 }
 
 fn run(mode: &'static str, threads: usize, with_writer: bool) -> (Measurement, f64) {
@@ -129,21 +133,44 @@ fn run(mode: &'static str, threads: usize, with_writer: bool) -> (Measurement, f
             let queries = queries.clone();
             std::thread::spawn(move || {
                 let mut served = 0u64;
+                let mut max_age = 0u64;
                 let mut i = tid; // stagger the round-robin start per thread
                 while Instant::now() < deadline {
                     let q = &queries[i % queries.len()];
-                    let _ = match mode {
-                        "locked" => execute_shared_locked(&session, q),
-                        _ => execute_shared(&session, q),
+                    match mode {
+                        "locked" => {
+                            let _ = execute_shared_locked(&session, q);
+                        }
+                        _ => {
+                            // Sample staleness the way a reader sees it:
+                            // acquisition time minus publish time of the
+                            // epoch actually served.
+                            let snap = session.frozen();
+                            let age = session
+                                .metrics()
+                                .now_nanos()
+                                .saturating_sub(snap.published_at_nanos);
+                            max_age = max_age.max(age);
+                            let _ = execute_shared(&session, q);
+                        }
                     };
                     served += 1;
                     i += 1;
                 }
-                served
+                (served, max_age)
             })
         })
         .collect();
-    let queries_served: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    let mut queries_served = 0u64;
+    let mut max_age_nanos = 0u64;
+    for r in readers {
+        let (served, max_age) = r.join().expect("reader");
+        queries_served += served;
+        max_age_nanos = max_age_nanos.max(max_age);
+    }
+    if !with_writer {
+        max_age_nanos = 0; // nothing publishes; age just measures idle time
+    }
     let secs = t0.elapsed().as_secs_f64();
     stop.store(true, Ordering::Relaxed);
     if let Some(writer) = writer {
@@ -170,9 +197,101 @@ fn run(mode: &'static str, threads: usize, with_writer: bool) -> (Measurement, f
             secs,
             queries: queries_served,
             qps: queries_served as f64 / secs,
+            max_age_nanos,
         },
         write_hold_fraction,
     )
+}
+
+/// Publish-latency measurement (ISSUE 6): full snapshot rebuild vs the
+/// incremental delta-overlay publish, over a graph warmed to `scale`×
+/// the bench corpus. The full rebuild is O(graph); the delta publish
+/// must stay O(micro-batch), i.e. flat as `scale` grows.
+struct PublishRow {
+    scale: usize,
+    live_edges: usize,
+    full_p50_us: f64,
+    full_p99_us: f64,
+    delta_p50_us: f64,
+    delta_p99_us: f64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn publish_latency(scale: usize) -> PublishRow {
+    use nous_graph::{GraphView, LayeredSnapshot, Provenance};
+
+    const SAMPLES: usize = 40;
+    /// Facts per simulated micro-batch — the steady-state delta a
+    /// publish freezes (matches the writer's `batch_size: 16` above).
+    const BATCH_EDGES: usize = 16;
+
+    let world = World::generate(&Preset::Demo.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let stream_cfg = nous_corpus::StreamConfig {
+        articles: WARM_ARTICLES * scale,
+        ..Preset::Demo.stream_config()
+    };
+    let articles = ArticleStream::generate(&world, &kb, &stream_cfg);
+    IngestPipeline::new(PipelineConfig::default()).ingest_all(&mut kg, &articles);
+
+    // Full rebuild: what every publish used to cost.
+    let mut full_ns: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(LayeredSnapshot::freeze(&kg.graph));
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+
+    // Delta publish: chain one micro-batch of new facts per sample onto
+    // the live stack, compacting off the timed path the way the
+    // background compactor does.
+    let vcount = kg.graph.vertex_count() as u32;
+    let pred = kg.graph.intern_predicate("benchPublish");
+    let mut snap = LayeredSnapshot::freeze(&kg.graph);
+    let mut t = kg.graph.now();
+    let mut delta_ns: Vec<u64> = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        for j in 0..BATCH_EDGES {
+            let k = (i * BATCH_EDGES + j) as u32;
+            t += 1;
+            kg.graph.add_edge_at(
+                nous_graph::VertexId(k % vcount),
+                pred,
+                nous_graph::VertexId((k * 7 + 3) % vcount),
+                t,
+                0.9,
+                Provenance::Extracted { doc_id: k as u64 },
+            );
+        }
+        let t0 = Instant::now();
+        let overlay = snap.capture_delta(&kg.graph).expect("history intact");
+        snap = snap.with_overlay(overlay).expect("watermark chains");
+        delta_ns.push(t0.elapsed().as_nanos() as u64);
+        if snap.layer_count() >= 8 {
+            snap = LayeredSnapshot::freeze(&kg.graph);
+        }
+    }
+
+    full_ns.sort_unstable();
+    delta_ns.sort_unstable();
+    PublishRow {
+        scale,
+        live_edges: GraphView::live_edge_count(&snap),
+        full_p50_us: percentile(&full_ns, 0.50),
+        full_p99_us: percentile(&full_ns, 0.99),
+        delta_p50_us: percentile(&delta_ns, 0.50),
+        delta_p99_us: percentile(&delta_ns, 0.99),
+    }
 }
 
 fn main() {
@@ -230,6 +349,43 @@ fn main() {
         );
     }
 
+    // Publish latency: the cost of making new facts visible to readers,
+    // full rebuild vs delta overlay, at 1x and 10x the bench corpus. The
+    // delta column must stay flat while the full column scales with the
+    // graph — that flatness is the whole point of layered publication.
+    let publish_rows: Vec<PublishRow> = [1usize, 10].iter().map(|&s| publish_latency(s)).collect();
+    println!();
+    table_header(
+        "snapshot publish latency (full rebuild vs delta overlay)",
+        &[
+            "scale",
+            "edges",
+            "full p50us",
+            "full p99us",
+            "delta p50us",
+            "delta p99us",
+            "speedup p99",
+        ],
+        &[7, 9, 11, 11, 12, 12, 11],
+    );
+    for r in &publish_rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}x", r.scale),
+                    r.live_edges.to_string(),
+                    format!("{:.1}", r.full_p50_us),
+                    format!("{:.1}", r.full_p99_us),
+                    format!("{:.1}", r.delta_p50_us),
+                    format!("{:.1}", r.delta_p99_us),
+                    format!("{:.1}x", r.full_p99_us / r.delta_p99_us),
+                ],
+                &[7, 9, 11, 11, 12, 12, 11],
+            )
+        );
+    }
+
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -260,23 +416,50 @@ fn main() {
         .map(|m| {
             format!(
                 "    {{\"mode\": \"{}\", \"writer\": {}, \"threads\": {}, \"secs\": {:.3}, \
-                 \"queries\": {}, \"qps\": {:.1}, \"speedup_vs_locked\": {:.2}}}",
+                 \"queries\": {}, \"qps\": {:.1}, \"speedup_vs_locked\": {:.2}, \
+                 \"max_snapshot_age_ms\": {:.2}}}",
                 m.mode,
                 m.writer,
                 m.threads,
                 m.secs,
                 m.queries,
                 m.qps,
-                m.qps / locked_qps(m.threads, m.writer)
+                m.qps / locked_qps(m.threads, m.writer),
+                m.max_age_nanos as f64 / 1e6
             )
         })
         .collect();
+    let publish_entries: Vec<String> = publish_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scale\": {}, \"live_edges\": {}, \"full_p50_us\": {:.1}, \
+                 \"full_p99_us\": {:.1}, \"delta_p50_us\": {:.1}, \"delta_p99_us\": {:.1}, \
+                 \"delta_speedup_p99\": {:.1}}}",
+                r.scale,
+                r.live_edges,
+                r.full_p50_us,
+                r.full_p99_us,
+                r.delta_p50_us,
+                r.delta_p99_us,
+                r.full_p99_us / r.delta_p99_us
+            )
+        })
+        .collect();
+    let max_age_ms = runs
+        .iter()
+        .filter(|m| m.mode == "snapshot" && m.writer)
+        .map(|m| m.max_age_nanos as f64 / 1e6)
+        .fold(0.0f64, f64::max);
     let json = format!(
         "{{\n  \"run_secs\": {RUN_SECS},\n  \"host_cpus\": {host_cpus},\n  \
          \"write_hold_fraction\": {write_hold_fraction:.3},\n  \
          \"snapshot_vs_locked_single_thread_clean\": {r1:.2},\n  \
-         \"projected_snapshot_vs_locked_multicore\": {projected:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+         \"projected_snapshot_vs_locked_multicore\": {projected:.2},\n  \
+         \"max_snapshot_age_ms_under_writer\": {max_age_ms:.2},\n  \"runs\": [\n{}\n  ],\n  \
+         \"publish\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        publish_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
     match std::fs::write(path, &json) {

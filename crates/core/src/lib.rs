@@ -40,5 +40,5 @@ pub use journal::{AdmittedFact, IngestJournal};
 pub use kg::{entity_summary_view, KnowledgeGraph};
 pub use pipeline::{DeadLetterStore, IngestPipeline, IngestReport, PipelineConfig};
 pub use quality::{CandidateFact, NoSelfLoopGate, QualityGate, TypeSignatureGate};
-pub use session::{FrozenSnapshot, SharedSession};
+pub use session::{CompactionConfig, FrozenSnapshot, SharedSession, FP_SESSION_COMPACT};
 pub use trends::TrendMonitor;

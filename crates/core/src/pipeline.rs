@@ -1099,7 +1099,9 @@ mod tests {
                     // carry a contract to check. Fabricating a default
                     // label here would vacuously pass exactly the
                     // endpoints the gate never looked at.
-                    let Some(label) = kg.graph.label(v) else { continue };
+                    let Some(label) = kg.graph.label(v) else {
+                        continue;
+                    };
                     assert!(
                         label == "Company" || label == "Organization",
                         "ill-typed acquired edge survived the gate: {label}"
@@ -1157,7 +1159,12 @@ mod tests {
         let mut seq = IngestPipeline::new(cfg2);
         let report2 = seq.ingest_all(&mut kg2, &articles);
         assert_eq!(report2.documents, report.documents);
-        let parked2: Vec<u64> = seq.dead_letters().entries().iter().map(|q| q.doc_id).collect();
+        let parked2: Vec<u64> = seq
+            .dead_letters()
+            .entries()
+            .iter()
+            .map(|q| q.doc_id)
+            .collect();
         assert_eq!(parked2, poisoned);
     }
 

@@ -7,25 +7,35 @@
 //! (many concurrent readers, exclusive writer), and the trend monitor —
 //! whose queries mutate internal miner state — behind a `Mutex`.
 //!
-//! On top of the locks the session maintains an **epoch-swapped frozen
-//! snapshot** ([`FrozenSnapshot`]): a read-optimised [`FrozenView`] of the
-//! graph plus clones of the topic index and the alias resolver, published
-//! after every mutation. The lock-free query path ([`SharedSession::frozen`])
-//! is one short mutex-protected `Arc` clone — readers then run entirely
-//! against immutable state, never touching the KG lock, with staleness
-//! bounded by one ingest micro-batch and surfaced as
-//! `nous_snapshot_age_nanos`.
+//! On top of the locks the session maintains an **epoch-swapped layered
+//! snapshot** ([`FrozenSnapshot`]): an immutable [`LayeredSnapshot`] of
+//! the graph plus shared handles to the topic index and alias resolver,
+//! published after every mutation. Publication is **incremental**: each
+//! epoch freezes only the facts admitted since the previous one into a
+//! [`nous_graph::DeltaOverlay`] chained onto the published stack, so
+//! publish cost is O(delta), independent of graph size. A background
+//! compactor folds the overlay stack back into a single base
+//! [`nous_graph::FrozenView`] when it grows past the configured
+//! thresholds ([`CompactionConfig`]), and doubles as the durability
+//! checkpoint trigger (see [`SharedSession::set_checkpoint_sink`]).
+//!
+//! The lock-free query path ([`SharedSession::frozen`]) is one short
+//! mutex-protected `Arc` clone — readers then run entirely against
+//! immutable state, never touching the KG lock, with staleness bounded
+//! by one ingest micro-batch and surfaced as `nous_snapshot_age_nanos`.
 
 use crate::kg::KnowledgeGraph;
 use crate::pipeline::{IngestPipeline, IngestReport};
 use crate::trends::TrendMonitor;
 use nous_corpus::Article;
 use nous_extract::{extract_documents_quarantined, Document};
-use nous_graph::FrozenView;
+use nous_fault::Faults;
+use nous_graph::LayeredSnapshot;
 use nous_link::Disambiguator;
 use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use nous_qa::TopicIndex;
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One published epoch of the session: everything the lock-free query
@@ -34,14 +44,46 @@ use std::sync::Arc;
 pub struct FrozenSnapshot {
     /// Monotonic publish counter (0 = the construction-time snapshot).
     pub epoch: u64,
-    /// CSR-packed live-edges-only graph view.
-    pub view: FrozenView,
-    /// Topic distributions at publish time (coherence scoring).
-    pub topics: TopicIndex,
+    /// Layered graph view: immutable base + delta overlays, merged on
+    /// read behind [`nous_graph::GraphView`].
+    pub view: LayeredSnapshot,
+    /// Topic distributions at publish time (coherence scoring). Shared:
+    /// epochs between LDA refreshes all point at the same index.
+    pub topics: Arc<TopicIndex>,
     /// Alias resolver at publish time (entity-name → vertex fallback).
-    pub disambiguator: Disambiguator,
+    /// Shared across epochs whose resolver state is identical.
+    pub disambiguator: Arc<Disambiguator>,
+    /// Resolver mutation counter backing the Arc-reuse check.
+    disambiguator_version: u64,
     /// Registry-clock time of publication, for the staleness gauge.
     pub published_at_nanos: u64,
+}
+
+/// When the background compactor folds the published overlay stack back
+/// into a single base [`nous_graph::FrozenView`].
+#[derive(Debug, Clone)]
+pub struct CompactionConfig {
+    /// Compact once this many overlays are stacked on the base.
+    pub max_layers: usize,
+    /// Compact once overlay edges exceed this fraction of live edges…
+    pub max_delta_fraction: f64,
+    /// …but only after at least this many overlay edges accumulated
+    /// (keeps tiny test graphs from compacting on every publish).
+    pub min_delta_edges: usize,
+    /// Run compaction on a background thread (`true`, the default) or
+    /// synchronously inside the publish that crossed the threshold.
+    pub background: bool,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            max_layers: 8,
+            max_delta_fraction: 0.25,
+            min_delta_edges: 512,
+            background: true,
+        }
+    }
 }
 
 /// Lock wait/hold instruments, one series per lock kind
@@ -64,6 +106,12 @@ struct SessionMetrics {
     snapshot_age: Gauge,
     snapshot_publish: Histogram,
     snapshot_published: Counter,
+    snapshot_layers: Gauge,
+    snapshot_delta_permille: Gauge,
+    snapshot_full_rebuilds: Counter,
+    compaction_seconds: Histogram,
+    compactions: Counter,
+    compactions_failed: Counter,
 }
 
 impl SessionMetrics {
@@ -119,20 +167,68 @@ impl SessionMetrics {
                 "nous_snapshot_published_total",
                 "Snapshot epochs published since session start",
             ),
+            snapshot_layers: registry.gauge_with(
+                "nous_snapshot_layers",
+                "Layers (base + overlays) in the published snapshot",
+                &[],
+            ),
+            snapshot_delta_permille: registry.gauge_with(
+                "nous_snapshot_delta_permille",
+                "Overlay edges as a permille of live edges in the published snapshot",
+                &[],
+            ),
+            snapshot_full_rebuilds: registry.counter(
+                "nous_snapshot_full_rebuilds_total",
+                "Publishes that fell back to a full freeze (graph history rewritten)",
+            ),
+            compaction_seconds: registry.latency_with(
+                "nous_compaction_seconds",
+                "Wall time to fold the overlay stack into a new base view",
+                &[],
+            ),
+            compactions: registry.counter(
+                "nous_compactions_total",
+                "Snapshot compactions completed since session start",
+            ),
+            compactions_failed: registry.counter(
+                "nous_compactions_failed_total",
+                "Snapshot compactions aborted by an injected fault",
+            ),
             registry,
         }
     }
 }
 
+/// Failpoint inside [`SharedSession::compact_now`] /
+/// the background compactor, between deciding to compact and freezing
+/// the new base. A fired fault aborts the fold: the existing layer stack
+/// keeps serving and no checkpoint is written.
+pub const FP_SESSION_COMPACT: &str = "session.compact";
+
+/// Resets the in-flight compaction flag even if compaction unwinds.
+struct CompactingGuard(Arc<AtomicBool>);
+
+impl Drop for CompactingGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+type CheckpointSink = Box<dyn FnMut(&KnowledgeGraph) + Send>;
+
 /// Shareable handle to a live NOUS session.
 #[derive(Clone)]
 pub struct SharedSession {
     kg: Arc<RwLock<KnowledgeGraph>>,
-    topics: Arc<RwLock<TopicIndex>>,
+    topics: Arc<RwLock<Arc<TopicIndex>>>,
     trends: Arc<Mutex<TrendMonitor>>,
     /// Epoch-swapped publication slot. The mutex only guards the `Arc`
     /// swap/clone (nanoseconds); readers never hold it while querying.
     snapshot: Arc<Mutex<Arc<FrozenSnapshot>>>,
+    compaction: Arc<Mutex<CompactionConfig>>,
+    compacting: Arc<AtomicBool>,
+    checkpoint_sink: Arc<Mutex<Option<CheckpointSink>>>,
+    faults: Arc<Mutex<Faults>>,
     metrics: SessionMetrics,
 }
 
@@ -153,56 +249,222 @@ impl SharedSession {
     ) -> Self {
         trends.instrument(&registry);
         let metrics = SessionMetrics::new(registry);
+        let topics = Arc::new(topics);
         let initial = FrozenSnapshot {
             epoch: 0,
-            view: FrozenView::freeze(&kg.graph),
+            view: LayeredSnapshot::freeze(&kg.graph),
             topics: topics.clone(),
-            disambiguator: kg.disambiguator.clone(),
+            disambiguator: Arc::new(kg.disambiguator.clone()),
+            disambiguator_version: kg.disambiguator.version(),
             published_at_nanos: metrics.registry.now_nanos(),
         };
         metrics.snapshot_epoch.set(0);
+        metrics.snapshot_layers.set(1);
         Self {
             kg: Arc::new(RwLock::new(kg)),
             topics: Arc::new(RwLock::new(topics)),
             trends: Arc::new(Mutex::new(trends)),
             snapshot: Arc::new(Mutex::new(Arc::new(initial))),
+            compaction: Arc::new(Mutex::new(CompactionConfig::default())),
+            compacting: Arc::new(AtomicBool::new(false)),
+            checkpoint_sink: Arc::new(Mutex::new(None)),
+            faults: Arc::new(Mutex::new(Faults::disabled())),
             metrics,
         }
     }
 
-    /// Freeze the current graph/topics/resolver state and swap it into the
-    /// publication slot as a new epoch. Called automatically after every
-    /// mutation ([`SharedSession::write`], [`SharedSession::set_topics`],
-    /// each [`SharedSession::ingest_batch`] micro-batch); exposed publicly
-    /// for callers that mutate through other channels. Returns the epoch
-    /// now visible to readers. Concurrent publishers are safe: a freeze of
-    /// an older graph state (shorter edge log) never replaces a newer one.
+    /// Replace the compaction thresholds (defaults: 8 overlay layers or
+    /// 25% delta fraction past 512 overlay edges, background thread).
+    pub fn set_compaction_config(&self, cfg: CompactionConfig) {
+        *self.compaction.lock() = cfg;
+    }
+
+    /// Arm deterministic fault injection for session-level sites
+    /// (currently `session.compact`). No-op unless the `fault-injection`
+    /// feature is compiled in.
+    pub fn set_faults(&self, faults: Faults) {
+        *self.faults.lock() = faults;
+    }
+
+    /// Install the durability hook compaction drives: immediately before
+    /// a compacted snapshot is installed, `sink` runs against the exact
+    /// graph state the new base was frozen from (under the same read
+    /// hold), so a persisted checkpoint generation and the served base
+    /// always correspond to the same watermark. Typically wired to
+    /// `DurableStore::checkpoint` by `nous_persist::wire_compaction_checkpoints`.
+    pub fn set_checkpoint_sink(&self, sink: impl FnMut(&KnowledgeGraph) + Send + 'static) {
+        *self.checkpoint_sink.lock() = Some(Box::new(sink));
+    }
+
+    /// Incrementally publish the current graph/topics/resolver state as a
+    /// new epoch. Called automatically after every mutation
+    /// ([`SharedSession::write`], [`SharedSession::set_topics`], each
+    /// [`SharedSession::ingest_batch`] micro-batch); exposed publicly for
+    /// callers that mutate through other channels. Returns the epoch now
+    /// visible to readers.
+    ///
+    /// Cost is O(facts since the previous epoch), not O(graph): the new
+    /// epoch freezes only the delta into an overlay chained onto the
+    /// published stack. A full rebuild happens only when the graph's
+    /// history was rewritten underneath the stack (structure-version
+    /// bump, e.g. an explicit log compaction) — counted on
+    /// `nous_snapshot_full_rebuilds_total`. When nothing changed at all
+    /// the current epoch is returned with no new snapshot installed.
     pub fn publish_snapshot(&self) -> u64 {
         let m = &self.metrics;
         let t0 = m.registry.now_nanos();
-        let (view, disambiguator) = {
-            let kg = self.kg.read();
-            (FrozenView::freeze(&kg.graph), kg.disambiguator.clone())
-        };
+        let kg = self.kg.read();
         let topics = self.topics.read().clone();
         let mut slot = self.snapshot.lock();
-        if view.source_log_len() < slot.view.source_log_len() {
-            return slot.epoch;
+        let prev = slot.clone();
+        let wm = kg.graph.watermark();
+        let dv = kg.disambiguator.version();
+        if wm == prev.view.watermark()
+            && dv == prev.disambiguator_version
+            && Arc::ptr_eq(&topics, &prev.topics)
+        {
+            return prev.epoch;
         }
-        let epoch = slot.epoch + 1;
-        *slot = Arc::new(FrozenSnapshot {
+        let view = if wm == prev.view.watermark() {
+            // Only topics/resolver moved; keep the graph layers as-is.
+            prev.view.clone()
+        } else {
+            match prev
+                .view
+                .capture_delta(&kg.graph)
+                .and_then(|overlay| prev.view.with_overlay(overlay))
+            {
+                Ok(view) => view,
+                Err(nous_graph::DeltaStale) => {
+                    m.snapshot_full_rebuilds.inc();
+                    LayeredSnapshot::freeze(&kg.graph)
+                }
+            }
+        };
+        let disambiguator = if dv == prev.disambiguator_version {
+            prev.disambiguator.clone()
+        } else {
+            Arc::new(kg.disambiguator.clone())
+        };
+        drop(kg);
+        let epoch = prev.epoch + 1;
+        let snap = Arc::new(FrozenSnapshot {
             epoch,
             view,
             topics,
             disambiguator,
+            disambiguator_version: dv,
             published_at_nanos: m.registry.now_nanos(),
         });
+        *slot = snap.clone();
         drop(slot);
         m.snapshot_epoch.set(epoch as i64);
+        m.snapshot_layers.set(1 + snap.view.layer_count() as i64);
+        m.snapshot_delta_permille
+            .set((snap.view.delta_fraction() * 1000.0) as i64);
         m.snapshot_publish
             .observe(m.registry.now_nanos().saturating_sub(t0));
         m.snapshot_published.inc();
+        self.maybe_compact(&snap);
         epoch
+    }
+
+    fn maybe_compact(&self, snap: &Arc<FrozenSnapshot>) {
+        let cfg = self.compaction.lock().clone();
+        let overlays = snap.view.layer_count();
+        if overlays == 0 {
+            return;
+        }
+        let overlay_edges: usize = snap.view.overlay_edge_count();
+        let by_layers = overlays >= cfg.max_layers;
+        let by_fraction = overlay_edges >= cfg.min_delta_edges
+            && snap.view.delta_fraction() >= cfg.max_delta_fraction;
+        if !(by_layers || by_fraction) {
+            return;
+        }
+        if self.compacting.swap(true, Ordering::AcqRel) {
+            return; // one in flight already
+        }
+        let guard = CompactingGuard(self.compacting.clone());
+        if cfg.background {
+            let session = self.clone();
+            let spawned = std::thread::Builder::new()
+                .name("nous-compactor".into())
+                .spawn(move || {
+                    let _guard = guard;
+                    session.run_compaction();
+                });
+            if spawned.is_err() {
+                // Thread spawn failed (resource exhaustion): compact
+                // inline rather than dropping the request.
+                self.run_compaction();
+            }
+        } else {
+            let _guard = guard;
+            self.run_compaction();
+        }
+    }
+
+    /// Fold the published overlay stack into a fresh single-layer base
+    /// right now, on the calling thread, and run the checkpoint sink.
+    /// Returns `true` if a compacted snapshot was installed (`false`
+    /// when an injected `session.compact` fault aborted it — the
+    /// existing layer stack keeps serving, nothing is lost).
+    pub fn compact_now(&self) -> bool {
+        self.run_compaction()
+    }
+
+    /// Whether a background compaction is currently in flight.
+    pub fn is_compacting(&self) -> bool {
+        self.compacting.load(Ordering::Acquire)
+    }
+
+    fn run_compaction(&self) -> bool {
+        let m = &self.metrics;
+        let t0 = m.registry.now_nanos();
+        // Read hold spans freeze + checkpoint + install: writers admitted
+        // in that window would otherwise invalidate the frozen base
+        // (readers are unaffected — this is a shared lock).
+        let kg = self.kg.read();
+        if self.faults.lock().hit(FP_SESSION_COMPACT) {
+            m.compactions_failed.inc();
+            return false;
+        }
+        let view = LayeredSnapshot::freeze(&kg.graph);
+        if let Some(sink) = self.checkpoint_sink.lock().as_mut() {
+            sink(&kg);
+        }
+        let mut slot = self.snapshot.lock();
+        if slot.view.watermark() != view.watermark() {
+            // The graph moved past what we froze (history rewrite raced
+            // us); keep the newer published state.
+            return false;
+        }
+        if slot.view.is_compacted() {
+            // Another compaction (or a full-rebuild publish) got here
+            // first; installing an identical base again would only churn
+            // epochs.
+            return true;
+        }
+        let epoch = slot.epoch + 1;
+        let snap = Arc::new(FrozenSnapshot {
+            epoch,
+            view,
+            topics: slot.topics.clone(),
+            disambiguator: slot.disambiguator.clone(),
+            disambiguator_version: slot.disambiguator_version,
+            published_at_nanos: m.registry.now_nanos(),
+        });
+        *slot = snap;
+        drop(slot);
+        drop(kg);
+        m.snapshot_epoch.set(epoch as i64);
+        m.snapshot_layers.set(1);
+        m.snapshot_delta_permille.set(0);
+        m.compaction_seconds
+            .observe(m.registry.now_nanos().saturating_sub(t0));
+        m.compactions.inc();
+        true
     }
 
     /// The lock-free read path: clone the currently published snapshot.
@@ -269,7 +531,7 @@ impl SharedSession {
 
     /// Replace the topic index (after an LDA refresh).
     pub fn set_topics(&self, topics: TopicIndex) {
-        *self.topics.write() = topics;
+        *self.topics.write() = Arc::new(topics);
         self.publish_snapshot();
     }
 
@@ -407,6 +669,7 @@ impl SharedSession {
             m.hold_last_write.set(held as i64);
             // Publish once per micro-batch: snapshot staleness for the
             // lock-free read path is bounded by one batch of documents.
+            // The publish is O(this batch), not O(graph).
             self.publish_snapshot();
         }
         pipeline.report()

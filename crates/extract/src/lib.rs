@@ -27,8 +27,8 @@ pub mod document;
 pub mod evaluate;
 
 pub use document::{
-    extract_document, extract_documents, extract_documents_counted,
-    extract_documents_quarantined, try_extract_document, DocExtraction, Document, Extraction,
-    QuarantinedDoc, FP_EXTRACT_PANIC, FP_EXTRACT_POISON,
+    extract_document, extract_documents, extract_documents_counted, extract_documents_quarantined,
+    try_extract_document, DocExtraction, Document, Extraction, QuarantinedDoc, FP_EXTRACT_PANIC,
+    FP_EXTRACT_POISON,
 };
 pub use evaluate::{evaluate_stream, ExtractionQuality};

@@ -466,10 +466,13 @@ mod tests {
     fn decisions_are_deterministic_and_seed_sensitive() {
         let a = plan();
         let b = plan();
-        let shifted = FaultPlan::from_seed(0xDEAD_BEF0).site("wal.append", SitePlan::probability(0.25));
+        let shifted =
+            FaultPlan::from_seed(0xDEAD_BEF0).site("wal.append", SitePlan::probability(0.25));
         let fires_a: Vec<bool> = (0..256).map(|n| a.would_fire("wal.append", n)).collect();
         let fires_b: Vec<bool> = (0..256).map(|n| b.would_fire("wal.append", n)).collect();
-        let fires_s: Vec<bool> = (0..256).map(|n| shifted.would_fire("wal.append", n)).collect();
+        let fires_s: Vec<bool> = (0..256)
+            .map(|n| shifted.would_fire("wal.append", n))
+            .collect();
         assert_eq!(fires_a, fires_b, "same seed => same schedule");
         assert_ne!(fires_a, fires_s, "different seed => different schedule");
         let rate = fires_a.iter().filter(|&&f| f).count() as f64 / 256.0;
@@ -480,7 +483,9 @@ mod tests {
     fn sites_are_independent() {
         let p = plan();
         let a: Vec<bool> = (0..128).map(|n| p.would_fire("wal.append", n)).collect();
-        let b: Vec<bool> = (0..128).map(|n| p.would_fire("extract.poison", n)).collect();
+        let b: Vec<bool> = (0..128)
+            .map(|n| p.would_fire("extract.poison", n))
+            .collect();
         assert_ne!(a, b, "site name participates in the decision");
     }
 
@@ -532,7 +537,10 @@ mod tests {
             let p = plan();
             let f = p.clone().arm();
             let keys = [17u64, 3, 99, 3, 42];
-            let forward: Vec<bool> = keys.iter().map(|&k| f.hit_keyed("extract.poison", k)).collect();
+            let forward: Vec<bool> = keys
+                .iter()
+                .map(|&k| f.hit_keyed("extract.poison", k))
+                .collect();
             let g = p.clone().arm();
             let backward: Vec<bool> = keys
                 .iter()

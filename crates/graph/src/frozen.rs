@@ -71,10 +71,14 @@ impl FrozenView {
         let vertex_count = g.vertex_count();
         let pred_count = g.predicate_count();
 
-        let mut ids = Vec::with_capacity(g.edge_count());
-        let mut edges = Vec::with_capacity(g.edge_count());
-        let mut out_entries = Vec::with_capacity(g.edge_count());
-        let mut in_entries = Vec::with_capacity(g.edge_count());
+        // Reserve at the *live* edge count, not the full log length: after
+        // heavy retraction the tombstoned tail would otherwise make every
+        // freeze over-allocate four vectors by the dead fraction.
+        let live = g.edge_count();
+        let mut ids = Vec::with_capacity(live);
+        let mut edges = Vec::with_capacity(live);
+        let mut out_entries = Vec::with_capacity(live);
+        let mut in_entries = Vec::with_capacity(live);
         let mut post_counts = vec![0u32; pred_count];
         for (id, e) in g.iter_edges() {
             ids.push(id);

@@ -67,8 +67,44 @@ pub struct DynamicGraph {
     /// [`DynamicGraph::edges_in_range`] can binary-search its bounds.
     #[serde(skip)]
     saw_out_of_order: bool,
+    /// Removal log: every id successfully tombstoned, in removal order.
+    /// Incremental snapshot publication ([`crate::DeltaOverlay::capture`])
+    /// reads the suffix since its watermark to learn which previously
+    /// published edges died — O(removals in the window), no log scan.
+    /// In-process state only (`serde(skip)`): watermarks are never valid
+    /// across a serialisation boundary.
+    #[serde(skip)]
+    removal_log: Vec<EdgeId>,
+    /// Label-change log: every vertex whose ontology label was (re)set via
+    /// [`DynamicGraph::set_label`], in mutation order. Like `removal_log`,
+    /// consumed as a suffix by the delta capture so overlays can patch
+    /// labels of vertices that predate them.
+    #[serde(skip)]
+    label_log: Vec<VertexId>,
+    /// Bumped whenever edge ids are re-assigned or in-process logs reset
+    /// ([`DynamicGraph::compact`], [`DynamicGraph::rebuild_indexes`]).
+    /// Delta capture refuses to span a version change — the caller falls
+    /// back to a full freeze.
+    #[serde(skip)]
+    structure_version: u64,
     live_edges: usize,
     max_timestamp: Timestamp,
+}
+
+/// A point in a [`DynamicGraph`]'s mutation history, recorded by a
+/// published snapshot so the next publish can capture only what changed
+/// since. All counters are monotone within one `structure_version`, and
+/// the derived lexicographic order ranks any two watermarks of the same
+/// graph by recency (the version is the most significant component and
+/// only ever grows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeltaWatermark {
+    pub structure_version: u64,
+    pub log_len: usize,
+    pub removal_log_len: usize,
+    pub label_log_len: usize,
+    pub vertex_count: usize,
+    pub predicate_count: usize,
 }
 
 impl DynamicGraph {
@@ -107,9 +143,12 @@ impl DynamicGraph {
         &mut self.vertices[v.index()]
     }
 
-    /// Convenience: set the ontology type label of a vertex.
+    /// Convenience: set the ontology type label of a vertex. The only
+    /// label-mutation path the incremental snapshot layer tracks — direct
+    /// `vertex_data_mut().label` writes bypass the label log.
     pub fn set_label(&mut self, v: VertexId, label: &str) {
         self.vertices[v.index()].label = Some(label.to_owned());
+        self.label_log.push(v);
     }
 
     pub fn label(&self, v: VertexId) -> Option<&str> {
@@ -202,7 +241,48 @@ impl DynamicGraph {
         }
         *slot = true;
         self.live_edges -= 1;
+        self.removal_log.push(id);
         true
+    }
+
+    /// Length of the removal log (ids tombstoned since construction or
+    /// the last [`DynamicGraph::compact`]).
+    pub fn removal_log_len(&self) -> usize {
+        self.removal_log.len()
+    }
+
+    /// Removal-log suffix: ids tombstoned since `since`.
+    pub fn removals_since(&self, since: usize) -> &[EdgeId] {
+        &self.removal_log[since.min(self.removal_log.len())..]
+    }
+
+    /// Length of the label-change log.
+    pub fn label_log_len(&self) -> usize {
+        self.label_log.len()
+    }
+
+    /// Label-log suffix: vertices relabelled since `since` (may repeat).
+    pub fn labels_changed_since(&self, since: usize) -> &[VertexId] {
+        &self.label_log[since.min(self.label_log.len())..]
+    }
+
+    /// Current id-stability generation; see `structure_version` on
+    /// [`DeltaWatermark`].
+    pub fn structure_version(&self) -> u64 {
+        self.structure_version
+    }
+
+    /// The graph's current mutation watermark, recorded at publish time
+    /// so the next publish can capture a delta instead of re-freezing.
+    pub fn watermark(&self) -> DeltaWatermark {
+        DeltaWatermark {
+            structure_version: self.structure_version,
+            log_len: self.edges.len(),
+            removal_log_len: self.removal_log.len(),
+            label_log_len: self.label_log.len(),
+            vertex_count: self.vertices.len(),
+            predicate_count: self.predicates.len(),
+        }
     }
 
     pub fn edge(&self, id: EdgeId) -> &Edge {
@@ -413,6 +493,11 @@ impl DynamicGraph {
         if dropped == 0 {
             return 0;
         }
+        // Ids are about to be re-assigned: logs keyed by the old id space
+        // reset, and the version bump tells delta captures to re-freeze.
+        self.structure_version += 1;
+        self.removal_log.clear();
+        self.label_log.clear();
         let old_edges = std::mem::take(&mut self.edges);
         let old_dead = std::mem::take(&mut self.dead);
         for adj in self.out_adj.iter_mut().chain(self.in_adj.iter_mut()) {
@@ -434,6 +519,11 @@ impl DynamicGraph {
 
     /// Rebuild skipped/derived indexes after deserialisation.
     pub fn rebuild_indexes(&mut self) {
+        // The in-process mutation logs did not survive serialisation, so
+        // any watermark taken before it is void: force full re-freezes.
+        self.structure_version += 1;
+        self.removal_log.clear();
+        self.label_log.clear();
         self.vertex_names.rebuild_index();
         self.predicates.rebuild_index();
         self.triple_index = FxHashMap::default();
@@ -809,6 +899,31 @@ mod tests {
         g.neighbors_into(a, &mut scratch);
         assert_eq!(scratch, vec![b, c]);
         assert_eq!(g.neighbors(a), scratch);
+    }
+
+    #[test]
+    fn mutation_logs_feed_delta_watermarks() {
+        let (mut g, a, b, _c, owns, _near) = tiny();
+        let w0 = g.watermark();
+        assert_eq!(w0.log_len, 3);
+        assert_eq!(w0.removal_log_len, 0);
+        let id = g.edges_matching(a, owns, b).next().unwrap();
+        g.remove_edge(id);
+        g.remove_edge(id); // double-remove must not log twice
+        g.set_label(b, "Company");
+        let w1 = g.watermark();
+        assert!(w1 > w0, "watermarks are recency-ordered");
+        assert_eq!(g.removals_since(w0.removal_log_len), &[id]);
+        assert_eq!(g.labels_changed_since(w0.label_log_len), &[b]);
+        assert_eq!(w1.structure_version, w0.structure_version);
+        // Compaction re-assigns ids: logs reset, version advances, and
+        // the new watermark still orders after every pre-compaction one.
+        g.compact();
+        let w2 = g.watermark();
+        assert!(w2.structure_version > w1.structure_version);
+        assert!(w2 > w1);
+        assert_eq!(g.removal_log_len(), 0);
+        assert_eq!(g.label_log_len(), 0);
     }
 
     #[test]

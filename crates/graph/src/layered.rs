@@ -1,0 +1,539 @@
+//! Layered snapshots: a frozen base plus delta overlays, merged on read.
+//!
+//! [`LayeredSnapshot`] is the LSM-style publication unit of the serving
+//! path: an immutable CSR base ([`FrozenView`]) with a short stack of
+//! [`DeltaOverlay`]s on top, each covering one contiguous window of the
+//! source graph's edge log. Publishing a new epoch is O(window) — capture
+//! an overlay, push, swap — while every read merges the layers behind the
+//! [`GraphView`] trait, preserving the exact orders consumers rely on:
+//!
+//! - `for_each_out` / `for_each_in`: `(pred, other, edge)` order, the
+//!   same a fresh [`FrozenView::freeze`] of the source graph would yield
+//!   (per-layer slices are pre-sorted; reads k-way merge them).
+//! - `for_each_with_pred`: edge-log (time) order — base postings first,
+//!   then overlays oldest to newest; id ranges are disjoint and
+//!   ascending, so concatenation *is* log order.
+//! - [`LayeredSnapshot::edges_in_range`]: ascending `(at, id)`.
+//!
+//! Tombstones recorded by any overlay hide edges of every older layer,
+//! checked on read against one sorted union. A background compactor folds
+//! the stack back into a single base (see `SharedSession` in `nous-core`);
+//! a compacted (`layer_count() == 0`) snapshot is definitionally identical
+//! to [`FrozenView::freeze`] — the correctness oracle the equivalence
+//! tests pin.
+
+use crate::delta::{DeltaOverlay, DeltaStale};
+use crate::edge::Edge;
+use crate::frozen::FrozenView;
+use crate::graph::{Adj, DeltaWatermark, DynamicGraph};
+use crate::ids::{EdgeId, PredicateId, Timestamp, VertexId};
+use crate::view::GraphView;
+use std::sync::Arc;
+
+/// An immutable, epoch-publishable view of a [`DynamicGraph`]: one frozen
+/// base plus zero or more delta overlays. Cloning is cheap (the layers
+/// are shared `Arc`s); pushing an overlay never touches existing layers,
+/// so readers holding an older snapshot are unaffected.
+#[derive(Debug, Clone)]
+pub struct LayeredSnapshot {
+    base: Arc<FrozenView>,
+    overlays: Vec<Arc<DeltaOverlay>>,
+    /// Union of every overlay's tombstones, ascending — one binary search
+    /// decides edge liveness on the read path.
+    tombstones: Vec<EdgeId>,
+    live_edges: usize,
+    watermark: DeltaWatermark,
+}
+
+impl LayeredSnapshot {
+    /// Full rebuild: freeze `g` into a single-base snapshot with no
+    /// overlays. This is both the initial publication and what the
+    /// compactor produces.
+    pub fn freeze(g: &DynamicGraph) -> Self {
+        let base = FrozenView::freeze(g);
+        let live_edges = base.live_edge_count();
+        Self {
+            base: Arc::new(base),
+            overlays: Vec::new(),
+            tombstones: Vec::new(),
+            live_edges,
+            watermark: g.watermark(),
+        }
+    }
+
+    /// Capture everything that changed in `g` since this snapshot was
+    /// published, as an overlay ready for [`LayeredSnapshot::with_overlay`].
+    /// O(changes), not O(graph). Fails with [`DeltaStale`] when `g`
+    /// compacted or was rebuilt since — the caller re-freezes instead.
+    pub fn capture_delta(&self, g: &DynamicGraph) -> Result<DeltaOverlay, DeltaStale> {
+        DeltaOverlay::capture(g, self.watermark)
+    }
+
+    /// Extend the snapshot with one overlay, producing the next epoch's
+    /// view. The overlay must chain exactly onto this snapshot (its
+    /// `from` watermark equals ours), otherwise [`DeltaStale`] — layers
+    /// with gaps or overlaps would double-count or lose edges.
+    pub fn with_overlay(&self, overlay: DeltaOverlay) -> Result<Self, DeltaStale> {
+        if overlay.from_watermark() != self.watermark {
+            return Err(DeltaStale);
+        }
+        let mut tombstones = Vec::with_capacity(self.tombstones.len() + overlay.tombstones().len());
+        let (mut a, mut b) = (
+            self.tombstones.iter().peekable(),
+            overlay.tombstones().iter(),
+        );
+        // Merge two sorted id lists; they are disjoint (an edge dies once).
+        let mut next_b = b.next();
+        while let Some(&&x) = a.peek() {
+            match next_b {
+                Some(&y) if y < x => {
+                    tombstones.push(y);
+                    next_b = b.next();
+                }
+                _ => {
+                    tombstones.push(x);
+                    a.next();
+                }
+            }
+        }
+        while let Some(&y) = next_b {
+            tombstones.push(y);
+            next_b = b.next();
+        }
+        let live_edges = self.live_edges + overlay.added_count() - overlay.tombstones().len();
+        let watermark = overlay.to_watermark();
+        let mut overlays = self.overlays.clone();
+        overlays.push(Arc::new(overlay));
+        Ok(Self {
+            base: self.base.clone(),
+            overlays,
+            tombstones,
+            live_edges,
+            watermark,
+        })
+    }
+
+    /// The mutation watermark this snapshot reflects.
+    pub fn watermark(&self) -> DeltaWatermark {
+        self.watermark
+    }
+
+    /// Number of overlays stacked on the base (0 = fully compacted).
+    pub fn layer_count(&self) -> usize {
+        self.overlays.len()
+    }
+
+    /// Has the stack been folded into a single base?
+    pub fn is_compacted(&self) -> bool {
+        self.overlays.is_empty()
+    }
+
+    /// Fraction of the snapshot's live edges served from overlays rather
+    /// than the base CSR — the compaction trigger signal, in `[0, 1]`.
+    pub fn delta_fraction(&self) -> f64 {
+        self.overlay_edge_count() as f64 / (self.live_edges.max(1)) as f64
+    }
+
+    /// Total edges held in overlays (the absolute compaction signal,
+    /// complementing the relative [`LayeredSnapshot::delta_fraction`]).
+    pub fn overlay_edge_count(&self) -> usize {
+        self.overlays.iter().map(|o| o.added_count()).sum()
+    }
+
+    /// The frozen base layer.
+    pub fn base(&self) -> &FrozenView {
+        &self.base
+    }
+
+    /// Source edge-log length (live + dead) this snapshot reflects — the
+    /// staleness yardstick publishers compare against `log_len()`.
+    pub fn source_log_len(&self) -> usize {
+        self.watermark.log_len
+    }
+
+    /// Largest timestamp the source graph had at the last capture.
+    pub fn now(&self) -> Timestamp {
+        self.overlays
+            .last()
+            .map(|o| o.now())
+            .unwrap_or_else(|| self.base.now())
+    }
+
+    /// Is `id` hidden by a tombstone recorded in any overlay?
+    fn is_tombstoned(&self, id: EdgeId) -> bool {
+        self.tombstones.binary_search(&id).is_ok()
+    }
+
+    /// Live edges with `at` in `[from, to]`, ascending `(at, id)` — the
+    /// layered equivalent of [`FrozenView::edges_in_range`].
+    pub fn edges_in_range(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        let mut hits: Vec<(Timestamp, EdgeId, &Edge)> = self
+            .base
+            .edges_in_range(from, to)
+            .filter(|(id, _)| !self.is_tombstoned(*id))
+            .map(|(id, e)| (e.at, id, e))
+            .collect();
+        for o in &self.overlays {
+            let idx = o.time_index();
+            let lo = idx.partition_point(|(at, _)| *at < from);
+            let hi = idx.partition_point(|(at, _)| *at <= to).max(lo);
+            for &(at, id) in &idx[lo..hi] {
+                if !self.is_tombstoned(id) {
+                    hits.push((at, id, o.edge(id).expect("time index lists live adds")));
+                }
+            }
+        }
+        hits.sort_unstable_by_key(|(at, id, _)| (*at, *id));
+        hits.into_iter().map(|(_, id, e)| (id, e))
+    }
+
+    /// K-way merge of per-layer `(pred, other, edge)`-sorted adjacency
+    /// slices, tombstone-filtered — yields the exact order a fresh
+    /// [`FrozenView::freeze`] CSR segment would.
+    fn merge_adj(&self, slices: &[&[Adj]], mut f: impl FnMut(Adj)) {
+        let mut pos = [0usize; 16];
+        let mut heap_pos;
+        let pos: &mut [usize] = if slices.len() <= 16 {
+            &mut pos[..slices.len()]
+        } else {
+            heap_pos = vec![0usize; slices.len()];
+            &mut heap_pos
+        };
+        loop {
+            let mut best: Option<(usize, Adj)> = None;
+            for (i, s) in slices.iter().enumerate() {
+                while pos[i] < s.len() && self.is_tombstoned(s[pos[i]].edge) {
+                    pos[i] += 1;
+                }
+                if pos[i] < s.len() {
+                    let a = s[pos[i]];
+                    let better = best
+                        .map(|(_, b)| (a.pred, a.other, a.edge) < (b.pred, b.other, b.edge))
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((i, a));
+                    }
+                }
+            }
+            match best {
+                Some((i, a)) => {
+                    pos[i] += 1;
+                    f(a);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn out_slices(&self, v: VertexId) -> Vec<&[Adj]> {
+        let mut slices = Vec::with_capacity(1 + self.overlays.len());
+        if v.index() < self.base.vertex_count() {
+            slices.push(self.base.out_slice(v));
+        }
+        for o in &self.overlays {
+            slices.push(o.out_slice(v));
+        }
+        slices
+    }
+
+    fn in_slices(&self, v: VertexId) -> Vec<&[Adj]> {
+        let mut slices = Vec::with_capacity(1 + self.overlays.len());
+        if v.index() < self.base.vertex_count() {
+            slices.push(self.base.in_slice(v));
+        }
+        for o in &self.overlays {
+            slices.push(o.in_slice(v));
+        }
+        slices
+    }
+
+    fn live_count(&self, slices: &[&[Adj]]) -> usize {
+        slices
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|a| !self.is_tombstoned(a.edge))
+            .count()
+    }
+}
+
+impl GraphView for LayeredSnapshot {
+    fn vertex_count(&self) -> usize {
+        self.watermark.vertex_count
+    }
+
+    fn vertex_id(&self, name: &str) -> Option<VertexId> {
+        if let Some(v) = self.base.vertex_id(name) {
+            return Some(v);
+        }
+        self.overlays.iter().find_map(|o| o.vertex_id(name))
+    }
+
+    fn vertex_name(&self, v: VertexId) -> &str {
+        if v.index() < self.base.vertex_count() {
+            return self.base.vertex_name(v);
+        }
+        self.overlays
+            .iter()
+            .find_map(|o| o.vertex_name(v))
+            .unwrap_or_else(|| panic!("{v} is not a vertex of this snapshot"))
+    }
+
+    fn label(&self, v: VertexId) -> Option<&str> {
+        // Newest opinion wins: a later overlay's fixup overrides both the
+        // base and the overlay that minted the vertex.
+        for o in self.overlays.iter().rev() {
+            if let Some(l) = o.label(v) {
+                return l;
+            }
+        }
+        self.base.label(v)
+    }
+
+    fn predicate_count(&self) -> usize {
+        self.watermark.predicate_count
+    }
+
+    fn predicate_id(&self, name: &str) -> Option<PredicateId> {
+        if let Some(p) = self.base.predicate_id(name) {
+            return Some(p);
+        }
+        self.overlays.iter().find_map(|o| o.predicate_id(name))
+    }
+
+    fn predicate_name(&self, p: PredicateId) -> &str {
+        if p.index() < self.base.predicate_count() {
+            return self.base.predicate_name(p);
+        }
+        self.overlays
+            .iter()
+            .find_map(|o| o.predicate_name(p))
+            .unwrap_or_else(|| panic!("{p} is not a predicate of this snapshot"))
+    }
+
+    fn edge(&self, id: EdgeId) -> &Edge {
+        if self.is_tombstoned(id) {
+            panic!("{id} is not a live edge of this layered snapshot");
+        }
+        if id.index() < self.base.source_log_len() {
+            return self.base.edge(id);
+        }
+        self.overlays
+            .iter()
+            .find_map(|o| o.edge(id))
+            .unwrap_or_else(|| panic!("{id} is not a live edge of this layered snapshot"))
+    }
+
+    fn live_edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    fn for_each_out(&self, v: VertexId, f: impl FnMut(Adj)) {
+        self.merge_adj(&self.out_slices(v), f);
+    }
+
+    fn for_each_in(&self, v: VertexId, f: impl FnMut(Adj)) {
+        self.merge_adj(&self.in_slices(v), f);
+    }
+
+    fn for_each_with_pred(&self, p: PredicateId, mut f: impl FnMut(EdgeId, &Edge)) {
+        // Base postings, then overlays oldest→newest: id windows are
+        // disjoint and ascending, so this is edge-log order end to end.
+        for id in self.base.pred_postings(p) {
+            if !self.is_tombstoned(*id) {
+                f(*id, self.base.edge(*id));
+            }
+        }
+        for o in &self.overlays {
+            for id in o.pred_postings(p) {
+                if !self.is_tombstoned(*id) {
+                    f(*id, o.edge(*id).expect("postings list live adds"));
+                }
+            }
+        }
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.live_count(&self.out_slices(v))
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.live_count(&self.in_slices(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Provenance;
+
+    fn seeded() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("a");
+        let b = g.ensure_vertex("b");
+        let c = g.ensure_vertex("c");
+        g.set_label(a, "Company");
+        let owns = g.intern_predicate("owns");
+        let near = g.intern_predicate("near");
+        g.add_edge_at(a, owns, b, 1, 0.9, Provenance::Curated);
+        g.add_edge_at(b, near, c, 2, 0.5, Provenance::Extracted { doc_id: 7 });
+        g.add_edge_at(a, near, c, 3, 0.7, Provenance::Curated);
+        g
+    }
+
+    /// Every `GraphView` answer (plus `edges_in_range`) must match a
+    /// fresh full freeze of the same graph.
+    fn assert_equivalent(snap: &LayeredSnapshot, g: &DynamicGraph) {
+        let fresh = FrozenView::freeze(g);
+        assert_eq!(snap.vertex_count(), fresh.vertex_count());
+        assert_eq!(snap.predicate_count(), fresh.predicate_count());
+        assert_eq!(snap.live_edge_count(), fresh.live_edge_count());
+        assert_eq!(snap.now(), fresh.now());
+        assert_eq!(snap.source_log_len(), fresh.source_log_len());
+        for v in (0..g.vertex_count() as u32).map(VertexId) {
+            assert_eq!(snap.vertex_name(v), fresh.vertex_name(v));
+            assert_eq!(snap.vertex_id(snap.vertex_name(v)), Some(v));
+            assert_eq!(snap.label(v), fresh.label(v), "label of {v}");
+            let collect = |view: &dyn Fn(&mut Vec<Adj>)| {
+                let mut out = Vec::new();
+                view(&mut out);
+                out
+            };
+            let snap_out = collect(&|out| snap.for_each_out(v, |a| out.push(a)));
+            let fresh_out = collect(&|out| fresh.for_each_out(v, |a| out.push(a)));
+            assert_eq!(snap_out, fresh_out, "out adjacency of {v}");
+            let snap_in = collect(&|out| snap.for_each_in(v, |a| out.push(a)));
+            let fresh_in = collect(&|out| fresh.for_each_in(v, |a| out.push(a)));
+            assert_eq!(snap_in, fresh_in, "in adjacency of {v}");
+            assert_eq!(snap.out_degree(v), fresh.out_degree(v));
+            assert_eq!(snap.in_degree(v), fresh.in_degree(v));
+            let mut sn = Vec::new();
+            let mut fr = Vec::new();
+            snap.neighbors_into(v, &mut sn);
+            fresh.neighbors_into(v, &mut fr);
+            assert_eq!(sn, fr, "neighbors of {v}");
+        }
+        for p in (0..g.predicate_count() as u32).map(PredicateId) {
+            assert_eq!(snap.predicate_name(p), fresh.predicate_name(p));
+            assert_eq!(snap.predicate_id(snap.predicate_name(p)), Some(p));
+            let mut sn = Vec::new();
+            snap.for_each_with_pred(p, |id, e| sn.push((id, e.at)));
+            let mut fr = Vec::new();
+            fresh.for_each_with_pred(p, |id, e| fr.push((id, e.at)));
+            assert_eq!(sn, fr, "postings of {p}");
+        }
+        let sn: Vec<_> = snap.edges_in_range(0, u64::MAX).map(|(id, _)| id).collect();
+        let fr: Vec<_> = fresh
+            .edges_in_range(0, u64::MAX)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(sn, fr, "time range");
+        for (id, e) in snap.edges_in_range(0, u64::MAX) {
+            assert_eq!(GraphView::edge(snap, id).at, e.at);
+        }
+    }
+
+    #[test]
+    fn base_only_snapshot_matches_frozen_view() {
+        let g = seeded();
+        let snap = LayeredSnapshot::freeze(&g);
+        assert!(snap.is_compacted());
+        assert_eq!(snap.layer_count(), 0);
+        assert_eq!(snap.delta_fraction(), 0.0);
+        assert_equivalent(&snap, &g);
+    }
+
+    #[test]
+    fn overlays_track_adds_removes_mints_and_labels() {
+        let mut g = seeded();
+        let snap0 = LayeredSnapshot::freeze(&g);
+
+        // Window 1: new vertex + predicate, one add, one retraction.
+        let d = g.ensure_vertex("d");
+        g.set_label(d, "Location");
+        let feeds = g.intern_predicate("feeds");
+        g.add_edge_at(VertexId(0), feeds, d, 4, 0.6, Provenance::Curated);
+        g.remove_edge(EdgeId(1));
+        let snap1 = snap0
+            .with_overlay(snap0.capture_delta(&g).unwrap())
+            .unwrap();
+        assert_eq!(snap1.layer_count(), 1);
+        assert!(snap1.delta_fraction() > 0.0);
+        assert_equivalent(&snap1, &g);
+
+        // Window 2: relabel an old vertex, kill an overlay-1 edge, add more.
+        g.set_label(VertexId(0), "Conglomerate");
+        let owns = g.predicate_id("owns").unwrap();
+        g.add_edge_at(
+            d,
+            owns,
+            VertexId(2),
+            5,
+            0.8,
+            Provenance::Extracted { doc_id: 9 },
+        );
+        g.remove_edge(EdgeId(3)); // the window-1 add
+        let snap2 = snap1
+            .with_overlay(snap1.capture_delta(&g).unwrap())
+            .unwrap();
+        assert_eq!(snap2.layer_count(), 2);
+        assert_equivalent(&snap2, &g);
+
+        // Older epochs stay pinned and untouched.
+        assert_equivalent(&snap0, &seeded());
+        assert_eq!(snap1.label(VertexId(0)), Some("Company"));
+        assert_eq!(snap2.label(VertexId(0)), Some("Conglomerate"));
+
+        // Compaction folds back to one base, identical to a full freeze.
+        let compacted = LayeredSnapshot::freeze(&g);
+        assert!(compacted.is_compacted());
+        assert_equivalent(&compacted, &g);
+    }
+
+    #[test]
+    fn mischained_overlay_is_rejected() {
+        let mut g = seeded();
+        let snap0 = LayeredSnapshot::freeze(&g);
+        g.add_edge_at(
+            VertexId(0),
+            PredicateId(0),
+            VertexId(1),
+            9,
+            0.5,
+            Provenance::Curated,
+        );
+        let snap1 = snap0
+            .with_overlay(snap0.capture_delta(&g).unwrap())
+            .unwrap();
+        // An overlay captured against snap1 cannot chain onto snap0.
+        g.add_edge_at(
+            VertexId(1),
+            PredicateId(0),
+            VertexId(2),
+            10,
+            0.5,
+            Provenance::Curated,
+        );
+        let overlay = snap1.capture_delta(&g).unwrap();
+        assert!(snap0.with_overlay(overlay).is_err());
+        // And capture refuses a compacted-away watermark.
+        g.remove_edge(EdgeId(0));
+        g.compact();
+        assert!(snap1.capture_delta(&g).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live edge")]
+    fn tombstoned_edge_lookup_panics() {
+        let mut g = seeded();
+        let snap0 = LayeredSnapshot::freeze(&g);
+        g.remove_edge(EdgeId(0));
+        let snap1 = snap0
+            .with_overlay(snap0.capture_delta(&g).unwrap())
+            .unwrap();
+        GraphView::edge(&snap1, EdgeId(0));
+    }
+}

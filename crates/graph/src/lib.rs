@@ -33,22 +33,26 @@
 
 pub mod algo;
 pub mod codec;
+pub mod delta;
 pub mod edge;
 pub mod frozen;
 pub mod graph;
 pub mod hash;
 pub mod ids;
+pub mod layered;
 pub mod parallel;
 pub mod props;
 pub mod snapshot;
 pub mod view;
 pub mod window;
 
+pub use delta::{DeltaOverlay, DeltaStale};
 pub use edge::{Edge, Provenance};
 pub use frozen::FrozenView;
-pub use graph::{Adj, DynamicGraph, VertexData};
+pub use graph::{Adj, DeltaWatermark, DynamicGraph, VertexData};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, PredicateId, Timestamp, VertexId};
+pub use layered::LayeredSnapshot;
 pub use props::{PropMap, PropValue};
 pub use view::GraphView;
 pub use window::SlidingWindow;

@@ -197,7 +197,7 @@ fn read_prop_value(r: &mut Reader<'_>) -> Result<PropValue, SnapshotError> {
     })
 }
 
-fn put_prop_map(buf: &mut Vec<u8>, props: &PropMap) {
+pub(crate) fn put_prop_map(buf: &mut Vec<u8>, props: &PropMap) {
     codec::put_u32(buf, props.len() as u32);
     for (k, v) in props.iter() {
         codec::put_str(buf, k);
@@ -205,7 +205,7 @@ fn put_prop_map(buf: &mut Vec<u8>, props: &PropMap) {
     }
 }
 
-fn read_prop_map(r: &mut Reader<'_>) -> Result<PropMap, SnapshotError> {
+pub(crate) fn read_prop_map(r: &mut Reader<'_>) -> Result<PropMap, SnapshotError> {
     let n = r
         .count(5, "property map length")
         .map_err(|_| SnapshotError::Corrupt("truncated property map"))?;

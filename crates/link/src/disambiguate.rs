@@ -65,6 +65,12 @@ pub struct Disambiguator {
     id_index: HashMap<u32, usize>,
     /// Weight of the context-similarity term (prior gets `1 - w`).
     context_weight: f64,
+    /// Monotone mutation counter. Lets snapshot publication detect "no
+    /// alias/context change since last epoch" in O(1) and reuse the
+    /// previously published resolver instead of cloning it. Absent in
+    /// pre-existing serialized state, hence the default.
+    #[serde(default)]
+    version: u64,
 }
 
 impl Disambiguator {
@@ -88,6 +94,7 @@ impl Disambiguator {
             alias_index,
             id_index,
             context_weight: 0.7,
+            version: 0,
         }
     }
 
@@ -100,6 +107,14 @@ impl Disambiguator {
     /// The current context/prior blend (for state serialization).
     pub fn context_weight(&self) -> f64 {
         self.context_weight
+    }
+
+    /// Monotone counter bumped by every mutation (`insert`,
+    /// `update_context`). Equal versions on the same resolver instance
+    /// mean "identical state" — the snapshot publisher uses this to skip
+    /// redundant clones.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn len(&self) -> usize {
@@ -122,6 +137,7 @@ impl Disambiguator {
             let r = &mut self.records[idx];
             r.context.merge(extra);
             r.popularity += popularity_delta;
+            self.version += 1;
         }
     }
 
@@ -138,6 +154,7 @@ impl Disambiguator {
         }
         self.id_index.entry(record.id).or_insert(idx);
         self.records.push(record);
+        self.version += 1;
     }
 
     /// Candidate record indexes for a (normalised) mention surface.

@@ -1,0 +1,150 @@
+//! Generation unification: snapshot compaction drives the durability
+//! checkpoint.
+//!
+//! Before ISSUE 6, checkpoint cadence (`checkpoint_every_facts`) and
+//! snapshot-rebuild cadence were two independent clocks, so a recovered
+//! graph rarely matched any state a reader had actually been served.
+//! [`wire_compaction_checkpoints`] collapses them into one: whenever the
+//! session's background compactor folds the overlay stack into a new
+//! base [`nous_graph::FrozenView`], the same read-lock hold also writes a
+//! [`DurableStore::checkpoint`] of the exact graph state that base was
+//! frozen from. One event, one watermark, two artifacts: the served base
+//! and the persisted generation always correspond.
+
+use crate::store::DurableStore;
+use nous_core::{IngestReport, SharedSession};
+use std::sync::{Arc, Mutex};
+
+/// Install a checkpoint sink on `session` that writes a new
+/// [`DurableStore`] generation every time the snapshot compactor runs.
+///
+/// `report` is the cumulative ingest report to embed in the checkpoint
+/// header (keep it updated as ingestion proceeds — recovery restores it,
+/// so a stale report would wipe the counters a restart reports). A
+/// checkpoint failure is absorbed here: the WAL still holds every
+/// admitted fact, the store's `nous_checkpoint_errors_total` counter
+/// records the miss, and the next compaction retries — exactly the
+/// degradation contract `DurableStore::checkpoint` documents.
+///
+/// Returns nothing; the sink lives as long as the session (replace it by
+/// calling [`nous_core::SharedSession::set_checkpoint_sink`] again).
+pub fn wire_compaction_checkpoints(
+    session: &SharedSession,
+    store: Arc<Mutex<DurableStore>>,
+    report: Arc<Mutex<IngestReport>>,
+) {
+    session.set_checkpoint_sink(move |kg| {
+        let mut store = store.lock().expect("durable store lock");
+        let report = report.lock().expect("ingest report lock").clone();
+        // Error intentionally dropped: the store already counted it on
+        // nous_checkpoint_errors_total and the WAL retains the tail.
+        let _ = store.checkpoint(kg, &report);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DurabilityConfig;
+    use nous_core::{
+        CompactionConfig, IngestPipeline, KnowledgeGraph, PipelineConfig, TrendMonitor,
+    };
+    use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+    use nous_graph::GraphView;
+    use nous_mining::{EvictionStrategy, MinerConfig};
+    use nous_obs::MetricsRegistry;
+    use nous_qa::TopicIndex;
+
+    fn monitor() -> TrendMonitor {
+        TrendMonitor::new(
+            nous_graph::window::WindowKind::Count { n: 64 },
+            MinerConfig {
+                k_max: 1,
+                min_support: 2,
+                eviction: EvictionStrategy::Eager,
+            },
+        )
+    }
+
+    /// Compaction writes a checkpoint whose recovered graph matches the
+    /// served base at the same watermark — the generation-unification
+    /// contract.
+    #[test]
+    fn compaction_checkpoint_matches_served_base() {
+        let world = World::generate(&Preset::Smoke.world_config());
+        let kb = CuratedKb::generate(&world, 7);
+        let kg = KnowledgeGraph::from_curated(&world, &kb);
+        let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+
+        let dir = tempdir();
+        let registry = MetricsRegistry::new();
+        let mut pipeline = IngestPipeline::new(PipelineConfig {
+            batch_size: 4,
+            ..Default::default()
+        });
+        let store = DurableStore::create(
+            &dir,
+            DurabilityConfig {
+                // Compaction is the only checkpoint clock in this setup.
+                checkpoint_every_facts: 0,
+                ..Default::default()
+            },
+            &kg,
+            &pipeline.report(),
+            &registry,
+        )
+        .expect("create store");
+        let gen0 = store.generation();
+        let store = Arc::new(Mutex::new(store));
+        let report = Arc::new(Mutex::new(IngestReport::default()));
+
+        let session = SharedSession::new(kg, TopicIndex::new(2), monitor());
+        // Synchronous compaction so the test is deterministic.
+        session.set_compaction_config(CompactionConfig {
+            background: false,
+            max_layers: usize::MAX,
+            ..Default::default()
+        });
+        wire_compaction_checkpoints(&session, store.clone(), report.clone());
+
+        session.ingest_batch(&mut pipeline, &articles);
+        *report.lock().unwrap() = pipeline.report();
+        assert!(session.compact_now(), "manual compaction must succeed");
+
+        let snap = session.frozen();
+        assert!(snap.view.is_compacted());
+        assert!(
+            store.lock().unwrap().generation() > gen0,
+            "compaction must have advanced the checkpoint generation"
+        );
+
+        // Recover from disk: the restored graph must be edge-identical to
+        // the base the compactor installed.
+        drop(store);
+        let (_store2, recovered) =
+            DurableStore::open(&dir, DurabilityConfig::default(), &MetricsRegistry::new())
+                .expect("recover");
+        assert_eq!(
+            recovered.kg.graph.log_len(),
+            snap.view.source_log_len(),
+            "recovered log length equals the served base watermark"
+        );
+        let recovered_view = nous_graph::FrozenView::freeze(&recovered.kg.graph);
+        assert_eq!(
+            GraphView::live_edge_count(&recovered_view),
+            GraphView::live_edge_count(&snap.view),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nous-compaction-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+}

@@ -657,8 +657,11 @@ impl DurableStore {
             let mut guard = self.wal.lock().expect("wal lock");
             // Make sure the old log is fully on disk before we abandon it.
             guard.sync().ok();
-            *guard =
-                Wal::create_with_faults(&wal_path(&self.dir, next), self.cfg.fsync, self.faults.clone())?;
+            *guard = Wal::create_with_faults(
+                &wal_path(&self.dir, next),
+                self.cfg.fsync,
+                self.faults.clone(),
+            )?;
         }
         self.generation = next;
         self.admitted_since_checkpoint.store(0, Ordering::Relaxed);
@@ -1081,13 +1084,20 @@ mod tests {
                 registry.counter_value("nous_wal_dropped_records_total", &[]),
                 Some(2)
             );
-            assert_eq!(registry.counter_value("nous_wal_rearmed_total", &[]), Some(1));
-            assert_eq!(registry.counter_value("nous_wal_retries_total", &[]), Some(1));
+            assert_eq!(
+                registry.counter_value("nous_wal_rearmed_total", &[]),
+                Some(1)
+            );
+            assert_eq!(
+                registry.counter_value("nous_wal_retries_total", &[]),
+                Some(1)
+            );
             assert_eq!(acked.lock().unwrap().len(), 2, "docs 1 and 4 acked");
 
             // Crash + recover: exactly the acked records replay.
             let registry2 = MetricsRegistry::new();
-            let (_s, rec) = DurableStore::open(&dir, DurabilityConfig::default(), &registry2).unwrap();
+            let (_s, rec) =
+                DurableStore::open(&dir, DurabilityConfig::default(), &registry2).unwrap();
             assert_eq!(rec.replayed_docs, 2);
             assert_eq!(rec.truncated_bytes, 0, "rollback left no torn tail");
         }
@@ -1115,9 +1125,18 @@ mod tests {
             pipe.ingest(&mut kg, &articles[0]);
             pipe.ingest(&mut kg, &articles[1]);
             assert_eq!(store.degraded_mode(), DegradedMode::Durable);
-            assert_eq!(registry.counter_value("nous_wal_retries_total", &[]), Some(1));
-            assert_eq!(registry.counter_value("nous_wal_appends_total", &[]), Some(2));
-            assert_eq!(registry.counter_value("nous_wal_errors_total", &[]), Some(0));
+            assert_eq!(
+                registry.counter_value("nous_wal_retries_total", &[]),
+                Some(1)
+            );
+            assert_eq!(
+                registry.counter_value("nous_wal_appends_total", &[]),
+                Some(2)
+            );
+            assert_eq!(
+                registry.counter_value("nous_wal_errors_total", &[]),
+                Some(0)
+            );
         }
 
         #[test]
@@ -1151,7 +1170,8 @@ mod tests {
             );
             // The WAL still carries everything: recovery loses nothing.
             let registry2 = MetricsRegistry::new();
-            let (_s, rec) = DurableStore::open(&dir, DurabilityConfig::default(), &registry2).unwrap();
+            let (_s, rec) =
+                DurableStore::open(&dir, DurabilityConfig::default(), &registry2).unwrap();
             assert_eq!(rec.generation, 0);
             assert_eq!(rec.kg.graph.edge_count(), kg.graph.edge_count());
         }

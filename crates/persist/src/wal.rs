@@ -77,7 +77,11 @@ impl Wal {
     }
 
     /// [`Wal::create`] with an armed failpoint handle (chaos testing).
-    pub fn create_with_faults(path: &Path, policy: FsyncPolicy, faults: Faults) -> io::Result<Self> {
+    pub fn create_with_faults(
+        path: &Path,
+        policy: FsyncPolicy,
+        faults: Faults,
+    ) -> io::Result<Self> {
         let file = OpenOptions::new()
             .write(true)
             .create(true)

@@ -323,3 +323,153 @@ fn seeded_chaos_is_deterministic_and_loses_no_acked_fact() {
         drop(store);
     }
 }
+
+/// ISSUE 6: a fault firing inside snapshot compaction must degrade, not
+/// damage. The session keeps serving queries from its existing layer
+/// stack, the WAL still holds every acked fact, and the checkpoint
+/// generation does not move (the compaction-driven checkpoint never
+/// ran). Clearing the fault lets the next compaction fold and
+/// checkpoint normally, and recovery restores exactly the served base.
+#[test]
+fn compaction_fault_keeps_layered_serving_and_loses_nothing() {
+    use nous_core::CompactionConfig;
+    use nous_fault::Faults;
+    use nous_persist::wire_compaction_checkpoints;
+
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+
+    // Ordinal 0 of the compaction failpoint: exactly the first fold dies.
+    let faults = FaultPlan::from_seed(0xC0DE)
+        .site(nous_core::FP_SESSION_COMPACT, SitePlan::schedule(vec![0]))
+        .arm();
+
+    let registry = MetricsRegistry::new();
+    let dir = scratch("compact");
+    let store = DurableStore::create(
+        &dir,
+        DurabilityConfig {
+            checkpoint_every_facts: 0, // compaction is the only checkpoint clock
+            ..Default::default()
+        },
+        &kg,
+        &IngestReport::default(),
+        &registry,
+    )
+    .expect("baseline checkpoint");
+    let gen0 = store.generation();
+    let wal_path = store.wal_path();
+    let store = Arc::new(Mutex::new(store));
+    let report_cell = Arc::new(Mutex::new(IngestReport::default()));
+
+    let session = SharedSession::with_registry(
+        kg,
+        TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 200 },
+            MinerConfig {
+                k_max: 1,
+                min_support: 2,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    );
+    // Manual compaction only: the test controls exactly when folds run.
+    session.set_compaction_config(CompactionConfig {
+        max_layers: usize::MAX,
+        min_delta_edges: usize::MAX,
+        background: false,
+        ..Default::default()
+    });
+    session.set_faults(faults);
+    wire_compaction_checkpoints(&session, store.clone(), report_cell.clone());
+
+    let mut pipeline = IngestPipeline::with_registry(
+        PipelineConfig {
+            batch_size: 4,
+            ..Default::default()
+        },
+        registry.clone(),
+    );
+    let acked: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let ack_sink = acked.clone();
+    pipeline.set_journal(store.lock().unwrap().journal_with_ack(Arc::new(
+        move |rec: &DocRecord| {
+            ack_sink.lock().unwrap().push((rec.doc_id, rec.facts.len()));
+        },
+    )));
+    let report = session.ingest_batch(&mut pipeline, &articles);
+    *report_cell.lock().unwrap() = report.clone();
+    assert!(report.admitted > 0);
+
+    let before = session.frozen();
+    let layers_before = before.view.layer_count();
+    assert!(layers_before > 0, "publishes must have stacked overlays");
+
+    // First fold: the scheduled fault aborts it.
+    assert!(
+        !session.compact_now(),
+        "faulted compaction must report failure"
+    );
+    let after_fault = session.frozen();
+    assert!(!after_fault.view.is_compacted());
+    assert_eq!(
+        after_fault.view.layer_count(),
+        layers_before,
+        "failed compaction must leave the serving stack untouched"
+    );
+    assert_eq!(
+        store.lock().unwrap().generation(),
+        gen0,
+        "failed compaction must not write a checkpoint"
+    );
+    assert_eq!(
+        registry.counter_value("nous_compactions_failed_total", &[]),
+        Some(1)
+    );
+
+    // The query surface still serves, complete, from the layered stack.
+    let a = world.entities[world.companies[0]].name.clone();
+    for q in [
+        format!("tell me about {a}"),
+        format!("TIMELINE {a} LIMIT 5"),
+    ] {
+        let resp = execute_shared_deadline(&session, &parse(&q).unwrap(), &Deadline::none());
+        assert!(!resp.partial, "{q} went partial after a compaction fault");
+        let _ = resp.result.render();
+    }
+
+    // Zero acked-fact loss: the WAL on disk is exactly the acked set.
+    drop(pipeline);
+    let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+    let scan = nous_persist::wal::scan(&wal_path).unwrap();
+    let on_disk: Vec<(u64, usize)> = scan
+        .payloads
+        .iter()
+        .map(|p| {
+            let rec = DocRecord::decode(p).unwrap();
+            (rec.doc_id, rec.facts.len())
+        })
+        .collect();
+    assert_eq!(on_disk, acked, "WAL diverged from acked set");
+
+    // Fault cleared: the retry folds the stack and drives the checkpoint.
+    session.set_faults(Faults::disabled());
+    assert!(session.compact_now());
+    let folded = session.frozen();
+    assert!(folded.view.is_compacted());
+    assert!(folded.epoch > after_fault.epoch);
+    assert!(store.lock().unwrap().generation() > gen0);
+
+    // Recovery restores exactly the base readers are being served.
+    drop(store);
+    let (_store2, recovered) =
+        DurableStore::open(&dir, DurabilityConfig::default(), &MetricsRegistry::new())
+            .expect("recovery after compaction checkpoint");
+    assert_eq!(recovered.kg.graph.log_len(), folded.view.source_log_len());
+    std::fs::remove_dir_all(&dir).ok();
+}

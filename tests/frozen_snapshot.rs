@@ -70,9 +70,9 @@ fn queries(world: &World) -> Vec<Query> {
     .collect()
 }
 
-fn answers(
+fn answers<G: GraphView>(
     queries: &[Query],
-    view: &FrozenView,
+    view: &G,
     disamb: &Disambiguator,
     topics: &TopicIndex,
 ) -> Vec<String> {
@@ -165,6 +165,120 @@ fn concurrent_readers_see_reference_answers_at_every_epoch() {
         last.view.source_log_len(),
         session.read(|kg, _| kg.graph.log_len()),
         "last epoch is current"
+    );
+}
+
+/// Background compaction racing readers and the writer: with thresholds
+/// forced low enough that the compactor fires on nearly every publish,
+/// every reader answer must still match the sequential reference at the
+/// same watermark — folding the overlay stack into a new base is
+/// invisible to the query surface.
+#[test]
+fn compaction_under_query_stress_preserves_reference_answers() {
+    let (world, kg, articles) = world_kg();
+    let qs = queries(&world);
+    let topics = TopicIndex::new(2);
+
+    let mut reference: HashMap<usize, Vec<String>> = HashMap::new();
+    {
+        let (_, mut ref_kg, _) = world_kg();
+        let mut pipe = pipeline();
+        let snap = FrozenView::freeze(&ref_kg.graph);
+        reference.insert(
+            snap.source_log_len(),
+            answers(&qs, &snap, &ref_kg.disambiguator, &topics),
+        );
+        for chunk in articles.chunks(BATCH) {
+            pipe.ingest_batch(&mut ref_kg, chunk);
+            let snap = FrozenView::freeze(&ref_kg.graph);
+            reference.insert(
+                snap.source_log_len(),
+                answers(&qs, &snap, &ref_kg.disambiguator, &topics),
+            );
+        }
+    }
+    let reference = Arc::new(reference);
+
+    let session = SharedSession::new(kg, topics, trend_monitor());
+    session.set_compaction_config(nous_core::CompactionConfig {
+        max_layers: 2,
+        max_delta_fraction: 0.0,
+        min_delta_edges: 0,
+        background: true,
+    });
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A dedicated compactor thread on top of the threshold-triggered
+    // background ones, to maximise install/read interleavings.
+    let compactor = {
+        let session = session.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut ran = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                if session.compact_now() {
+                    ran += 1;
+                }
+                std::thread::yield_now();
+            }
+            ran
+        })
+    };
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let session = session.clone();
+            let done = done.clone();
+            let reference = reference.clone();
+            let qs = qs.clone();
+            std::thread::spawn(move || {
+                let mut checked = 0usize;
+                while !done.load(Ordering::Relaxed) || checked == 0 {
+                    let snap = session.frozen();
+                    let got = answers(&qs, &snap.view, &snap.disambiguator, &snap.topics);
+                    let want = reference
+                        .get(&snap.view.source_log_len())
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "epoch {} (layers {}) has log_len {} matching no batch boundary",
+                                snap.epoch,
+                                snap.view.layer_count(),
+                                snap.view.source_log_len()
+                            )
+                        });
+                    assert_eq!(
+                        &got,
+                        want,
+                        "epoch {} (layers {}) diverged",
+                        snap.epoch,
+                        snap.view.layer_count()
+                    );
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    let mut pipe = pipeline();
+    let report = session.ingest_batch(&mut pipe, &articles);
+    done.store(true, Ordering::Relaxed);
+
+    for r in readers {
+        assert!(r.join().expect("reader") > 0);
+    }
+    let compactions = compactor.join().expect("compactor");
+    assert!(report.admitted > 0);
+    assert!(compactions > 0, "the compactor thread never compacted");
+
+    // Quiesced: one final compaction folds everything, and the compacted
+    // base answers byte-identically to the final reference state.
+    assert!(session.compact_now());
+    let last = session.frozen();
+    assert!(last.view.is_compacted(), "final snapshot must be one layer");
+    assert_eq!(
+        &answers(&qs, &last.view, &last.disambiguator, &last.topics),
+        reference.get(&last.view.source_log_len()).unwrap()
     );
 }
 

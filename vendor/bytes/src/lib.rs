@@ -1,0 +1,293 @@
+//! Offline stand-in for the `bytes` crate, implementing exactly the
+//! subset this workspace uses: `BytesMut` as a growable little-endian
+//! writer, `Bytes` as a cheaply-cloneable cursor over immutable bytes,
+//! and the `Buf`/`BufMut` trait methods the codecs call. Vendored so the
+//! build never needs a network registry; see `vendor/README.md`.
+
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Read cursor / window start into `data`.
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self::from(s.to_vec())
+    }
+
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Self::from(s.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Split off the first `at` bytes, leaving the remainder in `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::from(v.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// Growable byte writer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read-side cursor operations (panic on underflow, like the real crate).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+/// Write-side operations (little-endian, matching codec usage).
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_split() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32_le(7);
+        w.put_u64_le(u64::MAX);
+        w.put_f32_le(1.5);
+        w.put_slice(b"xy");
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 18);
+        let head = b.split_to(4);
+        assert_eq!(head.as_slice(), &7u32.to_le_bytes());
+        assert_eq!(b.get_u64_le(), u64::MAX);
+        assert_eq!(b.get_f32_le(), 1.5);
+        assert_eq!(b.get_u8(), b'x');
+        assert_eq!(b.chunk(), b"y");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock bench harness
+//! implementing the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. No statistical
+//! analysis or HTML reports: each benchmark is timed over a few fixed
+//! batches and a mean/min line is printed. Vendored so the build never
+//! needs a network registry; see `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    /// Per-sample wall-clock duration and iteration count.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` over a handful of fixed-size batches. The batch size is
+    /// auto-calibrated so one sample lasts roughly a millisecond; slow
+    /// routines degrade to one iteration per sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate: run once, pick an iteration count near ~1ms/sample.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let samples = self.sample_size.clamp(3, 30);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push((start.elapsed(), per_sample));
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run_one(&label, sample_size, throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_one(&label, sample_size, throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = name.to_string();
+        self.run_one(&label, 10, None, f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{label:<56} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 * 1e9 / mean / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{label:<56} {mean:>14.1} ns/iter (min {min:.1}){rate}");
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("vendored");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+}

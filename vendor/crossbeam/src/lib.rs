@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam`, providing `crossbeam::thread::scope`
+//! on top of `std::thread::scope` (stable since 1.63). Only the scoped
+//! spawn/join subset this workspace uses is implemented. Vendored so the
+//! build never needs a network registry; see `vendor/README.md`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper over [`std::thread::Scope`] matching crossbeam's API: the
+    /// spawn closure receives the scope again as its argument.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before return. A panicking child panics
+    /// the scope (std semantics), so `Err` is never produced — callers'
+    /// `.expect` unwraps stay satisfied.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u32, 2, 3, 4];
+        let sums = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline stand-in for `proptest`: deterministic randomized testing
+//! without shrinking. Implements the subset this workspace's property
+//! tests use — `proptest!` with optional `#![proptest_config(...)]`,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, integer/float
+//! range strategies, tuples, `prop::collection::vec`, `any::<bool>()`,
+//! and string strategies from a small regex subset (`[a-z]`, groups,
+//! `?`/`{m,n}` repetition, `\PC` for printable chars). Failing cases
+//! report the generated seed; there is no shrinking, so failures print
+//! the full case index instead. Vendored so the build never needs a
+//! network registry; see `vendor/README.md`.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    float_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// `Just`-style constant strategy (also covers owned samples).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// String literals are regex-subset generators, as in real proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let nodes = crate::string::parse(self)
+                .unwrap_or_else(|e| panic!("bad string strategy {self:?}: {e}"));
+            crate::string::generate(&nodes, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-subset parser and generator for string strategies.
+
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Lit(char),
+        /// Inclusive character ranges, e.g. `[A-Za-z0-9 ]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any printable (non-control) character.
+        AnyPrintable,
+        Group(Vec<(Node, Rep)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rep {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    const ONCE: Rep = Rep { min: 1, max: 1 };
+
+    pub fn parse(pattern: &str) -> Result<Vec<(Node, Rep)>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_seq(&chars, 0, None)?;
+        if consumed != chars.len() {
+            return Err(format!("unexpected `)` at {consumed}"));
+        }
+        Ok(nodes)
+    }
+
+    fn parse_seq(
+        chars: &[char],
+        mut i: usize,
+        until: Option<char>,
+    ) -> Result<(Vec<(Node, Rep)>, usize), String> {
+        let mut out = Vec::new();
+        while i < chars.len() {
+            if Some(chars[i]) == until {
+                return Ok((out, i));
+            }
+            let node = match chars[i] {
+                '\\' => {
+                    // Only `\PC` (printable) plus escaped literals.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        Node::AnyPrintable
+                    } else {
+                        let c = *chars
+                            .get(i + 1)
+                            .ok_or_else(|| "dangling escape".to_string())?;
+                        i += 2;
+                        Node::Lit(c)
+                    }
+                }
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated class".into());
+                    }
+                    i += 1; // closing ]
+                    Node::Class(ranges)
+                }
+                '(' => {
+                    let (inner, end) = parse_seq(chars, i + 1, Some(')'))?;
+                    if chars.get(end) != Some(&')') {
+                        return Err("unterminated group".into());
+                    }
+                    i = end + 1;
+                    Node::Group(inner)
+                }
+                c => {
+                    i += 1;
+                    Node::Lit(c)
+                }
+            };
+            let rep = match chars.get(i) {
+                Some('?') => {
+                    i += 1;
+                    Rep { min: 0, max: 1 }
+                }
+                Some('*') => {
+                    i += 1;
+                    Rep { min: 0, max: 8 }
+                }
+                Some('+') => {
+                    i += 1;
+                    Rep { min: 1, max: 8 }
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| "unterminated repetition".to_string())?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                            hi.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                        ),
+                        None => {
+                            let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                            (n, n)
+                        }
+                    };
+                    Rep { min: lo, max: hi }
+                }
+                _ => ONCE,
+            };
+            out.push((node, rep));
+        }
+        match until {
+            None => Ok((out, i)),
+            Some(c) => Err(format!("expected `{c}`")),
+        }
+    }
+
+    /// Printable palette for `\PC`: mostly ASCII, some multi-byte to
+    /// exercise UTF-8 handling in tokenizers.
+    const EXOTIC: &[char] = &['é', 'ß', 'Ω', '中', '←', '🦀', 'ñ', '—'];
+
+    pub fn generate(nodes: &[(Node, Rep)], rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        emit(nodes, rng, &mut out);
+        out
+    }
+
+    fn emit(nodes: &[(Node, Rep)], rng: &mut StdRng, out: &mut String) {
+        for (node, rep) in nodes {
+            let n = rng.gen_range(rep.min..=rep.max);
+            for _ in 0..n {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = char::from_u32(lo as u32 + rng.gen_range(0..span))
+                            .unwrap_or(lo);
+                        out.push(c);
+                    }
+                    Node::AnyPrintable => {
+                        if rng.gen_bool(0.08) {
+                            out.push(*EXOTIC.choose(rng).expect("non-empty"));
+                        } else {
+                            out.push(char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap());
+                        }
+                    }
+                    Node::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Accepted size arguments for [`vec`]: a fixed count or a range.
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive, as in `0..200`.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.min..self.size.max.max(self.size.min + 1));
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        /// `prop_assume!` miss: resample without counting the case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            TestRunner { config, name }
+        }
+
+        /// Run `f` for the configured number of cases. Deterministic:
+        /// the per-case RNG is seeded from the test name and case index,
+        /// so a reported failing case replays exactly.
+        pub fn run(
+            &mut self,
+            mut f: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        ) {
+            let name_seed = self
+                .name
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                });
+            let mut rejects = 0u32;
+            let max_rejects = self.config.cases.saturating_mul(20).max(1000);
+            let mut case = 0u32;
+            let mut attempt = 0u64;
+            while case < self.config.cases {
+                let seed = name_seed ^ (attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                attempt += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                match f(&mut rng) {
+                    Ok(()) => case += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejects += 1;
+                        if rejects > max_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejects})",
+                                self.name
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed:#x}): {msg}",
+                            self.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                #[allow(unused_parens)]
+                runner.run(|__proptest_rng| {
+                    let ($($arg),*) = (
+                        $($crate::strategy::Strategy::sample(&($strat), __proptest_rng)),*
+                    );
+                    let mut __proptest_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(xs in prop::collection::vec((0u8..20, 0u8..4), 0..50), k in 1usize..5) {
+            prop_assert!(xs.len() < 50);
+            for &(a, b) in &xs {
+                prop_assert!(a < 20 && b < 4);
+            }
+            prop_assert!(k >= 1 && k < 5);
+        }
+
+        #[test]
+        fn string_strategies_match_shape(name in "[A-Z][a-z]{2,8}", free in "\\PC{0,40}") {
+            prop_assert!(name.len() >= 3);
+            prop_assert!(name.chars().next().unwrap().is_ascii_uppercase());
+            prop_assert!(free.chars().count() <= 40);
+            prop_assert!(free.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn optional_groups(s in "[A-Z][a-z]{2,4}( [A-Z][a-z]{2,4})?") {
+            let words: Vec<&str> = s.split(' ').collect();
+            prop_assert!(words.len() == 1 || words.len() == 2, "got {s:?}");
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::ProptestConfig::with_cases(8),
+            "always_fails",
+        );
+        runner.run(|_| Err(crate::test_runner::TestCaseError::fail("boom")));
+    }
+}

