@@ -43,7 +43,13 @@ const WARM_ARTICLES: usize = 200;
 const RUN_SECS: f64 = 1.5;
 const THREADS: [usize; 3] = [1, 2, 4];
 
-fn build_session() -> (SharedSession, Vec<Query>, Vec<Article>) {
+/// Flight-recorder shape used for the tracing-overhead run: production
+/// defaults (256 retained traces, 10ms slow threshold), so the measured
+/// tax is what an operator would actually pay.
+const TRACE_CAPACITY: usize = 256;
+const TRACE_SLOW_NANOS: u64 = 10_000_000;
+
+fn build_session(tracing: bool) -> (SharedSession, Vec<Query>, Vec<Article>) {
     let world = World::generate(&Preset::Demo.world_config());
     let kb = CuratedKb::generate(&world, 7);
     let mut kg = KnowledgeGraph::from_curated(&world, &kb);
@@ -81,6 +87,9 @@ fn build_session() -> (SharedSession, Vec<Query>, Vec<Article>) {
         },
     );
     let registry = MetricsRegistry::new();
+    if tracing {
+        registry.enable_tracing(42, TRACE_CAPACITY, TRACE_SLOW_NANOS);
+    }
     let session = SharedSession::with_registry(kg, topics, trends, registry);
     (session, queries, live.to_vec())
 }
@@ -99,7 +108,52 @@ struct Measurement {
 }
 
 fn run(mode: &'static str, threads: usize, with_writer: bool) -> (Measurement, f64) {
-    let (session, queries, live) = build_session();
+    run_traced(mode, threads, with_writer, false)
+}
+
+/// Paired tracing-overhead measurement: two identically-built sessions
+/// (tracing off/on), exercised in alternating fixed-count batches on one
+/// thread. Alternation means slow host drift (noisy neighbours on a
+/// shared core, thermal throttling) lands on both modes roughly equally,
+/// so the ratio isolates the tracing tax itself. Returns
+/// `(qps_untraced, qps_traced)`.
+fn measure_tracing_overhead() -> (f64, f64) {
+    let (s_off, q_off, _) = build_session(false);
+    let (s_on, q_on, _) = build_session(true);
+    const BATCH: usize = 1_000;
+    let batch = |session: &SharedSession, queries: &[Query], offset: usize| {
+        let t = Instant::now();
+        for i in 0..BATCH {
+            let _ = execute_shared(session, &queries[(offset + i) % queries.len()]);
+        }
+        t.elapsed()
+    };
+    // Warm both sides (JIT-free, but pages, caches and the flight ring).
+    batch(&s_off, &q_off, 0);
+    batch(&s_on, &q_on, 0);
+    let mut t_off = Duration::ZERO;
+    let mut t_on = Duration::ZERO;
+    let mut rounds = 0usize;
+    let wall = Instant::now();
+    // Interleave until both modes have about RUN_SECS of measured work.
+    while t_off + t_on < Duration::from_secs_f64(2.0 * RUN_SECS)
+        && wall.elapsed() < Duration::from_secs_f64(6.0 * RUN_SECS)
+    {
+        t_off += batch(&s_off, &q_off, rounds * BATCH);
+        t_on += batch(&s_on, &q_on, rounds * BATCH);
+        rounds += 1;
+    }
+    let total = (rounds * BATCH) as f64;
+    (total / t_off.as_secs_f64(), total / t_on.as_secs_f64())
+}
+
+fn run_traced(
+    mode: &'static str,
+    threads: usize,
+    with_writer: bool,
+    tracing: bool,
+) -> (Measurement, f64) {
+    let (session, queries, live) = build_session(tracing);
     let stop = Arc::new(AtomicBool::new(false));
 
     // Background writer: replay the live tail in micro-batches until the
@@ -386,6 +440,21 @@ fn main() {
         );
     }
 
+    // Observability tax: the same clean single-thread snapshot workload,
+    // tracing disabled vs enabled (production flight-recorder shape).
+    // Paired design: two identically-built sessions, alternating
+    // fixed-count query batches, so host drift hits both modes equally
+    // instead of masquerading as overhead. The recorded fraction is the
+    // guardrail future PRs compare against — the acceptance bound is
+    // ≤ 0.05.
+    let (qps_off, qps_on) = measure_tracing_overhead();
+    let tracing_overhead_fraction = 1.0 - qps_on / qps_off;
+    println!(
+        "\ntracing overhead: {qps_off:.0} qps untraced vs {qps_on:.0} qps traced \
+         ({:+.1}% — every request builds a span tree into a {TRACE_CAPACITY}-trace ring)",
+        tracing_overhead_fraction * 100.0
+    );
+
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -456,8 +525,13 @@ fn main() {
          \"write_hold_fraction\": {write_hold_fraction:.3},\n  \
          \"snapshot_vs_locked_single_thread_clean\": {r1:.2},\n  \
          \"projected_snapshot_vs_locked_multicore\": {projected:.2},\n  \
-         \"max_snapshot_age_ms_under_writer\": {max_age_ms:.2},\n  \"runs\": [\n{}\n  ],\n  \
+         \"max_snapshot_age_ms_under_writer\": {max_age_ms:.2},\n  \
+         \"tracing_qps_disabled\": {:.1},\n  \
+         \"tracing_qps_enabled\": {:.1},\n  \
+         \"tracing_overhead_fraction\": {tracing_overhead_fraction:.4},\n  \"runs\": [\n{}\n  ],\n  \
          \"publish\": [\n{}\n  ]\n}}\n",
+        qps_off,
+        qps_on,
         entries.join(",\n"),
         publish_entries.join(",\n")
     );

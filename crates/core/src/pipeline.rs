@@ -36,7 +36,7 @@ use nous_extract::{
 use nous_fault::Faults;
 use nous_graph::VertexId;
 use nous_link::LinkMode;
-use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use nous_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceContext};
 use nous_text::bow::BagOfWords;
 use nous_text::ner::EntityType;
 use nous_text::openie::ExtractorConfig;
@@ -418,9 +418,14 @@ impl IngestPipeline {
     /// Park a document that failed extraction: counted on
     /// `nous_ingest_quarantined_total` and appended to the dead-letter
     /// store. Called by the batch paths here and by external extraction
-    /// drivers (`SharedSession::ingest_batch`).
+    /// drivers (`SharedSession::ingest_batch`). A quarantine is a
+    /// degradation boundary, so the fault handle's black-box hook (if
+    /// attached) snapshots the flight recorder.
     pub fn quarantine(&mut self, q: QuarantinedDoc) {
         self.metrics.quarantined.inc();
+        self.cfg
+            .faults
+            .blackbox(&format!("quarantine doc={}", q.doc_id));
         self.dead_letters.push(q);
     }
 
@@ -535,17 +540,29 @@ impl IngestPipeline {
     pub fn ingest(&mut self, kg: &mut KnowledgeGraph, article: &Article) -> IngestReport {
         let before = self.report();
         let doc = Document::from(article);
-        let span = self.metrics.registry.start(&self.metrics.stage_extract);
+        let mut root = self.metrics.registry.trace("ingest.doc");
+        root.attr("doc", doc.id);
+        let ctx = root.context();
+        let span = self
+            .metrics
+            .registry
+            .start(&self.metrics.stage_extract)
+            .with_exemplar(ctx.trace_id());
+        let extract_span = ctx.child("extract");
         let extracted =
             try_extract_document(&doc, &kg.gazetteer, &self.cfg.extractor, &self.cfg.faults);
+        drop(extract_span);
         span.stop();
         match extracted {
-            Ok(ext) => self.merge_extraction(kg, &ext),
-            Err(error) => self.quarantine(QuarantinedDoc {
-                doc_id: doc.id,
-                day: doc.day,
-                error,
-            }),
+            Ok(ext) => self.merge_extraction_traced(kg, &ext, &ctx),
+            Err(error) => {
+                root.attr("quarantined", true);
+                self.quarantine(QuarantinedDoc {
+                    doc_id: doc.id,
+                    day: doc.day,
+                    error,
+                })
+            }
         }
         self.report().delta_since(&before)
     }
@@ -558,6 +575,21 @@ impl IngestPipeline {
     /// parallel extraction fan-out — merges exactly as inline extraction
     /// would.
     pub fn merge_extraction(&mut self, kg: &mut KnowledgeGraph, extracted: &DocExtraction) {
+        let mut root = self.metrics.registry.trace("ingest.doc");
+        root.attr("doc", extracted.doc_id);
+        let ctx = root.context();
+        self.merge_extraction_traced(kg, extracted, &ctx);
+    }
+
+    /// [`IngestPipeline::merge_extraction`] under an explicit trace
+    /// context — batch drivers pass a child of their batch span so each
+    /// document's stage spans nest under the batch trace.
+    pub fn merge_extraction_traced(
+        &mut self,
+        kg: &mut KnowledgeGraph,
+        extracted: &DocExtraction,
+        ctx: &TraceContext,
+    ) {
         let before = self.journal.as_ref().map(|_| self.report());
         self.metrics.documents.inc();
         self.metrics.sentences.add(extracted.sentences as u64);
@@ -565,16 +597,32 @@ impl IngestPipeline {
             .duplicate_triples
             .add((extracted.raw_count - extracted.extractions.len()) as u64);
         let doc_bow = &extracted.context;
-        // Per-stage nanos accumulate across the document's tuples and are
-        // observed once per document below. The registry clock is read
-        // through a cloned handle so the borrow never crosses the `&mut
-        // self` calls inside the loop.
-        let clock = self.metrics.registry.clone();
-        let (mut map_ns, mut dis_ns, mut score_ns, mut gate_ns, mut admit_ns) = (0, 0, 0, 0, 0u64);
+        // Per-stage time accumulates across the document's tuples through
+        // drop-safe `StageAcc` guards and is observed once per document —
+        // a panicking tuple (or early return) still surfaces whatever
+        // stage time it burned. The accumulators are locals holding
+        // cloned histogram handles, so the borrows never cross the
+        // `&mut self` calls inside the loop.
+        let reg = self.metrics.registry.clone();
+        let mut map_acc = reg.stage_acc(&self.metrics.stage_map);
+        let mut dis_acc = reg.stage_acc(&self.metrics.stage_disambiguate);
+        let mut score_acc = reg.stage_acc(&self.metrics.stage_score);
+        let mut gate_acc = reg.stage_acc(&self.metrics.stage_gate);
+        let mut admit_acc = reg.stage_acc(&self.metrics.stage_admit);
+        let trace_id = ctx.trace_id();
+        for acc in [
+            &mut map_acc,
+            &mut dis_acc,
+            &mut score_acc,
+            &mut gate_acc,
+            &mut admit_acc,
+        ] {
+            acc.set_exemplar(trace_id);
+        }
 
         for t in &extracted.extractions {
             self.metrics.raw_triples.inc();
-            let t0 = clock.now_nanos();
+            let g = map_acc.enter();
             let rule = kg.mapper.map(&t.predicate).cloned();
             let Some(rule) = rule else {
                 self.metrics.unmapped.inc();
@@ -590,26 +638,26 @@ impl IngestPipeline {
                 ) {
                     kg.stash_raw_triple(s, &t.predicate, o);
                 }
-                map_ns += clock.now_nanos().saturating_sub(t0);
                 continue;
             };
             self.metrics.mapped.inc();
-            map_ns += clock.now_nanos().saturating_sub(t0);
+            drop(g);
 
             // Plan both endpoints before creating either: if the object
             // turns out unresolvable the fact is dropped without having
             // minted the subject as an orphan (and vice versa).
-            let t0 = clock.now_nanos();
+            let g = dis_acc.enter();
             let s_plan = self.plan_resolve_entity(kg, &t.subject, doc_bow, t.subject_type);
             let o_plan = self.plan_resolve_entity(kg, &t.object, doc_bow, t.object_type);
             let (Some(s_plan), Some(o_plan)) = (s_plan, o_plan) else {
                 self.metrics.unresolved_entity.inc();
-                dis_ns += clock.now_nanos().saturating_sub(t0);
                 continue;
             };
+            drop(g);
+            let g = dis_acc.enter();
             let mut s = self.commit_resolve(kg, s_plan);
             let mut o = self.commit_resolve(kg, o_plan);
-            dis_ns += clock.now_nanos().saturating_sub(t0);
+            drop(g);
             if rule.inverted {
                 std::mem::swap(&mut s, &mut o);
             }
@@ -620,11 +668,11 @@ impl IngestPipeline {
 
             // §3.4 confidence: blend extractor heuristic with the link
             // predictor's graph-prior score.
-            let t0 = clock.now_nanos();
+            let g = score_acc.enter();
             let prior = kg.predictor.score(&rule.ontology, s.0, o.0);
             let w = self.cfg.predictor_weight;
             let confidence = ((1.0 - w) * t.confidence + w * prior).clamp(0.0, 1.0);
-            score_ns += clock.now_nanos().saturating_sub(t0);
+            drop(g);
 
             if confidence < self.cfg.min_confidence || t.negated {
                 self.metrics.rejected.inc();
@@ -637,9 +685,9 @@ impl IngestPipeline {
                 object: o,
                 confidence,
             };
-            let t0 = clock.now_nanos();
+            let g = gate_acc.enter();
             let veto = self.gates.iter().find(|g| g.check(kg, &candidate).is_err());
-            gate_ns += clock.now_nanos().saturating_sub(t0);
+            drop(g);
             if let Some(gate) = veto {
                 *self.gate_vetoes.entry(gate.name().to_owned()).or_default() += 1;
                 self.metrics
@@ -655,7 +703,7 @@ impl IngestPipeline {
                 self.rejected_confidences.push(confidence);
                 continue;
             }
-            let t0 = clock.now_nanos();
+            let g = admit_acc.enter();
             kg.add_extracted_fact_with_args(
                 s,
                 &rule.ontology,
@@ -667,7 +715,7 @@ impl IngestPipeline {
             );
             kg.add_entity_text(s, doc_bow);
             kg.add_entity_text(o, doc_bow);
-            admit_ns += clock.now_nanos().saturating_sub(t0);
+            drop(g);
             self.metrics.admitted.inc();
             if let Some(j) = self.journal.as_mut() {
                 // Names logged as stored (after any inverted-rule swap),
@@ -686,17 +734,28 @@ impl IngestPipeline {
             self.admitted_since_retrain += 1;
         }
 
-        self.metrics.stage_map.observe(map_ns);
-        self.metrics.stage_disambiguate.observe(dis_ns);
-        self.metrics.stage_score.observe(score_ns);
-        self.metrics.stage_gate.observe(gate_ns);
-        self.metrics.stage_admit.observe(admit_ns);
+        // One histogram observation per document per stage; stages the
+        // document never reached record nothing and emit no span.
+        for (name, acc) in [
+            ("map", map_acc),
+            ("disambiguate", dis_acc),
+            ("score", score_acc),
+            ("gate", gate_acc),
+            ("admit", admit_acc),
+        ] {
+            let first = acc.first_start();
+            let (total, _) = acc.finish();
+            if let Some(start) = first {
+                ctx.record_span(name, start, start.saturating_add(total), &[]);
+            }
+        }
 
         // Durability boundary: the document's mutations are complete, so
         // a WAL sink flushing here makes the document atomic on replay.
         if let Some(before) = before {
             let delta = self.report().delta_since(&before);
             if let Some(j) = self.journal.as_mut() {
+                let _journal_span = ctx.child("journal");
                 j.document_merged(extracted.doc_id, &delta);
             }
         }
@@ -731,8 +790,16 @@ impl IngestPipeline {
     pub fn ingest_batch(&mut self, kg: &mut KnowledgeGraph, articles: &[Article]) -> IngestReport {
         for chunk in articles.chunks(self.cfg.batch_size.max(1)) {
             self.metrics.batches.inc();
+            let mut root = self.metrics.registry.trace("ingest.batch");
+            root.attr("docs", chunk.len());
+            let ctx = root.context();
             let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
-            let span = self.metrics.registry.start(&self.metrics.stage_extract);
+            let span = self
+                .metrics
+                .registry
+                .start(&self.metrics.stage_extract)
+                .with_exemplar(ctx.trace_id());
+            let extract_span = ctx.child("extract");
             let (extracted, worker_docs, quarantined) = extract_documents_quarantined(
                 &docs,
                 &kg.gazetteer,
@@ -740,13 +807,17 @@ impl IngestPipeline {
                 self.cfg.extract_workers,
                 &self.cfg.faults,
             );
+            drop(extract_span);
             span.stop();
             self.metrics.record_fanout(&worker_docs);
             for q in quarantined {
+                root.attr("quarantined_doc", q.doc_id);
                 self.quarantine(q);
             }
             for ext in &extracted {
-                self.merge_extraction(kg, ext);
+                let mut doc_span = ctx.child("ingest.doc");
+                doc_span.attr("doc", ext.doc_id);
+                self.merge_extraction_traced(kg, ext, &doc_span.context());
             }
             if let Some(hook) = self.batch_hook.as_mut() {
                 hook(kg);

@@ -426,9 +426,15 @@ impl SharedSession {
         // in that window would otherwise invalidate the frozen base
         // (readers are unaffected — this is a shared lock).
         let kg = self.kg.read();
-        if self.faults.lock().hit(FP_SESSION_COMPACT) {
-            m.compactions_failed.inc();
-            return false;
+        {
+            let faults = self.faults.lock();
+            if faults.hit(FP_SESSION_COMPACT) {
+                m.compactions_failed.inc();
+                // Flight-recorder black box: a failed compaction is one of
+                // the "what just happened" moments the dump hook captures.
+                faults.blackbox("compaction-failed");
+                return false;
+            }
         }
         let view = LayeredSnapshot::freeze(&kg.graph);
         if let Some(sink) = self.checkpoint_sink.lock().as_mut() {
@@ -630,6 +636,12 @@ impl SharedSession {
             &[("stage", "extract")],
         );
         for chunk in articles.chunks(cfg.batch_size.max(1)) {
+            // One trace per micro-batch: extract → per-document stage
+            // spans → publish all nest under this root, and a slow batch
+            // lands in the flight recorder's slow log under "ingest.batch".
+            let mut root = self.metrics.registry.trace("ingest.batch");
+            root.attr("docs", chunk.len());
+            let ctx = root.context();
             let extracted = {
                 let m = &self.metrics;
                 let docs: Vec<Document> = chunk.iter().map(Document::from).collect();
@@ -637,7 +649,11 @@ impl SharedSession {
                 let kg = self.kg.read();
                 let t1 = m.registry.now_nanos();
                 m.wait_read.observe(t1.saturating_sub(t0));
-                let span = pipeline.metrics().start(&extract_stage);
+                let span = pipeline
+                    .metrics()
+                    .start(&extract_stage)
+                    .with_exemplar(ctx.trace_id());
+                let extract_span = ctx.child("extract");
                 let (extracted, worker_docs, quarantined) = extract_documents_quarantined(
                     &docs,
                     &kg.gazetteer,
@@ -645,9 +661,11 @@ impl SharedSession {
                     cfg.extract_workers,
                     &cfg.faults,
                 );
+                drop(extract_span);
                 span.stop();
                 pipeline.record_fanout(&worker_docs);
                 for q in quarantined {
+                    root.attr("quarantined_doc", q.doc_id);
                     pipeline.quarantine(q);
                 }
                 let held = m.registry.now_nanos().saturating_sub(t1);
@@ -661,7 +679,9 @@ impl SharedSession {
             let t1 = m.registry.now_nanos();
             m.wait_write.observe(t1.saturating_sub(t0));
             for ext in &extracted {
-                pipeline.merge_extraction(&mut kg, ext);
+                let mut doc_span = ctx.child("ingest.doc");
+                doc_span.attr("doc", ext.doc_id);
+                pipeline.merge_extraction_traced(&mut kg, ext, &doc_span.context());
             }
             drop(kg);
             let held = m.registry.now_nanos().saturating_sub(t1);
@@ -670,7 +690,9 @@ impl SharedSession {
             // Publish once per micro-batch: snapshot staleness for the
             // lock-free read path is bounded by one batch of documents.
             // The publish is O(this batch), not O(graph).
-            self.publish_snapshot();
+            let mut publish_span = ctx.child("publish");
+            let epoch = self.publish_snapshot();
+            publish_span.attr("epoch", epoch);
         }
         pipeline.report()
     }

@@ -37,13 +37,13 @@
 //! gated.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "fault-injection")]
 use std::sync::atomic::{AtomicU64, Ordering};
-#[cfg(feature = "fault-injection")]
-use std::sync::Arc;
 
 /// The `io::ErrorKind` used for injected I/O errors.
 pub const INJECTED_KIND: io::ErrorKind = io::ErrorKind::Other;
@@ -207,6 +207,7 @@ impl FaultPlan {
                     seed: self.seed,
                     sites,
                 })),
+                blackbox: None,
             }
         }
         #[cfg(not(feature = "fault-injection"))]
@@ -255,20 +256,60 @@ impl SiteState {
     }
 }
 
+/// A black-box dump callback: called with a human-readable reason when
+/// the system crosses a degradation boundary (WAL → memory-only mode,
+/// document quarantine, failed compaction). Typically
+/// `Tracer::blackbox_hook` from `nous-obs`, which snapshots the flight
+/// recorder to disk.
+pub type BlackboxHook = Arc<dyn Fn(&str) + Send + Sync + 'static>;
+
 /// Thread-safe failpoint handle. Cheap to clone; clones share state.
 ///
-/// With the `fault-injection` feature disabled this is a zero-sized
-/// type whose checks are inlined constants.
-#[derive(Debug, Clone, Default)]
+/// With the `fault-injection` feature disabled the failpoint checks are
+/// inlined constants — the handle then only carries the black-box dump
+/// hook, which is *not* feature gated: degradation events worth a dump
+/// happen organically, not just under injection.
+#[derive(Clone, Default)]
 pub struct Faults {
     #[cfg(feature = "fault-injection")]
     inner: Option<Arc<Inner>>,
+    blackbox: Option<BlackboxHook>,
+}
+
+impl fmt::Debug for Faults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Faults");
+        d.field("armed", &self.is_armed());
+        d.field("blackbox", &self.blackbox.is_some());
+        d.finish()
+    }
 }
 
 impl Faults {
     /// A handle that never fires (also what unarmed code paths use).
     pub fn disabled() -> Self {
         Self::default()
+    }
+
+    /// Attach a black-box dump hook. Builder-style; clones taken *after*
+    /// this call share the hook, so attach it before threading the
+    /// handle through the stack.
+    pub fn with_blackbox(mut self, hook: BlackboxHook) -> Self {
+        self.blackbox = Some(hook);
+        self
+    }
+
+    pub fn has_blackbox(&self) -> bool {
+        self.blackbox.is_some()
+    }
+
+    /// Fire the black-box hook, if attached. Always compiled — callers
+    /// invoke it at degradation boundaries regardless of whether the
+    /// trigger was injected or organic.
+    pub fn blackbox(&self, reason: &str) {
+        if let Some(hook) = &self.blackbox {
+            hook(reason);
+        }
     }
 
     /// Whether this handle can ever inject a fault.
@@ -496,6 +537,26 @@ mod tests {
         assert!(p.would_fire("ckpt", 5));
         assert!(!p.would_fire("ckpt", 0));
         assert!(!p.would_fire("no.such.site", 3));
+    }
+
+    #[test]
+    fn blackbox_hook_fires_and_is_shared_by_later_clones() {
+        use std::sync::Mutex;
+        let reasons: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&reasons);
+        let f = Faults::disabled().with_blackbox(Arc::new(move |reason: &str| {
+            sink.lock().unwrap().push(reason.to_owned());
+        }));
+        assert!(f.has_blackbox());
+        let clone = f.clone();
+        f.blackbox("wal-degraded");
+        clone.blackbox("quarantine doc=7");
+        assert_eq!(
+            *reasons.lock().unwrap(),
+            vec!["wal-degraded".to_owned(), "quarantine doc=7".to_owned()]
+        );
+        // No hook: a silent no-op.
+        Faults::disabled().blackbox("nothing listens");
     }
 
     #[test]

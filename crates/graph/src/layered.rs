@@ -30,6 +30,40 @@ use crate::ids::{EdgeId, PredicateId, Timestamp, VertexId};
 use crate::view::GraphView;
 use std::sync::Arc;
 
+/// Merge effort of one [`LayeredSnapshot`]: how many layers, overlay
+/// edges and tombstones the read path consults on top of the base CSR.
+/// Plain data so observability layers can render it without this crate
+/// depending on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Base plus overlay count (`1` = fully compacted).
+    pub layers: usize,
+    /// Edges served from overlays rather than the base CSR.
+    pub overlay_edges: usize,
+    /// Tombstoned edge ids checked against on every read.
+    pub tombstones: usize,
+    /// Live edges visible through the snapshot.
+    pub live_edges: usize,
+}
+
+impl MergeStats {
+    /// Overlay share of live edges in permille — matches the
+    /// `nous_snapshot_delta_permille` gauge.
+    pub fn delta_permille(&self) -> u64 {
+        ((self.overlay_edges as u128 * 1000) / self.live_edges.max(1) as u128) as u64
+    }
+
+    /// Span-attribute pairs for annotating a serve-time trace span.
+    pub fn attrs(&self) -> Vec<(String, String)> {
+        vec![
+            ("nous_snapshot_layers".into(), self.layers.to_string()),
+            ("overlay_edges".into(), self.overlay_edges.to_string()),
+            ("tombstones".into(), self.tombstones.to_string()),
+            ("delta_permille".into(), self.delta_permille().to_string()),
+        ]
+    }
+}
+
 /// An immutable, epoch-publishable view of a [`DynamicGraph`]: one frozen
 /// base plus zero or more delta overlays. Cloning is cheap (the layers
 /// are shared `Arc`s); pushing an overlay never touches existing layers,
@@ -143,6 +177,19 @@ impl LayeredSnapshot {
     /// The frozen base layer.
     pub fn base(&self) -> &FrozenView {
         &self.base
+    }
+
+    /// Read-path merge accounting: how much work a read against this
+    /// snapshot does beyond a plain CSR lookup. Serving code attaches
+    /// this to trace spans (see `SearchStats::attrs` in `nous-qa` for
+    /// the convention).
+    pub fn merge_stats(&self) -> MergeStats {
+        MergeStats {
+            layers: 1 + self.overlays.len(),
+            overlay_edges: self.overlay_edge_count(),
+            tombstones: self.tombstones.len(),
+            live_edges: self.live_edges,
+        }
     }
 
     /// Source edge-log length (live + dead) this snapshot reflects — the
@@ -523,6 +570,40 @@ mod tests {
         g.remove_edge(EdgeId(0));
         g.compact();
         assert!(snap1.capture_delta(&g).is_err());
+    }
+
+    #[test]
+    fn merge_stats_count_layers_overlay_edges_and_tombstones() {
+        let mut g = seeded();
+        let snap0 = LayeredSnapshot::freeze(&g);
+        let s0 = snap0.merge_stats();
+        assert_eq!(s0.layers, 1);
+        assert_eq!(s0.overlay_edges, 0);
+        assert_eq!(s0.tombstones, 0);
+        assert_eq!(s0.live_edges, 3);
+        assert_eq!(s0.delta_permille(), 0);
+
+        g.add_edge_at(
+            VertexId(0),
+            PredicateId(0),
+            VertexId(2),
+            9,
+            0.5,
+            Provenance::Curated,
+        );
+        g.remove_edge(EdgeId(0));
+        let snap1 = snap0
+            .with_overlay(snap0.capture_delta(&g).unwrap())
+            .unwrap();
+        let s1 = snap1.merge_stats();
+        assert_eq!(s1.layers, 2);
+        assert_eq!(s1.overlay_edges, 1);
+        assert_eq!(s1.tombstones, 1);
+        assert_eq!(s1.live_edges, 3);
+        assert_eq!(s1.delta_permille(), 333);
+        let attrs = s1.attrs();
+        assert_eq!(attrs[0], ("nous_snapshot_layers".into(), "2".into()));
+        assert_eq!(attrs[3], ("delta_permille".into(), "333".into()));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use frozen::FrozenView;
 pub use graph::{Adj, DeltaWatermark, DynamicGraph, VertexData};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{EdgeId, PredicateId, Timestamp, VertexId};
-pub use layered::LayeredSnapshot;
+pub use layered::{LayeredSnapshot, MergeStats};
 pub use props::{PropMap, PropValue};
 pub use view::GraphView;
 pub use window::SlidingWindow;

@@ -1,0 +1,286 @@
+//! The flight recorder: a bounded ring of the last N completed traces
+//! plus a threshold-driven slow log.
+//!
+//! Lock-light by construction: recording a completed trace takes one
+//! short mutex hold to rotate the ring (traces complete at request
+//! granularity, not span granularity, so the lock is far off the hot
+//! path — span recording itself only touches the owning trace's state).
+//! Everything here is diagnostic: dumps are deterministic under a
+//! [`crate::ManualClock`], and the Chrome `trace_event` export loads
+//! directly into `chrome://tracing` / Perfetto.
+
+use crate::trace::TraceRecord;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct FlightInner {
+    capacity: usize,
+    slow_capacity: usize,
+    /// Completed traces at or above this duration also enter the slow
+    /// log; `u64::MAX` disables it.
+    slow_threshold_nanos: u64,
+    ring: Mutex<VecDeque<Arc<TraceRecord>>>,
+    slow: Mutex<VecDeque<Arc<TraceRecord>>>,
+    recorded_total: AtomicU64,
+    slow_total: AtomicU64,
+}
+
+/// Shareable handle; clones observe the same ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// Ring of the last `capacity` traces, slow log disabled.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_slow_threshold(capacity, u64::MAX)
+    }
+
+    /// Ring plus a slow log capturing traces with duration ≥
+    /// `slow_threshold_nanos` (the slow log keeps `capacity` entries too).
+    pub fn with_slow_threshold(capacity: usize, slow_threshold_nanos: u64) -> Self {
+        Self {
+            inner: Arc::new(FlightInner {
+                capacity: capacity.max(1),
+                slow_capacity: capacity.max(1),
+                slow_threshold_nanos,
+                ring: Mutex::new(VecDeque::new()),
+                slow: Mutex::new(VecDeque::new()),
+                recorded_total: AtomicU64::new(0),
+                slow_total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    pub fn slow_threshold_nanos(&self) -> u64 {
+        self.inner.slow_threshold_nanos
+    }
+
+    /// Record a completed trace (called by the tracer on root-span drop).
+    /// Returns the trace the ring rotated out, if any — the tracer
+    /// recycles its span storage when nothing else holds it.
+    pub fn record(&self, trace: Arc<TraceRecord>) -> Option<Arc<TraceRecord>> {
+        self.inner.recorded_total.fetch_add(1, Ordering::Relaxed);
+        let evicted = {
+            let mut ring = self.inner.ring.lock().expect("flight ring lock");
+            let evicted = if ring.len() == self.inner.capacity {
+                ring.pop_front()
+            } else {
+                None
+            };
+            ring.push_back(Arc::clone(&trace));
+            evicted
+        };
+        if trace.duration_nanos() >= self.inner.slow_threshold_nanos {
+            self.inner.slow_total.fetch_add(1, Ordering::Relaxed);
+            let mut slow = self.inner.slow.lock().expect("flight slow lock");
+            if slow.len() == self.inner.slow_capacity {
+                slow.pop_front();
+            }
+            slow.push_back(trace);
+        }
+        evicted
+    }
+
+    /// Retained traces, oldest first.
+    pub fn traces(&self) -> Vec<Arc<TraceRecord>> {
+        self.inner
+            .ring
+            .lock()
+            .expect("flight ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Slow-log entries, oldest first.
+    pub fn slow(&self) -> Vec<Arc<TraceRecord>> {
+        self.inner
+            .slow
+            .lock()
+            .expect("flight slow lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Look a trace up by id (e.g. resolving a histogram exemplar).
+    pub fn find(&self, trace_id: u64) -> Option<Arc<TraceRecord>> {
+        self.inner
+            .ring
+            .lock()
+            .expect("flight ring lock")
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Total traces ever recorded (including ones rotated out).
+    pub fn recorded_total(&self) -> u64 {
+        self.inner.recorded_total.load(Ordering::Relaxed)
+    }
+
+    /// Total traces that crossed the slow threshold.
+    pub fn slow_total(&self) -> u64 {
+        self.inner.slow_total.load(Ordering::Relaxed)
+    }
+
+    /// JSON array of the retained traces (oldest first) — deterministic.
+    pub fn traces_json(&self) -> String {
+        let parts: Vec<String> = self.traces().iter().map(|t| t.to_json()).collect();
+        format!("[{}]", parts.join(","))
+    }
+
+    /// JSON array of the slow log — deterministic.
+    pub fn slow_json(&self) -> String {
+        let parts: Vec<String> = self.slow().iter().map(|t| t.to_json()).collect();
+        format!("[{}]", parts.join(","))
+    }
+
+    /// Full dump: ring + slow log + totals, deterministic JSON.
+    pub fn dump_json(&self) -> String {
+        format!(
+            "{{\"recorded_total\":{},\"slow_total\":{},\"traces\":{},\"slow\":{}}}",
+            self.recorded_total(),
+            self.slow_total(),
+            self.traces_json(),
+            self.slow_json()
+        )
+    }
+
+    /// Chrome `trace_event` export (the JSON-object form with a
+    /// `traceEvents` array of complete `"ph":"X"` events) — loadable in
+    /// `chrome://tracing` and Perfetto. Timestamps are microseconds;
+    /// each trace gets its own `tid` lane.
+    pub fn dump_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        for trace in self.traces() {
+            // Chrome viewers lose precision past 2^53; a 32-bit lane id
+            // is unique enough for visual separation.
+            let tid = trace.trace_id & 0xffff_ffff;
+            for span in &trace.spans {
+                let mut args: Vec<String> =
+                    vec![format!("\"trace_id\":\"{}\"", trace.trace_id_hex())];
+                for (k, v) in &span.attrs {
+                    args.push(format!("\"{}\":{}", chrome_escape(k), v.to_json()));
+                }
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"nous\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+                    chrome_escape(&span.name),
+                    micros(span.start_nanos),
+                    micros(span.end_nanos.saturating_sub(span.start_nanos)),
+                    tid,
+                    args.join(",")
+                ));
+            }
+        }
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+            events.join(",")
+        )
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FlightRecorder(capacity={}, recorded={})",
+            self.inner.capacity,
+            self.recorded_total()
+        )
+    }
+}
+
+/// Nanoseconds → microseconds with shortest-round-trip float formatting
+/// (deterministic; sub-microsecond spans keep their fraction).
+fn micros(nanos: u64) -> String {
+    let us = nanos as f64 / 1_000.0;
+    if us == us.trunc() {
+        format!("{}", us as u64)
+    } else {
+        format!("{us}")
+    }
+}
+
+fn chrome_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::trace::{AttrValue, Tracer};
+
+    #[test]
+    fn ring_retains_last_n() {
+        let clock = ManualClock::shared();
+        let t = Tracer::new(clock, 1, FlightRecorder::new(3));
+        for i in 0..5u64 {
+            let mut root = t.start_trace("op");
+            root.attr("i", i);
+        }
+        let traces = t.flight().traces();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(t.flight().recorded_total(), 5);
+        // Oldest first; the two earliest rotated out.
+        assert_eq!(traces[0].spans[0].attrs[0].1, AttrValue::U64(2));
+        assert_eq!(traces[2].spans[0].attrs[0].1, AttrValue::U64(4));
+        assert!(t.flight().find(traces[1].trace_id).is_some());
+    }
+
+    #[test]
+    fn slow_log_catches_threshold_crossers() {
+        let clock = ManualClock::shared();
+        let flight = FlightRecorder::with_slow_threshold(8, 100);
+        let t = Tracer::new(clock.clone(), 1, flight);
+        {
+            let _fast = t.start_trace("fast");
+            clock.advance(10);
+        }
+        {
+            let _slow = t.start_trace("slow");
+            clock.advance(200);
+        }
+        assert_eq!(t.flight().traces().len(), 2);
+        let slow = t.flight().slow();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].name, "slow");
+        assert_eq!(t.flight().slow_total(), 1);
+    }
+
+    #[test]
+    fn dumps_are_deterministic_under_manual_clock() {
+        let build = || {
+            let clock = ManualClock::shared();
+            let t = Tracer::new(clock.clone(), 7, FlightRecorder::new(4));
+            {
+                let mut root = t.start_trace("query");
+                root.attr("class", "why");
+                clock.advance(1_500);
+                let child = root.child("search");
+                clock.advance(500);
+                drop(child);
+            }
+            (t.flight().dump_json(), t.flight().dump_chrome_trace())
+        };
+        let (j1, c1) = build();
+        let (j2, c2) = build();
+        assert_eq!(j1, j2);
+        assert_eq!(c1, c2);
+        assert!(j1.contains("\"recorded_total\":1"), "{j1}");
+        assert!(c1.contains("\"traceEvents\":["), "{c1}");
+        assert!(c1.contains("\"ph\":\"X\""), "{c1}");
+        assert!(c1.contains("\"ts\":1.5"), "{c1}");
+    }
+}

@@ -23,9 +23,15 @@
 //! buckets from 1µs to 10s.
 
 pub mod clock;
+pub mod flight;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use flight::FlightRecorder;
 pub use metrics::{Counter, Gauge, Histogram, Unit, COUNT_BUCKETS, LATENCY_BUCKETS_NANOS};
-pub use registry::{MetricsRegistry, Span, StageTimer};
+pub use registry::{MetricsRegistry, Span, StageAcc, StageGuard, StageTimer};
+pub use trace::{
+    trace_id_hex, ActiveSpan, AttrValue, Attrs, SpanRecord, TraceContext, TraceRecord, Tracer,
+};

@@ -106,6 +106,15 @@ struct HistogramCore {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Exemplars: trace id (and the observed value) of the most recent
+    /// traced observation per bucket, plus the trace id that set the
+    /// current max. Last-writer-wins, id/value pairs are not updated
+    /// atomically together — these are diagnostic pointers into the
+    /// flight recorder, not accounting state, and a torn pair still
+    /// names a real trace. `0` means "no exemplar".
+    bucket_exemplars: Vec<AtomicU64>,
+    bucket_exemplar_values: Vec<AtomicU64>,
+    max_exemplar: AtomicU64,
 }
 
 /// Fixed-bucket histogram with integer observations.
@@ -127,8 +136,13 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "bucket bounds must be strictly ascending"
         );
-        let mut buckets = Vec::with_capacity(bounds.len() + 1);
-        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        let slots = bounds.len() + 1;
+        let mut buckets = Vec::with_capacity(slots);
+        buckets.resize_with(slots, AtomicU64::default);
+        let mut bucket_exemplars = Vec::with_capacity(slots);
+        bucket_exemplars.resize_with(slots, AtomicU64::default);
+        let mut bucket_exemplar_values = Vec::with_capacity(slots);
+        bucket_exemplar_values.resize_with(slots, AtomicU64::default);
         Self {
             core: Arc::new(HistogramCore {
                 unit,
@@ -137,6 +151,9 @@ impl Histogram {
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
                 max: AtomicU64::new(0),
+                bucket_exemplars,
+                bucket_exemplar_values,
+                max_exemplar: AtomicU64::new(0),
             }),
         }
     }
@@ -146,6 +163,13 @@ impl Histogram {
     }
 
     pub fn observe(&self, value: u64) {
+        self.observe_traced(value, 0);
+    }
+
+    /// Observe with an exemplar: `trace_id` (nonzero) is remembered as
+    /// the bucket's exemplar, and as the max exemplar if `value` sets a
+    /// new max. `trace_id == 0` behaves exactly like [`Self::observe`].
+    pub fn observe_traced(&self, value: u64, trace_id: u64) {
         let c = &self.core;
         let idx = c
             .bounds
@@ -155,7 +179,14 @@ impl Histogram {
         c.buckets[idx].fetch_add(1, Ordering::Relaxed);
         c.count.fetch_add(1, Ordering::Relaxed);
         c.sum.fetch_add(value, Ordering::Relaxed);
-        c.max.fetch_max(value, Ordering::Relaxed);
+        let prev_max = c.max.fetch_max(value, Ordering::Relaxed);
+        if trace_id != 0 {
+            c.bucket_exemplars[idx].store(trace_id, Ordering::Relaxed);
+            c.bucket_exemplar_values[idx].store(value, Ordering::Relaxed);
+            if value >= prev_max {
+                c.max_exemplar.store(trace_id, Ordering::Relaxed);
+            }
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -213,6 +244,47 @@ impl Histogram {
             }
         }
         self.max() as f64
+    }
+
+    /// Index of the bucket (finite or overflow) containing the
+    /// `q`-quantile observation; `None` on an empty histogram.
+    fn winning_bucket(&self, q: f64) -> Option<usize> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if c > 0 && cum >= target {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// `(trace id, observed value)` exemplar of bucket `i` (finite
+    /// buckets first, then the overflow slot); trace id `0` means none.
+    pub fn bucket_exemplar(&self, i: usize) -> (u64, u64) {
+        (
+            self.core.bucket_exemplars[i].load(Ordering::Relaxed),
+            self.core.bucket_exemplar_values[i].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Trace id of the observation that set the current max (`0` = none).
+    pub fn max_exemplar(&self) -> u64 {
+        self.core.max_exemplar.load(Ordering::Relaxed)
+    }
+
+    /// Trace id exemplifying the p99 bucket: the most recent traced
+    /// observation that landed in the bucket containing the p99
+    /// observation (`0` = none recorded there).
+    pub fn p99_exemplar(&self) -> u64 {
+        self.winning_bucket(0.99)
+            .map_or(0, |i| self.core.bucket_exemplars[i].load(Ordering::Relaxed))
     }
 
     pub fn p50(&self) -> f64 {
@@ -293,6 +365,27 @@ mod tests {
         let h = Histogram::new(Unit::Count, &[10]);
         h.observe(1_000_000);
         assert_eq!(h.p99(), 1_000_000.0);
+    }
+
+    #[test]
+    fn exemplars_track_max_and_p99_bucket() {
+        let h = Histogram::new(Unit::Nanos, &[10, 100]);
+        h.observe(5); // untraced — no exemplar anywhere
+        assert_eq!(h.max_exemplar(), 0);
+        h.observe_traced(50, 0xAA);
+        assert_eq!(h.max_exemplar(), 0xAA);
+        h.observe_traced(7, 0xBB); // smaller value: bucket exemplar only
+        assert_eq!(h.max_exemplar(), 0xAA);
+        assert_eq!(h.bucket_exemplar(0), (0xBB, 7));
+        assert_eq!(h.bucket_exemplar(1), (0xAA, 50));
+        // Three observations ≤ 100: the p99 observation sits in the
+        // (10, 100] bucket, whose exemplar is 0xAA.
+        assert_eq!(h.p99_exemplar(), 0xAA);
+        h.observe_traced(5_000, 0xCC); // overflow sets max + p99 exemplar
+        assert_eq!(h.max_exemplar(), 0xCC);
+        assert_eq!(h.p99_exemplar(), 0xCC);
+        // Empty histogram: everything zero.
+        assert_eq!(Histogram::new(Unit::Count, &[1]).p99_exemplar(), 0);
     }
 
     #[test]

@@ -1,0 +1,755 @@
+//! Request-scoped tracing: deterministic trace ids, hierarchical spans,
+//! RAII finish.
+//!
+//! A [`Tracer`] mints trace ids from a seed (`splitmix64`, the same
+//! generator the fault plans use) and reads timestamps from the injectable
+//! [`Clock`], so under a [`crate::ManualClock`] an identical operation
+//! sequence produces byte-identical trace dumps. Spans are finished by
+//! `Drop` — early returns, deadline-partial exits and `catch_unwind`
+//! paths all record their latency without cooperation from the traced
+//! code.
+//!
+//! The hot path is allocation-light by design: span names and attribute
+//! keys are `Cow<'static, str>` (every instrumentation site passes a
+//! literal), attribute values are typed [`AttrValue`]s that defer all
+//! formatting to dump time, and a child span is plain stack state — the
+//! only per-trace heap traffic is the shared trace cell, its span
+//! vector, and the completed [`TraceRecord`].
+//!
+//! The lifecycle: [`Tracer::start_trace`] opens a root [`ActiveSpan`];
+//! [`ActiveSpan::child`] / [`TraceContext::child`] nest under it; when
+//! the root drops, the trace's spans are sorted by span id into a
+//! [`TraceRecord`] and handed to the [`FlightRecorder`]. A
+//! [`TraceContext`] is a cheap `Clone` handle for threading through call
+//! trees; `TraceContext::disabled()` is the zero-cost no-op used when no
+//! tracer is installed.
+
+use crate::clock::Clock;
+use crate::flight::FlightRecorder;
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// SplitMix64 — the id generator (shared idiom with `nous-fault` plans).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A span attribute value. Typed so the instrumentation hot path stores
+/// raw numbers and static strings; rendering happens only when a dump is
+/// requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(Cow::Borrowed(v))
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(Cow::Owned(v))
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl AttrValue {
+    /// The value as a JSON literal (numbers/bools bare, strings escaped
+    /// and quoted).
+    pub fn to_json(&self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::I64(v) => v.to_string(),
+            AttrValue::Bool(v) => v.to_string(),
+            AttrValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        }
+    }
+}
+
+/// Attribute pairs in insertion order.
+pub type Attrs = Vec<(Cow<'static, str>, AttrValue)>;
+
+/// One finished span inside a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace; the root is always `1`.
+    pub id: u64,
+    /// Parent span id; `0` means "no parent" (the root).
+    pub parent: u64,
+    pub name: Cow<'static, str>,
+    pub start_nanos: u64,
+    pub end_nanos: u64,
+    /// Attribute pairs in insertion order (doc id, query class, …).
+    pub attrs: Attrs,
+}
+
+impl SpanRecord {
+    /// Attribute value for `key`, rendered, if present.
+    pub fn attr(&self, key: &str) -> Option<String> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.to_string())
+    }
+}
+
+/// A completed trace: the root plus every finished descendant, sorted by
+/// span id (creation order — deterministic for single-threaded traces).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    pub trace_id: u64,
+    /// Root span name — doubles as the trace "kind" in the slow log.
+    pub name: Cow<'static, str>,
+    pub start_nanos: u64,
+    pub end_nanos: u64,
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceRecord {
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// The trace id as the zero-padded hex string used in exemplar labels
+    /// and dumps.
+    pub fn trace_id_hex(&self) -> String {
+        trace_id_hex(self.trace_id)
+    }
+
+    /// Deterministic JSON object for this trace (sorted span order is
+    /// baked in at completion time).
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self.spans.iter().map(span_json).collect();
+        format!(
+            "{{\"trace_id\":\"{}\",\"name\":\"{}\",\"start_nanos\":{},\"end_nanos\":{},\"spans\":[{}]}}",
+            self.trace_id_hex(),
+            json_escape(&self.name),
+            self.start_nanos,
+            self.end_nanos,
+            spans.join(",")
+        )
+    }
+}
+
+/// `trace_id` rendered for exemplars/dumps: 16 hex digits, zero-padded.
+pub fn trace_id_hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+fn span_json(s: &SpanRecord) -> String {
+    let attrs: Vec<String> = s
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v.to_json()))
+        .collect();
+    format!(
+        "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_nanos\":{},\"end_nanos\":{},\"attrs\":{{{}}}}}",
+        s.id,
+        s.parent,
+        json_escape(&s.name),
+        s.start_nanos,
+        s.end_nanos,
+        attrs.join(",")
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Shared mutable state of one in-flight trace.
+struct TraceShared {
+    trace_id: u64,
+    name: Cow<'static, str>,
+    start_nanos: u64,
+    next_span: AtomicU64,
+    /// Finished spans, in drop order; sorted by id at completion.
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// How many recycled span vectors the tracer keeps around.
+const SPAN_POOL_MAX: usize = 64;
+
+struct TracerInner {
+    clock: Arc<dyn Clock>,
+    seed: u64,
+    next_trace: AtomicU64,
+    flight: FlightRecorder,
+    /// In-flight traces — drained into the black-box dump so a fault can
+    /// expose the *currently faulting* request. A plain vector: traces
+    /// are few, entry/exit is push + swap-remove (no per-trace node
+    /// allocation the way a map would take).
+    active: Mutex<Vec<Arc<TraceShared>>>,
+    /// Span vectors reclaimed from ring-evicted traces; the hot path pops
+    /// one instead of allocating.
+    spans_pool: Mutex<Vec<Vec<SpanRecord>>>,
+}
+
+/// Mints traces and feeds completed ones to its [`FlightRecorder`].
+///
+/// Clones share state; installing one on a
+/// [`crate::MetricsRegistry`] makes `registry.trace(..)` live.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// Tracer with deterministic ids from `seed`, recording into `flight`.
+    pub fn new(clock: Arc<dyn Clock>, seed: u64, flight: FlightRecorder) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                clock,
+                seed,
+                next_trace: AtomicU64::new(0),
+                flight,
+                active: Mutex::new(Vec::new()),
+                spans_pool: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Open a new root span; the trace completes (and lands in the flight
+    /// recorder) when the returned span drops.
+    pub fn start_trace(&self, name: &'static str) -> ActiveSpan {
+        let seq = self.inner.next_trace.fetch_add(1, Ordering::Relaxed);
+        let mut trace_id = splitmix64(self.inner.seed ^ (seq + 1));
+        if trace_id == 0 {
+            trace_id = 1; // 0 is the "no exemplar" sentinel
+        }
+        let now = self.inner.clock.now_nanos();
+        let spans = self
+            .inner
+            .spans_pool
+            .lock()
+            .expect("tracer pool lock")
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(8));
+        let shared = Arc::new(TraceShared {
+            trace_id,
+            name: Cow::Borrowed(name),
+            start_nanos: now,
+            next_span: AtomicU64::new(2), // root takes 1
+            spans: Mutex::new(spans),
+        });
+        self.inner
+            .active
+            .lock()
+            .expect("tracer active lock")
+            .push(Arc::clone(&shared));
+        ActiveSpan {
+            inner: Some(SpanInner {
+                tracer: self.clone(),
+                trace: shared,
+                span_id: 1,
+                parent: 0,
+                name: Cow::Borrowed(name),
+                start: now,
+                attrs: Vec::with_capacity(8),
+            }),
+        }
+    }
+
+    /// Black-box snapshot: the flight ring, the slow log, *and* the
+    /// completed spans of every still-in-flight trace (the faulting
+    /// request is usually one of those). Deterministic JSON.
+    pub fn blackbox_json(&self, reason: &str) -> String {
+        let mut open: Vec<Arc<TraceShared>> = self
+            .inner
+            .active
+            .lock()
+            .expect("tracer active lock")
+            .clone();
+        open.sort_by_key(|t| t.trace_id);
+        let mut in_flight: Vec<String> = Vec::new();
+        for shared in &open {
+            let mut spans = shared.spans.lock().expect("trace spans lock").clone();
+            spans.sort_by_key(|s| s.id);
+            let rec = TraceRecord {
+                trace_id: shared.trace_id,
+                name: shared.name.clone(),
+                start_nanos: shared.start_nanos,
+                end_nanos: self.inner.clock.now_nanos(),
+                spans,
+            };
+            in_flight.push(rec.to_json());
+        }
+        format!(
+            "{{\"reason\":\"{}\",\"in_flight\":[{}],\"traces\":{},\"slow\":{}}}",
+            json_escape(reason),
+            in_flight.join(","),
+            self.inner.flight.traces_json(),
+            self.inner.flight.slow_json()
+        )
+    }
+
+    /// A hook suitable for `Faults::with_blackbox`: snapshots the recorder
+    /// to `dir/blackbox-<reason-slug>.json`. Write errors are swallowed —
+    /// the black box must never take the system down with it.
+    pub fn blackbox_hook(
+        &self,
+        dir: std::path::PathBuf,
+    ) -> Arc<dyn Fn(&str) + Send + Sync + 'static> {
+        let tracer = self.clone();
+        Arc::new(move |reason: &str| {
+            let slug: String = reason
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .take(48)
+                .collect();
+            let path = dir.join(format!("blackbox-{slug}.json"));
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(&path, tracer.blackbox_json(reason));
+        })
+    }
+
+    fn complete(&self, shared: &Arc<TraceShared>, end_nanos: u64, root: SpanRecord) {
+        let mut spans = {
+            let mut guard = shared.spans.lock().expect("trace spans lock");
+            std::mem::take(&mut *guard)
+        };
+        spans.push(root);
+        spans.sort_by_key(|s| s.id);
+        {
+            let mut active = self.inner.active.lock().expect("tracer active lock");
+            if let Some(pos) = active.iter().position(|t| t.trace_id == shared.trace_id) {
+                active.swap_remove(pos);
+            }
+        }
+        let evicted = self.inner.flight.record(Arc::new(TraceRecord {
+            trace_id: shared.trace_id,
+            name: shared.name.clone(),
+            start_nanos: shared.start_nanos,
+            end_nanos,
+            spans,
+        }));
+        // Reclaim the rotated-out trace's span vector (capacity survives a
+        // clear) so steady-state recording stops allocating span storage.
+        if let Some(old) = evicted {
+            if let Ok(mut rec) = Arc::try_unwrap(old) {
+                rec.spans.clear();
+                let mut pool = self.inner.spans_pool.lock().expect("tracer pool lock");
+                if pool.len() < SPAN_POOL_MAX {
+                    pool.push(std::mem::take(&mut rec.spans));
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer(seed={:#x})", self.inner.seed)
+    }
+}
+
+#[derive(Clone)]
+struct CtxFields {
+    tracer: Tracer,
+    trace: Arc<TraceShared>,
+    /// The span this context belongs to — children parent onto it.
+    span_id: u64,
+}
+
+/// Cheap, clonable handle identifying "the current span of the current
+/// trace" — thread it through call trees instead of the RAII
+/// [`ActiveSpan`]. Fields are held inline (a clone is two refcount
+/// bumps, no allocation). A disabled context is a no-op everywhere.
+#[derive(Clone)]
+pub struct TraceContext {
+    inner: Option<CtxFields>,
+}
+
+impl TraceContext {
+    /// The no-op context used when tracing is off.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Trace id, or `0` when disabled ("no exemplar" sentinel).
+    pub fn trace_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.trace.trace_id)
+    }
+
+    /// Open a child span under this context's span. No-op when disabled.
+    pub fn child(&self, name: &'static str) -> ActiveSpan {
+        match &self.inner {
+            None => ActiveSpan::disabled(),
+            Some(inner) => {
+                let id = inner.trace.next_span.fetch_add(1, Ordering::Relaxed);
+                ActiveSpan {
+                    inner: Some(SpanInner {
+                        tracer: inner.tracer.clone(),
+                        trace: Arc::clone(&inner.trace),
+                        span_id: id,
+                        parent: inner.span_id,
+                        name: Cow::Borrowed(name),
+                        start: inner.tracer.inner.clock.now_nanos(),
+                        attrs: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Record an already-measured child span (the pipeline's accumulated
+    /// per-stage times use this: `start` is the first entry into the
+    /// stage, `end` is `start + total accumulated`). No-op when disabled.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        start_nanos: u64,
+        end_nanos: u64,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        if let Some(inner) = &self.inner {
+            let id = inner.trace.next_span.fetch_add(1, Ordering::Relaxed);
+            inner
+                .trace
+                .spans
+                .lock()
+                .expect("trace spans lock")
+                .push(SpanRecord {
+                    id,
+                    parent: inner.span_id,
+                    name: Cow::Borrowed(name),
+                    start_nanos,
+                    end_nanos,
+                    attrs: attrs
+                        .iter()
+                        .map(|(k, v)| (Cow::Borrowed(*k), v.clone()))
+                        .collect(),
+                });
+        }
+    }
+}
+
+impl fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "TraceContext(disabled)"),
+            Some(i) => write!(
+                f,
+                "TraceContext({}/span {})",
+                trace_id_hex(i.trace.trace_id),
+                i.span_id
+            ),
+        }
+    }
+}
+
+/// Live state of one enabled span — plain fields, no per-span `Arc`.
+struct SpanInner {
+    tracer: Tracer,
+    trace: Arc<TraceShared>,
+    span_id: u64,
+    parent: u64,
+    name: Cow<'static, str>,
+    start: u64,
+    attrs: Attrs,
+}
+
+/// RAII span: finishes when dropped (panic- and early-return-safe).
+/// Dropping the *root* span completes the trace into the flight recorder.
+pub struct ActiveSpan {
+    /// `None` = disabled or already finished.
+    inner: Option<SpanInner>,
+}
+
+impl ActiveSpan {
+    /// A span that records nothing — what disabled contexts hand out.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Trace id, or `0` when disabled.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.trace.trace_id)
+    }
+
+    /// Attach an attribute (no-op when disabled).
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.attrs.push((Cow::Borrowed(key), value.into()));
+        }
+    }
+
+    /// The context for threading into callees; children opened from it
+    /// parent onto this span.
+    pub fn context(&self) -> TraceContext {
+        match &self.inner {
+            None => TraceContext::disabled(),
+            Some(inner) => TraceContext {
+                inner: Some(CtxFields {
+                    tracer: inner.tracer.clone(),
+                    trace: Arc::clone(&inner.trace),
+                    span_id: inner.span_id,
+                }),
+            },
+        }
+    }
+
+    /// Open a child of this span.
+    pub fn child(&self, name: &'static str) -> ActiveSpan {
+        match &self.inner {
+            None => ActiveSpan::disabled(),
+            Some(inner) => {
+                let id = inner.trace.next_span.fetch_add(1, Ordering::Relaxed);
+                ActiveSpan {
+                    inner: Some(SpanInner {
+                        tracer: inner.tracer.clone(),
+                        trace: Arc::clone(&inner.trace),
+                        span_id: id,
+                        parent: inner.span_id,
+                        name: Cow::Borrowed(name),
+                        start: inner.tracer.inner.clock.now_nanos(),
+                        attrs: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Finish now (instead of at drop).
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let end = inner.tracer.inner.clock.now_nanos();
+        let record = SpanRecord {
+            id: inner.span_id,
+            parent: inner.parent,
+            name: inner.name,
+            start_nanos: inner.start,
+            end_nanos: end,
+            attrs: inner.attrs,
+        };
+        if inner.parent == 0 {
+            inner.tracer.complete(&inner.trace, end, record);
+        } else {
+            inner
+                .trace
+                .spans
+                .lock()
+                .expect("trace spans lock")
+                .push(record);
+        }
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+impl fmt::Debug for ActiveSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "ActiveSpan(disabled)"),
+            Some(i) => write!(
+                f,
+                "ActiveSpan({}/span {}, name={})",
+                trace_id_hex(i.trace.trace_id),
+                i.span_id,
+                i.name
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn tracer(clock: Arc<ManualClock>) -> Tracer {
+        Tracer::new(clock, 42, FlightRecorder::new(8))
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_per_seed() {
+        let a = tracer(ManualClock::shared());
+        let b = tracer(ManualClock::shared());
+        let ids_a: Vec<u64> = (0..3).map(|_| a.start_trace("t").trace_id()).collect();
+        let ids_b: Vec<u64> = (0..3).map(|_| b.start_trace("t").trace_id()).collect();
+        assert_eq!(ids_a, ids_b);
+        assert!(ids_a.iter().all(|&id| id != 0));
+        assert_ne!(ids_a[0], ids_a[1]);
+    }
+
+    #[test]
+    fn spans_nest_and_complete_on_root_drop() {
+        let clock = ManualClock::shared();
+        let t = tracer(clock.clone());
+        {
+            let mut root = t.start_trace("ingest.doc");
+            root.attr("doc", 7u64);
+            clock.advance(10);
+            {
+                let mut child = root.child("extract");
+                clock.advance(5);
+                let grandchild = child.child("ner");
+                clock.advance(2);
+                drop(grandchild);
+                child.attr("triples", 3u64);
+            }
+            assert_eq!(t.flight().traces().len(), 0, "trace still open");
+        }
+        let traces = t.flight().traces();
+        assert_eq!(traces.len(), 1);
+        let tr = &traces[0];
+        assert_eq!(tr.spans.len(), 3);
+        assert_eq!(tr.spans[0].id, 1);
+        assert_eq!(tr.spans[0].parent, 0);
+        assert_eq!(tr.spans[0].name, "ingest.doc");
+        assert_eq!(tr.spans[1].name, "extract");
+        assert_eq!(tr.spans[1].parent, 1);
+        assert_eq!(tr.spans[2].name, "ner");
+        assert_eq!(tr.spans[2].parent, tr.spans[1].id);
+        assert_eq!(tr.spans[2].start_nanos, 15);
+        assert_eq!(tr.spans[2].end_nanos, 17);
+        assert_eq!(tr.duration_nanos(), 17);
+        assert_eq!(tr.spans[0].attr("doc"), Some("7".to_owned()));
+        assert_eq!(tr.spans[0].attrs[0].1, AttrValue::U64(7));
+    }
+
+    #[test]
+    fn span_records_on_panic_unwind() {
+        let t = tracer(ManualClock::shared());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let root = t.start_trace("doomed");
+            let _child = root.child("stage");
+            panic!("injected");
+        }));
+        assert!(result.is_err());
+        let traces = t.flight().traces();
+        assert_eq!(traces.len(), 1, "root drop during unwind completes trace");
+        assert_eq!(traces[0].spans.len(), 2);
+    }
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let ctx = TraceContext::disabled();
+        assert!(!ctx.is_enabled());
+        assert_eq!(ctx.trace_id(), 0);
+        let mut span = ctx.child("x");
+        span.attr("k", "v");
+        ctx.record_span("y", 0, 1, &[]);
+        drop(span);
+    }
+
+    #[test]
+    fn blackbox_includes_in_flight_trace() {
+        let t = tracer(ManualClock::shared());
+        let mut root = t.start_trace("ingest.doc");
+        root.attr("doc", 3u64);
+        let child = root.child("map");
+        child.finish();
+        let dump = t.blackbox_json("wal-degraded");
+        assert!(dump.contains("\"reason\":\"wal-degraded\""), "{dump}");
+        assert!(dump.contains("\"in_flight\":["), "{dump}");
+        assert!(dump.contains("\"name\":\"map\""), "{dump}");
+        drop(root);
+        let after = t.blackbox_json("later");
+        assert!(after.contains("\"in_flight\":[]"), "{after}");
+        assert!(after.contains("\"name\":\"ingest.doc\""), "{after}");
+    }
+
+    #[test]
+    fn record_span_attaches_premeasured_child() {
+        let t = tracer(ManualClock::shared());
+        let root = t.start_trace("batch");
+        root.context()
+            .record_span("map", 5, 12, &[("docs", AttrValue::U64(4))]);
+        drop(root);
+        let tr = &t.flight().traces()[0];
+        assert_eq!(tr.spans.len(), 2);
+        assert_eq!(tr.spans[1].name, "map");
+        assert_eq!(tr.spans[1].start_nanos, 5);
+        assert_eq!(tr.spans[1].end_nanos, 12);
+        assert_eq!(tr.spans[1].attr("docs"), Some("4".to_owned()));
+    }
+
+    #[test]
+    fn attr_values_render_typed_json() {
+        let t = tracer(ManualClock::shared());
+        {
+            let mut root = t.start_trace("q");
+            root.attr("n", 7u64);
+            root.attr("neg", -3i64);
+            root.attr("partial", true);
+            root.attr("class", "why");
+            root.attr("quote", "say \"hi\"".to_owned());
+        }
+        let json = t.flight().traces()[0].to_json();
+        assert!(json.contains("\"n\":7"), "{json}");
+        assert!(json.contains("\"neg\":-3"), "{json}");
+        assert!(json.contains("\"partial\":true"), "{json}");
+        assert!(json.contains("\"class\":\"why\""), "{json}");
+        assert!(json.contains("\"quote\":\"say \\\"hi\\\"\""), "{json}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Golden-output pin for the Prometheus text exposition: family
+//! ordering, `# TYPE` before `# HELP`, HELP/label-value escaping per the
+//! exposition format, histogram bucket/sum/count layout, and the
+//! OpenMetrics-style exemplar suffix. Any byte-level drift in the
+//! exposition is a contract change and must update this test on purpose.
+
+use nous_obs::{ManualClock, MetricsRegistry, Unit, COUNT_BUCKETS};
+
+#[test]
+fn exposition_matches_golden_output() {
+    let clock = ManualClock::shared();
+    let r = MetricsRegistry::with_clock(clock);
+    r.counter_with(
+        "nous_docs_total",
+        "Documents ingested\nsecond \\line",
+        &[("source", "feed \"a\"")],
+    )
+    .add(3);
+    r.gauge("nous_layers", "Snapshot layer count").set(2);
+    r.histogram_with(
+        "nous_batch_docs",
+        "Docs per batch",
+        &[],
+        Unit::Count,
+        COUNT_BUCKETS,
+    )
+    .observe(5);
+    let lat = r.latency_with("nous_q_seconds", "Query latency", &[("class", "why")]);
+    lat.observe(1_500);
+    lat.observe_traced(2_500_000, 0xDEAD_BEEF);
+
+    let golden = "\
+# TYPE nous_batch_docs histogram
+# HELP nous_batch_docs Docs per batch
+nous_batch_docs_bucket{le=\"1\"} 0
+nous_batch_docs_bucket{le=\"2\"} 0
+nous_batch_docs_bucket{le=\"5\"} 1
+nous_batch_docs_bucket{le=\"10\"} 1
+nous_batch_docs_bucket{le=\"20\"} 1
+nous_batch_docs_bucket{le=\"50\"} 1
+nous_batch_docs_bucket{le=\"100\"} 1
+nous_batch_docs_bucket{le=\"200\"} 1
+nous_batch_docs_bucket{le=\"500\"} 1
+nous_batch_docs_bucket{le=\"1000\"} 1
+nous_batch_docs_bucket{le=\"10000\"} 1
+nous_batch_docs_bucket{le=\"+Inf\"} 1
+nous_batch_docs_sum 5
+nous_batch_docs_count 1
+# TYPE nous_docs_total counter
+# HELP nous_docs_total Documents ingested\\nsecond \\\\line
+nous_docs_total{source=\"feed \\\"a\\\"\"} 3
+# TYPE nous_layers gauge
+# HELP nous_layers Snapshot layer count
+nous_layers 2
+# TYPE nous_q_seconds histogram
+# HELP nous_q_seconds Query latency
+nous_q_seconds_bucket{class=\"why\",le=\"0.000001\"} 0
+nous_q_seconds_bucket{class=\"why\",le=\"0.00001\"} 1
+nous_q_seconds_bucket{class=\"why\",le=\"0.0001\"} 1
+nous_q_seconds_bucket{class=\"why\",le=\"0.001\"} 1
+nous_q_seconds_bucket{class=\"why\",le=\"0.01\"} 2 # {trace_id=\"00000000deadbeef\"} 0.0025
+nous_q_seconds_bucket{class=\"why\",le=\"0.1\"} 2
+nous_q_seconds_bucket{class=\"why\",le=\"1\"} 2
+nous_q_seconds_bucket{class=\"why\",le=\"10\"} 2
+nous_q_seconds_bucket{class=\"why\",le=\"+Inf\"} 2
+nous_q_seconds_sum{class=\"why\"} 0.0025015
+nous_q_seconds_count{class=\"why\"} 2
+";
+    assert_eq!(r.render_prometheus(), golden);
+}

@@ -587,6 +587,7 @@ impl DurableStore {
             metrics: self.metrics.clone(),
             buf: DocRecord::default(),
             ack,
+            faults: self.faults.clone(),
         })
     }
 
@@ -747,6 +748,7 @@ struct WalJournal {
     metrics: StoreMetrics,
     buf: DocRecord,
     ack: Option<AckHook>,
+    faults: Faults,
 }
 
 impl IngestJournal for WalJournal {
@@ -804,6 +806,10 @@ impl IngestJournal for WalJournal {
                 if !was_degraded {
                     self.degraded.store(true, Ordering::Relaxed);
                     self.metrics.wal_degraded.set(1);
+                    // Entering MemoryOnly is the canonical "what just
+                    // happened" moment: snapshot the flight recorder so
+                    // the traces leading up to the flip survive.
+                    self.faults.blackbox(&format!("wal-degraded doc={doc_id}"));
                 }
             }
         }

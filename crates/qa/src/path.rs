@@ -109,6 +109,18 @@ impl SearchStats {
         self.coherence_evals += other.coherence_evals;
         self.truncated |= other.truncated;
     }
+
+    /// The accounting as span attributes, for annotating a search's
+    /// trace span (`nous_obs::TraceContext::record_span` and friends).
+    pub fn attrs(&self) -> Vec<(String, String)> {
+        vec![
+            ("nodes_expanded".into(), self.nodes_expanded.to_string()),
+            ("max_frontier".into(), self.max_frontier.to_string()),
+            ("paths_emitted".into(), self.paths_emitted.to_string()),
+            ("coherence_evals".into(), self.coherence_evals.to_string()),
+            ("truncated".into(), self.truncated.to_string()),
+        ]
+    }
 }
 
 /// Undirected neighbour steps of `v` written into `out` (cleared first):

@@ -19,7 +19,7 @@ use nous_core::{entity_summary_view, KnowledgeGraph, SharedSession, TrendMonitor
 use nous_fault::Deadline;
 use nous_graph::{GraphView, VertexId};
 use nous_link::Disambiguator;
-use nous_obs::MetricsRegistry;
+use nous_obs::{ActiveSpan, MetricsRegistry, TraceContext};
 use nous_qa::{
     coherent_paths_deadline_instrumented, coherent_paths_deadline_with_stats, record_search,
     PathConstraint, QaConfig, TopicIndex,
@@ -40,6 +40,16 @@ fn endpoint_matches<G: GraphView>(g: &G, ep: &Endpoint, v: VertexId) -> bool {
         Endpoint::Type(t) => g.label(v).is_some_and(|l| l.eq_ignore_ascii_case(t)),
         Endpoint::Constant(name) => g.vertex_name(v).eq_ignore_ascii_case(name),
     }
+}
+
+/// Search accounting as typed span attributes — pushed directly so the
+/// tracing hot path formats nothing.
+fn annotate_search_span(span: &mut ActiveSpan, stats: &nous_qa::SearchStats) {
+    span.attr("nodes_expanded", stats.nodes_expanded);
+    span.attr("max_frontier", stats.max_frontier);
+    span.attr("paths_emitted", stats.paths_emitted);
+    span.attr("coherence_evals", stats.coherence_evals);
+    span.attr("truncated", stats.truncated);
 }
 
 /// The metric label for a query's class (`nous_query_*{class=...}`).
@@ -125,6 +135,33 @@ pub fn execute_view_instrumented_deadline<G: GraphView>(
     registry: &MetricsRegistry,
     deadline: &Deadline,
 ) -> QueryResponse {
+    execute_view_instrumented_deadline_traced(
+        query,
+        g,
+        disamb,
+        topics,
+        trends,
+        registry,
+        deadline,
+        &TraceContext::disabled(),
+    )
+}
+
+/// [`execute_view_instrumented_deadline`] under an explicit trace
+/// context: the per-class latency span is exemplar-linked to the trace,
+/// and search-heavy classes annotate child spans with their effort
+/// accounting.
+#[allow(clippy::too_many_arguments)] // the trace context rides on the instrumented signature
+pub fn execute_view_instrumented_deadline_traced<G: GraphView>(
+    query: &Query,
+    g: &G,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+    trends: Option<&mut TrendMonitor>,
+    registry: &MetricsRegistry,
+    deadline: &Deadline,
+    ctx: &TraceContext,
+) -> QueryResponse {
     let class = query_class(query);
     registry
         .counter_with(
@@ -133,12 +170,23 @@ pub fn execute_view_instrumented_deadline<G: GraphView>(
             &[("class", class)],
         )
         .inc();
-    let span = registry.span_with(
-        "nous_query_seconds",
-        "Query execution wall time per class",
-        &[("class", class)],
+    let span = registry
+        .span_with(
+            "nous_query_seconds",
+            "Query execution wall time per class",
+            &[("class", class)],
+        )
+        .with_exemplar(ctx.trace_id());
+    let out = execute_view_deadline_traced(
+        query,
+        g,
+        disamb,
+        topics,
+        trends,
+        Some(registry),
+        deadline,
+        ctx,
     );
-    let out = execute_view_deadline(query, g, disamb, topics, trends, Some(registry), deadline);
     span.stop();
     out
 }
@@ -166,9 +214,24 @@ pub fn execute_shared_deadline(
 ) -> QueryResponse {
     let registry = session.metrics().clone();
     let snap = session.frozen();
-    match query {
+    // One trace per request: the root span carries the class, the served
+    // epoch and its layer depth; the partial flag lands once the class
+    // executor reports back. Slow requests enter the flight recorder's
+    // slow log under "query".
+    let mut root = registry.trace("query");
+    root.attr("class", query_class(query));
+    root.attr("epoch", snap.epoch);
+    if root.is_enabled() {
+        let ms = snap.view.merge_stats();
+        root.attr("nous_snapshot_layers", ms.layers);
+        root.attr("overlay_edges", ms.overlay_edges);
+        root.attr("tombstones", ms.tombstones);
+        root.attr("delta_permille", ms.delta_permille());
+    }
+    let ctx = root.context();
+    let resp = match query {
         Query::Trending { .. } => session.with_trends_only(|trends| {
-            execute_view_instrumented_deadline(
+            execute_view_instrumented_deadline_traced(
                 query,
                 &snap.view,
                 &snap.disambiguator,
@@ -176,9 +239,10 @@ pub fn execute_shared_deadline(
                 Some(trends),
                 &registry,
                 deadline,
+                &ctx,
             )
         }),
-        _ => execute_view_instrumented_deadline(
+        _ => execute_view_instrumented_deadline_traced(
             query,
             &snap.view,
             &snap.disambiguator,
@@ -186,8 +250,11 @@ pub fn execute_shared_deadline(
             None,
             &registry,
             deadline,
+            &ctx,
         ),
-    }
+    };
+    root.attr("partial", resp.partial);
+    resp
 }
 
 /// The pre-snapshot serving path: one consistent read-lock acquisition
@@ -249,8 +316,32 @@ pub fn execute_view_deadline<G: GraphView>(
     registry: Option<&MetricsRegistry>,
     deadline: &Deadline,
 ) -> QueryResponse {
+    execute_view_deadline_traced(
+        query,
+        g,
+        disamb,
+        topics,
+        trends,
+        registry,
+        deadline,
+        &TraceContext::disabled(),
+    )
+}
+
+/// [`execute_view_deadline`] under an explicit trace context.
+#[allow(clippy::too_many_arguments)] // the trace context rides on the deadline signature
+pub fn execute_view_deadline_traced<G: GraphView>(
+    query: &Query,
+    g: &G,
+    disamb: &Disambiguator,
+    topics: &TopicIndex,
+    trends: Option<&mut TrendMonitor>,
+    registry: Option<&MetricsRegistry>,
+    deadline: &Deadline,
+    ctx: &TraceContext,
+) -> QueryResponse {
     let (result, partial) =
-        execute_view_inner(query, g, disamb, topics, trends, registry, deadline);
+        execute_view_inner(query, g, disamb, topics, trends, registry, deadline, ctx);
     if partial {
         if let Some(reg) = registry {
             reg.counter_with(
@@ -264,6 +355,7 @@ pub fn execute_view_deadline<G: GraphView>(
     QueryResponse { result, partial }
 }
 
+#[allow(clippy::too_many_arguments)] // private: the trace context rides on the executor signature
 fn execute_view_inner<G: GraphView>(
     query: &Query,
     g: &G,
@@ -272,9 +364,11 @@ fn execute_view_inner<G: GraphView>(
     trends: Option<&mut TrendMonitor>,
     registry: Option<&MetricsRegistry>,
     deadline: &Deadline,
+    ctx: &TraceContext,
 ) -> (QueryResult, bool) {
     match query {
         Query::Trending { limit } => {
+            let _span = ctx.child("trending");
             let (trends, partial) = trends
                 .map(|tm| tm.trending_on_deadline(g, deadline))
                 .unwrap_or((Vec::new(), false));
@@ -286,23 +380,26 @@ fn execute_view_inner<G: GraphView>(
             (QueryResult::Trending(items), partial)
         }
 
-        Query::Entity { name } => match entity_summary_view(g, disamb, name) {
-            None => (QueryResult::NotFound(name.clone()), false),
-            Some(s) => (
-                QueryResult::Entity {
-                    name: s.name,
-                    entity_type: s.entity_type,
-                    degree: s.degree,
-                    facts: s
-                        .facts
-                        .into_iter()
-                        .map(|(f, c, _, cur)| (f, c, cur))
-                        .collect(),
-                    neighbors: s.neighbors,
-                },
-                false,
-            ),
-        },
+        Query::Entity { name } => {
+            let _span = ctx.child("summary");
+            match entity_summary_view(g, disamb, name) {
+                None => (QueryResult::NotFound(name.clone()), false),
+                Some(s) => (
+                    QueryResult::Entity {
+                        name: s.name,
+                        entity_type: s.entity_type,
+                        degree: s.degree,
+                        facts: s
+                            .facts
+                            .into_iter()
+                            .map(|(f, c, _, cur)| (f, c, cur))
+                            .collect(),
+                        neighbors: s.neighbors,
+                    },
+                    false,
+                ),
+            }
+        }
 
         Query::Why {
             source,
@@ -328,6 +425,7 @@ fn execute_view_inner<G: GraphView>(
                 k: *limit,
                 ..Default::default()
             };
+            let mut search_span = ctx.child("search");
             let (paths, stats) = match registry {
                 Some(reg) => coherent_paths_deadline_instrumented(
                     g,
@@ -349,6 +447,8 @@ fn execute_view_inner<G: GraphView>(
                     deadline,
                 ),
             };
+            annotate_search_span(&mut search_span, &stats);
+            drop(search_span);
             (
                 QueryResult::Paths(paths.into_iter().map(|p| (p.render(g), p.score)).collect()),
                 stats.truncated,
@@ -369,6 +469,7 @@ fn execute_view_inner<G: GraphView>(
                     false,
                 );
             };
+            let mut scan_span = ctx.child("scan");
             let mut total = 0usize;
             let mut sample = Vec::new();
             let mut partial = false;
@@ -407,10 +508,14 @@ fn execute_view_inner<G: GraphView>(
                     ));
                 }
             });
+            scan_span.attr("postings_seen", seen);
+            scan_span.attr("matched", total);
+            drop(scan_span);
             (QueryResult::Matches { total, sample }, partial)
         }
 
         Query::Timeline { name, limit } => {
+            let _span = ctx.child("timeline");
             let Some(v) = resolve(g, disamb, name) else {
                 return (QueryResult::NotFound(name.clone()), false);
             };
@@ -468,6 +573,7 @@ fn execute_view_inner<G: GraphView>(
                 max_hops: *max_hops,
                 ..Default::default()
             };
+            let mut search_span = ctx.child("search");
             let (paths, stats) = nous_qa::baselines::shortest_paths_deadline_with_stats(
                 g,
                 src,
@@ -476,6 +582,8 @@ fn execute_view_inner<G: GraphView>(
                 &cfg,
                 deadline,
             );
+            annotate_search_span(&mut search_span, &stats);
+            drop(search_span);
             if let Some(reg) = registry {
                 record_search(reg, &stats);
             }

@@ -7,19 +7,42 @@
 //! ```sh
 //! cargo run --release --example stats
 //! cargo run --release --example stats -- --prometheus   # exposition only
+//! cargo run --release --example stats -- --chrome-trace # trace_event JSON only
 //! ```
+//!
+//! Tracing is on (256-trace flight recorder, slow threshold 0 so every
+//! request also lands in the slow log): after the stats surface, the
+//! example prints the slowest recorded query trace as a span tree —
+//! the flight-recorder view an operator would pull after a p99 alert.
 
 use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
 use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
 use nous_graph::window::WindowKind;
 use nous_mining::{EvictionStrategy, MinerConfig};
-use nous_obs::MetricsRegistry;
+use nous_obs::{trace_id_hex, MetricsRegistry, TraceRecord};
 use nous_qa::TopicIndex;
 use nous_query::{execute_shared, parse};
 use nous_topics::LdaConfig;
 
+/// Print one trace as an indented span tree with durations and attrs.
+fn print_span_tree(trace: &TraceRecord, parent: u64, depth: usize) {
+    for span in trace.spans.iter().filter(|s| s.parent == parent) {
+        let attrs: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "{:indent$}{} [{:.1}µs] {}",
+            "",
+            span.name,
+            span.end_nanos.saturating_sub(span.start_nanos) as f64 / 1_000.0,
+            attrs.join(" "),
+            indent = depth * 2
+        );
+        print_span_tree(trace, span.id, depth + 1);
+    }
+}
+
 fn main() {
     let prometheus_only = std::env::args().any(|a| a == "--prometheus");
+    let chrome_only = std::env::args().any(|a| a == "--chrome-trace");
 
     eprintln!("building session (smoke preset)…");
     let world = World::generate(&Preset::Smoke.world_config());
@@ -34,6 +57,9 @@ fn main() {
     // pipeline's stage timings, the miner's window telemetry and the query
     // executor's per-class latencies share a single /stats surface.
     let registry = MetricsRegistry::new();
+    // Flight recorder: last 256 traces; slow threshold 0 puts every
+    // request in the slow log so the demo always has a trace to show.
+    let tracer = registry.enable_tracing(42, 256, 0);
     let session = SharedSession::with_registry(
         kg,
         TopicIndex::new(2),
@@ -85,10 +111,39 @@ fn main() {
         eprintln!(">> {q}\n{}", result.render());
     }
 
+    if chrome_only {
+        // chrome://tracing / Perfetto-loadable trace_event JSON.
+        println!("{}", tracer.flight().dump_chrome_trace());
+        return;
+    }
+
     if !prometheus_only {
         println!("=== /stats (JSON snapshot) ===");
         println!("{}", session.stats_snapshot());
         println!("=== /metrics (Prometheus exposition) ===");
     }
     print!("{}", session.metrics().render_prometheus());
+
+    if !prometheus_only {
+        // The p99-alert workflow: the latency histogram's exemplar points
+        // at a trace id, the flight recorder resolves it to a span tree.
+        println!("=== slowest query trace (flight recorder) ===");
+        let slowest = tracer
+            .flight()
+            .slow()
+            .into_iter()
+            .filter(|t| t.name == "query")
+            .max_by_key(|t| t.duration_nanos());
+        match slowest {
+            Some(trace) => {
+                println!(
+                    "trace_id={} ({:.1}µs total)",
+                    trace_id_hex(trace.trace_id),
+                    trace.duration_nanos() as f64 / 1_000.0
+                );
+                print_span_tree(&trace, 0, 0);
+            }
+            None => println!("(no query traces recorded)"),
+        }
+    }
 }

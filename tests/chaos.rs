@@ -324,6 +324,103 @@ fn seeded_chaos_is_deterministic_and_loses_no_acked_fact() {
     }
 }
 
+/// ISSUE 7: entering `DegradedMode::MemoryOnly` under an injected WAL
+/// fault must trip the black-box hook — the flight recorder is dumped to
+/// the chaos log path and the dump contains the faulting request's
+/// trace, still in flight at the moment the WAL gave up.
+#[test]
+fn wal_degradation_dumps_blackbox_with_faulting_trace() {
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+
+    let registry = MetricsRegistry::new();
+    let tracer = registry.enable_tracing(0xB1ACB0, 32, u64::MAX);
+    let dump_dir = scratch("blackbox");
+    // Every WAL append fails: the first journaled document exhausts the
+    // retry budget and flips the store to MemoryOnly. The tracer's hook
+    // rides on the same fault handle every subsystem shares.
+    let faults = FaultPlan::from_seed(0xD1E)
+        .site(FP_WAL_APPEND, SitePlan::probability(1.0))
+        .arm()
+        .with_blackbox(tracer.blackbox_hook(dump_dir.clone()));
+
+    let dir = scratch("blackbox-store");
+    let mut store = DurableStore::create_with_faults(
+        &dir,
+        DurabilityConfig {
+            fsync: FsyncPolicy::Never,
+            checkpoint_every_facts: 0,
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff_ms: 0,
+            },
+            ..Default::default()
+        },
+        &kg,
+        &IngestReport::default(),
+        &registry,
+        faults.clone(),
+    )
+    .expect("baseline checkpoint is not failpointed");
+
+    let session = SharedSession::with_registry(
+        kg,
+        TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 200 },
+            MinerConfig {
+                k_max: 1,
+                min_support: 2,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    );
+    let mut pipeline = IngestPipeline::with_registry(
+        PipelineConfig {
+            batch_size: 8,
+            faults: faults.clone(),
+            ..Default::default()
+        },
+        registry.clone(),
+    );
+    pipeline.set_journal(store.journal());
+    let report = session.ingest_batch(&mut pipeline, &articles);
+    assert!(report.admitted > 0, "memory-only mode keeps ingesting");
+    assert_eq!(
+        registry.gauge_value("nous_wal_degraded", &[]),
+        Some(1),
+        "the WAL must have entered MemoryOnly"
+    );
+
+    // Exactly one dump: degradation fires the hook on the first flip only.
+    let dumps: Vec<PathBuf> = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("blackbox-"))
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "one degradation, one dump: {dumps:?}");
+    let dump = std::fs::read_to_string(&dumps[0]).unwrap();
+    assert!(dump.contains("\"reason\":\"wal-degraded"), "{dump}");
+    // The faulting request was mid-flight when the WAL gave up: its
+    // batch trace is in the dump's in-flight section, extract span
+    // already completed.
+    assert!(dump.contains("\"in_flight\":[{"), "{dump}");
+    assert!(dump.contains("\"name\":\"ingest.batch\""), "{dump}");
+    assert!(dump.contains("\"name\":\"extract\""), "{dump}");
+
+    drop(pipeline);
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dump_dir).ok();
+}
+
 /// ISSUE 6: a fault firing inside snapshot compaction must degrade, not
 /// damage. The session keeps serving queries from its existing layer
 /// stack, the WAL still holds every acked fact, and the checkpoint

@@ -1,0 +1,261 @@
+//! End-to-end pin for the request-scoped tracing layer: ingest the smoke
+//! corpus and run every query class with tracing on, then assert the
+//! flight recorder holds hierarchical traces with correct parent/child
+//! nesting for every pipeline stage and every query class, that dumps
+//! (JSON and Chrome `trace_event`) are byte-identical across runs under
+//! the manual clock, and that a latency histogram's p99 exemplar trace
+//! id resolves to a trace the recorder actually retained.
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::{ManualClock, MetricsRegistry, SpanRecord, TraceRecord, Tracer};
+use nous_qa::TopicIndex;
+use nous_query::{execute_shared, parse};
+use std::sync::Arc;
+
+/// Build a session with tracing enabled, ingest the smoke corpus, run
+/// one query per class, and hand back the tracer plus the registry.
+fn run_once(flight_capacity: usize) -> (Tracer, MetricsRegistry) {
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+    let a = world.entities[world.companies[0]].name.clone();
+    let b = world.entities[world.companies[1]].name.clone();
+
+    let clock = ManualClock::shared();
+    clock.advance(1);
+    let registry = MetricsRegistry::with_clock(clock.clone());
+    // Slow threshold 0: every completed trace also enters the slow log,
+    // so the slow path is exercised end to end.
+    let tracer = registry.enable_tracing(42, flight_capacity, 0);
+    let session = SharedSession::with_registry(
+        kg,
+        TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 200 },
+            MinerConfig {
+                k_max: 2,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    );
+    let mut pipeline = IngestPipeline::with_registry(
+        PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            ..Default::default()
+        },
+        registry.clone(),
+    );
+    let report = session.ingest_batch(&mut pipeline, &articles);
+    assert!(report.admitted > 0);
+    session.with_trends(|trends, kg| {
+        trends.observe(kg);
+    });
+    for q in [
+        "TRENDING LIMIT 5".to_owned(),
+        format!("tell me about {a}"),
+        format!("WHY {a} -> {b} LIMIT 3"),
+        "MATCH (Organization)-[acquired]->(Organization) LIMIT 3".to_owned(),
+        format!("TIMELINE {a} LIMIT 5"),
+        format!("PATHS {a} TO {b} MAX 3"),
+    ] {
+        execute_shared(&session, &parse(&q).expect("query parses"));
+    }
+    (tracer, registry)
+}
+
+fn attr(span: &SpanRecord, key: &str) -> Option<String> {
+    span.attr(key)
+}
+
+fn span_by_id(trace: &TraceRecord, id: u64) -> &SpanRecord {
+    trace
+        .spans
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("span {id} missing from trace {}", trace.trace_id_hex()))
+}
+
+/// Every non-root span's parent must exist in the same trace, and the
+/// root must be span 1 with parent 0.
+fn assert_well_nested(trace: &TraceRecord) {
+    assert_eq!(trace.spans[0].id, 1, "root is span 1");
+    assert_eq!(trace.spans[0].parent, 0, "root has no parent");
+    for s in &trace.spans[1..] {
+        assert_ne!(s.parent, 0, "only the root may be parentless");
+        let parent = span_by_id(trace, s.parent);
+        assert!(
+            parent.start_nanos <= s.start_nanos && s.end_nanos <= parent.end_nanos,
+            "child {} [{}, {}] escapes parent {} [{}, {}]",
+            s.name,
+            s.start_nanos,
+            s.end_nanos,
+            parent.name,
+            parent.start_nanos,
+            parent.end_nanos
+        );
+    }
+}
+
+#[test]
+fn flight_recorder_captures_pipeline_stages_and_all_query_classes() {
+    let (tracer, _registry) = run_once(256);
+    let traces = tracer.flight().traces();
+    for t in &traces {
+        assert_well_nested(t);
+    }
+
+    // Ingest traces: batch root → extract + per-document subtrees with
+    // the sequential stage spans, then the publish that epoch-swaps.
+    let batches: Vec<&Arc<TraceRecord>> =
+        traces.iter().filter(|t| t.name == "ingest.batch").collect();
+    assert!(!batches.is_empty(), "micro-batched ingest produces traces");
+    let batch = batches[0];
+    let root_id = batch.spans[0].id;
+    let extract = batch
+        .spans
+        .iter()
+        .find(|s| s.name == "extract")
+        .expect("extract span");
+    assert_eq!(extract.parent, root_id);
+    let publish = batch
+        .spans
+        .iter()
+        .find(|s| s.name == "publish")
+        .expect("publish span");
+    assert_eq!(publish.parent, root_id);
+    assert!(
+        attr(publish, "epoch").is_some(),
+        "publish carries the epoch"
+    );
+    let docs: Vec<&SpanRecord> = batch
+        .spans
+        .iter()
+        .filter(|s| s.name == "ingest.doc")
+        .collect();
+    assert!(!docs.is_empty(), "documents nest under the batch");
+    for d in &docs {
+        assert_eq!(d.parent, root_id);
+        assert!(attr(d, "doc").is_some(), "doc span names its document");
+    }
+    // Every sequential stage shows up somewhere in the batch, parented
+    // on a document span.
+    let doc_ids: Vec<u64> = docs.iter().map(|d| d.id).collect();
+    for stage in ["map", "disambiguate", "score", "gate", "admit"] {
+        let spans: Vec<&SpanRecord> = batch.spans.iter().filter(|s| s.name == stage).collect();
+        assert!(!spans.is_empty(), "stage {stage} traced");
+        for s in spans {
+            assert!(
+                doc_ids.contains(&s.parent),
+                "stage {stage} parents on a document span"
+            );
+        }
+    }
+
+    // Query traces: one per class, root annotated with class + epoch +
+    // merge stats, class-specific child span present.
+    for (class, child) in [
+        ("trending", "trending"),
+        ("entity", "summary"),
+        ("why", "search"),
+        ("match", "scan"),
+        ("timeline", "timeline"),
+        ("paths", "search"),
+    ] {
+        let t = traces
+            .iter()
+            .find(|t| t.name == "query" && attr(&t.spans[0], "class").as_deref() == Some(class))
+            .unwrap_or_else(|| panic!("query trace for class {class}"));
+        let root = &t.spans[0];
+        assert!(attr(root, "epoch").is_some(), "{class} root carries epoch");
+        assert!(
+            attr(root, "nous_snapshot_layers").is_some(),
+            "{class} root carries the snapshot layer count"
+        );
+        assert!(
+            attr(root, "partial").is_some(),
+            "{class} root carries the partial flag"
+        );
+        let c = t
+            .spans
+            .iter()
+            .find(|s| s.name == child)
+            .unwrap_or_else(|| panic!("{class} trace has a {child} span"));
+        assert_eq!(c.parent, root.id);
+        if child == "search" {
+            assert!(
+                attr(c, "nodes_expanded").is_some(),
+                "search span carries effort accounting"
+            );
+        }
+    }
+
+    // Slow log (threshold 0): every completed trace also landed there.
+    assert_eq!(
+        tracer.flight().slow_total(),
+        tracer.flight().recorded_total()
+    );
+}
+
+#[test]
+fn ring_retains_only_the_most_recent_traces() {
+    let (tracer, _registry) = run_once(4);
+    let flight = tracer.flight();
+    assert_eq!(flight.traces().len(), 4, "ring holds exactly N traces");
+    assert!(
+        flight.recorded_total() > 4,
+        "more traces completed than retained"
+    );
+    // The most recent traces are the query classes, newest last.
+    let names: Vec<String> = flight.traces().iter().map(|t| t.name.to_string()).collect();
+    assert!(names.iter().all(|n| n == "query"), "{names:?}");
+}
+
+#[test]
+fn dumps_are_byte_identical_across_runs() {
+    let (t1, r1) = run_once(256);
+    let (t2, r2) = run_once(256);
+    assert_eq!(t1.flight().dump_json(), t2.flight().dump_json());
+    assert_eq!(
+        t1.flight().dump_chrome_trace(),
+        t2.flight().dump_chrome_trace()
+    );
+    assert_eq!(r1.snapshot_json(), r2.snapshot_json());
+    assert_eq!(r1.render_prometheus(), r2.render_prometheus());
+    // The Chrome export is real JSON with the expected envelope.
+    let chrome = t1.flight().dump_chrome_trace();
+    let parsed: serde_json::Value =
+        serde_json::from_str(&chrome).expect("trace_event dump parses as JSON");
+    let _ = parsed;
+    assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+}
+
+#[test]
+fn p99_exemplar_resolves_to_a_recorded_trace() {
+    let (tracer, registry) = run_once(256);
+    let hist = registry.latency_with(
+        "nous_query_seconds",
+        "Query execution wall time per class",
+        &[("class", "why")],
+    );
+    let exemplar = hist.p99_exemplar();
+    assert_ne!(exemplar, 0, "traced query left a p99-bucket exemplar");
+    let trace = tracer
+        .flight()
+        .find(exemplar)
+        .expect("exemplar trace id resolves in the flight recorder");
+    assert_eq!(trace.name, "query");
+    assert_eq!(attr(&trace.spans[0], "class").as_deref(), Some("why"));
+    // And the exposition carries the exemplar suffix for that series.
+    let prom = registry.render_prometheus();
+    let needle = format!("# {{trace_id=\"{}\"}}", trace.trace_id_hex());
+    assert!(prom.contains(&needle), "{prom}");
+}
