@@ -1,0 +1,337 @@
+//! HTTP serving latency and load-shed behaviour (ISSUE 8 tentpole).
+//!
+//! Two arrival disciplines against a live `nous-serve` instance over
+//! real sockets:
+//!
+//! - **Closed loop** — N clients, each with one keep-alive connection,
+//!   issuing the five query classes round-robin and waiting for every
+//!   response: per-request p50/p99 wall latency and aggregate QPS as
+//!   concurrency scales.
+//! - **Open burst** — a thundering herd of one-shot connections against
+//!   a deliberately small server (1 worker, short admission queue): the
+//!   shed rate is the fraction refused with 429 instead of queued — the
+//!   bounded-latency contract under overload (DESIGN.md §8).
+//!
+//! Splices a `"serving"` section into `BENCH_query.json` (run after
+//! `query_throughput`, which rewrites that file wholesale).
+//!
+//! ```sh
+//! cargo bench -p nous-bench --features bench --bench serving
+//! ```
+
+use nous_bench::{row, table_header};
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::MetricsRegistry;
+use nous_serve::{Server, ServerConfig};
+use nous_topics::LdaConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const RUN_SECS: f64 = 1.0;
+const CLIENTS: [usize; 3] = [1, 2, 4];
+const BURST_THREADS: usize = 16;
+const BURST_CONNS_PER_THREAD: usize = 8;
+
+fn start_server(cfg: ServerConfig) -> Server {
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+    let registry = MetricsRegistry::new();
+    let session = Arc::new(SharedSession::with_registry(
+        kg,
+        nous_qa::TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 200 },
+            MinerConfig {
+                k_max: 2,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    ));
+    let mut pipeline = IngestPipeline::with_registry(PipelineConfig::default(), registry.clone());
+    session.ingest_batch(&mut pipeline, &articles);
+    let topics = session.read(|kg, _| kg.build_topic_index(&LdaConfig::default()));
+    session.set_topics(topics);
+    session.with_trends(|trends, kg| trends.observe(kg));
+    Server::start(session, pipeline, "127.0.0.1:0", cfg).expect("bind")
+}
+
+fn query_bodies() -> Vec<String> {
+    [
+        "TRENDING LIMIT 5",
+        "ABOUT Apex Robotics",
+        "WHY Apex Robotics -> Condor Labs LIMIT 3",
+        "MATCH (*)-[acquired]->(*) LIMIT 5",
+        "PATHS Apex Robotics TO Condor Labs MAX 3",
+    ]
+    .iter()
+    .map(|q| format!("{{\"query\":\"{q}\"}}"))
+    .collect()
+}
+
+/// One keep-alive request/response exchange; returns the status code.
+fn exchange(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, body: &str) -> Option<u16> {
+    // One write per request: fragmented writes trip Nagle + delayed-ACK.
+    let req = format!(
+        "POST /query HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    writer.write_all(req.as_bytes()).ok()?;
+    writer.flush().ok()?;
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some(status)
+}
+
+struct ClosedLoop {
+    clients: usize,
+    requests: usize,
+    secs: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+fn closed_loop(addr: SocketAddr, clients: usize) -> ClosedLoop {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let bodies = query_bodies();
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut latencies_nanos: Vec<u64> = Vec::new();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let body = &bodies[i % bodies.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    match exchange(&mut reader, &mut writer, body) {
+                        Some(200) => latencies_nanos.push(t0.elapsed().as_nanos() as u64),
+                        _ => break,
+                    }
+                }
+                latencies_nanos
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(RUN_SECS));
+    stop.store(true, Ordering::Relaxed);
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+    all.sort_unstable();
+    ClosedLoop {
+        clients,
+        requests: all.len(),
+        secs,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+    }
+}
+
+struct Burst {
+    connections: usize,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+}
+
+/// Open arrival: every connection fires immediately regardless of
+/// completions; a small server must shed the overflow with 429.
+fn open_burst(addr: SocketAddr) -> Burst {
+    let handles: Vec<_> = (0..BURST_THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let body = "{\"query\":\"MATCH (*)-[acquired]->(*) LIMIT 5\"}";
+                let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
+                for _ in 0..BURST_CONNS_PER_THREAD {
+                    let Ok(mut stream) = TcpStream::connect(addr) else {
+                        errors += 1;
+                        continue;
+                    };
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let req = format!(
+                        "POST /query HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\
+                         content-length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    if stream.write_all(req.as_bytes()).is_err() {
+                        errors += 1;
+                        continue;
+                    }
+                    let mut raw = Vec::new();
+                    if stream.read_to_end(&mut raw).is_err() || raw.is_empty() {
+                        errors += 1;
+                        continue;
+                    }
+                    let status = String::from_utf8_lossy(&raw)
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|s| s.parse::<u16>().ok());
+                    match status {
+                        Some(200) => ok += 1,
+                        Some(429) => shed += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (ok, shed, errors)
+            })
+        })
+        .collect();
+    let mut burst = Burst {
+        connections: BURST_THREADS * BURST_CONNS_PER_THREAD,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+    };
+    for h in handles {
+        let (ok, shed, errors) = h.join().expect("burst thread");
+        burst.ok += ok;
+        burst.shed += shed;
+        burst.errors += errors;
+    }
+    burst
+}
+
+/// Insert/replace the `"serving"` section of BENCH_query.json without
+/// disturbing the sections `query_throughput` wrote.
+fn splice_serving_section(path: &str, serving_json: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_owned());
+    let head = match existing.find(",\n  \"serving\"") {
+        Some(pos) => existing[..pos].to_owned(),
+        None => {
+            let trimmed = existing.trim_end().trim_end_matches('}').trim_end();
+            let t = trimmed.trim_end_matches(',');
+            if t.trim() == "{" {
+                "{".to_owned()
+            } else {
+                t.to_owned()
+            }
+        }
+    };
+    let sep = if head.trim() == "{" { "\n" } else { ",\n" };
+    let json = format!("{head}{sep}  \"serving\": {serving_json}\n}}\n");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nrecorded {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    // Closed loop against a default-sized server.
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+    table_header(
+        "closed-loop serving latency (keep-alive, 5-class round-robin)",
+        &["clients", "requests", "qps", "p50 µs", "p99 µs"],
+        &[8, 10, 10, 10, 10],
+    );
+    let mut closed = Vec::new();
+    for clients in CLIENTS {
+        let m = closed_loop(addr, clients);
+        println!(
+            "{}",
+            row(
+                &[
+                    m.clients.to_string(),
+                    m.requests.to_string(),
+                    format!("{:.1}", m.requests as f64 / m.secs),
+                    format!("{:.1}", m.p50_us),
+                    format!("{:.1}", m.p99_us),
+                ],
+                &[8, 10, 10, 10, 10],
+            )
+        );
+        closed.push(m);
+    }
+    server.shutdown();
+
+    // Open burst against a deliberately tiny server: 1 worker, queue of 2.
+    let small = start_server(ServerConfig {
+        workers: 1,
+        max_in_flight: 2,
+        ..ServerConfig::default()
+    });
+    let burst = open_burst(small.local_addr());
+    small.shutdown();
+    let shed_rate = burst.shed as f64 / burst.connections.max(1) as f64;
+    println!(
+        "\nopen burst: {} conns → {} ok, {} shed (429), {} errors; shed rate {:.2}",
+        burst.connections, burst.ok, burst.shed, burst.errors, shed_rate
+    );
+
+    let closed_entries: Vec<String> = closed
+        .iter()
+        .map(|m| {
+            format!(
+                "      {{\"clients\": {}, \"requests\": {}, \"qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                m.clients,
+                m.requests,
+                m.requests as f64 / m.secs,
+                m.p50_us,
+                m.p99_us
+            )
+        })
+        .collect();
+    let serving = format!(
+        "{{\n    \"run_secs\": {RUN_SECS},\n    \"closed_loop\": [\n{}\n    ],\n    \
+         \"open_burst\": {{\"connections\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \
+         \"shed_rate\": {:.3}}}\n  }}",
+        closed_entries.join(",\n"),
+        burst.connections,
+        burst.ok,
+        burst.shed,
+        burst.errors,
+        shed_rate
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    splice_serving_section(path, &serving);
+}

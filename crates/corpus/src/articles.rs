@@ -38,7 +38,10 @@ pub struct Article {
     pub day: u64,
     pub headline: String,
     pub body: String,
-    /// Ground truth: the facts this article's text expresses.
+    /// Ground truth: the facts this article's text expresses. Wire
+    /// clients (`nous-serve` `/ingest`) may omit it — extraction works
+    /// from the text alone; the ledger is only for evaluation.
+    #[serde(default)]
     pub facts: Vec<GroundFact>,
 }
 

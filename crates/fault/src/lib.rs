@@ -110,6 +110,13 @@ impl SitePlan {
         }
     }
 
+    /// Fire on every hit — shorthand for `probability(1.0)`. Handy for
+    /// tests that want a deterministic failure on the first hit of a
+    /// site (e.g. refusing an accepted HTTP connection).
+    pub fn always() -> Self {
+        Self::probability(1.0)
+    }
+
     /// Fire exactly at the listed 0-based hit indices (or keys).
     pub fn schedule(hits: impl Into<Vec<u64>>) -> Self {
         Self {

@@ -260,10 +260,15 @@ impl GraphView for FrozenView {
         self.in_slice(v).iter().copied().for_each(&mut f);
     }
 
-    fn for_each_with_pred(&self, p: PredicateId, mut f: impl FnMut(EdgeId, &Edge)) {
+    fn for_each_with_pred(
+        &self,
+        p: PredicateId,
+        mut f: impl FnMut(EdgeId, &Edge) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
         for id in self.pred_postings(p) {
-            f(*id, GraphView::edge(self, *id));
+            f(*id, GraphView::edge(self, *id))?;
         }
+        std::ops::ControlFlow::Continue(())
     }
 
     fn out_degree(&self, v: VertexId) -> usize {
@@ -337,8 +342,20 @@ mod tests {
         let near = g.predicate_id("near").unwrap();
         assert_eq!(f.pred_postings(near), g.find(None, Some(near), None));
         let mut via_trait = Vec::new();
-        f.for_each_with_pred(near, |id, e| via_trait.push((id, e.at)));
+        let _ = f.for_each_with_pred(near, |id, e| {
+            via_trait.push((id, e.at));
+            std::ops::ControlFlow::Continue(())
+        });
         assert_eq!(via_trait, vec![(EdgeId(1), 2)]);
+        // Break stops the scan at the first posting.
+        let owns = g.predicate_id("owns").unwrap();
+        let mut first_only = Vec::new();
+        let flow = f.for_each_with_pred(owns, |id, _| {
+            first_only.push(id);
+            std::ops::ControlFlow::Break(())
+        });
+        assert_eq!(first_only.len(), 1.min(f.pred_postings(owns).len()));
+        assert!(flow.is_break() || f.pred_postings(owns).is_empty());
         // Unknown predicate id (interned later in the source): empty.
         assert_eq!(f.pred_postings(PredicateId(99)), &[] as &[EdgeId]);
     }

@@ -620,10 +620,15 @@ impl GraphView for DynamicGraph {
         self.in_edges(v).for_each(&mut f);
     }
 
-    fn for_each_with_pred(&self, p: PredicateId, mut f: impl FnMut(EdgeId, &Edge)) {
+    fn for_each_with_pred(
+        &self,
+        p: PredicateId,
+        mut f: impl FnMut(EdgeId, &Edge) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
         for id in self.edges_with_pred(p) {
-            f(id, DynamicGraph::edge(self, id));
+            f(id, DynamicGraph::edge(self, id))?;
         }
+        std::ops::ControlFlow::Continue(())
     }
 
     fn out_degree(&self, v: VertexId) -> usize {

@@ -386,21 +386,26 @@ impl GraphView for LayeredSnapshot {
         self.merge_adj(&self.in_slices(v), f);
     }
 
-    fn for_each_with_pred(&self, p: PredicateId, mut f: impl FnMut(EdgeId, &Edge)) {
+    fn for_each_with_pred(
+        &self,
+        p: PredicateId,
+        mut f: impl FnMut(EdgeId, &Edge) -> std::ops::ControlFlow<()>,
+    ) -> std::ops::ControlFlow<()> {
         // Base postings, then overlays oldest→newest: id windows are
         // disjoint and ascending, so this is edge-log order end to end.
         for id in self.base.pred_postings(p) {
             if !self.is_tombstoned(*id) {
-                f(*id, self.base.edge(*id));
+                f(*id, self.base.edge(*id))?;
             }
         }
         for o in &self.overlays {
             for id in o.pred_postings(p) {
                 if !self.is_tombstoned(*id) {
-                    f(*id, o.edge(*id).expect("postings list live adds"));
+                    f(*id, o.edge(*id).expect("postings list live adds"))?;
                 }
             }
         }
+        std::ops::ControlFlow::Continue(())
     }
 
     fn out_degree(&self, v: VertexId) -> usize {
@@ -467,9 +472,15 @@ mod tests {
             assert_eq!(snap.predicate_name(p), fresh.predicate_name(p));
             assert_eq!(snap.predicate_id(snap.predicate_name(p)), Some(p));
             let mut sn = Vec::new();
-            snap.for_each_with_pred(p, |id, e| sn.push((id, e.at)));
+            let _ = snap.for_each_with_pred(p, |id, e| {
+                sn.push((id, e.at));
+                std::ops::ControlFlow::Continue(())
+            });
             let mut fr = Vec::new();
-            fresh.for_each_with_pred(p, |id, e| fr.push((id, e.at)));
+            let _ = fresh.for_each_with_pred(p, |id, e| {
+                fr.push((id, e.at));
+                std::ops::ControlFlow::Continue(())
+            });
             assert_eq!(sn, fr, "postings of {p}");
         }
         let sn: Vec<_> = snap.edges_in_range(0, u64::MAX).map(|(id, _)| id).collect();

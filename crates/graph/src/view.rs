@@ -20,6 +20,7 @@
 use crate::edge::Edge;
 use crate::graph::Adj;
 use crate::ids::{EdgeId, PredicateId, VertexId};
+use std::ops::ControlFlow;
 
 /// Read-only view of a property graph: the query-side surface of
 /// [`crate::DynamicGraph`] and [`crate::FrozenView`].
@@ -49,7 +50,18 @@ pub trait GraphView {
     fn for_each_in(&self, v: VertexId, f: impl FnMut(Adj));
 
     /// Visit every live edge with predicate `p` in edge-log (time) order.
-    fn for_each_with_pred(&self, p: PredicateId, f: impl FnMut(EdgeId, &Edge));
+    ///
+    /// The visitor steers the scan: return [`ControlFlow::Continue`] to
+    /// keep going, [`ControlFlow::Break`] to stop immediately. Serving
+    /// deadlines depend on the break actually being immediate — an
+    /// expired `MATCH` scan must not walk the remaining postings — so
+    /// implementations stop at the first `Break` rather than merely
+    /// suppressing the callback.
+    fn for_each_with_pred(
+        &self,
+        p: PredicateId,
+        f: impl FnMut(EdgeId, &Edge) -> ControlFlow<()>,
+    ) -> ControlFlow<()>;
 
     fn out_degree(&self, v: VertexId) -> usize {
         let mut n = 0;

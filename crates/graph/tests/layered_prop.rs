@@ -69,9 +69,15 @@ fn check_equiv(layered: &LayeredSnapshot, g: &DynamicGraph) -> Result<(), TestCa
         let p = nous_graph::PredicateId(p as u32);
         prop_assert_eq!(layered.predicate_name(p), fresh.predicate_name(p));
         let mut l: Vec<u32> = Vec::new();
-        layered.for_each_with_pred(p, |id, _| l.push(id.0));
+        let _ = layered.for_each_with_pred(p, |id, _| {
+            l.push(id.0);
+            std::ops::ControlFlow::Continue(())
+        });
         let mut f: Vec<u32> = Vec::new();
-        fresh.for_each_with_pred(p, |id, _| f.push(id.0));
+        let _ = fresh.for_each_with_pred(p, |id, _| {
+            f.push(id.0);
+            std::ops::ControlFlow::Continue(())
+        });
         l.sort_unstable();
         f.sort_unstable();
         prop_assert_eq!(l, f, "predicate index of {:?}", p);

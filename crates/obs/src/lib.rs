@@ -24,12 +24,14 @@
 
 pub mod clock;
 pub mod flight;
+pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use flight::FlightRecorder;
+pub use http::HttpMetrics;
 pub use metrics::{Counter, Gauge, Histogram, Unit, COUNT_BUCKETS, LATENCY_BUCKETS_NANOS};
 pub use registry::{MetricsRegistry, Span, StageAcc, StageGuard, StageTimer};
 pub use trace::{

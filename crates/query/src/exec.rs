@@ -212,13 +212,31 @@ pub fn execute_shared_deadline(
     query: &Query,
     deadline: &Deadline,
 ) -> QueryResponse {
+    execute_shared_deadline_in(session, query, deadline, &TraceContext::disabled())
+}
+
+/// [`execute_shared_deadline`] nested under an existing trace — the HTTP
+/// serving layer hands its per-request root context in here so one trace
+/// shows both the wire handling and the query execution it triggered.
+/// With a disabled `parent` this is exactly [`execute_shared_deadline`]:
+/// a fresh root trace per query.
+pub fn execute_shared_deadline_in(
+    session: &SharedSession,
+    query: &Query,
+    deadline: &Deadline,
+    parent: &TraceContext,
+) -> QueryResponse {
     let registry = session.metrics().clone();
     let snap = session.frozen();
     // One trace per request: the root span carries the class, the served
     // epoch and its layer depth; the partial flag lands once the class
     // executor reports back. Slow requests enter the flight recorder's
     // slow log under "query".
-    let mut root = registry.trace("query");
+    let mut root = if parent.is_enabled() {
+        parent.child("query")
+    } else {
+        registry.trace("query")
+    };
     root.attr("class", query_class(query));
     root.attr("epoch", snap.epoch);
     if root.is_enabled() {
@@ -478,23 +496,20 @@ fn execute_view_inner<G: GraphView>(
             // the mutable graph and the frozen view, so the sample is
             // identical across serving paths. The deadline is polled every
             // 1024 postings (starting at the first, so an already-expired
-            // budget stops immediately); on expiry `total` becomes a lower
-            // bound.
-            g.for_each_with_pred(pred, |_, e| {
-                if partial {
-                    return;
-                }
+            // budget stops immediately); on expiry the scan breaks out of
+            // the postings walk at once and `total` becomes a lower bound.
+            let _ = g.for_each_with_pred(pred, |_, e| {
                 seen += 1;
                 if seen & 1023 == 1 && deadline.expired() {
                     partial = true;
-                    return;
+                    return std::ops::ControlFlow::Break(());
                 }
                 if !endpoint_matches(g, src, e.src)
                     || !endpoint_matches(g, dst, e.dst)
                     || since.is_some_and(|d| e.at < d)
                     || until.is_some_and(|d| e.at > d)
                 {
-                    return;
+                    return std::ops::ControlFlow::Continue(());
                 }
                 total += 1;
                 if sample.len() < *limit {
@@ -507,6 +522,7 @@ fn execute_view_inner<G: GraphView>(
                         e.provenance.tag(),
                     ));
                 }
+                std::ops::ControlFlow::Continue(())
             });
             scan_span.attr("postings_seen", seen);
             scan_span.attr("matched", total);
@@ -930,6 +946,56 @@ mod tests {
         );
         assert!(!resp.partial);
         assert_eq!(format!("{plain:?}"), format!("{:?}", resp.result));
+    }
+
+    #[test]
+    fn expired_match_scan_breaks_within_one_poll_interval() {
+        // A long single-predicate chain: far more postings than one
+        // deadline poll interval (1024). An already-expired deadline must
+        // stop the ControlFlow scan at its first poll, not suppress the
+        // callback while walking every remaining posting.
+        let mut kg = KnowledgeGraph::new();
+        let n = 2600usize;
+        let mut prev = kg.create_entity("E0", EntityType::Organization);
+        for i in 1..=n {
+            let v = kg.create_entity(&format!("E{i}"), EntityType::Organization);
+            kg.add_extracted_fact(prev, "linksTo", v, i as u64, 0.9, i as u64);
+            prev = v;
+        }
+        let topics = TopicIndex::new(2);
+        let registry = MetricsRegistry::new();
+        let tracer = registry.enable_tracing(7, 8, 0);
+        let parsed = parse("MATCH (*)-[linksTo]->(*)").unwrap();
+        let root = registry.trace("query");
+        let trace_id = root.trace_id();
+        let ctx = root.context();
+        let resp = execute_view_deadline_traced(
+            &parsed,
+            &kg.graph,
+            &kg.disambiguator,
+            &topics,
+            None,
+            Some(&registry),
+            &Deadline::expired_now(),
+            &ctx,
+        );
+        drop(root);
+        assert!(resp.partial, "{resp:?}");
+        let trace = tracer.flight().find(trace_id).expect("trace recorded");
+        let scan = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "scan")
+            .expect("scan span");
+        let seen: usize = scan
+            .attr("postings_seen")
+            .expect("postings_seen attr")
+            .parse()
+            .expect("numeric");
+        assert!(
+            seen <= 1024,
+            "expired scan must stop within one poll interval, walked {seen} of {n}"
+        );
     }
 
     #[test]

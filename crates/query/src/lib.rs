@@ -21,10 +21,10 @@ pub mod ast;
 pub mod exec;
 pub mod parse;
 
-pub use ast::{Query, QueryResponse, QueryResult};
+pub use ast::{Endpoint, Query, QueryResponse, QueryResult};
 pub use exec::{
-    execute, execute_instrumented, execute_shared, execute_shared_deadline, execute_shared_locked,
-    execute_view, execute_view_deadline, execute_view_instrumented,
-    execute_view_instrumented_deadline, query_class,
+    execute, execute_instrumented, execute_shared, execute_shared_deadline,
+    execute_shared_deadline_in, execute_shared_locked, execute_view, execute_view_deadline,
+    execute_view_instrumented, execute_view_instrumented_deadline, query_class,
 };
 pub use parse::{parse, ParseError};

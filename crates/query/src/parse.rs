@@ -32,29 +32,61 @@ const DEFAULT_LIMIT: usize = 10;
 const DEFAULT_HOPS: usize = 4;
 
 /// Split a trailing `LIMIT n` clause.
+///
+/// Only the *trailing* clause counts: `ABOUT No Limit Records` keeps its
+/// interior "Limit" as entity text. Splitting walks back from the end of
+/// the original string — never through a lowercased copy, whose byte
+/// offsets disagree with the original for characters like `İ` (one char
+/// that lowercases to two).
 fn take_limit(input: &str) -> (String, usize) {
-    let lower = input.to_lowercase();
-    if let Some(pos) = lower.rfind(" limit ") {
-        if let Ok(n) = input[pos + 7..].trim().parse::<usize>() {
-            return (input[..pos].trim().to_owned(), n.max(1));
+    let s = input.trim();
+    if let Some((head, num)) = s.rsplit_once(char::is_whitespace) {
+        if let Ok(n) = num.parse::<usize>() {
+            if let Some((body, kw)) = head.trim_end().rsplit_once(char::is_whitespace) {
+                if kw.eq_ignore_ascii_case("limit") && !body.trim().is_empty() {
+                    return (body.trim().to_owned(), n.max(1));
+                }
+            }
         }
     }
-    (input.trim().to_owned(), DEFAULT_LIMIT)
+    (s.to_owned(), DEFAULT_LIMIT)
 }
 
-/// Case-insensitive prefix strip.
+/// Byte length of `pat` matched case-insensitively at the start of
+/// `input`, if it matches there. The length is accumulated from the
+/// characters of `input` itself, so callers can slice `input` at the
+/// returned offset without ever landing mid-character. Keywords are
+/// ASCII, so ASCII case folding is sufficient; non-ASCII characters
+/// only match themselves.
+fn ci_prefix_len(input: &str, pat: &str) -> Option<usize> {
+    let mut len = 0usize;
+    let mut chars = input.chars();
+    for pch in pat.chars() {
+        let ich = chars.next()?;
+        if !ich.eq_ignore_ascii_case(&pch) {
+            return None;
+        }
+        len += ich.len_utf8();
+    }
+    Some(len)
+}
+
+/// Case-insensitive prefix strip. Offsets come from the original string
+/// (via [`ci_prefix_len`]), never a lowercased copy.
 fn strip_prefix_ci<'a>(input: &'a str, prefix: &str) -> Option<&'a str> {
-    let il = input.to_lowercase();
-    il.starts_with(&prefix.to_lowercase())
-        .then(|| input[prefix.len()..].trim())
+    ci_prefix_len(input, prefix).map(|n| input[n..].trim())
 }
 
 /// Case-insensitive split on the first occurrence of a separator word.
+/// Scans char boundaries of the original string, so arbitrary UTF-8
+/// input cannot produce a mid-character slice.
 fn split_once_ci<'a>(input: &'a str, sep: &str) -> Option<(&'a str, &'a str)> {
-    let il = input.to_lowercase();
-    let sl = sep.to_lowercase();
-    il.find(&sl)
-        .map(|i| (input[..i].trim(), input[i + sep.len()..].trim()))
+    for (i, _) in input.char_indices() {
+        if let Some(n) = ci_prefix_len(&input[i..], sep) {
+            return Some((input[..i].trim(), input[i + n..].trim()));
+        }
+    }
+    None
 }
 
 fn parse_endpoint(s: &str) -> Endpoint {
@@ -367,6 +399,66 @@ mod tests {
         assert_eq!(
             parse("TRENDING LIMIT 0").unwrap(),
             Query::Trending { limit: 1 }
+        );
+    }
+
+    #[test]
+    fn unicode_entities_parse_without_panicking() {
+        // "İ" is one char (2 bytes) whose Unicode lowercase is TWO chars
+        // ("i" + combining dot): any helper that computes offsets on a
+        // lowercased copy slices the original mid-character and panics.
+        let q = parse("WHY İstanbul -> Ankara LIMIT 3").unwrap();
+        assert_eq!(
+            q,
+            Query::Why {
+                source: "İstanbul".into(),
+                target: "Ankara".into(),
+                via: None,
+                limit: 3,
+            }
+        );
+        assert_eq!(
+            parse("ABOUT Łódź").unwrap(),
+            Query::Entity {
+                name: "Łódź".into()
+            }
+        );
+        assert_eq!(
+            parse("paths İzmir to Ağrı max 2").unwrap(),
+            Query::Paths {
+                source: "İzmir".into(),
+                target: "Ağrı".into(),
+                max_hops: 2,
+                limit: 10,
+            }
+        );
+        // Arbitrary non-ASCII junk must error, not panic.
+        assert!(parse("ﬀİß中🦀").is_err());
+        assert!(parse("whyİstanbul").is_err());
+    }
+
+    #[test]
+    fn limit_only_strips_a_trailing_clause() {
+        // Interior " limit " is entity text, not a clause.
+        assert_eq!(
+            parse("ABOUT No Limit Records").unwrap(),
+            Query::Entity {
+                name: "No Limit Records".into()
+            }
+        );
+        // A trailing LIMIT with a non-numeric argument is not a clause.
+        assert_eq!(
+            parse("ABOUT limit breaks").unwrap(),
+            Query::Entity {
+                name: "limit breaks".into()
+            }
+        );
+        // Trailing clause still strips even with an interior decoy.
+        assert_eq!(
+            parse("ABOUT No Limit Records LIMIT 4").unwrap(),
+            Query::Entity {
+                name: "No Limit Records".into()
+            }
         );
     }
 

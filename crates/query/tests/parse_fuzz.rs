@@ -1,0 +1,270 @@
+//! Fuzz coverage for the wire-facing parser (ISSUE 8).
+//!
+//! The serving layer hands `parse()` untrusted bytes, so two properties
+//! must hold:
+//!
+//! 1. **No UTF-8 input panics.** The old helpers computed byte offsets
+//!    on `to_lowercase()` output and sliced the *original* string with
+//!    them; any character whose lowercase changes byte length (`İ`
+//!    U+0130 → `i̇`, 2 → 3 bytes) could mis-slice or panic — a remote
+//!    DoS. 10 000 arbitrary code-point soups must all return
+//!    `Ok`/`Err`, never unwind.
+//! 2. **ASCII behaviour is unchanged.** For canonically-spaced ASCII
+//!    queries (the entire pre-serving corpus), the rewritten parser
+//!    must agree with a verbatim copy of the old one — on ASCII the old
+//!    offsets were correct, so the fix must be a pure extension, not a
+//!    behaviour change.
+
+use nous_query::{parse, Query};
+use proptest::prelude::*;
+
+/// Verbatim copy of the pre-ISSUE-8 parser (helpers and driver), used
+/// as the behavioural oracle for ASCII input, where `to_lowercase()` is
+/// length-preserving and the old offset math was sound.
+mod old {
+    use nous_query::{Endpoint, ParseError, Query};
+
+    const DEFAULT_LIMIT: usize = 10;
+    const DEFAULT_HOPS: usize = 4;
+
+    fn take_limit(input: &str) -> (String, usize) {
+        let lower = input.to_lowercase();
+        if let Some(pos) = lower.rfind(" limit ") {
+            if let Ok(n) = input[pos + 7..].trim().parse::<usize>() {
+                return (input[..pos].trim().to_owned(), n.max(1));
+            }
+        }
+        (input.trim().to_owned(), DEFAULT_LIMIT)
+    }
+
+    fn strip_prefix_ci<'a>(input: &'a str, prefix: &str) -> Option<&'a str> {
+        let il = input.to_lowercase();
+        il.starts_with(&prefix.to_lowercase())
+            .then(|| input[prefix.len()..].trim())
+    }
+
+    fn split_once_ci<'a>(input: &'a str, sep: &str) -> Option<(&'a str, &'a str)> {
+        let il = input.to_lowercase();
+        let sl = sep.to_lowercase();
+        il.find(&sl)
+            .map(|i| (input[..i].trim(), input[i + sep.len()..].trim()))
+    }
+
+    fn parse_endpoint(s: &str) -> Endpoint {
+        let s = s.trim();
+        if s == "*" || s.eq_ignore_ascii_case("any") {
+            return Endpoint::Any;
+        }
+        if let Some(stripped) = s.strip_prefix('"').and_then(|x| x.strip_suffix('"')) {
+            return Endpoint::Constant(stripped.to_owned());
+        }
+        Endpoint::Type(s.to_owned())
+    }
+
+    pub fn parse(input: &str) -> Result<Query, ParseError> {
+        let input = input.trim().trim_end_matches(['?', '.']).trim();
+        if input.is_empty() {
+            return Err(ParseError("empty query".into()));
+        }
+        let (body, limit) = take_limit(input);
+        let lower = body.to_lowercase();
+
+        if lower == "trending"
+            || lower == "what is trending"
+            || lower == "show trending patterns"
+            || lower == "what's trending"
+        {
+            return Ok(Query::Trending { limit });
+        }
+
+        for prefix in ["about ", "tell me about ", "who is ", "what is "] {
+            if let Some(rest) = strip_prefix_ci(&body, prefix) {
+                if rest.is_empty() {
+                    return Err(ParseError("ABOUT requires an entity name".into()));
+                }
+                return Ok(Query::Entity {
+                    name: rest.to_owned(),
+                });
+            }
+        }
+
+        if let Some(rest) = strip_prefix_ci(&body, "why ") {
+            let rest = strip_prefix_ci(rest, "is ").unwrap_or(rest);
+            let (pair, via) = match split_once_ci(rest, " via ") {
+                Some((p, v)) => (p, Some(v.trim().to_owned())),
+                None => (rest, None),
+            };
+            let (src, dst) = split_once_ci(pair, "->")
+                .or_else(|| split_once_ci(pair, " related to "))
+                .or_else(|| split_once_ci(pair, " connected to "))
+                .ok_or_else(|| {
+                    ParseError("WHY requires '<a> -> <b>' or '<a> related to <b>'".into())
+                })?;
+            if src.is_empty() || dst.is_empty() {
+                return Err(ParseError("WHY endpoints must be non-empty".into()));
+            }
+            return Ok(Query::Why {
+                source: src.to_owned(),
+                target: dst.to_owned(),
+                via,
+                limit,
+            });
+        }
+
+        if let Some(rest) = strip_prefix_ci(&body, "match ") {
+            let rest = rest.trim();
+            let open = rest.strip_prefix('(').ok_or_else(bad_match)?;
+            let (src, rest) = open.split_once(')').ok_or_else(bad_match)?;
+            let rest = rest.trim().strip_prefix("-[").ok_or_else(bad_match)?;
+            let (pred, rest) = rest.split_once(']').ok_or_else(bad_match)?;
+            let rest = rest.trim().strip_prefix("->").ok_or_else(bad_match)?;
+            let rest = rest.trim().strip_prefix('(').ok_or_else(bad_match)?;
+            let (dst, tail) = rest.split_once(')').ok_or_else(bad_match)?;
+            let mut since = None;
+            let mut until = None;
+            let mut tail = tail.trim();
+            loop {
+                if let Some(rest) = strip_prefix_ci(tail, "since ") {
+                    let (num, next) = rest.split_once(' ').unwrap_or((rest, ""));
+                    since = Some(
+                        num.parse::<u64>()
+                            .map_err(|_| ParseError("SINCE requires a day number".into()))?,
+                    );
+                    tail = next.trim();
+                } else if let Some(rest) = strip_prefix_ci(tail, "until ") {
+                    let (num, next) = rest.split_once(' ').unwrap_or((rest, ""));
+                    until = Some(
+                        num.parse::<u64>()
+                            .map_err(|_| ParseError("UNTIL requires a day number".into()))?,
+                    );
+                    tail = next.trim();
+                } else {
+                    break;
+                }
+            }
+            if !tail.is_empty() {
+                return Err(bad_match());
+            }
+            if pred.trim().is_empty() {
+                return Err(ParseError("MATCH predicate must be non-empty".into()));
+            }
+            return Ok(Query::Match {
+                src: parse_endpoint(src),
+                predicate: pred.trim().to_owned(),
+                dst: parse_endpoint(dst),
+                limit,
+                since,
+                until,
+            });
+        }
+
+        for prefix in ["timeline ", "history of ", "what happened to "] {
+            if let Some(rest) = strip_prefix_ci(&body, prefix) {
+                if rest.is_empty() {
+                    return Err(ParseError("TIMELINE requires an entity name".into()));
+                }
+                return Ok(Query::Timeline {
+                    name: rest.to_owned(),
+                    limit,
+                });
+            }
+        }
+
+        if let Some(rest) = strip_prefix_ci(&body, "paths ") {
+            let (rest, max_hops) = match split_once_ci(rest, " max ") {
+                Some((head, n)) => (
+                    head,
+                    n.trim()
+                        .parse::<usize>()
+                        .map_err(|_| ParseError("MAX requires a number".into()))?,
+                ),
+                None => (rest, DEFAULT_HOPS),
+            };
+            let (src, dst) = split_once_ci(rest, " to ")
+                .ok_or_else(|| ParseError("PATHS requires '<a> TO <b>'".into()))?;
+            if src.is_empty() || dst.is_empty() {
+                return Err(ParseError("PATHS endpoints must be non-empty".into()));
+            }
+            return Ok(Query::Paths {
+                source: src.to_owned(),
+                target: dst.to_owned(),
+                max_hops: max_hops.clamp(1, 8),
+                limit,
+            });
+        }
+
+        Err(ParseError(format!(
+            "unrecognised query '{input}'; expected TRENDING, ABOUT, WHY, MATCH, PATHS or TIMELINE"
+        )))
+    }
+
+    fn bad_match() -> ParseError {
+        ParseError("MATCH syntax: MATCH (Type|\"Name\"|*)-[predicate]->(Type|\"Name\"|*)".into())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    /// Arbitrary code-point soup — including astral planes, combining
+    /// marks, and every case-folding oddity — never unwinds the parser.
+    #[test]
+    fn parse_never_panics_on_arbitrary_utf8(
+        codes in prop::collection::vec(0u32..0x110000u32, 0..48),
+        printable in "\\PC{0,24}",
+    ) {
+        let soup: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        let _ = parse(&soup);
+        let _ = parse(&printable);
+        // Keyword prefixes steer hostile payloads into the deep helper
+        // paths (take_limit / strip_prefix_ci / split_once_ci).
+        let _ = parse(&format!("WHY {soup} -> {printable} LIMIT 3"));
+        let _ = parse(&format!("ABOUT {soup}"));
+        let _ = parse(&format!("PATHS {printable} TO {soup}"));
+        let _ = parse(&format!("MATCH ({soup})-[{printable}]->(*)"));
+        let _ = parse(&format!("{printable} LIMIT {soup}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2_000))]
+
+    /// Canonically-spaced ASCII queries parse to the same
+    /// `Ok(ast)`/`Err` as the old parser — word-for-word, including
+    /// words that collide with keywords ("limit", "to", "via", …).
+    #[test]
+    fn ascii_queries_parse_identically_to_the_old_parser(
+        kind in 0u8..6,
+        w1 in "[A-Za-z][A-Za-z0-9]{0,7}",
+        w2 in "[A-Za-z][A-Za-z0-9]{0,7}",
+        w3 in "[A-Za-z][A-Za-z0-9]{0,7}",
+        n in 0usize..20,
+        with_limit in any::<bool>(),
+    ) {
+        let base = match kind {
+            0 => "TRENDING".to_owned(),
+            1 => format!("ABOUT {w1} {w2}"),
+            2 => format!("WHY {w1} -> {w2} VIA {w3}"),
+            3 => format!("MATCH ({w1})-[{w2}]->({w3})"),
+            4 => format!("PATHS {w1} TO {w2} MAX 3"),
+            _ => format!("TIMELINE {w1} {w2}"),
+        };
+        let q = if with_limit { format!("{base} LIMIT {n}") } else { base };
+        prop_assert_eq!(parse(&q), old::parse(&q), "diverged on {:?}", &q);
+    }
+}
+
+/// The headline regression, pinned end to end through the public API.
+#[test]
+fn dotted_capital_i_query_parses_exact_endpoints() {
+    let q = parse("WHY İstanbul -> Ankara LIMIT 3").unwrap();
+    assert_eq!(
+        q,
+        Query::Why {
+            source: "İstanbul".into(),
+            target: "Ankara".into(),
+            via: None,
+            limit: 3,
+        }
+    );
+}

@@ -1,0 +1,332 @@
+//! Minimal HTTP/1.1 wire handling: enough of RFC 9112 to serve JSON to
+//! `curl` and load generators without pulling in an async runtime or an
+//! HTTP crate. Requests are parsed off any `BufRead` (unit tests drive
+//! byte slices; the server drives a buffered `TcpStream`), with hard
+//! caps on every dimension an untrusted peer controls — request-line
+//! bytes, header count and size, body size — so a malformed or hostile
+//! payload degrades to a 4xx response, never an allocation blow-up or a
+//! worker panic.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line (`METHOD /path HTTP/1.1`).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Upper bound on a single header line.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request. Header names are lowercased at parse time;
+/// values keep their original bytes (lossily decoded).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// `(lowercased-name, value)` in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. Each variant maps to exactly one
+/// server behaviour, so the connection loop is a `match`, not guesswork.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Clean EOF before the first request byte — the peer is done.
+    Closed,
+    /// Syntactically invalid request; respond 400 and close.
+    Malformed(&'static str),
+    /// A size cap tripped; respond 413 and close.
+    TooLarge(&'static str),
+    /// Socket-level failure mid-read; close without responding.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, capped at `cap` bytes.
+/// `Ok(None)` is clean EOF at a line boundary.
+fn read_line_capped(
+    r: &mut impl BufRead,
+    cap: usize,
+    what: &'static str,
+) -> Result<Option<String>, RecvError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(RecvError::Malformed("eof mid-line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                line.push(byte[0]);
+                if line.len() > cap {
+                    return Err(RecvError::TooLarge(what));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Parse one request off the stream. `max_body` caps `Content-Length`;
+/// anything larger is refused *before* reading the body, so an oversized
+/// upload costs the server one header parse, not `Content-Length` bytes.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, RecvError> {
+    let request_line = match read_line_capped(r, MAX_REQUEST_LINE, "request line")? {
+        None => return Err(RecvError::Closed),
+        // Be lenient about a stray blank line between keep-alive requests.
+        Some(l) if l.is_empty() => match read_line_capped(r, MAX_REQUEST_LINE, "request line")? {
+            None => return Err(RecvError::Closed),
+            Some(l2) => l2,
+        },
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(RecvError::Malformed("missing method"))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or(RecvError::Malformed("missing path"))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or(RecvError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1") {
+        return Err(RecvError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_capped(r, MAX_HEADER_LINE, "header line")?
+            .ok_or(RecvError::Malformed("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RecvError::TooLarge("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RecvError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RecvError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(RecvError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|_| RecvError::Malformed("body shorter than content-length"))?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// One response, built by the handler and flushed by the connection loop.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers (`Retry-After`, `x-nous-trace-id`, …).
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\":{}}}",
+                serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into())
+            ),
+        )
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra.push((name, value));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto the wire. `close` controls the `Connection`
+    /// header. The whole response is staged into one buffer and written
+    /// with a single `write_all`: many small writes on a TCP stream
+    /// interleave badly with Nagle + delayed-ACK on the peer (a 40 ms
+    /// tax per exchange), and one write avoids it regardless of the
+    /// client's socket options.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(256 + self.body.len());
+        write!(
+            buf,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        )?;
+        for (name, value) in &self.extra {
+            write!(buf, "{name}: {value}\r\n")?;
+        }
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+        w.write_all(&buf)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RecvError> {
+        read_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let req = parse(
+            b"POST /query HTTP/1.1\r\nHost: x\r\nX-Nous-Tenant: alice\r\n\
+              Content-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("x-nous-tenant"), Some("alice"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_and_blank_line_between_requests() {
+        let req = parse(b"\r\nGET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse(b"").unwrap_err(), RecvError::Closed));
+    }
+
+    #[test]
+    fn oversized_body_is_refused_before_reading_it() {
+        let err = parse(b"POST /ingest HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, RecvError::TooLarge("body")));
+    }
+
+    #[test]
+    fn malformed_lines_are_400_material() {
+        assert!(matches!(
+            parse(b"GARBAGE\r\n\r\n").unwrap_err(),
+            RecvError::Malformed(_)
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/99\r\n\r\n").unwrap_err(),
+            RecvError::Malformed(_)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err(),
+            RecvError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_header_bytes_do_not_panic() {
+        let raw = b"GET /healthz HTTP/1.1\r\nx-junk: \xff\xfe\x80\r\n\r\n";
+        let req = parse(raw).unwrap();
+        assert!(req.header("x-junk").is_some());
+    }
+
+    #[test]
+    fn response_wire_format_round_trips() {
+        let mut out = Vec::new();
+        Response::json(429, "{}".into())
+            .with_header("retry-after", "1".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

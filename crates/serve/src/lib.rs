@@ -1,0 +1,43 @@
+//! # nous-serve — the HTTP serving layer over the NOUS snapshot read path
+//!
+//! The paper's deployment story is a *service*: analysts and dashboards
+//! query the live knowledge graph while documents stream in. This crate
+//! is that wire surface, built entirely on `std` networking — the read
+//! path is a lock-free `Arc<FrozenSnapshot>` load, so a fixed pool of
+//! blocking worker threads saturates it without an async runtime.
+//!
+//! Endpoints:
+//!
+//! | Route            | Semantics |
+//! |------------------|-----------|
+//! | `POST /query`    | `{"query": "<text>"}` → any of the five query classes under a per-request [`Deadline`]; the response carries `partial: true` when the budget expired mid-execution (degrade, don't fail). |
+//! | `POST /ingest`   | JSON `[Article, …]` micro-batched into the live session; the 200 is sent only after the merge stage — and thus the durable journal, when one is wired — has completed. |
+//! | `GET /stats`     | The session's deterministic JSON metrics snapshot. |
+//! | `GET /metrics`   | Prometheus text exposition, including the `nous_http_*` serving families. |
+//! | `GET /healthz`   | Liveness probe. |
+//!
+//! Admission control (DESIGN.md §8) is two independent gates:
+//!
+//! 1. **Bounded in-flight work** — the acceptor hands connections to
+//!    workers through a `sync_channel(max_in_flight)`; when it is full
+//!    the connection is refused inline with `429` + `Retry-After`
+//!    (`nous_http_shed_total{reason="queue_full"}`).
+//! 2. **Per-tenant token buckets** — keyed on `x-nous-tenant`, refilled
+//!    on the registry clock, shedding with `429` + `Retry-After`
+//!    (`reason="rate_limit"`).
+//!
+//! Request headers: `x-nous-deadline-ms` (query budget, clamped to the
+//! server cap), `x-nous-tenant` (rate-limit key). Every response carries
+//! `x-nous-trace-id`; with tracing enabled the id resolves in the
+//! flight recorder to a span tree that covers both the wire handling
+//! and the query execution under it.
+//!
+//! [`Deadline`]: nous_fault::Deadline
+
+pub mod admission;
+pub mod http;
+pub mod server;
+
+pub use admission::RateLimiter;
+pub use http::{Request, Response};
+pub use server::{Server, ServerConfig, FP_HTTP_ACCEPT, FP_HTTP_READ};

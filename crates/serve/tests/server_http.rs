@@ -1,0 +1,388 @@
+//! End-to-end socket tests: a real `TcpListener`, real HTTP/1.1 bytes,
+//! and the full admission-control surface — all five query classes,
+//! saturating-burst shedding, zero-budget deadlines flagged `partial`,
+//! per-tenant rate limits, trace ids resolving in the flight recorder,
+//! and hostile Unicode payloads that must produce 4xx/200, never a
+//! worker crash.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::MetricsRegistry;
+use nous_qa::TopicIndex;
+use nous_serve::{Server, ServerConfig};
+use nous_text::ner::EntityType;
+
+/// The exec.rs test motif: 3 companies plus a trending `acquired` motif,
+/// topics assigned so WHY/PATHS have coherent paths to rank.
+fn fixture() -> (KnowledgeGraph, TopicIndex, TrendMonitor) {
+    let mut kg = KnowledgeGraph::new();
+    let a = kg.create_entity("Apex Robotics", EntityType::Organization);
+    let b = kg.create_entity("Condor Labs", EntityType::Organization);
+    let c = kg.create_entity("Falcon Systems", EntityType::Organization);
+    for i in 0..3 {
+        let x = kg.create_entity(&format!("X{i}"), EntityType::Organization);
+        let y = kg.create_entity(&format!("Y{i}"), EntityType::Organization);
+        kg.add_extracted_fact(x, "acquired", y, i, 0.9, i);
+    }
+    kg.add_extracted_fact(a, "partneredWith", b, 10, 0.9, 9);
+    kg.add_extracted_fact(b, "investedIn", c, 11, 0.8, 9);
+
+    let mut topics = TopicIndex::new(2);
+    for (v, x) in [(a, 0.9), (b, 0.85), (c, 0.9)] {
+        let sum = x + (1.0 - x);
+        topics.set(v, vec![x / sum, (1.0 - x) / sum]);
+    }
+    let mut trends = TrendMonitor::new(
+        WindowKind::Count { n: 100 },
+        MinerConfig {
+            k_max: 1,
+            min_support: 3,
+            eviction: EvictionStrategy::Eager,
+        },
+    );
+    trends.observe(&kg);
+    (kg, topics, trends)
+}
+
+fn start(cfg: ServerConfig) -> (Server, MetricsRegistry) {
+    let registry = MetricsRegistry::new();
+    registry.enable_tracing(42, 64, 0);
+    let (kg, topics, trends) = fixture();
+    let session = Arc::new(SharedSession::with_registry(
+        kg,
+        topics,
+        trends,
+        registry.clone(),
+    ));
+    let pipeline = IngestPipeline::with_registry(PipelineConfig::default(), registry.clone());
+    let server = Server::start(session, pipeline, "127.0.0.1:0", cfg).expect("bind");
+    (server, registry)
+}
+
+/// One-shot HTTP exchange (Connection: close). Returns
+/// `(status, headers, body)`.
+fn http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    stream.write_all(req.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, Vec<(String, String)>, String) {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    (status, headers, body.to_owned())
+}
+
+fn post_query(
+    addr: std::net::SocketAddr,
+    query: &str,
+    extra: &[(&str, &str)],
+) -> (u16, Vec<(String, String)>, String) {
+    let body = format!("{{\"query\":{}}}", serde_json::to_string(query).unwrap());
+    http(addr, "POST", "/query", extra, body.as_bytes())
+}
+
+fn json_field<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+    v.get(key).unwrap_or_else(|| panic!("missing {key}"))
+}
+
+#[test]
+fn five_query_classes_over_real_sockets() {
+    let (server, _registry) = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    for (query, marker) in [
+        ("TRENDING LIMIT 5", "acquired"),
+        ("tell me about Apex Robotics", "Apex Robotics"),
+        ("WHY Apex Robotics -> Falcon Systems LIMIT 3", "investedIn"),
+        ("MATCH (*)-[acquired]->(*) LIMIT 5", "acquired"),
+        ("PATHS Apex Robotics TO Falcon Systems MAX 3", "Condor"),
+        ("TIMELINE Apex Robotics LIMIT 5", "partneredWith"),
+    ] {
+        let (status, headers, body) = post_query(addr, query, &[]);
+        assert_eq!(status, 200, "{query}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("json body");
+        assert_eq!(
+            json_field(&v, "partial"),
+            &serde_json::Value::Bool(false),
+            "{query} should complete within the default budget"
+        );
+        let rendered = json_field(&v, "rendered").as_str().unwrap();
+        assert!(rendered.contains(marker), "{query}: {rendered}");
+        assert!(
+            headers.iter().any(|(k, _)| k == "x-nous-trace-id"),
+            "every response carries a trace id"
+        );
+    }
+
+    let (status, _, body) = http(addr, "GET", "/healthz", &[], b"");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _, stats) = http(addr, "GET", "/stats", &[], b"");
+    assert_eq!(status, 200);
+    assert!(stats.contains("nous_"), "stats snapshot is populated");
+    server.shutdown();
+}
+
+#[test]
+fn zero_budget_deadline_yields_partial_not_error() {
+    let (server, _registry) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let (status, _, body) = post_query(
+        addr,
+        "MATCH (*)-[acquired]->(*) LIMIT 5",
+        &[("x-nous-deadline-ms", "0")],
+    );
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        json_field(&v, "partial"),
+        &serde_json::Value::Bool(true),
+        "expired budget must degrade, not fail: {body}"
+    );
+    assert_eq!(
+        json_field(&v, "deadline_ms"),
+        &serde_json::Value::Number(0.0)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unicode_payloads_get_clean_statuses_never_a_crash() {
+    let (server, registry) = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Unknown Unicode entities: valid parse, NotFound result, 200.
+    let (status, _, body) = post_query(addr, "WHY İstanbul -> Ankara LIMIT 3", &[]);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("NotFound"), "{body}");
+    // Combining mark in an entity name: still a clean 200.
+    let (status, _, _) = post_query(addr, "ABOUT Pe\u{301}rez Industries", &[]);
+    assert_eq!(status, 200);
+    // Unparseable Unicode soup: 400 with a JSON error, not a hang/crash.
+    let (status, _, body) = post_query(addr, "ﬀİß中🦀", &[]);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("error"), "{body}");
+    // Invalid JSON and invalid UTF-8 bodies: 400.
+    let (status, _, _) = http(addr, "POST", "/query", &[], b"{not json");
+    assert_eq!(status, 400);
+    let (status, _, _) = http(addr, "POST", "/query", &[], b"\xff\xfe\x80garbage");
+    assert_eq!(status, 400);
+
+    // The pool survived all of it: no panics, health still green.
+    let (status, _, _) = http(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(status, 200);
+    assert_eq!(
+        registry
+            .counter_value("nous_http_worker_panics_total", &[])
+            .unwrap_or(0),
+        0,
+        "no worker panicked"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturating_burst_sheds_429_instead_of_hanging() {
+    let (server, registry) = start(ServerConfig {
+        workers: 1,
+        max_in_flight: 2,
+        keep_alive: Duration::from_secs(30),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Keep opening idle connections: the first ones pin the worker (1)
+    // and the queue (2); once capacity is full the acceptor must refuse
+    // inline — a prompt 429, not an unbounded queue. Probing until one
+    // is shed keeps the test robust to scheduling (a holder that is
+    // merely queued reads nothing before its short timeout).
+    let mut holders: Vec<TcpStream> = Vec::new();
+    let mut shed_raw: Option<Vec<u8>> = None;
+    for _ in 0..10 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let mut buf = [0u8; 1024];
+        match s.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                let mut raw = buf[..n].to_vec();
+                let _ = s.read_to_end(&mut raw);
+                shed_raw = Some(raw);
+                break;
+            }
+            _ => holders.push(s), // accepted (worker or queue): nothing to read
+        }
+    }
+    let raw = shed_raw.expect("capacity 3 exhausted within 10 connections");
+    let (status, headers, body) = parse_response(&raw);
+    assert_eq!(status, 429, "{body}");
+    assert!(
+        headers.iter().any(|(k, v)| k == "retry-after" && v == "1"),
+        "shed responses carry Retry-After: {headers:?}"
+    );
+
+    // Release the held capacity; the server drains and serves again.
+    drop(holders);
+    let (status, _, _) = http(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(status, 200);
+    assert!(
+        registry
+            .counter_value("nous_http_shed_total", &[("reason", "queue_full")])
+            .unwrap_or(0)
+            >= 1,
+        "shed counter recorded the refusal"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn per_tenant_rate_limits_are_isolated() {
+    let (server, _registry) = start(ServerConfig {
+        rate_limit_per_sec: 0.001, // effectively no refill within the test
+        rate_limit_burst: 1.0,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let (status, _, _) = post_query(addr, "TRENDING", &[("x-nous-tenant", "alice")]);
+    assert_eq!(status, 200, "alice's burst token admits one query");
+    let (status, headers, _) = post_query(addr, "TRENDING", &[("x-nous-tenant", "alice")]);
+    assert_eq!(status, 429, "alice is out of tokens");
+    assert!(
+        headers.iter().any(|(k, _)| k == "retry-after"),
+        "rate-limit responses carry Retry-After"
+    );
+    let (status, _, _) = post_query(addr, "TRENDING", &[("x-nous-tenant", "bob")]);
+    assert_eq!(status, 200, "bob has his own bucket");
+    // Telemetry stays reachable for a shed tenant.
+    let (status, _, _) = http(addr, "GET", "/healthz", &[("x-nous-tenant", "alice")], b"");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposes_http_families_and_trace_resolves_in_flight_recorder() {
+    let (server, registry) = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let (status, headers, _) = post_query(addr, "TRENDING LIMIT 3", &[]);
+    assert_eq!(status, 200);
+    let trace_hex = headers
+        .iter()
+        .find(|(k, _)| k == "x-nous-trace-id")
+        .map(|(_, v)| v.clone())
+        .expect("trace id header");
+
+    let (status, _, text) = http(addr, "GET", "/metrics", &[], b"");
+    assert_eq!(status, 200);
+    assert!(text.contains("nous_http_requests_total"), "{text}");
+    assert!(
+        text.contains("nous_http_request_seconds") && text.contains(r#"route="/query""#),
+        "per-route latency histogram is exposed"
+    );
+    assert!(text.contains("nous_http_in_flight"), "{text}");
+
+    // The wire trace id resolves to a span tree that contains both the
+    // HTTP handling and the query execution under it.
+    let trace_id = u64::from_str_radix(&trace_hex, 16).expect("hex trace id");
+    let tracer = registry.tracer().expect("tracing enabled");
+    let record = tracer.flight().find(trace_id).expect("trace recorded");
+    assert!(record.spans.iter().any(|s| s.name == "http.request"));
+    assert!(record.spans.iter().any(|s| s.name == "query"));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_methods_are_refused() {
+    let (server, _registry) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let (status, _, _) = http(addr, "GET", "/nope", &[], b"");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(addr, "DELETE", "/query", &[], b"");
+    assert_eq!(status, 405);
+    let (status, _, _) = http(addr, "POST", "/ingest", &[], b"[]");
+    assert_eq!(status, 400, "empty ingest batch is refused");
+    server.shutdown();
+}
+
+/// Wire-level failpoints: dropped accepts and severed reads must degrade
+/// to per-connection errors the client can retry, never take the server
+/// down. Gated like every other failpoint in the workspace.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn accept_and_read_faults_degrade_gracefully() {
+    use nous_fault::{FaultPlan, SitePlan};
+    use nous_serve::{FP_HTTP_ACCEPT, FP_HTTP_READ};
+
+    let faults = FaultPlan::from_seed(7)
+        .site(FP_HTTP_ACCEPT, SitePlan::always().with_max_faults(1))
+        .site(FP_HTTP_READ, SitePlan::always().with_max_faults(1))
+        .arm();
+    let (server, _registry) = start(ServerConfig {
+        faults,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // First connection: dropped at accept (then the read fault consumes
+    // itself on the next served connection). The client just sees EOF.
+    let mut first = TcpStream::connect(addr).expect("connect");
+    first
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let _ = first.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    let mut raw = Vec::new();
+    let _ = first.read_to_end(&mut raw); // EOF or reset — both fine.
+    assert!(raw.is_empty(), "faulted accept must not produce a response");
+
+    // Second connection hits the read failpoint: severed, no response.
+    let mut second = TcpStream::connect(addr).expect("connect");
+    second
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let _ = second.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    let mut raw = Vec::new();
+    let _ = second.read_to_end(&mut raw);
+    assert!(raw.is_empty(), "severed read must not produce a response");
+
+    // Faults exhausted: the server serves normally again.
+    let (status, _, body) = http(addr, "GET", "/healthz", &[], b"");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}

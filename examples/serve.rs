@@ -1,0 +1,179 @@
+//! The serving demo: build a live session from the smoke-preset world,
+//! wire a durable journal so `/ingest` acks are ack-after-durable, and
+//! expose it over HTTP (ROADMAP item 1, DESIGN.md §8).
+//!
+//! ```sh
+//! cargo run --release --example serve                       # 127.0.0.1:7700
+//! cargo run --release --example serve -- --addr 0.0.0.0:80
+//! cargo run --release --example serve -- --self-check       # serve, probe, exit
+//! ```
+//!
+//! Then:
+//!
+//! ```sh
+//! curl localhost:7700/healthz
+//! curl -X POST localhost:7700/query -d '{"query":"TRENDING LIMIT 5"}'
+//! curl -X POST localhost:7700/query -H 'x-nous-deadline-ms: 50' \
+//!      -d '{"query":"MATCH (*)-[acquired]->(*) LIMIT 5"}'
+//! curl localhost:7700/metrics | grep nous_http
+//! ```
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
+use nous_corpus::{ArticleStream, CuratedKb, Preset, World};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::MetricsRegistry;
+use nous_persist::{DurabilityConfig, DurableStore};
+use nous_qa::TopicIndex;
+use nous_serve::{Server, ServerConfig};
+use nous_topics::LdaConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let self_check = args.iter().any(|a| a == "--self-check");
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if self_check {
+                "127.0.0.1:0".to_owned() // any free port; we print it
+            } else {
+                "127.0.0.1:7700".to_owned()
+            }
+        });
+
+    eprintln!("building session (smoke preset)…");
+    let world = World::generate(&Preset::Smoke.world_config());
+    let kb = CuratedKb::generate(&world, 7);
+    let mut kg = KnowledgeGraph::from_curated(&world, &kb);
+    kg.train_predictor();
+    let articles = ArticleStream::generate(&world, &kb, &Preset::Smoke.stream_config());
+
+    let registry = MetricsRegistry::new();
+    // Flight recorder on: every response's x-nous-trace-id resolves to a
+    // span tree (slow threshold 1ms keeps the slow log to real outliers).
+    registry.enable_tracing(42, 256, 1_000_000);
+    let session = Arc::new(SharedSession::with_registry(
+        kg,
+        TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 200 },
+            MinerConfig {
+                k_max: 2,
+                min_support: 3,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    ));
+
+    let mut pipeline = IngestPipeline::with_registry(
+        PipelineConfig {
+            batch_size: 8,
+            extract_workers: 2,
+            ..Default::default()
+        },
+        registry.clone(),
+    );
+
+    // Durable journal under a scratch directory: every fact admitted via
+    // POST /ingest clears the WAL before the 200 goes out. The ack
+    // counter makes the contract visible in the logs.
+    let acked = Arc::new(AtomicU64::new(0));
+    let wal_dir = std::env::temp_dir().join(format!("nous-serve-{}", std::process::id()));
+    match DurableStore::create(
+        &wal_dir,
+        DurabilityConfig::default(),
+        &KnowledgeGraph::new(),
+        &Default::default(),
+        &registry,
+    ) {
+        Ok(store) => {
+            let counter = Arc::clone(&acked);
+            pipeline.set_journal(store.journal_with_ack(Arc::new(move |_rec| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })));
+            eprintln!("durable journal at {}", wal_dir.display());
+        }
+        Err(e) => eprintln!("journal disabled ({e}); /ingest acks are in-memory only"),
+    }
+
+    // Seed the graph so queries have something to chew on immediately.
+    let report = session.ingest_batch(&mut pipeline, &articles);
+    eprintln!(
+        "seeded {} docs, {} facts admitted, {} journal acks",
+        report.documents,
+        report.admitted,
+        acked.load(Ordering::Relaxed)
+    );
+    let topics = session.read(|kg, _| kg.build_topic_index(&LdaConfig::default()));
+    session.set_topics(topics);
+    session.with_trends(|trends, kg| trends.observe(kg));
+
+    let server = Server::start(session, pipeline, &addr, ServerConfig::default())
+        .expect("bind serving socket");
+    let local = server.local_addr();
+    // The one line scripts scrape for the bound address (port 0 support).
+    println!("listening on http://{local}");
+
+    if !self_check {
+        eprintln!("press Ctrl-C to stop");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    // --self-check: drive one request per endpoint through a real
+    // socket, print the outcomes, and exit nonzero on any failure.
+    let mut failures = 0;
+    for (what, method, path, body) in [
+        ("healthz", "GET", "/healthz", String::new()),
+        (
+            "trending",
+            "POST",
+            "/query",
+            r#"{"query":"TRENDING LIMIT 5"}"#.into(),
+        ),
+        ("stats", "GET", "/stats", String::new()),
+        ("metrics", "GET", "/metrics", String::new()),
+    ] {
+        let ok = probe(local, method, path, &body);
+        eprintln!("self-check {what}: {}", if ok { "ok" } else { "FAILED" });
+        failures += usize::from(!ok);
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    if failures > 0 {
+        eprintln!("{failures} self-check probe(s) failed");
+        std::process::exit(1);
+    }
+    eprintln!("self-check passed");
+}
+
+/// Minimal one-shot HTTP probe; true iff the response status is 200.
+fn probe(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> bool {
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: demo\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(req.as_bytes()).is_err() {
+        return false;
+    }
+    let mut out = String::new();
+    if stream.read_to_string(&mut out).is_err() {
+        return false;
+    }
+    out.starts_with("HTTP/1.1 200")
+}
