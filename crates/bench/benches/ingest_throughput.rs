@@ -16,8 +16,12 @@
 //! on fewer cores than workers, so read speedups relative to that field.
 
 use nous_bench::{row, table_header};
-use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
+use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig, SharedSession, TrendMonitor};
 use nous_corpus::{Article, ArticleStream, CuratedKb, Preset, World};
+use nous_graph::window::WindowKind;
+use nous_mining::{EvictionStrategy, MinerConfig};
+use nous_obs::MetricsRegistry;
+use nous_qa::TopicIndex;
 use std::time::Instant;
 
 const CORPUS_ARTICLES: usize = 500;
@@ -102,6 +106,56 @@ fn extract_fraction(world: &World, kb: &CuratedKb, articles: &[Article]) -> f64 
     extract_secs / (extract_secs + merge_secs)
 }
 
+struct ShardRun {
+    shards: usize,
+    secs: f64,
+    docs_per_sec: f64,
+    /// Nanoseconds spent in the admit stage, read back from the
+    /// `nous_ingest_stage_seconds{stage="admit"}` histogram.
+    admit_nanos: u64,
+}
+
+/// One full session-level ingest (`SharedSession::ingest_batch`, which is
+/// what sharding accelerates: per-shard replicas sync on every publish)
+/// at the given shard count.
+fn run_sharded(world: &World, kb: &CuratedKb, articles: &[Article], shards: usize) -> ShardRun {
+    let mut kg = KnowledgeGraph::from_curated(world, kb);
+    kg.train_predictor();
+    let registry = MetricsRegistry::new();
+    let session = SharedSession::with_registry(
+        kg,
+        TopicIndex::new(2),
+        TrendMonitor::new(
+            WindowKind::Count { n: 500 },
+            MinerConfig {
+                k_max: 2,
+                min_support: 4,
+                eviction: EvictionStrategy::Eager,
+            },
+        ),
+        registry.clone(),
+    );
+    session.enable_sharding(shards);
+    let mut pipe = IngestPipeline::with_registry(
+        PipelineConfig {
+            batch_size: BATCH_SIZE,
+            ..Default::default()
+        },
+        registry.clone(),
+    );
+    let t0 = Instant::now();
+    session.ingest_batch(&mut pipe, articles);
+    let secs = t0.elapsed().as_secs_f64();
+    ShardRun {
+        shards,
+        secs,
+        docs_per_sec: articles.len() as f64 / secs,
+        admit_nanos: registry
+            .histogram_sum("nous_ingest_stage_seconds", &[("stage", "admit")])
+            .unwrap_or(0),
+    }
+}
+
 fn main() {
     let (world, kb, articles) = corpus();
     let mut runs: Vec<Measurement> = Vec::new();
@@ -181,10 +235,70 @@ fn main() {
         .unwrap_or(1);
     let frac = extract_fraction(&world, &kb, &articles);
     println!("\nextraction fraction of sequential wall-time: {frac:.3} (host cpus: {host_cpus})");
+
+    // Entity-shard sweep: the full session-level path (admission +
+    // per-publish shard sync + snapshot publication) at 1/2/4/8 shards.
+    let shard_runs: Vec<ShardRun> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| run_sharded(&world, &kb, &articles, n))
+        .collect();
+    let one_shard = &shard_runs[0];
+    // Fraction of 1-shard session wall-time spent admitting facts — the
+    // stage the per-shard fabric parallelizes — measured from the admit
+    // stage histogram, not assumed.
+    let admission_fraction = (one_shard.admit_nanos as f64 / 1e9) / one_shard.secs;
+    // Amdahl projection for 4 shards + 4 extract workers on a host with
+    // >=4 cores: both the extract and admit fractions parallelize, the
+    // rest (disambiguation, gates, merge bookkeeping, publish) is serial.
+    let parallel_fraction = (frac + admission_fraction).min(0.999);
+    let amdahl_projection_4 = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 4.0);
+
+    table_header(
+        &format!("entity-shard sweep ({CORPUS_ARTICLES}-article corpus, session ingest)"),
+        &["shards", "secs", "docs/s", "speedup_vs_1shard"],
+        &[7, 8, 10, 18],
+    );
+    for s in &shard_runs {
+        println!(
+            "{}",
+            row(
+                &[
+                    s.shards.to_string(),
+                    format!("{:.2}", s.secs),
+                    format!("{:.0}", s.docs_per_sec),
+                    format!("{:.2}x", s.docs_per_sec / one_shard.docs_per_sec),
+                ],
+                &[7, 8, 10, 18],
+            )
+        );
+    }
+    println!(
+        "\nadmission fraction of 1-shard wall-time: {admission_fraction:.3}; \
+         Amdahl projection at 4 shards + 4 workers: {amdahl_projection_4:.2}x \
+         (measured on {host_cpus} cpu(s) — read speedups relative to host_cpus)"
+    );
+
+    let shard_entries: Vec<String> = shard_runs
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"shards\": {}, \"secs\": {:.3}, \"docs_per_sec\": {:.1}, \
+                 \"shard_speedup_vs_1shard\": {:.2}}}",
+                s.shards,
+                s.secs,
+                s.docs_per_sec,
+                s.docs_per_sec / one_shard.docs_per_sec
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"corpus_articles\": {CORPUS_ARTICLES},\n  \"batch_size\": {BATCH_SIZE},\n  \
-         \"host_cpus\": {host_cpus},\n  \"extract_fraction\": {frac:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+         \"host_cpus\": {host_cpus},\n  \"extract_fraction\": {frac:.3},\n  \
+         \"admission_fraction\": {admission_fraction:.3},\n  \
+         \"amdahl_projection_4shards\": {amdahl_projection_4:.2},\n  \"runs\": [\n{}\n  ],\n  \
+         \"shard_sweep\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        shard_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
     match std::fs::write(path, &json) {

@@ -1,0 +1,198 @@
+//! The shard fabric: per-shard admission threads replicating the global
+//! knowledge graph into entity-hash partitions.
+//!
+//! [`ShardFabric`] owns `N` long-lived worker threads, each holding one
+//! [`ShardReplica`] (see `nous_graph::shard`). On every snapshot
+//! publication the session extracts one [`SyncPlan`] from the global
+//! graph — O(micro-batch), computed once under the read lock — and fans
+//! it out; each shard thread applies its routed delta, publishes its own
+//! [`ShardView`] epoch, and reports back. The fan-out is barriered: the
+//! composite [`ShardedSnapshot`] the session installs is pinned at
+//! exactly the global watermark the plan was cut at, so readers never
+//! observe shards at different epochs.
+//!
+//! Shard admission is where the parallelism lives: graph appends,
+//! adjacency/posting index maintenance, tombstone routing and per-shard
+//! snapshot (overlay capture or base fold) all run concurrently across
+//! shards. The global graph stays fully authoritative — gates, dedup,
+//! trend mining, mapper/predictor retraining and checkpoint encoding are
+//! untouched — which is what makes the 1-shard configuration literally
+//! the pre-sharding code path, byte for byte.
+
+use nous_graph::shard::{plan_shard_sync, ShardReplica, ShardView, ShardedSnapshot, SyncPlan};
+use nous_graph::{DeltaWatermark, DynamicGraph};
+use nous_obs::{Gauge, MetricsRegistry};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+enum Command {
+    Sync {
+        plan: Arc<SyncPlan>,
+        done: mpsc::Sender<(usize, Arc<ShardView>)>,
+    },
+    Shutdown,
+}
+
+struct Worker {
+    sender: mpsc::Sender<Command>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// `N` shard admission threads plus the shipped-watermark bookkeeping
+/// that keeps their replicas chained onto the global edge log.
+pub struct ShardFabric {
+    workers: Vec<Worker>,
+    /// Global watermark the replicas have been synced to (`None` until
+    /// the first sync, which seeds them from scratch).
+    shipped: Option<DeltaWatermark>,
+    shard_count: usize,
+}
+
+impl ShardFabric {
+    /// Spawn `shards` admission threads. Per-shard gauges
+    /// (`nous_shard_facts{shard=…}`, `nous_shard_snapshot_epoch{shard=…}`)
+    /// are registered here — only a sharded session ever creates them, so
+    /// the 1-shard `/stats` surface stays byte-identical.
+    pub fn new(shards: usize, registry: &MetricsRegistry) -> Self {
+        assert!(shards >= 2, "a 1-shard fabric is the plain session path");
+        registry
+            .gauge("nous_shards", "Configured shard count of this session")
+            .set(shards as i64);
+        let workers = (0..shards)
+            .map(|k| {
+                let label = k.to_string();
+                let facts: Gauge = registry.gauge_with(
+                    "nous_shard_facts",
+                    "Live facts admitted to this shard's replica",
+                    &[("shard", &label)],
+                );
+                let epoch: Gauge = registry.gauge_with(
+                    "nous_shard_snapshot_epoch",
+                    "Snapshot epoch independently published by this shard",
+                    &[("shard", &label)],
+                );
+                let (sender, rx) = mpsc::channel::<Command>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("nous-shard-{k}"))
+                    .spawn(move || {
+                        let mut replica = ShardReplica::new(k);
+                        while let Ok(cmd) = rx.recv() {
+                            match cmd {
+                                Command::Sync { plan, done } => {
+                                    replica.apply(&plan, &plan.per_shard[k]);
+                                    let view = replica.publish();
+                                    facts.set(replica.live_edge_count() as i64);
+                                    epoch.set(replica.epoch() as i64);
+                                    // The session may have been dropped
+                                    // mid-sync; a dead receiver just ends
+                                    // this barrier early.
+                                    let _ = done.send((k, view));
+                                }
+                                Command::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn shard admission thread");
+                Worker {
+                    sender,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self {
+            workers,
+            shipped: None,
+            shard_count: shards,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Ship everything that changed in `g` since the last sync to the
+    /// shard threads, barrier on their per-shard publications, and return
+    /// the composite view pinned at `g`'s current watermark. Callers hold
+    /// the global read lock across this, so the plan and the installed
+    /// global snapshot describe the same graph state.
+    pub fn sync(&mut self, g: &DynamicGraph) -> ShardedSnapshot {
+        let plan = Arc::new(plan_shard_sync(g, self.shipped, self.shard_count));
+        self.shipped = Some(plan.mark);
+        let (done, results) = mpsc::channel();
+        for w in &self.workers {
+            w.sender
+                .send(Command::Sync {
+                    plan: plan.clone(),
+                    done: done.clone(),
+                })
+                .expect("shard admission thread alive");
+        }
+        drop(done);
+        let mut views: Vec<Option<Arc<ShardView>>> = vec![None; self.shard_count];
+        for (shard, view) in results {
+            views[shard] = Some(view);
+        }
+        ShardedSnapshot::new(
+            views
+                .into_iter()
+                .map(|v| v.expect("every shard reports exactly once per sync"))
+                .collect(),
+        )
+    }
+}
+
+impl Drop for ShardFabric {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.sender.send(Command::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nous_graph::{GraphView, Provenance, VertexId};
+
+    #[test]
+    fn fabric_sync_matches_global_graph() {
+        let registry = MetricsRegistry::new();
+        let mut fabric = ShardFabric::new(3, &registry);
+        let mut g = DynamicGraph::new();
+        let a = g.ensure_vertex("Apex Robotics");
+        let b = g.ensure_vertex("Condor Labs");
+        let p = g.intern_predicate("acquired");
+        g.add_edge_at(a, p, b, 1, 0.9, Provenance::Curated);
+        let snap = fabric.sync(&g);
+        assert_eq!(snap.shard_count(), 3);
+        assert_eq!(snap.live_edge_count(), 1);
+        assert_eq!(snap.vertex_id("Apex Robotics"), Some(VertexId(0)));
+        // Incremental window: one more edge, one removal.
+        let c = g.ensure_vertex("Delta Corp");
+        g.add_edge_at(b, p, c, 2, 0.8, Provenance::Curated);
+        g.remove_edge(nous_graph::EdgeId(0));
+        let snap = fabric.sync(&g);
+        assert_eq!(snap.live_edge_count(), 1);
+        let mut postings = Vec::new();
+        let _ = snap.for_each_with_pred(p, |id, e| {
+            postings.push((id, e.src, e.dst));
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(postings, vec![(nous_graph::EdgeId(1), b, c)]);
+        // Per-shard gauges exist exactly because the fabric was created.
+        assert_eq!(registry.gauge_value("nous_shards", &[]), Some(3));
+        let total: i64 = (0..3)
+            .map(|k| {
+                registry
+                    .gauge_value("nous_shard_facts", &[("shard", &k.to_string())])
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,757 @@
+//! Entity-sharded replicas and the composite fan-out/merge view.
+//!
+//! The knowledge graph is partitioned by a stable hash of the entity
+//! *name* (names are the only id-independent key that survives recovery
+//! and replication): every edge lives on the shard of its **subject**
+//! vertex, so cross-shard facts route deterministically and each shard
+//! holds a disjoint slice of the global edge log. Shards replicate the
+//! full vertex/predicate id spaces (names are broadcast in global intern
+//! order), which keeps `VertexId`/`PredicateId` identical across the
+//! global graph and every replica — only edge ids are shard-local, and a
+//! strictly increasing [`GlobalMap`] translates them back.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`shard_of_name`]: the routing hash (FNV-1a over the name bytes).
+//! - [`plan_shard_sync`]: extract everything that changed in the global
+//!   [`DynamicGraph`] since a [`DeltaWatermark`] as one broadcast part
+//!   (vertices, predicates, labels) plus per-shard routed edge/removal
+//!   deltas — O(changes), computed once under the global read lock.
+//! - [`ShardReplica`]: one shard's graph + id map; applies deltas and
+//!   publishes immutable [`ShardView`] epochs ([`LayeredSnapshot`] with
+//!   occasional full folds, mirroring the session compactor).
+//! - [`ShardedSnapshot`]: implements [`GraphView`] over N shard views by
+//!   fanning out and k-way-merging in the exact orders `FrozenView`
+//!   guarantees, so every query class runs unchanged against it.
+//!
+//! Order contract (the reason the composite is byte-identical to a
+//! single-graph snapshot): per-shard local edge-log order is a
+//! subsequence of the global edge-log order (deltas are applied in
+//! global id order), so translating local→global ids preserves sortedness
+//! and concatenation-by-merge *is* global log order.
+
+use crate::edge::Edge;
+use crate::graph::{Adj, DeltaWatermark, DynamicGraph};
+use crate::ids::{EdgeId, PredicateId, Timestamp, VertexId};
+use crate::layered::{LayeredSnapshot, MergeStats};
+use crate::view::GraphView;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// Stable shard routing: FNV-1a over the entity name's bytes, mod the
+/// shard count. Never keyed on ids — ids differ between the global graph
+/// and replicas and between runs with different corpora; names don't.
+pub fn shard_of_name(name: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Resolve the shard count: `NOUS_SHARDS` when set to a positive
+/// integer, otherwise `min(host_cpus, 8)`. A result of 1 means "don't
+/// shard" — callers keep the plain single-graph path.
+pub fn shard_count_from_env() -> usize {
+    std::env::var("NOUS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+}
+
+/// Edge/removal delta routed to one shard.
+#[derive(Debug, Default, Clone)]
+pub struct ShardDelta {
+    /// `(global_edge_id, edge)` pairs in ascending global id order.
+    pub edges: Vec<(EdgeId, Edge)>,
+    /// Global ids of removed edges owned by this shard, removal order.
+    pub removals: Vec<EdgeId>,
+}
+
+/// One sync window extracted from the global graph: the broadcast part
+/// (applied by *every* shard, in global order, so replicated id spaces
+/// stay aligned) plus one routed [`ShardDelta`] per shard.
+#[derive(Debug, Clone)]
+pub struct SyncPlan {
+    /// New vertex names since the mark, global intern order.
+    pub vertices: Arc<Vec<String>>,
+    /// New predicate names since the mark, global intern order.
+    pub predicates: Arc<Vec<String>>,
+    /// Label fixups since the mark: `(vertex, current label)`.
+    pub labels: Arc<Vec<(VertexId, String)>>,
+    /// Routed deltas, one per shard.
+    pub per_shard: Vec<ShardDelta>,
+    /// The watermark this plan advances shipped state to.
+    pub mark: DeltaWatermark,
+    /// True when the global graph compacted/rebuilt since the last mark:
+    /// replicas must reset and apply this plan from scratch.
+    pub reseed: bool,
+}
+
+/// Extract a [`SyncPlan`] covering everything that changed in `g` since
+/// `since` (`None` = everything, i.e. a seed plan). O(changes) in the
+/// incremental case. Detects compaction via the structure version and
+/// falls back to a full reseed plan — the only case where `reseed` is
+/// set and only *live* edges are shipped (dead ids no longer resolve).
+pub fn plan_shard_sync(g: &DynamicGraph, since: Option<DeltaWatermark>, shards: usize) -> SyncPlan {
+    let shards = shards.max(1);
+    let fresh = match since {
+        Some(m) if m.structure_version == g.structure_version() && m.log_len <= g.log_len() => {
+            Some(m)
+        }
+        _ => None,
+    };
+    let mut per_shard: Vec<ShardDelta> = vec![ShardDelta::default(); shards];
+    let route = |g: &DynamicGraph, src: VertexId| shard_of_name(g.vertex_name(src), shards);
+    match fresh {
+        Some(m) => {
+            let vertices: Vec<String> = (m.vertex_count..g.vertex_count())
+                .map(|i| g.vertex_name(VertexId(i as u32)).to_owned())
+                .collect();
+            let predicates: Vec<String> = (m.predicate_count..g.predicate_count())
+                .map(|i| g.predicate_name(PredicateId(i as u32)).to_owned())
+                .collect();
+            let labels: Vec<(VertexId, String)> = g
+                .labels_changed_since(m.label_log_len)
+                .iter()
+                .filter_map(|&v| g.label(v).map(|l| (v, l.to_owned())))
+                .collect();
+            let log = g.edge_log();
+            for (i, e) in log.iter().enumerate().skip(m.log_len) {
+                per_shard[route(g, e.src)]
+                    .edges
+                    .push((EdgeId(i as u32), e.clone()));
+            }
+            for &id in g.removals_since(m.removal_log_len) {
+                per_shard[route(g, g.edge(id).src)].removals.push(id);
+            }
+            SyncPlan {
+                vertices: Arc::new(vertices),
+                predicates: Arc::new(predicates),
+                labels: Arc::new(labels),
+                per_shard,
+                mark: g.watermark(),
+                reseed: false,
+            }
+        }
+        None => {
+            let vertices: Vec<String> = (0..g.vertex_count())
+                .map(|i| g.vertex_name(VertexId(i as u32)).to_owned())
+                .collect();
+            let predicates: Vec<String> = (0..g.predicate_count())
+                .map(|i| g.predicate_name(PredicateId(i as u32)).to_owned())
+                .collect();
+            let labels: Vec<(VertexId, String)> = (0..g.vertex_count())
+                .filter_map(|i| {
+                    let v = VertexId(i as u32);
+                    g.label(v).map(|l| (v, l.to_owned()))
+                })
+                .collect();
+            for (id, e) in g.iter_edges() {
+                per_shard[route(g, e.src)].edges.push((id, e.clone()));
+            }
+            SyncPlan {
+                vertices: Arc::new(vertices),
+                predicates: Arc::new(predicates),
+                labels: Arc::new(labels),
+                per_shard,
+                mark: g.watermark(),
+                reseed: true,
+            }
+        }
+    }
+}
+
+/// Immutable local→global edge-id translation, built from strictly
+/// increasing per-sync chunks so publishing a new epoch shares all prior
+/// chunks (O(window) per publish, like the snapshot overlays it rides
+/// beside). Local edge id = position across the concatenated chunks.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMap {
+    chunks: Vec<Arc<Vec<EdgeId>>>,
+    /// Starting local index of each chunk.
+    offsets: Vec<usize>,
+    len: usize,
+}
+
+impl GlobalMap {
+    /// The global id of a local edge. Panics on out-of-range locals.
+    pub fn global_of(&self, local: EdgeId) -> EdgeId {
+        let i = local.index();
+        assert!(i < self.len, "{local} is not a local edge of this shard");
+        let c = self.offsets.partition_point(|&o| o <= i) - 1;
+        self.chunks[c][i - self.offsets[c]]
+    }
+
+    /// The local id a global edge maps to on this shard, if it lives here.
+    pub fn local_of(&self, global: EdgeId) -> Option<EdgeId> {
+        let c = self
+            .chunks
+            .partition_point(|ch| ch.last().is_some_and(|&last| last < global));
+        let ch = self.chunks.get(c)?;
+        ch.binary_search(&global)
+            .ok()
+            .map(|j| EdgeId((self.offsets[c] + j) as u32))
+    }
+
+    /// Local edges mapped (live + dead).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One shard: a replica [`DynamicGraph`] holding this shard's slice of
+/// the edge log (full vertex/predicate spaces), its local→global id map,
+/// and the layered-snapshot state it publishes epochs from.
+#[derive(Debug, Default)]
+pub struct ShardReplica {
+    shard: usize,
+    graph: DynamicGraph,
+    chunks: Vec<Arc<Vec<EdgeId>>>,
+    offsets: Vec<usize>,
+    map_len: usize,
+    snapshot: Option<LayeredSnapshot>,
+    epoch: u64,
+}
+
+/// Stack depth at which a replica folds its layered snapshot back into a
+/// single base instead of pushing another overlay (same order of
+/// magnitude as the session compactor's trigger).
+const FOLD_LAYERS: usize = 8;
+/// Chunk count at which the id map is folded into one chunk.
+const FOLD_CHUNKS: usize = 64;
+
+impl ShardReplica {
+    pub fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            ..Default::default()
+        }
+    }
+
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Live edges currently admitted to this shard.
+    pub fn live_edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Epochs published so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Apply one sync window: the broadcast part in global order, then
+    /// this shard's routed delta. Must be called with the [`SyncPlan`]
+    /// windows in publication order — the id map only stays strictly
+    /// increasing because deltas arrive in global log order.
+    pub fn apply(&mut self, plan: &SyncPlan, delta: &ShardDelta) {
+        if plan.reseed {
+            self.graph = DynamicGraph::new();
+            self.chunks.clear();
+            self.offsets.clear();
+            self.map_len = 0;
+            self.snapshot = None;
+        }
+        for name in plan.vertices.iter() {
+            self.graph.ensure_vertex(name);
+        }
+        for name in plan.predicates.iter() {
+            self.graph.intern_predicate(name);
+        }
+        for (v, label) in plan.labels.iter() {
+            self.graph.set_label(*v, label);
+        }
+        if !delta.edges.is_empty() {
+            let mut chunk = Vec::with_capacity(delta.edges.len());
+            for (gid, edge) in &delta.edges {
+                self.graph.add_edge(edge.clone());
+                chunk.push(*gid);
+            }
+            self.offsets.push(self.map_len);
+            self.map_len += chunk.len();
+            self.chunks.push(Arc::new(chunk));
+            if self.chunks.len() > FOLD_CHUNKS {
+                let mut folded = Vec::with_capacity(self.map_len);
+                for c in &self.chunks {
+                    folded.extend_from_slice(c);
+                }
+                self.chunks = vec![Arc::new(folded)];
+                self.offsets = vec![0];
+            }
+        }
+        for gid in &delta.removals {
+            if let Some(local) = self.map().local_of(*gid) {
+                if self.graph.is_live(local) {
+                    self.graph.remove_edge(local);
+                }
+            }
+        }
+    }
+
+    fn map(&self) -> GlobalMap {
+        GlobalMap {
+            chunks: self.chunks.clone(),
+            offsets: self.offsets.clone(),
+            len: self.map_len,
+        }
+    }
+
+    /// Publish the next epoch of this shard: an overlay on the previous
+    /// snapshot when the delta chains (O(window)), a full fold when the
+    /// stack is deep or the chain broke (replica reseed).
+    pub fn publish(&mut self) -> Arc<ShardView> {
+        let next = match &self.snapshot {
+            Some(prev) if prev.watermark() == self.graph.watermark() => prev.clone(),
+            Some(prev) if prev.layer_count() < FOLD_LAYERS => prev
+                .capture_delta(&self.graph)
+                .and_then(|o| prev.with_overlay(o))
+                .unwrap_or_else(|_| LayeredSnapshot::freeze(&self.graph)),
+            _ => LayeredSnapshot::freeze(&self.graph),
+        };
+        self.snapshot = Some(next.clone());
+        self.epoch += 1;
+        Arc::new(ShardView {
+            shard: self.shard,
+            view: next,
+            map: self.map(),
+            epoch: self.epoch,
+        })
+    }
+}
+
+/// One shard's published epoch: an immutable snapshot plus the id map as
+/// of the same watermark. Cheap to clone (layers and chunks are shared).
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    pub shard: usize,
+    pub view: LayeredSnapshot,
+    pub map: GlobalMap,
+    pub epoch: u64,
+}
+
+/// The composite serving view over N shard epochs: implements
+/// [`GraphView`] by delegating vertex/predicate lookups to shard 0 (the
+/// spaces are replicated), routing out-edge scans to the owning shard,
+/// and fanning in-edge / predicate / time-range scans over every shard
+/// with a merge in the exact order a single-graph `FrozenView` yields.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    shards: Vec<Arc<ShardView>>,
+}
+
+impl ShardedSnapshot {
+    /// Build from per-shard views published at the same global watermark.
+    /// Panics on an empty shard set — a composite over nothing is a bug.
+    pub fn new(shards: Vec<Arc<ShardView>>) -> Self {
+        assert!(!shards.is_empty(), "sharded snapshot needs >= 1 shard");
+        Self { shards }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard epochs, indexed by shard.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch).collect()
+    }
+
+    fn owner_of(&self, v: VertexId) -> &ShardView {
+        let name = self.shards[0].view.vertex_name(v);
+        &self.shards[shard_of_name(name, self.shards.len())]
+    }
+
+    /// Aggregated read-path merge accounting across the shard views.
+    pub fn merge_stats(&self) -> MergeStats {
+        let mut agg = MergeStats {
+            layers: 0,
+            overlay_edges: 0,
+            tombstones: 0,
+            live_edges: 0,
+        };
+        for s in &self.shards {
+            let m = s.view.merge_stats();
+            agg.layers = agg.layers.max(m.layers);
+            agg.overlay_edges += m.overlay_edges;
+            agg.tombstones += m.tombstones;
+            agg.live_edges += m.live_edges;
+        }
+        agg
+    }
+
+    /// Live edges with `at` in `[from, to]`, ascending `(at, global id)` —
+    /// the fan-out/merge equivalent of [`LayeredSnapshot::edges_in_range`].
+    pub fn edges_in_range(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        let mut hits: Vec<(Timestamp, EdgeId, &Edge)> = Vec::new();
+        for s in &self.shards {
+            for (local, e) in s.view.edges_in_range(from, to) {
+                hits.push((e.at, s.map.global_of(local), e));
+            }
+        }
+        hits.sort_unstable_by_key(|(at, id, _)| (*at, *id));
+        hits.into_iter().map(|(_, id, e)| (id, e))
+    }
+}
+
+impl GraphView for ShardedSnapshot {
+    fn vertex_count(&self) -> usize {
+        self.shards[0].view.vertex_count()
+    }
+
+    fn vertex_id(&self, name: &str) -> Option<VertexId> {
+        self.shards[0].view.vertex_id(name)
+    }
+
+    fn vertex_name(&self, v: VertexId) -> &str {
+        self.shards[0].view.vertex_name(v)
+    }
+
+    fn label(&self, v: VertexId) -> Option<&str> {
+        self.shards[0].view.label(v)
+    }
+
+    fn predicate_count(&self) -> usize {
+        self.shards[0].view.predicate_count()
+    }
+
+    fn predicate_id(&self, name: &str) -> Option<PredicateId> {
+        self.shards[0].view.predicate_id(name)
+    }
+
+    fn predicate_name(&self, p: PredicateId) -> &str {
+        self.shards[0].view.predicate_name(p)
+    }
+
+    fn edge(&self, id: EdgeId) -> &Edge {
+        for s in &self.shards {
+            if let Some(local) = s.map.local_of(id) {
+                return s.view.edge(local);
+            }
+        }
+        panic!("{id} is not a live edge of this sharded snapshot");
+    }
+
+    fn live_edge_count(&self) -> usize {
+        self.shards.iter().map(|s| s.view.live_edge_count()).sum()
+    }
+
+    fn for_each_out(&self, v: VertexId, mut f: impl FnMut(Adj)) {
+        // Every out-edge of `v` lives on its owning shard (routing is by
+        // subject), and local→global translation preserves the
+        // `(pred, other, edge)` sort within the shard.
+        let s = self.owner_of(v);
+        s.view.for_each_out(v, |a| {
+            f(Adj {
+                pred: a.pred,
+                other: a.other,
+                edge: s.map.global_of(a.edge),
+            })
+        });
+    }
+
+    fn for_each_in(&self, v: VertexId, mut f: impl FnMut(Adj)) {
+        // In-edges of `v` are scattered across subjects' shards: fan out,
+        // translate, and merge back into `(pred, other, edge)` order.
+        let mut all: Vec<Adj> = Vec::new();
+        for s in &self.shards {
+            s.view.for_each_in(v, |a| {
+                all.push(Adj {
+                    pred: a.pred,
+                    other: a.other,
+                    edge: s.map.global_of(a.edge),
+                })
+            });
+        }
+        all.sort_unstable_by_key(|a| (a.pred, a.other, a.edge));
+        for a in all {
+            f(a);
+        }
+    }
+
+    fn for_each_with_pred(
+        &self,
+        p: PredicateId,
+        mut f: impl FnMut(EdgeId, &Edge) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Each shard's postings stream is ascending in *global* id (its
+        // local log is a subsequence of the global log), so a k-way merge
+        // by global id reproduces edge-log order exactly.
+        let mut streams: Vec<Vec<(EdgeId, EdgeId)>> = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let mut stream = Vec::new();
+            let _ = s.view.for_each_with_pred(p, |local, _| {
+                stream.push((s.map.global_of(local), local));
+                ControlFlow::Continue(())
+            });
+            streams.push(stream);
+        }
+        let mut pos = vec![0usize; streams.len()];
+        loop {
+            let mut best: Option<(usize, EdgeId)> = None;
+            for (i, stream) in streams.iter().enumerate() {
+                if let Some(&(id, _)) = stream.get(pos[i]) {
+                    if best.map(|(_, b)| id < b).unwrap_or(true) {
+                        best = Some((i, id));
+                    }
+                }
+            }
+            let Some((i, _)) = best else {
+                return ControlFlow::Continue(());
+            };
+            let (id, local) = streams[i][pos[i]];
+            pos[i] += 1;
+            f(id, self.shards[i].view.edge(local))?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Provenance;
+    use crate::frozen::FrozenView;
+
+    /// A fabric-less harness: replicas kept in sync by hand.
+    struct Harness {
+        shards: Vec<ShardReplica>,
+        mark: Option<DeltaWatermark>,
+    }
+
+    impl Harness {
+        fn new(n: usize) -> Self {
+            Self {
+                shards: (0..n).map(ShardReplica::new).collect(),
+                mark: None,
+            }
+        }
+
+        fn sync(&mut self, g: &DynamicGraph) -> ShardedSnapshot {
+            let plan = plan_shard_sync(g, self.mark, self.shards.len());
+            self.mark = Some(plan.mark);
+            let views = self
+                .shards
+                .iter_mut()
+                .map(|r| {
+                    r.apply(&plan, &plan.per_shard[r.shard()]);
+                    r.publish()
+                })
+                .collect();
+            ShardedSnapshot::new(views)
+        }
+    }
+
+    fn assert_equivalent(snap: &ShardedSnapshot, g: &DynamicGraph) {
+        let fresh = FrozenView::freeze(g);
+        assert_eq!(snap.vertex_count(), fresh.vertex_count());
+        assert_eq!(snap.predicate_count(), fresh.predicate_count());
+        assert_eq!(snap.live_edge_count(), fresh.live_edge_count());
+        for v in (0..g.vertex_count() as u32).map(VertexId) {
+            assert_eq!(snap.vertex_name(v), fresh.vertex_name(v));
+            assert_eq!(snap.vertex_id(snap.vertex_name(v)), Some(v));
+            assert_eq!(snap.label(v), fresh.label(v), "label of {v}");
+            let collect = |view: &dyn Fn(&mut Vec<Adj>)| {
+                let mut out = Vec::new();
+                view(&mut out);
+                out
+            };
+            let snap_out = collect(&|out| snap.for_each_out(v, |a| out.push(a)));
+            let fresh_out = collect(&|out| fresh.for_each_out(v, |a| out.push(a)));
+            assert_eq!(snap_out, fresh_out, "out adjacency of {v}");
+            let snap_in = collect(&|out| snap.for_each_in(v, |a| out.push(a)));
+            let fresh_in = collect(&|out| fresh.for_each_in(v, |a| out.push(a)));
+            assert_eq!(snap_in, fresh_in, "in adjacency of {v}");
+            assert_eq!(snap.out_degree(v), fresh.out_degree(v));
+            assert_eq!(snap.in_degree(v), fresh.in_degree(v));
+            let mut sn = Vec::new();
+            let mut fr = Vec::new();
+            snap.neighbors_into(v, &mut sn);
+            fresh.neighbors_into(v, &mut fr);
+            assert_eq!(sn, fr, "neighbors of {v}");
+        }
+        for p in (0..g.predicate_count() as u32).map(PredicateId) {
+            assert_eq!(snap.predicate_name(p), fresh.predicate_name(p));
+            assert_eq!(snap.predicate_id(snap.predicate_name(p)), Some(p));
+            let mut sn = Vec::new();
+            let _ = snap.for_each_with_pred(p, |id, e| {
+                sn.push((id, e.at));
+                ControlFlow::Continue(())
+            });
+            let mut fr = Vec::new();
+            let _ = fresh.for_each_with_pred(p, |id, e| {
+                fr.push((id, e.at));
+                ControlFlow::Continue(())
+            });
+            assert_eq!(sn, fr, "postings of {p}");
+        }
+        let sn: Vec<_> = snap.edges_in_range(0, u64::MAX).map(|(id, _)| id).collect();
+        let fr: Vec<_> = fresh
+            .edges_in_range(0, u64::MAX)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(sn, fr, "time range");
+        for (id, e) in snap.edges_in_range(0, u64::MAX) {
+            assert_eq!(GraphView::edge(snap, id).at, e.at);
+        }
+    }
+
+    /// Deterministic pseudo-random mutation stream (no external RNG).
+    fn mutate(g: &mut DynamicGraph, seed: u64, rounds: usize) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..rounds {
+            let r = next();
+            match r % 10 {
+                0 | 1 => {
+                    let v = g.ensure_vertex(&format!("Entity {}", next() % 64));
+                    if r % 3 == 0 {
+                        g.set_label(v, ["Person", "Organization", "Location"][(r % 3) as usize]);
+                    }
+                }
+                2 if g.log_len() > 0 => {
+                    let id = EdgeId((next() % g.log_len() as u64) as u32);
+                    if g.is_live(id) {
+                        g.remove_edge(id);
+                    }
+                }
+                _ => {
+                    let s = g.ensure_vertex(&format!("Entity {}", next() % 64));
+                    let o = g.ensure_vertex(&format!("Entity {}", next() % 64));
+                    if s != o {
+                        let p = g.intern_predicate(["owns", "near", "acquired"][(r % 3) as usize]);
+                        g.add_edge_at(s, p, o, i as u64, 0.5, Provenance::Curated);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        for n in [1, 2, 5, 8] {
+            for name in ["Apex Robotics", "Condor Labs", "", "日本"] {
+                let s = shard_of_name(name, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of_name(name, n), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_matches_fresh_freeze_across_sync_windows() {
+        for n in [1usize, 2, 3, 5] {
+            let mut g = DynamicGraph::new();
+            let mut h = Harness::new(n);
+            for window in 0..6u64 {
+                mutate(&mut g, 0xC0DE + window, 40);
+                let snap = h.sync(&g);
+                assert_equivalent(&snap, &g);
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_after_global_compaction() {
+        let mut g = DynamicGraph::new();
+        let mut h = Harness::new(3);
+        mutate(&mut g, 7, 120);
+        let snap = h.sync(&g);
+        assert_equivalent(&snap, &g);
+        // Compacting the global graph renumbers edges: the next sync must
+        // detect the structure change and rebuild replicas from scratch.
+        if g.log_len() > 0 {
+            let id = EdgeId(0);
+            if g.is_live(id) {
+                g.remove_edge(id);
+            }
+        }
+        g.compact();
+        let snap = h.sync(&g);
+        assert_equivalent(&snap, &g);
+        // And incremental syncs chain cleanly after the reseed.
+        mutate(&mut g, 11, 60);
+        let snap = h.sync(&g);
+        assert_equivalent(&snap, &g);
+    }
+
+    #[test]
+    fn old_epochs_stay_pinned_while_new_windows_apply() {
+        let mut g = DynamicGraph::new();
+        let mut h = Harness::new(2);
+        mutate(&mut g, 3, 50);
+        let old = h.sync(&g);
+        let old_edges = old.live_edge_count();
+        let before = {
+            let mut ids: Vec<EdgeId> = old.edges_in_range(0, u64::MAX).map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        mutate(&mut g, 4, 50);
+        let newer = h.sync(&g);
+        assert_equivalent(&newer, &g);
+        // The pinned composite still answers from its own epoch.
+        assert_eq!(old.live_edge_count(), old_edges);
+        let mut after: Vec<EdgeId> = old.edges_in_range(0, u64::MAX).map(|(id, _)| id).collect();
+        after.sort_unstable();
+        assert_eq!(before, after, "pinned epoch must not move");
+    }
+
+    #[test]
+    fn with_pred_merge_honors_break() {
+        let mut g = DynamicGraph::new();
+        let mut h = Harness::new(3);
+        mutate(&mut g, 9, 100);
+        let snap = h.sync(&g);
+        for p in (0..g.predicate_count() as u32).map(PredicateId) {
+            let mut seen = 0usize;
+            let flow = snap.for_each_with_pred(p, |_, _| {
+                seen += 1;
+                if seen == 2 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            if flow == ControlFlow::Break(()) {
+                assert_eq!(seen, 2, "break must stop the merge immediately");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_env_resolution() {
+        // Can't set env vars safely in-process (tests run threaded); pin
+        // the default arithmetic instead.
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if std::env::var("NOUS_SHARDS").is_err() {
+            assert_eq!(shard_count_from_env(), hw.min(8));
+        } else {
+            assert!(shard_count_from_env() >= 1);
+        }
+    }
+}

@@ -142,27 +142,27 @@ pub struct Recovered {
 }
 
 #[derive(Clone)]
-struct StoreMetrics {
-    wal_appends: Counter,
-    wal_bytes: Counter,
-    wal_fsyncs: Counter,
-    wal_errors: Counter,
-    wal_retries: Counter,
-    wal_degraded: Gauge,
-    wal_dropped_records: Counter,
-    wal_rearmed: Counter,
-    wal_torn_frames: Gauge,
-    checkpoints: Counter,
-    checkpoint_errors: Counter,
-    checkpoint_seconds: nous_obs::Histogram,
-    recovery_replayed: Counter,
-    recovery_truncated_bytes: Counter,
-    recovery_truncated_bytes_gauge: Gauge,
-    recovery_chained_generations: Counter,
+pub(crate) struct StoreMetrics {
+    pub(crate) wal_appends: Counter,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) wal_fsyncs: Counter,
+    pub(crate) wal_errors: Counter,
+    pub(crate) wal_retries: Counter,
+    pub(crate) wal_degraded: Gauge,
+    pub(crate) wal_dropped_records: Counter,
+    pub(crate) wal_rearmed: Counter,
+    pub(crate) wal_torn_frames: Gauge,
+    pub(crate) checkpoints: Counter,
+    pub(crate) checkpoint_errors: Counter,
+    pub(crate) checkpoint_seconds: nous_obs::Histogram,
+    pub(crate) recovery_replayed: Counter,
+    pub(crate) recovery_truncated_bytes: Counter,
+    pub(crate) recovery_truncated_bytes_gauge: Gauge,
+    pub(crate) recovery_chained_generations: Counter,
 }
 
 impl StoreMetrics {
-    fn new(registry: &MetricsRegistry) -> Self {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
         Self {
             wal_appends: registry.counter(
                 "nous_wal_appends_total",
@@ -250,19 +250,23 @@ pub struct DurableStore {
 /// records survive a process crash.
 pub type AckHook = Arc<dyn Fn(&DocRecord) + Send + Sync>;
 
-fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
+pub(crate) fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("checkpoint-{generation:08}.bin"))
 }
 
-fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("wal-{generation:08}.log"))
 }
 
-fn invalid(msg: String) -> io::Error {
+pub(crate) fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn encode_checkpoint_file(generation: u64, kg: &KnowledgeGraph, report: &IngestReport) -> Vec<u8> {
+pub(crate) fn encode_checkpoint_file(
+    generation: u64,
+    kg: &KnowledgeGraph,
+    report: &IngestReport,
+) -> Vec<u8> {
     let mut body = Vec::new();
     codec::put_u64(&mut body, generation);
     put_report(&mut body, report);
@@ -275,7 +279,9 @@ fn encode_checkpoint_file(generation: u64, kg: &KnowledgeGraph, report: &IngestR
     file
 }
 
-fn decode_checkpoint_file(bytes: &[u8]) -> io::Result<(u64, IngestReport, KnowledgeGraph)> {
+pub(crate) fn decode_checkpoint_file(
+    bytes: &[u8],
+) -> io::Result<(u64, IngestReport, KnowledgeGraph)> {
     if bytes.len() < 20 || &bytes[..8] != CHECKPOINT_MAGIC {
         return Err(invalid("bad checkpoint magic".into()));
     }
@@ -304,7 +310,7 @@ fn decode_checkpoint_file(bytes: &[u8]) -> io::Result<(u64, IngestReport, Knowle
 /// fsync, rename over the target. The failpoint fires after part of the
 /// tmp file is written — the rename never happens, so the target is
 /// untouched and a retry starts from a truncating create.
-fn write_atomic(path: &Path, bytes: &[u8], faults: &Faults) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8], faults: &Faults) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
@@ -320,7 +326,7 @@ fn write_atomic(path: &Path, bytes: &[u8], faults: &Faults) -> io::Result<()> {
 
 /// Run `op` under a bounded retry-with-backoff budget, counting each
 /// retry in `retries`.
-fn with_retries<T>(
+pub(crate) fn with_retries<T>(
     policy: RetryPolicy,
     retries: &Counter,
     mut op: impl FnMut() -> io::Result<T>,
@@ -341,7 +347,7 @@ fn with_retries<T>(
     }
 }
 
-fn list_generations(dir: &Path) -> io::Result<Vec<u64>> {
+pub(crate) fn list_generations(dir: &Path) -> io::Result<Vec<u64>> {
     let mut gens = Vec::new();
     for entry in fs::read_dir(dir)? {
         let name = entry?.file_name();
@@ -685,7 +691,7 @@ impl DurableStore {
     }
 }
 
-fn add_reports(a: &IngestReport, b: &IngestReport) -> IngestReport {
+pub(crate) fn add_reports(a: &IngestReport, b: &IngestReport) -> IngestReport {
     IngestReport {
         documents: a.documents + b.documents,
         sentences: a.sentences + b.sentences,
@@ -701,7 +707,7 @@ fn add_reports(a: &IngestReport, b: &IngestReport) -> IngestReport {
     }
 }
 
-fn replay_record(kg: &mut KnowledgeGraph, rec: &DocRecord) {
+pub(crate) fn replay_record(kg: &mut KnowledgeGraph, rec: &DocRecord) {
     for (name, ty) in &rec.minted {
         if kg.graph.vertex_id(name).is_none() {
             kg.create_entity(name, *ty);
