@@ -1,0 +1,141 @@
+//! Adversarial-regime scenario suite (ROADMAP item 5).
+//!
+//! Drives each workload regime — emerging entities, contradiction/
+//! revision, burst/skew arrival, noisy extraction — through the full
+//! ingest → publish → query stack via `nous_bench::scenarios::run_regime`
+//! and records `BENCH_scenarios.json` at the repo root with per-regime
+//! update-latency percentiles, checkpointed precision/recall against the
+//! evolving oracle, and graceful-degradation counters (including the
+//! zero-acked-loss crash/recovery check).
+//!
+//! Knobs:
+//! - `NOUS_SCENARIO_SEED=n` — regenerate every regime from seed `n`.
+//! - `NOUS_SCENARIO_MODE=demo` — bench-sized corpora (default: smoke,
+//!   the CI size).
+//!
+//! With the `fault-injection` feature compiled in, the noisy regime runs
+//! under a seeded fault plan (extractor poison + WAL append/fsync
+//! faults); the zero-acked-loss criterion must hold regardless.
+//!
+//! Exits non-zero if any regime's scorecard is missing a metric or
+//! carries a NaN — the CI gate.
+
+use nous_bench::scenarios::{run_regime, RegimeScore};
+use nous_bench::{row, table_header};
+use nous_corpus::scenarios::{seed_from_env, Regime, ScenarioConfig};
+use nous_fault::Faults;
+
+/// The noisy regime's fault plan: extraction poison plus WAL faults, all
+/// seeded — a no-op unless `fault-injection` is compiled in.
+fn noisy_faults(seed: u64) -> Faults {
+    #[cfg(feature = "fault-injection")]
+    {
+        use nous_fault::{FaultPlan, SitePlan};
+        FaultPlan::from_seed(seed)
+            .site(nous_extract::FP_EXTRACT_POISON, SitePlan::probability(0.08))
+            .site(nous_persist::FP_WAL_APPEND, SitePlan::probability(0.05))
+            .site(nous_persist::FP_WAL_FSYNC, SitePlan::probability(0.05))
+            .arm()
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = seed;
+        Faults::disabled()
+    }
+}
+
+fn main() {
+    let seed = seed_from_env(11);
+    let demo = std::env::var("NOUS_SCENARIO_MODE").is_ok_and(|m| m == "demo");
+    let mode = if demo { "demo" } else { "smoke" };
+    println!("scenario suite: mode={mode} seed={seed}");
+
+    let mut scores: Vec<RegimeScore> = Vec::new();
+    for regime in Regime::ALL {
+        let cfg = if demo {
+            ScenarioConfig::demo(regime)
+        } else {
+            ScenarioConfig::smoke(regime)
+        }
+        .with_seed(seed);
+        let faults = if regime == Regime::Noisy {
+            noisy_faults(seed)
+        } else {
+            Faults::disabled()
+        };
+        scores.push(run_regime(&cfg, faults, 4));
+    }
+
+    let widths = [13usize, 8, 8, 10, 10, 9, 9, 7, 6, 6];
+    table_header(
+        "Scenario regimes (final checkpoint)",
+        &[
+            "regime",
+            "articles",
+            "admitted",
+            "p50 ms",
+            "p99 ms",
+            "precision",
+            "recall",
+            "quarant",
+            "supers",
+            "lost",
+        ],
+        &widths,
+    );
+    for s in &scores {
+        let last = s.checkpoints.last().expect("checkpoints");
+        println!(
+            "{}",
+            row(
+                &[
+                    s.regime.clone(),
+                    s.articles.to_string(),
+                    s.admitted.to_string(),
+                    format!("{:.2}", s.update_latency_p50_ms),
+                    format!("{:.2}", s.update_latency_p99_ms),
+                    format!("{:.2}", last.precision),
+                    format!("{:.2}", last.recall),
+                    s.degradation.quarantined.to_string(),
+                    s.degradation.revision_superseded.to_string(),
+                    s.degradation.lost_acked_docs.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let mut failures = Vec::new();
+    for s in &scores {
+        if let Err(e) = s.validate() {
+            failures.push(e);
+        }
+    }
+
+    #[derive(serde::Serialize)]
+    struct Suite<'a> {
+        mode: &'a str,
+        seed: u64,
+        fault_injection: bool,
+        regimes: &'a [RegimeScore],
+    }
+    let suite = Suite {
+        mode,
+        seed,
+        fault_injection: cfg!(feature = "fault-injection"),
+        regimes: &scores,
+    };
+    let json = serde_json::to_string_pretty(&suite).expect("scores serialize");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("scenario gate failure: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@ use nous_core::{IngestPipeline, KnowledgeGraph, PipelineConfig};
 use nous_corpus::{Article, CuratedKb, Preset, World};
 use nous_mining::MinerEdge;
 
+pub mod scenarios;
+
 /// A fully-built system: world + curated KB + stream + populated KG.
 pub struct System {
     pub world: World,

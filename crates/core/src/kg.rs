@@ -8,6 +8,7 @@
 //! [`nous_corpus::CuratedKb`] and extracted facts (blue) appended by the
 //! ingestion pipeline, each with a confidence.
 
+use crate::revision::{self, RevisionCounters, RevisionPolicy};
 use nous_corpus::{CuratedKb, World};
 use nous_embed::{BprConfig, LinkPredictor, PredictorMode};
 use nous_graph::{Adj, DynamicGraph, GraphView, Provenance, Timestamp, VertexId};
@@ -39,6 +40,14 @@ pub struct KnowledgeGraph {
     /// Raw triples retained for semi-supervised mapper expansion:
     /// `(subject vertex, raw predicate, object vertex)`.
     pending_raw: Vec<(u32, String, u32)>,
+    /// Revision behaviour at the admit point (NOUS §3.4). Disabled by
+    /// default; lives on the graph (not the pipeline) so WAL replay
+    /// re-derives the same tombstones from a restored checkpoint.
+    #[serde(default)]
+    revision: RevisionPolicy,
+    /// Lifetime revision outcomes (superseded / decayed / reinforced).
+    #[serde(default)]
+    revision_counters: RevisionCounters,
 }
 
 fn entity_type_of(kind: nous_corpus::world::Kind) -> EntityType {
@@ -65,7 +74,26 @@ impl KnowledgeGraph {
             predictor: LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default()),
             entity_text: Vec::new(),
             pending_raw: Vec::new(),
+            revision: RevisionPolicy::default(),
+            revision_counters: RevisionCounters::default(),
         }
+    }
+
+    /// The active revision policy.
+    pub fn revision_policy(&self) -> &RevisionPolicy {
+        &self.revision
+    }
+
+    /// Install a revision policy. Takes effect for subsequently admitted
+    /// facts; already-live edges are revised lazily as contradicting or
+    /// re-asserting facts arrive.
+    pub fn set_revision_policy(&mut self, policy: RevisionPolicy) {
+        self.revision = policy;
+    }
+
+    /// Lifetime revision outcome counts.
+    pub fn revision_counters(&self) -> RevisionCounters {
+        self.revision_counters
     }
 
     /// Build from a generated world + curated KB: every entity becomes a
@@ -173,6 +201,7 @@ impl KnowledgeGraph {
         extra_args: &[(String, String)],
     ) -> nous_graph::EdgeId {
         let p = self.graph.intern_predicate(predicate);
+        let confidence = self.apply_revision(s, predicate, o, confidence);
         let mut edge =
             nous_graph::Edge::new(s, p, o, at, confidence, Provenance::Extracted { doc_id });
         if !extra_args.is_empty() {
@@ -189,6 +218,68 @@ impl KnowledgeGraph {
         let id = self.graph.add_edge(edge);
         self.bump_entity(s, o);
         id
+    }
+
+    /// Revision at the admit point (NOUS §3.4): before `(s, predicate, o)`
+    /// is appended, reconcile it against the live extracted edges of
+    /// `(s, predicate, *)`. Same object → the duplicate is tombstoned and
+    /// the new edge carries a saturating *reinforced* confidence.
+    /// Different object on a *functional* predicate → the old fact is
+    /// superseded: tombstoned, and re-appended at a decayed confidence
+    /// only while it stays above the policy floor. Curated edges are
+    /// never revised — extracted text cannot overrule the curated KB.
+    ///
+    /// Returns the confidence the new edge should be appended with.
+    /// No-op (returns `confidence` unchanged) while the policy is off.
+    fn apply_revision(
+        &mut self,
+        s: VertexId,
+        predicate: &str,
+        o: VertexId,
+        confidence: f32,
+    ) -> f32 {
+        if !self.revision.enabled {
+            return confidence;
+        }
+        let Some(p) = self.graph.predicate_id(predicate) else {
+            return confidence;
+        };
+        let functional = self.revision.is_functional(predicate);
+        // Snapshot the live candidates first: the loop below mutates the
+        // graph, and `find` borrows its indexes.
+        let priors: Vec<nous_graph::EdgeId> = self.graph.find(Some(s), Some(p), None);
+        let mut admitted = confidence;
+        for id in priors {
+            let e = self.graph.edge(id);
+            if e.provenance.is_curated() {
+                continue;
+            }
+            if e.dst == o {
+                // Re-assertion: fold the duplicate into the new edge with
+                // one reinforcement step over the better of the two scores.
+                admitted =
+                    revision::reinforce(admitted.max(e.confidence), self.revision.reinforce_alpha);
+                self.graph.remove_edge(id);
+                self.revision_counters.reinforced += 1;
+            } else if functional {
+                // Contradiction: the newer object supersedes the old fact.
+                let decayed = revision::decay(e.confidence, self.revision.decay_factor);
+                let survivor = if decayed >= self.revision.decay_floor {
+                    let mut old = e.clone();
+                    old.confidence = decayed;
+                    Some(old)
+                } else {
+                    None
+                };
+                self.graph.remove_edge(id);
+                self.revision_counters.superseded += 1;
+                if let Some(old) = survivor {
+                    self.graph.add_edge(old);
+                    self.revision_counters.decayed += 1;
+                }
+            }
+        }
+        admitted
     }
 
     /// Accumulate additional text evidence for an entity.
@@ -337,6 +428,23 @@ impl KnowledgeGraph {
             codec::put_f64(&mut buf, rule.confidence);
             codec::put_u8(&mut buf, rule.seed as u8);
         }
+
+        // Revision policy + lifetime counters. The policy must ride in
+        // the checkpoint: WAL replay re-admits facts through
+        // `add_extracted_fact_with_args`, so tombstones and decays are
+        // re-derived only if the restored graph revises the same way the
+        // live one did.
+        codec::put_u8(&mut buf, self.revision.enabled as u8);
+        codec::put_f64(&mut buf, self.revision.reinforce_alpha as f64);
+        codec::put_f64(&mut buf, self.revision.decay_factor as f64);
+        codec::put_f64(&mut buf, self.revision.decay_floor as f64);
+        codec::put_u32(&mut buf, self.revision.functional.len() as u32);
+        for p in &self.revision.functional {
+            codec::put_str(&mut buf, p);
+        }
+        codec::put_u64(&mut buf, self.revision_counters.superseded);
+        codec::put_u64(&mut buf, self.revision_counters.decayed);
+        codec::put_u64(&mut buf, self.revision_counters.reinforced);
         buf
     }
 
@@ -437,6 +545,29 @@ impl KnowledgeGraph {
                 },
             );
         }
+        let enabled = r.u8().map_err(corrupt("revision enabled"))? != 0;
+        let reinforce_alpha = r.f64().map_err(corrupt("revision alpha"))? as f32;
+        let decay_factor = r.f64().map_err(corrupt("revision decay factor"))? as f32;
+        let decay_floor = r.f64().map_err(corrupt("revision decay floor"))? as f32;
+        let n = r
+            .count(4, "functional predicate count")
+            .map_err(corrupt("functional predicate count"))?;
+        let mut functional = Vec::with_capacity(n);
+        for _ in 0..n {
+            functional.push(r.str().map_err(corrupt("functional predicate"))?.to_owned());
+        }
+        let revision = RevisionPolicy {
+            enabled,
+            functional,
+            reinforce_alpha,
+            decay_factor,
+            decay_floor,
+        };
+        let revision_counters = RevisionCounters {
+            superseded: r.u64().map_err(corrupt("superseded count"))?,
+            decayed: r.u64().map_err(corrupt("decayed count"))?,
+            reinforced: r.u64().map_err(corrupt("reinforced count"))?,
+        };
         if !r.is_empty() {
             return Err(SnapshotError::Corrupt("trailing checkpoint bytes"));
         }
@@ -449,6 +580,8 @@ impl KnowledgeGraph {
             predictor: LinkPredictor::new(PredictorMode::PerPredicate, BprConfig::default()),
             entity_text,
             pending_raw,
+            revision,
+            revision_counters,
         };
         kg.train_predictor();
         Ok(kg)
@@ -755,6 +888,123 @@ mod tests {
         for cut in [9, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(KnowledgeGraph::decode_checkpoint(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn revision_is_off_by_default() {
+        let (world, _, mut kg) = smoke_kg();
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let a = kg.graph.vertex_id("Shenzhen").unwrap();
+        let b = kg.graph.vertex_id("Austin").unwrap();
+        kg.add_extracted_fact(s, "isLocatedIn", a, 10, 0.9, 1);
+        kg.add_extracted_fact(s, "isLocatedIn", b, 20, 0.9, 2);
+        kg.add_extracted_fact(s, "isLocatedIn", b, 30, 0.9, 3);
+        // Pure append: both objects live, the duplicate too.
+        let p = kg.graph.predicate_id("isLocatedIn").unwrap();
+        assert_eq!(kg.graph.find(Some(s), Some(p), Some(b)).len(), 2);
+        assert!(kg.graph.has_triple(s, p, a));
+        assert_eq!(kg.revision_counters(), RevisionCounters::default());
+    }
+
+    #[test]
+    fn revision_supersedes_functional_facts() {
+        let (world, _, mut kg) = smoke_kg();
+        kg.set_revision_policy(RevisionPolicy::enabled());
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let a = kg.graph.vertex_id("Shenzhen").unwrap();
+        let b = kg.graph.vertex_id("Austin").unwrap();
+        let c = kg.graph.vertex_id("Boston").unwrap();
+        let first = kg.add_extracted_fact(s, "isLocatedIn", a, 10, 0.9, 1);
+        kg.add_extracted_fact(s, "isLocatedIn", b, 20, 0.9, 2);
+        let p = kg.graph.predicate_id("isLocatedIn").unwrap();
+        // The old fact is tombstoned; it survives once at decayed score
+        // (0.9 * 0.4 = 0.36 >= floor 0.3).
+        assert!(!kg.graph.is_live(first));
+        let old = kg.graph.find(Some(s), Some(p), Some(a));
+        assert_eq!(old.len(), 1);
+        assert!((kg.graph.edge(old[0]).confidence - 0.36).abs() < 1e-6);
+        assert_eq!(kg.revision_counters().superseded, 1);
+        assert_eq!(kg.revision_counters().decayed, 1);
+        // A further contradiction pushes it below the floor: gone.
+        kg.add_extracted_fact(s, "isLocatedIn", c, 30, 0.9, 3);
+        assert!(kg.graph.find(Some(s), Some(p), Some(a)).is_empty());
+        assert_eq!(kg.revision_counters().superseded, 3, "b superseded too");
+    }
+
+    #[test]
+    fn revision_reinforces_duplicates() {
+        let (world, _, mut kg) = smoke_kg();
+        kg.set_revision_policy(RevisionPolicy::enabled());
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let o = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[1]].name)
+            .unwrap();
+        kg.add_extracted_fact(s, "acquired", o, 10, 0.6, 1);
+        kg.add_extracted_fact(s, "acquired", o, 20, 0.5, 2);
+        let p = kg.graph.predicate_id("acquired").unwrap();
+        let live = kg.graph.find(Some(s), Some(p), Some(o));
+        // One surviving edge at reinforce(max(0.5, 0.6)) = 0.6 + 0.3*0.4.
+        assert_eq!(live.len(), 1);
+        assert!((kg.graph.edge(live[0]).confidence - 0.72).abs() < 1e-6);
+        assert_eq!(kg.revision_counters().reinforced, 1);
+        // Repeated re-assertion saturates below 1.0.
+        for i in 0..50 {
+            kg.add_extracted_fact(s, "acquired", o, 30 + i, 0.5, 3 + i);
+        }
+        let live = kg.graph.find(Some(s), Some(p), Some(o));
+        assert_eq!(live.len(), 1);
+        let c = kg.graph.edge(live[0]).confidence;
+        assert!((0.0..=1.0).contains(&c) && c > 0.99);
+    }
+
+    #[test]
+    fn revision_never_touches_curated_edges() {
+        let (world, kb, mut kg) = smoke_kg();
+        kg.set_revision_policy(RevisionPolicy::enabled());
+        // Every company has a curated HQ; contradict one from text.
+        let company = &world.entities[world.companies[0]];
+        let s = kg.graph.vertex_id(&company.name).unwrap();
+        let b = kg.graph.vertex_id("Austin").unwrap();
+        let curated_before = kg.graph.stats().curated_edges;
+        kg.add_extracted_fact(s, "isLocatedIn", b, 20, 0.9, 2);
+        assert_eq!(kg.graph.stats().curated_edges, curated_before);
+        assert_eq!(kg.graph.edge_count(), kb.len() + 1);
+        assert_eq!(kg.revision_counters().superseded, 0);
+    }
+
+    #[test]
+    fn checkpoint_carries_revision_state() {
+        let (world, _, mut kg) = smoke_kg();
+        kg.set_revision_policy(RevisionPolicy {
+            enabled: true,
+            functional: vec!["isLocatedIn".into(), "hasCeo".into()],
+            reinforce_alpha: 0.25,
+            decay_factor: 0.5,
+            decay_floor: 0.2,
+        });
+        let s = kg
+            .graph
+            .vertex_id(&world.entities[world.companies[0]].name)
+            .unwrap();
+        let a = kg.graph.vertex_id("Shenzhen").unwrap();
+        let b = kg.graph.vertex_id("Austin").unwrap();
+        kg.add_extracted_fact(s, "isLocatedIn", a, 10, 0.9, 1);
+        kg.add_extracted_fact(s, "isLocatedIn", b, 20, 0.9, 2);
+        let bytes = kg.encode_checkpoint();
+        let back = KnowledgeGraph::decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back.revision_policy(), kg.revision_policy());
+        assert_eq!(back.revision_counters(), kg.revision_counters());
+        assert_eq!(back.encode_checkpoint(), bytes);
     }
 
     #[test]

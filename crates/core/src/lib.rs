@@ -33,6 +33,7 @@ pub mod journal;
 pub mod kg;
 pub mod pipeline;
 pub mod quality;
+pub mod revision;
 pub mod seeds;
 pub mod session;
 pub mod trends;
@@ -40,8 +41,10 @@ pub mod trends;
 pub use fabric::ShardFabric;
 pub use journal::{AdmittedFact, IngestJournal};
 pub use kg::{entity_summary_view, KnowledgeGraph};
+pub use nous_extract::QuarantinedDoc;
 pub use pipeline::{DeadLetterStore, IngestPipeline, IngestReport, PipelineConfig};
 pub use quality::{CandidateFact, NoSelfLoopGate, QualityGate, TypeSignatureGate};
+pub use revision::{RevisionCounters, RevisionPolicy};
 pub use session::{
     CompactionConfig, FrozenSnapshot, ShardedSession, SharedSession, FP_SESSION_COMPACT,
 };

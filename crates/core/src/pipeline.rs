@@ -211,6 +211,9 @@ struct PipelineMetrics {
     gated: Counter,
     quarantined: Counter,
     batches: Counter,
+    revision_superseded: Counter,
+    revision_decayed: Counter,
+    revision_reinforced: Counter,
     workers_used: Gauge,
     stage_extract: Histogram,
     stage_map: Histogram,
@@ -282,6 +285,18 @@ impl PipelineMetrics {
             batches: c(
                 "nous_ingest_batches_total",
                 "Parallel-extraction micro-batches dispatched",
+            ),
+            revision_superseded: c(
+                "nous_revision_superseded_total",
+                "Facts superseded by a contradicting object on a functional predicate",
+            ),
+            revision_decayed: c(
+                "nous_revision_decayed_total",
+                "Superseded facts re-appended at a decayed confidence",
+            ),
+            revision_reinforced: c(
+                "nous_revision_reinforced_total",
+                "Re-asserted facts folded into a single reinforced edge",
             ),
             workers_used: registry.gauge(
                 "nous_ingest_extract_workers_used",
@@ -437,6 +452,36 @@ impl IngestPipeline {
     /// Mutable dead-letter access (reprocessing drains it).
     pub fn dead_letters_mut(&mut self) -> &mut DeadLetterStore {
         &mut self.dead_letters
+    }
+
+    /// Drain the dead-letter store and re-ingest the parked documents —
+    /// poisoned docs are inspectable and recoverable, not silently lost.
+    ///
+    /// A [`QuarantinedDoc`] keeps only the doc id, day and error (not the
+    /// article body), so the caller supplies a lookup from doc id back to
+    /// the article. Returns `(reingested, missing)`: documents whose
+    /// article the lookup could not produce are handed back untouched;
+    /// documents that fail extraction again re-enter quarantine through
+    /// the normal path.
+    pub fn reingest_dead_letters(
+        &mut self,
+        kg: &mut KnowledgeGraph,
+        mut lookup: impl FnMut(u64) -> Option<Article>,
+    ) -> (usize, Vec<QuarantinedDoc>) {
+        let parked = self.dead_letters.drain();
+        let mut batch: Vec<Article> = Vec::with_capacity(parked.len());
+        let mut missing = Vec::new();
+        for q in parked {
+            match lookup(q.doc_id) {
+                Some(a) => batch.push(a),
+                None => missing.push(q),
+            }
+        }
+        let n = batch.len();
+        if n > 0 {
+            self.ingest_batch(kg, &batch);
+        }
+        (n, missing)
     }
 
     /// Install a journal sink observing the admit stream (see
@@ -670,8 +715,7 @@ impl IngestPipeline {
             // predictor's graph-prior score.
             let g = score_acc.enter();
             let prior = kg.predictor.score(&rule.ontology, s.0, o.0);
-            let w = self.cfg.predictor_weight;
-            let confidence = ((1.0 - w) * t.confidence + w * prior).clamp(0.0, 1.0);
+            let confidence = crate::revision::blend(t.confidence, prior, self.cfg.predictor_weight);
             drop(g);
 
             if confidence < self.cfg.min_confidence || t.negated {
@@ -704,6 +748,7 @@ impl IngestPipeline {
                 continue;
             }
             let g = admit_acc.enter();
+            let rev_before = kg.revision_counters();
             kg.add_extracted_fact_with_args(
                 s,
                 &rule.ontology,
@@ -716,6 +761,16 @@ impl IngestPipeline {
             kg.add_entity_text(s, doc_bow);
             kg.add_entity_text(o, doc_bow);
             drop(g);
+            let rev = kg.revision_counters();
+            self.metrics
+                .revision_superseded
+                .add(rev.superseded - rev_before.superseded);
+            self.metrics
+                .revision_decayed
+                .add(rev.decayed - rev_before.decayed);
+            self.metrics
+                .revision_reinforced
+                .add(rev.reinforced - rev_before.reinforced);
             self.metrics.admitted.inc();
             if let Some(j) = self.journal.as_mut() {
                 // Names logged as stored (after any inverted-rule swap),

@@ -30,6 +30,7 @@ pub mod explain;
 pub mod insider;
 pub mod ontology;
 pub mod presets;
+pub mod scenarios;
 pub mod vocab;
 pub mod world;
 
@@ -40,4 +41,5 @@ pub use explain::{plant_explanations, Explanation};
 pub use insider::{InsiderConfig, InsiderScenario, LogEvent};
 pub use ontology::{OntologyPredicate, ONTOLOGY};
 pub use presets::Preset;
+pub use scenarios::{Oracle, OracleEvent, Regime, Scenario, ScenarioConfig};
 pub use world::{EntitySpec, World, WorldConfig};

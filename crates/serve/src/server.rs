@@ -351,7 +351,7 @@ fn handle_request(shared: &Shared, req: &Request) -> (Response, &'static str, u6
 
     let resp = match route {
         "/healthz" => Response::text(200, "ok\n"),
-        "/stats" => Response::json(200, shared.session.stats_snapshot()),
+        "/stats" => Response::json(200, stats_with_quarantine(shared)),
         "/metrics" => {
             let mut r = Response::text(200, &registry.render_prometheus());
             r.content_type = "text/plain; version=0.0.4";
@@ -366,6 +366,39 @@ fn handle_request(shared: &Shared, req: &Request) -> (Response, &'static str, u6
     root.finish();
     let resp = resp.with_header("x-nous-trace-id", trace_id_hex(trace_id));
     (resp, route, trace_id)
+}
+
+/// How many of the most recent quarantined doc ids `/stats` exposes.
+const QUARANTINE_TAIL: usize = 16;
+
+/// The session's metric snapshot with the pipeline's dead-letter
+/// quarantine spliced in as one extra top-level key: the total parked
+/// count plus the ids of the most recent [`QUARANTINE_TAIL`] parked
+/// documents, oldest-first. The metric snapshot itself is reproduced
+/// byte-for-byte, so existing scrapers keep parsing.
+fn stats_with_quarantine(shared: &Shared) -> String {
+    let (count, newest_first) = {
+        let pipeline = shared.pipeline.lock().unwrap_or_else(|e| e.into_inner());
+        let entries = pipeline.dead_letters().entries();
+        let tail: Vec<u64> = entries
+            .iter()
+            .rev()
+            .take(QUARANTINE_TAIL)
+            .map(|q| q.doc_id)
+            .collect();
+        (entries.len(), tail)
+    };
+    let ids: Vec<String> = newest_first.iter().rev().map(u64::to_string).collect();
+    let section = format!(
+        "\"quarantine\":{{\"count\":{count},\"last_doc_ids\":[{}]}}",
+        ids.join(",")
+    );
+    let snap = shared.session.stats_snapshot();
+    match snap.strip_prefix('{') {
+        Some("}") => format!("{{{section}}}"),
+        Some(rest) => format!("{{{section},{rest}"),
+        None => snap, // non-object snapshot: serve it untouched
+    }
 }
 
 fn handle_query(shared: &Shared, req: &Request, root: &nous_obs::ActiveSpan) -> Response {

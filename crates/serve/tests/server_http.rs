@@ -445,3 +445,49 @@ fn accept_and_read_faults_degrade_gracefully() {
     assert_eq!((status, body.as_str()), (200, "ok\n"));
     server.shutdown();
 }
+
+#[test]
+fn stats_exposes_dead_letter_quarantine() {
+    let registry = MetricsRegistry::new();
+    registry.enable_tracing(42, 64, 0);
+    let (kg, topics, trends) = fixture();
+    let session = Arc::new(SharedSession::with_registry(
+        kg,
+        topics,
+        trends,
+        registry.clone(),
+    ));
+    let mut pipeline = IngestPipeline::with_registry(PipelineConfig::default(), registry.clone());
+    // Park more documents than the /stats tail keeps (16), so the
+    // endpoint must report the full count but only the newest ids.
+    for doc_id in 0..18u64 {
+        pipeline.quarantine(nous_core::QuarantinedDoc {
+            doc_id,
+            day: doc_id,
+            error: format!("synthetic failure {doc_id}"),
+        });
+    }
+    let server =
+        Server::start(session, pipeline, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let (status, _, stats) = http(addr, "GET", "/stats", &[], b"");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&stats).expect("/stats stays valid JSON");
+    let q = json_field(&v, "quarantine");
+    assert_eq!(json_field(q, "count"), &serde_json::Value::Number(18.0));
+    let ids: Vec<u64> = json_field(q, "last_doc_ids")
+        .as_array()
+        .expect("id list")
+        .iter()
+        .map(|x| x.as_f64().expect("numeric id") as u64)
+        .collect();
+    assert_eq!(
+        ids,
+        (2..18).collect::<Vec<u64>>(),
+        "newest 16, oldest first"
+    );
+    // The metric surface is untouched by the splice.
+    assert!(stats.contains("nous_"), "metric snapshot still present");
+    server.shutdown();
+}

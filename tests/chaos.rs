@@ -348,7 +348,7 @@ fn wal_degradation_dumps_blackbox_with_faulting_trace() {
         .with_blackbox(tracer.blackbox_hook(dump_dir.clone()));
 
     let dir = scratch("blackbox-store");
-    let mut store = DurableStore::create_with_faults(
+    let store = DurableStore::create_with_faults(
         &dir,
         DurabilityConfig {
             fsync: FsyncPolicy::Never,
